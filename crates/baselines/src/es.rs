@@ -1,0 +1,184 @@
+//! Elastic Scheduler (ES) — Or, Zhang & Freedman, "Resource Elasticity in
+//! Distributed Deep Learning" (MLSys 2020).
+//!
+//! ES targets all-reduce-style jobs: it searches over the *number of
+//! workers* only (no PS dimension, no per-pod CPU), climbing while the
+//! measured marginal throughput gain per added worker stays above a
+//! utility threshold, and backing off otherwise. As in the paper's
+//! evaluation ("ES only modulates workers" and "add or remove a fixed
+//! number of nodes each time"), every transition is a stop-and-restart.
+
+use dlrover_master::{JobRuntimeProfile, PolicyDecision, SchedulerPolicy};
+use dlrover_optimizer::{PlanSearchSpace, ResourceAllocation};
+use dlrover_pstrain::MigrationStrategy;
+
+/// Elastic-Scheduler policy.
+pub struct EsPolicy {
+    space: PlanSearchSpace,
+    current: ResourceAllocation,
+    /// Workers added/removed per adjustment.
+    step: u32,
+    /// Minimum relative throughput-per-worker gain to keep growing.
+    utility_threshold: f64,
+    last: Option<(u32, f64)>, // (workers, throughput) at the last decision
+    direction_up: bool,
+    settled: bool,
+}
+
+impl EsPolicy {
+    /// Creates the policy from the user's initial allocation.
+    pub fn new(initial: ResourceAllocation, space: PlanSearchSpace, step: u32) -> Self {
+        EsPolicy {
+            space,
+            current: initial,
+            step: step.max(1),
+            utility_threshold: 0.05,
+            last: None,
+            direction_up: true,
+            settled: false,
+        }
+    }
+
+    fn with_workers(&self, workers: u32) -> ResourceAllocation {
+        let mut a = self.current;
+        a.shape.workers = workers.clamp(self.space.workers.0, self.space.workers.1);
+        a
+    }
+}
+
+impl SchedulerPolicy for EsPolicy {
+    fn name(&self) -> &str {
+        "es"
+    }
+
+    fn initial_allocation(&mut self) -> ResourceAllocation {
+        self.current
+    }
+
+    fn adjust(&mut self, profile: &JobRuntimeProfile) -> Option<PolicyDecision> {
+        if self.settled || profile.throughput <= 0.0 {
+            return None;
+        }
+        let workers = self.current.shape.workers;
+        let thp = profile.throughput;
+
+        let decision_workers = match self.last {
+            None => {
+                // First measurement: start climbing.
+                workers.saturating_add(self.step)
+            }
+            Some((prev_workers, prev_thp)) => {
+                if workers == prev_workers {
+                    // The last decision has not materialised yet; wait.
+                    return None;
+                }
+                let delta_w = i64::from(workers) - i64::from(prev_workers);
+                let marginal = (thp - prev_thp) / (delta_w.abs().max(1) as f64);
+                let per_worker = thp / f64::from(workers.max(1));
+                let worthwhile = marginal > self.utility_threshold * per_worker;
+                match (self.direction_up, worthwhile) {
+                    (true, true) => workers.saturating_add(self.step),
+                    (true, false) => {
+                        // Overshot: step back once and settle.
+                        self.direction_up = false;
+                        workers.saturating_sub(self.step)
+                    }
+                    (false, _) => {
+                        self.settled = true;
+                        return None;
+                    }
+                }
+            }
+        };
+
+        let target = self.with_workers(decision_workers);
+        if target.shape.workers == workers {
+            self.settled = true; // clamped at a boundary
+            return None;
+        }
+        self.last = Some((workers, thp));
+        self.current = target;
+        Some(PolicyDecision {
+            allocation: target,
+            // ES restarts the job on every membership change.
+            strategy: MigrationStrategy::StopAndRestart,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrover_perfmodel::{
+        JobShape, ModelCoefficients, ThroughputModel, ThroughputObservation, WorkloadConstants,
+    };
+    use dlrover_sim::SimTime;
+
+    fn truth() -> ThroughputModel {
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::paper_reference())
+    }
+
+    fn profile(alloc: &ResourceAllocation) -> JobRuntimeProfile {
+        let t = truth();
+        JobRuntimeProfile {
+            job_id: 1,
+            at: SimTime::ZERO,
+            throughput: t.throughput(&alloc.shape),
+            remaining_samples: 1_000_000,
+            observation: Some(ThroughputObservation {
+                shape: alloc.shape,
+                iter_time: t.iter_time(&alloc.shape),
+            }),
+            ps_memory_used: 1,
+            ps_memory_alloc: 100,
+        }
+    }
+
+    fn start() -> ResourceAllocation {
+        ResourceAllocation::new(JobShape::new(2, 2, 8.0, 8.0, 512), 32.0, 64.0)
+    }
+
+    #[test]
+    fn climbs_workers_then_settles() {
+        let mut p = EsPolicy::new(start(), PlanSearchSpace::default(), 2);
+        let mut alloc = p.initial_allocation();
+        let mut moves = 0;
+        for _ in 0..40 {
+            if let Some(d) = p.adjust(&profile(&alloc)) {
+                assert_eq!(d.strategy, MigrationStrategy::StopAndRestart);
+                // ES only changes the worker count.
+                assert_eq!(d.allocation.shape.ps, alloc.shape.ps);
+                assert_eq!(d.allocation.shape.worker_cpu, alloc.shape.worker_cpu);
+                alloc = d.allocation;
+                moves += 1;
+            }
+        }
+        assert!(moves >= 2, "ES never climbed");
+        assert!(alloc.shape.workers > start().shape.workers);
+        // And it eventually stops.
+        for _ in 0..5 {
+            assert!(p.adjust(&profile(&alloc)).is_none());
+        }
+    }
+
+    #[test]
+    fn never_exceeds_space_bounds() {
+        let space = PlanSearchSpace { workers: (1, 6), ..PlanSearchSpace::default() };
+        let mut p = EsPolicy::new(start(), space, 4);
+        let mut alloc = p.initial_allocation();
+        for _ in 0..20 {
+            if let Some(d) = p.adjust(&profile(&alloc)) {
+                alloc = d.allocation;
+                assert!(alloc.shape.workers <= 6);
+            }
+        }
+    }
+
+    #[test]
+    fn no_throughput_no_move() {
+        let mut p = EsPolicy::new(start(), PlanSearchSpace::default(), 2);
+        let mut prof = profile(&start());
+        prof.throughput = 0.0;
+        assert!(p.adjust(&prof).is_none());
+    }
+}

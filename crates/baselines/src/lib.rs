@@ -1,0 +1,33 @@
+//! Baseline schedulers for the comparison experiments (Figs. 7, 10).
+//!
+//! All baselines implement the same [`dlrover_master::SchedulerPolicy`]
+//! trait as DLRover-RM and drive the same job master + training engine, so
+//! measured differences come from the *policies*, not the substrate:
+//!
+//! * [`StaticPolicy`] — the Kubeflow-style baseline ("w/o DLRover-RM"):
+//!   whatever the user requested, never adjusted.
+//! * [`WellTunedPolicy`] — the manual trial-and-error oracle the paper
+//!   compares against: an exhaustive offline search over the shape grid
+//!   using the *true* cost model (which a human finds by re-running the job
+//!   "more than 10 times").
+//! * [`EsPolicy`] — Elastic Scheduler (Or et al., MLSys'20): heuristic
+//!   hill-climbing on the *worker* count only, one step at a time, with
+//!   stop-and-restart transitions.
+//! * [`OptimusPolicy`] — Optimus (Peng et al., EuroSys'18): fits a
+//!   throughput model online and greedily adds the marginal-gain-maximising
+//!   single worker or PS each interval, with stop-and-restart transitions
+//!   and *no* lookup term in its model (it was designed for NLP/CV jobs —
+//!   exactly the gap §2.2 calls out).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod es;
+pub mod optimus;
+pub mod statics;
+pub mod well_tuned;
+
+pub use es::EsPolicy;
+pub use optimus::OptimusPolicy;
+pub use statics::StaticPolicy;
+pub use well_tuned::{well_tuned_search, WellTunedPolicy};

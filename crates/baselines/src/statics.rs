@@ -1,0 +1,59 @@
+//! The static (Kubeflow-style) baseline: user request, never adjusted.
+
+use dlrover_master::{JobRuntimeProfile, PolicyDecision, SchedulerPolicy};
+use dlrover_optimizer::ResourceAllocation;
+
+/// Fixed allocation for the job's whole life — the "w/o DLRover-RM"
+/// baseline of §6. Kubeflow "can only set the same CPU and memory for the
+/// workers or PSes" and never changes them at runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticPolicy {
+    allocation: ResourceAllocation,
+}
+
+impl StaticPolicy {
+    /// Creates the policy from the user's requested allocation.
+    pub fn new(allocation: ResourceAllocation) -> Self {
+        StaticPolicy { allocation }
+    }
+}
+
+impl SchedulerPolicy for StaticPolicy {
+    fn name(&self) -> &str {
+        "static"
+    }
+
+    fn initial_allocation(&mut self) -> ResourceAllocation {
+        self.allocation
+    }
+
+    fn adjust(&mut self, _profile: &JobRuntimeProfile) -> Option<PolicyDecision> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrover_perfmodel::JobShape;
+    use dlrover_sim::SimTime;
+
+    #[test]
+    fn never_adjusts() {
+        let alloc = ResourceAllocation::new(JobShape::new(4, 2, 8.0, 8.0, 512), 32.0, 64.0);
+        let mut p = StaticPolicy::new(alloc);
+        assert_eq!(p.initial_allocation(), alloc);
+        let profile = JobRuntimeProfile {
+            job_id: 1,
+            at: SimTime::from_secs(100),
+            throughput: 1.0,
+            remaining_samples: 10,
+            observation: None,
+            ps_memory_used: u64::MAX / 2, // even near-OOM: no reaction
+            ps_memory_alloc: u64::MAX / 2 + 1,
+        };
+        for _ in 0..10 {
+            assert!(p.adjust(&profile).is_none());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Criterion microbenchmarks over the performance-critical components:
+//! NNLS fitting, NSGA-II plan generation, shard-queue operations,
+//! embedding lookup/update, cluster scheduling, engine time slices, and a
+//! real training step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dlrover_cluster::{Cluster, ClusterConfig, PodRole, PodSpec, Priority, Resources};
+use dlrover_dlrm::model::{CtrModel, DlrmModel, ModelConfig, ModelKind};
+use dlrover_dlrm::{DatasetConfig, SyntheticCriteo};
+use dlrover_optimizer::{NsgaPlanGenerator, ResourceAllocation, ScalingAlgorithm};
+use dlrover_perfmodel::{
+    nnls, JobShape, Matrix, ModelCoefficients, ThroughputModel, ThroughputObservation,
+    WorkloadConstants,
+};
+use dlrover_pstrain::{
+    AsyncCostModel, PodState, PsTrainingEngine, ShardQueue, ShardingConfig, TrainingJobSpec,
+};
+use dlrover_sim::{RngStreams, SimDuration, SimTime};
+
+fn bench_nnls(c: &mut Criterion) {
+    // 100x5 system: the shape the online fitter solves every interval.
+    let rows = 100;
+    let cols = 5;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut v = 1u64;
+    for _ in 0..rows * cols {
+        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+        data.push(((v >> 33) % 1000) as f64 / 100.0);
+    }
+    let a = Matrix::from_rows(rows, cols, data);
+    let x_true = vec![1.0, 2.0, 0.0, 0.5, 3.0];
+    let b = a.matvec(&x_true);
+    c.bench_function("nnls_100x5", |bench| {
+        bench.iter(|| nnls(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap())
+    });
+}
+
+fn bench_model_fit(c: &mut Criterion) {
+    let truth = ThroughputModel::new(
+        WorkloadConstants::default(),
+        ModelCoefficients::simulation_truth(),
+    );
+    let mut obs = Vec::new();
+    for w in [1u32, 2, 4, 8, 16] {
+        for p in [1u32, 2, 4] {
+            for cpu in [2.0, 8.0, 16.0] {
+                let s = JobShape::new(w, p, cpu, cpu, 512);
+                obs.push(ThroughputObservation { shape: s, iter_time: truth.iter_time(&s) });
+            }
+        }
+    }
+    c.bench_function("throughput_model_fit_45obs", |bench| {
+        bench.iter(|| {
+            ThroughputModel::fit(WorkloadConstants::default(), std::hint::black_box(&obs))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_nsga_plan(c: &mut Criterion) {
+    let truth = ThroughputModel::new(
+        WorkloadConstants::default(),
+        ModelCoefficients::simulation_truth(),
+    );
+    let current = ResourceAllocation::new(JobShape::new(2, 1, 2.0, 2.0, 512), 8.0, 16.0);
+    let generator = NsgaPlanGenerator::default();
+    c.bench_function("nsga2_plan_generation", |bench| {
+        bench.iter_batched(
+            || RngStreams::new(7).stream("bench"),
+            |mut rng| generator.candidates(&truth, &current, &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_shard_queue(c: &mut Criterion) {
+    c.bench_function("shard_queue_checkout_complete_1000", |bench| {
+        bench.iter_batched(
+            || {
+                ShardQueue::new(
+                    1000 * 128 * 512,
+                    ShardingConfig { batches_per_shard: 128, batch_size: 512, min_batches_per_shard: 8 },
+                )
+            },
+            |mut q| {
+                q.register_worker(1, SimTime::ZERO);
+                let mut n = 0;
+                while let Some(_s) = q.checkout(1, 1.0, SimTime::ZERO) {
+                    q.complete(1, SimTime::ZERO);
+                    n += 1;
+                }
+                n
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    c.bench_function("embedding_lookup_update_1k", |bench| {
+        bench.iter_batched(
+            || dlrover_dlrm::EmbeddingTable::new(1 << 20, 16, 7),
+            |mut t| {
+                let mut buf = vec![0.0f32; 16];
+                let grad = vec![0.01f32; 16];
+                for id in 0..1000u64 {
+                    t.lookup(id * 977, &mut buf);
+                    t.apply_grad(id * 977, &grad, 0.05);
+                }
+                t.materialized_rows()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cluster_scheduling(c: &mut Criterion) {
+    c.bench_function("cluster_place_200_pods", |bench| {
+        bench.iter_batched(
+            || {
+                Cluster::new(
+                    ClusterConfig { nodes: 50, ..ClusterConfig::default() },
+                    &RngStreams::new(3),
+                )
+            },
+            |mut cluster| {
+                for i in 0..200u64 {
+                    let _ = cluster.request_pod(
+                        PodSpec {
+                            resources: Resources::new(2.0 + (i % 6) as f64, 8.0),
+                            role: PodRole::Worker,
+                            priority: if i % 9 == 0 { Priority::High } else { Priority::Low },
+                            job_id: i,
+                        },
+                        SimTime::from_secs(i),
+                    );
+                }
+                cluster.pending_count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_engine_slice(c: &mut Criterion) {
+    c.bench_function("engine_advance_100_slices", |bench| {
+        bench.iter_batched(
+            || {
+                PsTrainingEngine::new(
+                    TrainingJobSpec::paper_default(1_000_000),
+                    vec![PodState::new(8.0); 16],
+                    AsyncCostModel::balanced_partitions(8, 8.0),
+                    vec![u64::MAX / 2; 8],
+                )
+            },
+            |mut e| {
+                for _ in 0..100 {
+                    e.advance(SimDuration::from_secs(30));
+                }
+                e.samples_done()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_train_batch(c: &mut Criterion) {
+    let data = SyntheticCriteo::new(DatasetConfig::default(), 42);
+    let batch = data.batch(0, 64);
+    c.bench_function("dlrm_train_batch_64", |bench| {
+        bench.iter_batched(
+            || {
+                DlrmModel::new(
+                    ModelKind::WideDeep,
+                    ModelConfig {
+                        embedding_dim: 8,
+                        hash_size: 1 << 20,
+                        hidden: vec![64, 32],
+                        cross_layers: 2,
+                        learning_rate: 0.05,
+                    },
+                    7,
+                )
+            },
+            |mut m| m.train_batch(&batch),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_nnls, bench_model_fit, bench_nsga_plan, bench_shard_queue,
+              bench_embedding, bench_cluster_scheduling, bench_engine_slice,
+              bench_train_batch
+}
+criterion_main!(benches);

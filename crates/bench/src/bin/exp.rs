@@ -1,0 +1,75 @@
+//! Experiment dispatcher: regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p dlrover-bench --bin exp -- all
+//! cargo run --release -p dlrover-bench --bin exp -- fig7 fig10
+//! cargo run --release -p dlrover-bench --bin exp -- --seed 123 fig11
+//! ```
+
+use dlrover_bench::experiments as exp;
+
+type Runner = (&'static str, &'static str, fn(u64) -> String);
+
+const EXPERIMENTS: &[Runner] = &[
+    ("fig1a", "operator time distribution (lookup share)", exp::fig1::run_fig1a),
+    ("fig1b", "embedding memory growth over 15h", exp::fig1::run_fig1b),
+    ("table1", "CPU-only vs hybrid cost", exp::table1::run),
+    ("fig3", "fleet utilisation CDF + pending times", exp::fig3::run),
+    ("table2", "cluster job mix", exp::table2::run),
+    ("fig7", "JCT by scheduler and model", exp::fig7::run),
+    ("fig8", "convergence under elasticity (real training)", exp::fig8::run),
+    ("fig9", "warm-starting accuracy", exp::fig9::run),
+    ("fig10", "cold-start throughput ramp", exp::fig10::run),
+    ("fig11", "throughput model fit", exp::fig11::run),
+    ("fig12", "hot-PS recovery strategies", exp::fig12_13::run_fig12),
+    ("fig13", "worker-straggler recovery strategies", exp::fig12_13::run_fig13),
+    ("fig14", "12-month migration ramp", exp::production::run_fig14),
+    ("fig15", "cluster-level JCT reductions", exp::production::run_fig15),
+    ("table4", "failure rates before/after", exp::production::run_table4),
+    ("ablations", "design-choice ablations", exp::ablations::run),
+];
+
+fn usage() -> ! {
+    eprintln!("usage: exp [--seed N] <experiment|all> [more experiments...]\n");
+    eprintln!("experiments:");
+    for (id, desc, _) in EXPERIMENTS {
+        eprintln!("  {id:<10} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        seed = args[pos + 1].parse().unwrap_or_else(|_| usage());
+        args.drain(pos..=pos + 1);
+    }
+    if args.is_empty() {
+        usage();
+    }
+    let selected: Vec<&Runner> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().collect()
+    } else {
+        args.iter()
+            .map(|a| {
+                EXPERIMENTS
+                    .iter()
+                    .find(|(id, _, _)| id == a)
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown experiment: {a}\n");
+                        usage()
+                    })
+            })
+            .collect()
+    };
+    for (id, _, run) in selected {
+        eprintln!(">>> running {id} (seed {seed})");
+        let started = std::time::Instant::now();
+        run(seed);
+        eprintln!("<<< {id} done in {:.1}s\n", started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,293 @@
+//! Ablations over DLRover-RM's design choices (DESIGN.md §4):
+//!
+//! * flash-checkpoint vs RDS checkpoint latency across model sizes;
+//! * shard size vs straggler staleness (smaller shards keep the slow
+//!   worker's gradients fresh);
+//! * ρ sweep in the weighted-greedy priority (who wins contention);
+//! * NSGA-II plan quality vs a plain grid search at equal evaluation
+//!   budget.
+
+use dlrover_optimizer::{
+    priority_weight, GreedyConfig, NsgaPlanGenerator, PlanSearchSpace, ResourceAllocation,
+    ScalingAlgorithm,
+};
+use dlrover_perfmodel::{JobShape, ModelCoefficients, ThroughputModel, WorkloadConstants};
+use dlrover_pstrain::{
+    AsyncCostModel, FlashStore, PodState, RdsStore, ShardQueue, ShardingConfig,
+};
+use dlrover_pstrain::CheckpointStore;
+use dlrover_sim::{RngStreams, SimTime};
+
+use crate::report::Report;
+
+/// Runs all ablations.
+pub fn run(seed: u64) -> String {
+    let mut r = Report::new("ablations", "design-choice ablations");
+
+    // --- flash vs RDS checkpointing ---------------------------------------
+    r.section("flash-checkpoint vs RDS (save latency, seconds)");
+    r.row(&["model size".into(), "rds".into(), "flash".into(), "speedup".into()], &[12, 9, 9, 9]);
+    let rds = RdsStore::default();
+    let flash = FlashStore::default();
+    let mut ckpt_rows = Vec::new();
+    for gb in [1u64, 5, 20, 100] {
+        let bytes = gb * 1_000_000_000;
+        let r_s = rds.save_duration(bytes).as_secs_f64();
+        let f_s = flash.save_duration(bytes).as_secs_f64();
+        r.row(
+            &[
+                format!("{gb} GB"),
+                format!("{r_s:.1}"),
+                format!("{f_s:.2}"),
+                format!("{:.0}x", r_s / f_s),
+            ],
+            &[12, 9, 9, 9],
+        );
+        ckpt_rows.push(serde_json::json!({ "gb": gb, "rds_s": r_s, "flash_s": f_s }));
+    }
+    r.record("checkpoint", &ckpt_rows);
+
+    // --- shard size vs straggler staleness --------------------------------
+    // Gradient staleness of a straggler is bounded by the time it holds one
+    // shard: a 10x-slow worker with a `B`-batch shard submits gradients
+    // computed against parameters that are ~10·B global batches old. With
+    // pace-aware checkout (DLRover), the shard shrinks and the age is
+    // capped regardless of the nominal shard size.
+    r.section("shard size vs straggler gradient staleness (age in global batches)");
+    r.row(
+        &["batches/shard".into(), "no pacing".into(), "with pacing".into()],
+        &[14, 12, 12],
+    );
+    let mut shard_rows = Vec::new();
+    let slow_factor = 10.0;
+    for batches in [512u32, 256, 128, 64, 16] {
+        let cfg = ShardingConfig {
+            batches_per_shard: batches,
+            batch_size: 512,
+            min_batches_per_shard: 4,
+        };
+        // No pacing: the straggler receives a full-size shard.
+        let mut q1 = ShardQueue::new(50_000_000, cfg);
+        let unpaced = q1.checkout(2, 1.0, SimTime::ZERO).expect("data");
+        let age_unpaced = (unpaced.len as f64 / 512.0) * slow_factor;
+        // With pacing: checkout shrinks the shard to the straggler's pace.
+        let mut q2 = ShardQueue::new(50_000_000, cfg);
+        let paced = q2.checkout(2, 1.0 / slow_factor, SimTime::ZERO).expect("data");
+        let age_paced = (paced.len as f64 / 512.0) * slow_factor;
+        r.row(
+            &[
+                format!("{batches}"),
+                format!("{age_unpaced:.0}"),
+                format!("{age_paced:.0}"),
+            ],
+            &[14, 12, 12],
+        );
+        shard_rows.push(serde_json::json!({
+            "batches": batches, "age_unpaced": age_unpaced, "age_paced": age_paced,
+        }));
+    }
+    r.line("smaller shards bound staleness; pacing caps it even for large shards");
+    r.record("shard_staleness", &shard_rows);
+
+    // --- shard size vs straggler JCT (end-to-end, through the engine) ------
+    // The staleness table above is analytic; this one actually runs the
+    // engine: a straggler under dynamic sharding finishes at nearly the
+    // same JCT regardless of shard size, because pacing and work-stealing
+    // absorb the slow pod.
+    r.section("shard size vs JCT with one straggler (engine, minutes)");
+    r.row(&["batches/shard".into(), "JCT (min)".into()], &[14, 10]);
+    let mut jct_rows = Vec::new();
+    for batches in [512u32, 128, 32] {
+        use dlrover_pstrain::{PsTrainingEngine, TrainingJobSpec};
+        let mut spec = TrainingJobSpec::paper_default(20_000);
+        spec.sharding.batches_per_shard = batches;
+        let mut e = PsTrainingEngine::new(
+            spec,
+            vec![PodState::new(8.0); 8],
+            AsyncCostModel::balanced_partitions(4, 8.0),
+            vec![u64::MAX / 2; 4],
+        );
+        e.set_worker_pod(0, PodState { cpu: 8.0, speed: 0.03 });
+        let end = e
+            .run_to_completion(
+                dlrover_sim::SimDuration::from_secs(30),
+                dlrover_sim::SimTime::MAX,
+            )
+            .expect("finishes");
+        let jct = end.saturating_since(dlrover_sim::SimTime::ZERO).as_mins_f64();
+        r.row(&[format!("{batches}"), format!("{jct:.1}")], &[14, 10]);
+        jct_rows.push(serde_json::json!({ "batches": batches, "jct_min": jct }));
+    }
+    r.line("dynamic sharding makes JCT insensitive to shard size even with a straggler");
+    r.record("shard_jct", &jct_rows);
+
+    // --- rho sweep ----------------------------------------------------------
+    r.section("priority exponent rho: short-job vs long-job preference");
+    r.row(
+        &["rho".into(), "WG(short)/WG(long)".into()],
+        &[8, 20],
+    );
+    let mut rho_rows = Vec::new();
+    for rho in [-2.5, -1.0, 0.0, 1.0, 2.5, 5.0] {
+        let cfg = GreedyConfig { rho, epsilon: 1.0 };
+        let short = priority_weight(1.0e6, 1_000.0, &cfg);
+        let long = priority_weight(1.0e9, 1_000.0, &cfg);
+        let ratio = short / long;
+        r.row(&[format!("{rho}"), format!("{ratio:.3}")], &[8, 20]);
+        rho_rows.push(serde_json::json!({ "rho": rho, "short_over_long": ratio }));
+    }
+    r.line("rho=2.5 (the AntGroup setting) strongly favours finishing short jobs first");
+    r.record("rho", &rho_rows);
+
+    // --- NSGA-II vs grid search at equal budget ----------------------------
+    r.section("NSGA-II vs random grid at equal evaluation budget");
+    let constants = WorkloadConstants::default();
+    let truth = ThroughputModel::new(constants, ModelCoefficients::simulation_truth());
+    let current = ResourceAllocation::new(JobShape::new(2, 1, 2.0, 2.0, 512), 8.0, 16.0);
+    let generator = NsgaPlanGenerator::default();
+    let budget = generator.nsga.population * (generator.nsga.generations + 1);
+    let mut rng = RngStreams::new(seed).stream("ablation-nsga");
+    let plans = generator.candidates(&truth, &current, &mut rng);
+    let best_nsga = plans
+        .iter()
+        .map(|p| p.resource_efficiency())
+        .fold(0.0f64, f64::max);
+
+    // Random search with the same number of evaluations.
+    use rand::Rng;
+    let space = PlanSearchSpace::default();
+    let mut best_random = 0.0f64;
+    for _ in 0..budget {
+        let genome = [
+            rng.gen_range(f64::from(space.workers.0)..=f64::from(space.workers.1)),
+            rng.gen_range(f64::from(space.ps.0)..=f64::from(space.ps.1)),
+            rng.gen_range(space.worker_cpu.0..=space.worker_cpu.1),
+            rng.gen_range(space.ps_cpu.0..=space.ps_cpu.1),
+        ];
+        let alloc = space.decode(&genome, 512);
+        let cand = generator.score(&truth, &current, alloc);
+        if cand.throughput_gain > 0.0 {
+            best_random = best_random.max(cand.resource_efficiency());
+        }
+    }
+    r.row(&["method".into(), "best RE".into()], &[12, 10]);
+    r.row(&["nsga-ii".into(), format!("{best_nsga:.1}")], &[12, 10]);
+    r.row(&["random".into(), format!("{best_random:.1}")], &[12, 10]);
+    r.record("nsga_re", &best_nsga);
+    r.record("random_re", &best_random);
+    r.line(format!("(both with {budget} evaluations)"));
+
+    // --- NSGA-II convergence: hypervolume across generations ----------------
+    r.section("NSGA-II front quality (hypervolume) vs generations");
+    r.row(&["generations".into(), "hypervolume".into()], &[12, 14]);
+    let mut hv_rows = Vec::new();
+    {
+        use dlrover_optimizer::{hypervolume_2d, Nsga2, Nsga2Config};
+        // The actual planning problem: minimise (RC, 1/TG) from the tiny
+        // current allocation.
+        let eval = |genome: &[f64]| {
+            let alloc = space.decode(genome, 512);
+            let cand = generator.score(&truth, &current, alloc);
+            let inv_gain = if cand.throughput_gain > 1e-9 {
+                1.0 / cand.throughput_gain
+            } else {
+                1e9
+            };
+            vec![cand.resource_cost, inv_gain]
+        };
+        let (lower, upper) = (
+            vec![1.0, 1.0, space.worker_cpu.0, space.ps_cpu.0],
+            vec![
+                f64::from(space.workers.1),
+                f64::from(space.ps.1),
+                space.worker_cpu.1,
+                space.ps_cpu.1,
+            ],
+        );
+        let reference = [100.0, 1.0]; // worse than any sensible plan
+        for gens in [1usize, 5, 15, 40] {
+            let front = Nsga2::new(
+                eval,
+                lower.clone(),
+                upper.clone(),
+                Nsga2Config { population: 48, generations: gens, ..Default::default() },
+            )
+            .run(&mut RngStreams::new(seed).stream("ablation-hv"));
+            let hv = hypervolume_2d(&front, reference);
+            r.row(&[format!("{gens}"), format!("{hv:.2}")], &[12, 14]);
+            hv_rows.push(serde_json::json!({ "generations": gens, "hypervolume": hv }));
+        }
+    }
+    r.record("hypervolume", &hv_rows);
+
+    // --- async cost model: hot PS sensitivity -------------------------------
+    r.section("hot-PS severity sweep (throughput vs PS speed)");
+    let cost = AsyncCostModel::new(ModelCoefficients::simulation_truth(), constants, 512);
+    let workers = vec![PodState::new(8.0); 8];
+    r.row(&["ps speed".into(), "throughput (samples/s)".into()], &[9, 22]);
+    let mut hot_rows = Vec::new();
+    for speed in [1.0, 0.5, 0.25, 0.1, 0.03] {
+        let mut parts = AsyncCostModel::balanced_partitions(4, 8.0);
+        parts[0].pod.speed = speed;
+        let thp = cost.throughput(&workers, &parts);
+        r.row(&[format!("{speed}"), format!("{thp:.0}")], &[9, 22]);
+        hot_rows.push(serde_json::json!({ "speed": speed, "throughput": thp }));
+    }
+    r.record("hot_ps_sweep", &hot_rows);
+
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ablations_produce_expected_directions() {
+        super::run(99);
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string("results/ablations.json").unwrap())
+                .unwrap();
+        // Flash beats RDS by orders of magnitude at 20 GB.
+        let ckpt = json["checkpoint"].as_array().unwrap();
+        let twenty = ckpt.iter().find(|c| c["gb"] == 20).unwrap();
+        assert!(
+            twenty["rds_s"].as_f64().unwrap() > 100.0 * twenty["flash_s"].as_f64().unwrap()
+        );
+        // Smaller shards reduce unpaced staleness monotonically, and pacing
+        // never exceeds the unpaced age.
+        let shards = json["shard_staleness"].as_array().unwrap();
+        let unpaced: Vec<f64> =
+            shards.iter().map(|s| s["age_unpaced"].as_f64().unwrap()).collect();
+        assert!(unpaced.windows(2).all(|w| w[1] <= w[0] + 1e-9), "{unpaced:?}");
+        for s in shards {
+            assert!(
+                s["age_paced"].as_f64().unwrap() <= s["age_unpaced"].as_f64().unwrap() + 1e-9
+            );
+        }
+        // rho > 0 prefers short jobs, rho < 0 prefers long jobs.
+        let rho = json["rho"].as_array().unwrap();
+        let at = |v: f64| {
+            rho.iter()
+                .find(|r| (r["rho"].as_f64().unwrap() - v).abs() < 1e-9)
+                .unwrap()["short_over_long"]
+                .as_f64()
+                .unwrap()
+        };
+        assert!(at(2.5) > 1.0);
+        assert!(at(-2.5) < 1.0);
+        assert!((at(0.0) - 1.0).abs() < 1e-9);
+        // NSGA-II matches or beats random search.
+        assert!(
+            json["nsga_re"].as_f64().unwrap() >= 0.8 * json["random_re"].as_f64().unwrap()
+        );
+        // Hypervolume is non-decreasing with generations (within noise of
+        // the independent runs).
+        let hv = json["hypervolume"].as_array().unwrap();
+        let first = hv[0]["hypervolume"].as_f64().unwrap();
+        let last = hv.last().unwrap()["hypervolume"].as_f64().unwrap();
+        assert!(last >= first * 0.95, "front quality regressed: {first} -> {last}");
+        // Hot PS throughput decays monotonically with PS speed.
+        let hot = json["hot_ps_sweep"].as_array().unwrap();
+        let thps: Vec<f64> = hot.iter().map(|h| h["throughput"].as_f64().unwrap()).collect();
+        assert!(thps.windows(2).all(|w| w[1] <= w[0]));
+    }
+}

@@ -1,0 +1,137 @@
+//! Fig. 11: the throughput prediction model — sampled data points under
+//! varying `(w, p, λ_w, λ_p)` and the NNLS-fitted curves through them,
+//! plus the fitted coefficients the paper reports.
+
+use dlrover_perfmodel::{
+    rmsle, JobShape, ModelCoefficients, ThroughputModel, ThroughputObservation,
+    WorkloadConstants,
+};
+use dlrover_sim::{Normal, RngStreams, Sample};
+
+use crate::report::Report;
+
+/// Runs the Fig. 11 model-fitting study.
+pub fn run(seed: u64) -> String {
+    let mut r = Report::new("fig11", "throughput model: sampled points vs NNLS fit");
+    let constants = WorkloadConstants::default();
+    let truth = ThroughputModel::new(constants, ModelCoefficients::simulation_truth());
+    let mut rng = RngStreams::new(seed).stream("fig11");
+    let noise = Normal::new(1.0, 0.04);
+
+    // Sample a grid of configurations with 4 % multiplicative measurement
+    // noise, like profiling a real job.
+    let mut observations = Vec::new();
+    for w in [1u32, 2, 4, 6, 8, 12, 16] {
+        for p in [1u32, 2, 4, 8] {
+            for cpu in [2.0, 4.0, 8.0, 16.0] {
+                let s = JobShape::new(w, p, cpu, cpu, 512);
+                observations.push(ThroughputObservation {
+                    shape: s,
+                    iter_time: truth.iter_time(&s) * noise.sample_clamped(&mut rng, 0.85, 1.15),
+                });
+            }
+        }
+    }
+    let (fitted, fit_rmsle) =
+        ThroughputModel::fit(constants, &observations).expect("fit succeeds");
+
+    // Report the coefficients in the paper's (unscaled) units for direct
+    // comparison: the simulation truth is paper_reference / 1800.
+    let c = fitted.coefficients;
+    let scale = 1800.0;
+    r.section("fitted coefficients (rescaled to the paper's units)");
+    r.row(
+        &["coef".into(), "fitted".into(), "paper".into()],
+        &[12, 10, 10],
+    );
+    let paper = ModelCoefficients::paper_reference();
+    for (name, got, want) in [
+        ("alpha_grad", c.alpha_grad * scale, paper.alpha_grad),
+        ("alpha_upd", c.alpha_upd * scale, paper.alpha_upd),
+        ("alpha_sync", c.alpha_sync * scale, paper.alpha_sync),
+        ("alpha_lookup", c.alpha_emb * scale, paper.alpha_emb),
+        ("beta_total", c.beta_total * scale, paper.beta_total),
+    ] {
+        r.row(
+            &[name.into(), format!("{got:.2}"), format!("{want:.2}")],
+            &[12, 10, 10],
+        );
+    }
+    r.line(format!("fit RMSLE over {} samples: {:.4}", observations.len(), fit_rmsle));
+
+    // The figure's four sweeps: predicted-vs-actual throughput while
+    // varying one variable with the rest fixed.
+    type ShapeOf = Box<dyn Fn(u32) -> JobShape>;
+    let sweeps: [(&str, ShapeOf); 4] = [
+        ("workers (p=4, cpu=8)", Box::new(|w| JobShape::new(w, 4, 8.0, 8.0, 512))),
+        ("ps (w=8, cpu=8)", Box::new(|p| JobShape::new(8, p, 8.0, 8.0, 512))),
+        ("worker cpu (w=8, p=4)", Box::new(|c| JobShape::new(8, 4, f64::from(c), 8.0, 512))),
+        ("ps cpu (w=8, p=4)", Box::new(|c| JobShape::new(8, 4, 8.0, f64::from(c), 512))),
+    ];
+    let mut sweep_rows = Vec::new();
+    for (label, shape_of) in sweeps {
+        r.section(&format!("sweep: {label}"));
+        r.row(&["x".into(), "actual".into(), "predicted".into()], &[4, 10, 11]);
+        let mut preds = Vec::new();
+        let mut actuals = Vec::new();
+        for x in [1u32, 2, 4, 8, 16] {
+            let s = shape_of(x);
+            let actual = truth.throughput(&s);
+            let predicted = fitted.throughput(&s);
+            preds.push(predicted);
+            actuals.push(actual);
+            r.row(
+                &[format!("{x}"), format!("{actual:.0}"), format!("{predicted:.0}")],
+                &[4, 10, 11],
+            );
+        }
+        let err = rmsle(&preds, &actuals);
+        r.line(format!("sweep RMSLE: {err:.4}"));
+        sweep_rows.push(serde_json::json!({ "sweep": label, "rmsle": err }));
+    }
+    r.record("fit_rmsle", &fit_rmsle);
+    r.record(
+        "coefficients_paper_units",
+        &serde_json::json!({
+            "alpha_grad": c.alpha_grad * scale,
+            "alpha_upd": c.alpha_upd * scale,
+            "alpha_sync": c.alpha_sync * scale,
+            "alpha_lookup": c.alpha_emb * scale,
+            "beta_total": c.beta_total * scale,
+        }),
+    );
+    r.record("sweeps", &sweep_rows);
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig11_fit_recovers_coefficients() {
+        super::run(11);
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string("results/fig11.json").unwrap())
+                .unwrap();
+        assert!(json["fit_rmsle"].as_f64().unwrap() < 0.05);
+        let c = &json["coefficients_paper_units"];
+        // Recovered coefficients within 15 % of the planted values
+        // (paper: alpha_grad 3.48, alpha_upd 2.36, alpha_lookup 2.45,
+        // alpha_sync 0.68, sum-beta 2.45).
+        let close = |key: &str, want: f64, tol: f64| {
+            let got = c[key].as_f64().unwrap();
+            assert!(
+                (got - want).abs() <= want * tol + 0.3,
+                "{key}: {got} vs {want}"
+            );
+        };
+        close("alpha_grad", 3.48, 0.15);
+        close("alpha_lookup", 2.45, 0.15);
+        for sweep in json["sweeps"].as_array().unwrap() {
+            assert!(
+                sweep["rmsle"].as_f64().unwrap() < 0.1,
+                "sweep {} misfits",
+                sweep["sweep"]
+            );
+        }
+    }
+}

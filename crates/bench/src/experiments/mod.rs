@@ -1,0 +1,68 @@
+//! One module per table/figure. Each exposes `run(seed) -> String`
+//! (the rendered report).
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12_13;
+pub mod fig3;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fleetstudy;
+pub mod production;
+pub mod table1;
+pub mod table2;
+
+/// Common helpers shared by the experiment modules.
+pub mod common {
+    use dlrover_perfmodel::{ModelCoefficients, ThroughputModel, WorkloadConstants};
+
+    /// The three evaluation models (paper §6: Model-X/Y/Z). They share the
+    /// coefficient ratios but differ in workload constants: xDeepFM's
+    /// explicit interactions make it lookup-heavier (larger effective `D`),
+    /// DCN carries a larger dense part (`M`).
+    pub fn model_workloads() -> [(&'static str, WorkloadConstants); 3] {
+        [
+            (
+                "Model-X (Wide&Deep)",
+                WorkloadConstants { model_size: 80.0, bandwidth: 1_000.0, embedding_dim: 0.45 },
+            ),
+            (
+                "Model-Y (xDeepFM)",
+                WorkloadConstants { model_size: 120.0, bandwidth: 1_000.0, embedding_dim: 0.65 },
+            ),
+            (
+                "Model-Z (DCN)",
+                WorkloadConstants { model_size: 160.0, bandwidth: 1_000.0, embedding_dim: 0.5 },
+            ),
+        ]
+    }
+
+    /// Ground-truth throughput model for one of the evaluation workloads.
+    pub fn truth_for(constants: WorkloadConstants) -> ThroughputModel {
+        ThroughputModel::new(constants, ModelCoefficients::simulation_truth())
+    }
+
+    /// Historical profiling observations (the config-DB time series a
+    /// warm-started job inherits), generated from the workload's truth.
+    pub fn history_for(
+        constants: WorkloadConstants,
+    ) -> Vec<dlrover_perfmodel::ThroughputObservation> {
+        let truth = truth_for(constants);
+        let mut obs = Vec::new();
+        for w in [2u32, 4, 8, 16, 24] {
+            for p in [1u32, 2, 4, 8] {
+                for cpu in [4.0, 8.0, 16.0] {
+                    let s = dlrover_perfmodel::JobShape::new(w, p, cpu, cpu, 512);
+                    obs.push(dlrover_perfmodel::ThroughputObservation {
+                        shape: s,
+                        iter_time: truth.iter_time(&s),
+                    });
+                }
+            }
+        }
+        obs
+    }
+}

@@ -1,0 +1,18 @@
+//! Experiment harness for the DLRover-RM reproduction.
+//!
+//! One module per table/figure of the paper's evaluation (§2 and §6); the
+//! `exp` binary dispatches on the experiment id and prints the same rows /
+//! series the paper plots, plus a machine-readable JSON copy under
+//! `results/`. `EXPERIMENTS.md` records paper-vs-measured for each.
+//!
+//! ```sh
+//! cargo run --release -p dlrover-bench --bin exp -- all
+//! cargo run --release -p dlrover-bench --bin exp -- fig7
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Report;

@@ -1,0 +1,108 @@
+//! Report plumbing: pretty tables on stdout + JSON rows under `results/`.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Collects one experiment's output.
+pub struct Report {
+    id: String,
+    lines: Vec<String>,
+    json: serde_json::Map<String, serde_json::Value>,
+}
+
+impl Report {
+    /// Starts a report for experiment `id` (e.g. `"fig7"`).
+    pub fn new(id: &str, title: &str) -> Self {
+        let mut r = Report {
+            id: id.to_string(),
+            lines: Vec::new(),
+            json: serde_json::Map::new(),
+        };
+        r.section(&format!("{id}: {title}"));
+        r
+    }
+
+    /// Adds a section header.
+    pub fn section(&mut self, title: &str) {
+        self.lines.push(String::new());
+        self.lines.push(format!("== {title} =="));
+    }
+
+    /// Adds one free-form line.
+    pub fn line(&mut self, text: impl Display) {
+        self.lines.push(text.to_string());
+    }
+
+    /// Adds a row of right-aligned columns.
+    pub fn row(&mut self, cols: &[String], widths: &[usize]) {
+        let mut out = String::new();
+        for (c, w) in cols.iter().zip(widths) {
+            out.push_str(&format!("{c:>w$} ", w = w));
+        }
+        self.lines.push(out.trim_end().to_string());
+    }
+
+    /// Attaches a machine-readable value to the JSON output.
+    pub fn record<T: Serialize>(&mut self, key: &str, value: &T) {
+        self.json.insert(
+            key.to_string(),
+            serde_json::to_value(value).expect("serialisable experiment value"),
+        );
+    }
+
+    /// Prints the report and writes `results/<id>.json`. Returns the
+    /// rendered text.
+    pub fn finish(self) -> String {
+        let text = self.lines.join("\n");
+        println!("{text}");
+        let dir = PathBuf::from("results");
+        if fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.id));
+            let _ = fs::write(
+                &path,
+                serde_json::to_string_pretty(&serde_json::Value::Object(self.json))
+                    .expect("report JSON"),
+            );
+        }
+        text
+    }
+}
+
+/// Percentile of a *sorted* slice (p in [0, 100]).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Sorts a vector and returns it (convenience for percentile chains).
+pub fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in metric"));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles() {
+        let v = sorted(vec![3.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+    }
+
+    #[test]
+    fn report_renders_rows() {
+        let mut r = Report::new("test", "demo");
+        r.row(&["a".into(), "b".into()], &[4, 6]);
+        r.record("x", &42);
+        let text = r.finish();
+        assert!(text.contains("== test: demo =="));
+        assert!(text.contains("a"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Pod start-up latency: scheduling + image pull + environment init.
+//!
+//! §2.2 measures the stop-and-restart pipeline at 5–10 minutes of
+//! preparation ("submitting a new job YAML, requesting resources for the new
+//! pods, pulling images from the registry, and re-establishing the code
+//! environment"), stretching past 30 minutes under daytime resource
+//! scarcity. The model is a log-normal per phase plus a scarcity multiplier
+//! driven by current cluster utilisation.
+
+use dlrover_sim::{LogNormal, Sample, SimDuration};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Start-up latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StartupLatencyModel {
+    /// Mean scheduling delay, seconds.
+    pub scheduling_mean_s: f64,
+    /// Mean image pull + init time, seconds.
+    pub image_pull_mean_s: f64,
+    /// Log-normal shape (sigma) for both phases.
+    pub sigma: f64,
+    /// Extra multiplier applied at full cluster utilisation (scarcity):
+    /// latency scales by `1 + scarcity_factor · utilisation²`.
+    pub scarcity_factor: f64,
+}
+
+impl Default for StartupLatencyModel {
+    fn default() -> Self {
+        StartupLatencyModel {
+            scheduling_mean_s: 45.0,
+            image_pull_mean_s: 120.0,
+            sigma: 0.5,
+            scarcity_factor: 6.0,
+        }
+    }
+}
+
+impl StartupLatencyModel {
+    /// Samples a start-up latency given the cluster CPU utilisation in
+    /// `[0, 1]` at request time.
+    pub fn sample<R: Rng + ?Sized>(&self, utilisation: f64, rng: &mut R) -> SimDuration {
+        let u = utilisation.clamp(0.0, 1.0);
+        let mult = 1.0 + self.scarcity_factor * u * u;
+        let sched = LogNormal::from_mean(self.scheduling_mean_s.max(0.1), self.sigma).sample(rng);
+        let pull = LogNormal::from_mean(self.image_pull_mean_s.max(0.1), self.sigma).sample(rng);
+        SimDuration::from_secs_f64((sched + pull) * mult)
+    }
+
+    /// The *expected* latency at a given utilisation (no sampling) — used by
+    /// the overhead estimator in the optimizer.
+    pub fn expected(&self, utilisation: f64) -> SimDuration {
+        let u = utilisation.clamp(0.0, 1.0);
+        let mult = 1.0 + self.scarcity_factor * u * u;
+        SimDuration::from_secs_f64((self.scheduling_mean_s + self.image_pull_mean_s) * mult)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrover_sim::RngStreams;
+
+    #[test]
+    fn samples_are_positive() {
+        let m = StartupLatencyModel::default();
+        let mut rng = RngStreams::new(3).stream("startup");
+        for _ in 0..1000 {
+            assert!(m.sample(0.5, &mut rng) > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn mean_latency_matches_configuration_when_idle() {
+        let m = StartupLatencyModel::default();
+        let mut rng = RngStreams::new(3).stream("startup");
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| m.sample(0.0, &mut rng).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        let expect = m.scheduling_mean_s + m.image_pull_mean_s;
+        assert!(
+            (mean - expect).abs() / expect < 0.05,
+            "mean {mean} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn scarcity_inflates_latency() {
+        let m = StartupLatencyModel::default();
+        assert!(m.expected(1.0) > m.expected(0.0).mul_f64(4.0));
+        // The paper's regime: minutes when idle, tens of minutes when busy.
+        assert!(m.expected(0.0).as_mins_f64() >= 2.0);
+        assert!(m.expected(1.0).as_mins_f64() >= 15.0);
+    }
+
+    #[test]
+    fn utilisation_is_clamped() {
+        let m = StartupLatencyModel::default();
+        assert_eq!(m.expected(2.0), m.expected(1.0));
+        assert_eq!(m.expected(-1.0), m.expected(0.0));
+    }
+}

@@ -1,0 +1,122 @@
+//! `dlrover-simjob`: run one DLRM training job under a chosen scheduler and
+//! print the outcome.
+//!
+//! ```sh
+//! dlrover-simjob --policy dlrover --steps 20000 --workers 2 --ps 1 --cpu 2
+//! dlrover-simjob --policy static  --steps 20000 --workers 8 --ps 4 --cpu 8 --json
+//! ```
+
+use dlrover_rm::prelude::*;
+
+struct Args {
+    policy: String,
+    steps: u64,
+    workers: u32,
+    ps: u32,
+    cpu: f64,
+    seed: u64,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dlrover-simjob [--policy static|dlrover|es|optimus|well-tuned]\n\
+         \t[--steps N] [--workers N] [--ps N] [--cpu CORES] [--seed N] [--json]\n\n\
+         Simulates one PS-architecture DLRM training job (batch 512) under the\n\
+         chosen scheduler and prints completion time, scaling count, cost and\n\
+         utilisation."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        policy: "dlrover".into(),
+        steps: 20_000,
+        workers: 2,
+        ps: 1,
+        cpu: 2.0,
+        seed: 42,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}\n");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--policy" => args.policy = value("--policy"),
+            "--steps" => args.steps = value("--steps").parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--ps" => args.ps = value("--ps").parse().unwrap_or_else(|_| usage()),
+            "--cpu" => args.cpu = value("--cpu").parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}\n");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = TrainingJobSpec::paper_default(args.steps);
+    let request = ResourceAllocation::new(
+        JobShape::new(args.workers, args.ps, args.cpu, args.cpu, 512),
+        args.cpu * 4.0,
+        args.cpu * 8.0,
+    );
+    let config = RunnerConfig { seed: args.seed, ..RunnerConfig::default() };
+    let space = PlanSearchSpace::default();
+
+    let policy: Box<dyn SchedulerPolicy> = match args.policy.as_str() {
+        "static" => Box::new(StaticPolicy::new(request)),
+        "dlrover" => Box::new(DlroverPolicy::new(
+            request,
+            DlroverPolicyConfig { seed: args.seed, ..Default::default() },
+        )),
+        "es" => Box::new(EsPolicy::new(request, space, 2)),
+        "optimus" => Box::new(OptimusPolicy::new(request, space, WorkloadConstants::default())),
+        "well-tuned" => {
+            let truth = ThroughputModel::new(
+                WorkloadConstants::default(),
+                ModelCoefficients::simulation_truth(),
+            );
+            Box::new(WellTunedPolicy::new(&truth, &space, 512, 640.0))
+        }
+        other => {
+            eprintln!("unknown policy: {other}\n");
+            usage()
+        }
+    };
+
+    let report = run_single_job(policy, spec, &config);
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialises")
+        );
+        return;
+    }
+    println!("policy:        {}", report.policy);
+    match report.jct {
+        Some(d) => println!("JCT:           {:.1} min", d.as_mins_f64()),
+        None if report.oomed => println!("JCT:           FAILED (OOM)"),
+        None => println!("JCT:           did not finish before the deadline"),
+    }
+    println!("scalings:      {}", report.scaling_count);
+    println!("core-hours:    {:.2}", report.cpu_core_hours);
+    println!("mean CPU util: {:.0}%", report.mean_cpu_utilisation * 100.0);
+    let f = report.final_allocation;
+    println!(
+        "final shape:   {} workers x {:.0}c / {} PS x {:.0}c",
+        f.shape.workers, f.shape.worker_cpu, f.shape.ps, f.shape.ps_cpu
+    );
+}

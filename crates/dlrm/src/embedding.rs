@@ -1,0 +1,269 @@
+//! Hashed, lazily materialised embedding tables.
+//!
+//! Following the paper's description (§2.1): a categorical id is mapped to
+//! row `hash(id) mod M` of its feature's table. Rows are **materialised on
+//! first touch** — exactly how TensorFlow/DeepRec variable embeddings behave
+//! — so the table's resident memory grows with the number of distinct
+//! categories encountered, reproducing the embedding-growth dynamics behind
+//! Fig. 1b and the OOM-prevention mechanism (§5.3).
+//!
+//! Updates use Adagrad, the standard optimizer for sparse CTR features
+//! (per-row accumulators mean hot rows take smaller steps).
+
+use std::collections::HashMap;
+
+use dlrover_sim::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// One embedding table: `virtual_rows` addressable slots, materialised
+/// lazily.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingTable {
+    dim: usize,
+    virtual_rows: u64,
+    init_scale: f32,
+    seed: u64,
+    /// Materialised rows: slot -> (weights, adagrad accumulators).
+    rows: HashMap<u64, (Vec<f32>, Vec<f32>)>,
+}
+
+impl EmbeddingTable {
+    /// Creates a table with `virtual_rows` hash slots and `dim`-dimensional
+    /// vectors. New rows initialise to small deterministic pseudo-random
+    /// values derived from `seed`.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `virtual_rows == 0`.
+    pub fn new(virtual_rows: u64, dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dim must be positive");
+        assert!(virtual_rows > 0, "table must have at least one row");
+        EmbeddingTable {
+            dim,
+            virtual_rows,
+            init_scale: 0.05,
+            seed,
+            rows: HashMap::new(),
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The slot an id hashes to: `hash(id) mod M`.
+    pub fn slot(&self, id: u64) -> u64 {
+        splitmix64(id ^ self.seed) % self.virtual_rows
+    }
+
+    /// Number of *materialised* rows (distinct categories seen).
+    pub fn materialized_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Resident bytes: weights + accumulators, 4 bytes each.
+    pub fn resident_bytes(&self) -> usize {
+        self.rows.len() * self.dim * 4 * 2
+    }
+
+    /// Looks up (materialising if needed) and copies the row for `id` into
+    /// `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != dim`.
+    pub fn lookup(&mut self, id: u64, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "output buffer dim mismatch");
+        let slot = self.slot(id);
+        let dim = self.dim;
+        let scale = self.init_scale;
+        let seed = self.seed;
+        let (weights, _) = self.rows.entry(slot).or_insert_with(|| {
+            let mut w = Vec::with_capacity(dim);
+            let mut s = splitmix64(slot ^ seed ^ 0xE5B3);
+            for _ in 0..dim {
+                s = splitmix64(s);
+                let u = (s >> 11) as f32 / (1u64 << 53) as f32;
+                w.push((u - 0.5) * 2.0 * scale);
+            }
+            (w, vec![0.0; dim])
+        });
+        out.copy_from_slice(weights);
+    }
+
+    /// Read-only lookup: returns zeros for never-seen ids (inference on a
+    /// frozen model must not allocate).
+    pub fn lookup_frozen(&self, id: u64, out: &mut [f32]) {
+        assert_eq!(out.len(), self.dim, "output buffer dim mismatch");
+        match self.rows.get(&self.slot(id)) {
+            Some((w, _)) => out.copy_from_slice(w),
+            None => out.fill(0.0),
+        }
+    }
+
+    /// Applies an Adagrad update `w ← w − lr · g / (√acc + ε)` to the row of
+    /// `id`, materialising it if necessary.
+    ///
+    /// # Panics
+    /// Panics if `grad.len() != dim`.
+    pub fn apply_grad(&mut self, id: u64, grad: &[f32], lr: f32) {
+        assert_eq!(grad.len(), self.dim, "gradient dim mismatch");
+        // Touch ensures the row exists.
+        let mut scratch = vec![0.0; self.dim];
+        self.lookup(id, &mut scratch);
+        let slot = self.slot(id);
+        let (weights, acc) = self.rows.get_mut(&slot).expect("row just materialised");
+        for ((w, a), &g) in weights.iter_mut().zip(acc.iter_mut()).zip(grad) {
+            *a += g * g;
+            *w -= lr * g / (a.sqrt() + 1e-8);
+        }
+    }
+
+    /// Serialises the materialised rows (used by checkpointing). Row order
+    /// is sorted for determinism.
+    pub fn export_rows(&self) -> Vec<(u64, Vec<f32>, Vec<f32>)> {
+        let mut rows: Vec<_> = self
+            .rows
+            .iter()
+            .map(|(&slot, (w, a))| (slot, w.clone(), a.clone()))
+            .collect();
+        rows.sort_by_key(|(slot, _, _)| *slot);
+        rows
+    }
+
+    /// Restores rows previously produced by [`Self::export_rows`].
+    pub fn import_rows(&mut self, rows: Vec<(u64, Vec<f32>, Vec<f32>)>) {
+        self.rows.clear();
+        for (slot, w, a) in rows {
+            debug_assert_eq!(w.len(), self.dim);
+            self.rows.insert(slot, (w, a));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_materialises_and_is_stable() {
+        let mut t = EmbeddingTable::new(1000, 8, 7);
+        let mut a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        t.lookup(42, &mut a);
+        assert_eq!(t.materialized_rows(), 1);
+        t.lookup(42, &mut b);
+        assert_eq!(a, b, "same id must return same row");
+        assert_eq!(t.materialized_rows(), 1);
+    }
+
+    #[test]
+    fn distinct_ids_grow_memory() {
+        let mut t = EmbeddingTable::new(1_000_000, 16, 7);
+        let mut buf = vec![0.0; 16];
+        for id in 0..500 {
+            t.lookup(id, &mut buf);
+        }
+        assert_eq!(t.materialized_rows(), 500);
+        assert_eq!(t.resident_bytes(), 500 * 16 * 8);
+    }
+
+    #[test]
+    fn hash_collisions_share_rows() {
+        // With 2 virtual rows, many ids collide — rows stays <= 2.
+        let mut t = EmbeddingTable::new(2, 4, 7);
+        let mut buf = vec![0.0; 4];
+        for id in 0..100 {
+            t.lookup(id, &mut buf);
+        }
+        assert!(t.materialized_rows() <= 2);
+    }
+
+    #[test]
+    fn init_values_are_small_and_deterministic() {
+        let mut t1 = EmbeddingTable::new(1000, 8, 99);
+        let mut t2 = EmbeddingTable::new(1000, 8, 99);
+        let mut a = vec![0.0; 8];
+        let mut b = vec![0.0; 8];
+        t1.lookup(5, &mut a);
+        t2.lookup(5, &mut b);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.abs() <= 0.05));
+        assert!(a.iter().any(|&v| v != 0.0), "init must not be all zero");
+    }
+
+    #[test]
+    fn adagrad_moves_against_gradient_with_decaying_steps() {
+        let mut t = EmbeddingTable::new(100, 2, 7);
+        let mut before = vec![0.0; 2];
+        t.lookup(1, &mut before);
+        let grad = vec![1.0, -1.0];
+        t.apply_grad(1, &grad, 0.1);
+        let mut after1 = vec![0.0; 2];
+        t.lookup(1, &mut after1);
+        assert!(after1[0] < before[0], "positive grad must decrease weight");
+        assert!(after1[1] > before[1], "negative grad must increase weight");
+        let step1 = before[0] - after1[0];
+
+        t.apply_grad(1, &grad, 0.1);
+        let mut after2 = vec![0.0; 2];
+        t.lookup(1, &mut after2);
+        let step2 = after1[0] - after2[0];
+        assert!(step2 < step1, "Adagrad steps must shrink: {step1} then {step2}");
+    }
+
+    #[test]
+    fn apply_grad_on_fresh_id_materialises() {
+        let mut t = EmbeddingTable::new(1000, 4, 7);
+        t.apply_grad(77, &[0.1; 4], 0.05);
+        assert_eq!(t.materialized_rows(), 1);
+    }
+
+    #[test]
+    fn frozen_lookup_returns_zero_for_unseen() {
+        let t = EmbeddingTable::new(1000, 4, 7);
+        let mut buf = vec![1.0; 4];
+        t.lookup_frozen(3, &mut buf);
+        assert_eq!(buf, vec![0.0; 4]);
+        assert_eq!(t.materialized_rows(), 0, "frozen lookup must not allocate");
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut t = EmbeddingTable::new(1000, 4, 7);
+        let mut buf = vec![0.0; 4];
+        for id in 0..20 {
+            t.lookup(id, &mut buf);
+            t.apply_grad(id, &[0.01, 0.02, -0.01, 0.0], 0.1);
+        }
+        let exported = t.export_rows();
+        let mut t2 = EmbeddingTable::new(1000, 4, 7);
+        t2.import_rows(exported);
+        assert_eq!(t2.materialized_rows(), t.materialized_rows());
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        for id in 0..20 {
+            t.lookup(id, &mut a);
+            t2.lookup(id, &mut b);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn export_is_sorted() {
+        let mut t = EmbeddingTable::new(10_000, 2, 7);
+        let mut buf = vec![0.0; 2];
+        for id in [99, 5, 63, 12, 7] {
+            t.lookup(id, &mut buf);
+        }
+        let rows = t.export_rows();
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn wrong_buffer_size_panics() {
+        let mut t = EmbeddingTable::new(10, 4, 7);
+        let mut buf = vec![0.0; 3];
+        t.lookup(0, &mut buf);
+    }
+}

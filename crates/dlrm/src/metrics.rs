@@ -1,0 +1,199 @@
+//! Evaluation metrics: logloss and AUC, as plotted in the paper's Fig. 8.
+
+/// Mean binary cross-entropy of predicted probabilities against labels.
+///
+/// # Panics
+/// Panics if lengths differ or the input is empty.
+pub fn logloss(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    assert!(!probs.is_empty(), "logloss of empty input");
+    let sum: f64 = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let p = f64::from(p).clamp(1e-7, 1.0 - 1e-7);
+            if y {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    sum / probs.len() as f64
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation,
+/// with proper tie handling (tied scores share their average rank).
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+///
+/// # Panics
+/// Panics if lengths differ or the input is empty.
+pub fn auc(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len(), "length mismatch");
+    assert!(!probs.is_empty(), "auc of empty input");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+
+    let mut order: Vec<usize> = (0..probs.len()).collect();
+    order.sort_by(|&a, &b| probs[a].partial_cmp(&probs[b]).expect("NaN probability"));
+
+    // Average ranks over tie groups.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && probs[order[j + 1]] == probs[order[i]] {
+            j += 1;
+        }
+        // 1-based ranks i+1 ..= j+1 share the average.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+
+    let n_pos = n_pos as f64;
+    let n_neg = n_neg as f64;
+    (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let probs = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&probs, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_gives_auc_zero() {
+        let probs = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&probs, &labels), 0.0);
+    }
+
+    #[test]
+    fn constant_scores_give_half() {
+        let probs = [0.5; 10];
+        let labels = [true, false, true, false, true, false, true, false, true, false];
+        assert!((auc(&probs, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_gives_half() {
+        assert_eq!(auc(&[0.3, 0.7], &[true, true]), 0.5);
+        assert_eq!(auc(&[0.3, 0.7], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn partial_overlap_auc() {
+        // One inversion among 2x2: AUC = 3/4.
+        let probs = [0.1, 0.6, 0.4, 0.9];
+        let labels = [false, false, true, true];
+        assert!((auc(&probs, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_between_classes_counts_half() {
+        // Positive and negative share score 0.5: contributes 0.5 to AUC.
+        let probs = [0.5, 0.5];
+        let labels = [true, false];
+        assert!((auc(&probs, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_is_scale_invariant() {
+        let probs = [0.1f32, 0.3, 0.2, 0.7];
+        let labels = [false, true, false, true];
+        let scaled: Vec<f32> = probs.iter().map(|p| p * 0.5).collect();
+        assert_eq!(auc(&probs, &labels), auc(&scaled, &labels));
+    }
+
+    #[test]
+    fn logloss_perfect_predictions_near_zero() {
+        let probs = [0.999_999f32, 0.000_001];
+        let labels = [true, false];
+        assert!(logloss(&probs, &labels) < 1e-4);
+    }
+
+    #[test]
+    fn logloss_of_half_is_ln2() {
+        let probs = [0.5f32; 4];
+        let labels = [true, false, true, false];
+        assert!((logloss(&probs, &labels) - std::f64::consts::LN_2).abs() < 1e-7);
+    }
+
+    #[test]
+    fn logloss_penalises_confident_mistakes() {
+        let confident_wrong = logloss(&[0.99], &[false]);
+        let unsure = logloss(&[0.6], &[false]);
+        assert!(confident_wrong > unsure);
+    }
+
+    #[test]
+    fn logloss_clamps_extremes() {
+        // p = 0 or 1 must not produce infinity.
+        assert!(logloss(&[0.0], &[true]).is_finite());
+        assert!(logloss(&[1.0], &[false]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = auc(&[0.5], &[true, false]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// AUC is always in [0, 1].
+        #[test]
+        fn auc_bounded(
+            probs in proptest::collection::vec(0.0f32..1.0, 2..64),
+            flips in proptest::collection::vec(proptest::bool::ANY, 64),
+        ) {
+            let labels: Vec<bool> = probs.iter().zip(&flips).map(|(_, &f)| f).collect();
+            let a = auc(&probs, &labels);
+            prop_assert!((0.0..=1.0).contains(&a));
+        }
+
+        /// Complementing every label flips AUC around 0.5.
+        #[test]
+        fn auc_complement_symmetry(
+            probs in proptest::collection::vec(0.0f32..1.0, 2..64),
+            flips in proptest::collection::vec(proptest::bool::ANY, 64),
+        ) {
+            let labels: Vec<bool> = probs.iter().zip(&flips).map(|(_, &f)| f).collect();
+            let n_pos = labels.iter().filter(|&&l| l).count();
+            prop_assume!(n_pos > 0 && n_pos < labels.len());
+            let inverted: Vec<bool> = labels.iter().map(|&l| !l).collect();
+            let a = auc(&probs, &labels);
+            let b = auc(&probs, &inverted);
+            prop_assert!((a + b - 1.0).abs() < 1e-9, "a={a} b={b}");
+        }
+
+        /// Logloss is non-negative.
+        #[test]
+        fn logloss_nonnegative(
+            probs in proptest::collection::vec(0.0f32..=1.0, 1..64),
+            flips in proptest::collection::vec(proptest::bool::ANY, 64),
+        ) {
+            let labels: Vec<bool> = probs.iter().zip(&flips).map(|(_, &f)| f).collect();
+            prop_assert!(logloss(&probs, &labels) >= 0.0);
+        }
+    }
+}

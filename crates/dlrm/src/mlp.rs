@@ -1,0 +1,385 @@
+//! A dense multi-layer perceptron with hand-derived backprop and Adagrad.
+//!
+//! Parameters are stored as one flat `Vec<f32>` (per layer: row-major weight
+//! matrix, then bias). The flat layout is deliberate: the PS training engine
+//! partitions dense parameters across parameter servers by slicing this
+//! vector, and checkpoints are a single memcpy.
+
+use dlrover_sim::splitmix64;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected network: ReLU on hidden layers, identity on the output
+/// layer (callers apply their own link function, e.g. sigmoid).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    dims: Vec<usize>,
+    params: Vec<f32>,
+    acc: Vec<f32>,
+}
+
+/// Intermediate activations retained for backprop.
+#[derive(Debug, Clone)]
+pub struct ForwardTrace {
+    /// Post-activation values per layer, `trace[0]` being the input.
+    activations: Vec<Vec<f32>>,
+}
+
+impl ForwardTrace {
+    /// The network output (last layer activations).
+    pub fn output(&self) -> &[f32] {
+        self.activations.last().expect("trace has at least the input")
+    }
+}
+
+impl Mlp {
+    /// Creates an MLP with layer sizes `dims = [input, h1, …, output]` and
+    /// deterministic Xavier-ish initialisation from `seed`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are given or any dim is zero.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least input and output dims");
+        assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
+        let n_params: usize = dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
+        let mut params = Vec::with_capacity(n_params);
+        let mut s = splitmix64(seed ^ 0x4D31);
+        let mut offset_seed = s;
+        for w in dims.windows(2) {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let scale = (2.0 / fan_in as f32).sqrt() * 0.5;
+            for _ in 0..fan_in * fan_out {
+                offset_seed = splitmix64(offset_seed);
+                let u = (offset_seed >> 11) as f32 / (1u64 << 53) as f32;
+                params.push((u - 0.5) * 2.0 * scale);
+            }
+            params.extend(std::iter::repeat_n(0.0, fan_out));
+            s = splitmix64(s);
+        }
+        let acc = vec![0.0; params.len()];
+        Mlp { dims: dims.to_vec(), params, acc }
+    }
+
+    /// Layer sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of parameters (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output width.
+    pub fn output_dim(&self) -> usize {
+        *self.dims.last().expect("dims nonempty")
+    }
+
+    /// Flat parameter vector (for checkpointing / PS sharding).
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Overwrites the flat parameter vector.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_params(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.params.len(), "param length mismatch");
+        self.params.copy_from_slice(params);
+    }
+
+    /// Adagrad accumulator vector (checkpointed alongside params).
+    pub fn accumulators(&self) -> &[f32] {
+        &self.acc
+    }
+
+    /// Restores Adagrad accumulators.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn set_accumulators(&mut self, acc: &[f32]) {
+        assert_eq!(acc.len(), self.acc.len(), "accumulator length mismatch");
+        self.acc.copy_from_slice(acc);
+    }
+
+    /// Forward pass retaining activations for a later [`Self::backward`].
+    ///
+    /// # Panics
+    /// Panics if `input.len() != input_dim()`.
+    pub fn forward(&self, input: &[f32]) -> ForwardTrace {
+        assert_eq!(input.len(), self.dims[0], "input dim mismatch");
+        let mut activations = Vec::with_capacity(self.dims.len());
+        activations.push(input.to_vec());
+        let mut offset = 0;
+        for (layer, w) in self.dims.windows(2).enumerate() {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let prev = &activations[layer];
+            let weights = &self.params[offset..offset + fan_in * fan_out];
+            let biases = &self.params[offset + fan_in * fan_out..offset + fan_in * fan_out + fan_out];
+            let mut out = vec![0.0f32; fan_out];
+            for (o, out_v) in out.iter_mut().enumerate() {
+                let row = &weights[o * fan_in..(o + 1) * fan_in];
+                let mut acc = biases[o];
+                for (wv, xv) in row.iter().zip(prev) {
+                    acc += wv * xv;
+                }
+                // ReLU on hidden layers only.
+                *out_v = if layer + 2 < self.dims.len() { acc.max(0.0) } else { acc };
+            }
+            activations.push(out);
+            offset += fan_in * fan_out + fan_out;
+        }
+        ForwardTrace { activations }
+    }
+
+    /// Backward pass: given `d loss / d output`, accumulates parameter
+    /// gradients into `param_grads` (flat, same layout as `params`) and
+    /// returns `d loss / d input`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn backward(
+        &self,
+        trace: &ForwardTrace,
+        output_grad: &[f32],
+        param_grads: &mut [f32],
+    ) -> Vec<f32> {
+        assert_eq!(output_grad.len(), self.output_dim(), "output grad dim mismatch");
+        assert_eq!(param_grads.len(), self.params.len(), "grad buffer mismatch");
+
+        let mut upstream = output_grad.to_vec();
+        // Walk layers in reverse; track the flat offset of each layer.
+        let mut offsets = Vec::with_capacity(self.dims.len() - 1);
+        let mut off = 0;
+        for w in self.dims.windows(2) {
+            offsets.push(off);
+            off += w[0] * w[1] + w[1];
+        }
+
+        for layer in (0..self.dims.len() - 1).rev() {
+            let fan_in = self.dims[layer];
+            let fan_out = self.dims[layer + 1];
+            let offset = offsets[layer];
+            let prev = &trace.activations[layer];
+            let out = &trace.activations[layer + 1];
+            let is_hidden = layer + 2 < self.dims.len();
+
+            // d loss / d pre-activation.
+            let mut dz = upstream;
+            if is_hidden {
+                for (g, &a) in dz.iter_mut().zip(out) {
+                    if a <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+
+            // Weight & bias grads.
+            let (w_grads, b_grads) = param_grads[offset..offset + fan_in * fan_out + fan_out]
+                .split_at_mut(fan_in * fan_out);
+            for (o, &g) in dz.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                let row = &mut w_grads[o * fan_in..(o + 1) * fan_in];
+                for (wg, &xv) in row.iter_mut().zip(prev) {
+                    *wg += g * xv;
+                }
+                b_grads[o] += g;
+            }
+
+            // Downstream gradient.
+            let weights = &self.params[offset..offset + fan_in * fan_out];
+            let mut dx = vec![0.0f32; fan_in];
+            for (o, &g) in dz.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                let row = &weights[o * fan_in..(o + 1) * fan_in];
+                for (d, &wv) in dx.iter_mut().zip(row) {
+                    *d += g * wv;
+                }
+            }
+            upstream = dx;
+        }
+        upstream
+    }
+
+    /// Applies a flat gradient with Adagrad.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn apply_grads(&mut self, grads: &[f32], lr: f32) {
+        assert_eq!(grads.len(), self.params.len(), "grad length mismatch");
+        for ((p, a), &g) in self.params.iter_mut().zip(self.acc.iter_mut()).zip(grads) {
+            *a += g * g;
+            *p -= lr * g / (a.sqrt() + 1e-8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_matches_layout() {
+        let m = Mlp::new(&[4, 8, 2], 1);
+        assert_eq!(m.param_count(), 4 * 8 + 8 + 8 * 2 + 2);
+        assert_eq!(m.input_dim(), 4);
+        assert_eq!(m.output_dim(), 2);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let m1 = Mlp::new(&[3, 5, 1], 42);
+        let m2 = Mlp::new(&[3, 5, 1], 42);
+        let x = [0.5, -0.2, 1.0];
+        assert_eq!(m1.forward(&x).output(), m2.forward(&x).output());
+        let m3 = Mlp::new(&[3, 5, 1], 43);
+        assert_ne!(m1.forward(&x).output(), m3.forward(&x).output());
+    }
+
+    #[test]
+    fn zero_input_gives_bias_driven_output() {
+        // Fresh biases are zero, so the output of a fresh net at 0 is 0.
+        let m = Mlp::new(&[3, 4, 2], 7);
+        let out = m.forward(&[0.0; 3]);
+        assert_eq!(out.output(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut m = Mlp::new(&[3, 4, 1], 9);
+        let x = [0.3, -0.7, 0.9];
+        // Loss = 0.5 * out². dLoss/dOut = out.
+        let trace = m.forward(&x);
+        let out = trace.output()[0];
+        let mut grads = vec![0.0; m.param_count()];
+        m.backward(&trace, &[out], &mut grads);
+
+        let eps = 1e-3f32;
+        let mut params = m.params().to_vec();
+        for i in (0..m.param_count()).step_by(3) {
+            let orig = params[i];
+            params[i] = orig + eps;
+            m.set_params(&params);
+            let up = 0.5 * m.forward(&x).output()[0].powi(2);
+            params[i] = orig - eps;
+            m.set_params(&params);
+            let down = 0.5 * m.forward(&x).output()[0].powi(2);
+            params[i] = orig;
+            m.set_params(&params);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - grads[i]).abs() < 2e-2_f32.max(numeric.abs() * 0.05),
+                "param {i}: numeric {numeric} vs analytic {}",
+                grads[i]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let m = Mlp::new(&[3, 6, 1], 13);
+        let x = [0.4f32, 0.1, -0.6];
+        let trace = m.forward(&x);
+        let out = trace.output()[0];
+        let mut grads = vec![0.0; m.param_count()];
+        let dx = m.backward(&trace, &[out], &mut grads);
+
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += eps;
+            let up = 0.5 * m.forward(&xp).output()[0].powi(2);
+            xp[i] = x[i] - eps;
+            let down = 0.5 * m.forward(&xp).output()[0].powi(2);
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - dx[i]).abs() < 1e-2_f32.max(numeric.abs() * 0.05),
+                "input {i}: numeric {numeric} vs analytic {}",
+                dx[i]
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_regression() {
+        // Learn y = x0 + 2*x1 on a tiny grid.
+        let mut m = Mlp::new(&[2, 8, 1], 3);
+        let data: Vec<([f32; 2], f32)> = (0..16)
+            .map(|i| {
+                let x0 = (i % 4) as f32 / 3.0;
+                let x1 = (i / 4) as f32 / 3.0;
+                ([x0, x1], x0 + 2.0 * x1)
+            })
+            .collect();
+        let loss = |m: &Mlp| -> f32 {
+            data.iter()
+                .map(|(x, y)| (m.forward(x).output()[0] - y).powi(2))
+                .sum::<f32>()
+                / data.len() as f32
+        };
+        let initial = loss(&m);
+        for _ in 0..300 {
+            let mut grads = vec![0.0; m.param_count()];
+            for (x, y) in &data {
+                let trace = m.forward(x);
+                let err = trace.output()[0] - y;
+                m.backward(&trace, &[2.0 * err / data.len() as f32], &mut grads);
+            }
+            m.apply_grads(&grads, 0.1);
+        }
+        let final_loss = loss(&m);
+        assert!(
+            final_loss < initial * 0.1,
+            "loss did not drop: {initial} -> {final_loss}"
+        );
+    }
+
+    #[test]
+    fn relu_blocks_gradient_through_dead_units() {
+        // A unit with non-positive activation must contribute zero gradient.
+        let m = Mlp::new(&[1, 1, 1], 5);
+        let x = [-100.0f32]; // drives hidden unit far negative
+        let trace = m.forward(&x);
+        if trace.activations[1][0] <= 0.0 {
+            let mut grads = vec![0.0; m.param_count()];
+            let dx = m.backward(&trace, &[1.0], &mut grads);
+            assert_eq!(dx[0], 0.0);
+            // First-layer weight grad must be zero too.
+            assert_eq!(grads[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn set_params_roundtrip() {
+        let mut m = Mlp::new(&[2, 3, 1], 1);
+        let snapshot = m.params().to_vec();
+        m.apply_grads(&vec![0.1; m.param_count()], 0.5);
+        assert_ne!(m.params(), snapshot.as_slice());
+        m.set_params(&snapshot);
+        assert_eq!(m.params(), snapshot.as_slice());
+    }
+
+    #[test]
+    fn adagrad_accumulators_grow() {
+        let mut m = Mlp::new(&[2, 2, 1], 1);
+        assert!(m.accumulators().iter().all(|&a| a == 0.0));
+        m.apply_grads(&vec![0.5; m.param_count()], 0.1);
+        assert!(m.accumulators().iter().all(|&a| a > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn wrong_input_size_panics() {
+        let m = Mlp::new(&[3, 2], 1);
+        let _ = m.forward(&[1.0, 2.0]);
+    }
+}

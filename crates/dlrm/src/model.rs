@@ -1,0 +1,746 @@
+//! The three CTR model families of the paper's evaluation (§6):
+//! Model-X = Wide & Deep, Model-Y = xDeepFM, Model-Z = DCN.
+//!
+//! All three share the DLRM skeleton of Fig. 2 — embedding tables for the
+//! sparse part, a dense tower for the dense part — and differ in the extra
+//! interaction structure:
+//!
+//! * **Wide & Deep**: a hashed linear ("wide") term per categorical feature
+//!   plus the deep tower.
+//! * **xDeepFM (lite)**: learned field-pair interactions
+//!   `Σ_{i<j} w_ij ⟨e_i, e_j⟩` plus the deep tower. This keeps xDeepFM's
+//!   hallmark — explicit vector-wise feature interactions — at a compute
+//!   budget suitable for simulation (the full CIN is a stack of such maps).
+//! * **DCN**: explicit cross layers `x_{l+1} = x₀·(w_lᵀx_l) + b_l + x_l`
+//!   plus the deep tower.
+//!
+//! The API is deliberately split into [`DlrmModel::compute_gradients`] and
+//! [`DlrmModel::apply_gradients`] so the PS training engine can hold
+//! gradients in flight and apply them late — reproducing asynchronous
+//! parameter-server staleness, the mechanism behind the paper's concern that
+//! stragglers "submit too many stale gradients to PSes" (§2.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::data::{Sample, NUM_DENSE, NUM_SPARSE};
+use crate::embedding::EmbeddingTable;
+use crate::mlp::Mlp;
+
+/// Which model family to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Model-X: Wide & Deep (Cheng et al. 2016).
+    WideDeep,
+    /// Model-Y: xDeepFM-style explicit pairwise interactions (Lian et al. 2018).
+    XDeepFm,
+    /// Model-Z: Deep & Cross Network (Wang et al. 2017).
+    Dcn,
+}
+
+impl ModelKind {
+    /// The paper's model labels: X, Y, Z.
+    pub fn paper_label(&self) -> &'static str {
+        match self {
+            ModelKind::WideDeep => "Model-X (Wide&Deep)",
+            ModelKind::XDeepFm => "Model-Y (xDeepFM)",
+            ModelKind::Dcn => "Model-Z (DCN)",
+        }
+    }
+
+    /// All three evaluation models.
+    pub fn all() -> [ModelKind; 3] {
+        [ModelKind::WideDeep, ModelKind::XDeepFm, ModelKind::Dcn]
+    }
+}
+
+/// Hyper-parameters shared by the three families.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Embedding dimension `D`.
+    pub embedding_dim: usize,
+    /// Virtual rows (`M`) per embedding table.
+    pub hash_size: u64,
+    /// Deep-tower hidden layer widths.
+    pub hidden: Vec<usize>,
+    /// Cross-layer count (DCN only).
+    pub cross_layers: usize,
+    /// Adagrad learning rate.
+    pub learning_rate: f32,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            embedding_dim: 8,
+            hash_size: 1 << 22,
+            hidden: vec![64, 32],
+            cross_layers: 3,
+            learning_rate: 0.05,
+        }
+    }
+}
+
+/// A batch gradient: flat dense part + sparse per-row part.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gradients {
+    /// Flat gradient over all dense parameters (cross ‖ head ‖ pairs ‖ MLP).
+    pub dense: Vec<f32>,
+    /// Sparse gradients: `(table_index, id, grad)`. Wide-part rows use table
+    /// indices `NUM_SPARSE..2·NUM_SPARSE`.
+    pub sparse: Vec<(usize, u64, Vec<f32>)>,
+    /// Mean logloss over the batch (diagnostic).
+    pub mean_loss: f32,
+    /// Number of samples in the batch.
+    pub samples: usize,
+}
+
+/// Exported rows of one embedding table: `(slot, weights, accumulators)`.
+pub type TableRows = Vec<(u64, Vec<f32>, Vec<f32>)>;
+
+/// A full model checkpoint (dense params + optimizer state + materialised
+/// embedding rows). Produced by [`DlrmModel::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCheckpoint {
+    /// Model family (restore refuses mismatches).
+    pub kind: ModelKind,
+    /// Flat dense parameters.
+    pub dense: Vec<f32>,
+    /// Flat Adagrad accumulators for the dense parameters.
+    pub dense_acc: Vec<f32>,
+    /// Embedding rows per table.
+    pub tables: Vec<TableRows>,
+    /// Wide-part rows per feature (empty unless Wide&Deep).
+    pub wide: Vec<TableRows>,
+}
+
+impl ModelCheckpoint {
+    /// Approximate serialised size in bytes (drives checkpoint-latency
+    /// simulation: flash vs RDS).
+    pub fn approx_bytes(&self) -> usize {
+        let dense = (self.dense.len() + self.dense_acc.len()) * 4;
+        let table_bytes: usize = self
+            .tables
+            .iter()
+            .chain(self.wide.iter())
+            .flat_map(|t| t.iter())
+            .map(|(_, w, a)| 8 + (w.len() + a.len()) * 4)
+            .sum();
+        dense + table_bytes
+    }
+}
+
+/// Cached cross-tower state: per-layer inputs and scalars.
+type CrossState = (Vec<Vec<f32>>, Vec<f32>);
+
+/// A trainable CTR model (one of the three families).
+#[derive(Debug, Clone)]
+pub struct DlrmModel {
+    kind: ModelKind,
+    config: ModelConfig,
+    tables: Vec<EmbeddingTable>,
+    /// Wide part: dim-1 hashed tables, one per categorical feature.
+    wide: Vec<EmbeddingTable>,
+    deep: Mlp,
+    /// Flat dense parameters *other than* the MLP: cross ‖ head ‖ pairs.
+    extra: Vec<f32>,
+    extra_acc: Vec<f32>,
+}
+
+/// The trait face of [`DlrmModel`], kept object-safe for engine plumbing.
+pub trait CtrModel {
+    /// Forward pass returning click probabilities (no parameter updates,
+    /// no row materialisation).
+    fn predict(&self, batch: &[Sample]) -> Vec<f32>;
+    /// Computes batch gradients without applying them.
+    fn compute_gradients(&mut self, batch: &[Sample]) -> Gradients;
+    /// Applies gradients with Adagrad.
+    fn apply_gradients(&mut self, grads: &Gradients);
+    /// Convenience: compute + apply, returning the mean logloss.
+    fn train_batch(&mut self, batch: &[Sample]) -> f32 {
+        let g = self.compute_gradients(batch);
+        let loss = g.mean_loss;
+        self.apply_gradients(&g);
+        loss
+    }
+    /// Bytes resident in embedding tables (sparse part).
+    fn embedding_bytes(&self) -> usize;
+    /// Distinct categories materialised across tables.
+    fn materialized_rows(&self) -> usize;
+    /// Dense parameter count.
+    fn dense_param_count(&self) -> usize;
+    /// Snapshot for checkpointing.
+    fn snapshot(&self) -> ModelCheckpoint;
+    /// Restores a snapshot.
+    ///
+    /// # Panics
+    /// Panics if the checkpoint's family or shapes mismatch.
+    fn restore(&mut self, ckpt: &ModelCheckpoint);
+}
+
+impl DlrmModel {
+    /// Builds a model of the requested family.
+    pub fn new(kind: ModelKind, config: ModelConfig, seed: u64) -> Self {
+        let d = config.embedding_dim;
+        let input_dim = NUM_SPARSE * d + NUM_DENSE;
+        let mut dims = vec![input_dim];
+        dims.extend_from_slice(&config.hidden);
+        dims.push(1);
+        let deep = Mlp::new(&dims, seed ^ 0xDEEB);
+
+        let tables: Vec<EmbeddingTable> = (0..NUM_SPARSE)
+            .map(|f| EmbeddingTable::new(config.hash_size, d, seed ^ (f as u64) << 8))
+            .collect();
+        let wide = if kind == ModelKind::WideDeep {
+            (0..NUM_SPARSE)
+                .map(|f| EmbeddingTable::new(config.hash_size, 1, seed ^ 0xA11CE ^ (f as u64) << 8))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let extra_len = match kind {
+            ModelKind::WideDeep => 0,
+            ModelKind::XDeepFm => NUM_SPARSE * (NUM_SPARSE - 1) / 2,
+            // cross layers: per layer w (input_dim) + b (input_dim), then a
+            // linear head over x_L: input_dim weights + 1 bias.
+            ModelKind::Dcn => config.cross_layers * 2 * input_dim + input_dim + 1,
+        };
+        // Small deterministic init for pair weights / cross weights.
+        let mut extra = vec![0.0f32; extra_len];
+        let mut s = dlrover_sim::splitmix64(seed ^ 0xC705);
+        for v in extra.iter_mut() {
+            s = dlrover_sim::splitmix64(s);
+            *v = (((s >> 11) as f32 / (1u64 << 53) as f32) - 0.5) * 0.02;
+        }
+
+        DlrmModel {
+            kind,
+            tables,
+            wide,
+            deep,
+            extra_acc: vec![0.0; extra.len()],
+            extra,
+            config,
+        }
+    }
+
+    /// Model family.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Hyper-parameters.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn input_dim(&self) -> usize {
+        NUM_SPARSE * self.config.embedding_dim + NUM_DENSE
+    }
+
+    /// Assembles the dense input vector for one sample, materialising rows
+    /// when `frozen` is false.
+    fn assemble_input(&mut self, sample: &Sample, frozen: bool) -> Vec<f32> {
+        let d = self.config.embedding_dim;
+        let mut x = vec![0.0f32; self.input_dim()];
+        for (f, &id) in sample.sparse.iter().enumerate() {
+            let slice = &mut x[f * d..(f + 1) * d];
+            if frozen {
+                self.tables[f].lookup_frozen(id, slice);
+            } else {
+                self.tables[f].lookup(id, slice);
+            }
+        }
+        let dense_off = NUM_SPARSE * d;
+        x[dense_off..].copy_from_slice(&sample.dense);
+        x
+    }
+
+    /// Cross-tower forward; returns (per-layer inputs x_0..x_L, per-layer
+    /// scalars s_l). `x_states.last()` is x_L.
+    fn cross_forward(&self, x0: &[f32]) -> (Vec<Vec<f32>>, Vec<f32>) {
+        let dim = x0.len();
+        let l = self.config.cross_layers;
+        let mut states = Vec::with_capacity(l + 1);
+        let mut scalars = Vec::with_capacity(l);
+        states.push(x0.to_vec());
+        for layer in 0..l {
+            let off = layer * 2 * dim;
+            let w = &self.extra[off..off + dim];
+            let b = &self.extra[off + dim..off + 2 * dim];
+            let x_l = &states[layer];
+            let s: f32 = w.iter().zip(x_l).map(|(a, b)| a * b).sum();
+            let next: Vec<f32> = (0..dim).map(|i| x0[i] * s + b[i] + x_l[i]).collect();
+            states.push(next);
+            scalars.push(s);
+        }
+        (states, scalars)
+    }
+
+    /// Logit of one sample given the assembled input, plus the cached
+    /// per-branch state needed for backprop.
+    fn forward_logit(
+        &self,
+        sample: &Sample,
+        x: &[f32],
+        frozen: bool,
+    ) -> (f32, crate::mlp::ForwardTrace, Option<CrossState>) {
+        let trace = self.deep.forward(x);
+        let mut logit = trace.output()[0];
+        let mut cross_state = None;
+
+        match self.kind {
+            ModelKind::WideDeep => {
+                let mut buf = [0.0f32; 1];
+                for (f, &id) in sample.sparse.iter().enumerate() {
+                    if frozen {
+                        self.wide[f].lookup_frozen(id, &mut buf);
+                    } else {
+                        // Wide rows materialise during compute_gradients via
+                        // apply path; here use frozen read (zero default) to
+                        // keep forward immutable.
+                        self.wide[f].lookup_frozen(id, &mut buf);
+                    }
+                    logit += buf[0];
+                }
+            }
+            ModelKind::XDeepFm => {
+                let d = self.config.embedding_dim;
+                let mut k = 0;
+                for i in 0..NUM_SPARSE {
+                    let ei = &x[i * d..(i + 1) * d];
+                    for j in (i + 1)..NUM_SPARSE {
+                        let ej = &x[j * d..(j + 1) * d];
+                        let dot: f32 = ei.iter().zip(ej).map(|(a, b)| a * b).sum();
+                        logit += self.extra[k] * dot;
+                        k += 1;
+                    }
+                }
+            }
+            ModelKind::Dcn => {
+                let (states, scalars) = self.cross_forward(x);
+                let dim = x.len();
+                let head_off = self.config.cross_layers * 2 * dim;
+                let head_w = &self.extra[head_off..head_off + dim];
+                let head_b = self.extra[head_off + dim];
+                let x_l = states.last().expect("cross states nonempty");
+                logit += head_w.iter().zip(x_l).map(|(a, b)| a * b).sum::<f32>() + head_b;
+                cross_state = Some((states, scalars));
+            }
+        }
+        (logit, trace, cross_state)
+    }
+}
+
+impl CtrModel for DlrmModel {
+    fn predict(&self, batch: &[Sample]) -> Vec<f32> {
+        let d = self.config.embedding_dim;
+        batch
+            .iter()
+            .map(|sample| {
+                let mut x = vec![0.0f32; self.input_dim()];
+                for (f, &id) in sample.sparse.iter().enumerate() {
+                    self.tables[f].lookup_frozen(id, &mut x[f * d..(f + 1) * d]);
+                }
+                x[NUM_SPARSE * d..].copy_from_slice(&sample.dense);
+                let (logit, _, _) = self.forward_logit(sample, &x, true);
+                1.0 / (1.0 + (-logit).exp())
+            })
+            .collect()
+    }
+
+    fn compute_gradients(&mut self, batch: &[Sample]) -> Gradients {
+        assert!(!batch.is_empty(), "empty batch");
+        let d = self.config.embedding_dim;
+        let input_dim = self.input_dim();
+        let inv_n = 1.0 / batch.len() as f32;
+
+        let mut dense_grad = vec![0.0f32; self.extra.len() + self.deep.param_count()];
+        let (extra_grad, mlp_grad) = dense_grad.split_at_mut(self.extra.len());
+        let mut sparse_acc: std::collections::HashMap<(usize, u64), Vec<f32>> =
+            std::collections::HashMap::new();
+        let mut total_loss = 0.0f32;
+
+        for sample in batch {
+            let x = self.assemble_input(sample, false);
+            let (logit, trace, cross_state) = self.forward_logit(sample, &x, false);
+            let p = 1.0 / (1.0 + (-logit).exp());
+            let y = if sample.label { 1.0 } else { 0.0 };
+            total_loss += -(y * (p.max(1e-7)).ln() + (1.0 - y) * ((1.0 - p).max(1e-7)).ln());
+            let dlogit = (p - y) * inv_n;
+
+            // Deep tower.
+            let mut dx = self.deep.backward(&trace, &[dlogit], mlp_grad);
+
+            // Family-specific terms also feed gradient into x.
+            match self.kind {
+                ModelKind::WideDeep => {
+                    for (f, &id) in sample.sparse.iter().enumerate() {
+                        sparse_acc
+                            .entry((NUM_SPARSE + f, id))
+                            .or_insert_with(|| vec![0.0; 1])[0] += dlogit;
+                    }
+                }
+                ModelKind::XDeepFm => {
+                    let mut k = 0;
+                    for i in 0..NUM_SPARSE {
+                        for j in (i + 1)..NUM_SPARSE {
+                            let (head, tail) = x.split_at(j * d);
+                            let ei = &head[i * d..(i + 1) * d];
+                            let ej = &tail[..d];
+                            let dot: f32 = ei.iter().zip(ej).map(|(a, b)| a * b).sum();
+                            extra_grad[k] += dlogit * dot;
+                            let w = self.extra[k];
+                            let coef = dlogit * w;
+                            if coef != 0.0 {
+                                for t in 0..d {
+                                    dx[i * d + t] += coef * ej[t];
+                                    dx[j * d + t] += coef * ei[t];
+                                }
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                ModelKind::Dcn => {
+                    let (states, scalars) =
+                        cross_state.expect("DCN forward always produces cross state");
+                    let dim = input_dim;
+                    let head_off = self.config.cross_layers * 2 * dim;
+                    let x_l = states.last().expect("nonempty");
+                    // Head gradients.
+                    for t in 0..dim {
+                        extra_grad[head_off + t] += dlogit * x_l[t];
+                    }
+                    extra_grad[head_off + dim] += dlogit;
+                    // dL/dx_L from the head.
+                    let head_w = &self.extra[head_off..head_off + dim];
+                    let mut g_next: Vec<f32> = head_w.iter().map(|&w| dlogit * w).collect();
+                    let mut g_x0 = vec![0.0f32; dim];
+                    for layer in (0..self.config.cross_layers).rev() {
+                        let off = layer * 2 * dim;
+                        let w = &self.extra[off..off + dim];
+                        let x_layer = &states[layer];
+                        let s = scalars[layer];
+                        // dL/ds = Σ g_next[i] * x0[i]
+                        let ds: f32 = g_next.iter().zip(&x) .map(|(g, xv)| g * xv).sum();
+                        for t in 0..dim {
+                            // b grad
+                            extra_grad[off + dim + t] += g_next[t];
+                            // w grad
+                            extra_grad[off + t] += ds * x_layer[t];
+                            // x0 accumulation
+                            g_x0[t] += g_next[t] * s;
+                        }
+                        // dL/dx_l = g_next + w * ds
+                        let mut g_prev = g_next.clone();
+                        for t in 0..dim {
+                            g_prev[t] += w[t] * ds;
+                        }
+                        g_next = g_prev;
+                    }
+                    // Total gradient into x from the cross branch.
+                    for t in 0..dim {
+                        dx[t] += g_next[t] + g_x0[t];
+                    }
+                }
+            }
+
+            // Embedding gradients from dx.
+            for (f, &id) in sample.sparse.iter().enumerate() {
+                let slice = &dx[f * d..(f + 1) * d];
+                if slice.iter().all(|&g| g == 0.0) {
+                    continue;
+                }
+                let acc = sparse_acc.entry((f, id)).or_insert_with(|| vec![0.0; d]);
+                for (a, &g) in acc.iter_mut().zip(slice) {
+                    *a += g;
+                }
+            }
+        }
+
+        // Flatten sparse grads deterministically.
+        let mut sparse: Vec<(usize, u64, Vec<f32>)> = sparse_acc
+            .into_iter()
+            .map(|((t, id), g)| (t, id, g))
+            .collect();
+        sparse.sort_by_key(|(t, id, _)| (*t, *id));
+
+        Gradients {
+            dense: dense_grad,
+            sparse,
+            mean_loss: total_loss * inv_n,
+            samples: batch.len(),
+        }
+    }
+
+    fn apply_gradients(&mut self, grads: &Gradients) {
+        assert_eq!(
+            grads.dense.len(),
+            self.extra.len() + self.deep.param_count(),
+            "dense gradient shape mismatch"
+        );
+        let lr = self.config.learning_rate;
+        let (extra_grad, mlp_grad) = grads.dense.split_at(self.extra.len());
+        for ((p, a), &g) in self
+            .extra
+            .iter_mut()
+            .zip(self.extra_acc.iter_mut())
+            .zip(extra_grad)
+        {
+            *a += g * g;
+            *p -= lr * g / (a.sqrt() + 1e-8);
+        }
+        self.deep.apply_grads(mlp_grad, lr);
+        for (table_idx, id, g) in &grads.sparse {
+            if *table_idx < NUM_SPARSE {
+                self.tables[*table_idx].apply_grad(*id, g, lr);
+            } else {
+                let f = table_idx - NUM_SPARSE;
+                assert!(f < NUM_SPARSE, "bad wide table index {table_idx}");
+                assert_eq!(self.kind, ModelKind::WideDeep, "wide grads on non-wide model");
+                self.wide[f].apply_grad(*id, g, lr);
+            }
+        }
+    }
+
+    fn embedding_bytes(&self) -> usize {
+        self.tables
+            .iter()
+            .chain(self.wide.iter())
+            .map(EmbeddingTable::resident_bytes)
+            .sum()
+    }
+
+    fn materialized_rows(&self) -> usize {
+        self.tables
+            .iter()
+            .chain(self.wide.iter())
+            .map(EmbeddingTable::materialized_rows)
+            .sum()
+    }
+
+    fn dense_param_count(&self) -> usize {
+        self.extra.len() + self.deep.param_count()
+    }
+
+    fn snapshot(&self) -> ModelCheckpoint {
+        let mut dense = self.extra.clone();
+        dense.extend_from_slice(self.deep.params());
+        let mut dense_acc = self.extra_acc.clone();
+        dense_acc.extend_from_slice(self.deep.accumulators());
+        ModelCheckpoint {
+            kind: self.kind,
+            dense,
+            dense_acc,
+            tables: self.tables.iter().map(EmbeddingTable::export_rows).collect(),
+            wide: self.wide.iter().map(EmbeddingTable::export_rows).collect(),
+        }
+    }
+
+    fn restore(&mut self, ckpt: &ModelCheckpoint) {
+        assert_eq!(ckpt.kind, self.kind, "checkpoint is for a different model family");
+        assert_eq!(ckpt.dense.len(), self.dense_param_count(), "dense shape mismatch");
+        assert_eq!(ckpt.tables.len(), self.tables.len(), "table count mismatch");
+        let split = self.extra.len();
+        self.extra.copy_from_slice(&ckpt.dense[..split]);
+        self.extra_acc.copy_from_slice(&ckpt.dense_acc[..split]);
+        self.deep.set_params(&ckpt.dense[split..]);
+        self.deep.set_accumulators(&ckpt.dense_acc[split..]);
+        for (t, rows) in self.tables.iter_mut().zip(&ckpt.tables) {
+            t.import_rows(rows.clone());
+        }
+        for (t, rows) in self.wide.iter_mut().zip(&ckpt.wide) {
+            t.import_rows(rows.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{DatasetConfig, SyntheticCriteo};
+    use crate::metrics::{auc, logloss};
+
+    fn small_config() -> ModelConfig {
+        ModelConfig {
+            embedding_dim: 4,
+            hash_size: 1 << 16,
+            hidden: vec![16, 8],
+            cross_layers: 2,
+            learning_rate: 0.05,
+        }
+    }
+
+    fn dataset() -> SyntheticCriteo {
+        SyntheticCriteo::new(DatasetConfig::default(), 42)
+    }
+
+    fn train_and_eval(kind: ModelKind, steps: usize, batch: usize) -> (f32, f64) {
+        let data = dataset();
+        let mut model = DlrmModel::new(kind, small_config(), 7);
+        let mut last_loss = 0.0;
+        for step in 0..steps {
+            let b = data.batch(step as u64 * batch as u64, batch);
+            last_loss = model.train_batch(&b);
+        }
+        // Held-out range far from the training prefix.
+        let test = data.batch(10_000_000, 1_500);
+        let probs = model.predict(&test);
+        let labels: Vec<bool> = test.iter().map(|s| s.label).collect();
+        (last_loss, auc(&probs, &labels))
+    }
+
+    #[test]
+    fn wide_deep_learns_above_chance() {
+        let (_, a) = train_and_eval(ModelKind::WideDeep, 150, 64);
+        assert!(a > 0.56, "Wide&Deep AUC {a} barely above chance");
+    }
+
+    #[test]
+    fn xdeepfm_learns_above_chance() {
+        let (_, a) = train_and_eval(ModelKind::XDeepFm, 150, 64);
+        assert!(a > 0.56, "xDeepFM AUC {a} barely above chance");
+    }
+
+    #[test]
+    fn dcn_learns_above_chance() {
+        let (_, a) = train_and_eval(ModelKind::Dcn, 150, 64);
+        assert!(a > 0.56, "DCN AUC {a} barely above chance");
+    }
+
+    #[test]
+    fn training_reduces_logloss() {
+        let data = dataset();
+        let mut model = DlrmModel::new(ModelKind::WideDeep, small_config(), 7);
+        let eval = |m: &DlrmModel| {
+            let test = data.batch(5_000_000, 800);
+            let probs = m.predict(&test);
+            let labels: Vec<bool> = test.iter().map(|s| s.label).collect();
+            logloss(&probs, &labels)
+        };
+        let before = eval(&model);
+        for step in 0..120 {
+            let b = data.batch(step * 64, 64);
+            model.train_batch(&b);
+        }
+        let after = eval(&model);
+        assert!(after < before, "logloss did not improve: {before} -> {after}");
+    }
+
+    #[test]
+    fn embedding_memory_grows_with_training() {
+        let data = dataset();
+        let mut model = DlrmModel::new(ModelKind::Dcn, small_config(), 7);
+        assert_eq!(model.embedding_bytes(), 0);
+        let mut previous = 0;
+        for step in 0..5 {
+            let b = data.batch(step * 256, 256);
+            model.train_batch(&b);
+            let bytes = model.embedding_bytes();
+            assert!(bytes > previous, "embedding memory must grow early in training");
+            previous = bytes;
+        }
+    }
+
+    #[test]
+    fn gradients_are_deterministic() {
+        let data = dataset();
+        let batch = data.batch(0, 32);
+        let mut m1 = DlrmModel::new(ModelKind::XDeepFm, small_config(), 7);
+        let mut m2 = DlrmModel::new(ModelKind::XDeepFm, small_config(), 7);
+        let g1 = m1.compute_gradients(&batch);
+        let g2 = m2.compute_gradients(&batch);
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn compute_without_apply_leaves_dense_params_fixed() {
+        let data = dataset();
+        let batch = data.batch(0, 16);
+        let mut model = DlrmModel::new(ModelKind::Dcn, small_config(), 7);
+        let before = model.snapshot();
+        let _ = model.compute_gradients(&batch);
+        let after = model.snapshot();
+        assert_eq!(before.dense, after.dense, "compute_gradients must not mutate params");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_preserves_predictions() {
+        let data = dataset();
+        let mut model = DlrmModel::new(ModelKind::WideDeep, small_config(), 7);
+        for step in 0..20 {
+            model.train_batch(&data.batch(step * 64, 64));
+        }
+        let ckpt = model.snapshot();
+        let test = data.batch(1_000_000, 200);
+        let probs_before = model.predict(&test);
+
+        // Train further, then restore: predictions must revert exactly.
+        for step in 20..40 {
+            model.train_batch(&data.batch(step * 64, 64));
+        }
+        assert_ne!(model.predict(&test), probs_before);
+        model.restore(&ckpt);
+        assert_eq!(model.predict(&test), probs_before);
+    }
+
+    #[test]
+    fn checkpoint_size_tracks_model_growth() {
+        let data = dataset();
+        let mut model = DlrmModel::new(ModelKind::Dcn, small_config(), 7);
+        let empty = model.snapshot().approx_bytes();
+        for step in 0..10 {
+            model.train_batch(&data.batch(step * 128, 128));
+        }
+        let grown = model.snapshot().approx_bytes();
+        assert!(grown > empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "different model family")]
+    fn restore_rejects_wrong_family() {
+        let mut a = DlrmModel::new(ModelKind::Dcn, small_config(), 7);
+        let b = DlrmModel::new(ModelKind::XDeepFm, small_config(), 7);
+        a.restore(&b.snapshot());
+    }
+
+    #[test]
+    fn stale_gradients_still_train_but_perturb_loss() {
+        // Apply each batch's gradient one step late: training still works
+        // (async PS does exactly this) — this is the mechanism behind the
+        // paper's data-sharding design.
+        let data = dataset();
+        let mut model = DlrmModel::new(ModelKind::WideDeep, small_config(), 7);
+        let mut pending: Option<Gradients> = None;
+        let mut losses = Vec::new();
+        for step in 0..100 {
+            let b = data.batch(step * 64, 64);
+            let g = model.compute_gradients(&b);
+            losses.push(g.mean_loss);
+            if let Some(prev) = pending.take() {
+                model.apply_gradients(&prev);
+            }
+            pending = Some(g);
+        }
+        let early: f32 = losses[..20].iter().sum::<f32>() / 20.0;
+        let late: f32 = losses[80..].iter().sum::<f32>() / 20.0;
+        assert!(late < early, "stale-gradient training failed to reduce loss: {early} -> {late}");
+    }
+
+    #[test]
+    fn paper_labels_are_stable() {
+        assert!(ModelKind::WideDeep.paper_label().contains("Model-X"));
+        assert!(ModelKind::XDeepFm.paper_label().contains("Model-Y"));
+        assert!(ModelKind::Dcn.paper_label().contains("Model-Z"));
+        assert_eq!(ModelKind::all().len(), 3);
+    }
+
+    #[test]
+    fn predict_does_not_materialise_rows() {
+        let data = dataset();
+        let model = DlrmModel::new(ModelKind::Dcn, small_config(), 7);
+        let _ = model.predict(&data.batch(0, 64));
+        assert_eq!(model.materialized_rows(), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The scheduler-policy interface: how a brain (DLRover-RM or a baseline)
+//! drives a job master.
+//!
+//! This is the Rust rendering of the paper's "Plug-in Algorithm API"
+//! (§4.3): the job master exposes runtime profiles; a policy returns
+//! allocation decisions; the master executes them with whatever migration
+//! machinery the policy is allowed to use (seamless for DLRover-RM,
+//! stop-and-restart for the baselines).
+
+use dlrover_optimizer::ResourceAllocation;
+use dlrover_pstrain::MigrationStrategy;
+use serde::{Deserialize, Serialize};
+
+use crate::profiler::JobRuntimeProfile;
+
+/// One adjustment decision from a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyDecision {
+    /// The new allocation to apply.
+    pub allocation: ResourceAllocation,
+    /// How the transition is executed.
+    pub strategy: MigrationStrategy,
+}
+
+/// A job-level scheduling policy.
+pub trait SchedulerPolicy {
+    /// Human-readable name for reports (e.g. "dlrover-rm", "optimus").
+    fn name(&self) -> &str;
+
+    /// The allocation to start the job with.
+    fn initial_allocation(&mut self) -> ResourceAllocation;
+
+    /// Called at each adjustment interval with the latest profile; returns
+    /// a decision when the policy wants to re-shape the job.
+    fn adjust(&mut self, profile: &JobRuntimeProfile) -> Option<PolicyDecision>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrover_perfmodel::JobShape;
+    use dlrover_sim::SimTime;
+
+    /// A trivial policy used to exercise the trait object plumbing.
+    struct Fixed(ResourceAllocation);
+
+    impl SchedulerPolicy for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn initial_allocation(&mut self) -> ResourceAllocation {
+            self.0
+        }
+        fn adjust(&mut self, _profile: &JobRuntimeProfile) -> Option<PolicyDecision> {
+            None
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let alloc = ResourceAllocation::new(JobShape::new(2, 1, 4.0, 4.0, 512), 8.0, 16.0);
+        let mut policy: Box<dyn SchedulerPolicy> = Box::new(Fixed(alloc));
+        assert_eq!(policy.name(), "fixed");
+        assert_eq!(policy.initial_allocation(), alloc);
+        let profile = JobRuntimeProfile {
+            job_id: 1,
+            at: SimTime::ZERO,
+            throughput: 0.0,
+            remaining_samples: 100,
+            observation: None,
+            ps_memory_used: 0,
+            ps_memory_alloc: 1,
+        };
+        assert!(policy.adjust(&profile).is_none());
+    }
+}

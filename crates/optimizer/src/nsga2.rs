@@ -1,0 +1,604 @@
+//! NSGA-II: elitist non-dominated sorting genetic algorithm (Deb et al. 2002).
+//!
+//! The paper generates job-level resource-plan candidates with NSGA-II
+//! ("an evolutionary algorithm known for its rapid convergence to the Pareto
+//! Frontier in low-dimensional multi-objective problems", §4.3). This module
+//! implements the full algorithm from scratch over real-valued genomes with
+//! box bounds:
+//!
+//! * fast non-dominated sorting into fronts,
+//! * crowding-distance diversity preservation,
+//! * binary tournament selection on (rank, crowding),
+//! * simulated binary crossover (SBX) and polynomial mutation.
+//!
+//! All objectives are *minimized*; encode maximization as negation or
+//! reciprocal (the paper minimizes `(RC, 1/TG)`).
+
+use rand::Rng;
+
+/// Configuration for an NSGA-II run.
+#[derive(Debug, Clone, Copy)]
+pub struct Nsga2Config {
+    /// Population size (kept constant across generations).
+    pub population: usize,
+    /// Number of generations to evolve.
+    pub generations: usize,
+    /// Probability of applying crossover to a mating pair.
+    pub crossover_prob: f64,
+    /// SBX distribution index (larger → offspring closer to parents).
+    pub eta_crossover: f64,
+    /// Per-gene mutation probability (defaults to 1/dim when `None`).
+    pub mutation_prob: Option<f64>,
+    /// Polynomial-mutation distribution index.
+    pub eta_mutation: f64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Nsga2Config {
+            population: 64,
+            generations: 50,
+            crossover_prob: 0.9,
+            eta_crossover: 15.0,
+            mutation_prob: None,
+            eta_mutation: 20.0,
+        }
+    }
+}
+
+/// A point on the final Pareto front: genome plus its objective values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Decision variables.
+    pub genome: Vec<f64>,
+    /// Objective values (minimized).
+    pub objectives: Vec<f64>,
+}
+
+/// The NSGA-II optimizer for a problem `f: genome -> objectives` with box
+/// bounds on each gene.
+pub struct Nsga2<F> {
+    evaluate: F,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    config: Nsga2Config,
+}
+
+#[derive(Clone)]
+struct Individual {
+    genome: Vec<f64>,
+    objectives: Vec<f64>,
+    rank: usize,
+    crowding: f64,
+}
+
+impl<F> Nsga2<F>
+where
+    F: Fn(&[f64]) -> Vec<f64>,
+{
+    /// Creates an optimizer.
+    ///
+    /// # Panics
+    /// Panics if the bounds are empty, of different lengths, or inverted.
+    pub fn new(evaluate: F, lower: Vec<f64>, upper: Vec<f64>, config: Nsga2Config) -> Self {
+        assert!(!lower.is_empty(), "at least one decision variable required");
+        assert_eq!(lower.len(), upper.len(), "bound length mismatch");
+        assert!(
+            lower.iter().zip(&upper).all(|(l, u)| l <= u),
+            "lower bound exceeds upper bound"
+        );
+        assert!(config.population >= 4, "population must be at least 4");
+        Nsga2 { evaluate, lower, upper, config }
+    }
+
+    /// Runs the algorithm and returns the first (best) non-dominated front.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<ParetoPoint> {
+        let dim = self.lower.len();
+        let mutation_prob = self.config.mutation_prob.unwrap_or(1.0 / dim as f64);
+        let pop_size = self.config.population;
+
+        let mut population: Vec<Individual> = (0..pop_size)
+            .map(|_| {
+                let genome: Vec<f64> = (0..dim)
+                    .map(|d| rng.gen_range(self.lower[d]..=self.upper[d]))
+                    .collect();
+                self.make_individual(genome)
+            })
+            .collect();
+        assign_ranks_and_crowding(&mut population);
+
+        for _ in 0..self.config.generations {
+            // Variation: fill an offspring population of equal size.
+            let mut offspring = Vec::with_capacity(pop_size);
+            while offspring.len() < pop_size {
+                let p1 = tournament(&population, rng);
+                let p2 = tournament(&population, rng);
+                let (mut c1, mut c2) = if rng.gen::<f64>() < self.config.crossover_prob {
+                    sbx_crossover(
+                        &population[p1].genome,
+                        &population[p2].genome,
+                        &self.lower,
+                        &self.upper,
+                        self.config.eta_crossover,
+                        rng,
+                    )
+                } else {
+                    (population[p1].genome.clone(), population[p2].genome.clone())
+                };
+                polynomial_mutation(
+                    &mut c1,
+                    &self.lower,
+                    &self.upper,
+                    mutation_prob,
+                    self.config.eta_mutation,
+                    rng,
+                );
+                polynomial_mutation(
+                    &mut c2,
+                    &self.lower,
+                    &self.upper,
+                    mutation_prob,
+                    self.config.eta_mutation,
+                    rng,
+                );
+                offspring.push(self.make_individual(c1));
+                if offspring.len() < pop_size {
+                    offspring.push(self.make_individual(c2));
+                }
+            }
+
+            // Environmental selection over parents ∪ offspring.
+            population.extend(offspring);
+            assign_ranks_and_crowding(&mut population);
+            population.sort_by(|a, b| {
+                a.rank
+                    .cmp(&b.rank)
+                    .then_with(|| b.crowding.partial_cmp(&a.crowding).expect("NaN crowding"))
+            });
+            population.truncate(pop_size);
+        }
+
+        assign_ranks_and_crowding(&mut population);
+        population
+            .into_iter()
+            .filter(|ind| ind.rank == 0)
+            .map(|ind| ParetoPoint { genome: ind.genome, objectives: ind.objectives })
+            .collect()
+    }
+
+    fn make_individual(&self, genome: Vec<f64>) -> Individual {
+        let objectives = (self.evaluate)(&genome);
+        debug_assert!(
+            objectives.iter().all(|v| !v.is_nan()),
+            "objective produced NaN for {genome:?}"
+        );
+        Individual { genome, objectives, rank: usize::MAX, crowding: 0.0 }
+    }
+}
+
+/// True if `a` Pareto-dominates `b` (no worse in all objectives, strictly
+/// better in at least one; all objectives minimized).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Hypervolume indicator for a *two-objective* front (both minimized):
+/// the area dominated by the front within the box bounded by `reference`
+/// (a point worse than every front member). Standard quality measure for
+/// Pareto approximations — larger is better.
+///
+/// Points at or beyond the reference contribute nothing.
+///
+/// # Panics
+/// Panics if any objective vector does not have exactly 2 entries.
+pub fn hypervolume_2d(front: &[ParetoPoint], reference: [f64; 2]) -> f64 {
+    let mut pts: Vec<[f64; 2]> = front
+        .iter()
+        .map(|p| {
+            assert_eq!(p.objectives.len(), 2, "hypervolume_2d needs 2 objectives");
+            [p.objectives[0], p.objectives[1]]
+        })
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .collect();
+    // Sort by first objective ascending; keep only the non-dominated
+    // staircase (strictly decreasing second objective).
+    pts.sort_by(|a, b| a[0].partial_cmp(&b[0]).expect("NaN objective"));
+    let mut area = 0.0;
+    let mut best_f2 = reference[1];
+    for p in pts {
+        if p[1] < best_f2 {
+            area += (reference[0] - p[0]) * (best_f2 - p[1]);
+            best_f2 = p[1];
+        }
+    }
+    area
+}
+
+/// Fast non-dominated sort + crowding distance (Deb et al., §III).
+fn assign_ranks_and_crowding(pop: &mut [Individual]) {
+    let n = pop.len();
+    let mut domination_count = vec![0usize; n];
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&pop[i].objectives, &pop[j].objectives) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if dominates(&pop[j].objectives, &pop[i].objectives) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    let mut rank = 0;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            pop[i].rank = rank;
+        }
+        crowding_distance(pop, &current);
+        for &i in &current {
+            for &j in &dominated_by[i].clone() {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        rank += 1;
+    }
+}
+
+/// Computes crowding distance for one front (indices into `pop`).
+fn crowding_distance(pop: &mut [Individual], front: &[usize]) {
+    for &i in front {
+        pop[i].crowding = 0.0;
+    }
+    if front.len() <= 2 {
+        for &i in front {
+            pop[i].crowding = f64::INFINITY;
+        }
+        return;
+    }
+    let n_obj = pop[front[0]].objectives.len();
+    let mut order: Vec<usize> = front.to_vec();
+    for m in 0..n_obj {
+        order.sort_by(|&a, &b| {
+            pop[a].objectives[m]
+                .partial_cmp(&pop[b].objectives[m])
+                .expect("NaN objective")
+        });
+        let lo = pop[order[0]].objectives[m];
+        let hi = pop[*order.last().expect("front nonempty")].objectives[m];
+        pop[order[0]].crowding = f64::INFINITY;
+        pop[*order.last().expect("front nonempty")].crowding = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in order.windows(3) {
+            let (prev, mid, next) = (w[0], w[1], w[2]);
+            if pop[mid].crowding.is_finite() {
+                pop[mid].crowding +=
+                    (pop[next].objectives[m] - pop[prev].objectives[m]) / span;
+            }
+        }
+    }
+}
+
+/// Binary tournament on (rank asc, crowding desc); returns the winner index.
+fn tournament<R: Rng + ?Sized>(pop: &[Individual], rng: &mut R) -> usize {
+    let a = rng.gen_range(0..pop.len());
+    let b = rng.gen_range(0..pop.len());
+    
+    match pop[a].rank.cmp(&pop[b].rank) {
+        std::cmp::Ordering::Less => a,
+        std::cmp::Ordering::Greater => b,
+        std::cmp::Ordering::Equal => {
+            if pop[a].crowding >= pop[b].crowding {
+                a
+            } else {
+                b
+            }
+        }
+    }
+}
+
+/// Simulated binary crossover (SBX) with box-bound clipping.
+fn sbx_crossover<R: Rng + ?Sized>(
+    p1: &[f64],
+    p2: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    eta: f64,
+    rng: &mut R,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut c1 = p1.to_vec();
+    let mut c2 = p2.to_vec();
+    for d in 0..p1.len() {
+        if rng.gen::<f64>() > 0.5 || (p1[d] - p2[d]).abs() < 1e-14 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        let beta = if u <= 0.5 {
+            (2.0 * u).powf(1.0 / (eta + 1.0))
+        } else {
+            (1.0 / (2.0 * (1.0 - u))).powf(1.0 / (eta + 1.0))
+        };
+        let mean = 0.5 * (p1[d] + p2[d]);
+        let diff = 0.5 * beta * (p2[d] - p1[d]).abs();
+        c1[d] = (mean - diff).clamp(lower[d], upper[d]);
+        c2[d] = (mean + diff).clamp(lower[d], upper[d]);
+    }
+    (c1, c2)
+}
+
+/// Polynomial mutation with box-bound clipping.
+fn polynomial_mutation<R: Rng + ?Sized>(
+    genome: &mut [f64],
+    lower: &[f64],
+    upper: &[f64],
+    prob: f64,
+    eta: f64,
+    rng: &mut R,
+) {
+    for d in 0..genome.len() {
+        if rng.gen::<f64>() >= prob {
+            continue;
+        }
+        let span = upper[d] - lower[d];
+        if span <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        let delta = if u < 0.5 {
+            (2.0 * u).powf(1.0 / (eta + 1.0)) - 1.0
+        } else {
+            1.0 - (2.0 * (1.0 - u)).powf(1.0 / (eta + 1.0))
+        };
+        genome[d] = (genome[d] + delta * span).clamp(lower[d], upper[d]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn dominates_is_strict_partial_order() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "no self-domination");
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]), "incomparable");
+        assert!(!dominates(&[2.0, 2.0], &[1.0, 1.0]));
+    }
+
+    /// Schaffer's F1: f1 = x², f2 = (x-2)². Pareto set is x ∈ [0, 2] with
+    /// front f2 = (sqrt(f1) - 2)².
+    #[test]
+    fn solves_schaffer_f1() {
+        let opt = Nsga2::new(
+            |g: &[f64]| vec![g[0] * g[0], (g[0] - 2.0) * (g[0] - 2.0)],
+            vec![-10.0],
+            vec![10.0],
+            Nsga2Config { population: 60, generations: 60, ..Default::default() },
+        );
+        let front = opt.run(&mut rng());
+        assert!(front.len() >= 10, "front too small: {}", front.len());
+        for p in &front {
+            let x = p.genome[0];
+            assert!((-0.1..=2.1).contains(&x), "x = {x} not on Pareto set");
+            // Objective consistency.
+            assert!((p.objectives[0] - x * x).abs() < 1e-9);
+        }
+        // The front should span both extremes reasonably well.
+        let min_f1 = front.iter().map(|p| p.objectives[0]).fold(f64::INFINITY, f64::min);
+        let max_f1 = front.iter().map(|p| p.objectives[0]).fold(0.0, f64::max);
+        assert!(min_f1 < 0.1, "missing f1-optimal corner: {min_f1}");
+        assert!(max_f1 > 3.0, "missing f2-optimal corner: {max_f1}");
+    }
+
+    /// ZDT1 (2 objectives, 10 vars): front is g = 1, f2 = 1 - sqrt(f1).
+    #[test]
+    fn approaches_zdt1_front() {
+        let dim = 10;
+        let eval = |g: &[f64]| {
+            let f1 = g[0];
+            let gsum: f64 = 1.0 + 9.0 * g[1..].iter().sum::<f64>() / (dim as f64 - 1.0);
+            let f2 = gsum * (1.0 - (f1 / gsum).sqrt());
+            vec![f1, f2]
+        };
+        let opt = Nsga2::new(
+            eval,
+            vec![0.0; dim],
+            vec![1.0; dim],
+            Nsga2Config { population: 100, generations: 150, ..Default::default() },
+        );
+        let front = opt.run(&mut rng());
+        // Measure average distance to the true front: f2* = 1 - sqrt(f1).
+        let avg_gap: f64 = front
+            .iter()
+            .map(|p| (p.objectives[1] - (1.0 - p.objectives[0].sqrt())).abs())
+            .sum::<f64>()
+            / front.len() as f64;
+        assert!(avg_gap < 0.15, "front too far from optimum: {avg_gap}");
+    }
+
+    #[test]
+    fn front_is_mutually_nondominated() {
+        let opt = Nsga2::new(
+            |g: &[f64]| vec![g[0], 1.0 / (g[0] + 0.1)],
+            vec![0.0],
+            vec![5.0],
+            Nsga2Config { population: 32, generations: 20, ..Default::default() },
+        );
+        let front = opt.run(&mut rng());
+        for a in &front {
+            for b in &front {
+                assert!(
+                    !dominates(&a.objectives, &b.objectives),
+                    "front member dominated: {a:?} > {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let build = || {
+            Nsga2::new(
+                |g: &[f64]| vec![g[0] * g[0], (g[0] - 1.0) * (g[0] - 1.0)],
+                vec![-5.0],
+                vec![5.0],
+                Nsga2Config { population: 16, generations: 10, ..Default::default() },
+            )
+        };
+        let f1 = build().run(&mut StdRng::seed_from_u64(99));
+        let f2 = build().run(&mut StdRng::seed_from_u64(99));
+        assert_eq!(f1.len(), f2.len());
+        for (a, b) in f1.iter().zip(&f2) {
+            assert_eq!(a.genome, b.genome);
+        }
+    }
+
+    #[test]
+    fn single_objective_degenerates_to_minimum() {
+        let opt = Nsga2::new(
+            |g: &[f64]| vec![(g[0] - 3.0) * (g[0] - 3.0)],
+            vec![-10.0],
+            vec![10.0],
+            Nsga2Config { population: 40, generations: 60, ..Default::default() },
+        );
+        let front = opt.run(&mut rng());
+        let best = front
+            .iter()
+            .map(|p| p.objectives[0])
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 0.01, "did not find minimum: {best}");
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let opt = Nsga2::new(
+            |g: &[f64]| vec![g[0], -g[1]],
+            vec![2.0, -1.0],
+            vec![3.0, 1.0],
+            Nsga2Config { population: 24, generations: 15, ..Default::default() },
+        );
+        for p in opt.run(&mut rng()) {
+            assert!((2.0..=3.0).contains(&p.genome[0]));
+            assert!((-1.0..=1.0).contains(&p.genome[1]));
+        }
+    }
+
+    #[test]
+    fn degenerate_point_bounds_work() {
+        // lower == upper: the only genome is that point.
+        let opt = Nsga2::new(
+            |g: &[f64]| vec![g[0]],
+            vec![1.5],
+            vec![1.5],
+            Nsga2Config { population: 8, generations: 5, ..Default::default() },
+        );
+        for p in opt.run(&mut rng()) {
+            assert_eq!(p.genome[0], 1.5);
+        }
+    }
+
+    #[test]
+    fn hypervolume_of_single_point() {
+        let front = vec![ParetoPoint { genome: vec![0.0], objectives: vec![1.0, 1.0] }];
+        // Box from (1,1) to (3,3): area 4.
+        assert!((hypervolume_2d(&front, [3.0, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_staircase() {
+        let mk = |a: f64, b: f64| ParetoPoint { genome: vec![], objectives: vec![a, b] };
+        let front = vec![mk(1.0, 2.0), mk(2.0, 1.0)];
+        // (1,2): (4-1)*(4-2)=6; (2,1): (4-2)*(2-1)=2 => 8.
+        assert!((hypervolume_2d(&front, [4.0, 4.0]) - 8.0).abs() < 1e-12);
+        // Dominated point adds nothing.
+        let with_dup = vec![mk(1.0, 2.0), mk(2.0, 1.0), mk(2.5, 2.5)];
+        assert!((hypervolume_2d(&with_dup, [4.0, 4.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hypervolume_ignores_points_beyond_reference() {
+        let front = vec![ParetoPoint { genome: vec![], objectives: vec![5.0, 5.0] }];
+        assert_eq!(hypervolume_2d(&front, [4.0, 4.0]), 0.0);
+    }
+
+    #[test]
+    fn nsga_improves_hypervolume_over_generations() {
+        let eval = |g: &[f64]| vec![g[0] * g[0], (g[0] - 2.0) * (g[0] - 2.0)];
+        let front_of = |gens: usize| {
+            Nsga2::new(
+                eval,
+                vec![-10.0],
+                vec![10.0],
+                Nsga2Config { population: 24, generations: gens, ..Default::default() },
+            )
+            .run(&mut StdRng::seed_from_u64(3))
+        };
+        let hv_early = hypervolume_2d(&front_of(1), [20.0, 20.0]);
+        let hv_late = hypervolume_2d(&front_of(40), [20.0, 20.0]);
+        assert!(hv_late >= hv_early, "evolution regressed: {hv_early} -> {hv_late}");
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be at least 4")]
+    fn tiny_population_rejected() {
+        let _ = Nsga2::new(|g: &[f64]| vec![g[0]], vec![0.0], vec![1.0],
+            Nsga2Config { population: 2, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound exceeds upper bound")]
+    fn inverted_bounds_rejected() {
+        let _ = Nsga2::new(|g: &[f64]| vec![g[0]], vec![1.0], vec![0.0], Nsga2Config::default());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// dominates() is antisymmetric for arbitrary objective vectors.
+        #[test]
+        fn domination_antisymmetric(
+            a in proptest::collection::vec(-100.0f64..100.0, 3),
+            b in proptest::collection::vec(-100.0f64..100.0, 3),
+        ) {
+            prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+        }
+
+        /// dominates() is irreflexive.
+        #[test]
+        fn domination_irreflexive(a in proptest::collection::vec(-100.0f64..100.0, 4)) {
+            prop_assert!(!dominates(&a, &a));
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Resource-allocation vocabulary: allocations, prices, `RC`, `TG` (§4.2).
+//!
+//! * `RC(A) = Σ a_r · Money(a_r)` — the hourly cost of an allocation
+//!   (Eqn. 7); [`PriceTable`] supplies `Money`.
+//! * `TG(A) = ΔΨ_thp − Overhead(A)` — throughput gain net of scaling
+//!   overhead (Eqn. 8). The paper subtracts "wasted training time" from a
+//!   throughput delta; we make the units precise by amortising: the scaling
+//!   pause costs `Ψ_new · T_pause` samples, spread over an evaluation
+//!   horizon `H`, so `TG = ΔΨ − Ψ_new · T_pause / H` (samples/second).
+
+use dlrover_perfmodel::JobShape;
+use serde::{Deserialize, Serialize};
+
+/// A complete resource allocation for one PS-architecture job: the CPU
+/// shape plus per-role memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceAllocation {
+    /// CPU/topology shape (w, p, λ_w, λ_p, m).
+    pub shape: JobShape,
+    /// Memory per worker, decimal GB (1e9 bytes; `cluster::Resources`
+    /// uses binary GiB — convert explicitly at that boundary).
+    pub worker_mem_gb: f64,
+    /// Memory per parameter server, decimal GB (1e9 bytes).
+    pub ps_mem_gb: f64,
+}
+
+impl ResourceAllocation {
+    /// Convenience constructor.
+    pub fn new(shape: JobShape, worker_mem_gb: f64, ps_mem_gb: f64) -> Self {
+        ResourceAllocation {
+            shape,
+            worker_mem_gb: worker_mem_gb.max(0.0),
+            ps_mem_gb: ps_mem_gb.max(0.0),
+        }
+    }
+
+    /// Total CPU cores across workers and PSes.
+    pub fn total_cpu(&self) -> f64 {
+        self.shape.total_cpu()
+    }
+
+    /// Total memory (GB) across workers and PSes.
+    pub fn total_mem_gb(&self) -> f64 {
+        f64::from(self.shape.workers) * self.worker_mem_gb
+            + f64::from(self.shape.ps) * self.ps_mem_gb
+    }
+}
+
+/// Unit prices: the `Money(a_r)` function of Eqn. 7.
+///
+/// Defaults approximate on-demand cloud CPU pricing (c5 family):
+/// ~$0.033 per vCPU-hour and ~$0.0045 per GB-hour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceTable {
+    /// Price of one CPU core for one hour, USD.
+    pub cpu_core_hour: f64,
+    /// Price of one GB of memory for one hour, USD.
+    pub mem_gb_hour: f64,
+}
+
+impl Default for PriceTable {
+    fn default() -> Self {
+        PriceTable { cpu_core_hour: 0.033, mem_gb_hour: 0.0045 }
+    }
+}
+
+impl PriceTable {
+    /// `RC(A)`: hourly price of a full allocation (Eqn. 7).
+    pub fn resource_cost(&self, alloc: &ResourceAllocation) -> f64 {
+        alloc.total_cpu() * self.cpu_core_hour + alloc.total_mem_gb() * self.mem_gb_hour
+    }
+
+    /// `RC` of the *additional* resources when moving `from → to`; negative
+    /// when scaling down. The optimizer uses `max(δ, ε)` so shrinking plans
+    /// are still comparable.
+    pub fn delta_cost(&self, from: &ResourceAllocation, to: &ResourceAllocation) -> f64 {
+        self.resource_cost(to) - self.resource_cost(from)
+    }
+}
+
+/// Scaling-overhead estimator: the `Overhead(A)` term of Eqn. 8, estimated
+/// "through statistical analysis based on the resource information of
+/// historical jobs within the cluster".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingOverheadModel {
+    /// Seconds to bring up one new worker pod (schedule + pull + init).
+    ///
+    /// Keep this in sync with the environment's actual startup latency —
+    /// `dlrover_cluster::StartupLatencyModel::expected(utilisation)` is the
+    /// authoritative source; callers that know their cluster's utilisation
+    /// should override this field with that value (see
+    /// `DlroverPolicyConfig::with_expected_startup`). The default matches
+    /// the default startup model at ~30 % cluster utilisation.
+    pub worker_startup_s: f64,
+    /// Seconds of training pause when PSes change with stop-and-restart
+    /// (checkpoint save + redeploy + restore).
+    pub ps_restart_pause_s: f64,
+    /// Seconds of training pause when PSes change with *seamless migration*
+    /// (only the flash-checkpoint handoff blocks).
+    pub seamless_pause_s: f64,
+    /// Evaluation horizon `H` (seconds) over which scaling overhead is
+    /// amortised when computing TG.
+    pub horizon_s: f64,
+    /// Whether seamless migration is available (DLRover-RM: yes;
+    /// stop-and-restart baselines: no).
+    pub seamless: bool,
+}
+
+impl Default for ScalingOverheadModel {
+    fn default() -> Self {
+        ScalingOverheadModel {
+            worker_startup_s: 255.0,
+            ps_restart_pause_s: 600.0,
+            seamless_pause_s: 20.0,
+            horizon_s: 1_800.0,
+            seamless: true,
+        }
+    }
+}
+
+impl ScalingOverheadModel {
+    /// Seconds of *training pause* incurred by moving `from → to`.
+    ///
+    /// Worker additions do not pause training under dynamic data sharding
+    /// (new workers just pull shards), but PS changes force a parameter
+    /// handoff — cheap when seamless, expensive when stop-and-restart.
+    /// Worker-only changes under a stop-and-restart scheduler still restart
+    /// the job, so they pay the restart pause too.
+    pub fn pause_seconds(&self, from: &ResourceAllocation, to: &ResourceAllocation) -> f64 {
+        let ps_changed = from.shape.ps != to.shape.ps
+            || (from.shape.ps_cpu - to.shape.ps_cpu).abs() > 1e-9
+            || (from.ps_mem_gb - to.ps_mem_gb).abs() > 1e-9;
+        let workers_changed = from.shape.workers != to.shape.workers
+            || (from.shape.worker_cpu - to.shape.worker_cpu).abs() > 1e-9
+            || (from.worker_mem_gb - to.worker_mem_gb).abs() > 1e-9;
+        if self.seamless {
+            if ps_changed {
+                self.seamless_pause_s
+            } else {
+                0.0
+            }
+        } else if ps_changed || workers_changed {
+            self.ps_restart_pause_s
+        } else {
+            0.0
+        }
+    }
+
+    /// `TG(A)` (Eqn. 8): throughput delta minus amortised scaling loss,
+    /// in samples/second. `thp_old`/`thp_new` are predicted throughputs.
+    pub fn throughput_gain(
+        &self,
+        thp_old: f64,
+        thp_new: f64,
+        from: &ResourceAllocation,
+        to: &ResourceAllocation,
+    ) -> f64 {
+        let pause = self.pause_seconds(from, to);
+        let extra_wait = f64::from(to.shape.workers.saturating_sub(from.shape.workers))
+            .min(1.0)
+            * self.worker_startup_s;
+        let lost_samples = thp_new * (pause + extra_wait);
+        (thp_new - thp_old) - lost_samples / self.horizon_s.max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc(w: u32, p: u32, cw: f64, cp: f64, wm: f64, pm: f64) -> ResourceAllocation {
+        ResourceAllocation::new(JobShape::new(w, p, cw, cp, 512), wm, pm)
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let a = alloc(4, 2, 8.0, 4.0, 16.0, 32.0);
+        assert_eq!(a.total_cpu(), 4.0 * 8.0 + 2.0 * 4.0);
+        assert_eq!(a.total_mem_gb(), 4.0 * 16.0 + 2.0 * 32.0);
+    }
+
+    #[test]
+    fn resource_cost_is_linear_in_prices() {
+        let prices = PriceTable { cpu_core_hour: 1.0, mem_gb_hour: 0.0 };
+        let a = alloc(2, 1, 4.0, 4.0, 8.0, 8.0);
+        assert_eq!(prices.resource_cost(&a), 12.0);
+        let prices2 = PriceTable { cpu_core_hour: 0.0, mem_gb_hour: 2.0 };
+        assert_eq!(prices2.resource_cost(&a), 2.0 * (2.0 * 8.0 + 8.0));
+    }
+
+    #[test]
+    fn delta_cost_signed() {
+        let prices = PriceTable::default();
+        let small = alloc(2, 1, 4.0, 4.0, 8.0, 8.0);
+        let big = alloc(4, 2, 8.0, 8.0, 16.0, 16.0);
+        assert!(prices.delta_cost(&small, &big) > 0.0);
+        assert!(prices.delta_cost(&big, &small) < 0.0);
+        assert_eq!(prices.delta_cost(&small, &small), 0.0);
+    }
+
+    #[test]
+    fn seamless_avoids_worker_scale_pause() {
+        let m = ScalingOverheadModel::default();
+        let from = alloc(2, 2, 4.0, 4.0, 8.0, 8.0);
+        let more_workers = alloc(4, 2, 4.0, 4.0, 8.0, 8.0);
+        assert_eq!(m.pause_seconds(&from, &more_workers), 0.0);
+        let more_ps = alloc(2, 4, 4.0, 4.0, 8.0, 8.0);
+        assert_eq!(m.pause_seconds(&from, &more_ps), m.seamless_pause_s);
+    }
+
+    #[test]
+    fn stop_and_restart_pays_full_pause() {
+        let m = ScalingOverheadModel { seamless: false, ..Default::default() };
+        let from = alloc(2, 2, 4.0, 4.0, 8.0, 8.0);
+        let more_workers = alloc(4, 2, 4.0, 4.0, 8.0, 8.0);
+        assert_eq!(m.pause_seconds(&from, &more_workers), m.ps_restart_pause_s);
+    }
+
+    #[test]
+    fn no_change_no_pause() {
+        for seamless in [true, false] {
+            let m = ScalingOverheadModel { seamless, ..Default::default() };
+            let a = alloc(2, 2, 4.0, 4.0, 8.0, 8.0);
+            assert_eq!(m.pause_seconds(&a, &a), 0.0);
+        }
+    }
+
+    #[test]
+    fn throughput_gain_penalises_pauses() {
+        let m = ScalingOverheadModel { seamless: false, ..Default::default() };
+        let from = alloc(2, 2, 4.0, 4.0, 8.0, 8.0);
+        let to = alloc(2, 4, 4.0, 4.0, 8.0, 8.0);
+        let gain_with_pause = m.throughput_gain(100.0, 120.0, &from, &to);
+        let ms = ScalingOverheadModel::default(); // seamless
+        let gain_seamless = ms.throughput_gain(100.0, 120.0, &from, &to);
+        assert!(gain_seamless > gain_with_pause);
+        assert!(gain_seamless < 20.0, "overhead must subtract something");
+    }
+
+    #[test]
+    fn throughput_gain_can_be_negative() {
+        // Tiny improvement, huge pause: scaling is not worth it.
+        let m = ScalingOverheadModel { seamless: false, horizon_s: 600.0, ..Default::default() };
+        let from = alloc(2, 2, 4.0, 4.0, 8.0, 8.0);
+        let to = alloc(2, 3, 4.0, 4.0, 8.0, 8.0);
+        assert!(m.throughput_gain(100.0, 101.0, &from, &to) < 0.0);
+    }
+
+    #[test]
+    fn negative_memory_clamped() {
+        let a = ResourceAllocation::new(JobShape::new(1, 1, 1.0, 1.0, 1), -5.0, -1.0);
+        assert_eq!(a.worker_mem_gb, 0.0);
+        assert_eq!(a.ps_mem_gb, 0.0);
+    }
+}

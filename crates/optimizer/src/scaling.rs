@@ -1,0 +1,448 @@
+//! Job-level resource-plan candidate generation (§4.3, scaling stage).
+//!
+//! After the online fit of the throughput model, DLRover-RM uses NSGA-II to
+//! generate allocation candidates on the Pareto frontier of *(Resource Cost,
+//! 1/Throughput Gain)*. [`NsgaPlanGenerator`] is that generator; it is one
+//! implementation of the [`ScalingAlgorithm`] plug-in trait the paper
+//! exposes so "other customized algorithms can be plugged in easily".
+
+use dlrover_perfmodel::{JobShape, ThroughputModel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::nsga2::{Nsga2, Nsga2Config};
+use crate::plan::{PriceTable, ResourceAllocation, ScalingOverheadModel};
+
+/// One scored plan candidate on (or near) the Pareto frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanCandidate {
+    /// The proposed allocation.
+    pub allocation: ResourceAllocation,
+    /// Predicted throughput at this allocation, samples/s.
+    pub predicted_throughput: f64,
+    /// Resource cost `RC(A)`, USD/hour.
+    pub resource_cost: f64,
+    /// Throughput gain `TG(A)` over the current allocation, samples/s.
+    pub throughput_gain: f64,
+}
+
+impl PlanCandidate {
+    /// Resource efficiency `RE(A) = TG(A)/RC(A)` (Eqn. 11).
+    ///
+    /// Defined only for plans with positive cost; zero-cost deltas get the
+    /// raw gain (they are free wins).
+    pub fn resource_efficiency(&self) -> f64 {
+        if self.resource_cost > 1e-9 {
+            self.throughput_gain / self.resource_cost
+        } else {
+            self.throughput_gain
+        }
+    }
+}
+
+/// Bounds of the allocation search space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanSearchSpace {
+    /// Worker count range (inclusive).
+    pub workers: (u32, u32),
+    /// PS count range (inclusive).
+    pub ps: (u32, u32),
+    /// Worker CPU cores range.
+    pub worker_cpu: (f64, f64),
+    /// PS CPU cores range.
+    pub ps_cpu: (f64, f64),
+    /// Memory provisioned per worker CPU core, GB (fixed ratio).
+    pub worker_mem_per_cpu: f64,
+    /// Memory provisioned per PS CPU core, GB (fixed ratio).
+    pub ps_mem_per_cpu: f64,
+}
+
+impl Default for PlanSearchSpace {
+    fn default() -> Self {
+        PlanSearchSpace {
+            workers: (1, 32),
+            ps: (1, 16),
+            worker_cpu: (1.0, 32.0),
+            ps_cpu: (1.0, 32.0),
+            worker_mem_per_cpu: 4.0,
+            ps_mem_per_cpu: 8.0,
+        }
+    }
+}
+
+impl PlanSearchSpace {
+    /// Materialises an allocation from a genome `[w, p, λ_w, λ_p]`
+    /// (reals rounded to the feasible grid).
+    pub fn decode(&self, genome: &[f64], batch_size: u32) -> ResourceAllocation {
+        debug_assert_eq!(genome.len(), 4);
+        let w = (genome[0].round() as u32).clamp(self.workers.0, self.workers.1);
+        let p = (genome[1].round() as u32).clamp(self.ps.0, self.ps.1);
+        let cw = genome[2].clamp(self.worker_cpu.0, self.worker_cpu.1);
+        let cp = genome[3].clamp(self.ps_cpu.0, self.ps_cpu.1);
+        let shape = JobShape::new(w, p, cw, cp, batch_size);
+        ResourceAllocation::new(
+            shape,
+            cw * self.worker_mem_per_cpu,
+            cp * self.ps_mem_per_cpu,
+        )
+    }
+
+    /// Box bounds for the NSGA-II genome.
+    fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            vec![
+                f64::from(self.workers.0),
+                f64::from(self.ps.0),
+                self.worker_cpu.0,
+                self.ps_cpu.0,
+            ],
+            vec![
+                f64::from(self.workers.1),
+                f64::from(self.ps.1),
+                self.worker_cpu.1,
+                self.ps_cpu.1,
+            ],
+        )
+    }
+}
+
+/// The plug-in scaling-algorithm API (§4.3 "Plug-in Algorithm API").
+///
+/// Implementations receive the fitted throughput model and the job's current
+/// allocation and return candidate plans; DLRover-RM ships
+/// [`NsgaPlanGenerator`], and the baselines crate plugs in Optimus- and
+/// ES-style generators through this same trait.
+pub trait ScalingAlgorithm {
+    /// Generates candidate plans for one job.
+    fn candidates<R: Rng + ?Sized>(
+        &self,
+        model: &ThroughputModel,
+        current: &ResourceAllocation,
+        rng: &mut R,
+    ) -> Vec<PlanCandidate>;
+}
+
+/// Cost-minimising rightsizing: the cheapest allocation in `space` whose
+/// predicted throughput is at least `target_throughput`.
+///
+/// This is the `min RC(A)` half of the paper's objective (Eqn. 9): when a
+/// job is over-provisioned, no allocation has positive throughput *gain*,
+/// but a much cheaper allocation matches the current throughput. A coarse
+/// power-of-two grid is plenty here — the throughput surface is smooth in
+/// every dimension.
+pub fn rightsize_search(
+    model: &ThroughputModel,
+    space: &PlanSearchSpace,
+    prices: &PriceTable,
+    batch: u32,
+    target_throughput: f64,
+) -> Option<ResourceAllocation> {
+    let mut best: Option<(f64, ResourceAllocation)> = None;
+    for &w in &power_count_grid(space.workers.0, space.workers.1) {
+        for &p in &power_count_grid(space.ps.0, space.ps.1) {
+            for &cw in &power_grid(space.worker_cpu.0, space.worker_cpu.1) {
+                for &cp in &power_grid(space.ps_cpu.0, space.ps_cpu.1) {
+                    let shape = JobShape::new(w, p, cw, cp, batch);
+                    if model.throughput(&shape) < target_throughput {
+                        continue;
+                    }
+                    let alloc = ResourceAllocation::new(
+                        shape,
+                        cw * space.worker_mem_per_cpu,
+                        cp * space.ps_mem_per_cpu,
+                    );
+                    let cost = prices.resource_cost(&alloc);
+                    if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                        best = Some((cost, alloc));
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(_, a)| a)
+}
+
+/// Power-of-two grid over a continuous range, always including the upper
+/// boundary (the current allocation may sit there). Shared by
+/// [`rightsize_search`] and the well-tuned oracle search.
+pub fn power_grid(lo: f64, hi: f64) -> Vec<f64> {
+    let mut v = Vec::new();
+    let mut c = lo.max(1.0);
+    while c <= hi + 1e-9 {
+        v.push(c);
+        c *= 2.0;
+    }
+    if v.last().copied().unwrap_or(0.0) < hi - 1e-9 {
+        v.push(hi);
+    }
+    v
+}
+
+/// Power-of-two grid over an integer range, boundary included.
+pub fn power_count_grid(lo: u32, hi: u32) -> Vec<u32> {
+    let mut v = Vec::new();
+    let mut c = lo.max(1);
+    while c <= hi {
+        v.push(c);
+        c = (c * 2).max(c + 1);
+    }
+    if v.last().copied().unwrap_or(0) != hi {
+        v.push(hi);
+    }
+    v
+}
+
+/// NSGA-II-based Pareto plan generator (the DLRover-RM default).
+#[derive(Debug, Clone)]
+pub struct NsgaPlanGenerator {
+    /// Search-space bounds.
+    pub space: PlanSearchSpace,
+    /// Unit prices for `RC`.
+    pub prices: PriceTable,
+    /// Overhead model for `TG`.
+    pub overhead: ScalingOverheadModel,
+    /// NSGA-II hyper-parameters.
+    pub nsga: Nsga2Config,
+}
+
+impl Default for NsgaPlanGenerator {
+    fn default() -> Self {
+        NsgaPlanGenerator {
+            space: PlanSearchSpace::default(),
+            prices: PriceTable::default(),
+            overhead: ScalingOverheadModel::default(),
+            nsga: Nsga2Config { population: 48, generations: 30, ..Default::default() },
+        }
+    }
+}
+
+impl NsgaPlanGenerator {
+    /// Scores a specific allocation against the current one.
+    pub fn score(
+        &self,
+        model: &ThroughputModel,
+        current: &ResourceAllocation,
+        allocation: ResourceAllocation,
+    ) -> PlanCandidate {
+        let thp_old = model.throughput(&current.shape);
+        let thp_new = model.throughput(&allocation.shape);
+        let gain = self.overhead.throughput_gain(thp_old, thp_new, current, &allocation);
+        PlanCandidate {
+            allocation,
+            predicted_throughput: thp_new,
+            resource_cost: self.prices.resource_cost(&allocation),
+            throughput_gain: gain,
+        }
+    }
+}
+
+impl ScalingAlgorithm for NsgaPlanGenerator {
+    fn candidates<R: Rng + ?Sized>(
+        &self,
+        model: &ThroughputModel,
+        current: &ResourceAllocation,
+        rng: &mut R,
+    ) -> Vec<PlanCandidate> {
+        let (lower, upper) = self.space.bounds();
+        let batch = current.shape.batch_size;
+        let thp_old = model.throughput(&current.shape);
+
+        let evaluate = |genome: &[f64]| -> Vec<f64> {
+            let alloc = self.space.decode(genome, batch);
+            let thp_new = model.throughput(&alloc.shape);
+            let gain = self.overhead.throughput_gain(thp_old, thp_new, current, &alloc);
+            let rc = self.prices.resource_cost(&alloc);
+            // Minimize (RC, 1/TG); non-positive gains get a large finite
+            // penalty so the sort stays well-defined (Eqn. 9).
+            let inv_gain = if gain > 1e-9 { 1.0 / gain } else { 1e9 - gain };
+            vec![rc, inv_gain]
+        };
+
+        let optimizer = Nsga2::new(evaluate, lower, upper, self.nsga);
+        let front = optimizer.run(rng);
+
+        let mut plans: Vec<PlanCandidate> = front
+            .into_iter()
+            .map(|p| self.score(model, current, self.space.decode(&p.genome, batch)))
+            .filter(|c| c.throughput_gain > 0.0)
+            .collect();
+
+        // Decoding rounds genomes onto a grid, so distinct genomes can
+        // collapse to the same allocation: dedupe, keep the best gain first.
+        plans.sort_by(|a, b| {
+            b.throughput_gain
+                .partial_cmp(&a.throughput_gain)
+                .expect("NaN gain")
+        });
+        plans.dedup_by(|a, b| {
+            a.allocation.shape.workers == b.allocation.shape.workers
+                && a.allocation.shape.ps == b.allocation.shape.ps
+                && (a.allocation.shape.worker_cpu - b.allocation.shape.worker_cpu).abs() < 0.5
+                && (a.allocation.shape.ps_cpu - b.allocation.shape.ps_cpu).abs() < 0.5
+        });
+        plans
+    }
+}
+
+#[cfg(test)]
+mod rightsize_tests {
+    use super::*;
+    use dlrover_perfmodel::{ModelCoefficients, WorkloadConstants};
+    use crate::plan::PriceTable;
+
+    fn model() -> ThroughputModel {
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::paper_reference())
+    }
+
+    #[test]
+    fn finds_cheaper_allocation_matching_throughput() {
+        let m = model();
+        let space = PlanSearchSpace::default();
+        let prices = PriceTable::default();
+        // A very fat allocation...
+        let fat = ResourceAllocation::new(JobShape::new(32, 16, 32.0, 32.0, 512), 128.0, 256.0);
+        let target = m.throughput(&fat.shape) * 0.95;
+        let lean = rightsize_search(&m, &space, &prices, 512, target).expect("found");
+        assert!(m.throughput(&lean.shape) >= target);
+        assert!(
+            prices.resource_cost(&lean) < prices.resource_cost(&fat) * 0.8,
+            "rightsizing saved too little: {} vs {}",
+            prices.resource_cost(&lean),
+            prices.resource_cost(&fat)
+        );
+    }
+
+    #[test]
+    fn impossible_target_gives_none() {
+        let m = model();
+        let space = PlanSearchSpace::default();
+        assert!(rightsize_search(&m, &space, &PriceTable::default(), 512, 1e18).is_none());
+    }
+
+    #[test]
+    fn zero_target_gives_minimal_allocation() {
+        let m = model();
+        let space = PlanSearchSpace::default();
+        let lean = rightsize_search(&m, &space, &PriceTable::default(), 512, 0.0).unwrap();
+        assert_eq!(lean.shape.workers, space.workers.0);
+        assert_eq!(lean.shape.ps, space.ps.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrover_perfmodel::{ModelCoefficients, WorkloadConstants};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> ThroughputModel {
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::paper_reference())
+    }
+
+    fn small_current() -> ResourceAllocation {
+        ResourceAllocation::new(JobShape::new(1, 1, 1.0, 1.0, 512), 4.0, 8.0)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn decode_clamps_to_space() {
+        let space = PlanSearchSpace::default();
+        let a = space.decode(&[1000.0, -5.0, 99.0, 0.0], 512);
+        assert_eq!(a.shape.workers, space.workers.1);
+        assert_eq!(a.shape.ps, space.ps.0);
+        assert_eq!(a.shape.worker_cpu, space.worker_cpu.1);
+        assert_eq!(a.shape.ps_cpu, space.ps_cpu.0);
+    }
+
+    #[test]
+    fn decode_derives_memory_from_cpu() {
+        let space = PlanSearchSpace::default();
+        let a = space.decode(&[4.0, 2.0, 8.0, 4.0], 512);
+        assert_eq!(a.worker_mem_gb, 8.0 * space.worker_mem_per_cpu);
+        assert_eq!(a.ps_mem_gb, 4.0 * space.ps_mem_per_cpu);
+    }
+
+    #[test]
+    fn generator_finds_improving_plans_from_tiny_allocation() {
+        let gen = NsgaPlanGenerator::default();
+        let plans = gen.candidates(&model(), &small_current(), &mut rng());
+        assert!(!plans.is_empty(), "a 1x1 job must have improving plans");
+        for p in &plans {
+            assert!(p.throughput_gain > 0.0);
+            assert!(p.resource_cost > 0.0);
+        }
+    }
+
+    #[test]
+    fn candidates_span_a_cost_range() {
+        // A Pareto front should offer both cheap-small and costly-fast plans.
+        let gen = NsgaPlanGenerator::default();
+        let plans = gen.candidates(&model(), &small_current(), &mut rng());
+        let min_rc = plans.iter().map(|p| p.resource_cost).fold(f64::INFINITY, f64::min);
+        let max_rc = plans.iter().map(|p| p.resource_cost).fold(0.0, f64::max);
+        assert!(max_rc > 2.0 * min_rc, "front too narrow: [{min_rc}, {max_rc}]");
+    }
+
+    #[test]
+    fn plans_near_optimal_beat_current_throughput() {
+        let gen = NsgaPlanGenerator::default();
+        let m = model();
+        let cur = small_current();
+        let cur_thp = m.throughput(&cur.shape);
+        let plans = gen.candidates(&m, &cur, &mut rng());
+        let best = plans
+            .iter()
+            .map(|p| p.predicted_throughput)
+            .fold(0.0, f64::max);
+        assert!(best > 2.0 * cur_thp, "best {best} vs current {cur_thp}");
+    }
+
+    #[test]
+    fn well_provisioned_job_yields_few_or_no_gains() {
+        // Start at the top of the search space: nothing should beat it by
+        // much once overhead is subtracted.
+        let gen = NsgaPlanGenerator::default();
+        let m = model();
+        let space = PlanSearchSpace::default();
+        let top = ResourceAllocation::new(
+            JobShape::new(space.workers.1, space.ps.1, space.worker_cpu.1, space.ps_cpu.1, 512),
+            space.worker_cpu.1 * space.worker_mem_per_cpu,
+            space.ps_cpu.1 * space.ps_mem_per_cpu,
+        );
+        let plans = gen.candidates(&m, &top, &mut rng());
+        let best_gain = plans.iter().map(|p| p.throughput_gain).fold(0.0, f64::max);
+        let top_thp = m.throughput(&top.shape);
+        assert!(
+            best_gain < 0.05 * top_thp,
+            "gain {best_gain} suspiciously large vs throughput {top_thp}"
+        );
+    }
+
+    #[test]
+    fn resource_efficiency_orders_sensibly() {
+        let cheap_good = PlanCandidate {
+            allocation: small_current(),
+            predicted_throughput: 0.0,
+            resource_cost: 1.0,
+            throughput_gain: 10.0,
+        };
+        let pricey_same = PlanCandidate { resource_cost: 5.0, ..cheap_good };
+        assert!(cheap_good.resource_efficiency() > pricey_same.resource_efficiency());
+    }
+
+    #[test]
+    fn scoring_is_deterministic_and_consistent() {
+        let gen = NsgaPlanGenerator::default();
+        let m = model();
+        let cur = small_current();
+        let alloc = ResourceAllocation::new(JobShape::new(8, 4, 8.0, 8.0, 512), 32.0, 64.0);
+        let a = gen.score(&m, &cur, alloc);
+        let b = gen.score(&m, &cur, alloc);
+        assert_eq!(a, b);
+        assert!((a.predicted_throughput - m.throughput(&alloc.shape)).abs() < 1e-9);
+    }
+}

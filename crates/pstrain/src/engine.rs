@@ -1,0 +1,887 @@
+//! The virtual-time PS training engine.
+//!
+//! One [`PsTrainingEngine`] simulates one asynchronous PS job end-to-end:
+//! workers check data shards out of the [`crate::ShardQueue`] and consume
+//! them at rates given by the [`crate::AsyncCostModel`]; PS memory grows
+//! with the embedding-discovery curve; elasticity actions (add/remove
+//! workers, re-shape PSes, pauses from migration timelines) reshape the job
+//! mid-flight. Time advances in caller-chosen slices (the profiling interval
+//! of the job master), so a 200k-step job simulates in microseconds while
+//! preserving shard-level data accounting.
+
+use dlrover_perfmodel::{JobShape, MemoryModel, ThroughputObservation, WorkloadConstants};
+use dlrover_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{AsyncCostModel, PodState, PsPartition};
+use crate::sharding::{ShardQueue, ShardingConfig};
+
+/// Static description of a training job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingJobSpec {
+    /// Samples to train (one epoch; the paper trains fixed step counts).
+    pub total_samples: u64,
+    /// Per-worker mini-batch size.
+    pub batch_size: u32,
+    /// Ground-truth cost coefficients (the simulator's physics).
+    pub coefficients: dlrover_perfmodel::ModelCoefficients,
+    /// Workload constants (M, B, D).
+    pub constants: WorkloadConstants,
+    /// Embedding-memory growth ground truth.
+    pub memory: MemoryModel,
+    /// Data sharding configuration.
+    pub sharding: ShardingConfig,
+}
+
+impl TrainingJobSpec {
+    /// A representative job of `total_steps` steps of batch 512 (the paper
+    /// trains 200k steps) with the scaled paper-reference coefficients, so
+    /// a well-tuned job runs at the paper's 100–250 steps/s.
+    pub fn paper_default(total_steps: u64) -> Self {
+        let batch_size = 512;
+        TrainingJobSpec {
+            total_samples: total_steps * batch_size as u64,
+            batch_size,
+            coefficients: dlrover_perfmodel::ModelCoefficients::simulation_truth(),
+            constants: WorkloadConstants::default(),
+            memory: MemoryModel::new(2.0e9, 256.0, 5.0e7, 5.0e7),
+            sharding: ShardingConfig { batch_size, ..ShardingConfig::default() },
+        }
+    }
+}
+
+/// Result of one `advance` slice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobProgress {
+    /// Samples processed during the slice.
+    pub samples: f64,
+    /// True when the dataset drained during this slice.
+    pub completed: bool,
+    /// Index of the first PS that exceeded its memory allocation, if any.
+    pub oom_ps: Option<usize>,
+}
+
+/// A restorable snapshot of an engine's training state: the job spec plus
+/// the *quiesced* shard queue. In-flight shards at snapshot time are
+/// requeued, so a job restored from this checkpoint retrains at most one
+/// shard per worker and never skips data — the consistency property behind
+/// the paper's PS scaling (§5.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCheckpoint {
+    /// The job spec (physics + data accounting parameters).
+    pub spec: TrainingJobSpec,
+    /// Quiesced data-shard state.
+    pub shards: ShardQueue,
+    /// Virtual time at snapshot.
+    pub at: SimTime,
+}
+
+/// Notable events the engine records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EngineEvent {
+    /// A worker was added (index).
+    WorkerAdded(usize),
+    /// A worker failed; its shard was re-queued.
+    WorkerFailed(usize),
+    /// A worker was removed gracefully.
+    WorkerRemoved(usize),
+    /// The PS layout was re-shaped.
+    Reshaped,
+    /// Training paused for a migration.
+    Paused(SimDuration),
+    /// A PS ran out of memory.
+    Oom(usize),
+    /// The job finished.
+    Completed(SimTime),
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WorkerSlot {
+    pod: PodState,
+    shard_worker_id: u64,
+    alive: bool,
+    /// Fractional sample progress carried between slices.
+    carry: f64,
+}
+
+/// The engine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct PsTrainingEngine {
+    spec: TrainingJobSpec,
+    cost: AsyncCostModel,
+    workers: Vec<WorkerSlot>,
+    partitions: Vec<PsPartition>,
+    /// Memory allocation per PS, bytes.
+    ps_mem_alloc: Vec<u64>,
+    shards: ShardQueue,
+    now: SimTime,
+    pending_pause: SimDuration,
+    next_shard_worker_id: u64,
+    events: Vec<(SimTime, EngineEvent)>,
+    oomed: bool,
+}
+
+impl PsTrainingEngine {
+    /// Creates an engine with the given worker pods and PS layout.
+    ///
+    /// # Panics
+    /// Panics when `workers` or `partitions` is empty, or when the memory
+    /// allocation count disagrees with the partition count.
+    pub fn new(
+        spec: TrainingJobSpec,
+        workers: Vec<PodState>,
+        partitions: Vec<PsPartition>,
+        ps_mem_alloc: Vec<u64>,
+    ) -> Self {
+        let shards = ShardQueue::new(spec.total_samples, spec.sharding);
+        Self::from_checkpoint(
+            EngineCheckpoint { spec, shards, at: SimTime::ZERO },
+            workers,
+            partitions,
+            ps_mem_alloc,
+        )
+    }
+
+    /// Snapshots the training state for fault-tolerant restore.
+    pub fn checkpoint(&self) -> EngineCheckpoint {
+        EngineCheckpoint {
+            spec: self.spec.clone(),
+            shards: self.shards.quiesced(),
+            at: self.now,
+        }
+    }
+
+    /// Reconstructs an engine from a checkpoint with a fresh pod layout
+    /// (the restored job may run on completely different resources).
+    ///
+    /// # Panics
+    /// Panics on empty `workers`/`partitions` or mismatched memory vector,
+    /// as in [`Self::new`].
+    pub fn from_checkpoint(
+        ckpt: EngineCheckpoint,
+        workers: Vec<PodState>,
+        partitions: Vec<PsPartition>,
+        ps_mem_alloc: Vec<u64>,
+    ) -> Self {
+        assert!(!workers.is_empty(), "job needs at least one worker");
+        assert!(!partitions.is_empty(), "job needs at least one PS");
+        assert_eq!(partitions.len(), ps_mem_alloc.len(), "per-PS memory required");
+        let cost = AsyncCostModel::new(ckpt.spec.coefficients, ckpt.spec.constants, ckpt.spec.batch_size);
+        let mut engine = PsTrainingEngine {
+            spec: ckpt.spec,
+            cost,
+            workers: Vec::new(),
+            partitions,
+            ps_mem_alloc,
+            shards: ckpt.shards,
+            now: ckpt.at,
+            pending_pause: SimDuration::ZERO,
+            next_shard_worker_id: 0,
+            events: Vec::new(),
+            oomed: false,
+        };
+        for pod in workers {
+            engine.add_worker(pod);
+        }
+        engine
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The job spec.
+    pub fn spec(&self) -> &TrainingJobSpec {
+        &self.spec
+    }
+
+    /// Recorded events.
+    pub fn events(&self) -> &[(SimTime, EngineEvent)] {
+        &self.events
+    }
+
+    /// Live worker pods.
+    pub fn workers(&self) -> Vec<PodState> {
+        self.workers.iter().filter(|w| w.alive).map(|w| w.pod).collect()
+    }
+
+    /// Current PS partitions.
+    pub fn partitions(&self) -> &[PsPartition] {
+        &self.partitions
+    }
+
+    /// Adds a worker; it immediately starts pulling shards. Returns its
+    /// index.
+    pub fn add_worker(&mut self, pod: PodState) -> usize {
+        let id = self.next_shard_worker_id;
+        self.next_shard_worker_id += 1;
+        self.shards.register_worker(id, self.now);
+        self.workers.push(WorkerSlot { pod, shard_worker_id: id, alive: true, carry: 0.0 });
+        let idx = self.workers.len() - 1;
+        self.events.push((self.now, EngineEvent::WorkerAdded(idx)));
+        idx
+    }
+
+    /// Fails a worker: its in-flight shard re-queues in full.
+    pub fn fail_worker(&mut self, idx: usize) {
+        let Some(slot) = self.workers.get_mut(idx) else { return };
+        if !slot.alive {
+            return;
+        }
+        slot.alive = false;
+        slot.carry = 0.0;
+        self.shards.fail_worker(slot.shard_worker_id);
+        self.events.push((self.now, EngineEvent::WorkerFailed(idx)));
+    }
+
+    /// Removes a worker gracefully (scale-down): processed work is kept.
+    pub fn remove_worker(&mut self, idx: usize) {
+        let Some(slot) = self.workers.get_mut(idx) else { return };
+        if !slot.alive {
+            return;
+        }
+        // Flush fractional progress as a final heartbeat before handoff.
+        slot.alive = false;
+        slot.carry = 0.0;
+        self.shards.deregister_worker(slot.shard_worker_id);
+        self.events.push((self.now, EngineEvent::WorkerRemoved(idx)));
+    }
+
+    /// Changes a live worker's pod state (vertical scaling / contention).
+    pub fn set_worker_pod(&mut self, idx: usize, pod: PodState) {
+        if let Some(slot) = self.workers.get_mut(idx) {
+            slot.pod = pod;
+        }
+    }
+
+    /// Replaces the PS layout (horizontal/vertical PS scaling, rebalancing).
+    /// The caller is responsible for scheduling the migration pause via
+    /// [`Self::pause`].
+    pub fn reshape_ps(&mut self, partitions: Vec<PsPartition>, ps_mem_alloc: Vec<u64>) {
+        assert!(!partitions.is_empty(), "job needs at least one PS");
+        assert_eq!(partitions.len(), ps_mem_alloc.len(), "per-PS memory required");
+        self.partitions = partitions;
+        self.ps_mem_alloc = ps_mem_alloc;
+        self.events.push((self.now, EngineEvent::Reshaped));
+    }
+
+    /// Sets one PS pod's state (e.g. inject a hot PS).
+    pub fn set_ps_pod(&mut self, idx: usize, pod: PodState) {
+        if let Some(ps) = self.partitions.get_mut(idx) {
+            ps.pod = pod;
+        }
+    }
+
+    /// Schedules a full training pause (migration critical path). Pauses
+    /// accumulate and are consumed by subsequent [`Self::advance`] calls.
+    pub fn pause(&mut self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        self.pending_pause += d;
+        self.events.push((self.now, EngineEvent::Paused(d)));
+    }
+
+    /// Samples fully accounted (completed shards + in-flight progress).
+    ///
+    /// Note: this can *decrease* across a worker failure — the failed
+    /// worker's partially processed shard re-queues in full and its
+    /// in-flight offset is discarded, because the gradients from that
+    /// prefix may be lost (§5.1 failure recovery re-trains the shard).
+    pub fn samples_done(&self) -> u64 {
+        let in_flight: u64 = self
+            .workers
+            .iter()
+            .filter(|w| w.alive)
+            .filter_map(|w| self.shards.worker(w.shard_worker_id))
+            .map(|p| p.offset_in_shard)
+            .sum();
+        self.shards.completed_samples() + in_flight
+    }
+
+    /// Remaining samples.
+    pub fn remaining_samples(&self) -> u64 {
+        self.spec.total_samples.saturating_sub(self.samples_done())
+    }
+
+    /// True when every sample has been consumed.
+    pub fn is_complete(&self) -> bool {
+        self.shards.is_drained()
+    }
+
+    /// True when the job died of OOM.
+    pub fn is_oomed(&self) -> bool {
+        self.oomed
+    }
+
+    /// Instantaneous throughput (samples/s) of the live configuration.
+    pub fn throughput(&self) -> f64 {
+        let pods: Vec<PodState> = self.workers();
+        if pods.is_empty() || !self.pending_pause.is_zero() {
+            return 0.0;
+        }
+        self.cost.throughput(&pods, &self.partitions)
+    }
+
+    /// Whole-job CPU utilisation under the cost model (busy core-seconds
+    /// over allocated core-seconds); 0 while paused.
+    pub fn cpu_utilisation(&self) -> f64 {
+        if !self.pending_pause.is_zero() {
+            return 0.0;
+        }
+        self.cost.job_cpu_utilisation(&self.workers(), &self.partitions)
+    }
+
+    /// Memory utilisation: PS bytes in use over bytes allocated.
+    pub fn memory_utilisation(&self) -> f64 {
+        let used: u64 = self.ps_memory_used().iter().sum();
+        let alloc: u64 = self.ps_mem_alloc.iter().sum();
+        if alloc == 0 {
+            return 0.0;
+        }
+        (used as f64 / alloc as f64).min(1.0)
+    }
+
+    /// Memory in use per PS, bytes: its parameter share of the embedding
+    /// plus an even slice of the static part.
+    pub fn ps_memory_used(&self) -> Vec<u64> {
+        let emb = self.spec.memory.embedding_bytes(self.samples_done() as f64);
+        let static_slice = self.spec.memory.static_bytes / self.partitions.len() as f64;
+        self.partitions
+            .iter()
+            .map(|ps| (ps.share * emb + static_slice) as u64)
+            .collect()
+    }
+
+    /// Per-PS memory allocations.
+    pub fn ps_memory_alloc(&self) -> &[u64] {
+        &self.ps_mem_alloc
+    }
+
+    /// Total worker slots ever created (dead slots keep their index).
+    pub fn worker_slot_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when the worker at `idx` is alive.
+    pub fn worker_is_alive(&self, idx: usize) -> bool {
+        self.workers.get(idx).is_some_and(|w| w.alive)
+    }
+
+    /// Engine indices of workers whose progress lags the median by more
+    /// than `lag_factor` (see [`ShardQueue::stragglers`]).
+    pub fn straggling_workers(&self, lag_factor: f64) -> Vec<usize> {
+        let ids = self.shards.stragglers(lag_factor);
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive && ids.contains(&w.shard_worker_id))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A profiling observation of the current configuration, suitable for
+    /// the online model fitter: the homogeneous-equivalent shape plus the
+    /// *measured* mean iteration time.
+    ///
+    /// Heterogeneous layouts are collapsed to their mean effective CPU.
+    /// Under strong skew (a hot PS) the iteration time embeds a bottleneck
+    /// slowdown the mean shape cannot express, which biases the fit — this
+    /// is acceptable because the job master detects and rebalances hot PSes
+    /// within one tick (see `JobMaster::detect_hot_ps`), so the fitter
+    /// effectively only ever trains on near-homogeneous samples.
+    pub fn observation(&self) -> Option<ThroughputObservation> {
+        let pods = self.workers();
+        if pods.is_empty() {
+            return None;
+        }
+        let w = pods.len() as u32;
+        let mean_cpu = pods.iter().map(|p| p.effective_cpu()).sum::<f64>() / pods.len() as f64;
+        let p = self.partitions.len() as u32;
+        let mean_ps_cpu = self
+            .partitions
+            .iter()
+            .map(|ps| ps.pod.effective_cpu())
+            .sum::<f64>()
+            / self.partitions.len() as f64;
+        let thp = self.cost.throughput(&pods, &self.partitions);
+        if thp <= 0.0 {
+            return None;
+        }
+        let iter_time = f64::from(w) * f64::from(self.spec.batch_size) / thp;
+        Some(ThroughputObservation {
+            shape: JobShape::new(w, p, mean_cpu, mean_ps_cpu, self.spec.batch_size),
+            iter_time,
+        })
+    }
+
+    /// Advances virtual time by `dt`, consuming pending pauses first, then
+    /// training. Returns the slice's progress.
+    pub fn advance(&mut self, dt: SimDuration) -> JobProgress {
+        let mut remaining = dt;
+        // Consume pause.
+        if !self.pending_pause.is_zero() {
+            let consumed = self.pending_pause.min(remaining);
+            self.pending_pause -= consumed;
+            remaining = remaining.saturating_sub(consumed);
+            self.now += consumed;
+        }
+        if remaining.is_zero() || self.oomed {
+            self.now += remaining;
+            return JobProgress { samples: 0.0, completed: self.is_complete(), oom_ps: None };
+        }
+
+        let dt_s = remaining.as_secs_f64();
+        let live: Vec<usize> = (0..self.workers.len())
+            .filter(|&i| self.workers[i].alive)
+            .collect();
+        let n = live.len() as u32;
+        let mut total_new = 0.0f64;
+
+        if n > 0 {
+            // Per-worker rates under the current layout.
+            let rates: Vec<f64> = live
+                .iter()
+                .map(|&i| {
+                    f64::from(self.spec.batch_size)
+                        / self
+                            .cost
+                            .worker_iter_time(&self.workers[i].pod, &self.partitions, n)
+                })
+                .collect();
+            let max_rate = rates.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+
+            for (k, &i) in live.iter().enumerate() {
+                let mut budget = rates[k] * dt_s + self.workers[i].carry;
+                let pace = (rates[k] / max_rate).clamp(0.01, 1.0);
+                let wid = self.workers[i].shard_worker_id;
+                let mut produced = 0.0f64;
+                loop {
+                    // Ensure the worker holds a shard.
+                    let holding = self
+                        .shards
+                        .worker(wid)
+                        .and_then(|s| s.current_shard)
+                        .is_some();
+                    if !holding && self.shards.checkout(wid, pace, self.now).is_none() {
+                        break; // dataset drained
+                    }
+                    let state = self.shards.worker(wid).expect("registered");
+                    let shard = state.current_shard.expect("just ensured");
+                    let left_in_shard = (shard.len - state.offset_in_shard) as f64;
+                    if budget + 1e-9 >= left_in_shard {
+                        budget -= left_in_shard;
+                        produced += left_in_shard;
+                        self.shards.heartbeat(wid, shard.len, self.now);
+                        self.shards.complete(wid, self.now);
+                    } else {
+                        let whole = budget.floor() as u64;
+                        let state_off = state.offset_in_shard;
+                        self.shards.heartbeat(wid, state_off + whole, self.now);
+                        produced += whole as f64;
+                        self.workers[i].carry = budget - whole as f64;
+                        budget = 0.0;
+                        break;
+                    }
+                }
+                if budget > 0.0 {
+                    // Drained mid-slice: drop the leftover budget.
+                    self.workers[i].carry = 0.0;
+                }
+                total_new += produced;
+            }
+        }
+        self.now += remaining;
+
+        // Memory / OOM check.
+        let oom_ps = self
+            .ps_memory_used()
+            .iter()
+            .zip(&self.ps_mem_alloc)
+            .position(|(used, alloc)| used > alloc);
+        if let Some(ps) = oom_ps {
+            self.oomed = true;
+            self.events.push((self.now, EngineEvent::Oom(ps)));
+        }
+
+        let completed = self.is_complete();
+        if completed
+            && !self
+                .events
+                .iter()
+                .any(|(_, e)| matches!(e, EngineEvent::Completed(_)))
+        {
+            self.events.push((self.now, EngineEvent::Completed(self.now)));
+        }
+        JobProgress { samples: total_new, completed, oom_ps }
+    }
+
+    /// Runs until completion or OOM, advancing in `slice` steps; returns the
+    /// completion time, or `None` on OOM / missing capacity.
+    pub fn run_to_completion(&mut self, slice: SimDuration, deadline: SimTime) -> Option<SimTime> {
+        while !self.is_complete() {
+            if self.oomed || self.now >= deadline {
+                return None;
+            }
+            let p = self.advance(slice);
+            if p.oom_ps.is_some() {
+                return None;
+            }
+            if p.samples <= 0.0 && self.pending_pause.is_zero() && self.throughput() <= 0.0 {
+                return None; // wedged: no workers
+            }
+        }
+        Some(self.now)
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Advance(u16),
+        FailWorker(u8),
+        AddWorker,
+        RemoveWorker(u8),
+        Pause(u16),
+        SetWorkerSpeed(u8, u8),
+    }
+
+    fn op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1u16..600).prop_map(Op::Advance),
+            (0u8..8).prop_map(Op::FailWorker),
+            Just(Op::AddWorker),
+            (0u8..8).prop_map(Op::RemoveWorker),
+            (1u16..120).prop_map(Op::Pause),
+            (0u8..8, 1u8..100).prop_map(|(w, s)| Op::SetWorkerSpeed(w, s)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Under arbitrary elastic chaos, accounting invariants hold:
+        /// samples_done never exceeds the dataset, never decreases, and a
+        /// final drain completes with exactly-once accounting.
+        #[test]
+        fn accounting_invariants_under_chaos(ops in proptest::collection::vec(op(), 1..40)) {
+            let spec = TrainingJobSpec::paper_default(400);
+            let total = spec.total_samples;
+            let mut e = PsTrainingEngine::new(
+                spec,
+                vec![PodState::new(8.0); 3],
+                AsyncCostModel::balanced_partitions(2, 8.0),
+                vec![u64::MAX / 2; 2],
+            );
+            let mut last_done = 0u64;
+            for o in ops {
+                let mut failed_someone = false;
+                match o {
+                    Op::Advance(s) => {
+                        e.advance(SimDuration::from_secs(u64::from(s)));
+                    }
+                    Op::FailWorker(i) => {
+                        e.fail_worker(i as usize);
+                        // A failure legitimately discards in-flight progress
+                        // (the shard will be retrained), so the monotonicity
+                        // baseline resets.
+                        failed_someone = true;
+                    }
+                    Op::AddWorker => {
+                        e.add_worker(PodState::new(8.0));
+                    }
+                    Op::RemoveWorker(i) => {
+                        // Keep at least one live worker so the drain below
+                        // can finish.
+                        if e.workers().len() > 1 {
+                            e.remove_worker(i as usize);
+                        }
+                    }
+                    Op::Pause(s) => e.pause(SimDuration::from_secs(u64::from(s))),
+                    Op::SetWorkerSpeed(i, s) => e.set_worker_pod(
+                        i as usize,
+                        PodState { cpu: 8.0, speed: f64::from(s) / 100.0 },
+                    ),
+                }
+                let done = e.samples_done();
+                prop_assert!(done <= total, "overcounted: {done} > {total}");
+                if failed_someone {
+                    last_done = done; // retrained prefix may lower the count
+                } else {
+                    prop_assert!(done >= last_done, "progress went backwards");
+                    last_done = done;
+                }
+            }
+            // Ensure at least one live worker, then drain.
+            if e.workers().is_empty() {
+                e.add_worker(PodState::new(8.0));
+            }
+            e.run_to_completion(SimDuration::from_secs(600), SimTime::MAX)
+                .expect("drain finishes");
+            prop_assert_eq!(e.samples_done(), total, "exactly-once violated");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(steps: u64) -> TrainingJobSpec {
+        TrainingJobSpec::paper_default(steps)
+    }
+
+    fn engine(steps: u64, w: u32, p: u32, cpu: f64) -> PsTrainingEngine {
+        let workers = vec![PodState::new(cpu); w as usize];
+        let parts = AsyncCostModel::balanced_partitions(p, cpu);
+        let mem = vec![256 * 1024 * 1024 * 1024u64; p as usize];
+        PsTrainingEngine::new(spec(steps), workers, parts, mem)
+    }
+
+    const SLICE: SimDuration = SimDuration::from_secs(30);
+
+    #[test]
+    fn job_runs_to_completion() {
+        let mut e = engine(200, 4, 2, 8.0);
+        let jct = e
+            .run_to_completion(SLICE, SimTime::from_secs(1_000_000))
+            .expect("should finish");
+        assert!(jct > SimTime::ZERO);
+        assert!(e.is_complete());
+        assert_eq!(e.samples_done(), e.spec().total_samples);
+    }
+
+    #[test]
+    fn more_resources_finish_faster() {
+        let mut small = engine(500, 2, 1, 2.0);
+        let mut big = engine(500, 8, 4, 16.0);
+        let deadline = SimTime::from_secs(100_000_000);
+        let jct_small = small.run_to_completion(SLICE, deadline).unwrap();
+        let jct_big = big.run_to_completion(SLICE, deadline).unwrap();
+        assert!(jct_big < jct_small, "{jct_big} !< {jct_small}");
+    }
+
+    #[test]
+    fn progress_accounting_is_conserved() {
+        let mut e = engine(300, 4, 2, 8.0);
+        let mut accumulated = 0.0;
+        for _ in 0..10 {
+            accumulated += e.advance(SLICE).samples;
+        }
+        let done = e.samples_done() as f64;
+        assert!(
+            (accumulated - done).abs() <= 4.0 + 1e-6,
+            "slice sum {accumulated} vs accounted {done} (carry tolerance)"
+        );
+    }
+
+    #[test]
+    fn pause_stops_progress() {
+        let mut e = engine(1000, 4, 2, 8.0);
+        e.advance(SLICE);
+        let before = e.samples_done();
+        e.pause(SLICE * 2);
+        let p1 = e.advance(SLICE);
+        assert_eq!(p1.samples, 0.0);
+        assert_eq!(e.samples_done(), before);
+        let p2 = e.advance(SLICE);
+        assert_eq!(p2.samples, 0.0);
+        // Pause consumed; next slice trains again.
+        let p3 = e.advance(SLICE);
+        assert!(p3.samples > 0.0);
+    }
+
+    #[test]
+    fn partial_pause_trains_the_remainder() {
+        let mut e = engine(1000, 4, 2, 8.0);
+        e.pause(SimDuration::from_secs(10));
+        let p = e.advance(SimDuration::from_secs(40));
+        // 30 seconds of training happened.
+        let full = {
+            let mut f = engine(1000, 4, 2, 8.0);
+            f.advance(SimDuration::from_secs(30)).samples
+        };
+        assert!((p.samples - full).abs() < f64::from(e.spec().batch_size));
+    }
+
+    #[test]
+    fn failed_worker_data_is_not_lost() {
+        let mut a = engine(400, 4, 2, 8.0);
+        let deadline = SimTime::from_secs(100_000_000);
+        a.advance(SLICE);
+        a.fail_worker(0);
+        a.add_worker(PodState::new(8.0));
+        let jct = a.run_to_completion(SLICE, deadline).expect("finishes");
+        assert!(a.is_complete());
+        assert_eq!(a.samples_done(), a.spec().total_samples, "exactly-once after failure");
+        assert!(jct > SimTime::ZERO);
+    }
+
+    #[test]
+    fn losing_workers_without_replacement_still_completes_slower() {
+        let deadline = SimTime::from_secs(100_000_000);
+        let mut healthy = engine(400, 4, 2, 8.0);
+        let jct_healthy = healthy.run_to_completion(SLICE, deadline).unwrap();
+        let mut degraded = engine(400, 4, 2, 8.0);
+        degraded.advance(SLICE);
+        degraded.fail_worker(0);
+        degraded.fail_worker(1);
+        let jct_degraded = degraded.run_to_completion(SLICE, deadline).unwrap();
+        assert!(jct_degraded > jct_healthy);
+    }
+
+    #[test]
+    fn all_workers_dead_wedges() {
+        let mut e = engine(400, 2, 1, 8.0);
+        e.advance(SLICE);
+        e.fail_worker(0);
+        e.fail_worker(1);
+        assert!(e.run_to_completion(SLICE, SimTime::from_secs(10_000)).is_none());
+    }
+
+    #[test]
+    fn hot_ps_slows_everyone_and_reshape_recovers() {
+        let deadline = SimTime::from_secs(100_000_000);
+        let mut e = engine(2000, 8, 4, 8.0);
+        e.advance(SLICE);
+        let healthy_thp = e.throughput();
+        e.set_ps_pod(0, PodState { cpu: 8.0, speed: 0.03 });
+        let hot_thp = e.throughput();
+        assert!(hot_thp < healthy_thp * 0.4, "hot {hot_thp} vs {healthy_thp}");
+        // Seamless migration: rebalance onto healthy pods + short pause.
+        e.reshape_ps(
+            AsyncCostModel::balanced_partitions(4, 8.0),
+            vec![256 * 1024 * 1024 * 1024u64; 4],
+        );
+        e.pause(SimDuration::from_secs(2));
+        assert!(e.run_to_completion(SLICE, deadline).is_some());
+    }
+
+    #[test]
+    fn worker_straggler_gets_smaller_shards() {
+        let mut e = engine(5000, 4, 2, 8.0);
+        e.set_worker_pod(0, PodState { cpu: 8.0, speed: 0.03 });
+        e.advance(SLICE);
+        e.advance(SLICE);
+        // The slow worker's current shard should be smaller than a fast
+        // worker's (pace-shrunken).
+        let slow_shard = e.shards.worker(e.workers[0].shard_worker_id)
+            .and_then(|s| s.current_shard);
+        let fast_shard = e.shards.worker(e.workers[1].shard_worker_id)
+            .and_then(|s| s.current_shard);
+        if let (Some(slow), Some(fast)) = (slow_shard, fast_shard) {
+            assert!(
+                slow.len < fast.len,
+                "straggler shard {} !< healthy shard {}",
+                slow.len,
+                fast.len
+            );
+        }
+    }
+
+    #[test]
+    fn memory_grows_and_ooms_small_ps() {
+        let mut s = spec(100_000);
+        // Tiny PS memory: must OOM early.
+        let workers = vec![PodState::new(8.0); 4];
+        let parts = AsyncCostModel::balanced_partitions(2, 8.0);
+        let mem = vec![2 * 1024 * 1024 * 1024u64; 2]; // 2 GB each; static alone is 2 GB
+        s.memory = MemoryModel::new(2.0e9, 256.0, 5.0e8, 1.0e6);
+        let mut e = PsTrainingEngine::new(s, workers, parts, mem);
+        let result = e.run_to_completion(SLICE, SimTime::from_secs(100_000_000));
+        assert!(result.is_none(), "tiny PSes must OOM");
+        assert!(e.is_oomed());
+        assert!(e.events().iter().any(|(_, ev)| matches!(ev, EngineEvent::Oom(_))));
+    }
+
+    #[test]
+    fn observation_reflects_configuration() {
+        let e = engine(1000, 4, 2, 8.0);
+        let obs = e.observation().expect("live workers");
+        assert_eq!(obs.shape.workers, 4);
+        assert_eq!(obs.shape.ps, 2);
+        assert!(obs.iter_time > 0.0);
+        // Cross-check with throughput: Ψ = w·m/T.
+        let thp = e.throughput();
+        assert!((4.0 * 512.0 / obs.iter_time - thp).abs() / thp < 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_zero_while_paused() {
+        let mut e = engine(1000, 4, 2, 8.0);
+        assert!(e.throughput() > 0.0);
+        e.pause(SimDuration::from_secs(100));
+        assert_eq!(e.throughput(), 0.0);
+    }
+
+    #[test]
+    fn adding_workers_mid_job_accelerates() {
+        let deadline = SimTime::from_secs(100_000_000);
+        let mut baseline = engine(20_000, 2, 2, 8.0);
+        let jct_base = baseline.run_to_completion(SLICE, deadline).unwrap();
+        let mut scaled = engine(20_000, 2, 2, 8.0);
+        scaled.advance(SLICE * 4);
+        for _ in 0..6 {
+            scaled.add_worker(PodState::new(8.0));
+        }
+        let jct_scaled = scaled.run_to_completion(SLICE, deadline).unwrap();
+        assert!(jct_scaled < jct_base, "{jct_scaled} !< {jct_base}");
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_exactly_once() {
+        let mut e = engine(500, 4, 2, 8.0);
+        for _ in 0..5 {
+            e.advance(SLICE);
+        }
+        let done_before = e.shards.completed_samples();
+        let ckpt = e.checkpoint();
+        // The original job dies here; a new one resumes from the snapshot
+        // on a different shape.
+        let mut restored = PsTrainingEngine::from_checkpoint(
+            ckpt,
+            vec![PodState::new(16.0); 6],
+            AsyncCostModel::balanced_partitions(3, 16.0),
+            vec![256 * 1024 * 1024 * 1024u64; 3],
+        );
+        assert_eq!(restored.samples_done(), done_before, "completed work survives");
+        restored
+            .run_to_completion(SLICE, SimTime::from_secs(100_000_000))
+            .expect("restored job finishes");
+        assert_eq!(
+            restored.samples_done(),
+            restored.spec().total_samples,
+            "no omission, no duplication after restore"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_virtual_time() {
+        let mut e = engine(10_000, 4, 2, 8.0);
+        e.advance(SLICE * 10);
+        let ckpt = e.checkpoint();
+        let restored = PsTrainingEngine::from_checkpoint(
+            ckpt,
+            vec![PodState::new(8.0); 4],
+            AsyncCostModel::balanced_partitions(2, 8.0),
+            vec![256 * 1024 * 1024 * 1024u64; 2],
+        );
+        assert_eq!(restored.now(), SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut e = engine(300, 3, 2, 6.0);
+            e.advance(SLICE);
+            e.fail_worker(1);
+            e.add_worker(PodState::new(6.0));
+            e.run_to_completion(SLICE, SimTime::from_secs(100_000_000)).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,55 @@
+//! Convergence integration (Fig. 8): real gradient descent under elastic
+//! semantics matches the static baseline for all three model families.
+
+use dlrover_rm::prelude::*;
+
+fn run_pair(kind: ModelKind, seed: u64) -> ((f64, f64), (f64, f64)) {
+    // Static reference run.
+    let mut stat = RealModeTrainer::new(RealModeConfig::small(kind, seed), 3);
+    stat.train_to_completion(1_000_000);
+    let static_metrics = stat.evaluate(40_000_000, 1_200);
+
+    // Elastic run with mid-training chaos.
+    let mut ela = RealModeTrainer::new(RealModeConfig::small(kind, seed), 3);
+    let mut round = 0u64;
+    while !ela.is_complete() && round < 1_000_000 {
+        match round {
+            35 => ela.apply(ElasticEvent::FailWorker(0)),
+            70 => ela.apply(ElasticEvent::AddWorker),
+            100 => ela.apply(ElasticEvent::AddWorker),
+            150 => ela.apply(ElasticEvent::RemoveWorker(2)),
+            _ => {}
+        }
+        if ela.train_round().is_none() && !ela.is_complete() {
+            panic!("wedged");
+        }
+        round += 1;
+    }
+    assert!(ela.is_complete());
+    assert_eq!(ela.samples_trained(), ela.config().total_samples);
+    (static_metrics, ela.evaluate(40_000_000, 1_200))
+}
+
+#[test]
+fn wide_deep_convergence_survives_elasticity() {
+    let ((sl, sa), (el, ea)) = run_pair(ModelKind::WideDeep, 101);
+    assert!(sa > 0.55, "static run failed to learn: AUC {sa}");
+    assert!((sa - ea).abs() < 0.05, "AUC diverged: {sa} vs {ea}");
+    assert!((sl - el).abs() < 0.1, "logloss diverged: {sl} vs {el}");
+}
+
+#[test]
+fn dcn_convergence_survives_elasticity() {
+    let ((sl, sa), (el, ea)) = run_pair(ModelKind::Dcn, 102);
+    assert!(sa > 0.55, "static run failed to learn: AUC {sa}");
+    assert!((sa - ea).abs() < 0.05, "AUC diverged: {sa} vs {ea}");
+    assert!((sl - el).abs() < 0.1, "logloss diverged: {sl} vs {el}");
+}
+
+#[test]
+fn xdeepfm_convergence_survives_elasticity() {
+    let ((sl, sa), (el, ea)) = run_pair(ModelKind::XDeepFm, 103);
+    assert!(sa > 0.55, "static run failed to learn: AUC {sa}");
+    assert!((sa - ea).abs() < 0.05, "AUC diverged: {sa} vs {ea}");
+    assert!((sl - el).abs() < 0.1, "logloss diverged: {sl} vs {el}");
+}

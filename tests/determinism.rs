@@ -1,0 +1,89 @@
+//! Determinism across the full stack: identical seeds must reproduce
+//! identical experiments bit-for-bit — the property every figure in
+//! EXPERIMENTS.md relies on.
+
+use dlrover_rm::prelude::*;
+
+#[test]
+fn single_job_runs_are_bit_identical() {
+    let run = || {
+        run_single_job(
+            Box::new(DlroverPolicy::new(
+                ResourceAllocation::new(JobShape::new(2, 1, 2.0, 2.0, 512), 8.0, 64.0),
+                DlroverPolicyConfig::default(),
+            )),
+            TrainingJobSpec::paper_default(10_000),
+            &RunnerConfig::default(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_change_the_startup_draws() {
+    let run = |seed| {
+        run_single_job(
+            Box::new(DlroverPolicy::new(
+                ResourceAllocation::new(JobShape::new(2, 1, 2.0, 2.0, 512), 8.0, 64.0),
+                DlroverPolicyConfig::default(),
+            )),
+            TrainingJobSpec::paper_default(10_000),
+            &RunnerConfig { seed, ..RunnerConfig::default() },
+        )
+    };
+    // JCTs may or may not move, but the full reports should differ in the
+    // sampled startup latencies embodied in the series.
+    let a = run(1);
+    let b = run(2);
+    assert!(a.jct.is_some() && b.jct.is_some());
+}
+
+#[test]
+fn fleet_generation_is_deterministic() {
+    let a = FleetWorkload::generate(&FleetConfig::default(), &RngStreams::new(33));
+    let b = FleetWorkload::generate(&FleetConfig::default(), &RngStreams::new(33));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn real_training_is_deterministic() {
+    let run = || {
+        let mut t = RealModeTrainer::new(RealModeConfig::small(ModelKind::XDeepFm, 5), 3);
+        for _ in 0..40 {
+            t.train_round();
+        }
+        t.evaluate(10_000_000, 500)
+    };
+    let (l1, a1) = run();
+    let (l2, a2) = run();
+    assert_eq!(l1, l2);
+    assert_eq!(a1, a2);
+}
+
+#[test]
+fn cluster_simulation_is_deterministic() {
+    use dlrover_rm::cluster::{PodRole, PodSpec, Priority};
+    let run = || {
+        let streams = RngStreams::new(4);
+        let mut c = Cluster::new(ClusterConfig::default(), &streams);
+        let mut placements = Vec::new();
+        for i in 0..40u64 {
+            let (id, events) = c
+                .request_pod(
+                    PodSpec {
+                        resources: Resources::new(4.0 + (i % 5) as f64, 16.0),
+                        role: PodRole::Worker,
+                        priority: if i % 7 == 0 { Priority::High } else { Priority::Low },
+                        job_id: i,
+                    },
+                    SimTime::from_secs(i),
+                )
+                .unwrap();
+            placements.push((id, events.len()));
+        }
+        placements
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,204 @@
+//! End-to-end integration: the full DLRover-RM stack (brain policy → job
+//! master → training engine → shard queue) against the baselines, on the
+//! same substrate.
+
+use dlrover_rm::prelude::*;
+
+/// Historical profiling observations a warm-started job inherits from the
+/// config DB ("similarity information (e.g., time series information)").
+fn history() -> Vec<dlrover_rm::perfmodel::ThroughputObservation> {
+    let truth = ThroughputModel::new(
+        WorkloadConstants::default(),
+        ModelCoefficients::simulation_truth(),
+    );
+    let mut obs = Vec::new();
+    for w in [2u32, 4, 8, 16] {
+        for p in [1u32, 2, 4] {
+            for cpu in [4.0, 8.0, 16.0] {
+                let s = JobShape::new(w, p, cpu, cpu, 512);
+                obs.push(dlrover_rm::perfmodel::ThroughputObservation {
+                    shape: s,
+                    iter_time: truth.iter_time(&s),
+                });
+            }
+        }
+    }
+    obs
+}
+
+fn spec() -> TrainingJobSpec {
+    TrainingJobSpec::paper_default(20_000)
+}
+
+fn misprovisioned() -> ResourceAllocation {
+    ResourceAllocation::new(JobShape::new(2, 1, 2.0, 2.0, 512), 8.0, 64.0)
+}
+
+fn config() -> RunnerConfig {
+    RunnerConfig::default()
+}
+
+#[test]
+fn dlrover_beats_static_and_does_not_lose_data() {
+    let cfg = config();
+    let s = run_single_job(Box::new(StaticPolicy::new(misprovisioned())), spec(), &cfg);
+    let d = run_single_job(
+        Box::new(DlroverPolicy::new(misprovisioned(), DlroverPolicyConfig::default())),
+        spec(),
+        &cfg,
+    );
+    assert!(d.jct.unwrap() < s.jct.unwrap());
+    assert!(d.scaling_count >= 1);
+}
+
+#[test]
+fn dlrover_beats_es_and_optimus_on_jct() {
+    // The Fig. 7 comparison in miniature: same job, same adjustment
+    // cadence, different policies. ES/Optimus pay stop-and-restart costs
+    // and (Optimus) plan with a lookup-blind model.
+    let cfg = config();
+    let start = misprovisioned();
+    let space = PlanSearchSpace::default();
+
+    let d = run_single_job(
+        Box::new(DlroverPolicy::new(start, DlroverPolicyConfig::default())),
+        spec(),
+        &cfg,
+    );
+    let es = run_single_job(Box::new(EsPolicy::new(start, space, 2)), spec(), &cfg);
+    let opt = run_single_job(
+        Box::new(OptimusPolicy::new(start, space, WorkloadConstants::default())),
+        spec(),
+        &cfg,
+    );
+
+    let d_jct = d.jct.expect("dlrover finishes");
+    let es_jct = es.jct.expect("es finishes");
+    let opt_jct = opt.jct.expect("optimus finishes");
+    assert!(
+        d_jct < es_jct,
+        "dlrover {d_jct} !< es {es_jct}"
+    );
+    assert!(
+        d_jct < opt_jct,
+        "dlrover {d_jct} !< optimus {opt_jct}"
+    );
+}
+
+#[test]
+fn dlrover_is_close_to_well_tuned_oracle() {
+    // Fig. 7's headline: DLRover-RM "nears well-tuned configurations".
+    // The oracle knows the true coefficients and searches offline; DLRover
+    // must discover them online and still land within 2x (the paper reports
+    // ~1.4 % on real hardware; our gap includes the exploration phase of a
+    // very short job).
+    // As in the paper's Fig. 7 setting, DLRover jobs start from a config-DB
+    // warm start near (not at) the final configuration; the oracle gets the
+    // true coefficients and an offline exhaustive search.
+    let cfg = config();
+    let long_spec = TrainingJobSpec::paper_default(100_000);
+    let truth = ThroughputModel::new(
+        WorkloadConstants::default(),
+        ModelCoefficients::simulation_truth(),
+    );
+    let best = dlrover_rm::baselines::well_tuned_search(
+        &truth,
+        &PlanSearchSpace::default(),
+        512,
+        640.0,
+        &PriceTable::default(),
+    );
+    let o = run_single_job(
+        Box::new(WellTunedPolicy::new(&truth, &PlanSearchSpace::default(), 512, 640.0)),
+        long_spec.clone(),
+        &cfg,
+    );
+
+    // Fig. 9: warm starts land at ~92 % (workers) / ~85 % (PS) of the final
+    // configuration — model that fidelity here.
+    let warm = ResourceAllocation::new(
+        JobShape::new(
+            ((f64::from(best.shape.workers) * 0.92).round() as u32).max(1),
+            ((f64::from(best.shape.ps) * 0.85).round() as u32).max(1),
+            best.shape.worker_cpu,
+            best.shape.ps_cpu,
+            512,
+        ),
+        best.worker_mem_gb,
+        best.ps_mem_gb,
+    );
+    let d = run_single_job(
+        Box::new(
+            DlroverPolicy::new(warm, DlroverPolicyConfig::default()).with_history(history()),
+        ),
+        long_spec,
+        &cfg,
+    );
+    let o_jct = o.jct.unwrap().as_secs_f64();
+    let d_jct = d.jct.unwrap().as_secs_f64();
+    assert!(d_jct < o_jct * 1.25, "dlrover {d_jct}s vs oracle {o_jct}s");
+    assert!(d_jct >= o_jct * 0.9, "oracle should not lose meaningfully");
+}
+
+#[test]
+fn utilisation_improves_under_dlrover_for_overprovisioned_job() {
+    // The Fig. 14 mechanism at job scope: a 10x over-provisioned job wastes
+    // CPU statically; DLRover right-sizes it.
+    // The cluster caps this job at its requested footprint (the realistic
+    // contended-fleet case), so the only lever is rightsizing.
+    let cfg = config();
+    let long_spec = TrainingJobSpec::paper_default(200_000);
+    let fat = ResourceAllocation::new(JobShape::new(16, 8, 24.0, 24.0, 512), 96.0, 192.0);
+    let bounded = PlanSearchSpace {
+        workers: (1, 16),
+        ps: (1, 8),
+        worker_cpu: (1.0, 24.0),
+        ps_cpu: (1.0, 24.0),
+        ..PlanSearchSpace::default()
+    };
+    let s = run_single_job(Box::new(StaticPolicy::new(fat)), long_spec.clone(), &cfg);
+    let d = run_single_job(
+        Box::new(
+            DlroverPolicy::new(
+                fat,
+                DlroverPolicyConfig { space: bounded, ..DlroverPolicyConfig::default() },
+            )
+            .with_history(history()),
+        ),
+        long_spec,
+        &cfg,
+    );
+    // Static finishes fast but burns far more core-hours per sample.
+    assert!(
+        d.cpu_core_hours < 0.8 * s.cpu_core_hours,
+        "dlrover {} !< 80% of static {} core-hours",
+        d.cpu_core_hours,
+        s.cpu_core_hours
+    );
+    assert!(d.scaling_count >= 1, "rightsizing never fired");
+    assert!(
+        d.mean_cpu_utilisation > s.mean_cpu_utilisation,
+        "utilisation did not improve: {} vs {}",
+        d.mean_cpu_utilisation,
+        s.mean_cpu_utilisation
+    );
+}
+
+#[test]
+fn throughput_series_ramps_up_under_dlrover() {
+    // Fig. 10's shape: starting cold, DLRover's measured steps/s climbs
+    // across adjustment rounds.
+    let cfg = config();
+    let d = run_single_job(
+        Box::new(DlroverPolicy::new(misprovisioned(), DlroverPolicyConfig::default())),
+        TrainingJobSpec::paper_default(60_000),
+        &cfg,
+    );
+    let series = &d.throughput_series;
+    assert!(series.len() > 10);
+    let early: f64 =
+        series[..3].iter().map(|(_, s)| s).sum::<f64>() / 3.0;
+    let n = series.len();
+    let late: f64 = series[n - 4..n - 1].iter().map(|(_, s)| s).sum::<f64>() / 3.0;
+    assert!(late > 1.5 * early, "no ramp-up: {early} -> {late}");
+}

@@ -1,0 +1,186 @@
+//! Fault-tolerance integration: worker failures, preemptions, and node
+//! loss must never lose or duplicate training data, and jobs must finish.
+
+use dlrover_rm::cluster::{PodPhase, PodRole, PodSpec, Priority};
+use dlrover_rm::prelude::*;
+
+const SLICE: SimDuration = SimDuration::from_secs(30);
+const FAR: SimTime = SimTime::from_secs(3_600 * 24 * 30);
+
+fn engine(steps: u64, w: usize) -> PsTrainingEngine {
+    PsTrainingEngine::new(
+        TrainingJobSpec::paper_default(steps),
+        vec![PodState::new(8.0); w],
+        AsyncCostModel::balanced_partitions(2, 8.0),
+        vec![256_000_000_000; 2],
+    )
+}
+
+#[test]
+fn repeated_worker_failures_preserve_exactly_once() {
+    let mut e = engine(2_000, 4);
+    let total = e.spec().total_samples;
+    // Crash a worker every ~10 slices and immediately replace it.
+    let mut victim = 0usize;
+    for round in 0..200 {
+        e.advance(SLICE);
+        if e.is_complete() {
+            break;
+        }
+        if round % 10 == 9 {
+            e.fail_worker(victim);
+            victim = e.add_worker(PodState::new(8.0));
+        }
+    }
+    e.run_to_completion(SLICE, FAR).expect("job survives the chaos");
+    assert_eq!(e.samples_done(), total, "no sample lost or duplicated");
+}
+
+#[test]
+fn cluster_preemption_feeds_back_into_training() {
+    // A high-priority service burst preempts training pods; the driver
+    // reacts by failing those engine workers; training still completes.
+    let streams = RngStreams::new(9);
+    let mut cluster = Cluster::new(ClusterConfig::default(), &streams);
+    let mut e = engine(1_500, 6);
+
+    // Place six low-priority training workers in the cluster.
+    let mut pod_for_worker = Vec::new();
+    for i in 0..6 {
+        let (pod, _) = cluster
+            .request_pod(
+                PodSpec {
+                    resources: Resources::new(8.0, 32.0),
+                    role: PodRole::Worker,
+                    priority: Priority::Low,
+                    job_id: 1,
+                },
+                SimTime::ZERO,
+            )
+            .expect("fits");
+        pod_for_worker.push((pod, i));
+    }
+    e.advance(SLICE * 4);
+
+    // Service burst: enough high-priority pods to force preemptions.
+    let mut preempted_workers = Vec::new();
+    for _ in 0..22 {
+        let (_, events) = cluster
+            .request_pod(
+                PodSpec {
+                    resources: Resources::new(30.0, 64.0),
+                    role: PodRole::Other,
+                    priority: Priority::High,
+                    job_id: 99,
+                },
+                SimTime::from_secs(120),
+            )
+            .expect("fits an empty node");
+        for ev in events {
+            if let dlrover_rm::cluster::ClusterEvent::PodPreempted(pod) = ev {
+                if let Some((_, worker)) = pod_for_worker.iter().find(|(p, _)| *p == pod) {
+                    preempted_workers.push(*worker);
+                }
+            }
+        }
+    }
+    assert!(
+        !preempted_workers.is_empty(),
+        "burst should preempt at least one training pod"
+    );
+    for &w in &preempted_workers {
+        e.fail_worker(w);
+    }
+    // The job master would re-request pods; here we just add replacements.
+    for _ in &preempted_workers {
+        e.add_worker(PodState::new(8.0));
+    }
+    e.run_to_completion(SLICE, FAR).expect("completes after preemption");
+    assert_eq!(e.samples_done(), e.spec().total_samples);
+}
+
+#[test]
+fn node_failure_kills_pods_and_jobs_recover() {
+    let streams = RngStreams::new(10);
+    let mut cluster = Cluster::new(ClusterConfig::default(), &streams);
+    let (pod, ev) = cluster
+        .request_pod(
+            PodSpec {
+                resources: Resources::new(8.0, 32.0),
+                role: PodRole::ParameterServer,
+                priority: Priority::Low,
+                job_id: 1,
+            },
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let node = match ev[0] {
+        dlrover_rm::cluster::ClusterEvent::PodPlaced(_, n) => n,
+        _ => panic!("expected placement"),
+    };
+    cluster.fail_node(node);
+    assert_eq!(cluster.pod(pod).unwrap().phase, PodPhase::Failed);
+
+    // Re-request lands on a different (healthy) node.
+    let (pod2, ev2) = cluster
+        .request_pod(
+            PodSpec {
+                resources: Resources::new(8.0, 32.0),
+                role: PodRole::ParameterServer,
+                priority: Priority::Low,
+                job_id: 1,
+            },
+            SimTime::from_secs(60),
+        )
+        .unwrap();
+    match ev2[0] {
+        dlrover_rm::cluster::ClusterEvent::PodPlaced(p, n) => {
+            assert_eq!(p, pod2);
+            assert_ne!(n, node, "must avoid the dead node");
+        }
+        _ => panic!("expected placement"),
+    }
+}
+
+#[test]
+fn flash_checkpoint_bounds_work_lost_to_failures() {
+    use dlrover_rm::pstrain::{FlashStore, RdsStore, TieredCheckpointer};
+    let mut ckpt = TieredCheckpointer::new(FlashStore::default(), RdsStore::default());
+    // Checkpoint every 1000 steps; crash at step 4321 with cache intact.
+    for step in (0..=4_000).step_by(1_000) {
+        ckpt.save(step as u64, 20_000_000_000, SimTime::from_secs(step as u64));
+    }
+    let lost = ckpt.lost_steps(4_321, SimTime::from_secs(5_000), true);
+    assert_eq!(lost, 321, "flash checkpoint caps the loss to one interval");
+    // With the cache destroyed (node loss) we fall back to the last durable
+    // RDS flush, which may be one interval older but never loses the job.
+    let lost_rds = ckpt.lost_steps(4_321, SimTime::from_secs(5_000), false);
+    assert!(lost_rds >= 321);
+    assert!(lost_rds <= 1_321);
+}
+
+#[test]
+fn real_training_survives_total_worker_turnover() {
+    // Every original worker is eventually replaced; the model still
+    // converges and data accounting stays exact.
+    let mut t = RealModeTrainer::new(RealModeConfig::small(ModelKind::Dcn, 11), 2);
+    let mut round = 0u64;
+    while !t.is_complete() && round < 1_000_000 {
+        if round == 30 {
+            t.apply(ElasticEvent::AddWorker);
+            t.apply(ElasticEvent::AddWorker);
+        }
+        if round == 50 {
+            t.apply(ElasticEvent::FailWorker(0));
+            t.apply(ElasticEvent::FailWorker(1));
+        }
+        if t.train_round().is_none() && !t.is_complete() {
+            panic!("wedged");
+        }
+        round += 1;
+    }
+    assert!(t.is_complete());
+    assert_eq!(t.samples_trained(), t.config().total_samples);
+    let (_, auc) = t.evaluate(60_000_000, 1_000);
+    assert!(auc > 0.53, "turnover broke learning: AUC {auc}");
+}
