@@ -129,10 +129,7 @@ impl SchedulerPolicy for OptimusPolicy {
             return None;
         }
         self.current = best.1;
-        Some(PolicyDecision {
-            allocation: best.1,
-            strategy: MigrationStrategy::StopAndRestart,
-        })
+        Some(PolicyDecision { allocation: best.1, strategy: MigrationStrategy::StopAndRestart })
     }
 }
 
@@ -168,8 +165,8 @@ mod tests {
 
     #[test]
     fn adds_one_node_at_a_time_with_restarts() {
-        let mut p = OptimusPolicy::new(start(), PlanSearchSpace::default(),
-            WorkloadConstants::default());
+        let mut p =
+            OptimusPolicy::new(start(), PlanSearchSpace::default(), WorkloadConstants::default());
         let mut alloc = p.initial_allocation();
         for _ in 0..30 {
             if let Some(d) = p.adjust(&profile(&alloc)) {
@@ -188,15 +185,15 @@ mod tests {
 
     #[test]
     fn internal_model_is_lookup_blind() {
-        let p = OptimusPolicy::new(start(), PlanSearchSpace::default(),
-            WorkloadConstants::default());
+        let p =
+            OptimusPolicy::new(start(), PlanSearchSpace::default(), WorkloadConstants::default());
         assert_eq!(p.constants.embedding_dim, 0.0);
     }
 
     #[test]
     fn eventually_settles() {
-        let mut p = OptimusPolicy::new(start(), PlanSearchSpace::default(),
-            WorkloadConstants::default());
+        let mut p =
+            OptimusPolicy::new(start(), PlanSearchSpace::default(), WorkloadConstants::default());
         let mut alloc = p.initial_allocation();
         for _ in 0..100 {
             if let Some(d) = p.adjust(&profile(&alloc)) {

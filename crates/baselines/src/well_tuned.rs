@@ -69,7 +69,13 @@ impl WellTunedPolicy {
         budget_cores: f64,
     ) -> Self {
         WellTunedPolicy {
-            allocation: well_tuned_search(truth, space, batch, budget_cores, &PriceTable::default()),
+            allocation: well_tuned_search(
+                truth,
+                space,
+                batch,
+                budget_cores,
+                &PriceTable::default(),
+            ),
         }
     }
 }

@@ -17,6 +17,7 @@ use dlrover_pstrain::{
     AsyncCostModel, PodState, PsTrainingEngine, ShardQueue, ShardingConfig, TrainingJobSpec,
 };
 use dlrover_sim::{RngStreams, SimDuration, SimTime};
+use dlrover_telemetry::{EventKind, Telemetry};
 
 fn bench_nnls(c: &mut Criterion) {
     // 100x5 system: the shape the online fitter solves every interval.
@@ -37,10 +38,8 @@ fn bench_nnls(c: &mut Criterion) {
 }
 
 fn bench_model_fit(c: &mut Criterion) {
-    let truth = ThroughputModel::new(
-        WorkloadConstants::default(),
-        ModelCoefficients::simulation_truth(),
-    );
+    let truth =
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::simulation_truth());
     let mut obs = Vec::new();
     for w in [1u32, 2, 4, 8, 16] {
         for p in [1u32, 2, 4] {
@@ -52,17 +51,14 @@ fn bench_model_fit(c: &mut Criterion) {
     }
     c.bench_function("throughput_model_fit_45obs", |bench| {
         bench.iter(|| {
-            ThroughputModel::fit(WorkloadConstants::default(), std::hint::black_box(&obs))
-                .unwrap()
+            ThroughputModel::fit(WorkloadConstants::default(), std::hint::black_box(&obs)).unwrap()
         })
     });
 }
 
 fn bench_nsga_plan(c: &mut Criterion) {
-    let truth = ThroughputModel::new(
-        WorkloadConstants::default(),
-        ModelCoefficients::simulation_truth(),
-    );
+    let truth =
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::simulation_truth());
     let current = ResourceAllocation::new(JobShape::new(2, 1, 2.0, 2.0, 512), 8.0, 16.0);
     let generator = NsgaPlanGenerator::default();
     c.bench_function("nsga2_plan_generation", |bench| {
@@ -80,7 +76,11 @@ fn bench_shard_queue(c: &mut Criterion) {
             || {
                 ShardQueue::new(
                     1000 * 128 * 512,
-                    ShardingConfig { batches_per_shard: 128, batch_size: 512, min_batches_per_shard: 8 },
+                    ShardingConfig {
+                        batches_per_shard: 128,
+                        batch_size: 512,
+                        min_batches_per_shard: 8,
+                    },
                 )
             },
             |mut q| {
@@ -189,11 +189,47 @@ fn bench_train_batch(c: &mut Criterion) {
     });
 }
 
+fn bench_telemetry_event_append(c: &mut Criterion) {
+    // The cost of leaving tracing on by default: one ring-buffer append
+    // (through the shared-sink mutex) per event.
+    c.bench_function("telemetry_event_append_1k", |bench| {
+        bench.iter_batched(
+            Telemetry::default,
+            |t| {
+                for i in 0..1000u64 {
+                    t.record(
+                        SimTime::from_secs(i),
+                        EventKind::ShardAcked { worker: i % 16, len: 65_536 },
+                    );
+                }
+                t.event_count()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_telemetry_counter_increment(c: &mut Criterion) {
+    c.bench_function("telemetry_counter_increment_1k", |bench| {
+        bench.iter_batched(
+            Telemetry::default,
+            |t| {
+                for _ in 0..1000u64 {
+                    t.count("engine.shards_acked", 1);
+                }
+                t.counter("engine.shards_acked")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_nnls, bench_model_fit, bench_nsga_plan, bench_shard_queue,
               bench_embedding, bench_cluster_scheduling, bench_engine_slice,
-              bench_train_batch
+              bench_train_batch, bench_telemetry_event_append,
+              bench_telemetry_counter_increment
 }
 criterion_main!(benches);

@@ -4,6 +4,8 @@
 //! cargo run --release -p dlrover-bench --bin exp -- all
 //! cargo run --release -p dlrover-bench --bin exp -- fig7 fig10
 //! cargo run --release -p dlrover-bench --bin exp -- --seed 123 fig11
+//! cargo run --release -p dlrover-bench --bin exp -- trace results/fig7.trace.jsonl
+//! cargo run --release -p dlrover-bench --bin exp -- trace --diff a.jsonl b.jsonl
 //! ```
 
 use dlrover_bench::experiments as exp;
@@ -30,7 +32,9 @@ const EXPERIMENTS: &[Runner] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: exp [--seed N] <experiment|all> [more experiments...]\n");
+    eprintln!("usage: exp [--seed N] <experiment|all> [more experiments...]");
+    eprintln!("       exp trace [--filter KIND] <trace.jsonl>");
+    eprintln!("       exp trace --diff <left.jsonl> <right.jsonl>\n");
     eprintln!("experiments:");
     for (id, desc, _) in EXPERIMENTS {
         eprintln!("  {id:<10} {desc}");
@@ -38,8 +42,65 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+fn read_trace(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// `exp trace`: dump, filter, or diff serialized event logs.
+fn trace_command(args: &[String]) -> ! {
+    if let Some(pos) = args.iter().position(|a| a == "--diff") {
+        let mut rest: Vec<&String> = args.iter().collect();
+        rest.remove(pos);
+        if rest.len() != 2 {
+            usage();
+        }
+        let (left, right) = (read_trace(rest[0]), read_trace(rest[1]));
+        let diffs = dlrover_telemetry::diff_jsonl(&left, &right, 50);
+        if diffs.is_empty() {
+            println!("identical: {} events", left.lines().count());
+            std::process::exit(0);
+        }
+        for d in &diffs {
+            println!("line {}:", d.line);
+            println!("  < {}", d.left.as_deref().unwrap_or("(missing)"));
+            println!("  > {}", d.right.as_deref().unwrap_or("(missing)"));
+        }
+        println!("{} differing line(s) (showing at most 50)", diffs.len());
+        std::process::exit(1);
+    }
+    let mut filter = None;
+    let mut rest: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--filter" {
+            filter = Some(it.next().unwrap_or_else(|| usage()).clone());
+        } else {
+            rest.push(a);
+        }
+    }
+    if rest.len() != 1 {
+        usage();
+    }
+    let body = read_trace(rest[0]);
+    let mut shown = 0usize;
+    for line in body.lines() {
+        if filter.as_deref().is_none_or(|f| line.contains(f)) {
+            println!("{line}");
+            shown += 1;
+        }
+    }
+    eprintln!("{shown} of {} events", body.lines().count());
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        trace_command(&args[1..]);
+    }
     let mut seed = 42u64;
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         if pos + 1 >= args.len() {
@@ -56,13 +117,10 @@ fn main() {
     } else {
         args.iter()
             .map(|a| {
-                EXPERIMENTS
-                    .iter()
-                    .find(|(id, _, _)| id == a)
-                    .unwrap_or_else(|| {
-                        eprintln!("unknown experiment: {a}\n");
-                        usage()
-                    })
+                EXPERIMENTS.iter().find(|(id, _, _)| id == a).unwrap_or_else(|| {
+                    eprintln!("unknown experiment: {a}\n");
+                    usage()
+                })
             })
             .collect()
     };

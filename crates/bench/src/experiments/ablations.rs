@@ -12,17 +12,17 @@ use dlrover_optimizer::{
     ScalingAlgorithm,
 };
 use dlrover_perfmodel::{JobShape, ModelCoefficients, ThroughputModel, WorkloadConstants};
-use dlrover_pstrain::{
-    AsyncCostModel, FlashStore, PodState, RdsStore, ShardQueue, ShardingConfig,
-};
 use dlrover_pstrain::CheckpointStore;
+use dlrover_pstrain::{AsyncCostModel, FlashStore, PodState, RdsStore, ShardQueue, ShardingConfig};
 use dlrover_sim::{RngStreams, SimTime};
+use dlrover_telemetry::Telemetry;
 
 use crate::report::Report;
 
 /// Runs all ablations.
 pub fn run(seed: u64) -> String {
     let mut r = Report::new("ablations", "design-choice ablations");
+    let telemetry = Telemetry::default();
 
     // --- flash vs RDS checkpointing ---------------------------------------
     r.section("flash-checkpoint vs RDS (save latency, seconds)");
@@ -54,10 +54,7 @@ pub fn run(seed: u64) -> String {
     // pace-aware checkout (DLRover), the shard shrinks and the age is
     // capped regardless of the nominal shard size.
     r.section("shard size vs straggler gradient staleness (age in global batches)");
-    r.row(
-        &["batches/shard".into(), "no pacing".into(), "with pacing".into()],
-        &[14, 12, 12],
-    );
+    r.row(&["batches/shard".into(), "no pacing".into(), "with pacing".into()], &[14, 12, 12]);
     let mut shard_rows = Vec::new();
     let slow_factor = 10.0;
     for batches in [512u32, 256, 128, 64, 16] {
@@ -75,11 +72,7 @@ pub fn run(seed: u64) -> String {
         let paced = q2.checkout(2, 1.0 / slow_factor, SimTime::ZERO).expect("data");
         let age_paced = (paced.len as f64 / 512.0) * slow_factor;
         r.row(
-            &[
-                format!("{batches}"),
-                format!("{age_unpaced:.0}"),
-                format!("{age_paced:.0}"),
-            ],
+            &[format!("{batches}"), format!("{age_unpaced:.0}"), format!("{age_paced:.0}")],
             &[14, 12, 12],
         );
         shard_rows.push(serde_json::json!({
@@ -107,12 +100,10 @@ pub fn run(seed: u64) -> String {
             AsyncCostModel::balanced_partitions(4, 8.0),
             vec![u64::MAX / 2; 4],
         );
+        e.set_telemetry(telemetry.clone());
         e.set_worker_pod(0, PodState { cpu: 8.0, speed: 0.03 });
         let end = e
-            .run_to_completion(
-                dlrover_sim::SimDuration::from_secs(30),
-                dlrover_sim::SimTime::MAX,
-            )
+            .run_to_completion(dlrover_sim::SimDuration::from_secs(30), dlrover_sim::SimTime::MAX)
             .expect("finishes");
         let jct = end.saturating_since(dlrover_sim::SimTime::ZERO).as_mins_f64();
         r.row(&[format!("{batches}"), format!("{jct:.1}")], &[14, 10]);
@@ -123,10 +114,7 @@ pub fn run(seed: u64) -> String {
 
     // --- rho sweep ----------------------------------------------------------
     r.section("priority exponent rho: short-job vs long-job preference");
-    r.row(
-        &["rho".into(), "WG(short)/WG(long)".into()],
-        &[8, 20],
-    );
+    r.row(&["rho".into(), "WG(short)/WG(long)".into()], &[8, 20]);
     let mut rho_rows = Vec::new();
     for rho in [-2.5, -1.0, 0.0, 1.0, 2.5, 5.0] {
         let cfg = GreedyConfig { rho, epsilon: 1.0 };
@@ -148,10 +136,7 @@ pub fn run(seed: u64) -> String {
     let budget = generator.nsga.population * (generator.nsga.generations + 1);
     let mut rng = RngStreams::new(seed).stream("ablation-nsga");
     let plans = generator.candidates(&truth, &current, &mut rng);
-    let best_nsga = plans
-        .iter()
-        .map(|p| p.resource_efficiency())
-        .fold(0.0f64, f64::max);
+    let best_nsga = plans.iter().map(|p| p.resource_efficiency()).fold(0.0f64, f64::max);
 
     // Random search with the same number of evaluations.
     use rand::Rng;
@@ -188,11 +173,8 @@ pub fn run(seed: u64) -> String {
         let eval = |genome: &[f64]| {
             let alloc = space.decode(genome, 512);
             let cand = generator.score(&truth, &current, alloc);
-            let inv_gain = if cand.throughput_gain > 1e-9 {
-                1.0 / cand.throughput_gain
-            } else {
-                1e9
-            };
+            let inv_gain =
+                if cand.throughput_gain > 1e-9 { 1.0 / cand.throughput_gain } else { 1e9 };
             vec![cand.resource_cost, inv_gain]
         };
         let (lower, upper) = (
@@ -235,6 +217,7 @@ pub fn run(seed: u64) -> String {
     }
     r.record("hot_ps_sweep", &hot_rows);
 
+    r.telemetry(&telemetry);
     r.finish()
 }
 
@@ -249,26 +232,20 @@ mod tests {
         // Flash beats RDS by orders of magnitude at 20 GB.
         let ckpt = json["checkpoint"].as_array().unwrap();
         let twenty = ckpt.iter().find(|c| c["gb"] == 20).unwrap();
-        assert!(
-            twenty["rds_s"].as_f64().unwrap() > 100.0 * twenty["flash_s"].as_f64().unwrap()
-        );
+        assert!(twenty["rds_s"].as_f64().unwrap() > 100.0 * twenty["flash_s"].as_f64().unwrap());
         // Smaller shards reduce unpaced staleness monotonically, and pacing
         // never exceeds the unpaced age.
         let shards = json["shard_staleness"].as_array().unwrap();
-        let unpaced: Vec<f64> =
-            shards.iter().map(|s| s["age_unpaced"].as_f64().unwrap()).collect();
+        let unpaced: Vec<f64> = shards.iter().map(|s| s["age_unpaced"].as_f64().unwrap()).collect();
         assert!(unpaced.windows(2).all(|w| w[1] <= w[0] + 1e-9), "{unpaced:?}");
         for s in shards {
-            assert!(
-                s["age_paced"].as_f64().unwrap() <= s["age_unpaced"].as_f64().unwrap() + 1e-9
-            );
+            assert!(s["age_paced"].as_f64().unwrap() <= s["age_unpaced"].as_f64().unwrap() + 1e-9);
         }
         // rho > 0 prefers short jobs, rho < 0 prefers long jobs.
         let rho = json["rho"].as_array().unwrap();
         let at = |v: f64| {
-            rho.iter()
-                .find(|r| (r["rho"].as_f64().unwrap() - v).abs() < 1e-9)
-                .unwrap()["short_over_long"]
+            rho.iter().find(|r| (r["rho"].as_f64().unwrap() - v).abs() < 1e-9).unwrap()
+                ["short_over_long"]
                 .as_f64()
                 .unwrap()
         };
@@ -276,9 +253,7 @@ mod tests {
         assert!(at(-2.5) < 1.0);
         assert!((at(0.0) - 1.0).abs() < 1e-9);
         // NSGA-II matches or beats random search.
-        assert!(
-            json["nsga_re"].as_f64().unwrap() >= 0.8 * json["random_re"].as_f64().unwrap()
-        );
+        assert!(json["nsga_re"].as_f64().unwrap() >= 0.8 * json["random_re"].as_f64().unwrap());
         // Hypervolume is non-decreasing with generations (within noise of
         // the independent runs).
         let hv = json["hypervolume"].as_array().unwrap();

@@ -5,17 +5,23 @@
 use dlrover_perfmodel::{MemoryModel, ModelCoefficients, WorkloadConstants};
 use dlrover_pstrain::{AsyncCostModel, PodState};
 
+use dlrover_telemetry::Telemetry;
+
 use crate::report::Report;
 
 /// Fig. 1(a).
 pub fn run_fig1a(_seed: u64) -> String {
-    let mut r = Report::new(
-        "fig1a",
-        "CPU time distribution per operator across DLRM jobs",
-    );
+    let mut r = Report::new("fig1a", "CPU time distribution per operator across DLRM jobs");
     r.line("Per-phase share of one training iteration (percent).");
     r.row(
-        &["job".into(), "grad".into(), "update".into(), "sync".into(), "lookup".into(), "other".into()],
+        &[
+            "job".into(),
+            "grad".into(),
+            "update".into(),
+            "sync".into(),
+            "lookup".into(),
+            "other".into(),
+        ],
         &[22, 8, 8, 8, 8, 8],
     );
 
@@ -49,13 +55,10 @@ pub fn run_fig1a(_seed: u64) -> String {
     }
     let lo = lookup_fractions.iter().cloned().fold(1.0f64, f64::min);
     let hi = lookup_fractions.iter().cloned().fold(0.0f64, f64::max);
-    r.line(format!(
-        "\nlookup share ranges {:.0}%-{:.0}% (paper: 30%-48%)",
-        lo * 100.0,
-        hi * 100.0
-    ));
+    r.line(format!("\nlookup share ranges {:.0}%-{:.0}% (paper: 30%-48%)", lo * 100.0, hi * 100.0));
     r.record("lookup_fraction_min", &lo);
     r.record("lookup_fraction_max", &hi);
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 
@@ -76,11 +79,10 @@ pub fn run_fig1b(_seed: u64) -> String {
         r.row(&[format!("{h}"), format!("{tb:.2}")], &[6, 12]);
     }
     let final_tb = series.last().expect("series nonempty").1;
-    r.line(format!(
-        "\nmemory reaches {final_tb:.2} TB by hour 15 (paper: >2.3 TB)"
-    ));
+    r.line(format!("\nmemory reaches {final_tb:.2} TB by hour 15 (paper: >2.3 TB)"));
     r.record("series_tb", &series);
     r.record("final_tb", &final_tb);
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 
@@ -94,8 +96,7 @@ mod tests {
         // Extract the recorded range from the rendered line.
         assert!(text.contains("paper: 30%-48%"));
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig1a.json").unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string("results/fig1a.json").unwrap()).unwrap();
         let lo = json["lookup_fraction_min"].as_f64().unwrap();
         let hi = json["lookup_fraction_max"].as_f64().unwrap();
         assert!(lo >= 0.25 && hi <= 0.55, "band [{lo}, {hi}] drifted");
@@ -106,8 +107,7 @@ mod tests {
     fn fig1b_reaches_multi_tb() {
         run_fig1b(0);
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig1b.json").unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string("results/fig1b.json").unwrap()).unwrap();
         let final_tb = json["final_tb"].as_f64().unwrap();
         assert!(final_tb > 2.3, "only {final_tb} TB after 15h");
         assert!(final_tb < 10.0, "implausibly large: {final_tb} TB");

@@ -7,8 +7,9 @@ use dlrover_baselines::{EsPolicy, OptimusPolicy};
 use dlrover_brain::{DlroverPolicy, DlroverPolicyConfig};
 use dlrover_optimizer::{PlanSearchSpace, ResourceAllocation};
 use dlrover_perfmodel::JobShape;
-use dlrover_rm::prelude::{run_single_job, RunReport, RunnerConfig};
 use dlrover_pstrain::TrainingJobSpec;
+use dlrover_rm::prelude::{run_single_job_traced, RunReport, RunnerConfig};
+use dlrover_telemetry::Telemetry;
 
 use crate::experiments::common::model_workloads;
 use crate::report::Report;
@@ -38,6 +39,7 @@ fn series_at_minutes(report: &RunReport, minutes: &[u32]) -> Vec<f64> {
 /// Runs the Fig. 10 cold-start ramp comparison.
 pub fn run(seed: u64) -> String {
     let mut r = Report::new("fig10", "cold-start throughput ramp (steps/s over time)");
+    let telemetry = Telemetry::default();
     let testbed_startup = dlrover_cluster::StartupLatencyModel {
         scheduling_mean_s: 15.0,
         image_pull_mean_s: 45.0,
@@ -58,19 +60,26 @@ pub fn run(seed: u64) -> String {
     let mut json_rows = Vec::new();
     for (name, constants) in model_workloads() {
         let spec = TrainingJobSpec { constants, ..TrainingJobSpec::paper_default(400_000) };
-        let dl = run_single_job(
+        let dl = run_single_job_traced(
             Box::new(DlroverPolicy::new(
                 cold,
                 DlroverPolicyConfig { constants, seed, ..Default::default() },
             )),
             spec.clone(),
             &runner,
+            &telemetry,
         );
-        let es = run_single_job(Box::new(EsPolicy::new(cold, space, 4)), spec.clone(), &runner);
-        let opt = run_single_job(
+        let es = run_single_job_traced(
+            Box::new(EsPolicy::new(cold, space, 4)),
+            spec.clone(),
+            &runner,
+            &telemetry,
+        );
+        let opt = run_single_job_traced(
             Box::new(OptimusPolicy::new(cold, space, constants)),
             spec.clone(),
             &runner,
+            &telemetry,
         );
 
         let dl_series = series_at_minutes(&dl, &minutes);
@@ -78,10 +87,7 @@ pub fn run(seed: u64) -> String {
         let opt_series = series_at_minutes(&opt, &minutes);
 
         r.section(name);
-        r.row(
-            &["min".into(), "dlrover".into(), "es".into(), "optimus".into()],
-            &[5, 9, 9, 9],
-        );
+        r.row(&["min".into(), "dlrover".into(), "es".into(), "optimus".into()], &[5, 9, 9, 9]);
         for (i, &m) in minutes.iter().enumerate() {
             r.row(
                 &[
@@ -103,6 +109,7 @@ pub fn run(seed: u64) -> String {
          (paper: 250 steps/s vs 100-150 at 12 minutes for Model-X)",
     );
     r.record("rows", &json_rows);
+    r.telemetry(&telemetry);
     r.finish()
 }
 
@@ -112,8 +119,7 @@ mod tests {
     fn fig10_dlrover_ramps_fastest() {
         super::run(10);
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig10.json").unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string("results/fig10.json").unwrap()).unwrap();
         for row in json["rows"].as_array().unwrap() {
             let at = |key: &str, idx: usize| row[key].as_array().unwrap()[idx].as_f64().unwrap();
             let n = row["minutes"].as_array().unwrap().len();

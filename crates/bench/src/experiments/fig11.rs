@@ -3,10 +3,11 @@
 //! plus the fitted coefficients the paper reports.
 
 use dlrover_perfmodel::{
-    rmsle, JobShape, ModelCoefficients, ThroughputModel, ThroughputObservation,
-    WorkloadConstants,
+    rmsle, JobShape, ModelCoefficients, ThroughputModel, ThroughputObservation, WorkloadConstants,
 };
 use dlrover_sim::{Normal, RngStreams, Sample};
+
+use dlrover_telemetry::Telemetry;
 
 use crate::report::Report;
 
@@ -32,18 +33,14 @@ pub fn run(seed: u64) -> String {
             }
         }
     }
-    let (fitted, fit_rmsle) =
-        ThroughputModel::fit(constants, &observations).expect("fit succeeds");
+    let (fitted, fit_rmsle) = ThroughputModel::fit(constants, &observations).expect("fit succeeds");
 
     // Report the coefficients in the paper's (unscaled) units for direct
     // comparison: the simulation truth is paper_reference / 1800.
     let c = fitted.coefficients;
     let scale = 1800.0;
     r.section("fitted coefficients (rescaled to the paper's units)");
-    r.row(
-        &["coef".into(), "fitted".into(), "paper".into()],
-        &[12, 10, 10],
-    );
+    r.row(&["coef".into(), "fitted".into(), "paper".into()], &[12, 10, 10]);
     let paper = ModelCoefficients::paper_reference();
     for (name, got, want) in [
         ("alpha_grad", c.alpha_grad * scale, paper.alpha_grad),
@@ -52,10 +49,7 @@ pub fn run(seed: u64) -> String {
         ("alpha_lookup", c.alpha_emb * scale, paper.alpha_emb),
         ("beta_total", c.beta_total * scale, paper.beta_total),
     ] {
-        r.row(
-            &[name.into(), format!("{got:.2}"), format!("{want:.2}")],
-            &[12, 10, 10],
-        );
+        r.row(&[name.into(), format!("{got:.2}"), format!("{want:.2}")], &[12, 10, 10]);
     }
     r.line(format!("fit RMSLE over {} samples: {:.4}", observations.len(), fit_rmsle));
 
@@ -101,6 +95,7 @@ pub fn run(seed: u64) -> String {
         }),
     );
     r.record("sweeps", &sweep_rows);
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 
@@ -110,8 +105,7 @@ mod tests {
     fn fig11_fit_recovers_coefficients() {
         super::run(11);
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig11.json").unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string("results/fig11.json").unwrap()).unwrap();
         assert!(json["fit_rmsle"].as_f64().unwrap() < 0.05);
         let c = &json["coefficients_paper_units"];
         // Recovered coefficients within 15 % of the planted values
@@ -119,19 +113,12 @@ mod tests {
         // alpha_sync 0.68, sum-beta 2.45).
         let close = |key: &str, want: f64, tol: f64| {
             let got = c[key].as_f64().unwrap();
-            assert!(
-                (got - want).abs() <= want * tol + 0.3,
-                "{key}: {got} vs {want}"
-            );
+            assert!((got - want).abs() <= want * tol + 0.3, "{key}: {got} vs {want}");
         };
         close("alpha_grad", 3.48, 0.15);
         close("alpha_lookup", 2.45, 0.15);
         for sweep in json["sweeps"].as_array().unwrap() {
-            assert!(
-                sweep["rmsle"].as_f64().unwrap() < 0.1,
-                "sweep {} misfits",
-                sweep["sweep"]
-            );
+            assert!(sweep["rmsle"].as_f64().unwrap() < 0.1, "sweep {} misfits", sweep["sweep"]);
         }
     }
 }

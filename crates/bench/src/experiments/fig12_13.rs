@@ -2,11 +2,11 @@
 //! strategies with their JCT and timeline breakdown.
 
 use dlrover_pstrain::{
-    plan_ps_migration, plan_worker_recovery, static_partition_completion_seconds,
-    AsyncCostModel, FlashStore, MigrationStrategy, PodState, PsTrainingEngine, RdsStore,
-    TrainingJobSpec,
+    plan_ps_migration, plan_worker_recovery, static_partition_completion_seconds, AsyncCostModel,
+    FlashStore, MigrationStrategy, PodState, PsTrainingEngine, RdsStore, TrainingJobSpec,
 };
 use dlrover_sim::{SimDuration, SimTime};
+use dlrover_telemetry::Telemetry;
 
 use crate::report::Report;
 
@@ -22,13 +22,15 @@ const STEPS: u64 = 100_000;
 /// Checkpoint size of the (grown) model at injection time.
 const CKPT: u64 = 20 * GB;
 
-fn engine() -> PsTrainingEngine {
-    PsTrainingEngine::new(
+fn engine(telemetry: &Telemetry) -> PsTrainingEngine {
+    let mut e = PsTrainingEngine::new(
         TrainingJobSpec::paper_default(STEPS),
         vec![PodState::new(CPU); WORKERS as usize],
         AsyncCostModel::balanced_partitions(PS, CPU),
         vec![256 * GB; PS as usize],
-    )
+    );
+    e.set_telemetry(telemetry.clone());
+    e
 }
 
 struct Outcome {
@@ -37,8 +39,8 @@ struct Outcome {
     degraded_min: f64,
 }
 
-fn hot_ps_case(strategy: MigrationStrategy) -> Outcome {
-    let mut e = engine();
+fn hot_ps_case(strategy: MigrationStrategy, telemetry: &Telemetry) -> Outcome {
+    let mut e = engine(telemetry);
     // 20 minutes of healthy training, then PS 0 drops to 3 % CPU.
     for _ in 0..40 {
         e.advance(SLICE);
@@ -74,8 +76,8 @@ fn hot_ps_case(strategy: MigrationStrategy) -> Outcome {
     }
 }
 
-fn straggler_case(strategy: MigrationStrategy) -> Outcome {
-    let mut e = engine();
+fn straggler_case(strategy: MigrationStrategy, telemetry: &Telemetry) -> Outcome {
+    let mut e = engine(telemetry);
     for _ in 0..40 {
         e.advance(SLICE);
     }
@@ -87,11 +89,7 @@ fn straggler_case(strategy: MigrationStrategy) -> Outcome {
         SimDuration::from_mins(6),
         &RdsStore::default(),
     );
-    let cost = AsyncCostModel::new(
-        e.spec().coefficients,
-        e.spec().constants,
-        e.spec().batch_size,
-    );
+    let cost = AsyncCostModel::new(e.spec().coefficients, e.spec().constants, e.spec().batch_size);
     let rate = |pod: &PodState, e: &PsTrainingEngine| {
         512.0 / cost.worker_iter_time(pod, e.partitions(), WORKERS)
     };
@@ -138,7 +136,11 @@ fn straggler_case(strategy: MigrationStrategy) -> Outcome {
     }
 }
 
-fn render(r: &mut Report, title: &str, f: impl Fn(MigrationStrategy) -> Outcome) -> Vec<serde_json::Value> {
+fn render(
+    r: &mut Report,
+    title: &str,
+    f: impl Fn(MigrationStrategy) -> Outcome,
+) -> Vec<serde_json::Value> {
     r.section(title);
     r.row(
         &["strategy".into(), "JCT(min)".into(), "pause(min)".into(), "degraded(min)".into()],
@@ -170,7 +172,7 @@ fn render(r: &mut Report, title: &str, f: impl Fn(MigrationStrategy) -> Outcome)
 
 /// Cross-check: the same scenario through the *job master's* automatic
 /// hot-PS detection + seamless rebalancing (no hand-scripted timeline).
-fn hot_ps_via_master() -> f64 {
+fn hot_ps_via_master(telemetry: &Telemetry) -> f64 {
     use dlrover_master::{JobMaster, MasterConfig, MasterEvent};
     use dlrover_optimizer::ResourceAllocation;
     use dlrover_perfmodel::JobShape;
@@ -181,6 +183,7 @@ fn hot_ps_via_master() -> f64 {
         ResourceAllocation::new(JobShape::new(WORKERS, PS, CPU, CPU, 512), CPU * 4.0, 256.0),
         MasterConfig::default(),
     );
+    m.set_telemetry(telemetry.clone());
     // 20 healthy minutes, then the injection.
     for _ in 0..40 {
         m.tick(SLICE);
@@ -199,9 +202,11 @@ fn hot_ps_via_master() -> f64 {
 /// Runs Fig. 12 (hot PS).
 pub fn run_fig12(_seed: u64) -> String {
     let mut r = Report::new("fig12", "hot-PS recovery strategies");
-    let mut rows = render(&mut r, "PS 0 drops to 3% CPU at minute 20", hot_ps_case);
+    let telemetry = Telemetry::default();
+    let mut rows =
+        render(&mut r, "PS 0 drops to 3% CPU at minute 20", |s| hot_ps_case(s, &telemetry));
     // Integrated path: master auto-detects and rebalances.
-    let auto_jct = hot_ps_via_master();
+    let auto_jct = hot_ps_via_master(&telemetry);
     r.row(
         &["DLRover-RM (job master)".into(), format!("{auto_jct:.1}"), "auto".into(), "auto".into()],
         &[26, 9, 11, 14],
@@ -216,13 +221,16 @@ pub fn run_fig12(_seed: u64) -> String {
         (1.0 - jct(2) / jct(1)) * 100.0
     ));
     r.record("rows", &rows);
+    r.telemetry(&telemetry);
     r.finish()
 }
 
 /// Runs Fig. 13 (worker straggler).
 pub fn run_fig13(_seed: u64) -> String {
     let mut r = Report::new("fig13", "worker-straggler recovery strategies");
-    let rows = render(&mut r, "worker 0 drops to 3% CPU at minute 20", straggler_case);
+    let telemetry = Telemetry::default();
+    let rows =
+        render(&mut r, "worker 0 drops to 3% CPU at minute 20", |s| straggler_case(s, &telemetry));
     let jct = |i: usize| rows[i]["jct_min"].as_f64().unwrap();
     r.line(format!(
         "\nDLRover vs no-intervention: -{:.1}% (paper: -48.5%) | vs traditional: -{:.1}% (paper: -37%)",
@@ -230,6 +238,7 @@ pub fn run_fig13(_seed: u64) -> String {
         (1.0 - jct(2) / jct(1)) * 100.0
     ));
     r.record("rows", &rows);
+    r.telemetry(&telemetry);
     r.finish()
 }
 
@@ -252,10 +261,8 @@ mod tests {
         let (noint, traditional, dlrover) = jcts("results/fig12.json");
         // The integrated job-master path must land in the same league as
         // the scripted seamless timeline.
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string("results/fig12.json").unwrap(),
-        )
-        .unwrap();
+        let json: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string("results/fig12.json").unwrap()).unwrap();
         let auto = json["rows"][3]["jct_min"].as_f64().unwrap();
         assert!(auto.is_finite());
         assert!(auto < traditional, "auto mitigation {auto} !< traditional {traditional}");

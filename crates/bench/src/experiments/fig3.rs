@@ -9,6 +9,7 @@ use dlrover_cluster::{
 use dlrover_perfmodel::ModelCoefficients;
 use dlrover_pstrain::{AsyncCostModel, PodState};
 use dlrover_sim::{RngStreams, SimDuration};
+use dlrover_telemetry::Telemetry;
 
 use crate::experiments::fleetstudy::{run_fleet, FleetStudyConfig};
 use crate::report::{percentile, sorted, Report};
@@ -16,7 +17,7 @@ use crate::report::{percentile, sorted, Report};
 /// Pod-level cross-validation of the pending-time distribution: gang-
 /// schedule a slice of the same workload through the *exact* cluster
 /// simulator (nodes, best-fit, preemption) instead of the aggregate pool.
-fn pod_level_pending(seed: u64) -> Vec<f64> {
+fn pod_level_pending(seed: u64, telemetry: &Telemetry) -> Vec<f64> {
     let workload = FleetWorkload::generate(
         &FleetConfig { training_jobs: 150, background_jobs: 30, ..Default::default() },
         &RngStreams::new(seed),
@@ -48,11 +49,10 @@ fn pod_level_pending(seed: u64) -> Vec<f64> {
                     job_id: j.id,
                 });
             }
-            let workers =
-                vec![
-                    PodState::new(j.ideal_worker.cores().min(j.requested_worker.cores()));
-                    j.workers.max(1) as usize
-                ];
+            let workers = vec![
+                PodState::new(j.ideal_worker.cores().min(j.requested_worker.cores()));
+                j.workers.max(1) as usize
+            ];
             let parts = AsyncCostModel::balanced_partitions(
                 j.ps.max(1),
                 j.ideal_ps.cores().min(j.requested_ps.cores()).max(0.2),
@@ -75,6 +75,7 @@ fn pod_level_pending(seed: u64) -> Vec<f64> {
         },
         &RngStreams::new(seed ^ 0xC1),
     );
+    cluster.set_telemetry(telemetry.clone());
     let outcomes = drive_fleet(&mut cluster, &gangs);
     sorted(
         outcomes
@@ -88,6 +89,7 @@ fn pod_level_pending(seed: u64) -> Vec<f64> {
 /// Runs the Fig. 3 trace analysis.
 pub fn run(seed: u64) -> String {
     let mut r = Report::new("fig3", "fleet utilisation CDF and pending times (static era)");
+    let telemetry = Telemetry::default();
     let cfg = FleetStudyConfig { dlrover_fraction: 0.0, seed, ..Default::default() };
     let outcomes = run_fleet(&cfg);
     let admitted: Vec<_> = outcomes.iter().filter(|o| o.held_cores > 0.0).collect();
@@ -95,22 +97,15 @@ pub fn run(seed: u64) -> String {
     // Utilisation CDFs.
     let cpu: Vec<f64> = admitted
         .iter()
-        .map(|o| {
-            (o.worker_cpu_util + o.ps_cpu_util) / if o.ps_cpu_util > 0.0 { 2.0 } else { 1.0 }
-        })
+        .map(|o| (o.worker_cpu_util + o.ps_cpu_util) / if o.ps_cpu_util > 0.0 { 2.0 } else { 1.0 })
         .collect();
     let mem: Vec<f64> = admitted
         .iter()
-        .map(|o| {
-            (o.worker_mem_util + o.ps_mem_util) / if o.ps_mem_util > 0.0 { 2.0 } else { 1.0 }
-        })
+        .map(|o| (o.worker_mem_util + o.ps_mem_util) / if o.ps_mem_util > 0.0 { 2.0 } else { 1.0 })
         .collect();
 
     r.section("utilisation CDF (fraction of jobs at or below)");
-    r.row(
-        &["util <=".into(), "cpu jobs%".into(), "mem jobs%".into()],
-        &[8, 10, 10],
-    );
+    r.row(&["util <=".into(), "cpu jobs%".into(), "mem jobs%".into()], &[8, 10, 10]);
     let mut cdf = Vec::new();
     for bucket in [0.1f64, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
         let cpu_frac = cpu.iter().filter(|&&u| u <= bucket).count() as f64 / cpu.len() as f64;
@@ -132,12 +127,7 @@ pub fn run(seed: u64) -> String {
     ));
 
     // Pending times.
-    let pending = sorted(
-        admitted
-            .iter()
-            .map(|o| o.pending.as_mins_f64())
-            .collect::<Vec<f64>>(),
-    );
+    let pending = sorted(admitted.iter().map(|o| o.pending.as_mins_f64()).collect::<Vec<f64>>());
     r.section("pending time (minutes)");
     r.row(&["p50".into(), "p90".into(), "p99".into()], &[8, 8, 8]);
     r.row(
@@ -150,7 +140,7 @@ pub fn run(seed: u64) -> String {
     );
 
     // Cross-check with the exact pod-level gang scheduler.
-    let pod_pending = pod_level_pending(seed);
+    let pod_pending = pod_level_pending(seed, &telemetry);
     r.section("pending time, pod-level gang scheduling (minutes)");
     r.row(&["p50".into(), "p90".into(), "p99".into()], &[8, 8, 8]);
     r.row(
@@ -168,6 +158,7 @@ pub fn run(seed: u64) -> String {
     r.record("pending_p90_min", &percentile(&pending, 90.0));
     r.record("pod_level_pending_p50_min", &percentile(&pod_pending, 50.0));
     r.record("pod_level_pending_p90_min", &percentile(&pod_pending, 90.0));
+    r.telemetry(&telemetry);
     r.finish()
 }
 

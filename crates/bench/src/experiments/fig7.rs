@@ -6,8 +6,9 @@ use dlrover_baselines::{EsPolicy, OptimusPolicy, StaticPolicy, WellTunedPolicy};
 use dlrover_brain::{DlroverPolicy, DlroverPolicyConfig};
 use dlrover_optimizer::{PlanSearchSpace, ResourceAllocation};
 use dlrover_perfmodel::JobShape;
-use dlrover_rm::prelude::{run_single_job, RunnerConfig};
 use dlrover_pstrain::TrainingJobSpec;
+use dlrover_rm::prelude::{run_single_job_traced, RunnerConfig};
+use dlrover_telemetry::Telemetry;
 
 use crate::experiments::common::{history_for, model_workloads, truth_for};
 use crate::report::Report;
@@ -24,6 +25,7 @@ fn spec_for(constants: dlrover_perfmodel::WorkloadConstants) -> TrainingJobSpec 
 /// Runs the Fig. 7 comparison.
 pub fn run(seed: u64) -> String {
     let mut r = Report::new("fig7", "JCT by scheduler and model (200k steps, batch 512)");
+    let telemetry = Telemetry::default();
     // The 20-node testbed restarts pods much faster than the production
     // cloud: images are cached and scheduling is uncontended.
     let testbed_startup = dlrover_cluster::StartupLatencyModel {
@@ -66,13 +68,13 @@ pub fn run(seed: u64) -> String {
         let truth = truth_for(constants);
 
         // Users typically submit a plausible-but-suboptimal request.
-        let user_request =
-            ResourceAllocation::new(JobShape::new(12, 6, 8.0, 8.0, 512), 32.0, 64.0);
+        let user_request = ResourceAllocation::new(JobShape::new(12, 6, 8.0, 8.0, 512), 32.0, 64.0);
 
-        let oracle = run_single_job(
+        let oracle = run_single_job_traced(
             Box::new(WellTunedPolicy::new(&truth, &space, 512, BUDGET_CORES)),
             spec.clone(),
             &runner,
+            &telemetry,
         );
         // DLRover warm-starts from the config DB (Fig. 9 fidelity) and
         // inherits historical profiles.
@@ -94,7 +96,7 @@ pub fn run(seed: u64) -> String {
             best.worker_mem_gb,
             best.ps_mem_gb,
         );
-        let dlrover = run_single_job(
+        let dlrover = run_single_job_traced(
             Box::new(
                 DlroverPolicy::new(
                     warm,
@@ -104,23 +106,29 @@ pub fn run(seed: u64) -> String {
             ),
             spec.clone(),
             &runner,
+            &telemetry,
         );
-        let es = run_single_job(
+        let es = run_single_job_traced(
             Box::new(EsPolicy::new(user_request, space, 4)),
             spec.clone(),
             &runner,
+            &telemetry,
         );
-        let optimus = run_single_job(
+        let optimus = run_single_job_traced(
             Box::new(OptimusPolicy::new(user_request, space, constants)),
             spec.clone(),
             &runner,
+            &telemetry,
         );
-        let statik =
-            run_single_job(Box::new(StaticPolicy::new(user_request)), spec.clone(), &runner);
+        let statik = run_single_job_traced(
+            Box::new(StaticPolicy::new(user_request)),
+            spec.clone(),
+            &runner,
+            &telemetry,
+        );
 
-        let mins = |r: &dlrover_rm::prelude::RunReport| {
-            r.jct.map(|d| d.as_mins_f64()).unwrap_or(f64::NAN)
-        };
+        let mins =
+            |r: &dlrover_rm::prelude::RunReport| r.jct.map(|d| d.as_mins_f64()).unwrap_or(f64::NAN);
         r.row(
             &[
                 name.into(),
@@ -162,6 +170,7 @@ pub fn run(seed: u64) -> String {
     r.record("improvement_vs_es", &vs_es);
     r.record("improvement_vs_optimus", &vs_optimus);
     r.record("gap_vs_well_tuned", &vs_oracle);
+    r.telemetry(&telemetry);
     r.finish()
 }
 

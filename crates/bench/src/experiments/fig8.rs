@@ -5,6 +5,8 @@
 use dlrover_dlrm::model::ModelKind;
 use dlrover_pstrain::{ElasticEvent, RealModeConfig, RealModeTrainer};
 
+use dlrover_telemetry::Telemetry;
+
 use crate::report::Report;
 
 const EVAL_START: u64 = 40_000_000;
@@ -45,17 +47,21 @@ fn run_one(kind: ModelKind, seed: u64, elastic: bool) -> (Vec<CurvePoint>, f64, 
 
 /// Runs the Fig. 8 convergence comparison.
 pub fn run(seed: u64) -> String {
-    let mut r = Report::new(
-        "fig8",
-        "convergence under elasticity vs well-tuned static (real training)",
-    );
+    let mut r =
+        Report::new("fig8", "convergence under elasticity vs well-tuned static (real training)");
     let mut json_rows = Vec::new();
     for kind in ModelKind::all() {
         let (static_curve, s_loss, s_auc) = run_one(kind, seed, false);
         let (elastic_curve, e_loss, e_auc) = run_one(kind, seed, true);
         r.section(kind.paper_label());
         r.row(
-            &["round".into(), "static auc".into(), "elastic auc".into(), "static loss".into(), "elastic loss".into()],
+            &[
+                "round".into(),
+                "static auc".into(),
+                "elastic auc".into(),
+                "static loss".into(),
+                "elastic loss".into(),
+            ],
             &[7, 11, 12, 12, 13],
         );
         for (s, e) in static_curve.iter().zip(&elastic_curve) {
@@ -87,6 +93,7 @@ pub fn run(seed: u64) -> String {
          leaves final AUC within noise of the static run (paper: curves overlap)",
     );
     r.record("rows", &json_rows);
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 
@@ -101,11 +108,7 @@ mod tests {
             let s = row["static_auc"].as_f64().unwrap();
             let e = row["elastic_auc"].as_f64().unwrap();
             assert!(s > 0.55, "{}: static failed to learn ({s})", row["model"]);
-            assert!(
-                (s - e).abs() < 0.05,
-                "{}: elasticity changed AUC {s} -> {e}",
-                row["model"]
-            );
+            assert!((s - e).abs() < 0.05, "{}: elasticity changed AUC {s} -> {e}", row["model"]);
         }
     }
 }

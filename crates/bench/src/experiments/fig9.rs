@@ -9,6 +9,8 @@ use dlrover_perfmodel::{JobShape, ThroughputObservation, WorkloadConstants};
 use dlrover_sim::{Normal, RngStreams, Sample, SimTime};
 
 use crate::experiments::common::{history_for, truth_for};
+use dlrover_telemetry::Telemetry;
+
 use crate::report::Report;
 
 fn meta(user: &str, dataset: u64) -> JobMetadata {
@@ -41,10 +43,8 @@ fn rounds_to_converge(
     with_history: bool,
 ) -> u32 {
     let truth = truth_for(constants);
-    let mut policy = DlroverPolicy::new(
-        start,
-        DlroverPolicyConfig { constants, ..Default::default() },
-    );
+    let mut policy =
+        DlroverPolicy::new(start, DlroverPolicyConfig { constants, ..Default::default() });
     if with_history {
         policy = policy.with_history(history_for(constants));
     }
@@ -117,9 +117,7 @@ pub fn run(seed: u64) -> String {
         );
         if day >= 3 {
             // Enough history to warm-start.
-            let ws = db
-                .warm_start(&m, &WarmStartConfig::default())
-                .expect("history exists");
+            let ws = db.warm_start(&m, &WarmStartConfig::default()).expect("history exists");
             let aw = accuracy(f64::from(ws.shape.workers), f64::from(final_alloc.shape.workers));
             let ap = accuracy(f64::from(ws.shape.ps), f64::from(final_alloc.shape.ps));
             acc_w.push(aw);
@@ -153,12 +151,9 @@ pub fn run(seed: u64) -> String {
 
     // Scaling-time reduction vs cold start: warm starts begin near the
     // final shape, so the auto-scaler needs fewer (3-minute) rounds.
-    let warm_start_alloc =
-        ResourceAllocation::new(JobShape::new(13, 5, 8.0, 8.0, 512), 32.0, 64.0);
-    let cold_start_alloc = DlroverPolicy::cold_start_allocation(
-        &dlrover_optimizer::PlanSearchSpace::default(),
-        512,
-    );
+    let warm_start_alloc = ResourceAllocation::new(JobShape::new(13, 5, 8.0, 8.0, 512), 32.0, 64.0);
+    let cold_start_alloc =
+        DlroverPolicy::cold_start_allocation(&dlrover_optimizer::PlanSearchSpace::default(), 512);
     let warm_rounds = rounds_to_converge(warm_start_alloc, constants, true);
     let cold_rounds = rounds_to_converge(cold_start_alloc, constants, false);
     let reduction = 1.0 - f64::from(warm_rounds) / f64::from(cold_rounds.max(1));
@@ -174,6 +169,7 @@ pub fn run(seed: u64) -> String {
     r.record("warm_rounds", &warm_rounds);
     r.record("cold_rounds", &cold_rounds);
     r.record("scaling_reduction", &reduction);
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 

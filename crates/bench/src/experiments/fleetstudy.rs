@@ -140,10 +140,7 @@ fn static_plan(job: &FleetJob) -> Plan {
 fn dlrover_plan<R: Rng + ?Sized>(job: &FleetJob, cfg: &FleetStudyConfig, rng: &mut R) -> Plan {
     let (lo, hi) = cfg.dlrover_headroom;
     let headroom = Uniform::new(lo.min(hi), hi.max(lo)).sample(rng);
-    Plan {
-        worker: job.ideal_worker.scale(headroom),
-        ps: job.ideal_ps.scale(headroom),
-    }
+    Plan { worker: job.ideal_worker.scale(headroom), ps: job.ideal_ps.scale(headroom) }
 }
 
 /// Evaluates one admitted training job.
@@ -167,14 +164,12 @@ fn evaluate_job<R: Rng + ?Sized>(
     // the capacity its rightsizing frees elsewhere (the weighted-greedy
     // loop); statically configured jobs keep the user's worker count.
     let worker_count = if dlrover {
-        ((f64::from(job.workers) * cfg.dlrover_worker_scaleout).round() as u32)
-            .max(job.workers + 1)
+        ((f64::from(job.workers) * cfg.dlrover_worker_scaleout).round() as u32).max(job.workers + 1)
     } else {
         job.workers.max(1)
     };
     let ps_count = if dlrover { job.ps.max(1) + job.ps / 2 } else { job.ps.max(1) };
-    let workers: Vec<PodState> =
-        vec![PodState::new(worker_eff.max(0.2)); worker_count as usize];
+    let workers: Vec<PodState> = vec![PodState::new(worker_eff.max(0.2)); worker_count as usize];
 
     let hot_ps = rng.gen::<f64>() < cfg.hot_ps_rate;
     let straggler = rng.gen::<f64>() < cfg.straggler_rate;
@@ -190,9 +185,8 @@ fn evaluate_job<R: Rng + ?Sized>(
     if job.oom_prone() && !dlrover {
         // The embedding outgrows the PS allocation mid-job: the job dies
         // after consuming roughly the fraction of data its memory allowed.
-        let survive_fraction = (plan.ps.mem_bytes as f64
-            / job.ideal_ps.mem_bytes.max(1) as f64)
-            .clamp(0.05, 0.95);
+        let survive_fraction =
+            (plan.ps.mem_bytes as f64 / job.ideal_ps.mem_bytes.max(1) as f64).clamp(0.05, 0.95);
         let died_after = total * survive_fraction / base_thp;
         let _ = died_after;
         return (None, Some(FailureCause::Oom), hot_ps, straggler);
@@ -264,12 +258,7 @@ fn evaluate_job<R: Rng + ?Sized>(
         jct_s += 30.0;
     }
 
-    (
-        Some(SimDuration::from_secs_f64(jct_s)),
-        None,
-        hot_ps,
-        straggler,
-    )
+    (Some(SimDuration::from_secs_f64(jct_s)), None, hot_ps, straggler)
 }
 
 /// Runs the fleet study: admission queueing + per-job evaluation.
@@ -351,8 +340,7 @@ pub fn run_fleet(cfg: &FleetStudyConfig) -> Vec<JobOutcome> {
                         pending,
                         jct,
                         failure,
-                        worker_cpu_util: (wjob.ideal_worker.cores() / plan.worker.cores())
-                            .min(1.0)
+                        worker_cpu_util: (wjob.ideal_worker.cores() / plan.worker.cores()).min(1.0)
                             * ACTIVITY_FACTOR,
                         ps_cpu_util: if wjob.ps > 0 {
                             (wjob.ideal_ps.cores() / plan.ps.cores().max(1e-9)).min(1.0)
@@ -428,8 +416,7 @@ pub fn run_fleet(cfg: &FleetStudyConfig) -> Vec<JobOutcome> {
                 * ACTIVITY_FACTOR,
             ps_cpu_util: (wjob.ideal_ps.cores() / plan.ps.cores().max(1e-9)).min(1.0)
                 * ACTIVITY_FACTOR,
-            worker_mem_util: (wjob.ideal_worker.mem_gb() / plan.worker.mem_gb().max(1e-9))
-                .min(1.0)
+            worker_mem_util: (wjob.ideal_worker.mem_gb() / plan.worker.mem_gb().max(1e-9)).min(1.0)
                 * ACTIVITY_FACTOR,
             ps_mem_util: (wjob.ideal_ps.mem_gb() / plan.ps.mem_gb().max(1e-9)).min(1.0)
                 * ACTIVITY_FACTOR,
@@ -471,9 +458,7 @@ pub struct FleetAggregate {
 pub fn aggregate(outcomes: &[JobOutcome]) -> FleetAggregate {
     let n = outcomes.len().max(1) as f64;
     let completed = outcomes.iter().filter(|o| o.jct.is_some()).count() as f64;
-    let mean = |f: &dyn Fn(&JobOutcome) -> f64| -> f64 {
-        outcomes.iter().map(f).sum::<f64>() / n
-    };
+    let mean = |f: &dyn Fn(&JobOutcome) -> f64| -> f64 { outcomes.iter().map(f).sum::<f64>() / n };
     let cause_rate = |c: FailureCause| -> f64 {
         outcomes.iter().filter(|o| o.failure == Some(c)).count() as f64 / n
     };
@@ -543,10 +528,9 @@ mod tests {
     #[test]
     fn static_fleet_reproduces_fig3_pathology() {
         let outcomes = run_fleet(&small_cfg(0.0));
-        let below_half = outcomes
-            .iter()
-            .filter(|o| o.worker_cpu_util > 0.0 && o.worker_cpu_util < 0.5)
-            .count() as f64;
+        let below_half =
+            outcomes.iter().filter(|o| o.worker_cpu_util > 0.0 && o.worker_cpu_util < 0.5).count()
+                as f64;
         let measured = outcomes.iter().filter(|o| o.worker_cpu_util > 0.0).count() as f64;
         assert!(
             below_half / measured > 0.6,
@@ -573,9 +557,6 @@ mod tests {
         };
         let hot_before = med(&before, &|o| o.hot_ps);
         let hot_after = med(&after, &|o| o.hot_ps);
-        assert!(
-            hot_after < hot_before,
-            "hot-PS median JCT: {hot_before} -> {hot_after}"
-        );
+        assert!(hot_after < hot_before, "hot-PS median JCT: {hot_before} -> {hot_after}");
     }
 }

@@ -5,22 +5,17 @@
 use dlrover_sim::SimDuration;
 
 use crate::experiments::fleetstudy::{aggregate, run_fleet, FleetStudyConfig, JobOutcome};
+use dlrover_telemetry::Telemetry;
+
 use crate::report::{percentile, sorted, Report};
 
 fn study(fraction: f64, seed: u64) -> Vec<JobOutcome> {
-    run_fleet(&FleetStudyConfig {
-        dlrover_fraction: fraction,
-        seed,
-        ..FleetStudyConfig::default()
-    })
+    run_fleet(&FleetStudyConfig { dlrover_fraction: fraction, seed, ..FleetStudyConfig::default() })
 }
 
 /// Fig. 14: CPU/memory utilisation and JCR over the 12-month migration.
 pub fn run_fig14(seed: u64) -> String {
-    let mut r = Report::new(
-        "fig14",
-        "12-month progressive migration: utilisation and JCR",
-    );
+    let mut r = Report::new("fig14", "12-month progressive migration: utilisation and JCR");
     r.row(
         &[
             "month".into(),
@@ -76,6 +71,7 @@ pub fn run_fig14(seed: u64) -> String {
         last["jcr"].as_f64().unwrap() * 100.0,
     ));
     r.record("months", &months);
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 
@@ -111,23 +107,24 @@ pub fn run_fig15(seed: u64) -> String {
         let med_cut = 1.0 - percentile(&a, 50.0) / percentile(&b, 50.0);
         let p90_cut = 1.0 - percentile(&a, 90.0) / percentile(&b, 90.0);
         r.section(label);
+        r.row(&["".into(), "median(min)".into(), "p90(min)".into()], &[8, 12, 10]);
         r.row(
-            &["".into(), "median(min)".into(), "p90(min)".into()],
+            &[
+                "before".into(),
+                format!("{:.0}", percentile(&b, 50.0)),
+                format!("{:.0}", percentile(&b, 90.0)),
+            ],
             &[8, 12, 10],
         );
         r.row(
-            &["before".into(), format!("{:.0}", percentile(&b, 50.0)), format!("{:.0}", percentile(&b, 90.0))],
+            &[
+                "after".into(),
+                format!("{:.0}", percentile(&a, 50.0)),
+                format!("{:.0}", percentile(&a, 90.0)),
+            ],
             &[8, 12, 10],
         );
-        r.row(
-            &["after".into(), format!("{:.0}", percentile(&a, 50.0)), format!("{:.0}", percentile(&a, 90.0))],
-            &[8, 12, 10],
-        );
-        r.line(format!(
-            "median cut {:.0}%, p90 cut {:.0}%",
-            med_cut * 100.0,
-            p90_cut * 100.0
-        ));
+        r.line(format!("median cut {:.0}%, p90 cut {:.0}%", med_cut * 100.0, p90_cut * 100.0));
         json.push(serde_json::json!({
             "subset": label, "median_cut": med_cut, "p90_cut": p90_cut,
             "before_median": percentile(&b, 50.0), "after_median": percentile(&a, 50.0),
@@ -138,6 +135,7 @@ pub fn run_fig15(seed: u64) -> String {
          insufficient-PS-CPU median -57%",
     );
     r.record("subsets", &json);
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 
@@ -153,15 +151,11 @@ pub fn run_table4(seed: u64) -> String {
     // their JCT (hot PS or straggler, unrecovered).
     let slow_hot = |o: &JobOutcome| o.hot_ps && !o.dlrover && o.jct.is_some();
     let slow_hot_after = |o: &JobOutcome| {
-        o.hot_ps
-            && o.dlrover
-            && o.jct.map(|j| j > SimDuration::from_hours(8)).unwrap_or(false)
+        o.hot_ps && o.dlrover && o.jct.map(|j| j > SimDuration::from_hours(8)).unwrap_or(false)
     };
     let strag = |o: &JobOutcome| o.straggler && !o.dlrover && o.jct.is_some();
     let strag_after = |o: &JobOutcome| {
-        o.straggler
-            && o.dlrover
-            && o.jct.map(|j| j > SimDuration::from_hours(8)).unwrap_or(false)
+        o.straggler && o.dlrover && o.jct.map(|j| j > SimDuration::from_hours(8)).unwrap_or(false)
     };
 
     let rows = [
@@ -170,9 +164,7 @@ pub fn run_table4(seed: u64) -> String {
             rate(&before, &|o| {
                 o.failure == Some(crate::experiments::fleetstudy::FailureCause::Oom)
             }),
-            rate(&after, &|o| {
-                o.failure == Some(crate::experiments::fleetstudy::FailureCause::Oom)
-            }),
+            rate(&after, &|o| o.failure == Some(crate::experiments::fleetstudy::FailureCause::Oom)),
             "4.7% -> 0.23%",
         ),
         (
@@ -195,7 +187,12 @@ pub fn run_table4(seed: u64) -> String {
             }),
             "(within scheduling/unreported)",
         ),
-        ("Slow Training / Hot PS", rate(&before, &slow_hot), rate(&after, &slow_hot_after), "8% -> 1%"),
+        (
+            "Slow Training / Hot PS",
+            rate(&before, &slow_hot),
+            rate(&after, &slow_hot_after),
+            "8% -> 1%",
+        ),
         (
             "Slow Training / Straggler",
             rate(&before, &strag),
@@ -221,6 +218,7 @@ pub fn run_table4(seed: u64) -> String {
         json.push(serde_json::json!({ "exception": name, "before": b, "after": a }));
     }
     r.record("rows", &json);
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 
@@ -230,8 +228,7 @@ mod tests {
     fn fig14_utilisation_and_jcr_rise() {
         super::run_fig14(14);
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig14.json").unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string("results/fig14.json").unwrap()).unwrap();
         let months = json["months"].as_array().unwrap();
         let first = &months[0];
         let last = &months[12];
@@ -250,15 +247,10 @@ mod tests {
     fn fig15_jct_cuts() {
         super::run_fig15(15);
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig15.json").unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string("results/fig15.json").unwrap()).unwrap();
         for subset in json["subsets"].as_array().unwrap() {
             let med = subset["median_cut"].as_f64().unwrap();
-            assert!(
-                med > 0.0,
-                "median JCT did not improve for {}: {med}",
-                subset["subset"]
-            );
+            assert!(med > 0.0, "median JCT did not improve for {}: {med}", subset["subset"]);
         }
     }
 
@@ -266,8 +258,7 @@ mod tests {
     fn table4_failures_collapse() {
         super::run_table4(4);
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/table4.json").unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string("results/table4.json").unwrap()).unwrap();
         for row in json["rows"].as_array().unwrap() {
             let b = row["before"].as_f64().unwrap();
             let a = row["after"].as_f64().unwrap();

@@ -5,6 +5,8 @@
 use dlrover_perfmodel::{ModelCoefficients, WorkloadConstants};
 use dlrover_pstrain::{AsyncCostModel, HybridCostModel, PodState};
 
+use dlrover_telemetry::Telemetry;
+
 use crate::report::Report;
 
 /// Runs the Table 1 comparison.
@@ -25,7 +27,10 @@ pub fn run(_seed: u64) -> String {
 
     // Wide&Deep and DeepFM: DeepFM's FM interactions are lookup-heavier.
     let workloads = [
-        ("Wide&Deep", WorkloadConstants { model_size: 80.0, bandwidth: 1_000.0, embedding_dim: 0.45 }),
+        (
+            "Wide&Deep",
+            WorkloadConstants { model_size: 80.0, bandwidth: 1_000.0, embedding_dim: 0.45 },
+        ),
         ("DeepFM", WorkloadConstants { model_size: 90.0, bandwidth: 1_000.0, embedding_dim: 0.60 }),
     ];
     let hybrid = HybridCostModel::default();
@@ -82,6 +87,7 @@ pub fn run(_seed: u64) -> String {
             }),
         );
     }
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 
@@ -93,8 +99,7 @@ mod tests {
     fn table1_shape_holds() {
         run(0);
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/table1.json").unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string("results/table1.json").unwrap()).unwrap();
         for key in ["wide_deep", "deepfm"] {
             let row = &json[key];
             assert!(

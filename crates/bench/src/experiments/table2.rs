@@ -5,6 +5,8 @@
 use dlrover_cluster::{FleetConfig, FleetWorkload, JobClass};
 use dlrover_sim::RngStreams;
 
+use dlrover_telemetry::Telemetry;
+
 use crate::report::Report;
 
 /// Runs the Table 2 summary.
@@ -16,13 +18,7 @@ pub fn run(seed: u64) -> String {
     let summary = workload.summary_by_class();
 
     r.row(
-        &[
-            "job type".into(),
-            "count".into(),
-            "vCPU".into(),
-            "cpu util".into(),
-            "mem (GB)".into(),
-        ],
+        &["job type".into(), "count".into(), "vCPU".into(), "cpu util".into(), "mem (GB)".into()],
         &[18, 8, 10, 9, 10],
     );
     let label = |c: JobClass| match c {
@@ -49,10 +45,8 @@ pub fn run(seed: u64) -> String {
             "cpu_util": util, "mem_gb": mem,
         }));
     }
-    let training = summary
-        .iter()
-        .find(|(c, ..)| *c == JobClass::Training)
-        .expect("training class present");
+    let training =
+        summary.iter().find(|(c, ..)| *c == JobClass::Training).expect("training class present");
     let share = training.1 as f64 / workload.jobs.len() as f64;
     r.line(format!(
         "\ntraining jobs are {:.0}% of all jobs (paper: >70% of jobs, ~20% util)",
@@ -60,6 +54,7 @@ pub fn run(seed: u64) -> String {
     ));
     r.record("rows", &json_rows);
     r.record("training_share", &share);
+    r.telemetry(&Telemetry::default());
     r.finish()
 }
 
@@ -69,8 +64,7 @@ mod tests {
     fn table2_training_dominates_with_low_util() {
         super::run(2);
         let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/table2.json").unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string("results/table2.json").unwrap()).unwrap();
         assert!(json["training_share"].as_f64().unwrap() > 0.7);
         let rows = json["rows"].as_array().unwrap();
         let training = rows.iter().find(|r| r["class"] == "Training").unwrap();

@@ -4,6 +4,7 @@ use std::fmt::Display;
 use std::fs;
 use std::path::PathBuf;
 
+use dlrover_telemetry::Telemetry;
 use serde::Serialize;
 
 /// Collects one experiment's output.
@@ -11,6 +12,7 @@ pub struct Report {
     id: String,
     lines: Vec<String>,
     json: serde_json::Map<String, serde_json::Value>,
+    trace: Option<String>,
 }
 
 impl Report {
@@ -20,6 +22,7 @@ impl Report {
             id: id.to_string(),
             lines: Vec::new(),
             json: serde_json::Map::new(),
+            trace: None,
         };
         r.section(&format!("{id}: {title}"));
         r
@@ -53,8 +56,20 @@ impl Report {
         );
     }
 
-    /// Prints the report and writes `results/<id>.json`. Returns the
-    /// rendered text.
+    /// Attaches a telemetry sink's summary and event trace: prints a
+    /// one-line digest, records the summary under the `"telemetry"` JSON
+    /// key, and (in [`Report::finish`]) writes the full event log next to
+    /// the results as `results/<id>.trace.jsonl`.
+    pub fn telemetry(&mut self, t: &Telemetry) {
+        let summary = t.summary();
+        self.lines.push(format!("telemetry: {}", summary.one_line()));
+        self.record("telemetry", &summary);
+        self.trace = Some(t.to_jsonl());
+    }
+
+    /// Prints the report and writes `results/<id>.json` (plus
+    /// `results/<id>.trace.jsonl` when telemetry was attached). Returns
+    /// the rendered text.
     pub fn finish(self) -> String {
         let text = self.lines.join("\n");
         println!("{text}");
@@ -66,6 +81,9 @@ impl Report {
                 serde_json::to_string_pretty(&serde_json::Value::Object(self.json))
                     .expect("report JSON"),
             );
+            if let Some(trace) = &self.trace {
+                let _ = fs::write(dir.join(format!("{}.trace.jsonl", self.id)), trace);
+            }
         }
         text
     }

@@ -12,7 +12,8 @@ use dlrover_optimizer::{
     ResourceAllocation, ScalingAlgorithm, SelectedPlan, WarmStartConfig,
 };
 use dlrover_perfmodel::ThroughputModel;
-use dlrover_sim::{RngStreams, StreamRng};
+use dlrover_sim::{RngStreams, SimTime, StreamRng};
+use dlrover_telemetry::{EventKind, Telemetry};
 
 use crate::configdb::ConfigDb;
 use crate::policy::DlroverPolicy;
@@ -37,6 +38,10 @@ pub struct ClusterBrain {
     greedy: GreedyConfig,
     generator: NsgaPlanGenerator,
     rng: StreamRng,
+    telemetry: Telemetry,
+    /// Last time a caller reported via [`ClusterBrain::set_clock`]; stamps
+    /// admission/replan events (the brain itself is clock-free).
+    clock: SimTime,
 }
 
 impl ClusterBrain {
@@ -54,6 +59,8 @@ impl ClusterBrain {
             greedy,
             generator,
             rng: RngStreams::new(seed).stream("cluster-brain"),
+            telemetry: Telemetry::default(),
+            clock: SimTime::ZERO,
         }
     }
 
@@ -62,12 +69,40 @@ impl ClusterBrain {
         &self.config_db
     }
 
+    /// Routes this brain's events and metrics into a shared sink.
+    pub fn set_telemetry(&mut self, sink: Telemetry) {
+        self.telemetry = sink;
+    }
+
+    /// The telemetry sink decisions are recorded to.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Updates the virtual time used to stamp subsequent decisions.
+    pub fn set_clock(&mut self, now: SimTime) {
+        self.clock = now;
+    }
+
     /// Stage 1: admission — warm-start from history, falling back to the
     /// conservative cold-start allocation.
     pub fn admit(&self, metadata: &JobMetadata, batch: u32) -> ResourceAllocation {
-        self.config_db
-            .warm_start(metadata, &self.warm_start)
-            .unwrap_or_else(|| DlroverPolicy::cold_start_allocation(&self.generator.space, batch))
+        let warm = self.config_db.warm_start(metadata, &self.warm_start);
+        let warm_start = warm.is_some();
+        let alloc = warm
+            .unwrap_or_else(|| DlroverPolicy::cold_start_allocation(&self.generator.space, batch));
+        // Admission happens before a job id exists; `job: 0` marks that.
+        self.telemetry.record(
+            self.clock,
+            EventKind::JobAdmitted {
+                job: 0,
+                workers: alloc.shape.workers,
+                ps: alloc.shape.ps,
+                warm_start,
+            },
+        );
+        self.telemetry.count(if warm_start { "brain.warm_starts" } else { "brain.cold_starts" }, 1);
+        alloc
     }
 
     /// Records a completed job so future submissions warm-start from it.
@@ -88,7 +123,18 @@ impl ClusterBrain {
                 candidates: self.generator.candidates(&j.model, &j.current, &mut self.rng),
             })
             .collect();
-        select_plans(&candidates, free, &self.greedy)
+        let picks = select_plans(&candidates, free, &self.greedy);
+        for p in &picks {
+            self.telemetry.record(
+                self.clock,
+                EventKind::PlanSelected {
+                    job: p.job_id,
+                    gain_x1000: (p.plan.throughput_gain.max(0.0) * 1000.0) as u64,
+                },
+            );
+        }
+        self.telemetry.count("brain.replan_rounds", 1);
+        picks
     }
 }
 
@@ -166,10 +212,8 @@ mod tests {
         let picks = b.replan(&jobs, ClusterCapacity { cpu_cores: 40.0, mem_gb: 400.0 });
         assert!(!picks.is_empty());
         // Additional footprint must fit the budget.
-        let extra: f64 = picks
-            .iter()
-            .map(|p| p.plan.allocation.total_cpu() - small_alloc().total_cpu())
-            .sum();
+        let extra: f64 =
+            picks.iter().map(|p| p.plan.allocation.total_cpu() - small_alloc().total_cpu()).sum();
         assert!(extra <= 40.0 + 1e-6, "over budget: {extra}");
         // The short job must be served (possibly both fit; then check order).
         assert!(picks.iter().any(|p| p.job_id == 1), "short job starved");
@@ -196,8 +240,6 @@ mod tests {
     #[test]
     fn replan_empty_is_empty() {
         let mut b = brain();
-        assert!(b
-            .replan(&[], ClusterCapacity { cpu_cores: 10.0, mem_gb: 10.0 })
-            .is_empty());
+        assert!(b.replan(&[], ClusterCapacity { cpu_cores: 10.0, mem_gb: 10.0 }).is_empty());
     }
 }

@@ -123,9 +123,8 @@ mod tests {
         for _ in 0..5 {
             db.record(meta("dcn", "zed"), alloc(2));
         }
-        let ws = db
-            .warm_start(&meta("dcn", "alice"), &WarmStartConfig { top_k: 1, mu: 0.5 })
-            .unwrap();
+        let ws =
+            db.warm_start(&meta("dcn", "alice"), &WarmStartConfig { top_k: 1, mu: 0.5 }).unwrap();
         assert_eq!(ws.shape.workers, 16);
     }
 }

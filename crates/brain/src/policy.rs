@@ -148,8 +148,7 @@ impl DlroverPolicy {
                 next.ps_mem_gb = next.shape.ps_cpu * space.ps_mem_per_cpu;
             }
             2 => {
-                next.shape.worker_cpu =
-                    (next.shape.worker_cpu * 1.5).min(space.worker_cpu.1);
+                next.shape.worker_cpu = (next.shape.worker_cpu * 1.5).min(space.worker_cpu.1);
                 next.worker_mem_gb = next.shape.worker_cpu * space.worker_mem_per_cpu;
             }
             _ => {

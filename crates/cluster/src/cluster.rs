@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use dlrover_sim::{RngStreams, SimTime};
+use dlrover_telemetry::{EventKind, Telemetry};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +75,10 @@ pub struct Cluster {
     pending: Vec<PodId>,
     next_pod_id: u64,
     config: ClusterConfig,
+    telemetry: Telemetry,
+    /// Last time a timed entry point saw; stamps events from untimed calls
+    /// (the cluster itself is passive — time lives in the caller's queue).
+    clock: SimTime,
 }
 
 impl Cluster {
@@ -88,7 +93,48 @@ impl Cluster {
                 Node::new(NodeId(i as u32), config.node_capacity, speed)
             })
             .collect();
-        Cluster { nodes, pods: HashMap::new(), pending: Vec::new(), next_pod_id: 0, config }
+        Cluster {
+            nodes,
+            pods: HashMap::new(),
+            pending: Vec::new(),
+            next_pod_id: 0,
+            config,
+            telemetry: Telemetry::default(),
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// Routes this cluster's telemetry into `sink` (a shared handle).
+    pub fn set_telemetry(&mut self, sink: Telemetry) {
+        self.telemetry = sink;
+    }
+
+    /// The cluster's telemetry handle (clone to share).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mirrors scheduler outcomes into the telemetry sink, stamped with the
+    /// last-known virtual time.
+    fn record_events(&self, events: &[ClusterEvent]) {
+        for e in events {
+            let kind = match *e {
+                ClusterEvent::PodPlaced(p, n) => {
+                    self.telemetry.count("cluster.pods_placed", 1);
+                    EventKind::PodPlaced { pod: p.0, node: n.0 }
+                }
+                ClusterEvent::PodPreempted(p) => {
+                    self.telemetry.count("cluster.preemptions", 1);
+                    EventKind::PodPreempted { pod: p.0 }
+                }
+                ClusterEvent::PodFailed(p) => {
+                    self.telemetry.count("cluster.pod_failures", 1);
+                    EventKind::PodFailed { pod: p.0 }
+                }
+                ClusterEvent::NodeFailed(n) => EventKind::NodeFailed { node: n.0 },
+            };
+            self.telemetry.record(self.clock, kind);
+        }
     }
 
     /// The construction config.
@@ -113,10 +159,7 @@ impl Cluster {
 
     /// Total capacity across healthy nodes.
     pub fn total_capacity(&self) -> Resources {
-        self.nodes
-            .iter()
-            .filter(|n| n.healthy)
-            .fold(Resources::ZERO, |acc, n| acc + n.capacity)
+        self.nodes.iter().filter(|n| n.healthy).fold(Resources::ZERO, |acc, n| acc + n.capacity)
     }
 
     /// Total resources currently allocated.
@@ -139,6 +182,7 @@ impl Cluster {
         spec: PodSpec,
         now: SimTime,
     ) -> Result<(PodId, Vec<ClusterEvent>), ScheduleError> {
+        self.clock = now;
         if !self.config.node_capacity.fits(&spec.resources) {
             return Err(ScheduleError::NeverSchedulable);
         }
@@ -157,7 +201,13 @@ impl Cluster {
             },
         );
         self.pending.push(id);
+        self.telemetry.record(now, EventKind::PodRequested { job: spec.job_id, pod: id.0 });
         let events = self.schedule_pending();
+        if self.pending.contains(&id) {
+            // A denial for now; `schedule_pending` may grant it later.
+            self.telemetry.record(now, EventKind::PodPending { pod: id.0 });
+            self.telemetry.count("cluster.denials", 1);
+        }
         Ok((id, events))
     }
 
@@ -189,6 +239,7 @@ impl Cluster {
             }
         }
         self.pending = still_pending;
+        self.record_events(&events);
         events
     }
 
@@ -214,11 +265,7 @@ impl Cluster {
 
     /// Frees room for a high-priority request by evicting low-priority pods
     /// from a single victim node. Returns the node that now fits.
-    fn preempt_for(
-        &mut self,
-        req: &Resources,
-        events: &mut Vec<ClusterEvent>,
-    ) -> Option<NodeId> {
+    fn preempt_for(&mut self, req: &Resources, events: &mut Vec<ClusterEvent>) -> Option<NodeId> {
         // Choose the node where (free + evictable-low) covers the request
         // and the evicted amount is smallest.
         let mut best: Option<(NodeId, u64)> = None;
@@ -285,8 +332,12 @@ impl Cluster {
         if specs.is_empty() {
             return Some((Vec::new(), Vec::new()));
         }
-        // Attempt on a scratch copy; commit only if every pod binds.
+        self.clock = now;
+        // Attempt on a scratch copy; commit only if every pod binds. The
+        // trial gets a detached sink so abandoned attempts leave no
+        // phantom events; committed events are recorded below.
         let mut trial = self.clone();
+        trial.telemetry = Telemetry::default();
         let mut ids = Vec::with_capacity(specs.len());
         let mut events = Vec::new();
         for spec in specs {
@@ -317,7 +368,12 @@ impl Cluster {
             trial.bind(id, node, &mut events);
             ids.push(id);
         }
+        trial.telemetry = self.telemetry.clone();
         *self = trial;
+        for (id, spec) in ids.iter().zip(specs) {
+            self.telemetry.record(now, EventKind::PodRequested { job: spec.job_id, pod: id.0 });
+        }
+        self.record_events(&events);
         Some((ids, events))
     }
 
@@ -368,6 +424,7 @@ impl Cluster {
             events.push(ClusterEvent::PodFailed(id));
         }
         self.nodes[node_id.0 as usize].healthy = false;
+        self.record_events(&events);
         events
     }
 
@@ -488,10 +545,8 @@ mod tests {
             c.request_pod(spec(4.0, 8.0, Priority::Low), SimTime::ZERO).unwrap();
         }
         let (id, events) = c.request_pod(spec(8.0, 8.0, Priority::High), SimTime::ZERO).unwrap();
-        let preempted: Vec<_> = events
-            .iter()
-            .filter(|e| matches!(e, ClusterEvent::PodPreempted(_)))
-            .collect();
+        let preempted: Vec<_> =
+            events.iter().filter(|e| matches!(e, ClusterEvent::PodPreempted(_))).collect();
         assert_eq!(preempted.len(), 2, "needs both 4-core pods off one node");
         assert_eq!(c.pod(id).unwrap().phase, PodPhase::Starting);
     }
@@ -556,10 +611,7 @@ mod tests {
             })
             .count();
         let frac = within_day as f64 / n as f64;
-        assert!(
-            (frac - 0.015).abs() < 0.004,
-            "daily failure fraction {frac} vs configured 0.015"
-        );
+        assert!((frac - 0.015).abs() < 0.004, "daily failure fraction {frac} vs configured 0.015");
     }
 
     #[test]

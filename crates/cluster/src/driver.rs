@@ -128,10 +128,8 @@ pub fn drive_fleet(cluster: &mut Cluster, jobs: &[GangJob]) -> Vec<GangOutcome> 
                     for &id in &ids {
                         cluster.mark_running(id, now);
                     }
-                    let speeds: Vec<f64> = ids
-                        .iter()
-                        .filter_map(|&id| cluster.pod(id).map(Pod::speed_of))
-                        .collect();
+                    let speeds: Vec<f64> =
+                        ids.iter().filter_map(|&id| cluster.pod(id).map(Pod::speed_of)).collect();
                     // Mark victim gangs as preempted: their resources are
                     // gone and their scheduled Finish must not fire as a
                     // completion. (They are not rescheduled here — the
@@ -156,8 +154,7 @@ pub fn drive_fleet(cluster: &mut Cluster, jobs: &[GangJob]) -> Vec<GangOutcome> 
                     let slowdown = if job.gated_by_slowest {
                         1.0 / speeds.iter().cloned().fold(1.0f64, f64::min).max(1e-3)
                     } else {
-                        let mean =
-                            speeds.iter().sum::<f64>() / speeds.len().max(1) as f64;
+                        let mean = speeds.iter().sum::<f64>() / speeds.len().max(1) as f64;
                         1.0 / mean.max(1e-3)
                     };
                     let duration = job.nominal_duration.mul_f64(slowdown);
@@ -191,12 +188,7 @@ mod tests {
     use dlrover_sim::RngStreams;
 
     fn pod_spec(cores: f64, job_id: u64, priority: Priority) -> PodSpec {
-        PodSpec {
-            resources: Resources::new(cores, 8.0),
-            role: PodRole::Worker,
-            priority,
-            job_id,
-        }
+        PodSpec { resources: Resources::new(cores, 8.0), role: PodRole::Worker, priority, job_id }
     }
 
     fn gang(job_id: u64, submit_s: u64, pods: usize, cores: f64, mins: u64) -> GangJob {
@@ -228,10 +220,7 @@ mod tests {
         let outcomes = drive_fleet(&mut c, &[gang(1, 10, 2, 8.0, 30)]);
         assert_eq!(outcomes[0].admitted, Some(SimTime::from_secs(10)));
         assert_eq!(outcomes[0].pending(), SimDuration::ZERO);
-        assert_eq!(
-            outcomes[0].finished,
-            Some(SimTime::from_secs(10) + SimDuration::from_mins(30))
-        );
+        assert_eq!(outcomes[0].finished, Some(SimTime::from_secs(10) + SimDuration::from_mins(30)));
     }
 
     #[test]
@@ -248,11 +237,7 @@ mod tests {
     fn contention_queues_fifo_and_drains() {
         // Each job occupies the whole cluster; three jobs serialize.
         let mut c = cluster(2);
-        let jobs = vec![
-            gang(1, 0, 4, 8.0, 10),
-            gang(2, 60, 4, 8.0, 10),
-            gang(3, 120, 4, 8.0, 10),
-        ];
+        let jobs = vec![gang(1, 0, 4, 8.0, 10), gang(2, 60, 4, 8.0, 10), gang(3, 120, 4, 8.0, 10)];
         let outcomes = drive_fleet(&mut c, &jobs);
         assert_eq!(outcomes[0].pending(), SimDuration::ZERO);
         // Job 2 waits for job 1 to finish at t=600.

@@ -16,7 +16,9 @@
 //! * **Heavy-tailed job sizes**: sample counts are Pareto-distributed, so a
 //!   few jobs dominate cluster time, as in any production trace.
 
-use dlrover_sim::{Exponential, LogNormal, Pareto, RngStreams, Sample, SimDuration, SimTime, Uniform};
+use dlrover_sim::{
+    Exponential, LogNormal, Pareto, RngStreams, Sample, SimDuration, SimTime, Uniform,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -312,8 +314,7 @@ impl FleetWorkload {
                 let util = if count == 0 {
                     0.0
                 } else {
-                    members.iter().map(|j| j.expected_cpu_utilisation()).sum::<f64>()
-                        / count as f64
+                    members.iter().map(|j| j.expected_cpu_utilisation()).sum::<f64>() / count as f64
                 };
                 (class, count, vcpu, util, mem)
             })
@@ -389,10 +390,7 @@ mod tests {
             assert!(j.service_duration.is_some());
             assert_eq!(j.ps, 0);
         }
-        assert!(w
-            .jobs
-            .iter()
-            .any(|j| j.class.priority() == Priority::High));
+        assert!(w.jobs.iter().any(|j| j.class.priority() == Priority::High));
     }
 
     #[test]

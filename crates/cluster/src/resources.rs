@@ -10,7 +10,9 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 use serde::{Deserialize, Serialize};
 
 /// A (CPU, memory) resource vector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Resources {
     /// CPU in millicores (1000 = 1 core).
     pub cpu_millis: u64,
@@ -103,10 +105,7 @@ impl AddAssign for Resources {
 impl Sub for Resources {
     type Output = Resources;
     fn sub(self, rhs: Resources) -> Resources {
-        debug_assert!(
-            self.fits(&rhs),
-            "resource subtraction underflow: {self:?} - {rhs:?}"
-        );
+        debug_assert!(self.fits(&rhs), "resource subtraction underflow: {self:?} - {rhs:?}");
         self.saturating_sub(&rhs)
     }
 }

@@ -78,10 +78,7 @@ mod tests {
         let total: f64 = (0..n).map(|_| m.sample(0.0, &mut rng).as_secs_f64()).sum();
         let mean = total / n as f64;
         let expect = m.scheduling_mean_s + m.image_pull_mean_s;
-        assert!(
-            (mean - expect).abs() / expect < 0.05,
-            "mean {mean} vs expected {expect}"
-        );
+        assert!((mean - expect).abs() / expect < 0.05, "mean {mean} vs expected {expect}");
     }
 
     #[test]

@@ -99,10 +99,7 @@ fn main() {
 
     let report = run_single_job(policy, spec, &config);
     if args.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&report).expect("report serialises")
-        );
+        println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));
         return;
     }
     println!("policy:        {}", report.policy);

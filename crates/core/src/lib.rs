@@ -42,7 +42,7 @@ pub mod runner;
 
 /// One-stop imports for applications and experiments.
 pub mod prelude {
-    pub use crate::runner::{run_single_job, RunReport, RunnerConfig};
+    pub use crate::runner::{run_single_job, run_single_job_traced, RunReport, RunnerConfig};
     pub use dlrover_baselines::{EsPolicy, OptimusPolicy, StaticPolicy, WellTunedPolicy};
     pub use dlrover_brain::{ClusterBrain, ConfigDb, DlroverPolicy, DlroverPolicyConfig};
     pub use dlrover_cluster::{Cluster, ClusterConfig, FleetConfig, FleetWorkload, Resources};
@@ -60,6 +60,7 @@ pub mod prelude {
         RealModeConfig, RealModeTrainer, TrainingJobSpec,
     };
     pub use dlrover_sim::{RngStreams, SimDuration, SimTime};
+    pub use dlrover_telemetry::{EventKind, Telemetry, TelemetrySnapshot, TelemetrySummary};
 }
 
 // Re-export the component crates for users who want the full APIs.
@@ -72,3 +73,4 @@ pub use dlrover_optimizer as optimizer;
 pub use dlrover_perfmodel as perfmodel;
 pub use dlrover_pstrain as pstrain;
 pub use dlrover_sim as sim;
+pub use dlrover_telemetry as telemetry;

@@ -12,6 +12,7 @@ use dlrover_master::{JobMaster, MasterConfig, MasterEvent, SchedulerPolicy};
 use dlrover_optimizer::ResourceAllocation;
 use dlrover_pstrain::TrainingJobSpec;
 use dlrover_sim::{RngStreams, SimDuration, SimTime};
+use dlrover_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Runner configuration.
@@ -75,15 +76,29 @@ pub struct RunReport {
 
 /// Runs one job under one policy to completion (or OOM / deadline).
 pub fn run_single_job(
+    policy: Box<dyn SchedulerPolicy>,
+    spec: TrainingJobSpec,
+    config: &RunnerConfig,
+) -> RunReport {
+    run_single_job_traced(policy, spec, config, &Telemetry::default())
+}
+
+/// Like [`run_single_job`], but records events and metrics into the given
+/// telemetry sink (job start/completion, policy adjustments, throughput
+/// and CPU time series, plus everything the master and engine emit).
+pub fn run_single_job_traced(
     mut policy: Box<dyn SchedulerPolicy>,
     spec: TrainingJobSpec,
     config: &RunnerConfig,
+    telemetry: &Telemetry,
 ) -> RunReport {
     let streams = RngStreams::new(config.seed);
     let mut startup_rng = streams.stream("runner-startup");
     let batch = spec.batch_size;
     let initial = policy.initial_allocation();
     let mut master = JobMaster::new(0, spec, initial, config.master);
+    master.set_telemetry(telemetry.clone());
+    telemetry.record(SimTime::ZERO, EventKind::JobStarted { job: 0 });
 
     let mut throughput_series = Vec::new();
     let mut cpu_core_seconds = 0.0f64;
@@ -115,13 +130,14 @@ pub fn run_single_job(
         cpu_core_seconds += allocated_cpu * config.profile_interval.as_secs_f64();
         let thp = master.engine().throughput();
         let steps_per_s = thp / f64::from(batch.max(1));
-        throughput_series.push((
-            master.engine().now().as_secs_f64() / 60.0,
-            steps_per_s,
-        ));
+        throughput_series.push((master.engine().now().as_secs_f64() / 60.0, steps_per_s));
+        let now = master.engine().now();
+        telemetry.sample("runner.steps_per_sec", now, steps_per_s);
+        telemetry.sample("runner.allocated_cpu", now, allocated_cpu);
         if allocated_cpu > 0.0 {
             util_acc += master.engine().cpu_utilisation();
             util_ticks += 1;
+            telemetry.sample("runner.cpu_utilisation", now, master.engine().cpu_utilisation());
         }
 
         // Policy adjustment on its own cadence.
@@ -130,8 +146,15 @@ pub fn run_single_job(
             since_adjust = SimDuration::ZERO;
             let profile = master.profile();
             if let Some(decision) = policy.adjust(&profile) {
-                let startup =
-                    config.startup.sample(config.cluster_utilisation, &mut startup_rng);
+                telemetry.record(
+                    master.engine().now(),
+                    EventKind::PolicyAdjusted {
+                        job: 0,
+                        workers: decision.allocation.shape.workers,
+                        ps: decision.allocation.shape.ps,
+                    },
+                );
+                let startup = config.startup.sample(config.cluster_utilisation, &mut startup_rng);
                 master.apply_decision(decision, startup);
             }
         }
@@ -145,11 +168,7 @@ pub fn run_single_job(
         final_allocation: master.allocation(),
         throughput_series,
         cpu_core_hours: cpu_core_seconds / 3_600.0,
-        mean_cpu_utilisation: if util_ticks > 0 {
-            util_acc / f64::from(util_ticks)
-        } else {
-            0.0
-        },
+        mean_cpu_utilisation: if util_ticks > 0 { util_acc / f64::from(util_ticks) } else { 0.0 },
     }
 }
 
@@ -186,11 +205,8 @@ mod tests {
     #[test]
     fn dlrover_beats_static_on_misprovisioned_job() {
         let config = RunnerConfig::default();
-        let static_report = run_single_job(
-            Box::new(StaticPolicy::new(user_request())),
-            small_spec(),
-            &config,
-        );
+        let static_report =
+            run_single_job(Box::new(StaticPolicy::new(user_request())), small_spec(), &config);
         let dlrover_report = run_single_job(
             Box::new(DlroverPolicy::new(user_request(), DlroverPolicyConfig::default())),
             small_spec(),
@@ -204,10 +220,7 @@ mod tests {
 
     #[test]
     fn deadline_cuts_runs_short() {
-        let config = RunnerConfig {
-            deadline: SimTime::from_secs(60),
-            ..RunnerConfig::default()
-        };
+        let config = RunnerConfig { deadline: SimTime::from_secs(60), ..RunnerConfig::default() };
         let report = run_single_job(
             Box::new(StaticPolicy::new(user_request())),
             TrainingJobSpec::paper_default(10_000_000),

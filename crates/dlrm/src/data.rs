@@ -61,12 +61,7 @@ impl Default for DatasetConfig {
             let t = i as f64 / (NUM_SPARSE - 1) as f64;
             *c = (30.0 * (200_000.0f64 / 30.0).powf(t)).round() as u64;
         }
-        DatasetConfig {
-            cardinalities,
-            zipf_exponent: 1.05,
-            signal_scale: 1.2,
-            base_ctr: 0.25,
-        }
+        DatasetConfig { cardinalities, zipf_exponent: 1.05, signal_scale: 1.2, base_ctr: 0.25 }
     }
 }
 
@@ -137,8 +132,8 @@ impl SyntheticCriteo {
         // two pairwise interactions that reward deeper models.
         let mut logit = self.intercept;
         for (f, &id) in sparse.iter().enumerate() {
-            logit += self.config.signal_scale * self.category_weight(f, id)
-                / (NUM_SPARSE as f64).sqrt();
+            logit +=
+                self.config.signal_scale * self.category_weight(f, id) / (NUM_SPARSE as f64).sqrt();
         }
         for (d, &x) in dense.iter().enumerate() {
             let w = self.category_weight(NUM_SPARSE + d, 0) * 0.3;

@@ -37,13 +37,7 @@ impl EmbeddingTable {
     pub fn new(virtual_rows: u64, dim: usize, seed: u64) -> Self {
         assert!(dim > 0, "embedding dim must be positive");
         assert!(virtual_rows > 0, "table must have at least one row");
-        EmbeddingTable {
-            dim,
-            virtual_rows,
-            init_scale: 0.05,
-            seed,
-            rows: HashMap::new(),
-        }
+        EmbeddingTable { dim, virtual_rows, init_scale: 0.05, seed, rows: HashMap::new() }
     }
 
     /// Embedding dimension.
@@ -121,11 +115,8 @@ impl EmbeddingTable {
     /// Serialises the materialised rows (used by checkpointing). Row order
     /// is sorted for determinism.
     pub fn export_rows(&self) -> Vec<(u64, Vec<f32>, Vec<f32>)> {
-        let mut rows: Vec<_> = self
-            .rows
-            .iter()
-            .map(|(&slot, (w, a))| (slot, w.clone(), a.clone()))
-            .collect();
+        let mut rows: Vec<_> =
+            self.rows.iter().map(|(&slot, (w, a))| (slot, w.clone(), a.clone())).collect();
         rows.sort_by_key(|(slot, _, _)| *slot);
         rows
     }

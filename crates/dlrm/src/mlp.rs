@@ -120,7 +120,8 @@ impl Mlp {
             let (fan_in, fan_out) = (w[0], w[1]);
             let prev = &activations[layer];
             let weights = &self.params[offset..offset + fan_in * fan_out];
-            let biases = &self.params[offset + fan_in * fan_out..offset + fan_in * fan_out + fan_out];
+            let biases =
+                &self.params[offset + fan_in * fan_out..offset + fan_in * fan_out + fan_out];
             let mut out = vec![0.0f32; fan_out];
             for (o, out_v) in out.iter_mut().enumerate() {
                 let row = &weights[o * fan_in..(o + 1) * fan_in];
@@ -321,9 +322,7 @@ mod tests {
             })
             .collect();
         let loss = |m: &Mlp| -> f32 {
-            data.iter()
-                .map(|(x, y)| (m.forward(x).output()[0] - y).powi(2))
-                .sum::<f32>()
+            data.iter().map(|(x, y)| (m.forward(x).output()[0] - y).powi(2)).sum::<f32>()
                 / data.len() as f32
         };
         let initial = loss(&m);
@@ -337,10 +336,7 @@ mod tests {
             m.apply_grads(&grads, 0.1);
         }
         let final_loss = loss(&m);
-        assert!(
-            final_loss < initial * 0.1,
-            "loss did not drop: {initial} -> {final_loss}"
-        );
+        assert!(final_loss < initial * 0.1, "loss did not drop: {initial} -> {final_loss}");
     }
 
     #[test]

@@ -213,15 +213,7 @@ impl DlrmModel {
             *v = (((s >> 11) as f32 / (1u64 << 53) as f32) - 0.5) * 0.02;
         }
 
-        DlrmModel {
-            kind,
-            tables,
-            wide,
-            deep,
-            extra_acc: vec![0.0; extra.len()],
-            extra,
-            config,
-        }
+        DlrmModel { kind, tables, wide, deep, extra_acc: vec![0.0; extra.len()], extra, config }
     }
 
     /// Model family.
@@ -376,9 +368,8 @@ impl CtrModel for DlrmModel {
             match self.kind {
                 ModelKind::WideDeep => {
                     for (f, &id) in sample.sparse.iter().enumerate() {
-                        sparse_acc
-                            .entry((NUM_SPARSE + f, id))
-                            .or_insert_with(|| vec![0.0; 1])[0] += dlogit;
+                        sparse_acc.entry((NUM_SPARSE + f, id)).or_insert_with(|| vec![0.0; 1])
+                            [0] += dlogit;
                     }
                 }
                 ModelKind::XDeepFm => {
@@ -423,7 +414,7 @@ impl CtrModel for DlrmModel {
                         let x_layer = &states[layer];
                         let s = scalars[layer];
                         // dL/ds = Σ g_next[i] * x0[i]
-                        let ds: f32 = g_next.iter().zip(&x) .map(|(g, xv)| g * xv).sum();
+                        let ds: f32 = g_next.iter().zip(&x).map(|(g, xv)| g * xv).sum();
                         for t in 0..dim {
                             // b grad
                             extra_grad[off + dim + t] += g_next[t];
@@ -460,18 +451,11 @@ impl CtrModel for DlrmModel {
         }
 
         // Flatten sparse grads deterministically.
-        let mut sparse: Vec<(usize, u64, Vec<f32>)> = sparse_acc
-            .into_iter()
-            .map(|((t, id), g)| (t, id, g))
-            .collect();
+        let mut sparse: Vec<(usize, u64, Vec<f32>)> =
+            sparse_acc.into_iter().map(|((t, id), g)| (t, id, g)).collect();
         sparse.sort_by_key(|(t, id, _)| (*t, *id));
 
-        Gradients {
-            dense: dense_grad,
-            sparse,
-            mean_loss: total_loss * inv_n,
-            samples: batch.len(),
-        }
+        Gradients { dense: dense_grad, sparse, mean_loss: total_loss * inv_n, samples: batch.len() }
     }
 
     fn apply_gradients(&mut self, grads: &Gradients) {
@@ -482,12 +466,7 @@ impl CtrModel for DlrmModel {
         );
         let lr = self.config.learning_rate;
         let (extra_grad, mlp_grad) = grads.dense.split_at(self.extra.len());
-        for ((p, a), &g) in self
-            .extra
-            .iter_mut()
-            .zip(self.extra_acc.iter_mut())
-            .zip(extra_grad)
-        {
+        for ((p, a), &g) in self.extra.iter_mut().zip(self.extra_acc.iter_mut()).zip(extra_grad) {
             *a += g * g;
             *p -= lr * g / (a.sqrt() + 1e-8);
         }
@@ -505,19 +484,11 @@ impl CtrModel for DlrmModel {
     }
 
     fn embedding_bytes(&self) -> usize {
-        self.tables
-            .iter()
-            .chain(self.wide.iter())
-            .map(EmbeddingTable::resident_bytes)
-            .sum()
+        self.tables.iter().chain(self.wide.iter()).map(EmbeddingTable::resident_bytes).sum()
     }
 
     fn materialized_rows(&self) -> usize {
-        self.tables
-            .iter()
-            .chain(self.wide.iter())
-            .map(EmbeddingTable::materialized_rows)
-            .sum()
+        self.tables.iter().chain(self.wide.iter()).map(EmbeddingTable::materialized_rows).sum()
     }
 
     fn dense_param_count(&self) -> usize {

@@ -21,6 +21,7 @@ use dlrover_pstrain::{
     PsTrainingEngine, RdsStore, TrainingJobSpec,
 };
 use dlrover_sim::{SimDuration, SimTime};
+use dlrover_telemetry::{EventKind, MigrationKind, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::policy::PolicyDecision;
@@ -106,6 +107,17 @@ pub struct JobMaster {
     pending_workers: Vec<(SimTime, PodState)>,
     completed_at: Option<SimTime>,
     scaling_count: u32,
+    telemetry: Telemetry,
+}
+
+/// Maps the pstrain strategy into the telemetry vocabulary (the telemetry
+/// crate sits below pstrain and cannot name its types).
+fn migration_kind(strategy: MigrationStrategy) -> MigrationKind {
+    match strategy {
+        MigrationStrategy::Seamless => MigrationKind::Seamless,
+        MigrationStrategy::StopAndRestart => MigrationKind::StopAndRestart,
+        MigrationStrategy::NoIntervention => MigrationKind::NoIntervention,
+    }
 }
 
 impl JobMaster {
@@ -134,7 +146,19 @@ impl JobMaster {
             pending_workers: Vec::new(),
             completed_at: None,
             scaling_count: 0,
+            telemetry: Telemetry::default(),
         }
+    }
+
+    /// Routes this master's (and its engine's) telemetry into `sink`.
+    pub fn set_telemetry(&mut self, sink: Telemetry) {
+        self.engine.set_telemetry(sink.clone());
+        self.telemetry = sink;
+    }
+
+    /// The master's telemetry handle (clone to share).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     fn worker_pods(alloc: &ResourceAllocation) -> Vec<PodState> {
@@ -188,6 +212,17 @@ impl JobMaster {
         (spec.memory.total_bytes(self.engine.samples_done() as f64)) as u64
     }
 
+    /// Every migration starts from a flash checkpoint (§5.2) — note it in
+    /// the trace with the step and size the handoff carried.
+    fn record_flash_checkpoint(&self) {
+        let step = self.engine.samples_done() / u64::from(self.engine.spec().batch_size.max(1));
+        self.telemetry.record(
+            self.engine.now(),
+            EventKind::CheckpointSaved { step, bytes: self.checkpoint_bytes() },
+        );
+        self.telemetry.count("master.flash_checkpoints", 1);
+    }
+
     /// The profile snapshot a policy consumes.
     pub fn profile(&self) -> JobRuntimeProfile {
         let used: u64 = self.engine.ps_memory_used().iter().sum();
@@ -238,6 +273,7 @@ impl JobMaster {
         if progress.completed && self.completed_at.is_none() {
             self.completed_at = Some(self.engine.now());
             events.push(MasterEvent::Completed(self.engine.now()));
+            self.telemetry.record(self.engine.now(), EventKind::JobCompleted { job: self.job_id });
             return events;
         }
 
@@ -269,15 +305,23 @@ impl JobMaster {
         if thp > 0.0 {
             let remaining_time = self.engine.remaining_samples() as f64 / thp;
             let horizon = remaining_time * self.config.oom_horizon_factor;
-            if let Some(forecast) = self.profiler.memory().forecast(effective_capacity, horizon)
-            {
+            if let Some(forecast) = self.profiler.memory().forecast(effective_capacity, horizon) {
                 if forecast.will_oom() {
                     let required = forecast.required_capacity(self.config.oom_headroom) as u64;
                     if self.config.auto_memory_scaling {
                         self.scale_ps_memory(required);
                         events.push(MasterEvent::OomPrevented { new_alloc_bytes: required });
+                        self.telemetry.record(
+                            self.engine.now(),
+                            EventKind::OomPrevented { job: self.job_id, new_alloc_bytes: required },
+                        );
+                        self.telemetry.count("master.ooms_prevented", 1);
                     } else {
                         events.push(MasterEvent::OomPredicted { required_bytes: required });
+                        self.telemetry.record(
+                            self.engine.now(),
+                            EventKind::OomPredicted { job: self.job_id, required_bytes: required },
+                        );
                     }
                 }
             }
@@ -288,14 +332,27 @@ impl JobMaster {
             if self.config.auto_ps_rebalance {
                 self.rebalance_hot_ps();
                 events.push(MasterEvent::HotPsMitigated { ps });
+                self.telemetry.record(
+                    self.engine.now(),
+                    EventKind::HotPsMitigated { job: self.job_id, ps: ps as u64 },
+                );
+                self.telemetry.count("master.hot_ps_mitigations", 1);
             } else {
                 events.push(MasterEvent::HotPsDetected { ps });
+                self.telemetry.record(
+                    self.engine.now(),
+                    EventKind::HotPsDetected { job: self.job_id, ps: ps as u64 },
+                );
             }
         }
 
         // Straggler reporting (mitigation is automatic via shard pacing).
         for idx in self.engine.straggling_workers(self.config.straggler_lag) {
             events.push(MasterEvent::Straggler(idx));
+            self.telemetry.record(
+                self.engine.now(),
+                EventKind::StragglerDetected { job: self.job_id, worker: idx as u64 },
+            );
         }
         events
     }
@@ -307,14 +364,10 @@ impl JobMaster {
         if parts.len() < 2 {
             return None;
         }
-        let ratios: Vec<f64> = parts
-            .iter()
-            .map(|p| p.share.max(1e-9) / p.pod.effective_cpu())
-            .collect();
+        let ratios: Vec<f64> =
+            parts.iter().map(|p| p.share.max(1e-9) / p.pod.effective_cpu()).collect();
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        ratios
-            .iter()
-            .position(|&r| r > mean * self.config.hot_ps_factor.max(1.0))
+        ratios.iter().position(|&r| r > mean * self.config.hot_ps_factor.max(1.0))
     }
 
     /// Seamless hot-PS mitigation: rebalance parameter shares evenly onto
@@ -342,6 +395,7 @@ impl JobMaster {
             &self.flash,
             &self.rds,
         );
+        self.record_flash_checkpoint();
         self.engine.reshape_ps(rebalanced, mem);
         self.engine.pause(pause);
         self.scaling_count += 1;
@@ -372,6 +426,7 @@ impl JobMaster {
             &self.flash,
             &self.rds,
         );
+        self.record_flash_checkpoint();
         let max_gb = per_ps.iter().copied().max().unwrap_or(0) as f64 / 1e9;
         self.engine.reshape_ps(partitions, per_ps);
         self.engine.pause(pause);
@@ -390,13 +445,7 @@ impl JobMaster {
     /// live requirement before applying it.
     pub fn apply_decision(&mut self, decision: PolicyDecision, startup: SimDuration) {
         let mut decision = decision;
-        let used_per_ps = self
-            .engine
-            .ps_memory_used()
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64;
+        let used_per_ps = self.engine.ps_memory_used().iter().copied().max().unwrap_or(0) as f64;
         let floor_gb = used_per_ps * (1.0 + self.config.oom_headroom.max(0.0)) / 1e9;
         if decision.allocation.ps_mem_gb < floor_gb {
             decision.allocation.ps_mem_gb = floor_gb;
@@ -419,6 +468,16 @@ impl JobMaster {
             return;
         }
         self.scaling_count += 1;
+        self.telemetry.record(
+            self.engine.now(),
+            EventKind::ScalingPlanApplied {
+                job: self.job_id,
+                workers: target.shape.workers,
+                ps: target.shape.ps,
+                strategy: migration_kind(strategy),
+            },
+        );
+        self.telemetry.count("master.scaling_ops", 1);
 
         match strategy {
             MigrationStrategy::NoIntervention => unreachable!("handled above"),
@@ -431,6 +490,7 @@ impl JobMaster {
                     &self.flash,
                     &self.rds,
                 );
+                self.record_flash_checkpoint();
                 self.engine.pause(pause);
                 self.resize_workers(&target, SimDuration::ZERO);
                 if ps_changed {
@@ -449,6 +509,7 @@ impl JobMaster {
                         &self.flash,
                         &self.rds,
                     );
+                    self.record_flash_checkpoint();
                     self.reshape_ps_now(&target);
                     self.engine.pause(pause);
                 }
@@ -465,9 +526,8 @@ impl JobMaster {
     }
 
     fn resize_workers(&mut self, target: &ResourceAllocation, startup: SimDuration) {
-        let live: Vec<usize> = (0..self.engine_worker_slots())
-            .filter(|&i| self.engine_worker_alive(i))
-            .collect();
+        let live: Vec<usize> =
+            (0..self.engine_worker_slots()).filter(|&i| self.engine_worker_alive(i)).collect();
         let current = live.len() + self.pending_workers.len();
         let want = target.shape.workers as usize;
         let pod = PodState::new(target.shape.worker_cpu);
@@ -607,10 +667,7 @@ mod tests {
             startup,
         );
         let jct_restart = run_to_end(&mut restart, 100_000).unwrap();
-        assert!(
-            jct_seamless < jct_restart,
-            "seamless {jct_seamless} !< restart {jct_restart}"
-        );
+        assert!(jct_seamless < jct_restart, "seamless {jct_seamless} !< restart {jct_restart}");
     }
 
     #[test]
@@ -645,8 +702,7 @@ mod tests {
         // auto-scaling the master pre-scales and finishes; without it the
         // job OOMs — Table 4's mechanism in miniature.
         let mut spec = TrainingJobSpec::paper_default(20_000);
-        spec.memory =
-            dlrover_perfmodel::MemoryModel::new(1.0e9, 4096.0, 3.0e6, 2.0e6);
+        spec.memory = dlrover_perfmodel::MemoryModel::new(1.0e9, 4096.0, 3.0e6, 2.0e6);
         let small_mem = alloc(4, 2, 8.0, 2.5); // 2.5 GB per PS
 
         let with = JobMaster::new(1, spec.clone(), small_mem, MasterConfig::default());
@@ -736,10 +792,7 @@ mod tests {
         );
         let used_max = *m.engine().ps_memory_used().iter().max().unwrap();
         let alloc_min = *m.engine().ps_memory_alloc().iter().min().unwrap();
-        assert!(
-            alloc_min > used_max,
-            "clamp failed: alloc {alloc_min} <= used {used_max}"
-        );
+        assert!(alloc_min > used_max, "clamp failed: alloc {alloc_min} <= used {used_max}");
         // And the job still completes rather than OOMing on the next tick.
         assert!(run_to_end(&mut m, 400_000).is_some());
     }
@@ -780,10 +833,7 @@ mod tests {
         m.engine_mut().set_ps_pod(0, PodState { cpu: 8.0, speed: 0.03 });
         let mut saw = false;
         for _ in 0..10 {
-            if m.tick(DT)
-                .iter()
-                .any(|e| matches!(e, MasterEvent::HotPsDetected { .. }))
-            {
+            if m.tick(DT).iter().any(|e| matches!(e, MasterEvent::HotPsDetected { .. })) {
                 saw = true;
                 break;
             }

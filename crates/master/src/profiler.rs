@@ -66,8 +66,7 @@ impl Profiler {
 
     /// Records a memory sample.
     pub fn record_memory(&mut self, at: SimTime, used_bytes: u64) {
-        self.memory
-            .observe(MemorySample { time: at.as_secs_f64(), used_bytes: used_bytes as f64 });
+        self.memory.observe(MemorySample { time: at.as_secs_f64(), used_bytes: used_bytes as f64 });
     }
 
     /// Number of retained observations.

@@ -155,7 +155,8 @@ mod tests {
     use dlrover_perfmodel::JobShape;
 
     fn candidate(w: u32, cpu: f64, thp: f64, gain: f64) -> PlanCandidate {
-        let alloc = ResourceAllocation::new(JobShape::new(w, 1, cpu, cpu, 512), cpu * 2.0, cpu * 2.0);
+        let alloc =
+            ResourceAllocation::new(JobShape::new(w, 1, cpu, cpu, 512), cpu * 2.0, cpu * 2.0);
         PlanCandidate {
             allocation: alloc,
             predicted_throughput: thp,
@@ -228,11 +229,7 @@ mod tests {
 
     #[test]
     fn at_most_one_plan_per_job() {
-        let j = job(
-            7,
-            1e6,
-            vec![candidate(2, 2.0, 120.0, 20.0), candidate(4, 4.0, 150.0, 50.0)],
-        );
+        let j = job(7, 1e6, vec![candidate(2, 2.0, 120.0, 20.0), candidate(4, 4.0, 150.0, 50.0)]);
         let picks = select_plans(
             &[j.clone(), j],
             ClusterCapacity { cpu_cores: 1e6, mem_gb: 1e6 },
@@ -244,9 +241,8 @@ mod tests {
     #[test]
     fn capacity_constraint_respected() {
         // Each candidate needs 16*2=32 extra cores beyond the current 2.
-        let jobs: Vec<JobCandidates> = (0..10)
-            .map(|i| job(i, 1e6, vec![candidate(16, 2.0, 200.0, 100.0)]))
-            .collect();
+        let jobs: Vec<JobCandidates> =
+            (0..10).map(|i| job(i, 1e6, vec![candidate(16, 2.0, 200.0, 100.0)])).collect();
         let per_job_extra = jobs[0].candidates[0].allocation.total_cpu() - 2.0;
         let capacity = ClusterCapacity { cpu_cores: per_job_extra * 3.0 + 1.0, mem_gb: 1e9 };
         let picks = select_plans(&jobs, capacity, &GreedyConfig::default());
@@ -330,10 +326,7 @@ mod tests {
                     }
                 })
                 .collect();
-            let capacity = ClusterCapacity {
-                cpu_cores: next() % 200.0,
-                mem_gb: next() % 400.0,
-            };
+            let capacity = ClusterCapacity { cpu_cores: next() % 200.0, mem_gb: next() % 400.0 };
             let picks = select_plans(&jobs, capacity, &GreedyConfig::default());
             let mut seen = std::collections::HashSet::new();
             let mut extra_cpu = 0.0;

@@ -25,7 +25,9 @@ pub mod plan;
 pub mod scaling;
 pub mod warm_start;
 
-pub use greedy::{priority_weight, select_plans, ClusterCapacity, GreedyConfig, JobCandidates, SelectedPlan};
+pub use greedy::{
+    priority_weight, select_plans, ClusterCapacity, GreedyConfig, JobCandidates, SelectedPlan,
+};
 pub use nsga2::{hypervolume_2d, Nsga2, Nsga2Config, ParetoPoint};
 pub use plan::{PriceTable, ResourceAllocation, ScalingOverheadModel};
 pub use scaling::{

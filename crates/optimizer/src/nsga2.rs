@@ -83,10 +83,7 @@ where
     pub fn new(evaluate: F, lower: Vec<f64>, upper: Vec<f64>, config: Nsga2Config) -> Self {
         assert!(!lower.is_empty(), "at least one decision variable required");
         assert_eq!(lower.len(), upper.len(), "bound length mismatch");
-        assert!(
-            lower.iter().zip(&upper).all(|(l, u)| l <= u),
-            "lower bound exceeds upper bound"
-        );
+        assert!(lower.iter().zip(&upper).all(|(l, u)| l <= u), "lower bound exceeds upper bound");
         assert!(config.population >= 4, "population must be at least 4");
         Nsga2 { evaluate, lower, upper, config }
     }
@@ -99,9 +96,8 @@ where
 
         let mut population: Vec<Individual> = (0..pop_size)
             .map(|_| {
-                let genome: Vec<f64> = (0..dim)
-                    .map(|d| rng.gen_range(self.lower[d]..=self.upper[d]))
-                    .collect();
+                let genome: Vec<f64> =
+                    (0..dim).map(|d| rng.gen_range(self.lower[d]..=self.upper[d])).collect();
                 self.make_individual(genome)
             })
             .collect();
@@ -278,9 +274,7 @@ fn crowding_distance(pop: &mut [Individual], front: &[usize]) {
     let mut order: Vec<usize> = front.to_vec();
     for m in 0..n_obj {
         order.sort_by(|&a, &b| {
-            pop[a].objectives[m]
-                .partial_cmp(&pop[b].objectives[m])
-                .expect("NaN objective")
+            pop[a].objectives[m].partial_cmp(&pop[b].objectives[m]).expect("NaN objective")
         });
         let lo = pop[order[0]].objectives[m];
         let hi = pop[*order.last().expect("front nonempty")].objectives[m];
@@ -293,8 +287,7 @@ fn crowding_distance(pop: &mut [Individual], front: &[usize]) {
         for w in order.windows(3) {
             let (prev, mid, next) = (w[0], w[1], w[2]);
             if pop[mid].crowding.is_finite() {
-                pop[mid].crowding +=
-                    (pop[next].objectives[m] - pop[prev].objectives[m]) / span;
+                pop[mid].crowding += (pop[next].objectives[m] - pop[prev].objectives[m]) / span;
             }
         }
     }
@@ -304,7 +297,7 @@ fn crowding_distance(pop: &mut [Individual], front: &[usize]) {
 fn tournament<R: Rng + ?Sized>(pop: &[Individual], rng: &mut R) -> usize {
     let a = rng.gen_range(0..pop.len());
     let b = rng.gen_range(0..pop.len());
-    
+
     match pop[a].rank.cmp(&pop[b].rank) {
         std::cmp::Ordering::Less => a,
         std::cmp::Ordering::Greater => b,
@@ -490,10 +483,7 @@ mod tests {
             Nsga2Config { population: 40, generations: 60, ..Default::default() },
         );
         let front = opt.run(&mut rng());
-        let best = front
-            .iter()
-            .map(|p| p.objectives[0])
-            .fold(f64::INFINITY, f64::min);
+        let best = front.iter().map(|p| p.objectives[0]).fold(f64::INFINITY, f64::min);
         assert!(best < 0.01, "did not find minimum: {best}");
     }
 
@@ -569,8 +559,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "population must be at least 4")]
     fn tiny_population_rejected() {
-        let _ = Nsga2::new(|g: &[f64]| vec![g[0]], vec![0.0], vec![1.0],
-            Nsga2Config { population: 2, ..Default::default() });
+        let _ = Nsga2::new(
+            |g: &[f64]| vec![g[0]],
+            vec![0.0],
+            vec![1.0],
+            Nsga2Config { population: 2, ..Default::default() },
+        );
     }
 
     #[test]

@@ -156,8 +156,7 @@ impl ScalingOverheadModel {
         to: &ResourceAllocation,
     ) -> f64 {
         let pause = self.pause_seconds(from, to);
-        let extra_wait = f64::from(to.shape.workers.saturating_sub(from.shape.workers))
-            .min(1.0)
+        let extra_wait = f64::from(to.shape.workers.saturating_sub(from.shape.workers)).min(1.0)
             * self.worker_startup_s;
         let lost_samples = thp_new * (pause + extra_wait);
         (thp_new - thp_old) - lost_samples / self.horizon_s.max(1.0)

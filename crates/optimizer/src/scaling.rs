@@ -80,28 +80,14 @@ impl PlanSearchSpace {
         let cw = genome[2].clamp(self.worker_cpu.0, self.worker_cpu.1);
         let cp = genome[3].clamp(self.ps_cpu.0, self.ps_cpu.1);
         let shape = JobShape::new(w, p, cw, cp, batch_size);
-        ResourceAllocation::new(
-            shape,
-            cw * self.worker_mem_per_cpu,
-            cp * self.ps_mem_per_cpu,
-        )
+        ResourceAllocation::new(shape, cw * self.worker_mem_per_cpu, cp * self.ps_mem_per_cpu)
     }
 
     /// Box bounds for the NSGA-II genome.
     fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
         (
-            vec![
-                f64::from(self.workers.0),
-                f64::from(self.ps.0),
-                self.worker_cpu.0,
-                self.ps_cpu.0,
-            ],
-            vec![
-                f64::from(self.workers.1),
-                f64::from(self.ps.1),
-                self.worker_cpu.1,
-                self.ps_cpu.1,
-            ],
+            vec![f64::from(self.workers.0), f64::from(self.ps.0), self.worker_cpu.0, self.ps_cpu.0],
+            vec![f64::from(self.workers.1), f64::from(self.ps.1), self.worker_cpu.1, self.ps_cpu.1],
         )
     }
 }
@@ -269,11 +255,7 @@ impl ScalingAlgorithm for NsgaPlanGenerator {
 
         // Decoding rounds genomes onto a grid, so distinct genomes can
         // collapse to the same allocation: dedupe, keep the best gain first.
-        plans.sort_by(|a, b| {
-            b.throughput_gain
-                .partial_cmp(&a.throughput_gain)
-                .expect("NaN gain")
-        });
+        plans.sort_by(|a, b| b.throughput_gain.partial_cmp(&a.throughput_gain).expect("NaN gain"));
         plans.dedup_by(|a, b| {
             a.allocation.shape.workers == b.allocation.shape.workers
                 && a.allocation.shape.ps == b.allocation.shape.ps
@@ -287,8 +269,8 @@ impl ScalingAlgorithm for NsgaPlanGenerator {
 #[cfg(test)]
 mod rightsize_tests {
     use super::*;
-    use dlrover_perfmodel::{ModelCoefficients, WorkloadConstants};
     use crate::plan::PriceTable;
+    use dlrover_perfmodel::{ModelCoefficients, WorkloadConstants};
 
     fn model() -> ThroughputModel {
         ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::paper_reference())
@@ -394,10 +376,7 @@ mod tests {
         let cur = small_current();
         let cur_thp = m.throughput(&cur.shape);
         let plans = gen.candidates(&m, &cur, &mut rng());
-        let best = plans
-            .iter()
-            .map(|p| p.predicted_throughput)
-            .fold(0.0, f64::max);
+        let best = plans.iter().map(|p| p.predicted_throughput).fold(0.0, f64::max);
         assert!(best > 2.0 * cur_thp, "best {best} vs current {cur_thp}");
     }
 

@@ -80,10 +80,7 @@ pub fn similarity(a: &JobMetadata, b: &JobMetadata) -> f64 {
     let mut score = 0.0;
     let mut weight = 0.0;
     // Categorical.
-    for (matched, w) in [
-        (a.model_kind == b.model_kind, 3.0),
-        (a.owner == b.owner, 2.0),
-    ] {
+    for (matched, w) in [(a.model_kind == b.model_kind, 3.0), (a.owner == b.owner, 2.0)] {
         score += if matched { w } else { 0.0 };
         weight += w;
     }
@@ -138,13 +135,7 @@ pub fn warm_start(
         }
     }
 
-    let batch = scored
-        .last()
-        .expect("nonempty")
-        .1
-        .final_allocation
-        .shape
-        .batch_size;
+    let batch = scored.last().expect("nonempty").1.final_allocation.shape.batch_size;
     let shape = JobShape::new(
         smoothed[0].round().max(1.0) as u32,
         smoothed[1].round().max(1.0) as u32,
@@ -210,10 +201,7 @@ mod tests {
     #[test]
     fn identical_history_returns_that_allocation() {
         let job = meta("wide_deep", "alice", 1_000_000);
-        let history = vec![
-            record("wide_deep", "alice", 1_000_000, 8, 4, 8.0);
-            5
-        ];
+        let history = vec![record("wide_deep", "alice", 1_000_000, 8, 4, 8.0); 5];
         let a = warm_start(&history, &job, &WarmStartConfig::default()).unwrap();
         assert_eq!(a.shape.workers, 8);
         assert_eq!(a.shape.ps, 4);
@@ -272,12 +260,9 @@ mod tests {
         let r_far = record("dcn", "bob", 2_000_000, 2, 2, 2.0);
         let r_near = record("wide_deep", "alice", 1_000_000, 10, 4, 8.0);
         let mu = 0.7;
-        let a = warm_start(
-            &[r_far.clone(), r_near.clone()],
-            &job,
-            &WarmStartConfig { top_k: 2, mu },
-        )
-        .unwrap();
+        let a =
+            warm_start(&[r_far.clone(), r_near.clone()], &job, &WarmStartConfig { top_k: 2, mu })
+                .unwrap();
         // Ā = μ·A_near + (1−μ)·A_far.
         let expect_workers = (mu * 10.0 + (1.0 - mu) * 2.0_f64).round() as u32;
         assert_eq!(a.shape.workers, expect_workers);

@@ -32,6 +32,6 @@ pub use linalg::Matrix;
 pub use memory::{MemoryModel, MemoryPredictor, MemorySample, OomForecast};
 pub use nnls::{nnls, NnlsError};
 pub use throughput::{
-    distinct_shape_count, rmsle, IterationBreakdown, JobShape, ModelCoefficients,
-    ThroughputModel, ThroughputObservation, WorkloadConstants,
+    distinct_shape_count, rmsle, IterationBreakdown, JobShape, ModelCoefficients, ThroughputModel,
+    ThroughputObservation, WorkloadConstants,
 };

@@ -38,10 +38,17 @@ impl MemoryModel {
     ///
     /// # Panics
     /// Panics on non-positive parameters.
-    pub fn new(static_bytes: f64, bytes_per_row: f64, max_categories: f64, discovery_tau: f64) -> Self {
+    pub fn new(
+        static_bytes: f64,
+        bytes_per_row: f64,
+        max_categories: f64,
+        discovery_tau: f64,
+    ) -> Self {
         assert!(static_bytes >= 0.0, "static_bytes must be >= 0");
-        assert!(bytes_per_row > 0.0 && max_categories > 0.0 && discovery_tau > 0.0,
-            "memory model parameters must be positive");
+        assert!(
+            bytes_per_row > 0.0 && max_categories > 0.0 && discovery_tau > 0.0,
+            "memory model parameters must be positive"
+        );
         MemoryModel { static_bytes, bytes_per_row, max_categories, discovery_tau }
     }
 
@@ -249,7 +256,10 @@ mod tests {
         let mut p = MemoryPredictor::new(16);
         // 1 GB/minute growth starting from 10 GB.
         for i in 0..10 {
-            p.observe(MemorySample { time: i as f64 * 60.0, used_bytes: 10.0 * GB + i as f64 * GB });
+            p.observe(MemorySample {
+                time: i as f64 * 60.0,
+                used_bytes: 10.0 * GB + i as f64 * GB,
+            });
         }
         let capacity = 30.0 * GB;
         let f = p.forecast(capacity, 3600.0).expect("enough samples");

@@ -115,12 +115,7 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<(Vec<f64>, f64), NnlsError> {
     }
 
     let ax = a.matvec(&x);
-    let residual = b
-        .iter()
-        .zip(&ax)
-        .map(|(bi, ai)| (bi - ai) * (bi - ai))
-        .sum::<f64>()
-        .sqrt();
+    let residual = b.iter().zip(&ax).map(|(bi, ai)| (bi - ai) * (bi - ai)).sum::<f64>().sqrt();
     Ok((x, residual))
 }
 

@@ -378,10 +378,7 @@ mod tests {
         // 30-48 % band the paper reports for production jobs (Fig. 1a).
         let m = reference_model();
         let frac = m.breakdown(&shape(8, 4, 8.0, 8.0)).lookup_fraction();
-        assert!(
-            (0.25..0.60).contains(&frac),
-            "lookup fraction {frac} out of plausible band"
-        );
+        assert!((0.25..0.60).contains(&frac), "lookup fraction {frac} out of plausible band");
     }
 
     #[test]

@@ -77,9 +77,7 @@ impl AsyncCostModel {
     /// Balanced partitions for `p` PSes with `cpu` cores each.
     pub fn balanced_partitions(p: u32, cpu: f64) -> Vec<PsPartition> {
         let p = p.max(1);
-        (0..p)
-            .map(|_| PsPartition { share: 1.0 / f64::from(p), pod: PodState::new(cpu) })
-            .collect()
+        (0..p).map(|_| PsPartition { share: 1.0 / f64::from(p), pod: PodState::new(cpu) }).collect()
     }
 
     /// Skewed partitions: the first PS holds `hot_share`, the rest split the
@@ -172,9 +170,7 @@ impl AsyncCostModel {
         let n = workers.len() as u32;
         workers
             .iter()
-            .map(|wk| {
-                f64::from(self.batch_size) / self.worker_iter_time(wk, partitions, n)
-            })
+            .map(|wk| f64::from(self.batch_size) / self.worker_iter_time(wk, partitions, n))
             .sum()
     }
 
@@ -216,20 +212,16 @@ impl AsyncCostModel {
         if workers.is_empty() {
             return vec![0.0; partitions.len()];
         }
-        let mean_iter = workers
-            .iter()
-            .map(|w| self.worker_iter_time(w, partitions, n))
-            .sum::<f64>()
-            / workers.len() as f64;
+        let mean_iter =
+            workers.iter().map(|w| self.worker_iter_time(w, partitions, n)).sum::<f64>()
+                / workers.len() as f64;
         let c = self.coefficients;
         let server_busy = f64::from(n)
             * (c.alpha_upd
                 + c.alpha_emb * f64::from(self.batch_size) * self.constants.embedding_dim);
         partitions
             .iter()
-            .map(|ps| {
-                (server_busy * ps.share / (ps.pod.cpu.max(1e-9) * mean_iter)).min(1.0)
-            })
+            .map(|ps| (server_busy * ps.share / (ps.pod.cpu.max(1e-9) * mean_iter)).min(1.0))
             .collect()
     }
 
@@ -245,10 +237,8 @@ impl AsyncCostModel {
         if total_cores <= 0.0 {
             return 0.0;
         }
-        let worker_busy: f64 = workers
-            .iter()
-            .map(|w| self.worker_utilisation(w, partitions, n) * w.cpu)
-            .sum();
+        let worker_busy: f64 =
+            workers.iter().map(|w| self.worker_utilisation(w, partitions, n) * w.cpu).sum();
         let ps_busy: f64 = self
             .ps_utilisation(workers, partitions)
             .iter()
@@ -263,10 +253,8 @@ impl AsyncCostModel {
     /// the straggler submits badly stale gradients (§5.1).
     pub fn staleness_ratio(&self, workers: &[PodState], partitions: &[PsPartition]) -> f64 {
         let n = workers.len() as u32;
-        let times: Vec<f64> = workers
-            .iter()
-            .map(|wk| self.worker_iter_time(wk, partitions, n))
-            .collect();
+        let times: Vec<f64> =
+            workers.iter().map(|wk| self.worker_iter_time(wk, partitions, n)).collect();
         let fastest = times.iter().cloned().fold(f64::INFINITY, f64::min);
         let slowest = times.iter().cloned().fold(0.0f64, f64::max);
         slowest / fastest
@@ -287,10 +275,7 @@ impl AsyncCostModel {
 pub fn static_partition_completion_seconds(remaining_samples: f64, rates: &[f64]) -> f64 {
     assert!(!rates.is_empty(), "need at least one worker");
     let slice = remaining_samples.max(0.0) / rates.len() as f64;
-    rates
-        .iter()
-        .map(|&r| slice / r.max(1e-9))
-        .fold(0.0f64, f64::max)
+    rates.iter().map(|&r| slice / r.max(1e-9)).fold(0.0f64, f64::max)
 }
 
 /// Completion time (seconds) of `remaining_samples` under *dynamic* data
@@ -405,11 +390,7 @@ mod tests {
     use super::*;
 
     fn model() -> AsyncCostModel {
-        AsyncCostModel::new(
-            ModelCoefficients::paper_reference(),
-            WorkloadConstants::default(),
-            512,
-        )
+        AsyncCostModel::new(ModelCoefficients::paper_reference(), WorkloadConstants::default(), 512)
     }
 
     fn uniform_workers(n: usize, cpu: f64) -> Vec<PodState> {
@@ -539,10 +520,7 @@ mod tests {
         let static_t = static_partition_completion_seconds(remaining, &rates);
         let dynamic_t = dynamic_sharding_completion_seconds(remaining, &rates);
         assert!((static_t - (remaining / 8.0) / 3.0).abs() < 1e-9);
-        assert!(
-            static_t > 2.5 * dynamic_t,
-            "static {static_t} should dwarf dynamic {dynamic_t}"
-        );
+        assert!(static_t > 2.5 * dynamic_t, "static {static_t} should dwarf dynamic {dynamic_t}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use dlrover_perfmodel::{JobShape, MemoryModel, ThroughputObservation, WorkloadConstants};
 use dlrover_sim::{SimDuration, SimTime};
+use dlrover_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{AsyncCostModel, PodState, PsPartition};
@@ -119,6 +120,7 @@ pub struct PsTrainingEngine {
     next_shard_worker_id: u64,
     events: Vec<(SimTime, EngineEvent)>,
     oomed: bool,
+    telemetry: Telemetry,
 }
 
 impl PsTrainingEngine {
@@ -144,11 +146,7 @@ impl PsTrainingEngine {
 
     /// Snapshots the training state for fault-tolerant restore.
     pub fn checkpoint(&self) -> EngineCheckpoint {
-        EngineCheckpoint {
-            spec: self.spec.clone(),
-            shards: self.shards.quiesced(),
-            at: self.now,
-        }
+        EngineCheckpoint { spec: self.spec.clone(), shards: self.shards.quiesced(), at: self.now }
     }
 
     /// Reconstructs an engine from a checkpoint with a fresh pod layout
@@ -166,7 +164,8 @@ impl PsTrainingEngine {
         assert!(!workers.is_empty(), "job needs at least one worker");
         assert!(!partitions.is_empty(), "job needs at least one PS");
         assert_eq!(partitions.len(), ps_mem_alloc.len(), "per-PS memory required");
-        let cost = AsyncCostModel::new(ckpt.spec.coefficients, ckpt.spec.constants, ckpt.spec.batch_size);
+        let cost =
+            AsyncCostModel::new(ckpt.spec.coefficients, ckpt.spec.constants, ckpt.spec.batch_size);
         let mut engine = PsTrainingEngine {
             spec: ckpt.spec,
             cost,
@@ -179,11 +178,23 @@ impl PsTrainingEngine {
             next_shard_worker_id: 0,
             events: Vec::new(),
             oomed: false,
+            telemetry: Telemetry::default(),
         };
         for pod in workers {
             engine.add_worker(pod);
         }
         engine
+    }
+
+    /// Routes this engine's telemetry into `sink` (a shared handle). Until
+    /// called, events go to a private default sink.
+    pub fn set_telemetry(&mut self, sink: Telemetry) {
+        self.telemetry = sink;
+    }
+
+    /// The engine's telemetry handle (clone to share).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Current virtual time.
@@ -220,6 +231,7 @@ impl PsTrainingEngine {
         self.workers.push(WorkerSlot { pod, shard_worker_id: id, alive: true, carry: 0.0 });
         let idx = self.workers.len() - 1;
         self.events.push((self.now, EngineEvent::WorkerAdded(idx)));
+        self.telemetry.record(self.now, EventKind::WorkerAdded { worker: idx as u64 });
         idx
     }
 
@@ -233,6 +245,8 @@ impl PsTrainingEngine {
         slot.carry = 0.0;
         self.shards.fail_worker(slot.shard_worker_id);
         self.events.push((self.now, EngineEvent::WorkerFailed(idx)));
+        self.telemetry.record(self.now, EventKind::WorkerFailed { worker: idx as u64 });
+        self.telemetry.count("engine.worker_failures", 1);
     }
 
     /// Removes a worker gracefully (scale-down): processed work is kept.
@@ -246,6 +260,7 @@ impl PsTrainingEngine {
         slot.carry = 0.0;
         self.shards.deregister_worker(slot.shard_worker_id);
         self.events.push((self.now, EngineEvent::WorkerRemoved(idx)));
+        self.telemetry.record(self.now, EventKind::WorkerRemoved { worker: idx as u64 });
     }
 
     /// Changes a live worker's pod state (vertical scaling / contention).
@@ -264,6 +279,7 @@ impl PsTrainingEngine {
         self.partitions = partitions;
         self.ps_mem_alloc = ps_mem_alloc;
         self.events.push((self.now, EngineEvent::Reshaped));
+        self.telemetry.record(self.now, EventKind::PsReshaped { ps: self.partitions.len() as u64 });
     }
 
     /// Sets one PS pod's state (e.g. inject a hot PS).
@@ -281,6 +297,8 @@ impl PsTrainingEngine {
         }
         self.pending_pause += d;
         self.events.push((self.now, EngineEvent::Paused(d)));
+        self.telemetry.record(self.now, EventKind::TrainingPaused { micros: d.as_micros() });
+        self.telemetry.observe("engine.pause_seconds", d.as_secs_f64());
     }
 
     /// Samples fully accounted (completed shards + in-flight progress).
@@ -348,10 +366,7 @@ impl PsTrainingEngine {
     pub fn ps_memory_used(&self) -> Vec<u64> {
         let emb = self.spec.memory.embedding_bytes(self.samples_done() as f64);
         let static_slice = self.spec.memory.static_bytes / self.partitions.len() as f64;
-        self.partitions
-            .iter()
-            .map(|ps| (ps.share * emb + static_slice) as u64)
-            .collect()
+        self.partitions.iter().map(|ps| (ps.share * emb + static_slice) as u64).collect()
     }
 
     /// Per-PS memory allocations.
@@ -399,11 +414,7 @@ impl PsTrainingEngine {
         let w = pods.len() as u32;
         let mean_cpu = pods.iter().map(|p| p.effective_cpu()).sum::<f64>() / pods.len() as f64;
         let p = self.partitions.len() as u32;
-        let mean_ps_cpu = self
-            .partitions
-            .iter()
-            .map(|ps| ps.pod.effective_cpu())
-            .sum::<f64>()
+        let mean_ps_cpu = self.partitions.iter().map(|ps| ps.pod.effective_cpu()).sum::<f64>()
             / self.partitions.len() as f64;
         let thp = self.cost.throughput(&pods, &self.partitions);
         if thp <= 0.0 {
@@ -433,9 +444,7 @@ impl PsTrainingEngine {
         }
 
         let dt_s = remaining.as_secs_f64();
-        let live: Vec<usize> = (0..self.workers.len())
-            .filter(|&i| self.workers[i].alive)
-            .collect();
+        let live: Vec<usize> = (0..self.workers.len()).filter(|&i| self.workers[i].alive).collect();
         let n = live.len() as u32;
         let mut total_new = 0.0f64;
 
@@ -445,9 +454,7 @@ impl PsTrainingEngine {
                 .iter()
                 .map(|&i| {
                     f64::from(self.spec.batch_size)
-                        / self
-                            .cost
-                            .worker_iter_time(&self.workers[i].pod, &self.partitions, n)
+                        / self.cost.worker_iter_time(&self.workers[i].pod, &self.partitions, n)
                 })
                 .collect();
             let max_rate = rates.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
@@ -459,13 +466,17 @@ impl PsTrainingEngine {
                 let mut produced = 0.0f64;
                 loop {
                     // Ensure the worker holds a shard.
-                    let holding = self
-                        .shards
-                        .worker(wid)
-                        .and_then(|s| s.current_shard)
-                        .is_some();
-                    if !holding && self.shards.checkout(wid, pace, self.now).is_none() {
-                        break; // dataset drained
+                    let holding = self.shards.worker(wid).and_then(|s| s.current_shard).is_some();
+                    if !holding {
+                        match self.shards.checkout(wid, pace, self.now) {
+                            Some(shard) => {
+                                self.telemetry.record(
+                                    self.now,
+                                    EventKind::ShardCheckedOut { worker: wid, len: shard.len },
+                                );
+                            }
+                            None => break, // dataset drained
+                        }
                     }
                     let state = self.shards.worker(wid).expect("registered");
                     let shard = state.current_shard.expect("just ensured");
@@ -474,7 +485,12 @@ impl PsTrainingEngine {
                         budget -= left_in_shard;
                         produced += left_in_shard;
                         self.shards.heartbeat(wid, shard.len, self.now);
-                        self.shards.complete(wid, self.now);
+                        let acked = self.shards.complete(wid, self.now);
+                        self.telemetry.record(
+                            self.now,
+                            EventKind::ShardAcked { worker: wid, len: acked.len },
+                        );
+                        self.telemetry.count("engine.shards_acked", 1);
                     } else {
                         let whole = budget.floor() as u64;
                         let state_off = state.offset_in_shard;
@@ -503,15 +519,11 @@ impl PsTrainingEngine {
         if let Some(ps) = oom_ps {
             self.oomed = true;
             self.events.push((self.now, EngineEvent::Oom(ps)));
+            self.telemetry.record(self.now, EventKind::Oomed { job: 0, ps: ps as u64 });
         }
 
         let completed = self.is_complete();
-        if completed
-            && !self
-                .events
-                .iter()
-                .any(|(_, e)| matches!(e, EngineEvent::Completed(_)))
-        {
+        if completed && !self.events.iter().any(|(_, e)| matches!(e, EngineEvent::Completed(_))) {
             self.events.push((self.now, EngineEvent::Completed(self.now)));
         }
         JobProgress { samples: total_new, completed, oom_ps }
@@ -647,9 +659,7 @@ mod tests {
     #[test]
     fn job_runs_to_completion() {
         let mut e = engine(200, 4, 2, 8.0);
-        let jct = e
-            .run_to_completion(SLICE, SimTime::from_secs(1_000_000))
-            .expect("should finish");
+        let jct = e.run_to_completion(SLICE, SimTime::from_secs(1_000_000)).expect("should finish");
         assert!(jct > SimTime::ZERO);
         assert!(e.is_complete());
         assert_eq!(e.samples_done(), e.spec().total_samples);
@@ -769,10 +779,10 @@ mod tests {
         e.advance(SLICE);
         // The slow worker's current shard should be smaller than a fast
         // worker's (pace-shrunken).
-        let slow_shard = e.shards.worker(e.workers[0].shard_worker_id)
-            .and_then(|s| s.current_shard);
-        let fast_shard = e.shards.worker(e.workers[1].shard_worker_id)
-            .and_then(|s| s.current_shard);
+        let slow_shard =
+            e.shards.worker(e.workers[0].shard_worker_id).and_then(|s| s.current_shard);
+        let fast_shard =
+            e.shards.worker(e.workers[1].shard_worker_id).and_then(|s| s.current_shard);
         if let (Some(slow), Some(fast)) = (slow_shard, fast_shard) {
             assert!(
                 slow.len < fast.len,

@@ -49,7 +49,7 @@ pub use migration::{
 };
 pub use real::{ElasticEvent, JobCheckpoint, RealModeConfig, RealModeTrainer};
 pub use rebalance::{
-    balance_blocks, dlrm_blocks, imbalance, partitions_from_assignment, plan_rebalance,
-    Assignment, ParamBlock, RebalancePlan,
+    balance_blocks, dlrm_blocks, imbalance, partitions_from_assignment, plan_rebalance, Assignment,
+    ParamBlock, RebalancePlan,
 };
 pub use sharding::{DataShard, ShardId, ShardQueue, ShardingConfig, WorkerProgress};

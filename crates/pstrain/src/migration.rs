@@ -69,9 +69,7 @@ impl MigrationTimeline {
     /// Total wall-clock the recovery occupies (paused + degraded +
     /// overlapped).
     pub fn total(&self) -> SimDuration {
-        self.segments
-            .iter()
-            .fold(SimDuration::ZERO, |acc, (_, d)| acc + *d)
+        self.segments.iter().fold(SimDuration::ZERO, |acc, (_, d)| acc + *d)
     }
 
     /// Time during which training makes no progress at all.
@@ -164,9 +162,9 @@ pub fn plan_worker_recovery(
         },
         // Dynamic data sharding: detect, shrink the straggler's shards,
         // requeue — the job never stops ("within 1 minute" in §6.2).
-        MigrationStrategy::Seamless => MigrationTimeline {
-            segments: vec![(TimelineSegment::Degraded, detection)],
-        },
+        MigrationStrategy::Seamless => {
+            MigrationTimeline { segments: vec![(TimelineSegment::Degraded, detection)] }
+        }
     }
 }
 
@@ -183,8 +181,13 @@ mod tests {
     #[test]
     fn no_intervention_has_empty_timeline() {
         let (f, r) = stores();
-        let t = plan_ps_migration(MigrationStrategy::NoIntervention, 20 * GB,
-            SimDuration::from_mins(5), &f, &r);
+        let t = plan_ps_migration(
+            MigrationStrategy::NoIntervention,
+            20 * GB,
+            SimDuration::from_mins(5),
+            &f,
+            &r,
+        );
         assert_eq!(t.pause(), SimDuration::ZERO);
         assert_eq!(t.total(), SimDuration::ZERO);
     }
@@ -261,11 +264,9 @@ mod tests {
     #[test]
     fn totals_add_up() {
         let (f, r) = stores();
-        let t = plan_ps_migration(MigrationStrategy::Seamless, GB, SimDuration::from_mins(3), &f, &r);
-        let manual: SimDuration = t
-            .segments
-            .iter()
-            .fold(SimDuration::ZERO, |acc, (_, d)| acc + *d);
+        let t =
+            plan_ps_migration(MigrationStrategy::Seamless, GB, SimDuration::from_mins(3), &f, &r);
+        let manual: SimDuration = t.segments.iter().fold(SimDuration::ZERO, |acc, (_, d)| acc + *d);
         assert_eq!(t.total(), manual);
         assert_eq!(t.total(), t.pause() + t.degraded());
     }

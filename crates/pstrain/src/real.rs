@@ -40,11 +40,8 @@ pub struct RealModeConfig {
 impl RealModeConfig {
     /// A laptop-scale configuration that still exhibits learnable signal.
     pub fn small(kind: ModelKind, seed: u64) -> Self {
-        let sharding = ShardingConfig {
-            batches_per_shard: 8,
-            batch_size: 64,
-            min_batches_per_shard: 1,
-        };
+        let sharding =
+            ShardingConfig { batches_per_shard: 8, batch_size: 64, min_batches_per_shard: 1 };
         RealModeConfig {
             kind,
             model: ModelConfig {
@@ -244,8 +241,7 @@ impl RealModeTrainer {
         let batch_size = self.config.sharding.batch_size as u64;
         let mut grads = Vec::new();
 
-        let live: Vec<usize> =
-            (0..self.workers.len()).filter(|&i| self.workers[i].alive).collect();
+        let live: Vec<usize> = (0..self.workers.len()).filter(|&i| self.workers[i].alive).collect();
         if live.is_empty() {
             return None;
         }
@@ -284,8 +280,7 @@ impl RealModeTrainer {
         if grads.is_empty() {
             return None;
         }
-        let mean_loss =
-            grads.iter().map(|g| g.mean_loss).sum::<f32>() / grads.len() as f32;
+        let mean_loss = grads.iter().map(|g| g.mean_loss).sum::<f32>() / grads.len() as f32;
         for g in &grads {
             self.model.apply_gradients(g);
         }
@@ -343,8 +338,7 @@ mod tests {
         t.train_to_completion(1_000_000);
         let hist = t.loss_history();
         assert!(hist.len() > 20);
-        let early: f32 =
-            hist[..10].iter().map(|(_, l)| l).sum::<f32>() / 10.0;
+        let early: f32 = hist[..10].iter().map(|(_, l)| l).sum::<f32>() / 10.0;
         let late: f32 = hist[hist.len() - 10..].iter().map(|(_, l)| l).sum::<f32>() / 10.0;
         assert!(late < early, "loss did not fall: {early} -> {late}");
     }
@@ -479,11 +473,8 @@ mod tests {
     fn restore_rejects_wrong_family() {
         let t = trainer(22, 2);
         let ckpt = t.checkpoint();
-        let _ = RealModeTrainer::from_checkpoint(
-            RealModeConfig::small(ModelKind::Dcn, 22),
-            ckpt,
-            2,
-        );
+        let _ =
+            RealModeTrainer::from_checkpoint(RealModeConfig::small(ModelKind::Dcn, 22), ckpt, 2);
     }
 
     #[test]

@@ -58,17 +58,8 @@ pub fn balance_blocks(blocks: &[ParamBlock], servers: usize) -> Assignment {
 
 /// Per-server byte loads of an assignment.
 pub fn loads(blocks: &[ParamBlock], assignment: &Assignment) -> Vec<u64> {
-    let size_of = |id: u32| {
-        blocks
-            .iter()
-            .find(|b| b.id == id)
-            .map(|b| b.bytes)
-            .unwrap_or(0)
-    };
-    assignment
-        .iter()
-        .map(|ids| ids.iter().map(|&id| size_of(id)).sum())
-        .collect()
+    let size_of = |id: u32| blocks.iter().find(|b| b.id == id).map(|b| b.bytes).unwrap_or(0);
+    assignment.iter().map(|ids| ids.iter().map(|&id| size_of(id)).sum()).collect()
 }
 
 /// Imbalance factor: hottest load over the perfectly even load
@@ -155,11 +146,7 @@ pub fn partitions_from_assignment(
     l.iter()
         .zip(pods)
         .map(|(&bytes, &pod)| PsPartition {
-            share: if total == 0 {
-                1.0 / l.len() as f64
-            } else {
-                bytes as f64 / total as f64
-            },
+            share: if total == 0 { 1.0 / l.len() as f64 } else { bytes as f64 / total as f64 },
             pod,
         })
         .collect()
@@ -174,10 +161,7 @@ pub fn dlrm_blocks(tables: u32, total_embedding_bytes: u64, dense_bytes: u64) ->
     let weight_sum: f64 = (0..tables).map(|k| 1.0 / f64::from(k + 1)).sum();
     for k in 0..tables {
         let w = (1.0 / f64::from(k + 1)) / weight_sum;
-        blocks.push(ParamBlock {
-            id: k,
-            bytes: (total_embedding_bytes as f64 * w) as u64,
-        });
+        blocks.push(ParamBlock { id: k, bytes: (total_embedding_bytes as f64 * w) as u64 });
     }
     blocks.push(ParamBlock { id: tables, bytes: dense_bytes });
     blocks
@@ -188,11 +172,7 @@ mod tests {
     use super::*;
 
     fn blocks(sizes: &[u64]) -> Vec<ParamBlock> {
-        sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &bytes)| ParamBlock { id: i as u32, bytes })
-            .collect()
+        sizes.iter().enumerate().map(|(i, &bytes)| ParamBlock { id: i as u32, bytes }).collect()
     }
 
     #[test]
@@ -216,10 +196,7 @@ mod tests {
             let total: u64 = l.iter().sum();
             let max = *l.iter().max().unwrap();
             let bound = total as f64 / p as f64 + (1.0 - 1.0 / p as f64) * 70.0;
-            assert!(
-                max as f64 <= bound + 1e-9,
-                "p={p}: makespan {max} vs Graham bound {bound}"
-            );
+            assert!(max as f64 <= bound + 1e-9, "p={p}: makespan {max} vs Graham bound {bound}");
         }
     }
 
@@ -273,10 +250,8 @@ mod tests {
         assert!(plan.imbalance_after < plan.imbalance_before);
         assert!(!plan.moves.is_empty());
         // Moved bytes is the size of everything that left PS 0.
-        let kept: u64 = plan.assignment[0]
-            .iter()
-            .map(|&id| b.iter().find(|x| x.id == id).unwrap().bytes)
-            .sum();
+        let kept: u64 =
+            plan.assignment[0].iter().map(|&id| b.iter().find(|x| x.id == id).unwrap().bytes).sum();
         let total: u64 = b.iter().map(|x| x.bytes).sum();
         assert_eq!(plan.moved_bytes, total - kept);
     }

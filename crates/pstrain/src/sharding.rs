@@ -177,10 +177,7 @@ impl ShardQueue {
     pub fn checkout(&mut self, worker: u64, pace: f64, now: SimTime) -> Option<DataShard> {
         self.register_worker(worker, now);
         let state = self.workers.get_mut(&worker).expect("just registered");
-        assert!(
-            state.current_shard.is_none(),
-            "worker {worker} already holds a shard"
-        );
+        assert!(state.current_shard.is_none(), "worker {worker} already holds a shard");
         let mut shard = self.pending.pop_front()?;
 
         // Straggler pacing: shrink the shard to match the worker's pace.

@@ -89,8 +89,10 @@ impl Normal {
     /// # Panics
     /// Panics if `std_dev` is negative or either parameter is non-finite.
     pub fn new(mean: f64, std_dev: f64) -> Self {
-        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
-            "bad normal params mean={mean} sd={std_dev}");
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "bad normal params mean={mean} sd={std_dev}"
+        );
         Normal { mean, std_dev }
     }
 
@@ -228,8 +230,7 @@ impl Zipf {
         assert!(s > 0.0 && s.is_finite(), "bad zipf exponent {s}");
         let h_x1 = Self::h_integral(1.5, s) - 1.0;
         let h_n = Self::h_integral(n as f64 + 0.5, s);
-        let dividing =
-            2.0 - Self::h_integral_inv(Self::h_integral(2.5, s) - 2f64.powf(-s), s);
+        let dividing = 2.0 - Self::h_integral_inv(Self::h_integral(2.5, s) - 2f64.powf(-s), s);
         Zipf { n, s, h_x1, h_n, dividing }
     }
 
@@ -276,9 +277,7 @@ impl Zipf {
             let u = self.h_n + rng.gen::<f64>() * (self.h_x1 - self.h_n);
             let x = Self::h_integral_inv(u, self.s);
             let k = x.clamp(1.0, self.n as f64).round();
-            if k - x <= self.dividing
-                || u >= Self::h_integral(k + 0.5, self.s) - k.powf(-self.s)
-            {
+            if k - x <= self.dividing || u >= Self::h_integral(k + 0.5, self.s) - k.powf(-self.s) {
                 return k as u64 - 1;
             }
         }

@@ -40,10 +40,7 @@ impl<E> Ord for ScheduledEvent<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse so the BinaryHeap (a max-heap) behaves as a min-heap on
         // (time, seq).
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -77,11 +74,7 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at time zero.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
     }
 
     /// The current virtual time: the fire time of the last popped event
@@ -106,12 +99,7 @@ impl<E> EventQueue<E> {
     /// Panics in debug builds if `at` is before the current virtual time —
     /// scheduling into the past indicates a logic error in the caller.
     pub fn push(&mut self, at: SimTime, event: E) -> u64 {
-        debug_assert!(
-            at >= self.now,
-            "scheduling into the past: {:?} < {:?}",
-            at,
-            self.now
-        );
+        debug_assert!(at >= self.now, "scheduling into the past: {:?} < {:?}", at, self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(ScheduledEvent { at, seq, event });

@@ -7,9 +7,9 @@
 //! experiment seed via SplitMix64, so components cannot perturb each other.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 #[cfg(test)]
 use rand::RngCore;
+use rand::SeedableRng;
 
 /// One step of the SplitMix64 sequence: a high-quality 64-bit mixer used to
 /// derive stream seeds from `(experiment_seed, stream_name)`.
@@ -74,7 +74,9 @@ impl RngStreams {
     /// Derives a child factory, e.g. one per simulated job.
     pub fn child(&self, name: &str, index: u64) -> RngStreams {
         RngStreams {
-            seed: splitmix64(self.seed ^ fnv1a(name.as_bytes()) ^ splitmix64(index.wrapping_add(1))),
+            seed: splitmix64(
+                self.seed ^ fnv1a(name.as_bytes()) ^ splitmix64(index.wrapping_add(1)),
+            ),
         }
     }
 }
@@ -99,10 +101,7 @@ mod tests {
     #[test]
     fn different_names_differ() {
         let streams = RngStreams::new(42);
-        assert_ne!(
-            draws(streams.stream("pod-failure"), 16),
-            draws(streams.stream("startup"), 16)
-        );
+        assert_ne!(draws(streams.stream("pod-failure"), 16), draws(streams.stream("startup"), 16));
     }
 
     #[test]
@@ -126,15 +125,9 @@ mod tests {
     fn children_are_independent_of_parent() {
         let parent = RngStreams::new(7);
         let child = parent.child("job", 3);
-        assert_ne!(
-            draws(parent.stream("x"), 16),
-            draws(child.stream("x"), 16)
-        );
+        assert_ne!(draws(parent.stream("x"), 16), draws(child.stream("x"), 16));
         // Child derivation is deterministic.
-        assert_eq!(
-            draws(parent.child("job", 3).stream("x"), 16),
-            draws(child.stream("x"), 16)
-        );
+        assert_eq!(draws(parent.child("job", 3).stream("x"), 16), draws(child.stream("x"), 16));
     }
 
     #[test]

@@ -281,10 +281,7 @@ mod tests {
         assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(early.checked_since(late), None);
-        assert_eq!(
-            late.checked_since(early),
-            Some(SimDuration::from_secs(4))
-        );
+        assert_eq!(late.checked_since(early), Some(SimDuration::from_secs(4)));
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! The typed event vocabulary of the whole stack.
+//!
+//! One flat enum covers every subsystem — pod lifecycle, scheduling,
+//! scaling plans, migrations, checkpoints, data sharding, OOM prediction,
+//! straggler detection, and the brain's three-stage decisions — so a single
+//! trace interleaves the full causal story of a run. Variants carry only
+//! primitive fields: the telemetry crate sits *below* every runtime crate
+//! and cannot name their types.
+
+use dlrover_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One structured occurrence somewhere in the stack.
+///
+/// Events are stamped with the virtual clock ([`SimTime`]) and a per-log
+/// sequence number, so two events at the same instant keep their emission
+/// order and serialized logs are bit-comparable across runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual-time stamp (microseconds since simulation start).
+    pub at_us: u64,
+    /// Monotonic per-log sequence number (survives ring-buffer eviction).
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// The event's virtual-time stamp.
+    pub fn at(&self) -> SimTime {
+        SimTime::from_micros(self.at_us)
+    }
+}
+
+/// Everything the stack can report. See the module docs for the grouping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    // --- Pod / node lifecycle (cluster) ---
+    /// A pod was submitted to the cluster scheduler.
+    PodRequested {
+        /// Owning job.
+        job: u64,
+        /// Cluster-assigned pod id.
+        pod: u64,
+    },
+    /// The scheduler bound a pod to a node (a scheduling *grant*).
+    PodPlaced {
+        /// Pod id.
+        pod: u64,
+        /// Node the pod landed on.
+        node: u32,
+    },
+    /// A pod could not be placed and parked in the pending queue (a
+    /// scheduling *denial*; it may be granted later).
+    PodPending {
+        /// Pod id.
+        pod: u64,
+    },
+    /// A low-priority pod was evicted to admit a high-priority one.
+    PodPreempted {
+        /// Pod id.
+        pod: u64,
+    },
+    /// A pod died with its node.
+    PodFailed {
+        /// Pod id.
+        pod: u64,
+    },
+    /// A node went down.
+    NodeFailed {
+        /// Node id.
+        node: u32,
+    },
+
+    // --- Training-engine elasticity (pstrain) ---
+    /// A worker joined the job and started pulling shards.
+    WorkerAdded {
+        /// Engine worker index.
+        worker: u64,
+    },
+    /// A worker was removed gracefully (scale-in).
+    WorkerRemoved {
+        /// Engine worker index.
+        worker: u64,
+    },
+    /// A worker failed; its in-flight shard re-queued in full.
+    WorkerFailed {
+        /// Engine worker index.
+        worker: u64,
+    },
+    /// The PS layout was re-shaped (horizontal/vertical scaling, rebalance).
+    PsReshaped {
+        /// New PS count.
+        ps: u64,
+    },
+    /// Training paused for a migration critical path.
+    TrainingPaused {
+        /// Pause length in microseconds.
+        micros: u64,
+    },
+
+    // --- Data sharding (pstrain) ---
+    /// A worker checked a data shard out of the queue.
+    ShardCheckedOut {
+        /// Shard-queue worker id.
+        worker: u64,
+        /// Shard length in samples.
+        len: u64,
+    },
+    /// A worker reported a shard fully trained (the ack).
+    ShardAcked {
+        /// Shard-queue worker id.
+        worker: u64,
+        /// Shard length in samples.
+        len: u64,
+    },
+
+    // --- Checkpoints / migration (pstrain, master) ---
+    /// A flash checkpoint was written (synchronous tier).
+    CheckpointSaved {
+        /// Training step at the snapshot.
+        step: u64,
+        /// Serialized size in bytes.
+        bytes: u64,
+    },
+    /// A scaling plan was applied to a live job.
+    ScalingPlanApplied {
+        /// Job id.
+        job: u64,
+        /// Target worker count.
+        workers: u32,
+        /// Target PS count.
+        ps: u32,
+        /// Migration strategy name (`"Seamless"`, `"StopAndRestart"`).
+        strategy: MigrationKind,
+    },
+
+    // --- Instability handling (master) ---
+    /// The forecaster predicted an OOM; auto-scaling was off, so this is a
+    /// warning the driver must act on.
+    OomPredicted {
+        /// Job id.
+        job: u64,
+        /// Total PS bytes the forecast says are needed.
+        required_bytes: u64,
+    },
+    /// A predicted OOM was averted by pre-scaling PS memory.
+    OomPrevented {
+        /// Job id.
+        job: u64,
+        /// New total PS allocation in bytes.
+        new_alloc_bytes: u64,
+    },
+    /// A PS exceeded its memory allocation and the job died.
+    Oomed {
+        /// Job id.
+        job: u64,
+        /// Index of the PS that hit its wall.
+        ps: u64,
+    },
+    /// A worker lags its peers; dynamic sharding is pacing it.
+    StragglerDetected {
+        /// Job id.
+        job: u64,
+        /// Engine worker index.
+        worker: u64,
+    },
+    /// A hot PS was detected but auto-rebalancing is disabled.
+    HotPsDetected {
+        /// Job id.
+        job: u64,
+        /// Hot PS index.
+        ps: u64,
+    },
+    /// A hot PS was detected and mitigated by a seamless rebalance.
+    HotPsMitigated {
+        /// Job id.
+        job: u64,
+        /// Hot PS index.
+        ps: u64,
+    },
+
+    // --- Brain: three-stage decisions ---
+    /// Stage 1: a job was admitted with an initial allocation.
+    JobAdmitted {
+        /// Job id (0 when the caller has none).
+        job: u64,
+        /// Initial worker count.
+        workers: u32,
+        /// Initial PS count.
+        ps: u32,
+        /// Whether history produced a warm start (vs the cold-start shape).
+        warm_start: bool,
+    },
+    /// Stage 2: a per-job policy proposed a new allocation.
+    PolicyAdjusted {
+        /// Job id.
+        job: u64,
+        /// Proposed worker count.
+        workers: u32,
+        /// Proposed PS count.
+        ps: u32,
+    },
+    /// Stage 3: cluster-level replanning selected a plan for a job.
+    PlanSelected {
+        /// Job id.
+        job: u64,
+        /// Predicted throughput gain of the selected plan.
+        gain_x1000: u64,
+    },
+
+    // --- Job lifecycle (runner) ---
+    /// A single-job run began.
+    JobStarted {
+        /// Job id.
+        job: u64,
+    },
+    /// The job consumed all its data.
+    JobCompleted {
+        /// Job id.
+        job: u64,
+    },
+}
+
+/// Migration strategy, mirrored into the telemetry vocabulary (the crate
+/// cannot depend on `dlrover-pstrain`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MigrationKind {
+    /// Flash-checkpoint handoff; startup overlaps training (§5.2).
+    Seamless,
+    /// Checkpoint → redeploy → restore; the whole job pauses.
+    StopAndRestart,
+    /// Advisory decision; nothing was reshaped.
+    NoIntervention,
+}
+
+impl EventKind {
+    /// Stable short name of the variant, for counting and filtering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::PodRequested { .. } => "PodRequested",
+            EventKind::PodPlaced { .. } => "PodPlaced",
+            EventKind::PodPending { .. } => "PodPending",
+            EventKind::PodPreempted { .. } => "PodPreempted",
+            EventKind::PodFailed { .. } => "PodFailed",
+            EventKind::NodeFailed { .. } => "NodeFailed",
+            EventKind::WorkerAdded { .. } => "WorkerAdded",
+            EventKind::WorkerRemoved { .. } => "WorkerRemoved",
+            EventKind::WorkerFailed { .. } => "WorkerFailed",
+            EventKind::PsReshaped { .. } => "PsReshaped",
+            EventKind::TrainingPaused { .. } => "TrainingPaused",
+            EventKind::ShardCheckedOut { .. } => "ShardCheckedOut",
+            EventKind::ShardAcked { .. } => "ShardAcked",
+            EventKind::CheckpointSaved { .. } => "CheckpointSaved",
+            EventKind::ScalingPlanApplied { .. } => "ScalingPlanApplied",
+            EventKind::OomPredicted { .. } => "OomPredicted",
+            EventKind::OomPrevented { .. } => "OomPrevented",
+            EventKind::Oomed { .. } => "Oomed",
+            EventKind::StragglerDetected { .. } => "StragglerDetected",
+            EventKind::HotPsDetected { .. } => "HotPsDetected",
+            EventKind::HotPsMitigated { .. } => "HotPsMitigated",
+            EventKind::JobAdmitted { .. } => "JobAdmitted",
+            EventKind::PolicyAdjusted { .. } => "PolicyAdjusted",
+            EventKind::PlanSelected { .. } => "PlanSelected",
+            EventKind::JobStarted { .. } => "JobStarted",
+            EventKind::JobCompleted { .. } => "JobCompleted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let e = Event {
+            at_us: 1_500_000,
+            seq: 7,
+            kind: EventKind::ScalingPlanApplied {
+                job: 3,
+                workers: 8,
+                ps: 4,
+                strategy: MigrationKind::Seamless,
+            },
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.at(), dlrover_sim::SimTime::from_secs_f64(1.5));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(EventKind::PodPlaced { pod: 0, node: 0 }.name(), "PodPlaced");
+        assert_eq!(EventKind::OomPrevented { job: 1, new_alloc_bytes: 2 }.name(), "OomPrevented");
+    }
+}

@@ -1,0 +1,216 @@
+//! Structured telemetry for the DLRover-RM reproduction: a virtual-time
+//! event log plus a metrics registry, threaded through every layer of the
+//! stack.
+//!
+//! Two design rules make it safe to leave on by default:
+//!
+//! * **Deterministic.** Events are stamped with [`SimTime`] (never the wall
+//!   clock), maps are `BTreeMap`s, and sequence numbers are assigned at
+//!   append time — so two runs with the same seed serialize to
+//!   byte-identical logs (the determinism integration tests enforce this).
+//! * **Bounded.** The event log is a ring buffer ([`EventLog`]) and time
+//!   series aggregate into fixed-width virtual-time buckets, so a 12-month
+//!   fleet trace costs the same memory as a 10-minute one.
+//!
+//! The [`Telemetry`] handle is a cheaply clonable reference to one shared
+//! sink: the runner creates it, hands clones to the job master, engine,
+//! cluster, and brain, and each component records into the same interleaved
+//! log. Components constructed without a caller-provided handle get a
+//! private default sink, which keeps instrumentation unconditional (no
+//! `Option` plumbing) at the cost of an `Arc` per component.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod log;
+pub mod metrics;
+
+pub use event::{Event, EventKind, MigrationKind};
+pub use log::{diff_jsonl, EventLog, LogDiff, DEFAULT_EVENT_CAPACITY};
+pub use metrics::{Histogram, MetricsRegistry, SeriesPoint, TimeSeries};
+
+use dlrover_sim::SimTime;
+use serde::Serialize;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Default)]
+struct Inner {
+    log: EventLog,
+    metrics: MetricsRegistry,
+}
+
+/// A shared telemetry sink. Clones are handles to the *same* log and
+/// registry; see the crate docs for the threading model.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Telemetry {
+    /// A sink whose event log holds at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Arc::new(Mutex::new(Inner {
+                log: EventLog::with_capacity(capacity),
+                metrics: MetricsRegistry::default(),
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("telemetry lock poisoned")
+    }
+
+    /// Records an event stamped `at`.
+    pub fn record(&self, at: SimTime, kind: EventKind) {
+        self.lock().log.record(at, kind);
+    }
+
+    /// Increments counter `name` by `n`.
+    pub fn count(&self, name: &str, n: u64) {
+        self.lock().metrics.count(name, n);
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge(&self, name: &str, value: f64) {
+        self.lock().metrics.gauge(name, value);
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.lock().metrics.observe(name, value);
+    }
+
+    /// Appends a time-series sample.
+    pub fn sample(&self, name: &str, at: SimTime, value: f64) {
+        self.lock().metrics.sample(name, at, value);
+    }
+
+    /// Total events ever recorded.
+    pub fn event_count(&self) -> u64 {
+        self.lock().log.total_recorded()
+    }
+
+    /// Current counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().metrics.counter(name)
+    }
+
+    /// Serializes the retained events as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        self.lock().log.to_jsonl()
+    }
+
+    /// An owned, serializable snapshot of the sink's current state.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.lock();
+        TelemetrySnapshot {
+            events: inner.log.iter().cloned().collect(),
+            total_events: inner.log.total_recorded(),
+            dropped_events: inner.log.dropped(),
+            metrics: inner.metrics.clone(),
+        }
+    }
+
+    /// A compact run summary (event totals + top kinds).
+    pub fn summary(&self) -> TelemetrySummary {
+        let inner = self.lock();
+        TelemetrySummary {
+            total_events: inner.log.total_recorded(),
+            dropped_events: inner.log.dropped(),
+            top_kinds: inner
+                .log
+                .top_kinds(5)
+                .into_iter()
+                .map(|(k, n)| (k.to_string(), n))
+                .collect(),
+            counters: inner.metrics.counters.clone(),
+        }
+    }
+}
+
+/// Owned copy of a sink's state, for export next to experiment results.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetrySnapshot {
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+    /// Total events ever recorded (retained + evicted).
+    pub total_events: u64,
+    /// Events evicted by the ring buffer.
+    pub dropped_events: u64,
+    /// The metrics registry.
+    pub metrics: MetricsRegistry,
+}
+
+/// One-line-able summary of a run's telemetry.
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetrySummary {
+    /// Total events ever recorded.
+    pub total_events: u64,
+    /// Events evicted by the ring buffer.
+    pub dropped_events: u64,
+    /// Up to five most frequent event kinds, `(name, count)` descending.
+    pub top_kinds: Vec<(String, u64)>,
+    /// Final counter values.
+    pub counters: std::collections::BTreeMap<String, u64>,
+}
+
+impl TelemetrySummary {
+    /// Renders the summary as one log line, e.g.
+    /// `events=1204 (0 dropped); top: ShardAcked x612, WorkerAdded x24`.
+    pub fn one_line(&self) -> String {
+        let tops: Vec<String> = self.top_kinds.iter().map(|(k, n)| format!("{k} x{n}")).collect();
+        format!(
+            "events={} ({} dropped); top: {}",
+            self.total_events,
+            self.dropped_events,
+            if tops.is_empty() { "-".to_string() } else { tops.join(", ") }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_sink() {
+        let t = Telemetry::default();
+        let u = t.clone();
+        u.record(SimTime::from_secs(1), EventKind::JobStarted { job: 7 });
+        u.count("ticks", 3);
+        assert_eq!(t.event_count(), 1);
+        assert_eq!(t.counter("ticks"), 3);
+    }
+
+    #[test]
+    fn snapshot_serializes_deterministically() {
+        let build = || {
+            let t = Telemetry::with_capacity(8);
+            for i in 0..12u64 {
+                t.record(SimTime::from_secs(i), EventKind::WorkerAdded { worker: i });
+            }
+            t.sample("thp", SimTime::from_secs(3), 2.0);
+            t.observe("pause", 0.5);
+            serde_json::to_string(&t.snapshot()).unwrap()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        assert!(a.contains("\"dropped_events\":4"));
+    }
+
+    #[test]
+    fn summary_one_line_mentions_top_kind() {
+        let t = Telemetry::default();
+        for i in 0..3u64 {
+            t.record(SimTime::ZERO, EventKind::ShardAcked { worker: i, len: 10 });
+        }
+        let line = t.summary().one_line();
+        assert!(line.contains("events=3"), "{line}");
+        assert!(line.contains("ShardAcked x3"), "{line}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Bounded, deterministic event log.
+//!
+//! A ring buffer of [`Event`]s: appends are O(1), the capacity bounds
+//! memory for arbitrarily long runs (a 12-month fleet trace), and evicted
+//! events are *counted* so a summary never silently pretends the log is
+//! complete. Sequence numbers are assigned at append time and survive
+//! eviction, which makes two logs comparable line-by-line even when both
+//! wrapped.
+
+use crate::event::{Event, EventKind};
+use dlrover_sim::SimTime;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Default event capacity (events beyond this evict the oldest).
+pub const DEFAULT_EVENT_CAPACITY: usize = 65_536;
+
+/// Ring-buffered event log. See the module docs.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    buf: Vec<Event>,
+    capacity: usize,
+    /// Index of the oldest event once the buffer has wrapped.
+    head: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+}
+
+impl EventLog {
+    /// Creates a log holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "event log capacity must be positive");
+        EventLog { buf: Vec::new(), capacity, head: 0, next_seq: 0, dropped: 0 }
+    }
+
+    /// Appends an event stamped `at`.
+    pub fn record(&mut self, at: SimTime, kind: EventKind) {
+        let e = Event { at_us: at.as_micros(), seq: self.next_seq, kind };
+        self.next_seq += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (wrapped, first) = self.buf.split_at(self.head);
+        first.iter().chain(wrapped.iter())
+    }
+
+    /// Events retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Events evicted by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Count of retained events per kind name, sorted by name.
+    pub fn kind_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for e in self.iter() {
+            *counts.entry(e.kind.name()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The `n` most frequent kinds, descending by count (name-ordered ties).
+    pub fn top_kinds(&self, n: usize) -> Vec<(&'static str, u64)> {
+        let mut v: Vec<(&'static str, u64)> = self.kind_counts().into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Serializes the retained events as JSON Lines (one compact JSON
+    /// object per line, trailing newline). Byte-identical across runs with
+    /// identical event streams.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.iter() {
+            out.push_str(&serde_json::to_string(e).expect("event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One difference between two JSONL event logs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LogDiff {
+    /// Zero-based line number.
+    pub line: usize,
+    /// The line in the left log (`None` past its end).
+    pub left: Option<String>,
+    /// The line in the right log (`None` past its end).
+    pub right: Option<String>,
+}
+
+/// Compares two JSONL event logs line-by-line, returning up to `limit`
+/// differences (an empty result means the logs are identical).
+pub fn diff_jsonl(left: &str, right: &str, limit: usize) -> Vec<LogDiff> {
+    let mut diffs = Vec::new();
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line = 0usize;
+    loop {
+        let (a, b) = (l.next(), r.next());
+        if a.is_none() && b.is_none() {
+            break;
+        }
+        if a != b {
+            diffs.push(LogDiff { line, left: a.map(str::to_string), right: b.map(str::to_string) });
+            if diffs.len() >= limit {
+                break;
+            }
+        }
+        line += 1;
+    }
+    diffs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(i: u64) -> SimTime {
+        SimTime::from_secs(i)
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let mut log = EventLog::with_capacity(3);
+        for i in 0..5u64 {
+            log.record(stamp(i), EventKind::WorkerAdded { worker: i });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.total_recorded(), 5);
+        let seqs: Vec<u64> = log.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    fn top_kinds_rank_by_count() {
+        let mut log = EventLog::default();
+        for i in 0..3 {
+            log.record(stamp(i), EventKind::WorkerAdded { worker: i });
+        }
+        log.record(stamp(9), EventKind::JobCompleted { job: 0 });
+        let top = log.top_kinds(5);
+        assert_eq!(top[0], ("WorkerAdded", 3));
+        assert_eq!(top[1], ("JobCompleted", 1));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event() {
+        let mut log = EventLog::default();
+        log.record(stamp(1), EventKind::PodPlaced { pod: 1, node: 2 });
+        log.record(stamp(2), EventKind::PodPending { pod: 3 });
+        let text = log.to_jsonl();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"PodPlaced\""));
+    }
+
+    #[test]
+    fn diff_reports_divergence_and_length_mismatch() {
+        let a = "x\ny\nz\n";
+        let b = "x\nY\n";
+        let d = diff_jsonl(a, b, 10);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].left.as_deref(), Some("y"));
+        assert_eq!(d[0].right.as_deref(), Some("Y"));
+        assert_eq!(d[1].right, None);
+        assert!(diff_jsonl(a, a, 10).is_empty());
+    }
+}

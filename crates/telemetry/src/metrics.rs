@@ -1,0 +1,271 @@
+//! Named counters, gauges, histograms, and virtual-time series.
+//!
+//! Everything is keyed by `BTreeMap`, so serialized registries are
+//! deterministically ordered; everything is stamped with [`SimTime`], so a
+//! registry never consults the wall clock. Histograms use fixed
+//! power-of-ten buckets (no per-registry configuration to drift between
+//! runs), and time series aggregate samples into fixed-width virtual-time
+//! buckets so a 12-month trace stays small.
+
+use dlrover_sim::{SimDuration, SimTime};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Upper bounds (exclusive) of the histogram buckets: 1e-6 … 1e9, one
+/// decade per bucket, plus an overflow bucket.
+const DECADES: i32 = 16;
+const FIRST_DECADE: i32 = -6;
+
+/// A fixed-bucket histogram of `f64` observations.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Histogram {
+    /// Per-decade counts (`counts[i]` ⇔ value < 10^(FIRST_DECADE + i)),
+    /// final slot = overflow.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: vec![0; DECADES as usize + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation (non-finite values are ignored).
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut idx = DECADES as usize; // overflow by default
+        for i in 0..DECADES {
+            if value < 10f64.powi(FIRST_DECADE + i) {
+                idx = i as usize;
+                break;
+            }
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One aggregated time-series bucket.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SeriesPoint {
+    /// Bucket index (`at / bucket_width`).
+    pub bucket: u64,
+    /// Sum of samples in the bucket.
+    pub sum: f64,
+    /// Sample count in the bucket.
+    pub count: u64,
+    /// Last sample in the bucket.
+    pub last: f64,
+}
+
+impl SeriesPoint {
+    /// Bucket mean.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A virtual-time-bucketed series of samples.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimeSeries {
+    /// Bucket width in microseconds.
+    pub bucket_us: u64,
+    /// Buckets in time order (sparse: empty buckets are absent).
+    pub points: Vec<SeriesPoint>,
+}
+
+impl TimeSeries {
+    fn new(bucket: SimDuration) -> Self {
+        TimeSeries { bucket_us: bucket.as_micros().max(1), points: Vec::new() }
+    }
+
+    fn sample(&mut self, at: SimTime, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let bucket = at.as_micros() / self.bucket_us;
+        match self.points.last_mut() {
+            Some(p) if p.bucket == bucket => {
+                p.sum += value;
+                p.count += 1;
+                p.last = value;
+            }
+            _ => self.points.push(SeriesPoint { bucket, sum: value, count: 1, last: value }),
+        }
+    }
+}
+
+/// Default time-series bucket width.
+pub const DEFAULT_SERIES_BUCKET: SimDuration = SimDuration::from_secs(60);
+
+/// The registry: named counters, gauges, histograms, and time series.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsRegistry {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Virtual-time series.
+    pub series: BTreeMap<String, TimeSeries>,
+}
+
+impl MetricsRegistry {
+    /// Increments counter `name` by `n`.
+    pub fn count(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Appends a `(at, value)` sample to series `name`, aggregating into
+    /// [`DEFAULT_SERIES_BUCKET`]-wide virtual-time buckets.
+    pub fn sample(&mut self, name: &str, at: SimTime, value: f64) {
+        if let Some(s) = self.series.get_mut(name) {
+            s.sample(at, value);
+        } else {
+            let mut s = TimeSeries::new(DEFAULT_SERIES_BUCKET);
+            s.sample(at, value);
+            self.series.insert(name.to_string(), s);
+        }
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Series by name.
+    pub fn time_series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut m = MetricsRegistry::default();
+        m.count("scalings", 1);
+        m.count("scalings", 2);
+        m.gauge("throughput", 10.0);
+        m.gauge("throughput", 12.5);
+        assert_eq!(m.counter("scalings"), 3);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.gauge_value("throughput"), Some(12.5));
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0.5, 5.0, 5.0, 500.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 500.0);
+        assert!((h.mean() - 127.625).abs() < 1e-9);
+        assert_eq!(h.counts.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn series_aggregates_within_buckets() {
+        let mut m = MetricsRegistry::default();
+        m.sample("thp", SimTime::from_secs(10), 1.0);
+        m.sample("thp", SimTime::from_secs(50), 3.0);
+        m.sample("thp", SimTime::from_secs(70), 5.0);
+        let s = m.time_series("thp").unwrap();
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[0].count, 2);
+        assert_eq!(s.points[0].mean(), 2.0);
+        assert_eq!(s.points[0].last, 3.0);
+        assert_eq!(s.points[1].bucket, 1);
+    }
+
+    #[test]
+    fn registry_serializes_deterministically() {
+        let build = || {
+            let mut m = MetricsRegistry::default();
+            m.count("b", 1);
+            m.count("a", 2);
+            m.observe("lat", 0.25);
+            m.sample("s", SimTime::from_secs(1), 1.0);
+            serde_json::to_string(&m).unwrap()
+        };
+        assert_eq!(build(), build());
+        // BTreeMap ordering: "a" serializes before "b".
+        let s = build();
+        assert!(s.find("\"a\"").unwrap() < s.find("\"b\"").unwrap());
+    }
+}

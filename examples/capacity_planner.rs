@@ -26,19 +26,13 @@ fn main() {
     for (w, p, cpu) in [(12u32, 4u32, 8.0), (16, 6, 8.0), (10, 4, 12.0), (14, 5, 8.0)] {
         db.record(
             meta("rec-team", 2_000_000_000),
-            ResourceAllocation::new(
-                JobShape::new(w, p, cpu, cpu, 512),
-                cpu * 4.0,
-                cpu * 8.0,
-            ),
+            ResourceAllocation::new(JobShape::new(w, p, cpu, cpu, 512), cpu * 4.0, cpu * 8.0),
         );
     }
 
     // 2) Warm-start the new submission (Algorithm 1).
     let new_job = meta("rec-team", 2_500_000_000);
-    let warm = db
-        .warm_start(&new_job, &WarmStartConfig::default())
-        .expect("history exists");
+    let warm = db.warm_start(&new_job, &WarmStartConfig::default()).expect("history exists");
     println!(
         "Warm-start for the new job: {} workers x {:.0} cores, {} PS x {:.0} cores",
         warm.shape.workers, warm.shape.worker_cpu, warm.shape.ps, warm.shape.ps_cpu
@@ -47,10 +41,8 @@ fn main() {
     // 3) Fit-free planning demo: use the paper-reference model as if it had
     //    been fitted from this job's profiles, and generate the Pareto
     //    frontier of candidate allocations.
-    let model = ThroughputModel::new(
-        WorkloadConstants::default(),
-        ModelCoefficients::paper_reference(),
-    );
+    let model =
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::paper_reference());
     let generator = NsgaPlanGenerator::default();
     let mut rng = RngStreams::new(7).stream("planner");
     let mut candidates = generator.candidates(&model, &warm, &mut rng);

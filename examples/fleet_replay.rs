@@ -95,10 +95,7 @@ fn main() {
         pct(99.0)
     );
 
-    let on_slow_node = admitted
-        .iter()
-        .filter(|o| o.node_speeds.iter().any(|&s| s < 1.0))
-        .count();
+    let on_slow_node = admitted.iter().filter(|o| o.node_speeds.iter().any(|&s| s < 1.0)).count();
     println!(
         "jobs with a pod on a slow node (straggler risk): {on_slow_node} ({:.0}%)",
         100.0 * on_slow_node as f64 / admitted.len().max(1) as f64

@@ -39,10 +39,8 @@ fn main() {
             ),
         ),
     ] {
-        let jct = report
-            .jct
-            .map(|d| format!("{:.1}", d.as_mins_f64()))
-            .unwrap_or_else(|| "DNF".into());
+        let jct =
+            report.jct.map(|d| format!("{:.1}", d.as_mins_f64())).unwrap_or_else(|| "DNF".into());
         println!(
             "{:<12} {:>12} {:>10} {:>12.2} {:>9.0}% {:>13}w/{}p",
             label,

@@ -8,9 +8,7 @@
 //! ```
 
 use dlrover_rm::prelude::*;
-use dlrover_rm::pstrain::{
-    plan_ps_migration, plan_worker_recovery, FlashStore, RdsStore,
-};
+use dlrover_rm::pstrain::{plan_ps_migration, plan_worker_recovery, FlashStore, RdsStore};
 
 const STEPS: u64 = 20_000;
 const SLICE: SimDuration = SimDuration::from_secs(30);
@@ -61,9 +59,8 @@ fn hot_ps_run(strategy: MigrationStrategy) -> SimDuration {
             e.set_ps_pod(0, PodState::new(8.0)); // replacement PS is healthy
         }
     }
-    let end = e
-        .run_to_completion(SLICE, SimTime::from_secs(365 * 24 * 3600))
-        .expect("job finishes");
+    let end =
+        e.run_to_completion(SLICE, SimTime::from_secs(365 * 24 * 3600)).expect("job finishes");
     end.saturating_since(SimTime::ZERO)
 }
 
@@ -90,12 +87,8 @@ fn straggler_run(strategy: MigrationStrategy) -> SimDuration {
     );
     let per_worker_rate = |pod: &PodState, e: &PsTrainingEngine| {
         512.0
-            / AsyncCostModel::new(
-                e.spec().coefficients,
-                e.spec().constants,
-                e.spec().batch_size,
-            )
-            .worker_iter_time(pod, e.partitions(), 8)
+            / AsyncCostModel::new(e.spec().coefficients, e.spec().constants, e.spec().batch_size)
+                .worker_iter_time(pod, e.partitions(), 8)
     };
     match strategy {
         MigrationStrategy::NoIntervention => {
@@ -103,18 +96,15 @@ fn straggler_run(strategy: MigrationStrategy) -> SimDuration {
             // slice at 3 % speed.
             let mut rates = vec![per_worker_rate(&PodState::new(8.0), &e); 7];
             rates.push(per_worker_rate(&PodState { cpu: 8.0, speed: 0.03 }, &e));
-            let tail =
-                static_partition_completion_seconds(e.remaining_samples() as f64, &rates);
-            return e.now().saturating_since(SimTime::ZERO)
-                + SimDuration::from_secs_f64(tail);
+            let tail = static_partition_completion_seconds(e.remaining_samples() as f64, &rates);
+            return e.now().saturating_since(SimTime::ZERO) + SimDuration::from_secs_f64(tail);
         }
         MigrationStrategy::StopAndRestart => {
             // Restart replaces the worker but pays the full checkpoint +
             // redeploy + repartition pause; afterwards it is still a
             // statically partitioned job, now healthy.
             let rates = vec![per_worker_rate(&PodState::new(8.0), &e); 8];
-            let tail =
-                static_partition_completion_seconds(e.remaining_samples() as f64, &rates);
+            let tail = static_partition_completion_seconds(e.remaining_samples() as f64, &rates);
             return e.now().saturating_since(SimTime::ZERO)
                 + timeline.pause()
                 + timeline.degraded()
@@ -126,9 +116,8 @@ fn straggler_run(strategy: MigrationStrategy) -> SimDuration {
             // shards to keep its gradients fresh.
         }
     }
-    let end = e
-        .run_to_completion(SLICE, SimTime::from_secs(365 * 24 * 3600))
-        .expect("job finishes");
+    let end =
+        e.run_to_completion(SLICE, SimTime::from_secs(365 * 24 * 3600)).expect("job finishes");
     end.saturating_since(SimTime::ZERO)
 }
 

@@ -63,6 +63,55 @@ fn real_training_is_deterministic() {
 }
 
 #[test]
+fn telemetry_event_logs_are_byte_identical() {
+    // Same seeded scenario (a fig7-style traced run) twice: the serialized
+    // event logs and metric snapshots must match byte-for-byte. This is
+    // what makes `exp trace --diff` usable as a regression gate.
+    let run = || {
+        let telemetry = Telemetry::default();
+        run_single_job_traced(
+            Box::new(DlroverPolicy::new(
+                ResourceAllocation::new(JobShape::new(2, 1, 2.0, 2.0, 512), 8.0, 64.0),
+                DlroverPolicyConfig::default(),
+            )),
+            TrainingJobSpec::paper_default(10_000),
+            &RunnerConfig::default(),
+            &telemetry,
+        );
+        (telemetry.to_jsonl(), serde_json::to_string(&telemetry.snapshot()).unwrap())
+    };
+    let (log_a, snap_a) = run();
+    let (log_b, snap_b) = run();
+    assert!(!log_a.is_empty(), "traced run recorded no events");
+    assert_eq!(log_a, log_b, "event logs diverged across identical runs");
+    assert_eq!(snap_a, snap_b, "metric snapshots diverged across identical runs");
+    assert!(dlrover_rm::telemetry::diff_jsonl(&log_a, &log_b, 10).is_empty());
+}
+
+#[test]
+fn telemetry_event_logs_differ_across_seeds() {
+    let run = |seed| {
+        let telemetry = Telemetry::default();
+        run_single_job_traced(
+            Box::new(DlroverPolicy::new(
+                ResourceAllocation::new(JobShape::new(2, 1, 2.0, 2.0, 512), 8.0, 64.0),
+                DlroverPolicyConfig { seed, ..DlroverPolicyConfig::default() },
+            )),
+            TrainingJobSpec::paper_default(10_000),
+            &RunnerConfig { seed, ..RunnerConfig::default() },
+            &telemetry,
+        );
+        telemetry.to_jsonl()
+    };
+    let a = run(1);
+    let b = run(2);
+    assert!(
+        !dlrover_rm::telemetry::diff_jsonl(&a, &b, 10).is_empty(),
+        "different seeds should alter the event stream"
+    );
+}
+
+#[test]
 fn cluster_simulation_is_deterministic() {
     use dlrover_rm::cluster::{PodRole, PodSpec, Priority};
     let run = || {

@@ -7,10 +7,8 @@ use dlrover_rm::prelude::*;
 /// Historical profiling observations a warm-started job inherits from the
 /// config DB ("similarity information (e.g., time series information)").
 fn history() -> Vec<dlrover_rm::perfmodel::ThroughputObservation> {
-    let truth = ThroughputModel::new(
-        WorkloadConstants::default(),
-        ModelCoefficients::simulation_truth(),
-    );
+    let truth =
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::simulation_truth());
     let mut obs = Vec::new();
     for w in [2u32, 4, 8, 16] {
         for p in [1u32, 2, 4] {
@@ -75,14 +73,8 @@ fn dlrover_beats_es_and_optimus_on_jct() {
     let d_jct = d.jct.expect("dlrover finishes");
     let es_jct = es.jct.expect("es finishes");
     let opt_jct = opt.jct.expect("optimus finishes");
-    assert!(
-        d_jct < es_jct,
-        "dlrover {d_jct} !< es {es_jct}"
-    );
-    assert!(
-        d_jct < opt_jct,
-        "dlrover {d_jct} !< optimus {opt_jct}"
-    );
+    assert!(d_jct < es_jct, "dlrover {d_jct} !< es {es_jct}");
+    assert!(d_jct < opt_jct, "dlrover {d_jct} !< optimus {opt_jct}");
 }
 
 #[test]
@@ -97,10 +89,8 @@ fn dlrover_is_close_to_well_tuned_oracle() {
     // true coefficients and an offline exhaustive search.
     let cfg = config();
     let long_spec = TrainingJobSpec::paper_default(100_000);
-    let truth = ThroughputModel::new(
-        WorkloadConstants::default(),
-        ModelCoefficients::simulation_truth(),
-    );
+    let truth =
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::simulation_truth());
     let best = dlrover_rm::baselines::well_tuned_search(
         &truth,
         &PlanSearchSpace::default(),
@@ -128,9 +118,7 @@ fn dlrover_is_close_to_well_tuned_oracle() {
         best.ps_mem_gb,
     );
     let d = run_single_job(
-        Box::new(
-            DlroverPolicy::new(warm, DlroverPolicyConfig::default()).with_history(history()),
-        ),
+        Box::new(DlroverPolicy::new(warm, DlroverPolicyConfig::default()).with_history(history())),
         long_spec,
         &cfg,
     );
@@ -196,8 +184,7 @@ fn throughput_series_ramps_up_under_dlrover() {
     );
     let series = &d.throughput_series;
     assert!(series.len() > 10);
-    let early: f64 =
-        series[..3].iter().map(|(_, s)| s).sum::<f64>() / 3.0;
+    let early: f64 = series[..3].iter().map(|(_, s)| s).sum::<f64>() / 3.0;
     let n = series.len();
     let late: f64 = series[n - 4..n - 1].iter().map(|(_, s)| s).sum::<f64>() / 3.0;
     assert!(late > 1.5 * early, "no ramp-up: {early} -> {late}");

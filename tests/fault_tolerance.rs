@@ -84,10 +84,7 @@ fn cluster_preemption_feeds_back_into_training() {
             }
         }
     }
-    assert!(
-        !preempted_workers.is_empty(),
-        "burst should preempt at least one training pod"
-    );
+    assert!(!preempted_workers.is_empty(), "burst should preempt at least one training pod");
     for &w in &preempted_workers {
         e.fail_worker(w);
     }

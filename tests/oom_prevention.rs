@@ -24,11 +24,8 @@ fn static_baseline_ooms() {
         master: MasterConfig { auto_memory_scaling: false, ..MasterConfig::default() },
         ..RunnerConfig::default()
     };
-    let report = run_single_job(
-        Box::new(StaticPolicy::new(tight_allocation())),
-        growing_spec(),
-        &cfg,
-    );
+    let report =
+        run_single_job(Box::new(StaticPolicy::new(tight_allocation())), growing_spec(), &cfg);
     assert!(report.oomed, "the baseline should OOM");
     assert!(report.jct.is_none());
 }
@@ -36,28 +33,17 @@ fn static_baseline_ooms() {
 #[test]
 fn dlrover_master_prevents_the_oom() {
     let cfg = RunnerConfig::default(); // auto_memory_scaling: true
-    let report = run_single_job(
-        Box::new(StaticPolicy::new(tight_allocation())),
-        growing_spec(),
-        &cfg,
-    );
+    let report =
+        run_single_job(Box::new(StaticPolicy::new(tight_allocation())), growing_spec(), &cfg);
     assert!(!report.oomed, "OOM prevention failed");
     assert!(report.jct.is_some(), "job should finish");
-    assert!(
-        report.scaling_count >= 1,
-        "prevention requires at least one memory pre-scale"
-    );
+    assert!(report.scaling_count >= 1, "prevention requires at least one memory pre-scale");
 }
 
 #[test]
 fn prevention_scales_memory_before_the_wall() {
     // Drive the master directly and watch for the OomPrevented event.
-    let mut master = JobMaster::new(
-        7,
-        growing_spec(),
-        tight_allocation(),
-        MasterConfig::default(),
-    );
+    let mut master = JobMaster::new(7, growing_spec(), tight_allocation(), MasterConfig::default());
     let mut prevented = false;
     for _ in 0..200_000 {
         let events = master.tick(SimDuration::from_secs(30));
@@ -66,10 +52,7 @@ fn prevention_scales_memory_before_the_wall() {
                 dlrover_rm::master::MasterEvent::OomPrevented { new_alloc_bytes } => {
                     prevented = true;
                     let used: u64 = master.engine().ps_memory_used().iter().sum();
-                    assert!(
-                        *new_alloc_bytes > used,
-                        "pre-scale must land above current use"
-                    );
+                    assert!(*new_alloc_bytes > used, "pre-scale must land above current use");
                 }
                 dlrover_rm::master::MasterEvent::Oomed(_) => {
                     panic!("OOM happened despite prevention")
@@ -98,17 +81,12 @@ fn memory_predictor_sees_the_growth_from_profiles() {
     let mut predicted_at = None;
     for tick in 0..200_000u64 {
         let events = master.tick(SimDuration::from_secs(30));
-        if events
-            .iter()
-            .any(|e| matches!(e, dlrover_rm::master::MasterEvent::OomPredicted { .. }))
+        if events.iter().any(|e| matches!(e, dlrover_rm::master::MasterEvent::OomPredicted { .. }))
         {
             predicted_at = Some(tick);
             break;
         }
-        if events
-            .iter()
-            .any(|e| matches!(e, dlrover_rm::master::MasterEvent::Oomed(_)))
-        {
+        if events.iter().any(|e| matches!(e, dlrover_rm::master::MasterEvent::Oomed(_))) {
             break;
         }
     }

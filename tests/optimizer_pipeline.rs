@@ -36,9 +36,8 @@ fn warm_start_to_greedy_pipeline_produces_feasible_plans() {
         );
     }
     // 2) Warm start a new job.
-    let warm = db
-        .warm_start(&meta("alice", 1_100_000_000), &WarmStartConfig::default())
-        .expect("history");
+    let warm =
+        db.warm_start(&meta("alice", 1_100_000_000), &WarmStartConfig::default()).expect("history");
     assert!((11..=13).contains(&warm.shape.workers));
 
     // 3) Online fit from truth-generated profiles at a few shapes.
@@ -109,12 +108,7 @@ fn nsga_front_on_the_real_problem_is_nondominated_and_spans() {
     let front = Nsga2::new(
         eval,
         vec![1.0, 1.0, space.worker_cpu.0, space.ps_cpu.0],
-        vec![
-            f64::from(space.workers.1),
-            f64::from(space.ps.1),
-            space.worker_cpu.1,
-            space.ps_cpu.1,
-        ],
+        vec![f64::from(space.workers.1), f64::from(space.ps.1), space.worker_cpu.1, space.ps_cpu.1],
         Nsga2Config { population: 48, generations: 30, ..Default::default() },
     )
     .run(&mut RngStreams::new(3).stream("pipeline"));

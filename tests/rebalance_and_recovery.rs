@@ -3,8 +3,8 @@
 
 use dlrover_rm::prelude::*;
 use dlrover_rm::pstrain::{
-    balance_blocks, dlrm_blocks, imbalance, partitions_from_assignment, plan_rebalance,
-    plan_ps_migration_pause, FlashStore, PsTrainingEngine, RdsStore,
+    balance_blocks, dlrm_blocks, imbalance, partitions_from_assignment, plan_ps_migration_pause,
+    plan_rebalance, FlashStore, PsTrainingEngine, RdsStore,
 };
 
 const SLICE: SimDuration = SimDuration::from_secs(30);
@@ -28,12 +28,8 @@ fn rebalancing_skewed_tables_recovers_throughput() {
     let skewed = partitions_from_assignment(&blocks, &round_robin, &pods);
 
     let spec = TrainingJobSpec::paper_default(50_000);
-    let mut engine = PsTrainingEngine::new(
-        spec,
-        vec![PodState::new(8.0); 8],
-        skewed,
-        vec![256 * GB; p],
-    );
+    let mut engine =
+        PsTrainingEngine::new(spec, vec![PodState::new(8.0); 8], skewed, vec![256 * GB; p]);
     let hot_thp = engine.throughput();
 
     // Rebalance and apply with the seamless pause.
@@ -96,14 +92,10 @@ fn imbalance_metric_matches_cost_model_slowdown() {
     for b in &blocks {
         skewed[if b.id < 3 { 0 } else { (b.id as usize % 3) + 1 }].push(b.id);
     }
-    let thp_balanced = cost.throughput(
-        &workers,
-        &partitions_from_assignment(&blocks, &balanced, &pods),
-    );
-    let thp_skewed = cost.throughput(
-        &workers,
-        &partitions_from_assignment(&blocks, &skewed, &pods),
-    );
+    let thp_balanced =
+        cost.throughput(&workers, &partitions_from_assignment(&blocks, &balanced, &pods));
+    let thp_skewed =
+        cost.throughput(&workers, &partitions_from_assignment(&blocks, &skewed, &pods));
     assert!(
         imbalance(&blocks, &skewed) > imbalance(&blocks, &balanced),
         "skewed layout must measure as less balanced"

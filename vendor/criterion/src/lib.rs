@@ -1,0 +1,157 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Keeps the macro/struct surface (`criterion_group!`, `criterion_main!`,
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`]) so the workspace's benches
+//! compile unchanged, but replaces the statistical machinery with a simple
+//! calibrated loop: warm up, scale the iteration count to a target duration,
+//! then report mean wall-clock time per iteration.
+//!
+//! This is the one vendored crate that intentionally uses wall-clock time —
+//! benches measure real hardware, unlike the simulator, which must stay on
+//! virtual time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Hint for how much setup output to batch per measurement; the vendored
+/// harness re-runs setup per iteration regardless, so variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Routine output is small; batch many iterations.
+    SmallInput,
+    /// Routine output is large; batch few iterations.
+    LargeInput,
+    /// Each iteration gets exactly one setup output.
+    PerIteration,
+}
+
+/// Benchmark driver handed to [`Criterion::bench_function`] closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration, filled by `iter*`.
+    mean_ns: f64,
+    /// Number of measured iterations.
+    iters: u64,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, excluding nothing (the closure is the whole body).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: time a single run to pick an iteration count.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.mean_ns = measured.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// Benchmark registry / runner.
+pub struct Criterion {
+    target: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour `cargo bench -- <filter>` while ignoring harness flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { target: Duration::from_millis(300), filter }
+    }
+}
+
+impl Criterion {
+    /// Compatibility shim: upstream's sample count maps onto the measurement
+    /// budget here (more samples -> longer target).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.target = Duration::from_millis(30) * (n as u32).max(1);
+        self
+    }
+
+    /// Compatibility shim for upstream's per-bench measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { mean_ns: 0.0, iters: 0, target: self.target };
+        f(&mut b);
+        let (value, unit) = if b.mean_ns >= 1_000_000.0 {
+            (b.mean_ns / 1_000_000.0, "ms")
+        } else if b.mean_ns >= 1_000.0 {
+            (b.mean_ns / 1_000.0, "µs")
+        } else {
+            (b.mean_ns, "ns")
+        };
+        println!("{id:<40} time: {value:>10.3} {unit}/iter  ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions (both upstream forms supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,284 @@
+//! Offline, API-compatible subset of `proptest`.
+//!
+//! Provides the strategy combinators and macros this workspace's property
+//! tests use, with two deliberate simplifications:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in the
+//!   assert message; since generation is deterministic the case can be
+//!   replayed by rerunning the test.
+//! * **Deterministic generation.** Each test derives its RNG from an FNV
+//!   hash of the test name plus the case index, so runs are bit-reproducible
+//!   (the workspace's determinism conventions extend to its test suite).
+//!
+//! Supported surface: range strategies over the primitive numerics,
+//! [`Just`], `&str` literals (constant strategies), tuples up to arity 6,
+//! [`collection::vec`], `bool::ANY`, `prop_map`, `prop_oneof!`, `proptest!`,
+//! `prop_assert!`, and `prop_assert_eq!`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub use strategy::{Just, Strategy};
+
+/// Default number of cases each `proptest!` test runs.
+pub const CASES: u64 = 64;
+
+/// Per-block configuration (`#![proptest_config(...)]`). Only the case
+/// count is honoured.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u64) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic generator handed to strategies (SplitMix64 core).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the RNG for `(test, case)`.
+    pub fn for_case(test_hash: u64, case: u64) -> Self {
+        TestRng { state: test_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        self.next_u64() % bound
+    }
+}
+
+/// FNV-1a hash used to derive per-test seeds from test names.
+#[doc(hidden)]
+pub fn fnv1a(name: &str) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in name.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// A length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_exclusive: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { min: r.start, max_exclusive: r.end }
+        }
+    }
+
+    /// Strategy producing vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_one(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample_one(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::TestRng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    /// Uniformly random booleans (`proptest::bool::ANY`).
+    pub const ANY: AnyBool = AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+
+        fn sample_one(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The usual glob import for property tests.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs [`CASES`] deterministic cases (or the count
+/// from an optional leading `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let test_hash = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::TestRng::for_case(test_hash, case);
+                $(
+                    let $arg = $crate::strategy::Strategy::sample_one(
+                        &($strat),
+                        &mut __proptest_rng,
+                    );
+                )+
+                $body
+            }
+        }
+    )+};
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking, so a plain
+/// panic with the message is the whole failure report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond); };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+); };
+}
+
+/// Skips the current case when its precondition does not hold. Upstream
+/// proptest regenerates a replacement case; this subset simply moves on to
+/// the next case index (the case budget is a maximum, not a guarantee).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b); };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+); };
+}
+
+/// Uniformly picks one of several strategies per sample. All options must
+/// produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$( $crate::strategy::boxed($strat) ),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_are_deterministic() {
+        let strat = crate::collection::vec(0u64..100, 3..9);
+        let mut a = crate::TestRng::for_case(1, 2);
+        let mut b = crate::TestRng::for_case(1, 2);
+        assert_eq!(strat.sample_one(&mut a), strat.sample_one(&mut b));
+        let mut c = crate::TestRng::for_case(1, 3);
+        // Overwhelmingly likely to differ.
+        assert_ne!(strat.sample_one(&mut a), strat.sample_one(&mut c));
+    }
+
+    proptest! {
+        #[test]
+        fn generated_values_respect_strategies(
+            x in 10u32..20,
+            y in -1.0f64..1.0,
+            v in crate::collection::vec(0u8..4, 5),
+            flag in crate::bool::ANY,
+            tag in prop_oneof!["a", "b"],
+            pair in (0u64..3, Just(7i32)).prop_map(|(a, b)| (a, b)),
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y), "y out of range: {y}");
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(v.iter().all(|&e| e < 4));
+            let _ = flag;
+            prop_assert!(tag == "a" || tag == "b");
+            prop_assert!(pair.0 < 3);
+            prop_assert_eq!(pair.1, 7);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! The real serde crate is unavailable in this build environment, so this
+//! vendored stand-in provides the two traits the workspace relies on with a
+//! deliberately simple data model: serialization always goes through the
+//! JSON [`json::Value`] tree defined here, and the companion vendored
+//! `serde_json` crate renders/parses that tree. The `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` macros are re-exported from the vendored
+//! `serde_derive`.
+//!
+//! Fidelity notes (everything the workspace depends on holds):
+//!
+//! * structs serialize to objects, newtype structs transparently, enums with
+//!   the externally-tagged representation — same shapes as upstream serde;
+//! * integers round-trip exactly (`u64`/`i64` are kept as integers, not
+//!   `f64`);
+//! * non-finite floats serialize to `null`, as `serde_json` does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be converted into the JSON data model.
+///
+/// Unlike upstream serde this is not generic over a `Serializer`; the only
+/// consumer in the workspace is the vendored `serde_json`.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// A type that can be reconstructed from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Number(json::Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Number(json::Number::from_i64(*self as i64))
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> json::Value {
+        if self.is_finite() {
+            json::Value::Number(json::Number::from_f64(*self))
+        } else {
+            json::Value::Null
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> json::Value {
+        f64::from(*self).to_json_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> json::Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Map keys, which JSON requires to be strings. Implemented for `String`
+/// and the integer types (serialized in decimal, as `serde_json` does).
+pub trait MapKey: Ord + Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key_string(&self) -> String;
+    /// Parses the key back from a JSON object key.
+    fn from_key_str(s: &str) -> Result<Self, json::Error>;
+}
+
+impl MapKey for String {
+    fn to_key_string(&self) -> String {
+        self.clone()
+    }
+    fn from_key_str(s: &str) -> Result<Self, json::Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key_string(&self) -> String {
+                self.to_string()
+            }
+            fn from_key_str(s: &str) -> Result<Self, json::Error> {
+                s.parse().map_err(|_| json::Error::new(format!(
+                    concat!("bad ", stringify!($t), " map key `{}`"), s)))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> json::Value {
+        let mut m = json::Map::new();
+        for (k, v) in self {
+            m.insert(k.to_key_string(), v.to_json_value());
+        }
+        json::Value::Object(m)
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_json_value(&self) -> json::Value {
+        // Deterministic output: sort keys (HashMap iteration order is
+        // arbitrary and would break the byte-identical-reports guarantee).
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        let mut m = json::Map::new();
+        for k in keys {
+            m.insert(k.to_key_string(), self[k].to_json_value());
+        }
+        json::Value::Object(m)
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_json_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Serialize for json::Map {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Object(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| json::Error::new(format!(
+                        concat!("expected ", stringify!($t), ", got {}"), v)))
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| json::Error::new(format!(
+                        concat!("expected ", stringify!($t), ", got {}"), v)))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| json::Error::new(format!("expected f64, got {v}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        f64::from_json_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_bool().ok_or_else(|| json::Error::new(format!("expected bool, got {v}")))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| json::Error::new(format!("expected string, got {v}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        v.as_array()
+            .ok_or_else(|| json::Error::new(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| json::Error::new(format!("expected tuple array, got {v}")))?;
+                if arr.len() != $len {
+                    return Err(json::Error::new(format!(
+                        "expected {} elements, got {}", $len, arr.len())));
+                }
+                Ok(($($t::from_json_value(&arr[$n])?,)+))
+            }
+        }
+    )*};
+}
+impl_deserialize_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        Vec::from_json_value(v).map(Self::from)
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        let items: Vec<T> = Vec::from_json_value(v)?;
+        <[T; N]>::try_from(items).map_err(|items| {
+            json::Error::new(format!("expected {N} elements, got {}", items.len()))
+        })
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        let obj =
+            v.as_object().ok_or_else(|| json::Error::new(format!("expected object, got {v}")))?;
+        obj.iter().map(|(k, v)| Ok((K::from_key_str(k)?, V::from_json_value(v)?))).collect()
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for std::collections::HashMap<K, V> {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        let obj =
+            v.as_object().ok_or_else(|| json::Error::new(format!("expected object, got {v}")))?;
+        obj.iter().map(|(k, v)| Ok((K::from_key_str(k)?, V::from_json_value(v)?))).collect()
+    }
+}
+
+impl Deserialize for json::Value {
+    fn from_json_value(v: &json::Value) -> Result<Self, json::Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,425 @@
+//! Offline `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset.
+//!
+//! The real `serde_derive` pulls in `syn` + `quote`; neither is available in
+//! this offline workspace, so the item is parsed directly from the
+//! `proc_macro::TokenStream` and the generated impl is assembled as a source
+//! string. Supported shapes — which cover every derive site in the
+//! workspace — are:
+//!
+//! * structs with named fields (serialized as a JSON object),
+//! * tuple structs (newtype structs serialize transparently, wider tuples as
+//!   a JSON array),
+//! * enums with unit / tuple / struct variants (externally tagged, matching
+//!   upstream serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported and
+//! produce a compile error naming this file.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving item.
+enum Item {
+    /// `struct Name { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(A, B);`
+    TupleStruct { name: String, arity: usize },
+    /// `enum Name { ... }`
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive: generic type `{name}` is not supported");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct { name, arity: count_top_level_types(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::TupleStruct { name, arity: 0 },
+            other => panic!("vendored serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("vendored serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Advances `i` past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected field name, got {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("vendored serde_derive: expected `:` after field, got {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances `i` past one type, stopping at a top-level `,` (angle-bracket
+/// depth aware; parenthesized/bracketed types arrive as atomic groups).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the types in a tuple-struct body (top-level comma count, ignoring
+/// a trailing comma).
+fn count_top_level_types(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_types(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            while i < tokens.len()
+                && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',')
+            {
+                i += 1;
+            }
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut m = ::serde::json::Map::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "m.insert(String::from(\"{f}\"), ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            body.push_str("::serde::json::Value::Object(m)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => "::serde::json::Value::Null".to_string(),
+                1 => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+                n => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+                }
+            };
+            impl_serialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::json::Value::String(String::from(\"{vn}\")),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("::serde::json::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut m = ::serde::json::Map::new(); \
+                             m.insert(String::from(\"{vn}\"), {inner}); \
+                             ::serde::json::Value::Object(m) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut fm = ::serde::json::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(String::from(\"{f}\"), ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{ {inner} \
+                             let mut m = ::serde::json::Map::new(); \
+                             m.insert(String::from(\"{vn}\"), ::serde::json::Value::Object(fm)); \
+                             ::serde::json::Value::Object(m) }}\n"
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::json::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::json::Error::new(\
+                 format!(\"expected object for {name}, got {{v}}\")))?;\n"
+            );
+            body.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_json_value(\
+                     obj.get(\"{f}\").unwrap_or(&::serde::json::Value::Null))?,\n"
+                ));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = match arity {
+                0 => format!("Ok({name})"),
+                1 => format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))"),
+                n => {
+                    let mut b = format!(
+                        "let arr = v.as_array().ok_or_else(|| ::serde::json::Error::new(\
+                         format!(\"expected array for {name}, got {{v}}\")))?;\n\
+                         if arr.len() != {n} {{ return Err(::serde::json::Error::new(\
+                         format!(\"expected {n} elements for {name}\"))); }}\n"
+                    );
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_json_value(&arr[{i}])?"))
+                        .collect();
+                    b.push_str(&format!("Ok({name}({}))", items.join(", ")));
+                    b
+                }
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => return Ok({name}::{vn}),\n"))
+                    }
+                    VariantKind::Tuple(n) => {
+                        let build = if *n == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_json_value(inner)?)")
+                        } else {
+                            let mut b = format!(
+                                "{{ let arr = inner.as_array().ok_or_else(|| \
+                                 ::serde::json::Error::new(String::from(\
+                                 \"expected array for {name}::{vn}\")))?; "
+                            );
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_json_value(&arr[{i}])?")
+                                })
+                                .collect();
+                            b.push_str(&format!("{name}::{vn}({}) }}", items.join(", ")));
+                            b
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => return Ok({build}),\n"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let mut b = format!(
+                            "{{ let fm = inner.as_object().ok_or_else(|| \
+                             ::serde::json::Error::new(String::from(\
+                             \"expected object for {name}::{vn}\")))?; {name}::{vn} {{ "
+                        );
+                        for f in fields {
+                            b.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_json_value(\
+                                 fm.get(\"{f}\").unwrap_or(&::serde::json::Value::Null))?, "
+                            ));
+                        }
+                        b.push_str("} }");
+                        tagged_arms.push_str(&format!("\"{vn}\" => return Ok({b}),\n"));
+                    }
+                }
+            }
+            let body = format!(
+                "if let Some(s) = v.as_str() {{\n\
+                     match s {{\n{unit_arms}\
+                         other => return Err(::serde::json::Error::new(\
+                             format!(\"unknown variant {{other}} for {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 if let Some(obj) = v.as_object() {{\n\
+                     if let Some((tag, inner)) = obj.iter().next() {{\n\
+                         match tag.as_str() {{\n{tagged_arms}\
+                             other => return Err(::serde::json::Error::new(\
+                                 format!(\"unknown variant {{other}} for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::json::Error::new(format!(\"cannot deserialize {name} from {{v}}\")))"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json_value(v: &::serde::json::Value) \
+                 -> Result<Self, ::serde::json::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

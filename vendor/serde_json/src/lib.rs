@@ -1,0 +1,175 @@
+//! Offline, API-compatible subset of `serde_json`.
+//!
+//! Re-exports the JSON tree defined in the vendored `serde::json` module and
+//! provides the usual entry points: [`to_string`], [`to_string_pretty`],
+//! [`to_value`], [`from_str`], and the [`json!`] macro. Only what this
+//! workspace uses is implemented; the shapes (compact rendering, two-space
+//! pretty printing, externally tagged enums, `null` for non-finite floats)
+//! match upstream `serde_json` closely enough that switching back to the
+//! real crate requires no source changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::json::{Error, Map, Number, Value};
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_compact_string())
+}
+
+/// Serializes `value` to a two-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json_value().to_pretty_string())
+}
+
+/// Converts `value` into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json_value())
+}
+
+/// Parses a JSON document and deserializes it into `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = serde::json::parse(s)?;
+    T::from_json_value(&value)
+}
+
+/// Converts a [`Value`] tree into `T`.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_json_value(&value)
+}
+
+#[doc(hidden)]
+pub fn __value_from<T: serde::Serialize>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Supports the subset of the upstream macro this workspace uses: `null`,
+/// booleans, object literals with string-literal keys, array literals, and
+/// arbitrary serializable expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $crate::json_object!(m $($body)*);
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => { $crate::__value_from(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munches `"key": value` pairs so a
+/// bare `null` value (not a Rust expression) can be special-cased.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ($m:ident) => {};
+    ($m:ident $key:literal : null) => {
+        $m.insert($key.to_string(), $crate::Value::Null);
+    };
+    ($m:ident $key:literal : null , $($rest:tt)*) => {
+        $m.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_object!($m $($rest)*);
+    };
+    ($m:ident $key:literal : $value:expr) => {
+        $m.insert($key.to_string(), $crate::json!($value));
+    };
+    ($m:ident $key:literal : $value:expr , $($rest:tt)*) => {
+        $m.insert($key.to_string(), $crate::json!($value));
+        $crate::json_object!($m $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        x: u32,
+        y: Option<f64>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Newtype(u64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        Pair(u32, u32),
+        Named { a: String },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        name: String,
+        series: Vec<(f64, f64)>,
+        inner: Inner,
+        id: Newtype,
+        kinds: Vec<Kind>,
+    }
+
+    fn sample() -> Outer {
+        Outer {
+            name: "job-1".into(),
+            series: vec![(0.0, 1.5), (2.0, 3.25)],
+            inner: Inner { x: 7, y: None },
+            id: Newtype(u64::MAX - 1),
+            kinds: vec![Kind::Unit, Kind::Pair(1, 2), Kind::Named { a: "z".into() }],
+        }
+    }
+
+    #[test]
+    fn derived_roundtrip() {
+        let v = sample();
+        let text = to_string(&v).unwrap();
+        let back: Outer = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn derived_shapes_match_serde_conventions() {
+        let val = to_value(sample()).unwrap();
+        // Newtype structs serialize transparently.
+        assert_eq!(val["id"].as_u64(), Some(u64::MAX - 1));
+        // Unit variants as strings, tuple variants externally tagged.
+        assert_eq!(val["kinds"][0].as_str(), Some("Unit"));
+        assert_eq!(val["kinds"][1]["Pair"][1].as_u64(), Some(2));
+        assert_eq!(val["kinds"][2]["Named"]["a"].as_str(), Some("z"));
+        // None -> null.
+        assert!(val["inner"]["y"].is_null());
+    }
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "deepfm";
+        let xs = vec![1.0f64, 2.0];
+        let v = json!({ "model": name, "mean": 1.5, "xs": xs, "flag": true, "none": null });
+        assert_eq!(v["model"].as_str(), Some("deepfm"));
+        assert_eq!(v["mean"].as_f64(), Some(1.5));
+        assert_eq!(v["xs"][1].as_f64(), Some(2.0));
+        assert_eq!(v["flag"].as_bool(), Some(true));
+        assert!(v["none"].is_null());
+        assert_eq!(json!(3u32).as_u64(), Some(3));
+    }
+
+    #[test]
+    fn pretty_matches_compact_tree() {
+        let v = to_value(sample()).unwrap();
+        let pretty: Value = from_str(&to_string_pretty(&sample()).unwrap()).unwrap();
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn nan_serializes_to_null() {
+        let v = to_value(f64::NAN).unwrap();
+        assert!(v.is_null());
+    }
+}
