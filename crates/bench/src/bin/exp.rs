@@ -5,10 +5,17 @@
 //! cargo run --release -p dlrover-bench --bin exp -- fig7 fig10
 //! cargo run --release -p dlrover-bench --bin exp -- --seed 123 fig11
 //! cargo run --release -p dlrover-bench --bin exp -- trace results/fig7.trace.jsonl
+//! cargo run --release -p dlrover-bench --bin exp -- trace --filter 'Pod*,JobStarted' fig7
 //! cargo run --release -p dlrover-bench --bin exp -- trace --diff a.jsonl b.jsonl
+//! cargo run --release -p dlrover-bench --bin exp -- trace --chrome fig12
+//! cargo run --release -p dlrover-bench --bin exp -- critpath fig12
 //! ```
 
+use std::path::{Path, PathBuf};
+
 use dlrover_bench::experiments as exp;
+use dlrover_bench::{chrome_trace_json, critpath_report};
+use dlrover_telemetry::{parse_spans_jsonl, Event};
 
 type Runner = (&'static str, &'static str, fn(u64) -> String);
 
@@ -33,8 +40,12 @@ const EXPERIMENTS: &[Runner] = &[
 
 fn usage() -> ! {
     eprintln!("usage: exp [--seed N] <experiment|all> [more experiments...]");
-    eprintln!("       exp trace [--filter KIND] <trace.jsonl>");
-    eprintln!("       exp trace --diff <left.jsonl> <right.jsonl>\n");
+    eprintln!("       exp trace [--filter KINDS] <id|trace.jsonl>");
+    eprintln!("       exp trace --diff <left.jsonl> <right.jsonl>");
+    eprintln!("       exp trace --chrome <id|spans.jsonl>");
+    eprintln!("       exp critpath <id|spans.jsonl>\n");
+    eprintln!("KINDS is comma-separated event kind names; a trailing `*` globs");
+    eprintln!("(e.g. --filter 'Pod*,JobStarted').\n");
     eprintln!("experiments:");
     for (id, desc, _) in EXPERIMENTS {
         eprintln!("  {id:<10} {desc}");
@@ -42,14 +53,102 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn read_trace(path: &str) -> String {
+fn read_trace(path: &Path) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
+        eprintln!("cannot read {}: {e}", path.display());
         std::process::exit(2);
     })
 }
 
-/// `exp trace`: dump, filter, or diff serialized event logs.
+/// Resolves an `<id|path>` argument: an existing file is used as-is, and
+/// anything else is treated as an experiment id with the artefact expected
+/// at `results/<id>.<suffix>`. Returns `(experiment id, path)`.
+fn resolve_artefact(arg: &str, suffix: &str) -> (String, PathBuf) {
+    let p = Path::new(arg);
+    if p.is_file() {
+        let stem = p
+            .file_name()
+            .and_then(|n| n.to_str())
+            .map(|n| n.split('.').next().unwrap_or(n).to_string())
+            .unwrap_or_else(|| "trace".to_string());
+        return (stem, p.to_path_buf());
+    }
+    (arg.to_string(), PathBuf::from(format!("results/{arg}.{suffix}")))
+}
+
+/// True when the event kind `name` matches the `--filter` expression: a
+/// comma-separated list of kind names where a trailing `*` matches any
+/// suffix (`Pod*` hits `PodRequested`, `PodPlaced`, ...).
+fn filter_matches(filter: &str, name: &str) -> bool {
+    filter.split(',').map(str::trim).filter(|p| !p.is_empty()).any(|p| match p.strip_suffix('*') {
+        Some(prefix) => name.starts_with(prefix),
+        None => name == p,
+    })
+}
+
+/// `exp trace --chrome`: merge an experiment's span + event logs into one
+/// Perfetto-loadable trace-event file at `results/<id>.chrome.json`.
+fn chrome_command(arg: &str) -> ! {
+    let (id, spans_path) = resolve_artefact(arg, "spans.jsonl");
+    let spans = parse_spans_jsonl(&read_trace(&spans_path)).unwrap_or_else(|| {
+        eprintln!("malformed span log: {}", spans_path.display());
+        std::process::exit(2);
+    });
+    // The event log is optional garnish: instants on top of the spans.
+    let events_path = PathBuf::from(format!("results/{id}.trace.jsonl"));
+    let events: Vec<Event> = std::fs::read_to_string(&events_path)
+        .map(|body| body.lines().filter_map(|l| serde_json::from_str(l).ok()).collect())
+        .unwrap_or_default();
+    let out = PathBuf::from(format!("results/{id}.chrome.json"));
+    let json = chrome_trace_json(&spans, &events);
+    std::fs::write(&out, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(2);
+    });
+    println!(
+        "{}: {} spans + {} events -> {} (open in ui.perfetto.dev)",
+        id,
+        spans.len(),
+        events.len(),
+        out.display()
+    );
+    std::process::exit(0);
+}
+
+/// `exp critpath`: attribute an experiment's makespan to phases and print
+/// the breakdown (also refreshing `results/<id>.critpath.json`).
+fn critpath_command(arg: &str) -> ! {
+    let (id, spans_path) = resolve_artefact(arg, "spans.jsonl");
+    let spans = parse_spans_jsonl(&read_trace(&spans_path)).unwrap_or_else(|| {
+        eprintln!("malformed span log: {}", spans_path.display());
+        std::process::exit(2);
+    });
+    let report = critpath_report(&spans);
+    let cp = &report.overall;
+    println!("== {id}: critical path ({} spans) ==", cp.span_count);
+    println!("makespan: {:.1}s", cp.makespan_us as f64 / 1e6);
+    let mut rows: Vec<(&String, &u64)> = cp.phases_us.iter().collect();
+    rows.sort_by_key(|&(name, &us)| (std::cmp::Reverse(us), name.clone()));
+    for (name, &us) in rows {
+        println!("  {name:<20} {:>10.1}s  {:>7}", us as f64 / 1e6, cp.fractions[name]);
+    }
+    println!("dominant: {}", cp.dominant);
+    for (track, tcp) in &report.by_track {
+        println!(
+            "  track {track:<4} makespan {:>9.1}s dominant {}",
+            tcp.makespan_us as f64 / 1e6,
+            tcp.dominant
+        );
+    }
+    let out = PathBuf::from(format!("results/{id}.critpath.json"));
+    if let Ok(body) = serde_json::to_string_pretty(&report) {
+        let _ = std::fs::write(&out, body);
+        println!("wrote {}", out.display());
+    }
+    std::process::exit(0);
+}
+
+/// `exp trace`: dump, filter, diff, or export serialized event logs.
 fn trace_command(args: &[String]) -> ! {
     if let Some(pos) = args.iter().position(|a| a == "--diff") {
         let mut rest: Vec<&String> = args.iter().collect();
@@ -57,7 +156,7 @@ fn trace_command(args: &[String]) -> ! {
         if rest.len() != 2 {
             usage();
         }
-        let (left, right) = (read_trace(rest[0]), read_trace(rest[1]));
+        let (left, right) = (read_trace(Path::new(rest[0])), read_trace(Path::new(rest[1])));
         let diffs = dlrover_telemetry::diff_jsonl(&left, &right, 50);
         if diffs.is_empty() {
             println!("identical: {} events", left.lines().count());
@@ -72,22 +171,38 @@ fn trace_command(args: &[String]) -> ! {
         std::process::exit(1);
     }
     let mut filter = None;
+    let mut chrome = None;
     let mut rest: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--filter" {
             filter = Some(it.next().unwrap_or_else(|| usage()).clone());
+        } else if a == "--chrome" {
+            chrome = Some(it.next().unwrap_or_else(|| usage()).clone());
         } else {
             rest.push(a);
         }
     }
+    if let Some(arg) = chrome {
+        if !rest.is_empty() || filter.is_some() {
+            usage();
+        }
+        chrome_command(&arg);
+    }
     if rest.len() != 1 {
         usage();
     }
-    let body = read_trace(rest[0]);
+    let (_, path) = resolve_artefact(rest[0], "trace.jsonl");
+    let body = read_trace(&path);
     let mut shown = 0usize;
     for line in body.lines() {
-        if filter.as_deref().is_none_or(|f| line.contains(f)) {
+        let keep = match &filter {
+            None => true,
+            Some(f) => serde_json::from_str::<Event>(line)
+                .map(|e| filter_matches(f, e.kind.name()))
+                .unwrap_or(false),
+        };
+        if keep {
             println!("{line}");
             shown += 1;
         }
@@ -100,6 +215,12 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         trace_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("critpath") {
+        if args.len() != 2 {
+            usage();
+        }
+        critpath_command(&args[1]);
     }
     let mut seed = 42u64;
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
@@ -129,5 +250,29 @@ fn main() {
         let started = std::time::Instant::now();
         run(seed);
         eprintln!("<<< {id} done in {:.1}s\n", started.elapsed().as_secs_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::filter_matches;
+
+    /// ISSUE-2 satellite: `--filter` takes comma-separated kinds and
+    /// `prefix*` globs.
+    #[test]
+    fn filter_accepts_kind_lists_and_globs() {
+        assert!(filter_matches("JobStarted", "JobStarted"));
+        assert!(!filter_matches("JobStarted", "JobCompleted"));
+        assert!(filter_matches("JobStarted,JobCompleted", "JobCompleted"));
+        assert!(filter_matches("Pod*", "PodRequested"));
+        assert!(filter_matches("Pod*", "PodPlaced"));
+        assert!(!filter_matches("Pod*", "JobStarted"));
+        assert!(filter_matches("Pod*,Job*", "JobOomed"));
+        // Whitespace around commas is tolerated; empty terms never match.
+        assert!(filter_matches(" PodPlaced , MigrationStarted ", "MigrationStarted"));
+        assert!(!filter_matches("", "JobStarted"));
+        assert!(!filter_matches(",,", "JobStarted"));
+        // A bare `*` matches everything.
+        assert!(filter_matches("*", "Anything"));
     }
 }

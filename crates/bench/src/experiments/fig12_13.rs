@@ -22,7 +22,7 @@ const STEPS: u64 = 100_000;
 /// Checkpoint size of the (grown) model at injection time.
 const CKPT: u64 = 20 * GB;
 
-fn engine(telemetry: &Telemetry) -> PsTrainingEngine {
+fn engine(telemetry: &Telemetry, track: u64) -> PsTrainingEngine {
     let mut e = PsTrainingEngine::new(
         TrainingJobSpec::paper_default(STEPS),
         vec![PodState::new(CPU); WORKERS as usize],
@@ -30,7 +30,19 @@ fn engine(telemetry: &Telemetry) -> PsTrainingEngine {
         vec![256 * GB; PS as usize],
     );
     e.set_telemetry(telemetry.clone());
+    e.set_span_track(track);
     e
+}
+
+/// Span track for one scripted case: `base` plus a per-strategy offset, so
+/// each strategy's timeline lands on its own Perfetto row (fig12 = 10–12,
+/// fig13 = 20–22; the master-driven cross-check keeps its job id, 1).
+fn case_track(base: u64, strategy: MigrationStrategy) -> u64 {
+    base + match strategy {
+        MigrationStrategy::NoIntervention => 0,
+        MigrationStrategy::StopAndRestart => 1,
+        MigrationStrategy::Seamless => 2,
+    }
 }
 
 struct Outcome {
@@ -40,7 +52,7 @@ struct Outcome {
 }
 
 fn hot_ps_case(strategy: MigrationStrategy, telemetry: &Telemetry) -> Outcome {
-    let mut e = engine(telemetry);
+    let mut e = engine(telemetry, case_track(10, strategy));
     // 20 minutes of healthy training, then PS 0 drops to 3 % CPU.
     for _ in 0..40 {
         e.advance(SLICE);
@@ -77,7 +89,7 @@ fn hot_ps_case(strategy: MigrationStrategy, telemetry: &Telemetry) -> Outcome {
 }
 
 fn straggler_case(strategy: MigrationStrategy, telemetry: &Telemetry) -> Outcome {
-    let mut e = engine(telemetry);
+    let mut e = engine(telemetry, case_track(20, strategy));
     for _ in 0..40 {
         e.advance(SLICE);
     }
@@ -244,6 +256,10 @@ pub fn run_fig13(_seed: u64) -> String {
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+    use crate::critpath::critical_path;
+    use dlrover_telemetry::parse_spans_jsonl;
+
     fn jcts(path: &str) -> (f64, f64, f64) {
         let json: serde_json::Value =
             serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
@@ -280,5 +296,38 @@ mod tests {
         assert!(dlrover < traditional, "{dlrover} !< {traditional}");
         assert!(traditional < noint, "{traditional} !< {noint}");
         assert!(dlrover < 0.7 * noint, "sharding should save big: {dlrover} vs {noint}");
+    }
+
+    /// Critical-path shape for the migration-heavy scenario: seamless
+    /// recovery keeps the pause/migration overhead a small slice of the
+    /// makespan (Table 2 / §5.2), and useful iteration work dominates.
+    #[test]
+    fn fig12_critpath_migration_overhead_is_bounded() {
+        let t = Telemetry::default();
+        hot_ps_case(MigrationStrategy::Seamless, &t);
+        let spans = parse_spans_jsonl(&t.spans_to_jsonl()).expect("well-formed span log");
+        let cp = critical_path(&spans);
+        let overhead = cp.fraction_of(&["migration", "checkpoint", "rebalance", "pod-startup"]);
+        assert!(overhead > 0.0, "the injected migration must leave spans");
+        assert!(overhead < 0.15, "seamless overhead should be bounded: {overhead:.3}");
+        assert!(
+            cp.dominant.starts_with("iteration"),
+            "training should dominate, got {}",
+            cp.dominant
+        );
+    }
+
+    /// Critical-path shape for the straggler-heavy scenario: once worker 0
+    /// crawls at 3% speed, straggler spans cover the tail and carry most of
+    /// the makespan (§5.3's motivation for dynamic sharding).
+    #[test]
+    fn fig13_critpath_is_straggler_dominated() {
+        let t = Telemetry::default();
+        straggler_case(MigrationStrategy::Seamless, &t);
+        let spans = parse_spans_jsonl(&t.spans_to_jsonl()).expect("well-formed span log");
+        assert!(spans.iter().all(|s| s.track == case_track(20, MigrationStrategy::Seamless)));
+        let cp = critical_path(&spans);
+        assert_eq!(cp.dominant, "straggler", "phases: {:?}", cp.phases_us);
+        assert!(cp.fraction("straggler") > 0.25, "fractions: {:?}", cp.fractions);
     }
 }

@@ -12,7 +12,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chrome;
+pub mod critpath;
 pub mod experiments;
 pub mod report;
 
+pub use chrome::{chrome_trace, chrome_trace_json};
+pub use critpath::{critical_path, critical_path_by_track, critpath_report, CritPath};
 pub use report::Report;

@@ -4,8 +4,10 @@ use std::fmt::Display;
 use std::fs;
 use std::path::PathBuf;
 
-use dlrover_telemetry::Telemetry;
+use dlrover_telemetry::{parse_spans_jsonl, Telemetry};
 use serde::Serialize;
+
+use crate::critpath::critpath_report;
 
 /// Collects one experiment's output.
 pub struct Report {
@@ -13,6 +15,7 @@ pub struct Report {
     lines: Vec<String>,
     json: serde_json::Map<String, serde_json::Value>,
     trace: Option<String>,
+    spans: Option<String>,
 }
 
 impl Report {
@@ -23,6 +26,7 @@ impl Report {
             lines: Vec::new(),
             json: serde_json::Map::new(),
             trace: None,
+            spans: None,
         };
         r.section(&format!("{id}: {title}"));
         r
@@ -65,11 +69,13 @@ impl Report {
         self.lines.push(format!("telemetry: {}", summary.one_line()));
         self.record("telemetry", &summary);
         self.trace = Some(t.to_jsonl());
+        self.spans = Some(t.spans_to_jsonl());
     }
 
-    /// Prints the report and writes `results/<id>.json` (plus
-    /// `results/<id>.trace.jsonl` when telemetry was attached). Returns
-    /// the rendered text.
+    /// Prints the report and writes `results/<id>.json` (plus, when
+    /// telemetry was attached, `results/<id>.trace.jsonl`,
+    /// `results/<id>.spans.jsonl`, and the critical-path breakdown
+    /// `results/<id>.critpath.json`). Returns the rendered text.
     pub fn finish(self) -> String {
         let text = self.lines.join("\n");
         println!("{text}");
@@ -83,6 +89,18 @@ impl Report {
             );
             if let Some(trace) = &self.trace {
                 let _ = fs::write(dir.join(format!("{}.trace.jsonl", self.id)), trace);
+            }
+            if let Some(spans) = &self.spans {
+                let _ = fs::write(dir.join(format!("{}.spans.jsonl", self.id)), spans);
+                if let Some(parsed) = parse_spans_jsonl(spans) {
+                    if !parsed.is_empty() {
+                        let report = critpath_report(&parsed);
+                        let _ = fs::write(
+                            dir.join(format!("{}.critpath.json", self.id)),
+                            serde_json::to_string_pretty(&report).expect("critpath JSON"),
+                        );
+                    }
+                }
             }
         }
         text

@@ -13,7 +13,7 @@ use dlrover_optimizer::{
 };
 use dlrover_perfmodel::ThroughputModel;
 use dlrover_sim::{RngStreams, SimTime, StreamRng};
-use dlrover_telemetry::{EventKind, Telemetry};
+use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
 
 use crate::configdb::ConfigDb;
 use crate::policy::DlroverPolicy;
@@ -102,6 +102,16 @@ impl ClusterBrain {
             },
         );
         self.telemetry.count(if warm_start { "brain.warm_starts" } else { "brain.cold_starts" }, 1);
+        // Admission is an instantaneous verdict in virtual time; record it
+        // as a zero-length `policy-eval` span on the brain's lane (track 0).
+        self.telemetry.span_complete(
+            self.clock,
+            self.clock,
+            SpanCategory::PolicyEval,
+            "admit",
+            0,
+            None,
+        );
         alloc
     }
 
@@ -134,6 +144,14 @@ impl ClusterBrain {
             );
         }
         self.telemetry.count("brain.replan_rounds", 1);
+        self.telemetry.span_complete(
+            self.clock,
+            self.clock,
+            SpanCategory::Planning,
+            &format!("replan j{}", jobs.len()),
+            0,
+            None,
+        );
         picks
     }
 }

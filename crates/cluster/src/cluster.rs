@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use dlrover_sim::{RngStreams, SimTime};
-use dlrover_telemetry::{EventKind, Telemetry};
+use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -115,16 +115,36 @@ impl Cluster {
     }
 
     /// Mirrors scheduler outcomes into the telemetry sink, stamped with the
-    /// last-known virtual time.
+    /// last-known virtual time. A placement also closes the pod's
+    /// `scheduling` span (request → grant, on the pod's own track); a
+    /// preemption records an instant `preemption` span.
     fn record_events(&self, events: &[ClusterEvent]) {
         for e in events {
             let kind = match *e {
                 ClusterEvent::PodPlaced(p, n) => {
                     self.telemetry.count("cluster.pods_placed", 1);
+                    if let Some(pod) = self.pods.get(&p) {
+                        self.telemetry.span_complete(
+                            pod.requested_at,
+                            self.clock,
+                            SpanCategory::Scheduling,
+                            "place",
+                            p.0,
+                            None,
+                        );
+                    }
                     EventKind::PodPlaced { pod: p.0, node: n.0 }
                 }
                 ClusterEvent::PodPreempted(p) => {
                     self.telemetry.count("cluster.preemptions", 1);
+                    self.telemetry.span_complete(
+                        self.clock,
+                        self.clock,
+                        SpanCategory::Preemption,
+                        "evict",
+                        p.0,
+                        None,
+                    );
                     EventKind::PodPreempted { pod: p.0 }
                 }
                 ClusterEvent::PodFailed(p) => {
@@ -196,6 +216,7 @@ impl Cluster {
                 phase: PodPhase::Pending,
                 node: None,
                 requested_at: now,
+                placed_at: None,
                 running_at: None,
                 node_speed: 1.0,
             },
@@ -259,6 +280,7 @@ impl Cluster {
         node.reserve(pod.spec.resources);
         pod.node = Some(node_id);
         pod.phase = PodPhase::Starting;
+        pod.placed_at = Some(self.clock);
         pod.node_speed = node.speed;
         events.push(ClusterEvent::PodPlaced(id, node_id));
     }
@@ -354,6 +376,7 @@ impl Cluster {
                     phase: PodPhase::Pending,
                     node: None,
                     requested_at: now,
+                    placed_at: None,
                     running_at: None,
                     node_speed: 1.0,
                 },
@@ -378,6 +401,8 @@ impl Cluster {
     }
 
     /// Marks a starting pod as running (caller applies the startup latency).
+    /// Records the pod's `pod-startup` span (placement → running — the
+    /// image-pull/init latency §5.2's seamless migration hides).
     ///
     /// # Panics
     /// Panics if the pod is unknown or not in `Starting`.
@@ -386,6 +411,8 @@ impl Cluster {
         assert_eq!(pod.phase, PodPhase::Starting, "pod {id:?} not starting");
         pod.phase = PodPhase::Running;
         pod.running_at = Some(now);
+        let started = pod.placed_at.unwrap_or(now);
+        self.telemetry.span_complete(started, now, SpanCategory::PodStartup, "init", id.0, None);
     }
 
     /// Terminates a pod into a terminal phase, releasing its resources.

@@ -87,6 +87,9 @@ pub struct Pod {
     pub node: Option<NodeId>,
     /// When the pod was requested.
     pub requested_at: SimTime,
+    /// When the scheduler bound it to a node (if ever) — the end of the
+    /// scheduling span and the start of the startup span.
+    pub placed_at: Option<SimTime>,
     /// When it entered `Running` (if ever).
     pub running_at: Option<SimTime>,
     /// Relative CPU speed of its node (1.0 = nominal); used by the training

@@ -12,7 +12,7 @@ use dlrover_master::{JobMaster, MasterConfig, MasterEvent, SchedulerPolicy};
 use dlrover_optimizer::ResourceAllocation;
 use dlrover_pstrain::TrainingJobSpec;
 use dlrover_sim::{RngStreams, SimDuration, SimTime};
-use dlrover_telemetry::{EventKind, Telemetry};
+use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Runner configuration.
@@ -145,6 +145,14 @@ pub fn run_single_job_traced(
         if since_adjust >= config.adjust_interval {
             since_adjust = SimDuration::ZERO;
             let profile = master.profile();
+            telemetry.span_complete(
+                master.engine().now(),
+                master.engine().now(),
+                SpanCategory::PolicyEval,
+                policy.name(),
+                0,
+                None,
+            );
             if let Some(decision) = policy.adjust(&profile) {
                 telemetry.record(
                     master.engine().now(),
@@ -159,6 +167,17 @@ pub fn run_single_job_traced(
             }
         }
     }
+
+    // Root span: the whole job's virtual lifetime on its track, recorded
+    // once the end is known (completion, OOM, or deadline cut-off).
+    telemetry.span_complete(
+        SimTime::ZERO,
+        master.engine().now(),
+        SpanCategory::Job,
+        policy.name(),
+        0,
+        None,
+    );
 
     RunReport {
         policy: policy.name().to_string(),

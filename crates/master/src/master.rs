@@ -17,11 +17,12 @@
 
 use dlrover_optimizer::ResourceAllocation;
 use dlrover_pstrain::{
-    plan_ps_migration_pause, AsyncCostModel, FlashStore, MigrationStrategy, PodState,
-    PsTrainingEngine, RdsStore, TrainingJobSpec,
+    plan_ps_migration, plan_ps_migration_pause, AsyncCostModel, CheckpointStore, FlashStore,
+    MigrationStrategy, MigrationTimeline, PodState, PsTrainingEngine, RdsStore, TimelineSegment,
+    TrainingJobSpec,
 };
 use dlrover_sim::{SimDuration, SimTime};
-use dlrover_telemetry::{EventKind, MigrationKind, Telemetry};
+use dlrover_telemetry::{EventKind, MigrationKind, SpanCategory, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::policy::PolicyDecision;
@@ -150,9 +151,11 @@ impl JobMaster {
         }
     }
 
-    /// Routes this master's (and its engine's) telemetry into `sink`.
+    /// Routes this master's (and its engine's) telemetry into `sink`, and
+    /// lanes both onto the job's span track.
     pub fn set_telemetry(&mut self, sink: Telemetry) {
         self.engine.set_telemetry(sink.clone());
+        self.engine.set_span_track(self.job_id);
         self.telemetry = sink;
     }
 
@@ -213,14 +216,54 @@ impl JobMaster {
     }
 
     /// Every migration starts from a flash checkpoint (§5.2) — note it in
-    /// the trace with the step and size the handoff carried.
+    /// the trace with the step and size the handoff carried, and record a
+    /// `checkpoint` span over the flash save window.
     fn record_flash_checkpoint(&self) {
         let step = self.engine.samples_done() / u64::from(self.engine.spec().batch_size.max(1));
-        self.telemetry.record(
-            self.engine.now(),
-            EventKind::CheckpointSaved { step, bytes: self.checkpoint_bytes() },
+        let bytes = self.checkpoint_bytes();
+        let now = self.engine.now();
+        self.telemetry.record(now, EventKind::CheckpointSaved { step, bytes });
+        self.telemetry.span_complete(
+            now,
+            now + self.flash.save_duration(bytes),
+            SpanCategory::Checkpoint,
+            "flash-save",
+            self.job_id,
+            None,
         );
         self.telemetry.count("master.flash_checkpoints", 1);
+    }
+
+    /// Records a migration plan as spans: one `migration` parent over the
+    /// whole timeline and one child per segment, laid sequentially from
+    /// `now` (the timeline executes in order — §5.2 Fig. 10's structure).
+    fn record_migration_spans(&self, timeline: &MigrationTimeline, label: &str) {
+        if timeline.segments.is_empty() {
+            return;
+        }
+        let start = self.engine.now();
+        let parent = self.telemetry.span_complete(
+            start,
+            start + timeline.total(),
+            SpanCategory::Migration,
+            label,
+            self.job_id,
+            None,
+        );
+        let mut t = start;
+        for (seg, dur) in &timeline.segments {
+            let (cat, seg_label) = match seg {
+                TimelineSegment::Overlapped => (SpanCategory::Migration, "overlap"),
+                TimelineSegment::Degraded => (SpanCategory::Migration, "degraded"),
+                TimelineSegment::PauseSave => (SpanCategory::Checkpoint, "save"),
+                TimelineSegment::PauseInit => (SpanCategory::PodStartup, "init"),
+                TimelineSegment::PauseLoad => (SpanCategory::Checkpoint, "load"),
+                TimelineSegment::PauseData => (SpanCategory::Rebalance, "data"),
+            };
+            let end = t + *dur;
+            self.telemetry.span_complete(t, end, cat, seg_label, self.job_id, Some(parent));
+            t = end;
+        }
     }
 
     /// The profile snapshot a policy consumes.
@@ -308,7 +351,16 @@ impl JobMaster {
             if let Some(forecast) = self.profiler.memory().forecast(effective_capacity, horizon) {
                 if forecast.will_oom() {
                     let required = forecast.required_capacity(self.config.oom_headroom) as u64;
+                    let at = self.engine.now();
                     if self.config.auto_memory_scaling {
+                        self.telemetry.span_complete(
+                            at,
+                            at,
+                            SpanCategory::OomPredict,
+                            "prevented",
+                            self.job_id,
+                            None,
+                        );
                         self.scale_ps_memory(required);
                         events.push(MasterEvent::OomPrevented { new_alloc_bytes: required });
                         self.telemetry.record(
@@ -317,9 +369,17 @@ impl JobMaster {
                         );
                         self.telemetry.count("master.ooms_prevented", 1);
                     } else {
+                        self.telemetry.span_complete(
+                            at,
+                            at,
+                            SpanCategory::OomPredict,
+                            "predicted",
+                            self.job_id,
+                            None,
+                        );
                         events.push(MasterEvent::OomPredicted { required_bytes: required });
                         self.telemetry.record(
-                            self.engine.now(),
+                            at,
                             EventKind::OomPredicted { job: self.job_id, required_bytes: required },
                         );
                     }
@@ -395,6 +455,15 @@ impl JobMaster {
             &self.flash,
             &self.rds,
         );
+        let now = self.engine.now();
+        self.telemetry.span_complete(
+            now,
+            now + pause,
+            SpanCategory::Rebalance,
+            "hot-ps",
+            self.job_id,
+            None,
+        );
         self.record_flash_checkpoint();
         self.engine.reshape_ps(rebalanced, mem);
         self.engine.pause(pause);
@@ -425,6 +494,15 @@ impl JobMaster {
             SimDuration::ZERO,
             &self.flash,
             &self.rds,
+        );
+        let now = self.engine.now();
+        self.telemetry.span_complete(
+            now,
+            now + pause,
+            SpanCategory::Migration,
+            "mem-prescale",
+            self.job_id,
+            None,
         );
         self.record_flash_checkpoint();
         let max_gb = per_ps.iter().copied().max().unwrap_or(0) as f64 / 1e9;
@@ -483,15 +561,16 @@ impl JobMaster {
             MigrationStrategy::NoIntervention => unreachable!("handled above"),
             MigrationStrategy::StopAndRestart => {
                 // The whole job pauses: checkpoint → redeploy → restore.
-                let pause = plan_ps_migration_pause(
+                let timeline = plan_ps_migration(
                     strategy,
                     self.checkpoint_bytes(),
                     startup,
                     &self.flash,
                     &self.rds,
                 );
+                self.record_migration_spans(&timeline, "stop-and-restart");
                 self.record_flash_checkpoint();
-                self.engine.pause(pause);
+                self.engine.pause(timeline.pause());
                 self.resize_workers(&target, SimDuration::ZERO);
                 if ps_changed {
                     self.reshape_ps_now(&target);
@@ -502,16 +581,17 @@ impl JobMaster {
                 // wait out their startup while training continues.
                 self.resize_workers(&target, startup);
                 if ps_changed {
-                    let pause = plan_ps_migration_pause(
+                    let timeline = plan_ps_migration(
                         strategy,
                         self.checkpoint_bytes(),
                         startup,
                         &self.flash,
                         &self.rds,
                     );
+                    self.record_migration_spans(&timeline, "seamless");
                     self.record_flash_checkpoint();
                     self.reshape_ps_now(&target);
-                    self.engine.pause(pause);
+                    self.engine.pause(timeline.pause());
                 }
             }
         }

@@ -11,7 +11,7 @@
 //!   model into the bi-objective NSGA-II problem, plus the plug-in
 //!   [`scaling::ScalingAlgorithm`] API the paper exposes for custom
 //!   hardware.
-//! * [`warm_start`] — Algorithm 1: top-k similar historical jobs +
+//! * [`mod@warm_start`] — Algorithm 1: top-k similar historical jobs +
 //!   exponential smoothing to produce the start-up configuration.
 //! * [`greedy`] — cluster-level weighted greedy selection (Eqns. 11–14):
 //!   maximize `Σ RE(Aʲ)·WG(Aʲ)` subject to the cluster capacity.

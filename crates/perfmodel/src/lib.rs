@@ -11,7 +11,7 @@
 //!
 //! and the job throughput is `Ψ = w·m / (T_comp + T_comm)` (Eqn. 1). The α/β
 //! coefficients are fitted online from runtime profiles with **non-negative
-//! least squares** (the paper uses SciPy's NNLS; [`nnls`] is a from-scratch
+//! least squares** (the paper uses SciPy's NNLS; [`mod@nnls`] is a from-scratch
 //! Lawson–Hanson implementation), minimising error in a relative sense so the
 //! reported goodness metric is the RMSLE the paper quotes.
 //!

@@ -11,7 +11,7 @@
 
 use dlrover_perfmodel::{JobShape, MemoryModel, ThroughputObservation, WorkloadConstants};
 use dlrover_sim::{SimDuration, SimTime};
-use dlrover_telemetry::{EventKind, Telemetry};
+use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
 use serde::{Deserialize, Serialize};
 
 use crate::cost::{AsyncCostModel, PodState, PsPartition};
@@ -121,6 +121,8 @@ pub struct PsTrainingEngine {
     events: Vec<(SimTime, EngineEvent)>,
     oomed: bool,
     telemetry: Telemetry,
+    /// Span-timeline lane (the owning job id; 0 for standalone engines).
+    span_track: u64,
 }
 
 impl PsTrainingEngine {
@@ -179,6 +181,7 @@ impl PsTrainingEngine {
             events: Vec::new(),
             oomed: false,
             telemetry: Telemetry::default(),
+            span_track: 0,
         };
         for pod in workers {
             engine.add_worker(pod);
@@ -195,6 +198,12 @@ impl PsTrainingEngine {
     /// The engine's telemetry handle (clone to share).
     pub fn telemetry(&self) -> &Telemetry {
         &self.telemetry
+    }
+
+    /// Sets the span-timeline lane this engine records under (usually the
+    /// owning job id, so multi-job traces keep their lanes apart).
+    pub fn set_span_track(&mut self, track: u64) {
+        self.span_track = track;
     }
 
     /// Current virtual time.
@@ -427,6 +436,70 @@ impl PsTrainingEngine {
         })
     }
 
+    /// Records one `iteration` span over the trained part of a slice, with
+    /// `iteration/{lookup,compute,push,pull}` children split proportionally
+    /// to the cost model's phase decomposition (Eqns. 2–6) for the mean
+    /// live worker pod, plus a `straggler` child per worker whose rate fell
+    /// under a third of the fastest (the §4.2 lag signal).
+    fn record_iteration_spans(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        workers: u32,
+        stragglers: &[usize],
+    ) {
+        let pods = self.workers();
+        if pods.is_empty() || end <= start {
+            return;
+        }
+        let iter = self.telemetry.span_complete(
+            start,
+            end,
+            SpanCategory::Iteration,
+            "slice",
+            self.span_track,
+            None,
+        );
+        let mean = PodState {
+            cpu: pods.iter().map(|p| p.cpu).sum::<f64>() / pods.len() as f64,
+            speed: pods.iter().map(|p| p.speed).sum::<f64>() / pods.len() as f64,
+        };
+        // [t_grad, t_upd, t_sync, t_emb, β] → lookup, compute(+β), push, pull.
+        let pt = self.cost.phase_times(&mean, &self.partitions, workers);
+        let phases = [
+            (SpanCategory::IterLookup, pt[3]),
+            (SpanCategory::IterCompute, pt[0] + pt[4]),
+            (SpanCategory::IterPush, pt[1]),
+            (SpanCategory::IterPull, pt[2]),
+        ];
+        let total: f64 = phases.iter().map(|(_, t)| t).sum();
+        if total > 0.0 {
+            let dur = end.saturating_since(start);
+            let mut t = start;
+            for (i, (cat, share)) in phases.iter().enumerate() {
+                // The last phase absorbs rounding so the children tile the
+                // parent exactly.
+                let phase_end = if i == phases.len() - 1 {
+                    end
+                } else {
+                    (t + dur.mul_f64(share / total)).min(end)
+                };
+                self.telemetry.span_complete(t, phase_end, *cat, "", self.span_track, Some(iter));
+                t = phase_end;
+            }
+        }
+        for &i in stragglers {
+            self.telemetry.span_complete(
+                start,
+                end,
+                SpanCategory::Straggler,
+                &format!("w{i}"),
+                self.span_track,
+                Some(iter),
+            );
+        }
+    }
+
     /// Advances virtual time by `dt`, consuming pending pauses first, then
     /// training. Returns the slice's progress.
     pub fn advance(&mut self, dt: SimDuration) -> JobProgress {
@@ -436,7 +509,18 @@ impl PsTrainingEngine {
             let consumed = self.pending_pause.min(remaining);
             self.pending_pause -= consumed;
             remaining = remaining.saturating_sub(consumed);
+            let pause_start = self.now;
             self.now += consumed;
+            if !consumed.is_zero() {
+                self.telemetry.span_complete(
+                    pause_start,
+                    self.now,
+                    SpanCategory::Migration,
+                    "pause",
+                    self.span_track,
+                    None,
+                );
+            }
         }
         if remaining.is_zero() || self.oomed {
             self.now += remaining;
@@ -444,9 +528,11 @@ impl PsTrainingEngine {
         }
 
         let dt_s = remaining.as_secs_f64();
+        let train_start = self.now;
         let live: Vec<usize> = (0..self.workers.len()).filter(|&i| self.workers[i].alive).collect();
         let n = live.len() as u32;
         let mut total_new = 0.0f64;
+        let mut stragglers: Vec<usize> = Vec::new();
 
         if n > 0 {
             // Per-worker rates under the current layout.
@@ -458,6 +544,12 @@ impl PsTrainingEngine {
                 })
                 .collect();
             let max_rate = rates.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+            stragglers = live
+                .iter()
+                .enumerate()
+                .filter(|(k, _)| rates[*k] < max_rate / 3.0)
+                .map(|(_, &i)| i)
+                .collect();
 
             for (k, &i) in live.iter().enumerate() {
                 let mut budget = rates[k] * dt_s + self.workers[i].carry;
@@ -509,6 +601,9 @@ impl PsTrainingEngine {
             }
         }
         self.now += remaining;
+        if total_new > 0.0 {
+            self.record_iteration_spans(train_start, self.now, n, &stragglers);
+        }
 
         // Memory / OOM check.
         let oom_ps = self
@@ -635,6 +730,64 @@ mod proptests {
             e.run_to_completion(SimDuration::from_secs(600), SimTime::MAX)
                 .expect("drain finishes");
             prop_assert_eq!(e.samples_done(), total, "exactly-once violated");
+        }
+
+        /// The spans a chaos-driven engine records form well-formed trees
+        /// (children nest within their parents in SimTime, parents exist)
+        /// and identical replays serialize byte-identically (ISSUE-2
+        /// satellite; engine-driven half of the span proptests).
+        #[test]
+        fn recorded_span_trees_are_well_formed(ops in proptest::collection::vec(op(), 1..30)) {
+            let run = |ops: &[Op]| {
+                let sink = Telemetry::default();
+                let spec = TrainingJobSpec::paper_default(400);
+                let mut e = PsTrainingEngine::new(
+                    spec,
+                    vec![PodState::new(8.0); 3],
+                    AsyncCostModel::balanced_partitions(2, 8.0),
+                    vec![u64::MAX / 2; 2],
+                );
+                e.set_telemetry(sink.clone());
+                e.set_span_track(42);
+                for o in ops {
+                    match *o {
+                        Op::Advance(s) => {
+                            e.advance(SimDuration::from_secs(u64::from(s)));
+                        }
+                        Op::FailWorker(i) => e.fail_worker(i as usize),
+                        Op::AddWorker => {
+                            e.add_worker(PodState::new(8.0));
+                        }
+                        Op::RemoveWorker(i) => {
+                            if e.workers().len() > 1 {
+                                e.remove_worker(i as usize);
+                            }
+                        }
+                        Op::Pause(s) => e.pause(SimDuration::from_secs(u64::from(s))),
+                        Op::SetWorkerSpeed(i, s) => e.set_worker_pod(
+                            i as usize,
+                            PodState { cpu: 8.0, speed: f64::from(s) / 100.0 },
+                        ),
+                    }
+                }
+                sink
+            };
+            let sink = run(&ops);
+            let spans = sink.snapshot().spans;
+            for child in &spans {
+                prop_assert!(child.end_us >= child.start_us);
+                prop_assert_eq!(child.track, 42);
+                if let Some(pid) = child.parent {
+                    let parent = spans
+                        .iter()
+                        .find(|s| s.id == pid)
+                        .expect("parent span retained");
+                    prop_assert!(parent.start_us <= child.start_us, "child starts inside parent");
+                    prop_assert!(child.end_us <= parent.end_us, "child ends inside parent");
+                }
+            }
+            // Same script, fresh engine → byte-identical span log.
+            prop_assert_eq!(sink.spans_to_jsonl(), run(&ops).spans_to_jsonl());
         }
     }
 }

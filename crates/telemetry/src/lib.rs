@@ -25,10 +25,12 @@
 pub mod event;
 pub mod log;
 pub mod metrics;
+pub mod span;
 
 pub use event::{Event, EventKind, MigrationKind};
 pub use log::{diff_jsonl, EventLog, LogDiff, DEFAULT_EVENT_CAPACITY};
 pub use metrics::{Histogram, MetricsRegistry, SeriesPoint, TimeSeries};
+pub use span::{parse_spans_jsonl, Span, SpanCategory, SpanId, SpanLog, DEFAULT_SPAN_CAPACITY};
 
 use dlrover_sim::SimTime;
 use serde::Serialize;
@@ -38,6 +40,7 @@ use std::sync::{Arc, Mutex};
 struct Inner {
     log: EventLog,
     metrics: MetricsRegistry,
+    spans: SpanLog,
 }
 
 /// A shared telemetry sink. Clones are handles to the *same* log and
@@ -57,6 +60,7 @@ impl Telemetry {
             inner: Arc::new(Mutex::new(Inner {
                 log: EventLog::with_capacity(capacity),
                 metrics: MetricsRegistry::default(),
+                spans: SpanLog::default(),
             })),
         }
     }
@@ -105,6 +109,46 @@ impl Telemetry {
         self.lock().log.to_jsonl()
     }
 
+    /// Opens a span starting at `at`; pair with [`Self::span_close`].
+    pub fn span_open(
+        &self,
+        at: SimTime,
+        cat: SpanCategory,
+        label: &str,
+        track: u64,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        self.lock().spans.open(at, cat, label, track, parent)
+    }
+
+    /// Closes an open span at `at` (unmatched ids are counted, not fatal).
+    pub fn span_close(&self, at: SimTime, id: SpanId) {
+        self.lock().spans.close(at, id);
+    }
+
+    /// Records an already-complete span `[start, end]`.
+    pub fn span_complete(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        cat: SpanCategory,
+        label: &str,
+        track: u64,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        self.lock().spans.complete(start, end, cat, label, track, parent)
+    }
+
+    /// Total spans ever closed.
+    pub fn span_count(&self) -> u64 {
+        self.lock().spans.total_closed()
+    }
+
+    /// Serializes the retained closed spans as JSON Lines.
+    pub fn spans_to_jsonl(&self) -> String {
+        self.lock().spans.to_jsonl()
+    }
+
     /// An owned, serializable snapshot of the sink's current state.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let inner = self.lock();
@@ -112,6 +156,9 @@ impl Telemetry {
             events: inner.log.iter().cloned().collect(),
             total_events: inner.log.total_recorded(),
             dropped_events: inner.log.dropped(),
+            spans: inner.spans.iter().cloned().collect(),
+            total_spans: inner.spans.total_closed(),
+            dropped_spans: inner.spans.dropped(),
             metrics: inner.metrics.clone(),
         }
     }
@@ -122,6 +169,8 @@ impl Telemetry {
         TelemetrySummary {
             total_events: inner.log.total_recorded(),
             dropped_events: inner.log.dropped(),
+            total_spans: inner.spans.total_closed(),
+            dropped_spans: inner.spans.dropped(),
             top_kinds: inner
                 .log
                 .top_kinds(5)
@@ -142,6 +191,12 @@ pub struct TelemetrySnapshot {
     pub total_events: u64,
     /// Events evicted by the ring buffer.
     pub dropped_events: u64,
+    /// Retained closed spans, close order (oldest first).
+    pub spans: Vec<Span>,
+    /// Total spans ever closed (retained + evicted).
+    pub total_spans: u64,
+    /// Closed spans evicted by the ring buffer.
+    pub dropped_spans: u64,
     /// The metrics registry.
     pub metrics: MetricsRegistry,
 }
@@ -153,6 +208,10 @@ pub struct TelemetrySummary {
     pub total_events: u64,
     /// Events evicted by the ring buffer.
     pub dropped_events: u64,
+    /// Total spans ever closed.
+    pub total_spans: u64,
+    /// Closed spans evicted by the ring buffer.
+    pub dropped_spans: u64,
     /// Up to five most frequent event kinds, `(name, count)` descending.
     pub top_kinds: Vec<(String, u64)>,
     /// Final counter values.
@@ -161,13 +220,17 @@ pub struct TelemetrySummary {
 
 impl TelemetrySummary {
     /// Renders the summary as one log line, e.g.
-    /// `events=1204 (0 dropped); top: ShardAcked x612, WorkerAdded x24`.
+    /// `events=1204 (0 dropped); spans=88 (0 dropped); top: ShardAcked x612`.
+    /// A non-zero drop count is always visible here, so no experiment can
+    /// silently report from a truncated log.
     pub fn one_line(&self) -> String {
         let tops: Vec<String> = self.top_kinds.iter().map(|(k, n)| format!("{k} x{n}")).collect();
         format!(
-            "events={} ({} dropped); top: {}",
+            "events={} ({} dropped); spans={} ({} dropped); top: {}",
             self.total_events,
             self.dropped_events,
+            self.total_spans,
+            self.dropped_spans,
             if tops.is_empty() { "-".to_string() } else { tops.join(", ") }
         )
     }
@@ -201,6 +264,29 @@ mod tests {
         let a = build();
         assert_eq!(a, build());
         assert!(a.contains("\"dropped_events\":4"));
+    }
+
+    #[test]
+    fn span_handles_share_one_sink_and_surface_drops() {
+        let t = Telemetry::default();
+        let u = t.clone();
+        let id = u.span_open(SimTime::from_secs(1), SpanCategory::Migration, "pause", 3, None);
+        u.span_close(SimTime::from_secs(2), id);
+        t.span_complete(
+            SimTime::from_secs(2),
+            SimTime::from_secs(3),
+            SpanCategory::Checkpoint,
+            "save",
+            3,
+            Some(id),
+        );
+        assert_eq!(t.span_count(), 2);
+        let snap = t.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[1].parent, Some(id.0));
+        let line = t.summary().one_line();
+        assert!(line.contains("spans=2 (0 dropped)"), "{line}");
+        assert_eq!(t.spans_to_jsonl().lines().count(), 2);
     }
 
     #[test]

@@ -1,0 +1,427 @@
+//! Hierarchical, virtual-time spans: the causal companion to the flat
+//! event log.
+//!
+//! An [`Event`](crate::Event) says *what* happened; a [`Span`] says *how
+//! long a phase lasted* and *inside which larger phase* — which is exactly
+//! the information the critical-path analyses of the paper's claims need
+//! (migration stalls of §5.2 Table 2, straggler iterations of §4.2,
+//! pod-startup latency under contention).
+//!
+//! Spans follow the same two rules as the event log:
+//!
+//! * **Deterministic.** Start/end stamps are [`SimTime`] (never the wall
+//!   clock), ids are assigned in open order, open spans live in a
+//!   `BTreeMap`, and closed spans serialize in close order — so two runs
+//!   with the same seed produce byte-identical span logs.
+//! * **Bounded.** Closed spans live in a ring buffer; evictions are
+//!   *counted* ([`SpanLog::dropped`]) so a summary never silently pretends
+//!   the log is complete.
+
+use dlrover_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default closed-span capacity (spans beyond this evict the oldest).
+pub const DEFAULT_SPAN_CAPACITY: usize = 65_536;
+
+/// Identifier of a span within one [`SpanLog`], assigned at open time.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SpanId(pub u64);
+
+/// The category taxonomy of the stack's phases.
+///
+/// Categories are coarse on purpose: analyzers key on them (e.g. the
+/// critical-path extractor ranks them by blocking-ness), while free-form
+/// detail goes in the span label. The `iteration/*` sub-categories mirror
+/// the cost model's phase decomposition (Eqns. 2–6): embedding lookup,
+/// gradient push (parameter update), parameter pull (sync), and dense
+/// compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum SpanCategory {
+    /// Whole-job lifetime (runner root span).
+    Job,
+    /// Pod request → placement decision (grant or still pending).
+    Scheduling,
+    /// Pod placement → running (image pull + init, §5.2's overlap target).
+    PodStartup,
+    /// A pod eviction for a higher-priority service (§2.2).
+    Preemption,
+    /// One engine slice of training iterations.
+    Iteration,
+    /// Embedding lookup phase (`t_emb`, Eqn. 5 — the Fig. 1a 30–48 %).
+    IterLookup,
+    /// Gradient push / parameter update phase (`t_upd`, Eqn. 3).
+    IterPush,
+    /// Parameter pull / sync phase (`t_sync`, Eqn. 4).
+    IterPull,
+    /// Dense gradient computation + fixed overheads (`t_grad + β`).
+    IterCompute,
+    /// Checkpoint save or load (flash or RDS tier, §5.2).
+    Checkpoint,
+    /// Migration activity: pauses, degraded running, plan execution (§5.2).
+    Migration,
+    /// PS partition rebalancing onto healthy capacity (§4.3).
+    Rebalance,
+    /// A worker running far below its peers (§4.2 / Fig. 13).
+    Straggler,
+    /// OOM forecasting verdicts (§5.3).
+    OomPredict,
+    /// Cluster-level plan generation / selection (Eqns. 11–14).
+    Planning,
+    /// Per-job policy evaluation (stage-2 adjustment).
+    PolicyEval,
+}
+
+impl SpanCategory {
+    /// Every category, in declaration order (for analyzers and tests).
+    pub const ALL: [SpanCategory; 16] = [
+        SpanCategory::Job,
+        SpanCategory::Scheduling,
+        SpanCategory::PodStartup,
+        SpanCategory::Preemption,
+        SpanCategory::Iteration,
+        SpanCategory::IterLookup,
+        SpanCategory::IterPush,
+        SpanCategory::IterPull,
+        SpanCategory::IterCompute,
+        SpanCategory::Checkpoint,
+        SpanCategory::Migration,
+        SpanCategory::Rebalance,
+        SpanCategory::Straggler,
+        SpanCategory::OomPredict,
+        SpanCategory::Planning,
+        SpanCategory::PolicyEval,
+    ];
+
+    /// Stable taxonomy name (used in summaries, critical-path phase keys,
+    /// and Chrome trace categories).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanCategory::Job => "job",
+            SpanCategory::Scheduling => "scheduling",
+            SpanCategory::PodStartup => "pod-startup",
+            SpanCategory::Preemption => "preemption",
+            SpanCategory::Iteration => "iteration",
+            SpanCategory::IterLookup => "iteration/lookup",
+            SpanCategory::IterPush => "iteration/push",
+            SpanCategory::IterPull => "iteration/pull",
+            SpanCategory::IterCompute => "iteration/compute",
+            SpanCategory::Checkpoint => "checkpoint",
+            SpanCategory::Migration => "migration",
+            SpanCategory::Rebalance => "rebalance",
+            SpanCategory::Straggler => "straggler",
+            SpanCategory::OomPredict => "oom-predict",
+            SpanCategory::Planning => "planning",
+            SpanCategory::PolicyEval => "policy-eval",
+        }
+    }
+}
+
+/// One closed (or still-open) phase of virtual time.
+///
+/// `track` groups spans that belong to one sequential timeline — a job's
+/// engine, a pod, a per-case experiment lane. Analyzers treat tracks as
+/// Chrome trace `tid`s and sweep each track independently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Log-assigned id (open order; survives ring-buffer eviction).
+    pub id: u64,
+    /// Enclosing span's id, if any.
+    pub parent: Option<u64>,
+    /// Phase category.
+    pub cat: SpanCategory,
+    /// Free-form detail (e.g. `"w3"`, `"pause"`, `"save"`).
+    pub label: String,
+    /// Timeline lane (job id, pod id, or experiment case id).
+    pub track: u64,
+    /// Virtual start, microseconds since simulation start.
+    pub start_us: u64,
+    /// Virtual end, microseconds (`== start_us` for instant spans).
+    pub end_us: u64,
+}
+
+impl Span {
+    /// Virtual start time.
+    pub fn start(&self) -> SimTime {
+        SimTime::from_micros(self.start_us)
+    }
+
+    /// Virtual end time.
+    pub fn end(&self) -> SimTime {
+        SimTime::from_micros(self.end_us)
+    }
+
+    /// Duration in microseconds.
+    pub fn dur_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+}
+
+/// Ring-buffered span log. See the module docs for the determinism and
+/// boundedness rules.
+#[derive(Debug, Clone)]
+pub struct SpanLog {
+    closed: Vec<Span>,
+    capacity: usize,
+    /// Index of the oldest closed span once the buffer has wrapped.
+    head: usize,
+    open: BTreeMap<u64, Span>,
+    next_id: u64,
+    closed_total: u64,
+    dropped: u64,
+    unmatched_closes: u64,
+}
+
+impl Default for SpanLog {
+    fn default() -> Self {
+        SpanLog::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl SpanLog {
+    /// Creates a log retaining at most `capacity` closed spans.
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "span log capacity must be positive");
+        SpanLog {
+            closed: Vec::new(),
+            capacity,
+            head: 0,
+            open: BTreeMap::new(),
+            next_id: 0,
+            closed_total: 0,
+            dropped: 0,
+            unmatched_closes: 0,
+        }
+    }
+
+    /// Opens a span starting at `at`; close it with [`Self::close`].
+    pub fn open(
+        &mut self,
+        at: SimTime,
+        cat: SpanCategory,
+        label: &str,
+        track: u64,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.open.insert(
+            id,
+            Span {
+                id,
+                parent: parent.map(|p| p.0),
+                cat,
+                label: label.to_string(),
+                track,
+                start_us: at.as_micros(),
+                end_us: at.as_micros(),
+            },
+        );
+        SpanId(id)
+    }
+
+    /// Closes an open span at `at`. A close without a matching open is
+    /// counted ([`Self::unmatched_closes`]) and otherwise ignored; an end
+    /// before the start clamps to the start (spans never run backwards).
+    pub fn close(&mut self, at: SimTime, id: SpanId) {
+        match self.open.remove(&id.0) {
+            Some(mut span) => {
+                span.end_us = at.as_micros().max(span.start_us);
+                self.push_closed(span);
+            }
+            None => self.unmatched_closes += 1,
+        }
+    }
+
+    /// Records an already-complete span `[start, end]` in one call.
+    pub fn complete(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        cat: SpanCategory,
+        label: &str,
+        track: u64,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.push_closed(Span {
+            id,
+            parent: parent.map(|p| p.0),
+            cat,
+            label: label.to_string(),
+            track,
+            start_us: start.as_micros(),
+            end_us: end.as_micros().max(start.as_micros()),
+        });
+        SpanId(id)
+    }
+
+    fn push_closed(&mut self, span: Span) {
+        self.closed_total += 1;
+        if self.closed.len() < self.capacity {
+            self.closed.push(span);
+        } else {
+            self.closed[self.head] = span;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Closed spans currently retained, in close order (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        let (wrapped, first) = self.closed.split_at(self.head);
+        first.iter().chain(wrapped.iter())
+    }
+
+    /// Closed spans retained.
+    pub fn len(&self) -> usize {
+        self.closed.len()
+    }
+
+    /// True when no span was ever closed.
+    pub fn is_empty(&self) -> bool {
+        self.closed.is_empty()
+    }
+
+    /// Spans currently open (opened, not yet closed).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Total spans ever closed (retained + evicted).
+    pub fn total_closed(&self) -> u64 {
+        self.closed_total
+    }
+
+    /// Closed spans evicted by the ring buffer.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Closes received for ids that were not open.
+    pub fn unmatched_closes(&self) -> u64 {
+        self.unmatched_closes
+    }
+
+    /// Retained virtual time per category name, sorted by name.
+    pub fn category_totals(&self) -> BTreeMap<&'static str, u64> {
+        let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for s in self.iter() {
+            *totals.entry(s.cat.name()).or_insert(0) += s.dur_us();
+        }
+        totals
+    }
+
+    /// Serializes the retained closed spans as JSON Lines (one compact
+    /// object per line, trailing newline). Byte-identical across runs with
+    /// identical span streams.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in self.iter() {
+            out.push_str(&serde_json::to_string(s).expect("span serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Parses a JSONL span dump back into spans (inverse of
+/// [`SpanLog::to_jsonl`]). Returns `None` on the first malformed line.
+pub fn parse_spans_jsonl(text: &str) -> Option<Vec<Span>> {
+    text.lines().map(|l| serde_json::from_str(l).ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn open_close_roundtrip() {
+        let mut log = SpanLog::default();
+        let a = log.open(t(1), SpanCategory::Migration, "pause", 7, None);
+        let b = log.open(t(2), SpanCategory::Checkpoint, "save", 7, Some(a));
+        log.close(t(3), b);
+        log.close(t(5), a);
+        let spans: Vec<&Span> = log.iter().collect();
+        assert_eq!(spans.len(), 2);
+        // Close order: b first.
+        assert_eq!(spans[0].cat, SpanCategory::Checkpoint);
+        assert_eq!(spans[0].parent, Some(a.0));
+        assert_eq!(spans[1].dur_us(), 4_000_000);
+        assert_eq!(log.open_count(), 0);
+    }
+
+    #[test]
+    fn unmatched_close_is_counted_not_fatal() {
+        let mut log = SpanLog::default();
+        log.close(t(1), SpanId(99));
+        assert_eq!(log.unmatched_closes(), 1);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn backwards_close_clamps_to_start() {
+        let mut log = SpanLog::default();
+        let id = log.open(t(10), SpanCategory::Job, "", 0, None);
+        log.close(t(5), id);
+        assert_eq!(log.iter().next().unwrap().dur_us(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let mut log = SpanLog::with_capacity(2);
+        for i in 0..5u64 {
+            log.complete(t(i), t(i + 1), SpanCategory::Iteration, "", 0, None);
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        assert_eq!(log.total_closed(), 5);
+        let ids: Vec<u64> = log.iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec![3, 4], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    fn jsonl_roundtrips_and_is_deterministic() {
+        let build = || {
+            let mut log = SpanLog::default();
+            let p = log.open(t(0), SpanCategory::Iteration, "slice", 3, None);
+            log.complete(t(0), t(1), SpanCategory::IterLookup, "", 3, Some(p));
+            log.close(t(4), p);
+            log.to_jsonl()
+        };
+        let a = build();
+        assert_eq!(a, build());
+        let parsed = parse_spans_jsonl(&a).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].cat, SpanCategory::Iteration);
+    }
+
+    #[test]
+    fn category_names_are_stable_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in SpanCategory::ALL {
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+        }
+        assert_eq!(SpanCategory::IterLookup.name(), "iteration/lookup");
+        assert_eq!(SpanCategory::PodStartup.name(), "pod-startup");
+    }
+
+    #[test]
+    fn category_totals_sum_durations() {
+        let mut log = SpanLog::default();
+        log.complete(t(0), t(2), SpanCategory::Migration, "", 0, None);
+        log.complete(t(5), t(6), SpanCategory::Migration, "", 0, None);
+        let totals = log.category_totals();
+        assert_eq!(totals["migration"], 3_000_000);
+    }
+}

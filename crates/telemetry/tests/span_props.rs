@@ -1,0 +1,136 @@
+//! Property tests for the span log: well-formedness and determinism.
+//!
+//! These are the log-level halves of the ISSUE-2 satellite ("every close
+//! matches an open, children nest strictly within parents in SimTime, and
+//! same-seed span logs are byte-identical"); the engine-driven halves live
+//! in `dlrover-pstrain`, where real instrumentation produces the trees.
+
+use dlrover_sim::SimTime;
+use dlrover_telemetry::{parse_spans_jsonl, SpanCategory, SpanId, SpanLog};
+use proptest::prelude::*;
+
+/// One scripted operation against a span log.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Open a child of the `n`-th most recently opened span (root if none).
+    Open(usize),
+    /// Close the most recently opened span still open.
+    CloseNewest,
+    /// Close a bogus id that was never opened.
+    CloseBogus(u64),
+    /// Advance virtual time by this many microseconds.
+    Advance(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..4).prop_map(Op::Open),
+        Just(Op::CloseNewest),
+        (1_000_000u64..2_000_000).prop_map(Op::CloseBogus),
+        (1u64..5_000_000).prop_map(Op::Advance),
+    ]
+}
+
+/// Replays a script and returns the log (deterministic by construction).
+fn replay(script: &[Op], capacity: usize) -> SpanLog {
+    let mut log = SpanLog::with_capacity(capacity);
+    let mut now = 0u64;
+    let mut stack: Vec<SpanId> = Vec::new();
+    for op in script {
+        match op {
+            Op::Open(depth) => {
+                let parent = if stack.is_empty() {
+                    None
+                } else {
+                    Some(stack[stack.len().saturating_sub(1 + depth % stack.len())])
+                };
+                let cat = if parent.is_some() {
+                    SpanCategory::IterLookup
+                } else {
+                    SpanCategory::Iteration
+                };
+                let id = log.open(SimTime::from_micros(now), cat, "p", 1, parent);
+                stack.push(id);
+            }
+            Op::CloseNewest => {
+                if let Some(id) = stack.pop() {
+                    log.close(SimTime::from_micros(now), id);
+                }
+            }
+            Op::CloseBogus(offset) => {
+                log.close(SimTime::from_micros(now), SpanId(u64::MAX - offset));
+            }
+            Op::Advance(dt) => now += dt,
+        }
+    }
+    // Close stragglers innermost-first so nesting stays well-formed.
+    while let Some(id) = stack.pop() {
+        log.close(SimTime::from_micros(now), id);
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Same script → byte-identical JSONL (the span determinism rule).
+    #[test]
+    fn same_script_gives_byte_identical_jsonl(
+        script in proptest::collection::vec(op_strategy(), 0..80),
+    ) {
+        let a = replay(&script, 64).to_jsonl();
+        let b = replay(&script, 64).to_jsonl();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every close matched an open (only the scripted bogus ids count as
+    /// unmatched), and closed spans never run backwards.
+    #[test]
+    fn closes_match_opens_and_time_is_monotone(
+        script in proptest::collection::vec(op_strategy(), 0..80),
+    ) {
+        let bogus = script.iter().filter(|o| matches!(o, Op::CloseBogus(_))).count() as u64;
+        let log = replay(&script, 1 << 16);
+        prop_assert_eq!(log.unmatched_closes(), bogus);
+        prop_assert_eq!(log.open_count(), 0, "replay closes everything it opened");
+        for s in log.iter() {
+            prop_assert!(s.end_us >= s.start_us);
+        }
+    }
+
+    /// Children nest strictly within their parents in SimTime, and every
+    /// parent id refers to a span that was opened before the child.
+    #[test]
+    fn children_nest_within_parents(
+        script in proptest::collection::vec(op_strategy(), 0..80),
+    ) {
+        let log = replay(&script, 1 << 16);
+        let spans: Vec<_> = log.iter().cloned().collect();
+        for child in &spans {
+            if let Some(pid) = child.parent {
+                prop_assert!(pid < child.id, "parents open before children");
+                // The parent may have been evicted from a small ring, but at
+                // this capacity nothing drops.
+                let parent = spans.iter().find(|s| s.id == pid).expect("parent retained");
+                prop_assert!(parent.start_us <= child.start_us);
+                prop_assert!(child.end_us <= parent.end_us);
+            }
+        }
+    }
+
+    /// Ring accounting: retained + dropped == total closed, and JSONL
+    /// round-trips losslessly.
+    #[test]
+    fn ring_accounting_and_roundtrip(
+        script in proptest::collection::vec(op_strategy(), 0..80),
+        capacity in 1usize..16,
+    ) {
+        let log = replay(&script, capacity);
+        prop_assert_eq!(log.len() as u64 + log.dropped(), log.total_closed());
+        let parsed = parse_spans_jsonl(&log.to_jsonl()).expect("valid jsonl");
+        prop_assert_eq!(parsed.len(), log.len());
+        for (a, b) in parsed.iter().zip(log.iter()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

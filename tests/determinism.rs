@@ -89,6 +89,44 @@ fn telemetry_event_logs_are_byte_identical() {
 }
 
 #[test]
+fn telemetry_span_logs_are_byte_identical() {
+    // The span log must hold to the same standard as the event log: a
+    // seeded traced run serializes to byte-identical JSONL every time, so
+    // critical-path analyses and Chrome exports are reproducible artefacts.
+    let run = || {
+        let telemetry = Telemetry::default();
+        run_single_job_traced(
+            Box::new(DlroverPolicy::new(
+                ResourceAllocation::new(JobShape::new(2, 1, 2.0, 2.0, 512), 8.0, 64.0),
+                DlroverPolicyConfig::default(),
+            )),
+            TrainingJobSpec::paper_default(10_000),
+            &RunnerConfig::default(),
+            &telemetry,
+        );
+        telemetry.spans_to_jsonl()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty(), "traced run recorded no spans");
+    assert_eq!(a, b, "span logs diverged across identical runs");
+    let spans = dlrover_rm::telemetry::parse_spans_jsonl(&a).expect("span log parses back");
+    // The runner's root `job` span must be present and start at t=0; no
+    // span may predate it. (Spans may extend past the root: migration spans
+    // cover their *planned* timeline even when completion cuts the run
+    // short mid-window.)
+    let root = spans
+        .iter()
+        .find(|s| s.cat == dlrover_rm::telemetry::SpanCategory::Job)
+        .expect("job root span");
+    assert_eq!(root.start_us, 0);
+    assert!(root.end_us > 0);
+    for s in &spans {
+        assert!(s.start_us >= root.start_us, "span predates the job root");
+    }
+}
+
+#[test]
 fn telemetry_event_logs_differ_across_seeds() {
     let run = |seed| {
         let telemetry = Telemetry::default();
