@@ -36,10 +36,12 @@ const EXPERIMENTS: &[Runner] = &[
     ("fig15", "cluster-level JCT reductions", exp::production::run_fig15),
     ("table4", "failure rates before/after", exp::production::run_table4),
     ("ablations", "design-choice ablations", exp::ablations::run),
+    ("chaos", "scripted fault plans vs the invariant oracle", exp::chaos::run),
 ];
 
 fn usage() -> ! {
     eprintln!("usage: exp [--seed N] <experiment|all> [more experiments...]");
+    eprintln!("       exp chaos [--seed N] [--plans K]");
     eprintln!("       exp trace [--filter KINDS] <id|trace.jsonl>");
     eprintln!("       exp trace --diff <left.jsonl> <right.jsonl>");
     eprintln!("       exp trace --chrome <id|spans.jsonl>");
@@ -211,8 +213,37 @@ fn trace_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `exp chaos --seed N --plans K`: run K generated fault plans through the
+/// chaos harness and exit non-zero if any oracle invariant was violated
+/// (the CI smoke gate). Writes `results/chaos.json`.
+fn chaos_command(args: &[String]) -> ! {
+    let mut seed = 42u64;
+    let mut plans = 100u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--plans" => {
+                plans = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let (_, violations) = exp::chaos::run_chaos(seed, plans);
+    if violations > 0 {
+        eprintln!("chaos: {violations} invariant violation(s)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("chaos") {
+        chaos_command(&args[1..]);
+    }
     if args.first().map(String::as_str) == Some("trace") {
         trace_command(&args[1..]);
     }

@@ -18,10 +18,8 @@ use crate::report::{percentile, sorted, Report};
 /// schedule a slice of the same workload through the *exact* cluster
 /// simulator (nodes, best-fit, preemption) instead of the aggregate pool.
 fn pod_level_pending(seed: u64, telemetry: &Telemetry) -> Vec<f64> {
-    let workload = FleetWorkload::generate(
-        &FleetConfig { training_jobs: 150, background_jobs: 30, ..Default::default() },
-        &RngStreams::new(seed),
-    );
+    let fleet = FleetConfig { training_jobs: 150, background_jobs: 30, ..Default::default() };
+    let workload = FleetWorkload::generate(&fleet, &RngStreams::new(seed));
     let cost = AsyncCostModel::new(
         ModelCoefficients::simulation_truth(),
         dlrover_perfmodel::WorkloadConstants::default(),
@@ -68,11 +66,7 @@ fn pod_level_pending(seed: u64, telemetry: &Telemetry) -> Vec<f64> {
         })
         .collect();
     let mut cluster = Cluster::new(
-        ClusterConfig {
-            nodes: 120,
-            node_capacity: Resources::new(32.0, 192.0),
-            ..ClusterConfig::default()
-        },
+        ClusterConfig { node_capacity: Resources::new(32.0, 192.0), ..fleet.cluster_config(120) },
         &RngStreams::new(seed ^ 0xC1),
     );
     cluster.set_telemetry(telemetry.clone());

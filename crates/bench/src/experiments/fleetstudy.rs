@@ -195,7 +195,8 @@ fn evaluate_job<R: Rng + ?Sized>(
     // --- pod-failure hazard ----------------------------------------------
     let pods = f64::from(worker_count + ps_count) + 1.0;
     let duration_days = (total / base_thp) / 86_400.0;
-    let p_any_failure = 1.0 - (1.0 - 0.015f64).powf(pods * duration_days.max(0.02));
+    let daily = cfg.fleet.pod_daily_failure_rate.clamp(0.0, 1.0);
+    let p_any_failure = 1.0 - (1.0 - daily).powf(pods * duration_days.max(0.02));
     if rng.gen::<f64>() < p_any_failure && !dlrover {
         // Without elastic fault tolerance, a failed pod aborts the job
         // roughly half the time (some users babysit and resubmit).

@@ -2,6 +2,7 @@
 //! (the rendered report).
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

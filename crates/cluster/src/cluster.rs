@@ -8,7 +8,7 @@
 //! [`ClusterEvent`]s it caused so drivers can react (e.g. reschedule a
 //! preempted worker).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dlrover_sim::{RngStreams, SimTime};
 use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
@@ -71,7 +71,7 @@ pub enum ClusterEvent {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<Node>,
-    pods: HashMap<PodId, Pod>,
+    pods: BTreeMap<PodId, Pod>,
     pending: Vec<PodId>,
     next_pod_id: u64,
     config: ClusterConfig,
@@ -95,7 +95,7 @@ impl Cluster {
             .collect();
         Cluster {
             nodes,
-            pods: HashMap::new(),
+            pods: BTreeMap::new(),
             pending: Vec::new(),
             next_pod_id: 0,
             config,
@@ -437,6 +437,30 @@ impl Cluster {
         pod.node = None;
     }
 
+    /// Fails one pod (process kill, OOM kill, organic churn, chaos
+    /// injection): releases its resources and records a `PodFailed` event.
+    /// Unlike [`Self::terminate_pod`] this is a *failure*, visible in the
+    /// telemetry stream for the oracle to audit. Returns the events (empty
+    /// when the pod was already terminal or unknown).
+    pub fn fail_pod(&mut self, id: PodId) -> Vec<ClusterEvent> {
+        let alive = self.pods.get(&id).is_some_and(|p| !p.phase.is_terminal());
+        if !alive {
+            return Vec::new();
+        }
+        self.detach(id, PodPhase::Failed);
+        self.pending.retain(|&p| p != id);
+        let events = vec![ClusterEvent::PodFailed(id)];
+        self.record_events(&events);
+        events
+    }
+
+    /// Advances the cluster's passive clock (used to stamp events from
+    /// untimed entry points such as [`Self::fail_pod`]/[`Self::fail_node`])
+    /// without submitting anything. Never moves time backwards.
+    pub fn advance_clock(&mut self, now: SimTime) {
+        self.clock = self.clock.max(now);
+    }
+
     /// Fails a node: all resident pods fail, the node goes unhealthy.
     pub fn fail_node(&mut self, node_id: NodeId) -> Vec<ClusterEvent> {
         let mut events = vec![ClusterEvent::NodeFailed(node_id)];
@@ -522,6 +546,21 @@ mod tests {
         assert!(matches!(events[0], ClusterEvent::PodPlaced(p, _) if p == id));
         assert_eq!(c.pod(id).unwrap().phase, PodPhase::Starting);
         assert_eq!(c.total_allocated(), Resources::new(4.0, 8.0));
+    }
+
+    #[test]
+    fn fail_pod_releases_resources_and_reports() {
+        let mut c = small_cluster();
+        let (id, _) = c.request_pod(spec(4.0, 8.0, Priority::Low), SimTime::ZERO).unwrap();
+        c.mark_running(id, SimTime::from_secs(10));
+        let events = c.fail_pod(id);
+        assert_eq!(events, vec![ClusterEvent::PodFailed(id)]);
+        assert_eq!(c.pod(id).unwrap().phase, PodPhase::Failed);
+        assert_eq!(c.total_allocated(), Resources::default());
+        // Idempotent: a dead pod cannot fail again, and unknown ids are
+        // ignored (chaos plans may race organic churn).
+        assert!(c.fail_pod(id).is_empty());
+        assert!(c.fail_pod(PodId(999)).is_empty());
     }
 
     #[test]

@@ -147,6 +147,11 @@ pub struct FleetConfig {
     /// Largest pod a user may request (the cluster's node size caps it;
     /// Kubernetes rejects anything bigger).
     pub max_pod: Resources,
+    /// Probability that a running pod fails within a day (organic cloud
+    /// churn; §2.2 / Table 4). Flows into the [`ClusterConfig`] built by
+    /// [`FleetConfig::cluster_config`], so fleet drivers and chaos plans
+    /// share one hazard instead of hardcoding zero.
+    pub pod_daily_failure_rate: f64,
 }
 
 impl Default for FleetConfig {
@@ -161,6 +166,22 @@ impl Default for FleetConfig {
             oom_fraction: 0.065,
             users: 24,
             max_pod: Resources::new(32.0, 192.0),
+            pod_daily_failure_rate: 0.015,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Builds the cluster configuration this fleet should run on: `nodes`
+    /// nodes sized to the largest allowed pod, with the fleet's organic
+    /// pod-failure hazard threaded through (rather than the zero rate the
+    /// driver paths used to hardcode).
+    pub fn cluster_config(&self, nodes: usize) -> crate::cluster::ClusterConfig {
+        crate::cluster::ClusterConfig {
+            nodes,
+            node_capacity: self.max_pod,
+            pod_daily_failure_rate: self.pod_daily_failure_rate,
+            ..crate::cluster::ClusterConfig::default()
         }
     }
 }

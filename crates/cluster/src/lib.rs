@@ -32,7 +32,7 @@ pub mod resources;
 pub mod startup;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterEvent, ScheduleError};
-pub use driver::{drive_fleet, GangJob, GangOutcome};
+pub use driver::{drive_fleet, drive_fleet_chaos, GangJob, GangOutcome};
 pub use fleet::{FleetConfig, FleetJob, FleetWorkload, JobClass};
 pub use node::{Node, NodeId};
 pub use pod::{Pod, PodId, PodPhase, PodRole, PodSpec, Priority};

@@ -1,0 +1,652 @@
+//! Deterministic chaos harness: runs one job under a scripted
+//! [`FaultPlan`] with the cluster, engine, and master wired together, then
+//! audits the telemetry stream with the [`Oracle`].
+//!
+//! This is the delivery layer the plan format (`dlrover_sim::faultplan`)
+//! deliberately omits: each [`FaultKind`] becomes concrete calls —
+//! worker/PS pod kills ride the cluster's `fail_pod` plus the master's
+//! replacement/flash-restore paths (§6.2), node loss fails every resident
+//! pod at once, preemption bursts inject high-priority service pods
+//! (§2.2), memory pressure eats PS headroom to provoke the §5.3 OOM
+//! predictor (Eqn. 14), and straggler/network windows scale worker speeds
+//! the way §5.1's dynamic sharding is built to absorb.
+//!
+//! Everything is virtual-time and seeded: the same
+//! `(seed, plan)` pair replays the same run byte-for-byte, which is what
+//! lets CI assert system-wide invariants instead of eyeballing flakes.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use dlrover_cluster::{
+    Cluster, ClusterConfig, ClusterEvent, PodId, PodPhase, PodRole, PodSpec, Priority, Resources,
+};
+use dlrover_master::{JobMaster, MasterEvent};
+use dlrover_optimizer::ResourceAllocation;
+use dlrover_pstrain::{PodState, TrainingJobSpec};
+use dlrover_sim::{FaultKind, FaultPlan, FaultPlanConfig, RngStreams, SimDuration, SimTime};
+use dlrover_telemetry::{
+    EventKind, GroundTruth, Oracle, OracleConfig, OracleReport, SpanCategory, Telemetry,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::runner::RunnerConfig;
+
+/// How long a lost node stays out of the pool, and how long a
+/// preemption-burst service pod stays resident before the service scales
+/// back down.
+const NODE_OUTAGE: SimDuration = SimDuration::from_mins(15);
+const BURST_RESIDENCY: SimDuration = SimDuration::from_mins(10);
+
+/// Chaos-run configuration: the single-job runner knobs plus the plan
+/// generator, oracle thresholds, and the cluster the job's pods live in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Tick cadence, startup model, deadline, master knobs, seed.
+    pub runner: RunnerConfig,
+    /// Fault-plan generator knobs (for [`run_chaos_suite`]).
+    pub plan: FaultPlanConfig,
+    /// Invariant thresholds.
+    pub oracle: OracleConfig,
+    /// The cluster hosting the job's pods. Organic churn uses its
+    /// `pod_daily_failure_rate`, so scripted and organic failures compose.
+    pub cluster: ClusterConfig,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            runner: RunnerConfig::default(),
+            plan: FaultPlanConfig::default(),
+            oracle: OracleConfig::default(),
+            // Homogeneous nodes: placement-induced slowdown is scripted
+            // (StragglerWindow), not sampled, so runs stay interpretable.
+            cluster: ClusterConfig { slow_node_fraction: 0.0, ..ClusterConfig::default() },
+        }
+    }
+}
+
+/// Outcome of one chaos run: what happened plus the oracle's audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosReport {
+    /// Scheduled fault count in the plan.
+    pub plan_len: usize,
+    /// Faults that actually acted (a kill aimed at an already-dead target
+    /// is skipped, not counted).
+    pub faults_injected: u64,
+    /// Job completion time, µs of virtual time (None on OOM/deadline).
+    pub jct_us: Option<u64>,
+    /// Fault-free completion time of the same job, µs.
+    pub baseline_jct_us: u64,
+    /// Whether the job died of OOM (an oracle violation by itself).
+    pub oomed: bool,
+    /// Ground truth handed to the oracle.
+    pub truth: GroundTruth,
+    /// The invariant audit.
+    pub oracle: OracleReport,
+}
+
+/// A worker or PS pod the harness placed for the job.
+#[derive(Debug, Clone, Copy)]
+enum JobPod {
+    Worker,
+    Ps,
+}
+
+/// Fault-free reference run: same spec/allocation/config, no plan, no
+/// cluster. Returns the JCT (deadline-clamped when the job never ends).
+fn baseline_jct(
+    spec: &TrainingJobSpec,
+    alloc: ResourceAllocation,
+    cfg: &RunnerConfig,
+) -> SimDuration {
+    let mut master = JobMaster::new(0, spec.clone(), alloc, cfg.master);
+    master.set_telemetry(Telemetry::default());
+    while master.engine().now() < cfg.deadline {
+        for e in master.tick(cfg.profile_interval) {
+            if let MasterEvent::Completed(t) = e {
+                return t.saturating_since(SimTime::ZERO);
+            }
+        }
+        if master.engine().is_oomed() {
+            break;
+        }
+    }
+    cfg.deadline.saturating_since(SimTime::ZERO)
+}
+
+/// Runs one job under `plan`, recording everything (including
+/// [`EventKind::FaultInjected`] markers) into `telemetry`, and audits the
+/// stream with the oracle. See the module docs for how each fault kind is
+/// delivered.
+pub fn run_chaos_job(
+    spec: &TrainingJobSpec,
+    alloc: ResourceAllocation,
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+    telemetry: &Telemetry,
+) -> ChaosReport {
+    let baseline = baseline_jct(spec, alloc, &cfg.runner);
+    let streams = RngStreams::new(cfg.runner.seed);
+    let mut startup_rng = streams.stream("chaos-startup");
+    let mut organic_rng = streams.stream("chaos-organic");
+
+    let mut cluster = Cluster::new(cfg.cluster.clone(), &streams);
+    cluster.set_telemetry(telemetry.clone());
+    let mut master = JobMaster::new(0, spec.clone(), alloc, cfg.runner.master);
+    master.set_telemetry(telemetry.clone());
+    telemetry.record(SimTime::ZERO, EventKind::JobStarted { job: 0 });
+
+    let shape = alloc.shape;
+    let worker_spec = PodSpec {
+        resources: Resources::new(shape.worker_cpu, alloc.worker_mem_gb),
+        role: PodRole::Worker,
+        priority: Priority::Low,
+        job_id: 0,
+    };
+    let ps_spec = PodSpec {
+        resources: Resources::new(shape.ps_cpu, alloc.ps_mem_gb),
+        role: PodRole::ParameterServer,
+        priority: Priority::Low,
+        job_id: 0,
+    };
+
+    // Driver-side pod bookkeeping. `worker_pods` maps engine worker slots
+    // to cluster pods; `pending` holds replacement pods still starting up
+    // (ready time, id, what they will become).
+    let mut worker_pods: BTreeMap<usize, PodId> = BTreeMap::new();
+    let mut ps_pods: Vec<PodId> = Vec::new();
+    let mut ready_worker_pods: VecDeque<PodId> = VecDeque::new();
+    let mut pending: Vec<(SimTime, PodId, JobPod)> = Vec::new();
+    let mut organic: Vec<(SimTime, PodId)> = Vec::new();
+    let mut pressure_clears: Vec<(SimTime, usize)> = Vec::new();
+    let mut stragglers: Vec<(usize, SimTime, f64)> = Vec::new();
+    let mut network: Option<(SimTime, f64)> = None;
+    let mut burst_ends: Vec<(SimTime, PodId)> = Vec::new();
+    let mut node_recoveries: Vec<(SimTime, usize)> = Vec::new();
+    let mut faults_injected = 0u64;
+
+    // Place the initial gang at t0 and sample each pod's organic
+    // time-to-failure from the cluster's daily hazard.
+    let place_initial = |spec: PodSpec,
+                         cluster: &mut Cluster,
+                         organic: &mut Vec<(SimTime, PodId)>,
+                         rng: &mut dlrover_sim::StreamRng| {
+        let (id, _) = cluster.request_pod(spec, SimTime::ZERO).expect("initial pod fits a node");
+        if cluster.pod(id).map(|p| p.phase) == Some(PodPhase::Starting) {
+            cluster.mark_running(id, SimTime::ZERO);
+        }
+        if let Some(delay) = cluster.sample_pod_failure_delay(rng) {
+            organic.push((SimTime::ZERO + delay, id));
+        }
+        id
+    };
+    for idx in 0..master.engine().worker_slot_count() {
+        let id = place_initial(worker_spec, &mut cluster, &mut organic, &mut organic_rng);
+        worker_pods.insert(idx, id);
+    }
+    for _ in 0..master.engine().partitions().len() {
+        let id = place_initial(ps_spec, &mut cluster, &mut organic, &mut organic_rng);
+        ps_pods.push(id);
+    }
+
+    let mut plan_cursor = 0usize;
+    let mut oomed = false;
+    let mut jct: Option<SimDuration> = None;
+
+    while master.engine().now() < cfg.runner.deadline {
+        let now = master.engine().now();
+        // Keep the cluster's passive clock current so untimed entry points
+        // (fail_pod/fail_node) stamp their events at this tick — the
+        // oracle matches same-instant kill events to the injection marker.
+        cluster.advance_clock(now);
+
+        // 1. Replacement pods whose startup completed become Running; the
+        //    master materialises the matching engine worker in the same
+        //    tick (same ready time, same clock).
+        pending.retain(|&(ready, id, role)| {
+            if ready > now {
+                return true;
+            }
+            if cluster.pod(id).map(|p| p.phase) == Some(PodPhase::Pending) {
+                cluster.schedule_pending();
+            }
+            if cluster.pod(id).map(|p| p.phase) != Some(PodPhase::Starting) {
+                return true; // still unplaced (cluster full); retry next tick
+            }
+            cluster.mark_running(id, now);
+            if let Some(delay) = cluster.sample_pod_failure_delay(&mut organic_rng) {
+                organic.push((now + delay, id));
+            }
+            match role {
+                JobPod::Worker => ready_worker_pods.push_back(id),
+                JobPod::Ps => {}
+            }
+            false
+        });
+
+        // A worker kill: fail the cluster pod and the engine slot, then
+        // ask the master for a replacement (elastic recovery, §6.2).
+        macro_rules! kill_worker {
+            ($idx:expr, $pod:expr) => {{
+                cluster.fail_pod($pod);
+                worker_pods.remove(&$idx);
+                master.engine_mut().fail_worker($idx);
+                let startup =
+                    cfg.runner.startup.sample(cfg.runner.cluster_utilisation, &mut startup_rng);
+                master.replace_failed_worker(startup);
+                if let Ok((id, _)) = cluster.request_pod(worker_spec, now) {
+                    pending.push((now + startup, id, JobPod::Worker));
+                }
+            }};
+        }
+        // A PS kill: fail the pod, flash-restore onto a fresh pod at the
+        // same index (seamless migration, sub-second pause).
+        macro_rules! kill_ps {
+            ($idx:expr) => {{
+                cluster.fail_pod(ps_pods[$idx]);
+                let startup =
+                    cfg.runner.startup.sample(cfg.runner.cluster_utilisation, &mut startup_rng);
+                if let Ok((id, _)) = cluster.request_pod(ps_spec, now) {
+                    ps_pods[$idx] = id;
+                    pending.push((now + startup, id, JobPod::Ps));
+                }
+                master.handle_ps_failure($idx, startup);
+            }};
+        }
+
+        // Records the injection marker. MUST be called before the fault
+        // is delivered: the oracle matches recovery signals (same-instant
+        // WorkerFailed, subsequent WorkerAdded/PsReshaped) to the marker
+        // that precedes them.
+        macro_rules! mark {
+            ($fault:expr) => {{
+                telemetry.record(
+                    now,
+                    EventKind::FaultInjected {
+                        fault: faults_injected,
+                        kind: $fault.kind.name().to_string(),
+                        target: $fault.kind.target(),
+                    },
+                );
+                faults_injected += 1;
+            }};
+        }
+
+        // 2. Scripted faults due at this tick boundary. A kill aimed at an
+        //    already-empty population is skipped (no marker, not counted).
+        while plan_cursor < plan.events.len() && plan.events[plan_cursor].at <= now {
+            let fault = plan.events[plan_cursor];
+            plan_cursor += 1;
+            match fault.kind {
+                FaultKind::WorkerKill { worker } => {
+                    let live: Vec<(usize, PodId)> = worker_pods
+                        .iter()
+                        .filter(|(&i, _)| master.engine().worker_is_alive(i))
+                        .map(|(&i, &p)| (i, p))
+                        .collect();
+                    if !live.is_empty() {
+                        let (idx, pod) = live[worker as usize % live.len()];
+                        mark!(fault);
+                        kill_worker!(idx, pod);
+                    }
+                }
+                FaultKind::PsKill { ps } => {
+                    if !ps_pods.is_empty() {
+                        let idx = ps as usize % ps_pods.len();
+                        mark!(fault);
+                        kill_ps!(idx);
+                    }
+                }
+                FaultKind::NodeLoss { node } => {
+                    let n = node as usize % cfg.cluster.nodes.max(1);
+                    mark!(fault);
+                    let events = cluster.fail_node(dlrover_cluster::NodeId(n as u32));
+                    for e in &events {
+                        let ClusterEvent::PodFailed(pod) = e else { continue };
+                        if let Some((&idx, _)) = worker_pods.iter().find(|(_, &p)| p == *pod) {
+                            kill_worker!(idx, *pod);
+                        } else if let Some(idx) = ps_pods.iter().position(|&p| p == *pod) {
+                            kill_ps!(idx);
+                        }
+                    }
+                    node_recoveries.push((now + NODE_OUTAGE, n));
+                }
+                FaultKind::PreemptionBurst { pods } => {
+                    mark!(fault);
+                    let quarter = Resources {
+                        cpu_millis: cfg.cluster.node_capacity.cpu_millis / 4,
+                        mem_bytes: cfg.cluster.node_capacity.mem_bytes / 4,
+                    };
+                    for _ in 0..pods {
+                        let spec = PodSpec {
+                            resources: quarter,
+                            role: PodRole::Other,
+                            priority: Priority::High,
+                            job_id: u64::MAX,
+                        };
+                        let Ok((id, events)) = cluster.request_pod(spec, now) else { continue };
+                        for e in &events {
+                            let ClusterEvent::PodPreempted(pod) = e else { continue };
+                            if let Some((&idx, _)) = worker_pods.iter().find(|(_, &p)| p == *pod) {
+                                // Preemption is a kill from the job's
+                                // perspective; record it as one.
+                                master.engine_mut().fail_worker(idx);
+                                worker_pods.remove(&idx);
+                                let startup = cfg
+                                    .runner
+                                    .startup
+                                    .sample(cfg.runner.cluster_utilisation, &mut startup_rng);
+                                master.replace_failed_worker(startup);
+                                if let Ok((rid, _)) = cluster.request_pod(worker_spec, now) {
+                                    pending.push((now + startup, rid, JobPod::Worker));
+                                }
+                            } else if let Some(idx) = ps_pods.iter().position(|&p| p == *pod) {
+                                kill_ps!(idx);
+                            }
+                        }
+                        if cluster.pod(id).map(|p| p.phase) == Some(PodPhase::Starting) {
+                            cluster.mark_running(id, now);
+                            burst_ends.push((now + BURST_RESIDENCY, id));
+                        } else {
+                            // Not placeable even with preemption: give up
+                            // on this service pod rather than leak it.
+                            cluster.terminate_pod(id, PodPhase::Succeeded);
+                        }
+                    }
+                }
+                FaultKind::MemoryPressure { ps, headroom_permille, window } => {
+                    let count = master.engine().partitions().len();
+                    let idx = ps as usize % count.max(1);
+                    let used = master.engine().ps_memory_used();
+                    let alloc_b = master.engine().ps_memory_alloc();
+                    let headroom = alloc_b
+                        .get(idx)
+                        .copied()
+                        .unwrap_or(0)
+                        .saturating_sub(used.get(idx).copied().unwrap_or(0));
+                    let bytes = headroom / 1000 * u64::from(headroom_permille);
+                    if bytes > 0 {
+                        mark!(fault);
+                        master.engine_mut().set_ps_mem_pressure(idx, bytes);
+                        pressure_clears.push((now + window, idx));
+                    }
+                }
+                FaultKind::StragglerWindow { worker, speed_permille, window } => {
+                    let live: Vec<usize> = (0..master.engine().worker_slot_count())
+                        .filter(|&i| master.engine().worker_is_alive(i))
+                        .collect();
+                    if !live.is_empty() {
+                        let idx = live[worker as usize % live.len()];
+                        mark!(fault);
+                        stragglers.push((idx, now + window, f64::from(speed_permille) / 1000.0));
+                    }
+                }
+                FaultKind::NetworkDelay { factor_permille, window } => {
+                    mark!(fault);
+                    network = Some((now + window, 1000.0 / f64::from(factor_permille.max(1001))));
+                }
+            }
+        }
+
+        // 3. Organic churn due now: same kill machinery, no FaultInjected
+        //    marker (the oracle only deadline-checks scripted kills).
+        let due: Vec<PodId> =
+            organic.iter().filter(|&&(t, _)| t <= now).map(|&(_, id)| id).collect();
+        organic.retain(|&(t, _)| t > now);
+        for pod in due {
+            let alive = cluster.pod(pod).is_some_and(|p| !p.phase.is_terminal());
+            if !alive {
+                continue;
+            }
+            if let Some((&idx, _)) = worker_pods.iter().find(|(_, &p)| p == pod) {
+                if master.engine().worker_is_alive(idx) {
+                    kill_worker!(idx, pod);
+                }
+            } else if let Some(idx) = ps_pods.iter().position(|&p| p == pod) {
+                kill_ps!(idx);
+            }
+        }
+
+        // 4. Windowed effects: expire and (re)apply worker speeds.
+        pressure_clears.retain(|&(until, idx)| {
+            if until <= now {
+                master.engine_mut().set_ps_mem_pressure(idx, 0);
+                false
+            } else {
+                true
+            }
+        });
+        burst_ends.retain(|&(until, id)| {
+            if until <= now {
+                cluster.terminate_pod(id, PodPhase::Succeeded);
+                false
+            } else {
+                true
+            }
+        });
+        node_recoveries.retain(|&(until, n)| {
+            if until <= now {
+                cluster.recover_node(dlrover_cluster::NodeId(n as u32));
+                false
+            } else {
+                true
+            }
+        });
+        stragglers.retain(|&(_, until, _)| until > now);
+        let net_factor = match network {
+            Some((until, _)) if until <= now => {
+                network = None;
+                1.0
+            }
+            Some((_, f)) => f,
+            None => 1.0,
+        };
+        for idx in 0..master.engine().worker_slot_count() {
+            if !master.engine().worker_is_alive(idx) {
+                continue;
+            }
+            let straggle = stragglers
+                .iter()
+                .filter(|&&(i, _, _)| i == idx)
+                .map(|&(_, _, f)| f)
+                .fold(1.0, f64::min);
+            master.engine_mut().set_worker_pod(
+                idx,
+                PodState { cpu: shape.worker_cpu, speed: straggle * net_factor },
+            );
+        }
+
+        // 5. Advance the job one tick.
+        let events = master.tick(cfg.runner.profile_interval);
+        let mut done = false;
+        for e in events {
+            match e {
+                MasterEvent::Completed(t) => {
+                    jct = Some(t.saturating_since(SimTime::ZERO));
+                    done = true;
+                }
+                MasterEvent::Oomed(_) => {
+                    oomed = true;
+                    done = true;
+                }
+                _ => {}
+            }
+        }
+        // 6. Bind replacement workers the master just materialised to
+        //    their (already Running) cluster pods, in FIFO order.
+        for idx in 0..master.engine().worker_slot_count() {
+            if master.engine().worker_is_alive(idx) && !worker_pods.contains_key(&idx) {
+                if let Some(id) = ready_worker_pods.pop_front() {
+                    worker_pods.insert(idx, id);
+                }
+            }
+        }
+        if done {
+            break;
+        }
+    }
+    let end = master.engine().now();
+    telemetry.span_complete(SimTime::ZERO, end, SpanCategory::Job, "chaos", 0, None);
+
+    // Drain: release every pod the harness still holds. Anything left
+    // non-terminal (or any allocation still held) after this is a leak —
+    // exactly what the oracle's NoLeaks invariant flags.
+    for (_, id) in worker_pods {
+        cluster.terminate_pod(id, PodPhase::Succeeded);
+    }
+    for id in ps_pods {
+        cluster.terminate_pod(id, PodPhase::Succeeded);
+    }
+    for (_, id, _) in pending {
+        cluster.terminate_pod(id, PodPhase::Succeeded);
+    }
+    for (_, id) in burst_ends {
+        cluster.terminate_pod(id, PodPhase::Succeeded);
+    }
+    let leaked_pods = cluster.pods().filter(|p| !p.phase.is_terminal()).count() as u64;
+    let leaked = cluster.total_allocated();
+    let truth = GroundTruth {
+        total_samples: spec.total_samples,
+        samples_done: master.engine().samples_done(),
+        completed_at: master.completed_at(),
+        baseline_jct: baseline,
+        leaked_pods,
+        leaked_cpu_millis: leaked.cpu_millis,
+        leaked_mem_bytes: leaked.mem_bytes,
+    };
+    let snapshot = telemetry.snapshot();
+    let oracle = Oracle::new(cfg.oracle).check(plan, &snapshot.events, &truth);
+    ChaosReport {
+        plan_len: plan.len(),
+        faults_injected,
+        jct_us: jct.map(|d| d.as_micros()),
+        baseline_jct_us: baseline.as_micros(),
+        oomed,
+        truth,
+        oracle,
+    }
+}
+
+/// Generates `plans` fault plans from the config's seed and runs each one
+/// against a fresh copy of the same job. Returns one report per plan, in
+/// plan order. Each run gets its own telemetry sink; pass a callback to
+/// observe them (the bench harness aggregates per-invariant pass counts).
+pub fn run_chaos_suite(
+    spec: &TrainingJobSpec,
+    alloc: ResourceAllocation,
+    plans: u64,
+    cfg: &ChaosConfig,
+) -> Vec<(FaultPlan, ChaosReport)> {
+    let streams = RngStreams::new(cfg.runner.seed);
+    (0..plans)
+        .map(|i| {
+            let plan = FaultPlan::generate(&cfg.plan, &streams, i);
+            let telemetry = Telemetry::default();
+            let report = run_chaos_job(spec, alloc, &plan, cfg, &telemetry);
+            (plan, report)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrover_perfmodel::JobShape;
+    use dlrover_sim::{FaultEvent, FaultPlanConfig};
+
+    fn spec() -> TrainingJobSpec {
+        TrainingJobSpec::paper_default(20_000)
+    }
+
+    fn allocation() -> ResourceAllocation {
+        ResourceAllocation::new(JobShape::new(4, 2, 4.0, 4.0, 512), 8.0, 64.0)
+    }
+
+    #[test]
+    fn fault_free_plan_reduces_to_clean_run() {
+        let report = run_chaos_job(
+            &spec(),
+            allocation(),
+            &FaultPlan::default(),
+            &ChaosConfig::default(),
+            &Telemetry::default(),
+        );
+        assert_eq!(report.faults_injected, 0);
+        assert!(report.jct_us.is_some());
+        assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+        assert_eq!(report.truth.samples_done, report.truth.total_samples);
+        assert_eq!(report.truth.leaked_pods, 0);
+    }
+
+    #[test]
+    fn scripted_kills_recover_and_oracle_passes() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: SimTime::from_secs(120), kind: FaultKind::WorkerKill { worker: 1 } },
+            FaultEvent { at: SimTime::from_secs(240), kind: FaultKind::PsKill { ps: 0 } },
+            FaultEvent {
+                at: SimTime::from_secs(400),
+                kind: FaultKind::MemoryPressure {
+                    ps: 1,
+                    headroom_permille: 500,
+                    window: SimDuration::from_mins(4),
+                },
+            },
+        ]);
+        let telemetry = Telemetry::default();
+        let report =
+            run_chaos_job(&spec(), allocation(), &plan, &ChaosConfig::default(), &telemetry);
+        assert_eq!(report.faults_injected, 3);
+        assert!(!report.oomed);
+        assert!(report.jct_us.is_some());
+        assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+        assert!(report.oracle.worst_recovery_us.is_some(), "kills must produce recovery latencies");
+        // The faulted run may be slower than baseline but must complete.
+        assert_eq!(report.truth.samples_done, report.truth.total_samples);
+    }
+
+    #[test]
+    fn generated_suite_is_deterministic() {
+        let cfg = ChaosConfig {
+            plan: FaultPlanConfig { events: 3, ..FaultPlanConfig::default() },
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos_suite(&spec(), allocation(), 2, &cfg);
+        let b = run_chaos_suite(&spec(), allocation(), 2, &cfg);
+        assert_eq!(a, b, "same seed + same plans must replay identically");
+    }
+
+    #[test]
+    fn straggler_and_network_windows_slow_but_complete() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(90),
+                kind: FaultKind::StragglerWindow {
+                    worker: 0,
+                    speed_permille: 200,
+                    window: SimDuration::from_mins(5),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(180),
+                kind: FaultKind::NetworkDelay {
+                    factor_permille: 2000,
+                    window: SimDuration::from_mins(3),
+                },
+            },
+        ]);
+        let report = run_chaos_job(
+            &spec(),
+            allocation(),
+            &plan,
+            &ChaosConfig::default(),
+            &Telemetry::default(),
+        );
+        assert!(report.jct_us.is_some());
+        assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+        assert!(
+            report.jct_us.unwrap() >= report.baseline_jct_us,
+            "injected slowdown cannot make the job faster"
+        );
+    }
+}

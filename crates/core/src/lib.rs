@@ -38,10 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod runner;
 
 /// One-stop imports for applications and experiments.
 pub mod prelude {
+    pub use crate::chaos::{run_chaos_job, run_chaos_suite, ChaosConfig, ChaosReport};
     pub use crate::runner::{run_single_job, run_single_job_traced, RunReport, RunnerConfig};
     pub use dlrover_baselines::{EsPolicy, OptimusPolicy, StaticPolicy, WellTunedPolicy};
     pub use dlrover_brain::{ClusterBrain, ConfigDb, DlroverPolicy, DlroverPolicyConfig};

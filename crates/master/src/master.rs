@@ -512,6 +512,53 @@ impl JobMaster {
         self.scaling_count += 1;
     }
 
+    /// Requests a replacement for a failed worker: a fresh pod with the
+    /// allocation's worker shape joins after `startup` (the sampled pod
+    /// preparation latency). The dynamic sharding layer (§6.1) already
+    /// requeued the dead worker's shard, so no data handling is needed —
+    /// this is the master's half of the §6 recovery loop, driven by chaos
+    /// plans and organic pod failures alike.
+    pub fn replace_failed_worker(&mut self, startup: SimDuration) {
+        let pod = PodState::new(self.allocation.shape.worker_cpu);
+        let ready = self.engine.now() + startup;
+        self.pending_workers.push((ready, pod));
+        self.telemetry.count("master.worker_replacements", 1);
+    }
+
+    /// Recovers from a parameter-server pod failure mid-run via the
+    /// seamless path (§6.2): flash-checkpoint handoff to a fresh pod at
+    /// the same partition index, with the sub-second pause of Fig. 10
+    /// rather than a stop-and-restart round trip. `startup` is the new
+    /// pod's preparation latency (overlapped with degraded training in the
+    /// timeline). No-op for an out-of-range index.
+    pub fn handle_ps_failure(&mut self, ps: usize, startup: SimDuration) {
+        let mut partitions = self.engine.partitions().to_vec();
+        let Some(slot) = partitions.get_mut(ps) else { return };
+        slot.pod = PodState::new(self.allocation.shape.ps_cpu);
+        let mem = self.engine.ps_memory_alloc().to_vec();
+        let timeline = plan_ps_migration(
+            MigrationStrategy::Seamless,
+            self.checkpoint_bytes(),
+            startup,
+            &self.flash,
+            &self.rds,
+        );
+        self.record_migration_spans(&timeline, "ps-failure");
+        self.record_flash_checkpoint();
+        // The replacement pod lands on a fresh node: whatever interference
+        // was pressing on the dead pod does not follow it.
+        self.engine.set_ps_mem_pressure(ps, 0);
+        self.engine.reshape_ps(partitions, mem);
+        self.engine.pause(timeline.pause());
+        self.telemetry.count("master.ps_recoveries", 1);
+    }
+
+    /// Workers requested but not yet materialised (replacements and
+    /// scale-outs in their startup window).
+    pub fn pending_worker_count(&self) -> usize {
+        self.pending_workers.len()
+    }
+
     /// Applies a policy decision: reshapes workers and PSes with the
     /// decision's migration strategy. `startup` is the sampled pod startup
     /// latency for any *new* pods.
@@ -684,6 +731,57 @@ mod tests {
             }
         }
         None
+    }
+
+    #[test]
+    fn replaced_worker_joins_after_startup_and_job_finishes() {
+        let mut m = master(20_000, 4, 2, 8.0);
+        m.tick(DT);
+        m.engine_mut().fail_worker(0);
+        m.replace_failed_worker(SimDuration::from_secs(90));
+        assert_eq!(m.pending_worker_count(), 1);
+        assert_eq!(m.engine().workers().len(), 3);
+        // The replacement sits out its startup window, then joins on the
+        // first tick at or past ready time.
+        let mut joined_at_tick = None;
+        for i in 0..10 {
+            m.tick(DT);
+            if m.pending_worker_count() == 0 {
+                joined_at_tick = Some(i);
+                break;
+            }
+            assert_eq!(m.engine().workers().len(), 3, "early join at tick {i}");
+        }
+        let joined = joined_at_tick.expect("replacement joined");
+        assert!(joined >= 2, "90s startup must span at least three 30s ticks");
+        assert_eq!(m.engine().workers().len(), 4);
+        run_to_end(&mut m, 100_000).expect("completes");
+        assert_eq!(m.engine().samples_done(), m.engine().spec().total_samples);
+    }
+
+    #[test]
+    fn ps_failure_recovers_via_seamless_flash_restore() {
+        let mut m = master(20_000, 4, 2, 8.0);
+        m.set_telemetry(Telemetry::default());
+        for _ in 0..4 {
+            m.tick(DT);
+        }
+        assert!(m.completed_at().is_none(), "job must still be mid-flight");
+        let before = m.engine().partitions().len();
+        m.handle_ps_failure(0, SimDuration::from_secs(120));
+        // Same layout, fresh pod, sub-second flash pause: the engine is
+        // paused but not reshaped away.
+        assert_eq!(m.engine().partitions().len(), before);
+        assert_eq!(m.engine().throughput(), 0.0, "paused during flash handoff");
+        let events = m.telemetry().snapshot().events;
+        let count = |name: &str| events.iter().filter(|e| e.kind.name() == name).count();
+        assert_eq!(count("PsReshaped"), 1);
+        assert!(count("CheckpointSaved") >= 1);
+        assert_eq!(m.telemetry().counter("master.ps_recoveries"), 1);
+        // Out-of-range index is a no-op.
+        m.handle_ps_failure(99, SimDuration::from_secs(1));
+        run_to_end(&mut m, 100_000).expect("completes after PS loss");
+        assert_eq!(m.engine().samples_done(), m.engine().spec().total_samples);
     }
 
     #[test]

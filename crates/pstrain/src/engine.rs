@@ -114,6 +114,9 @@ pub struct PsTrainingEngine {
     partitions: Vec<PsPartition>,
     /// Memory allocation per PS, bytes.
     ps_mem_alloc: Vec<u64>,
+    /// External memory pressure per PS, bytes (chaos/interference
+    /// injection; empty means none).
+    mem_pressure: Vec<u64>,
     shards: ShardQueue,
     now: SimTime,
     pending_pause: SimDuration,
@@ -174,6 +177,7 @@ impl PsTrainingEngine {
             workers: Vec::new(),
             partitions,
             ps_mem_alloc,
+            mem_pressure: Vec::new(),
             shards: ckpt.shards,
             now: ckpt.at,
             pending_pause: SimDuration::ZERO,
@@ -287,6 +291,9 @@ impl PsTrainingEngine {
         assert_eq!(partitions.len(), ps_mem_alloc.len(), "per-PS memory required");
         self.partitions = partitions;
         self.ps_mem_alloc = ps_mem_alloc;
+        // Interference is per-slot, not per-layout: pressure follows the
+        // PS index across a reshape and vanishes for removed slots.
+        self.mem_pressure.truncate(self.partitions.len());
         self.events.push((self.now, EngineEvent::Reshaped));
         self.telemetry.record(self.now, EventKind::PsReshaped { ps: self.partitions.len() as u64 });
     }
@@ -375,7 +382,37 @@ impl PsTrainingEngine {
     pub fn ps_memory_used(&self) -> Vec<u64> {
         let emb = self.spec.memory.embedding_bytes(self.samples_done() as f64);
         let static_slice = self.spec.memory.static_bytes / self.partitions.len() as f64;
-        self.partitions.iter().map(|ps| (ps.share * emb + static_slice) as u64).collect()
+        self.partitions
+            .iter()
+            .enumerate()
+            .map(|(i, ps)| {
+                (ps.share * emb + static_slice) as u64
+                    + self.mem_pressure.get(i).copied().unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Injects external memory pressure on one PS pod: `bytes` of
+    /// co-located interference that count toward the pod's usage (and
+    /// therefore toward the OOM check and the §5.3 memory forecast) until
+    /// cleared with `bytes = 0`. No-op for an out-of-range index.
+    ///
+    /// Pressure is *not* part of the training state: checkpoints do not
+    /// carry it, and a restore starts pressure-free.
+    pub fn set_ps_mem_pressure(&mut self, idx: usize, bytes: u64) {
+        if idx >= self.partitions.len() {
+            return;
+        }
+        if self.mem_pressure.len() < self.partitions.len() {
+            self.mem_pressure.resize(self.partitions.len(), 0);
+        }
+        self.mem_pressure[idx] = bytes;
+    }
+
+    /// Current external memory pressure per PS, bytes (empty when none
+    /// was ever injected).
+    pub fn ps_mem_pressure(&self) -> &[u64] {
+        &self.mem_pressure
     }
 
     /// Per-PS memory allocations.
@@ -840,6 +877,49 @@ mod tests {
             (accumulated - done).abs() <= 4.0 + 1e-6,
             "slice sum {accumulated} vs accounted {done} (carry tolerance)"
         );
+    }
+
+    #[test]
+    fn memory_pressure_counts_toward_usage_and_oom() {
+        let mut e = engine(1000, 4, 2, 8.0);
+        e.advance(SLICE);
+        let base = e.ps_memory_used();
+        // Pressure shows up in usage and clears back out.
+        e.set_ps_mem_pressure(1, 7_000_000);
+        let pressed = e.ps_memory_used();
+        assert_eq!(pressed[0], base[0]);
+        assert_eq!(pressed[1], base[1] + 7_000_000);
+        e.set_ps_mem_pressure(1, 0);
+        assert_eq!(e.ps_memory_used(), base);
+        // Out-of-range injection is a no-op.
+        e.set_ps_mem_pressure(99, 1);
+        assert!(!e.is_oomed());
+        // Pressure past the allocation OOMs the PS on the next slice.
+        let alloc = e.ps_memory_alloc()[0];
+        e.set_ps_mem_pressure(0, alloc);
+        let progress = e.advance(SLICE);
+        assert_eq!(progress.oom_ps, Some(0));
+        assert!(e.is_oomed());
+    }
+
+    #[test]
+    fn memory_pressure_survives_reshape_but_not_restore() {
+        let mut e = engine(1000, 4, 2, 8.0);
+        e.advance(SLICE);
+        e.set_ps_mem_pressure(1, 5_000_000);
+        // Reshape to one PS: the pressured slot disappears with its slot.
+        let parts = AsyncCostModel::balanced_partitions(1, 8.0);
+        e.reshape_ps(parts, vec![256 * 1024 * 1024 * 1024u64]);
+        assert!(e.ps_mem_pressure().iter().all(|&b| b == 0));
+        // A checkpoint restore starts pressure-free.
+        e.set_ps_mem_pressure(0, 5_000_000);
+        let restored = PsTrainingEngine::from_checkpoint(
+            e.checkpoint(),
+            vec![PodState::new(8.0); 4],
+            AsyncCostModel::balanced_partitions(2, 8.0),
+            vec![256 * 1024 * 1024 * 1024u64; 2],
+        );
+        assert!(restored.ps_mem_pressure().is_empty());
     }
 
     #[test]

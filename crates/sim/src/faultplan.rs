@@ -1,0 +1,405 @@
+//! Deterministic fault plans: scripted chaos for the whole stack.
+//!
+//! The paper's fault-tolerance story (§6) is evaluated against live cloud
+//! churn — preempted pods, lost nodes, OOM-killed parameter servers,
+//! stragglers. To assert those properties *reproducibly* we script the
+//! churn instead: a [`FaultPlan`] is a virtual-time-ordered list of typed
+//! [`FaultEvent`]s, generated from [`RngStreams`](crate::RngStreams) so the
+//! same seed always yields the same plan, byte for byte.
+//!
+//! A plan is pure data. It does not know how faults are delivered; the
+//! chaos driver (in `dlrover-rm`'s `chaos` module) consumes events in order
+//! and translates each [`FaultKind`] into calls on the cluster, engine, and
+//! master. Target indices are *suggestions*: drivers resolve them modulo
+//! the live population at injection time, so a plan generated without
+//! knowledge of the job shape is still always applicable.
+//!
+//! All rate-like fields are integer permille (`1000 = 1.0`) rather than
+//! `f64` so plans are `Eq`/`Hash`-able and serialize identically across
+//! platforms.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::RngStreams;
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// One typed fault. Matches the failure taxonomy of §2.2/§6 of the paper:
+/// pod kills and preemption (Table 4's "process killed"), node loss,
+/// memory pressure leading to OOM (§5.3), stragglers (§5.1), and network
+/// slowdown (modelled as a fleet-wide throughput inflation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Kill one training worker pod. `worker` is resolved modulo the live
+    /// worker count at injection time.
+    WorkerKill {
+        /// Suggested worker index (resolved modulo live workers).
+        worker: u32,
+    },
+    /// Kill one parameter-server pod. Exercises the flash-restore path of
+    /// §6.2 (seamless migration with a sub-second pause).
+    PsKill {
+        /// Suggested PS index (resolved modulo the PS count).
+        ps: u32,
+    },
+    /// Fail a whole node: every resident pod dies at once, and the node
+    /// stays out of the pool for the driver's configured outage window.
+    NodeLoss {
+        /// Suggested node index (resolved modulo the node count).
+        node: u32,
+    },
+    /// A burst of high-priority service pods arrives and preempts
+    /// lower-priority training pods (§2.2's priority-scheduling churn).
+    PreemptionBurst {
+        /// Number of high-priority pods in the burst.
+        pods: u32,
+    },
+    /// Co-located memory interference on one PS: external allocations eat
+    /// into the pod's headroom for `window`, stressing the OOM predictor
+    /// of §5.3 (Eqn. 14's required-memory forecast).
+    MemoryPressure {
+        /// Suggested PS index (resolved modulo the PS count).
+        ps: u32,
+        /// Fraction of the PS's *free* headroom consumed, permille.
+        /// Bounded so the predictor has room to react (see
+        /// [`FaultPlanConfig::max_pressure_permille`]).
+        headroom_permille: u32,
+        /// How long the pressure persists.
+        window: SimDuration,
+    },
+    /// One worker runs slow for `window` (contended CPU, §5.1's straggler
+    /// regime).
+    StragglerWindow {
+        /// Suggested worker index (resolved modulo live workers).
+        worker: u32,
+        /// Relative speed during the window, permille of nominal
+        /// (`250` = runs at 25 % speed).
+        speed_permille: u32,
+        /// How long the slowdown persists.
+        window: SimDuration,
+    },
+    /// Fleet-wide network-delay inflation: every worker's effective speed
+    /// divides by `factor_permille / 1000` for `window` (models gRPC
+    /// round-trip inflation between workers and PSes).
+    NetworkDelay {
+        /// Delay inflation factor, permille (`2000` = RPCs take 2×,
+        /// ≥ 1000 by construction).
+        factor_permille: u32,
+        /// How long the inflation persists.
+        window: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// Stable short name, used in telemetry events and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::WorkerKill { .. } => "WorkerKill",
+            FaultKind::PsKill { .. } => "PsKill",
+            FaultKind::NodeLoss { .. } => "NodeLoss",
+            FaultKind::PreemptionBurst { .. } => "PreemptionBurst",
+            FaultKind::MemoryPressure { .. } => "MemoryPressure",
+            FaultKind::StragglerWindow { .. } => "StragglerWindow",
+            FaultKind::NetworkDelay { .. } => "NetworkDelay",
+        }
+    }
+
+    /// The suggested target index carried by the fault (pod/node count for
+    /// burst faults), for telemetry.
+    pub fn target(&self) -> u64 {
+        match self {
+            FaultKind::WorkerKill { worker } => u64::from(*worker),
+            FaultKind::PsKill { ps } => u64::from(*ps),
+            FaultKind::NodeLoss { node } => u64::from(*node),
+            FaultKind::PreemptionBurst { pods } => u64::from(*pods),
+            FaultKind::MemoryPressure { ps, .. } => u64::from(*ps),
+            FaultKind::StragglerWindow { worker, .. } => u64::from(*worker),
+            FaultKind::NetworkDelay { .. } => 0,
+        }
+    }
+
+    /// The fault's own duration (zero for instantaneous kills). Drivers
+    /// and oracles use this to budget the slowdown a plan may legitimately
+    /// cause.
+    pub fn window(&self) -> SimDuration {
+        match self {
+            FaultKind::MemoryPressure { window, .. }
+            | FaultKind::StragglerWindow { window, .. }
+            | FaultKind::NetworkDelay { window, .. } => *window,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// True for faults that kill at least one pod outright (and therefore
+    /// must be followed by a recovery within the oracle's deadline).
+    pub fn is_kill(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::WorkerKill { .. }
+                | FaultKind::PsKill { .. }
+                | FaultKind::NodeLoss { .. }
+                | FaultKind::PreemptionBurst { .. }
+        )
+    }
+}
+
+/// One scheduled fault: *when* plus *what*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Virtual time at which the fault fires. Drivers inject at the first
+    /// tick boundary at or after this instant.
+    pub at: SimTime,
+    /// The fault itself.
+    pub kind: FaultKind,
+}
+
+/// Knobs for [`FaultPlan::generate`]. Defaults produce plans that a
+/// healthy DLRover-RM job must survive: every fault is individually
+/// recoverable (kills are spaced, pressure is bounded below full headroom,
+/// slowdowns end).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlanConfig {
+    /// Number of fault events in the plan.
+    pub events: u32,
+    /// Faults are scheduled uniformly in `[warmup, horizon)`.
+    pub horizon: SimDuration,
+    /// No fault fires before this offset (lets the job profile a baseline).
+    pub warmup: SimDuration,
+    /// Upper bound on [`FaultKind::MemoryPressure`]'s `headroom_permille`.
+    /// Kept below 1000 so the OOM predictor (§5.3) always has a window in
+    /// which prevention is possible.
+    pub max_pressure_permille: u32,
+    /// Lower bound on straggler speed, permille (avoid fully-wedged
+    /// workers, which the paper treats as failures, not stragglers).
+    pub min_straggler_speed_permille: u32,
+    /// Upper bound on network-delay inflation, permille.
+    pub max_delay_factor_permille: u32,
+    /// Longest window for pressure/straggler/delay faults.
+    pub max_window: SimDuration,
+    /// Largest preemption burst, pods.
+    pub max_burst_pods: u32,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            events: 6,
+            horizon: SimDuration::from_mins(40),
+            warmup: SimDuration::from_mins(3),
+            max_pressure_permille: 600,
+            min_straggler_speed_permille: 150,
+            max_delay_factor_permille: 3000,
+            max_window: SimDuration::from_mins(6),
+            max_burst_pods: 4,
+        }
+    }
+}
+
+/// A complete, time-ordered fault script.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Events sorted by [`FaultEvent::at`] (stable for ties).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from unordered events (sorts stably by time).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// Generates plan number `index` from the experiment's named streams.
+    ///
+    /// Deterministic: the draw sequence depends only on
+    /// `(streams.seed(), index, cfg)`, never on ambient entropy, and each
+    /// `index` gets an independent stream so plan k is unchanged when more
+    /// plans are generated.
+    pub fn generate(cfg: &FaultPlanConfig, streams: &RngStreams, index: u64) -> Self {
+        let mut rng = streams.indexed_stream("fault-plan", index);
+        let span = cfg.horizon.as_micros().saturating_sub(cfg.warmup.as_micros()).max(1);
+        let mut events = Vec::with_capacity(cfg.events as usize);
+        for _ in 0..cfg.events {
+            let at = SimTime::from_micros(cfg.warmup.as_micros() + rng.gen_range(0..span));
+            let window = SimDuration::from_micros(
+                rng.gen_range(cfg.max_window.as_micros() / 8..=cfg.max_window.as_micros().max(1)),
+            );
+            let kind = match rng.gen_range(0u32..7) {
+                0 => FaultKind::WorkerKill { worker: rng.gen_range(0..16) },
+                1 => FaultKind::PsKill { ps: rng.gen_range(0..8) },
+                2 => FaultKind::NodeLoss { node: rng.gen_range(0..64) },
+                3 => FaultKind::PreemptionBurst {
+                    pods: rng.gen_range(1..=cfg.max_burst_pods.max(1)),
+                },
+                4 => FaultKind::MemoryPressure {
+                    ps: rng.gen_range(0..8),
+                    headroom_permille: rng
+                        .gen_range(100..=cfg.max_pressure_permille.clamp(100, 999)),
+                    window,
+                },
+                5 => FaultKind::StragglerWindow {
+                    worker: rng.gen_range(0..16),
+                    speed_permille: rng
+                        .gen_range(cfg.min_straggler_speed_permille.clamp(1, 999)..1000),
+                    window,
+                },
+                _ => FaultKind::NetworkDelay {
+                    factor_permille: rng.gen_range(1100..=cfg.max_delay_factor_permille.max(1101)),
+                    window,
+                },
+            };
+            events.push(FaultEvent { at, kind });
+        }
+        FaultPlan::from_events(events)
+    }
+
+    /// Checks structural well-formedness: sorted by time, all permille
+    /// fields in range, windows positive for windowed faults, bursts
+    /// non-empty. Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut prev = SimTime::ZERO;
+        for (i, e) in self.events.iter().enumerate() {
+            if e.at < prev {
+                return Err(format!("event {i} at {:?} out of order", e.at));
+            }
+            prev = e.at;
+            match e.kind {
+                FaultKind::PreemptionBurst { pods: 0 } => {
+                    return Err(format!("event {i}: empty preemption burst"));
+                }
+                FaultKind::MemoryPressure { headroom_permille, window, .. } => {
+                    if headroom_permille == 0 || headroom_permille >= 1000 {
+                        return Err(format!(
+                            "event {i}: pressure permille {headroom_permille} outside (0, 1000)"
+                        ));
+                    }
+                    if window.is_zero() {
+                        return Err(format!("event {i}: zero pressure window"));
+                    }
+                }
+                FaultKind::StragglerWindow { speed_permille, window, .. } => {
+                    if speed_permille == 0 || speed_permille >= 1000 {
+                        return Err(format!(
+                            "event {i}: straggler speed {speed_permille} outside (0, 1000)"
+                        ));
+                    }
+                    if window.is_zero() {
+                        return Err(format!("event {i}: zero straggler window"));
+                    }
+                }
+                FaultKind::NetworkDelay { factor_permille, window } => {
+                    if factor_permille <= 1000 {
+                        return Err(format!(
+                            "event {i}: delay factor {factor_permille} must exceed 1000"
+                        ));
+                    }
+                    if window.is_zero() {
+                        return Err(format!("event {i}: zero delay window"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last scheduled fault (`ZERO` for an empty plan).
+    pub fn horizon(&self) -> SimTime {
+        self.events.last().map(|e| e.at).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Total windowed-fault duration plus the last fault's offset — the
+    /// slowdown budget a plan can legitimately impose on a job. Oracles add
+    /// this to the baseline JCT when bounding completion time.
+    pub fn slowdown_budget(&self) -> SimDuration {
+        let windows: u64 = self.events.iter().map(|e| e.kind.window().as_micros()).sum();
+        SimDuration::from_micros(windows + self.horizon().as_micros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed_and_index() {
+        let cfg = FaultPlanConfig::default();
+        let a = FaultPlan::generate(&cfg, &RngStreams::new(7), 3);
+        let b = FaultPlan::generate(&cfg, &RngStreams::new(7), 3);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(&cfg, &RngStreams::new(8), 3);
+        let d = FaultPlan::generate(&cfg, &RngStreams::new(7), 4);
+        assert_ne!(a, c, "seed must perturb the plan");
+        assert_ne!(a, d, "index must perturb the plan");
+    }
+
+    #[test]
+    fn generated_plans_are_well_formed() {
+        let cfg = FaultPlanConfig { events: 40, ..FaultPlanConfig::default() };
+        for idx in 0..50 {
+            let plan = FaultPlan::generate(&cfg, &RngStreams::new(11), idx);
+            assert_eq!(plan.len(), 40);
+            plan.validate().expect("generated plan validates");
+            for e in &plan.events {
+                assert!(e.at >= SimTime::ZERO + cfg.warmup);
+                assert!(e.at < SimTime::ZERO + cfg.horizon);
+            }
+        }
+    }
+
+    #[test]
+    fn from_events_sorts_and_validate_rejects_malformed() {
+        let late =
+            FaultEvent { at: SimTime::from_secs(100), kind: FaultKind::WorkerKill { worker: 0 } };
+        let early = FaultEvent { at: SimTime::from_secs(5), kind: FaultKind::PsKill { ps: 1 } };
+        let plan = FaultPlan::from_events(vec![late, early]);
+        assert_eq!(plan.events[0], early);
+        plan.validate().expect("sorted plan validates");
+
+        let bad = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::NetworkDelay {
+                    factor_permille: 900,
+                    window: SimDuration::from_secs(10),
+                },
+            }],
+        };
+        assert!(bad.validate().is_err(), "sub-1000 delay factor must be rejected");
+    }
+
+    #[test]
+    fn slowdown_budget_counts_windows_and_horizon() {
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(60),
+                kind: FaultKind::StragglerWindow {
+                    worker: 0,
+                    speed_permille: 500,
+                    window: SimDuration::from_secs(30),
+                },
+            },
+            FaultEvent { at: SimTime::from_secs(10), kind: FaultKind::WorkerKill { worker: 1 } },
+        ]);
+        assert_eq!(plan.slowdown_budget(), SimDuration::from_secs(90));
+        assert_eq!(plan.horizon(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn plans_serialize_round_trip() {
+        let plan = FaultPlan::generate(&FaultPlanConfig::default(), &RngStreams::new(5), 0);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

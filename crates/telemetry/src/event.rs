@@ -220,6 +220,21 @@ pub enum EventKind {
         /// Job id.
         job: u64,
     },
+
+    // --- Chaos harness (sim::faultplan) ---
+    /// The chaos driver injected one scripted fault from a
+    /// [`FaultPlan`](dlrover_sim::FaultPlan). `kind` is the stable
+    /// [`FaultKind::name`](dlrover_sim::FaultKind::name) string and
+    /// `target` the resolved target index, so the oracle can match each
+    /// injection to the recovery that must follow it.
+    FaultInjected {
+        /// Position of the event in its plan.
+        fault: u64,
+        /// Stable fault-kind name (e.g. `"WorkerKill"`).
+        kind: String,
+        /// Resolved target index (worker/PS/node) or burst size.
+        target: u64,
+    },
 }
 
 /// Migration strategy, mirrored into the telemetry vocabulary (the crate
@@ -264,6 +279,7 @@ impl EventKind {
             EventKind::PlanSelected { .. } => "PlanSelected",
             EventKind::JobStarted { .. } => "JobStarted",
             EventKind::JobCompleted { .. } => "JobCompleted",
+            EventKind::FaultInjected { .. } => "FaultInjected",
         }
     }
 }

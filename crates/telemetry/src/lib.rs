@@ -25,11 +25,13 @@
 pub mod event;
 pub mod log;
 pub mod metrics;
+pub mod oracle;
 pub mod span;
 
 pub use event::{Event, EventKind, MigrationKind};
 pub use log::{diff_jsonl, EventLog, LogDiff, DEFAULT_EVENT_CAPACITY};
 pub use metrics::{Histogram, MetricsRegistry, SeriesPoint, TimeSeries};
+pub use oracle::{GroundTruth, Invariant, InvariantCheck, Oracle, OracleConfig, OracleReport};
 pub use span::{parse_spans_jsonl, Span, SpanCategory, SpanId, SpanLog, DEFAULT_SPAN_CAPACITY};
 
 use dlrover_sim::SimTime;

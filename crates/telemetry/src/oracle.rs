@@ -1,0 +1,551 @@
+//! System-wide invariant oracle for chaos runs.
+//!
+//! The oracle rides the structured event stream that every subsystem
+//! already emits and, given the [`FaultPlan`] that was injected plus a
+//! little ground truth from the driver, asserts the paper's §6
+//! fault-tolerance properties *as properties* rather than as hand-picked
+//! examples:
+//!
+//! * **Exactly-once** — dynamic data sharding (§6.1) never loses or
+//!   double-counts a sample, no matter which workers died when.
+//! * **No leaks** — every pod the driver created is terminal at the end
+//!   and the cluster's allocation accounting returns to zero.
+//! * **Checkpoint monotonicity** — flash-checkpoint steps (§6.3) never
+//!   regress except across an intervening failure, where a bounded
+//!   rollback to the last checkpoint is the contract.
+//! * **OOM reaction** — the memory predictor (§5.3, Eqn. 14) reacts to
+//!   injected memory pressure before the pod actually OOMs; an `Oomed`
+//!   event is by definition a missed deadline.
+//! * **Bounded slowdown** — the job still completes, within a
+//!   configurable multiple of its fault-free baseline plus the plan's own
+//!   slowdown budget.
+//! * **Recovery deadline** — every kill-type fault that hit a live pod is
+//!   followed by the matching recovery signal (replacement worker joined,
+//!   PS reshaped) within a deadline; latencies are reported so the bench
+//!   can track worst-case recovery.
+
+use dlrover_sim::{FaultPlan, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind};
+
+/// Oracle knobs. Defaults match the paper's operating regime: §2.2 puts
+/// pod preparation at 5–10 minutes (tail past 30 under scarcity), so half
+/// an hour is a generous-but-real recovery deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// How long after a kill-type fault the recovery signal must appear.
+    pub recovery_deadline: SimDuration,
+    /// Completion bound: `baseline × factor + plan budget × factor +
+    /// grace`.
+    pub slowdown_factor: f64,
+    /// Additive grace on the completion bound (absorbs startup draws).
+    pub slowdown_grace: SimDuration,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            recovery_deadline: SimDuration::from_mins(30),
+            slowdown_factor: 3.0,
+            slowdown_grace: SimDuration::from_hours(1),
+        }
+    }
+}
+
+/// Facts the event stream alone cannot witness, supplied by the chaos
+/// driver after the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Samples the job was asked to process.
+    pub total_samples: u64,
+    /// Samples the engine accounted as done at the end of the run.
+    pub samples_done: u64,
+    /// Completion instant, if the job finished.
+    pub completed_at: Option<SimTime>,
+    /// Fault-free JCT of the same job under the same seed.
+    pub baseline_jct: SimDuration,
+    /// Pods still non-terminal after the driver's final cleanup.
+    pub leaked_pods: u64,
+    /// Cluster CPU still accounted as allocated after cleanup, millicores.
+    pub leaked_cpu_millis: u64,
+    /// Cluster memory still accounted as allocated after cleanup, bytes.
+    pub leaked_mem_bytes: u64,
+}
+
+/// The invariant vocabulary. Order is the reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Invariant {
+    /// `samples_done == total_samples` on completion; never an overcount.
+    ExactlyOnce,
+    /// No pods or allocations survive the run.
+    NoLeaks,
+    /// Checkpoint steps only regress across a failure.
+    CheckpointMonotonic,
+    /// Memory pressure never ends in an actual OOM.
+    OomReaction,
+    /// The job completes within the slowdown bound.
+    BoundedSlowdown,
+    /// Kill-type faults recover within the deadline.
+    RecoveryDeadline,
+}
+
+impl Invariant {
+    /// All invariants, in reporting order.
+    pub const ALL: [Invariant; 6] = [
+        Invariant::ExactlyOnce,
+        Invariant::NoLeaks,
+        Invariant::CheckpointMonotonic,
+        Invariant::OomReaction,
+        Invariant::BoundedSlowdown,
+        Invariant::RecoveryDeadline,
+    ];
+
+    /// Stable short name, used as the JSON key in `results/chaos.json`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Invariant::ExactlyOnce => "exactly_once",
+            Invariant::NoLeaks => "no_leaks",
+            Invariant::CheckpointMonotonic => "checkpoint_monotonic",
+            Invariant::OomReaction => "oom_reaction",
+            Invariant::BoundedSlowdown => "bounded_slowdown",
+            Invariant::RecoveryDeadline => "recovery_deadline",
+        }
+    }
+}
+
+/// Verdict for one invariant on one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvariantCheck {
+    /// Which invariant.
+    pub invariant: Invariant,
+    /// Whether it held.
+    pub passed: bool,
+    /// Human-readable descriptions of each violation (empty when passed).
+    pub violations: Vec<String>,
+}
+
+/// Everything the oracle concluded about one chaos run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleReport {
+    /// One verdict per [`Invariant::ALL`] entry, in order.
+    pub checks: Vec<InvariantCheck>,
+    /// Fault-to-recovery latency for each recovered kill, microseconds.
+    pub recovery_latencies_us: Vec<u64>,
+    /// The worst recovery latency observed, microseconds.
+    pub worst_recovery_us: Option<u64>,
+    /// Pressure-injection-to-`OomPrevented` reaction latencies, µs.
+    pub oom_reactions_us: Vec<u64>,
+}
+
+impl OracleReport {
+    /// True when every invariant held.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Total violation count across invariants.
+    pub fn violation_count(&self) -> usize {
+        self.checks.iter().map(|c| c.violations.len()).sum()
+    }
+
+    /// All violation messages, prefixed with their invariant name.
+    pub fn violations(&self) -> Vec<String> {
+        self.checks
+            .iter()
+            .flat_map(|c| c.violations.iter().map(move |v| format!("{}: {v}", c.invariant.name())))
+            .collect()
+    }
+}
+
+/// The invariant checker. Stateless: one [`Oracle::check`] call audits one
+/// completed run from its event stream.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Oracle {
+    config: OracleConfig,
+}
+
+impl Oracle {
+    /// Builds an oracle with the given deadlines and bounds.
+    pub fn new(config: OracleConfig) -> Self {
+        Oracle { config }
+    }
+
+    /// Audits one run: `plan` is what was injected, `events` the full
+    /// telemetry event log (the driver must size the ring so nothing was
+    /// evicted), `truth` the driver's end-of-run facts.
+    pub fn check(&self, plan: &FaultPlan, events: &[Event], truth: &GroundTruth) -> OracleReport {
+        let mut checks = Vec::with_capacity(Invariant::ALL.len());
+        checks.push(self.check_exactly_once(truth));
+        checks.push(self.check_no_leaks(truth));
+        checks.push(self.check_checkpoint_monotonic(events));
+        let (oom_check, oom_reactions_us) = self.check_oom_reaction(events);
+        checks.push(oom_check);
+        checks.push(self.check_bounded_slowdown(plan, truth));
+        let (recovery_check, recovery_latencies_us) = self.check_recovery(events, truth);
+        checks.push(recovery_check);
+        let worst_recovery_us = recovery_latencies_us.iter().copied().max();
+        OracleReport { checks, recovery_latencies_us, worst_recovery_us, oom_reactions_us }
+    }
+
+    /// §6.1: dynamic sharding must account every sample exactly once.
+    fn check_exactly_once(&self, truth: &GroundTruth) -> InvariantCheck {
+        let mut violations = Vec::new();
+        if truth.samples_done > truth.total_samples {
+            violations.push(format!(
+                "overcount: {} samples done of {} total",
+                truth.samples_done, truth.total_samples
+            ));
+        }
+        if truth.completed_at.is_some() && truth.samples_done != truth.total_samples {
+            violations.push(format!(
+                "completed with {} of {} samples accounted",
+                truth.samples_done, truth.total_samples
+            ));
+        }
+        InvariantCheck {
+            invariant: Invariant::ExactlyOnce,
+            passed: violations.is_empty(),
+            violations,
+        }
+    }
+
+    fn check_no_leaks(&self, truth: &GroundTruth) -> InvariantCheck {
+        let mut violations = Vec::new();
+        if truth.leaked_pods > 0 {
+            violations.push(format!("{} pods non-terminal after cleanup", truth.leaked_pods));
+        }
+        if truth.leaked_cpu_millis > 0 || truth.leaked_mem_bytes > 0 {
+            violations.push(format!(
+                "cluster still accounts {}m CPU / {} bytes after cleanup",
+                truth.leaked_cpu_millis, truth.leaked_mem_bytes
+            ));
+        }
+        InvariantCheck { invariant: Invariant::NoLeaks, passed: violations.is_empty(), violations }
+    }
+
+    /// §6.3: flash-checkpoint steps move forward; a regression is legal
+    /// only when a failure fired since the previous checkpoint (restore
+    /// rolls back to the last saved step).
+    fn check_checkpoint_monotonic(&self, events: &[Event]) -> InvariantCheck {
+        let mut violations = Vec::new();
+        let mut last_step: Option<u64> = None;
+        let mut failure_since_last = false;
+        for e in events {
+            match &e.kind {
+                EventKind::WorkerFailed { .. }
+                | EventKind::PodFailed { .. }
+                | EventKind::PodPreempted { .. }
+                | EventKind::NodeFailed { .. }
+                | EventKind::FaultInjected { .. } => failure_since_last = true,
+                EventKind::CheckpointSaved { step, .. } => {
+                    if let Some(prev) = last_step {
+                        if *step < prev && !failure_since_last {
+                            violations.push(format!(
+                                "checkpoint step regressed {prev} -> {step} at t={}s with no \
+                                 intervening failure",
+                                e.at().as_secs_f64()
+                            ));
+                        }
+                    }
+                    last_step = Some(*step);
+                    failure_since_last = false;
+                }
+                _ => {}
+            }
+        }
+        InvariantCheck {
+            invariant: Invariant::CheckpointMonotonic,
+            passed: violations.is_empty(),
+            violations,
+        }
+    }
+
+    /// §5.3: the predictor's deadline is the OOM itself — prevention must
+    /// land first. Also measures pressure→prevention reaction latency.
+    fn check_oom_reaction(&self, events: &[Event]) -> (InvariantCheck, Vec<u64>) {
+        let mut violations = Vec::new();
+        let mut reactions = Vec::new();
+        let mut open_pressure: Vec<u64> = Vec::new(); // injection at_us, FIFO
+        for e in events {
+            match &e.kind {
+                EventKind::FaultInjected { kind, .. } if kind == "MemoryPressure" => {
+                    open_pressure.push(e.at_us);
+                }
+                EventKind::OomPrevented { .. } => {
+                    if let Some(at) = open_pressure.first().copied() {
+                        open_pressure.remove(0);
+                        reactions.push(e.at_us.saturating_sub(at));
+                    }
+                }
+                EventKind::Oomed { job, ps } => {
+                    violations.push(format!(
+                        "job {job} PS {ps} actually OOMed at t={}s (prevention missed its \
+                         deadline)",
+                        e.at().as_secs_f64()
+                    ));
+                }
+                _ => {}
+            }
+        }
+        (
+            InvariantCheck {
+                invariant: Invariant::OomReaction,
+                passed: violations.is_empty(),
+                violations,
+            },
+            reactions,
+        )
+    }
+
+    fn check_bounded_slowdown(&self, plan: &FaultPlan, truth: &GroundTruth) -> InvariantCheck {
+        let budget = plan.slowdown_budget() + truth.baseline_jct;
+        let bound_us = (budget.as_micros() as f64 * self.config.slowdown_factor) as u64
+            + self.config.slowdown_grace.as_micros();
+        let mut violations = Vec::new();
+        match truth.completed_at {
+            None => violations.push("job never completed under the plan".to_string()),
+            Some(at) => {
+                if at.as_micros() > bound_us {
+                    violations.push(format!(
+                        "completed at {:.0}s, bound was {:.0}s (baseline {:.0}s)",
+                        at.as_secs_f64(),
+                        bound_us as f64 / 1e6,
+                        truth.baseline_jct.as_secs_f64()
+                    ));
+                }
+            }
+        }
+        InvariantCheck {
+            invariant: Invariant::BoundedSlowdown,
+            passed: violations.is_empty(),
+            violations,
+        }
+    }
+
+    /// Kill-type faults must be followed by their recovery signal —
+    /// a `WorkerAdded` for each same-instant `WorkerFailed`, a
+    /// `PsReshaped` for a PS kill — within the deadline. Recovery is
+    /// waived when the job completed first (nothing left to recover).
+    fn check_recovery(&self, events: &[Event], truth: &GroundTruth) -> (InvariantCheck, Vec<u64>) {
+        let deadline = self.config.recovery_deadline.as_micros();
+        let mut violations = Vec::new();
+        let mut latencies = Vec::new();
+        // Index of the next not-yet-consumed WorkerAdded, for greedy
+        // one-to-one matching of kills to replacements (replacements
+        // materialize in request order, so greedy matching is exact).
+        let mut next_added = 0usize;
+        for (i, e) in events.iter().enumerate() {
+            let EventKind::FaultInjected { fault, kind, .. } = &e.kind else { continue };
+            let is_ps_kill = kind == "PsKill";
+            let is_kill = is_ps_kill
+                || kind == "WorkerKill"
+                || kind == "NodeLoss"
+                || kind == "PreemptionBurst";
+            if !is_kill {
+                continue;
+            }
+            let waived = truth
+                .completed_at
+                .map(|done| done.as_micros() <= e.at_us + deadline)
+                .unwrap_or(false);
+            // Count the workers this fault actually killed (driver emits
+            // them at the same instant, after the injection marker).
+            let killed = events[i + 1..]
+                .iter()
+                .take_while(|f| f.at_us == e.at_us)
+                .filter(|f| matches!(f.kind, EventKind::WorkerFailed { .. }))
+                .count();
+            for _ in 0..killed {
+                let found = events.iter().enumerate().skip(next_added.max(i)).find(|(_, f)| {
+                    f.at_us > e.at_us && matches!(f.kind, EventKind::WorkerAdded { .. })
+                });
+                match found {
+                    Some((j, f)) if f.at_us.saturating_sub(e.at_us) <= deadline => {
+                        latencies.push(f.at_us - e.at_us);
+                        next_added = j + 1;
+                    }
+                    _ if waived => {}
+                    _ => violations.push(format!(
+                        "fault {fault} ({kind}) at t={}s: no replacement worker within {}s",
+                        e.at().as_secs_f64(),
+                        self.config.recovery_deadline.as_secs_f64()
+                    )),
+                }
+            }
+            if is_ps_kill {
+                let reshaped =
+                    events[i + 1..].iter().find(|f| matches!(f.kind, EventKind::PsReshaped { .. }));
+                match reshaped {
+                    Some(f) if f.at_us.saturating_sub(e.at_us) <= deadline => {
+                        latencies.push(f.at_us.saturating_sub(e.at_us));
+                    }
+                    _ if waived => {}
+                    _ => violations.push(format!(
+                        "fault {fault} (PsKill) at t={}s: no PS reshape within {}s",
+                        e.at().as_secs_f64(),
+                        self.config.recovery_deadline.as_secs_f64()
+                    )),
+                }
+            }
+        }
+        (
+            InvariantCheck {
+                invariant: Invariant::RecoveryDeadline,
+                passed: violations.is_empty(),
+                violations,
+            },
+            latencies,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrover_sim::{FaultEvent, FaultKind};
+
+    fn ev(at_s: u64, seq: u64, kind: EventKind) -> Event {
+        Event { at_us: at_s * 1_000_000, seq, kind }
+    }
+
+    fn clean_truth() -> GroundTruth {
+        GroundTruth {
+            total_samples: 1000,
+            samples_done: 1000,
+            completed_at: Some(SimTime::from_secs(600)),
+            baseline_jct: SimDuration::from_secs(500),
+            leaked_pods: 0,
+            leaked_cpu_millis: 0,
+            leaked_mem_bytes: 0,
+        }
+    }
+
+    fn kill_plan() -> FaultPlan {
+        FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::from_secs(100),
+            kind: FaultKind::WorkerKill { worker: 0 },
+        }])
+    }
+
+    #[test]
+    fn clean_run_passes_every_invariant() {
+        let events = vec![
+            ev(100, 0, EventKind::FaultInjected { fault: 0, kind: "WorkerKill".into(), target: 1 }),
+            ev(100, 1, EventKind::WorkerFailed { worker: 1 }),
+            ev(130, 2, EventKind::WorkerAdded { worker: 3 }),
+            ev(200, 3, EventKind::CheckpointSaved { step: 50, bytes: 1 }),
+            ev(300, 4, EventKind::CheckpointSaved { step: 90, bytes: 1 }),
+            ev(600, 5, EventKind::JobCompleted { job: 0 }),
+        ];
+        let report = Oracle::default().check(&kill_plan(), &events, &clean_truth());
+        assert!(report.passed(), "violations: {:?}", report.violations());
+        assert_eq!(report.worst_recovery_us, Some(30_000_000));
+    }
+
+    #[test]
+    fn lost_samples_and_leaks_are_flagged() {
+        let truth = GroundTruth {
+            samples_done: 990,
+            leaked_pods: 2,
+            leaked_cpu_millis: 4000,
+            ..clean_truth()
+        };
+        let report = Oracle::default().check(&FaultPlan::default(), &[], &truth);
+        assert!(!report.passed());
+        let names: Vec<&str> =
+            report.checks.iter().filter(|c| !c.passed).map(|c| c.invariant.name()).collect();
+        assert!(names.contains(&"exactly_once"));
+        assert!(names.contains(&"no_leaks"));
+    }
+
+    #[test]
+    fn checkpoint_regression_needs_a_failure() {
+        let legal = vec![
+            ev(100, 0, EventKind::CheckpointSaved { step: 80, bytes: 1 }),
+            ev(150, 1, EventKind::WorkerFailed { worker: 0 }),
+            ev(200, 2, EventKind::CheckpointSaved { step: 75, bytes: 1 }),
+        ];
+        let report = Oracle::default().check(&FaultPlan::default(), &legal, &clean_truth());
+        assert!(report
+            .checks
+            .iter()
+            .all(|c| { c.invariant != Invariant::CheckpointMonotonic || c.passed }));
+
+        let illegal = vec![
+            ev(100, 0, EventKind::CheckpointSaved { step: 80, bytes: 1 }),
+            ev(200, 1, EventKind::CheckpointSaved { step: 75, bytes: 1 }),
+        ];
+        let report = Oracle::default().check(&FaultPlan::default(), &illegal, &clean_truth());
+        let ck =
+            report.checks.iter().find(|c| c.invariant == Invariant::CheckpointMonotonic).unwrap();
+        assert!(!ck.passed);
+    }
+
+    #[test]
+    fn an_actual_oom_is_a_missed_deadline() {
+        let events = vec![
+            ev(
+                100,
+                0,
+                EventKind::FaultInjected { fault: 0, kind: "MemoryPressure".into(), target: 0 },
+            ),
+            ev(160, 1, EventKind::Oomed { job: 0, ps: 0 }),
+        ];
+        let report = Oracle::default().check(&FaultPlan::default(), &events, &clean_truth());
+        let ck = report.checks.iter().find(|c| c.invariant == Invariant::OomReaction).unwrap();
+        assert!(!ck.passed);
+
+        let prevented = vec![
+            ev(
+                100,
+                0,
+                EventKind::FaultInjected { fault: 0, kind: "MemoryPressure".into(), target: 0 },
+            ),
+            ev(130, 1, EventKind::OomPrevented { job: 0, new_alloc_bytes: 1 }),
+        ];
+        let report = Oracle::default().check(&FaultPlan::default(), &prevented, &clean_truth());
+        assert!(report.passed(), "{:?}", report.violations());
+        assert_eq!(report.oom_reactions_us, vec![30_000_000]);
+    }
+
+    #[test]
+    fn missing_recovery_violates_unless_job_completed_first() {
+        let events = vec![
+            ev(100, 0, EventKind::FaultInjected { fault: 0, kind: "WorkerKill".into(), target: 1 }),
+            ev(100, 1, EventKind::WorkerFailed { worker: 1 }),
+        ];
+        // Job ran on for hours with no replacement: violation.
+        let truth = GroundTruth { completed_at: Some(SimTime::from_secs(36_000)), ..clean_truth() };
+        let report = Oracle::default().check(&kill_plan(), &events, &truth);
+        let ck = report.checks.iter().find(|c| c.invariant == Invariant::RecoveryDeadline).unwrap();
+        assert!(!ck.passed);
+
+        // Job completed 20s after the kill: recovery waived.
+        let truth = GroundTruth { completed_at: Some(SimTime::from_secs(120)), ..clean_truth() };
+        let report = Oracle::default().check(&kill_plan(), &events, &truth);
+        let ck = report.checks.iter().find(|c| c.invariant == Invariant::RecoveryDeadline).unwrap();
+        assert!(ck.passed);
+    }
+
+    #[test]
+    fn incomplete_job_fails_bounded_slowdown() {
+        let truth = GroundTruth { completed_at: None, samples_done: 400, ..clean_truth() };
+        let report = Oracle::default().check(&FaultPlan::default(), &[], &truth);
+        let ck = report.checks.iter().find(|c| c.invariant == Invariant::BoundedSlowdown).unwrap();
+        assert!(!ck.passed);
+        // Not an exactly-once violation: nothing was overcounted.
+        let eo = report.checks.iter().find(|c| c.invariant == Invariant::ExactlyOnce).unwrap();
+        assert!(eo.passed);
+    }
+
+    #[test]
+    fn report_serializes_deterministically() {
+        let report = Oracle::default().check(&kill_plan(), &[], &clean_truth());
+        let a = serde_json::to_string(&report).unwrap();
+        let b = serde_json::to_string(&report).unwrap();
+        assert_eq!(a, b);
+        let back: OracleReport = serde_json::from_str(&a).unwrap();
+        assert_eq!(back, report);
+    }
+}

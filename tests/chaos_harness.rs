@@ -1,0 +1,101 @@
+//! Property tests for the chaos harness: arbitrary well-formed fault
+//! plans must validate, and no plan drawn from the survivable envelope
+//! may break exactly-once sample accounting on a job that completes.
+
+use dlrover_rm::prelude::*;
+use dlrover_rm::sim::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
+use proptest::prelude::*;
+
+/// Strategy for one well-formed fault, drawn from the same survivable
+/// envelope as [`FaultPlan::generate`]'s defaults: kills are plain,
+/// pressure stays below the forecaster's reaction threshold (≤ 600 ‰ of
+/// free headroom, §5.3), stragglers keep ≥ 15 % speed, delay inflation
+/// caps at 3×, and every window is positive and bounded (≤ 6 min).
+fn kind_strategy() -> impl Strategy<Value = FaultKind> {
+    let window = (1_000_000u64..360_000_000).prop_map(SimDuration::from_micros);
+    prop_oneof![
+        (0u32..16).prop_map(|worker| FaultKind::WorkerKill { worker }),
+        (0u32..16).prop_map(|ps| FaultKind::PsKill { ps }),
+        (0u32..64).prop_map(|node| FaultKind::NodeLoss { node }),
+        (1u32..5).prop_map(|pods| FaultKind::PreemptionBurst { pods }),
+        ((0u32..16), (1u32..600), window.clone()).prop_map(|(ps, headroom_permille, window)| {
+            FaultKind::MemoryPressure { ps, headroom_permille, window }
+        }),
+        ((0u32..16), (150u32..1000), window.clone()).prop_map(
+            |(worker, speed_permille, window)| FaultKind::StragglerWindow {
+                worker,
+                speed_permille,
+                window,
+            }
+        ),
+        ((1001u32..3000), window).prop_map(|(factor_permille, window)| {
+            FaultKind::NetworkDelay { factor_permille, window }
+        }),
+    ]
+}
+
+/// Strategy for a whole plan: up to eight faults anywhere in the first
+/// 40 virtual minutes, in arbitrary draw order ([`FaultPlan::from_events`]
+/// sorts them).
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec(
+        ((0u64..2_400_000_000), kind_strategy())
+            .prop_map(|(at, kind)| FaultEvent { at: SimTime::from_micros(at), kind }),
+        0..8,
+    )
+    .prop_map(FaultPlan::from_events)
+}
+
+/// The job the accounting property throws plans at: long enough that the
+/// whole plan horizon lands mid-training.
+fn job() -> (TrainingJobSpec, ResourceAllocation) {
+    (
+        TrainingJobSpec::paper_default(20_000),
+        ResourceAllocation::new(JobShape::new(4, 2, 4.0, 4.0, 512), 8.0, 64.0),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every plan the strategy produces is structurally well-formed.
+    #[test]
+    fn arbitrary_plans_validate(plan in plan_strategy()) {
+        prop_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+    }
+
+    /// Generated plans (the harness's own generator) validate too, for
+    /// any seed and plan index.
+    #[test]
+    fn generated_plans_validate(seed in 0u64..1_000_000, index in 0u64..64) {
+        let plan =
+            FaultPlan::generate(&FaultPlanConfig::default(), &RngStreams::new(seed), index);
+        prop_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+        prop_assert!(!plan.is_empty());
+    }
+}
+
+proptest! {
+    // Each case runs a full chaos simulation; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Exactly-once under arbitrary survivable chaos: whatever the plan,
+    /// a job that completes has trained every sample exactly once, and
+    /// the oracle agrees.
+    #[test]
+    fn any_plan_preserves_exactly_once_accounting(plan in plan_strategy()) {
+        let (spec, alloc) = job();
+        let cfg = ChaosConfig::default();
+        let telemetry = Telemetry::default();
+        let report = run_chaos_job(&spec, alloc, &plan, &cfg, &telemetry);
+        prop_assert!(report.jct_us.is_some(), "job must complete under a survivable plan");
+        prop_assert_eq!(report.truth.samples_done, report.truth.total_samples);
+        prop_assert_eq!(report.truth.total_samples, spec.total_samples);
+        prop_assert!(!report.oomed);
+        prop_assert!(
+            report.oracle.passed(),
+            "oracle violations: {:?}",
+            report.oracle.violations()
+        );
+    }
+}

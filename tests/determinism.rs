@@ -150,6 +150,68 @@ fn telemetry_event_logs_differ_across_seeds() {
 }
 
 #[test]
+fn chaos_runs_are_byte_identical_per_seed_and_plan() {
+    use dlrover_rm::sim::{FaultPlan, FaultPlanConfig};
+    // Same seed + same fault plan ⇒ the chaos harness reproduces the
+    // *entire* observable history byte-for-byte: event log, span log, and
+    // the oracle's verdict. This is what lets CI diff `results/chaos.json`
+    // across machines.
+    let run = || {
+        let cfg = ChaosConfig::default();
+        let plan =
+            FaultPlan::generate(&FaultPlanConfig::default(), &RngStreams::new(cfg.runner.seed), 0);
+        let telemetry = Telemetry::default();
+        let report = run_chaos_job(
+            &TrainingJobSpec::paper_default(20_000),
+            ResourceAllocation::new(JobShape::new(4, 2, 4.0, 4.0, 512), 8.0, 64.0),
+            &plan,
+            &cfg,
+            &telemetry,
+        );
+        (telemetry.to_jsonl(), telemetry.spans_to_jsonl(), serde_json::to_string(&report).unwrap())
+    };
+    let (events_a, spans_a, report_a) = run();
+    let (events_b, spans_b, report_b) = run();
+    assert!(!events_a.is_empty(), "chaos run recorded no events");
+    assert!(!spans_a.is_empty(), "chaos run recorded no spans");
+    assert_eq!(events_a, events_b, "chaos event logs diverged across identical runs");
+    assert_eq!(spans_a, spans_b, "chaos span logs diverged across identical runs");
+    assert_eq!(report_a, report_b, "chaos reports diverged across identical runs");
+    assert!(dlrover_rm::telemetry::diff_jsonl(&events_a, &events_b, 10).is_empty());
+}
+
+#[test]
+fn chaos_event_logs_differ_across_plans() {
+    use dlrover_rm::sim::{FaultPlan, FaultPlanConfig};
+    // Different plan indices from the same seed draw different fault
+    // scripts, which must show up in the event stream — otherwise the
+    // injection hooks are dead code.
+    let run = |index| {
+        let cfg = ChaosConfig::default();
+        let plan = FaultPlan::generate(
+            &FaultPlanConfig::default(),
+            &RngStreams::new(cfg.runner.seed),
+            index,
+        );
+        let telemetry = Telemetry::default();
+        run_chaos_job(
+            &TrainingJobSpec::paper_default(20_000),
+            ResourceAllocation::new(JobShape::new(4, 2, 4.0, 4.0, 512), 8.0, 64.0),
+            &plan,
+            &cfg,
+            &telemetry,
+        );
+        telemetry.to_jsonl()
+    };
+    let a = run(0);
+    let b = run(1);
+    assert!(
+        !dlrover_rm::telemetry::diff_jsonl(&a, &b, 10).is_empty(),
+        "different fault plans should alter the event stream"
+    );
+}
+
+#[test]
 fn cluster_simulation_is_deterministic() {
     use dlrover_rm::cluster::{PodRole, PodSpec, Priority};
     let run = || {

@@ -157,6 +157,83 @@ fn flash_checkpoint_bounds_work_lost_to_failures() {
 }
 
 #[test]
+fn ps_failure_during_inflight_seamless_migration() {
+    use dlrover_rm::master::MasterEvent;
+    // A seamless PS widening (§6.2) is in flight — the migration pause has
+    // not yet drained — when one of the parameter servers dies. The
+    // flash-restore recovery path must compose with the pending migration:
+    // the job keeps the new layout, completes, and loses no data.
+    let spec = TrainingJobSpec::paper_default(5_000);
+    let total = spec.total_samples;
+    let alloc = ResourceAllocation::new(JobShape::new(4, 2, 4.0, 4.0, 512), 8.0, 64.0);
+    let mut m = JobMaster::new(1, spec, alloc, MasterConfig::default());
+    for _ in 0..10 {
+        m.tick(SLICE);
+    }
+    let target = ResourceAllocation::new(JobShape::new(4, 3, 4.0, 4.0, 512), 8.0, 64.0);
+    m.apply_decision(
+        PolicyDecision { allocation: target, strategy: MigrationStrategy::Seamless },
+        SimDuration::from_secs(45),
+    );
+    // The freshly added PS 2 fails while the migration pause is pending.
+    m.handle_ps_failure(2, SimDuration::from_secs(30));
+    let mut done = None;
+    for _ in 0..400_000 {
+        for ev in m.tick(SLICE) {
+            if let MasterEvent::Completed(t) = ev {
+                done = Some(t);
+            }
+        }
+        if done.is_some() {
+            break;
+        }
+    }
+    assert!(done.is_some(), "job completes despite PS loss mid-migration");
+    assert_eq!(m.engine().partitions().len(), 3, "migrated layout survives the failure");
+    assert_eq!(m.engine().samples_done(), total, "exactly-once accounting holds");
+    assert!(!m.engine().is_oomed());
+}
+
+#[test]
+fn node_loss_during_flash_checkpoint_falls_back_to_durable_tier() {
+    use dlrover_rm::pstrain::{FlashStore, RdsStore, TieredCheckpointer};
+    // The node hosting the flash cache dies while a checkpoint write is
+    // still in flight: the cached copy is gone and the asynchronous RDS
+    // flush has not landed yet, so nothing is restorable until `durable_at`
+    // — at which point recovery comes from the durable tier (§6.3).
+    let mut tiered = TieredCheckpointer::new(FlashStore::default(), RdsStore::default());
+    let t0 = SimTime::from_secs(1_000);
+    tiered.save(3_000, 20_000_000_000, t0);
+    let rec = tiered.latest.expect("record exists");
+    assert!(tiered.load(t0, false).is_none(), "mid-write crash: nothing restorable yet");
+    assert_eq!(tiered.lost_steps(3_100, t0, false), 3_100);
+    let (load, from_flash) = tiered.load(rec.durable_at, false).expect("durable copy lands");
+    assert!(!from_flash, "cache destroyed by node loss: restore must use RDS");
+    assert!(load > SimDuration::ZERO);
+    assert_eq!(tiered.lost_steps(3_100, rec.durable_at, false), 100);
+
+    // The quiesced engine checkpoint restored onto fresh pods (a different
+    // node) replays at most the in-flight shards and never skips data.
+    let mut e = engine(20_000, 4);
+    let total = e.spec().total_samples;
+    for _ in 0..40 {
+        e.advance(SLICE);
+    }
+    assert!(!e.is_complete());
+    let before = e.samples_done();
+    let ckpt = e.checkpoint();
+    let mut restored = PsTrainingEngine::from_checkpoint(
+        ckpt,
+        vec![PodState::new(8.0); 4],
+        AsyncCostModel::balanced_partitions(2, 8.0),
+        vec![256_000_000_000; 2],
+    );
+    assert!(restored.samples_done() <= before, "restore never skips data");
+    restored.run_to_completion(SLICE, FAR).expect("restored job completes");
+    assert_eq!(restored.samples_done(), total, "exactly-once accounting holds");
+}
+
+#[test]
 fn real_training_survives_total_worker_turnover() {
     // Every original worker is eventually replaced; the model still
     // converges and data accounting stays exact.
