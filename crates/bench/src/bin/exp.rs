@@ -14,7 +14,7 @@
 use std::path::{Path, PathBuf};
 
 use dlrover_bench::experiments as exp;
-use dlrover_bench::{chrome_trace_json, critpath_report};
+use dlrover_bench::{chrome_trace_json, critpath_report, results_dir};
 use dlrover_telemetry::{parse_spans_jsonl, Event};
 
 type Runner = (&'static str, &'static str, fn(u64) -> String);
@@ -37,6 +37,7 @@ const EXPERIMENTS: &[Runner] = &[
     ("table4", "failure rates before/after", exp::production::run_table4),
     ("ablations", "design-choice ablations", exp::ablations::run),
     ("chaos", "scripted fault plans vs the invariant oracle", exp::chaos::run),
+    ("resilience", "recovery latency + goodput retained per fault kind", exp::resilience::run),
 ];
 
 fn usage() -> ! {
@@ -75,7 +76,7 @@ fn resolve_artefact(arg: &str, suffix: &str) -> (String, PathBuf) {
             .unwrap_or_else(|| "trace".to_string());
         return (stem, p.to_path_buf());
     }
-    (arg.to_string(), PathBuf::from(format!("results/{arg}.{suffix}")))
+    (arg.to_string(), results_dir().join(format!("{arg}.{suffix}")))
 }
 
 /// True when the event kind `name` matches the `--filter` expression: a
@@ -97,11 +98,11 @@ fn chrome_command(arg: &str) -> ! {
         std::process::exit(2);
     });
     // The event log is optional garnish: instants on top of the spans.
-    let events_path = PathBuf::from(format!("results/{id}.trace.jsonl"));
+    let events_path = results_dir().join(format!("{id}.trace.jsonl"));
     let events: Vec<Event> = std::fs::read_to_string(&events_path)
         .map(|body| body.lines().filter_map(|l| serde_json::from_str(l).ok()).collect())
         .unwrap_or_default();
-    let out = PathBuf::from(format!("results/{id}.chrome.json"));
+    let out = results_dir().join(format!("{id}.chrome.json"));
     let json = chrome_trace_json(&spans, &events);
     std::fs::write(&out, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", out.display());
@@ -142,7 +143,7 @@ fn critpath_command(arg: &str) -> ! {
             tcp.dominant
         );
     }
-    let out = PathBuf::from(format!("results/{id}.critpath.json"));
+    let out = results_dir().join(format!("{id}.critpath.json"));
     if let Ok(body) = serde_json::to_string_pretty(&report) {
         let _ = std::fs::write(&out, body);
         println!("wrote {}", out.display());

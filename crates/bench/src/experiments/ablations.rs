@@ -226,9 +226,10 @@ mod tests {
     #[test]
     fn ablations_produce_expected_directions() {
         super::run(99);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/ablations.json").unwrap())
-                .unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("ablations.json")).unwrap(),
+        )
+        .unwrap();
         // Flash beats RDS by orders of magnitude at 20 GB.
         let ckpt = json["checkpoint"].as_array().unwrap();
         let twenty = ckpt.iter().find(|c| c["gb"] == 20).unwrap();

@@ -95,8 +95,10 @@ mod tests {
         let text = run_fig1a(0);
         // Extract the recorded range from the rendered line.
         assert!(text.contains("paper: 30%-48%"));
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig1a.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig1a.json")).unwrap(),
+        )
+        .unwrap();
         let lo = json["lookup_fraction_min"].as_f64().unwrap();
         let hi = json["lookup_fraction_max"].as_f64().unwrap();
         assert!(lo >= 0.25 && hi <= 0.55, "band [{lo}, {hi}] drifted");
@@ -106,8 +108,10 @@ mod tests {
     #[test]
     fn fig1b_reaches_multi_tb() {
         run_fig1b(0);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig1b.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig1b.json")).unwrap(),
+        )
+        .unwrap();
         let final_tb = json["final_tb"].as_f64().unwrap();
         assert!(final_tb > 2.3, "only {final_tb} TB after 15h");
         assert!(final_tb < 10.0, "implausibly large: {final_tb} TB");

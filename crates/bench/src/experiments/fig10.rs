@@ -118,8 +118,10 @@ mod tests {
     #[test]
     fn fig10_dlrover_ramps_fastest() {
         super::run(10);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig10.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig10.json")).unwrap(),
+        )
+        .unwrap();
         for row in json["rows"].as_array().unwrap() {
             let at = |key: &str, idx: usize| row[key].as_array().unwrap()[idx].as_f64().unwrap();
             let n = row["minutes"].as_array().unwrap().len();

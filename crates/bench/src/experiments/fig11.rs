@@ -104,8 +104,10 @@ mod tests {
     #[test]
     fn fig11_fit_recovers_coefficients() {
         super::run(11);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig11.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig11.json")).unwrap(),
+        )
+        .unwrap();
         assert!(json["fit_rmsle"].as_f64().unwrap() < 0.05);
         let c = &json["coefficients_paper_units"];
         // Recovered coefficients within 15 % of the planted values

@@ -260,9 +260,11 @@ mod tests {
     use crate::critpath::critical_path;
     use dlrover_telemetry::parse_spans_jsonl;
 
-    fn jcts(path: &str) -> (f64, f64, f64) {
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+    fn jcts(name: &str) -> (f64, f64, f64) {
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join(name)).unwrap(),
+        )
+        .unwrap();
         let rows = json["rows"].as_array().unwrap();
         (
             rows[0]["jct_min"].as_f64().unwrap(),
@@ -274,11 +276,13 @@ mod tests {
     #[test]
     fn fig12_ordering() {
         super::run_fig12(0);
-        let (noint, traditional, dlrover) = jcts("results/fig12.json");
+        let (noint, traditional, dlrover) = jcts("fig12.json");
         // The integrated job-master path must land in the same league as
         // the scripted seamless timeline.
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig12.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig12.json")).unwrap(),
+        )
+        .unwrap();
         let auto = json["rows"][3]["jct_min"].as_f64().unwrap();
         assert!(auto.is_finite());
         assert!(auto < traditional, "auto mitigation {auto} !< traditional {traditional}");
@@ -292,7 +296,7 @@ mod tests {
     #[test]
     fn fig13_ordering() {
         super::run_fig13(0);
-        let (noint, traditional, dlrover) = jcts("results/fig13.json");
+        let (noint, traditional, dlrover) = jcts("fig13.json");
         assert!(dlrover < traditional, "{dlrover} !< {traditional}");
         assert!(traditional < noint, "{traditional} !< {noint}");
         assert!(dlrover < 0.7 * noint, "sharding should save big: {dlrover} vs {noint}");

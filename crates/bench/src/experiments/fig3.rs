@@ -162,8 +162,10 @@ mod tests {
     fn fig3_shows_underutilisation() {
         let text = super::run(3);
         assert!(text.contains("below 50% CPU utilisation"));
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig3.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig3.json")).unwrap(),
+        )
+        .unwrap();
         assert!(json["below_half_cpu"].as_f64().unwrap() > 0.6);
     }
 }

@@ -179,8 +179,10 @@ mod tests {
     #[test]
     fn fig7_ordering_matches_paper() {
         super::run(7);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig7.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig7.json")).unwrap(),
+        )
+        .unwrap();
         for row in json["rows"].as_array().unwrap() {
             let d = row["dlrover_min"].as_f64().unwrap();
             let es = row["es_min"].as_f64().unwrap();

@@ -102,8 +102,10 @@ mod tests {
     #[test]
     fn fig8_convergence_parity() {
         super::run(8);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig8.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig8.json")).unwrap(),
+        )
+        .unwrap();
         for row in json["rows"].as_array().unwrap() {
             let s = row["static_auc"].as_f64().unwrap();
             let e = row["elastic_auc"].as_f64().unwrap();

@@ -178,8 +178,10 @@ mod tests {
     #[test]
     fn fig9_accuracy_and_scaling_reduction() {
         super::run(9);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig9.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig9.json")).unwrap(),
+        )
+        .unwrap();
         let w = json["mean_acc_workers"].as_f64().unwrap();
         let p = json["mean_acc_ps"].as_f64().unwrap();
         assert!(w > 0.8, "worker warm-start accuracy too low: {w}");

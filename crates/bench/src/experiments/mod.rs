@@ -13,6 +13,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleetstudy;
 pub mod production;
+pub mod resilience;
 pub mod table1;
 pub mod table2;
 

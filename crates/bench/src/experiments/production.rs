@@ -227,8 +227,10 @@ mod tests {
     #[test]
     fn fig14_utilisation_and_jcr_rise() {
         super::run_fig14(14);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig14.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig14.json")).unwrap(),
+        )
+        .unwrap();
         let months = json["months"].as_array().unwrap();
         let first = &months[0];
         let last = &months[12];
@@ -246,8 +248,10 @@ mod tests {
     #[test]
     fn fig15_jct_cuts() {
         super::run_fig15(15);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/fig15.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("fig15.json")).unwrap(),
+        )
+        .unwrap();
         for subset in json["subsets"].as_array().unwrap() {
             let med = subset["median_cut"].as_f64().unwrap();
             assert!(med > 0.0, "median JCT did not improve for {}: {med}", subset["subset"]);
@@ -257,8 +261,10 @@ mod tests {
     #[test]
     fn table4_failures_collapse() {
         super::run_table4(4);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/table4.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("table4.json")).unwrap(),
+        )
+        .unwrap();
         for row in json["rows"].as_array().unwrap() {
             let b = row["before"].as_f64().unwrap();
             let a = row["after"].as_f64().unwrap();

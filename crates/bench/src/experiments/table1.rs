@@ -98,8 +98,10 @@ mod tests {
     #[test]
     fn table1_shape_holds() {
         run(0);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/table1.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("table1.json")).unwrap(),
+        )
+        .unwrap();
         for key in ["wide_deep", "deepfm"] {
             let row = &json[key];
             assert!(

@@ -63,8 +63,10 @@ mod tests {
     #[test]
     fn table2_training_dominates_with_low_util() {
         super::run(2);
-        let json: serde_json::Value =
-            serde_json::from_str(&std::fs::read_to_string("results/table2.json").unwrap()).unwrap();
+        let json: serde_json::Value = serde_json::from_str(
+            &std::fs::read_to_string(crate::results_dir().join("table2.json")).unwrap(),
+        )
+        .unwrap();
         assert!(json["training_share"].as_f64().unwrap() > 0.7);
         let rows = json["rows"].as_array().unwrap();
         let training = rows.iter().find(|r| r["class"] == "Training").unwrap();

@@ -19,4 +19,4 @@ pub mod report;
 
 pub use chrome::{chrome_trace, chrome_trace_json};
 pub use critpath::{critical_path, critical_path_by_track, critpath_report, CritPath};
-pub use report::Report;
+pub use report::{results_dir, Report};

@@ -1,4 +1,5 @@
-//! Report plumbing: pretty tables on stdout + JSON rows under `results/`.
+//! Report plumbing: pretty tables on stdout + JSON rows under the
+//! workspace-root `results/` directory.
 
 use std::fmt::Display;
 use std::fs;
@@ -8,6 +9,15 @@ use dlrover_telemetry::{parse_spans_jsonl, Telemetry};
 use serde::Serialize;
 
 use crate::critpath::critpath_report;
+
+/// The canonical artefact directory: `<workspace root>/results`, resolved
+/// from this crate's manifest so it is identical no matter which directory
+/// `cargo run`/`cargo test` was invoked from. (Historically the relative
+/// `results/` path produced a second copy under `crates/bench/results/`
+/// whenever the harness ran with the crate as its working directory.)
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("results")
+}
 
 /// Collects one experiment's output.
 pub struct Report {
@@ -79,7 +89,7 @@ impl Report {
     pub fn finish(self) -> String {
         let text = self.lines.join("\n");
         println!("{text}");
-        let dir = PathBuf::from("results");
+        let dir = results_dir();
         if fs::create_dir_all(&dir).is_ok() {
             let path = dir.join(format!("{}.json", self.id));
             let _ = fs::write(

@@ -29,6 +29,11 @@ pub struct ReplanInput {
     pub remaining_samples: u64,
     /// The job's fitted resource–performance model.
     pub model: ThroughputModel,
+    /// The job's master reported degraded mode (failure budget drained or
+    /// scale-out repeatedly denied). Degraded jobs are held at their live
+    /// shape: handing them more resources they cannot reliably hold would
+    /// starve healthy jobs (§5.3's stability goal).
+    pub degraded: bool,
 }
 
 /// The cluster brain.
@@ -123,8 +128,13 @@ impl ClusterBrain {
     /// Cluster-level replanning: generates NSGA-II candidates per job and
     /// arbitrates them with weighted greedy under the free capacity.
     pub fn replan(&mut self, jobs: &[ReplanInput], free: ClusterCapacity) -> Vec<SelectedPlan> {
+        let held = jobs.iter().filter(|j| j.degraded).count() as u64;
+        if held > 0 {
+            self.telemetry.count("brain.degraded_jobs_held", held);
+        }
         let candidates: Vec<JobCandidates> = jobs
             .iter()
+            .filter(|j| !j.degraded)
             .map(|j| JobCandidates {
                 job_id: j.job_id,
                 current_cpu: j.current.total_cpu(),
@@ -218,12 +228,14 @@ mod tests {
                 current: small_alloc(),
                 remaining_samples: 10_000, // short job: high WG priority
                 model: truth_model(),
+                degraded: false,
             },
             ReplanInput {
                 job_id: 2,
                 current: small_alloc(),
                 remaining_samples: 10_000_000_000,
                 model: truth_model(),
+                degraded: false,
             },
         ];
         // Tight capacity: roughly one upgrade's worth.
@@ -246,6 +258,7 @@ mod tests {
                 current: small_alloc(),
                 remaining_samples: 1_000_000,
                 model: truth_model(),
+                degraded: false,
             })
             .collect();
         let picks = b.replan(&jobs, ClusterCapacity { cpu_cores: 1e6, mem_gb: 1e6 });
@@ -253,6 +266,32 @@ mod tests {
         for p in &picks {
             assert!(p.plan.throughput_gain > 0.0);
         }
+    }
+
+    #[test]
+    fn degraded_jobs_are_held_at_their_live_shape() {
+        let mut b = brain();
+        let jobs = vec![
+            ReplanInput {
+                job_id: 1,
+                current: small_alloc(),
+                remaining_samples: 10_000,
+                model: truth_model(),
+                degraded: true,
+            },
+            ReplanInput {
+                job_id: 2,
+                current: small_alloc(),
+                remaining_samples: 10_000,
+                model: truth_model(),
+                degraded: false,
+            },
+        ];
+        let picks = b.replan(&jobs, ClusterCapacity { cpu_cores: 1e6, mem_gb: 1e6 });
+        assert!(picks.iter().all(|p| p.job_id != 1), "degraded job must not be upgraded");
+        assert!(picks.iter().any(|p| p.job_id == 2), "healthy job still served");
+        let snap = b.telemetry().snapshot();
+        assert_eq!(snap.metrics.counter("brain.degraded_jobs_held"), 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! [`ClusterEvent`]s it caused so drivers can react (e.g. reschedule a
 //! preempted worker).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use dlrover_sim::{RngStreams, SimTime};
 use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
@@ -33,6 +33,16 @@ pub struct ClusterConfig {
     pub slow_node_speed: f64,
     /// Daily failure probability of a single pod (§2.2 reports 1.5 %/day).
     pub pod_daily_failure_rate: f64,
+    /// Pod failures on one node before the scheduler blacklists it for the
+    /// rest of the run (repeated failures on the same machine indicate bad
+    /// hardware, not bad pods — DLRover's controller cordons such nodes).
+    /// Correlated node-loss failures do not count; `0` disables the
+    /// blacklist.
+    pub node_blacklist_threshold: u32,
+}
+
+fn default_blacklist_threshold() -> u32 {
+    3
 }
 
 impl Default for ClusterConfig {
@@ -43,6 +53,7 @@ impl Default for ClusterConfig {
             slow_node_fraction: 0.15,
             slow_node_speed: 0.45,
             pod_daily_failure_rate: 0.015,
+            node_blacklist_threshold: default_blacklist_threshold(),
         }
     }
 }
@@ -52,6 +63,34 @@ impl Default for ClusterConfig {
 pub enum ScheduleError {
     /// The request exceeds even an empty node's capacity — it can never run.
     NeverSchedulable,
+}
+
+/// Why a schedulable pod is parked in the pending queue right now — the
+/// request-denial reason the master's degraded-mode fallback keys on
+/// (shrinking the ask only helps against capacity problems, not against a
+/// fully cordoned fleet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenialReason {
+    /// No healthy, non-blacklisted node has enough free capacity, but the
+    /// cluster-wide free pool could hold the request — fragmentation or
+    /// transient contention; worth retrying.
+    Contention,
+    /// Even the cluster-wide free pool cannot hold the request: capacity
+    /// is genuinely exhausted; a smaller ask may still fit.
+    CapacityExhausted,
+    /// The request would fit, but only on blacklisted or failed nodes.
+    NodesCordoned,
+}
+
+impl DenialReason {
+    /// Stable short name, for counters and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DenialReason::Contention => "contention",
+            DenialReason::CapacityExhausted => "capacity_exhausted",
+            DenialReason::NodesCordoned => "nodes_cordoned",
+        }
+    }
 }
 
 /// Things that happen inside the cluster as a result of a call.
@@ -79,6 +118,12 @@ pub struct Cluster {
     /// Last time a timed entry point saw; stamps events from untimed calls
     /// (the cluster itself is passive — time lives in the caller's queue).
     clock: SimTime,
+    /// Uncorrelated pod failures observed per node (node-loss casualties
+    /// excluded — those say nothing about the node coming back).
+    node_failures: BTreeMap<u32, u32>,
+    /// Nodes past the failure threshold: the placer never binds there
+    /// again this run.
+    blacklisted: BTreeSet<u32>,
 }
 
 impl Cluster {
@@ -101,6 +146,8 @@ impl Cluster {
             config,
             telemetry: Telemetry::default(),
             clock: SimTime::ZERO,
+            node_failures: BTreeMap::new(),
+            blacklisted: BTreeSet::new(),
         }
     }
 
@@ -228,6 +275,8 @@ impl Cluster {
             // A denial for now; `schedule_pending` may grant it later.
             self.telemetry.record(now, EventKind::PodPending { pod: id.0 });
             self.telemetry.count("cluster.denials", 1);
+            let reason = self.denial_reason(&spec.resources);
+            self.telemetry.count(&format!("cluster.denials.{}", reason.name()), 1);
         }
         Ok((id, events))
     }
@@ -264,14 +313,60 @@ impl Cluster {
         events
     }
 
-    /// Best-fit placement: the healthy node with the least free CPU that
-    /// still fits (keeps large holes for large pods).
+    /// Best-fit placement: the healthy, non-blacklisted node with the
+    /// least free CPU that still fits (keeps large holes for large pods).
     fn place(&self, req: &Resources) -> Option<NodeId> {
         self.nodes
             .iter()
-            .filter(|n| n.fits(req))
+            .filter(|n| n.fits(req) && !self.blacklisted.contains(&n.id.0))
             .min_by_key(|n| (n.free().cpu_millis, n.free().mem_bytes))
             .map(|n| n.id)
+    }
+
+    /// Why a request that fits *some* node shape is parked right now. See
+    /// [`DenialReason`]; callers use this to choose between backing off
+    /// (contention) and shrinking the ask (capacity exhausted).
+    pub fn denial_reason(&self, req: &Resources) -> DenialReason {
+        let cordoned_would_fit = self.nodes.iter().any(|n| {
+            (!n.healthy || self.blacklisted.contains(&n.id.0))
+                && n.capacity.saturating_sub(&n.allocated).fits(req)
+        });
+        let usable_free = self
+            .nodes
+            .iter()
+            .filter(|n| n.healthy && !self.blacklisted.contains(&n.id.0))
+            .fold(Resources::ZERO, |acc, n| acc + n.free());
+        if usable_free.fits(req) {
+            DenialReason::Contention
+        } else if cordoned_would_fit {
+            DenialReason::NodesCordoned
+        } else {
+            DenialReason::CapacityExhausted
+        }
+    }
+
+    /// Nodes currently blacklisted for repeated uncorrelated pod failures.
+    pub fn blacklisted_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.blacklisted.iter().map(|&n| NodeId(n))
+    }
+
+    /// Counts one uncorrelated pod failure against `node`; crossing the
+    /// configured threshold blacklists the node (permanently for this run)
+    /// and reports [`EventKind::NodeBlacklisted`].
+    fn note_node_failure(&mut self, node: NodeId) {
+        let threshold = self.config.node_blacklist_threshold;
+        if threshold == 0 || self.blacklisted.contains(&node.0) {
+            return;
+        }
+        let count = self.node_failures.entry(node.0).or_insert(0);
+        *count += 1;
+        if *count >= threshold {
+            let failures = *count;
+            self.blacklisted.insert(node.0);
+            self.telemetry
+                .record(self.clock, EventKind::NodeBlacklisted { node: node.0, failures });
+            self.telemetry.count("cluster.nodes_blacklisted", 1);
+        }
     }
 
     fn bind(&mut self, id: PodId, node_id: NodeId, events: &mut Vec<ClusterEvent>) {
@@ -292,7 +387,7 @@ impl Cluster {
         // and the evicted amount is smallest.
         let mut best: Option<(NodeId, u64)> = None;
         for node in &self.nodes {
-            if !node.healthy {
+            if !node.healthy || self.blacklisted.contains(&node.id.0) {
                 continue;
             }
             let evictable: Resources = self
@@ -447,7 +542,14 @@ impl Cluster {
         if !alive {
             return Vec::new();
         }
+        // Read the binding *before* detach nulls it: this failure counts
+        // against the node's blacklist threshold (node-loss casualties go
+        // through `fail_node` and deliberately bypass this).
+        let node = self.pods.get(&id).and_then(|p| p.node);
         self.detach(id, PodPhase::Failed);
+        if let Some(node) = node {
+            self.note_node_failure(node);
+        }
         self.pending.retain(|&p| p != id);
         let events = vec![ClusterEvent::PodFailed(id)];
         self.record_events(&events);
@@ -525,6 +627,7 @@ mod tests {
                 slow_node_fraction: 0.0,
                 slow_node_speed: 0.5,
                 pod_daily_failure_rate: 0.015,
+                ..ClusterConfig::default()
             },
             &streams(),
         )
@@ -731,6 +834,94 @@ mod tests {
         assert!(c.try_place_gang(&big, SimTime::from_secs(2)).is_none());
         assert_eq!(c.total_allocated(), before);
         assert_eq!(c.pod(parked).unwrap().phase, PodPhase::Pending);
+    }
+
+    /// ISSUE-4: repeated uncorrelated pod failures on one node blacklist
+    /// it; later placements avoid it even when it has the most free room.
+    #[test]
+    fn repeated_pod_failures_blacklist_the_node() {
+        let mut c = small_cluster();
+        let sink = Telemetry::default();
+        c.set_telemetry(sink.clone());
+        // Anchor a pod on node 1 so best-fit sends small pods to node 0.
+        let (anchor, ev) = c.request_pod(spec(6.0, 8.0, Priority::Low), SimTime::ZERO).unwrap();
+        let ClusterEvent::PodPlaced(_, bad_node) = ev[0] else { panic!() };
+        let _ = anchor;
+        // Fail three pods in a row on the same (fuller, best-fit) node.
+        for k in 0..3 {
+            let (id, ev) =
+                c.request_pod(spec(1.0, 1.0, Priority::Low), SimTime::from_secs(k)).unwrap();
+            let ClusterEvent::PodPlaced(_, n) = ev[0] else { panic!() };
+            assert_eq!(n, bad_node, "best-fit lands on the fuller node");
+            c.fail_pod(id);
+        }
+        assert_eq!(c.blacklisted_nodes().collect::<Vec<_>>(), vec![bad_node]);
+        let snap = sink.snapshot();
+        assert_eq!(
+            snap.events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::NodeBlacklisted { .. }))
+                .count(),
+            1,
+            "blacklisting reported exactly once"
+        );
+        // The next pod avoids the blacklisted node despite best fit.
+        let (_, ev) = c.request_pod(spec(1.0, 1.0, Priority::Low), SimTime::from_secs(10)).unwrap();
+        let ClusterEvent::PodPlaced(_, n) = ev[0] else { panic!() };
+        assert_ne!(n, bad_node, "blacklisted node must not receive pods");
+        // A fourth failure elsewhere does not re-report the same node.
+        assert_eq!(sink.snapshot().metrics.counters.get("cluster.nodes_blacklisted"), Some(&1));
+    }
+
+    /// Node-loss casualties are correlated failures: they must not count
+    /// toward the blacklist (the node comes back after its outage).
+    #[test]
+    fn node_loss_casualties_do_not_blacklist() {
+        let mut c = small_cluster();
+        for _ in 0..3 {
+            let (id, ev) = c.request_pod(spec(1.0, 1.0, Priority::Low), SimTime::ZERO).unwrap();
+            let ClusterEvent::PodPlaced(_, node) = ev[0] else { panic!() };
+            let _ = id;
+            c.fail_node(node);
+            c.recover_node(node);
+        }
+        assert_eq!(c.blacklisted_nodes().count(), 0, "correlated failures are exempt");
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_blacklist() {
+        let mut c = Cluster::new(
+            ClusterConfig { node_blacklist_threshold: 0, ..ClusterConfig::default() },
+            &streams(),
+        );
+        for k in 0..5 {
+            let (id, _) =
+                c.request_pod(spec(1.0, 1.0, Priority::Low), SimTime::from_secs(k)).unwrap();
+            c.fail_pod(id);
+        }
+        assert_eq!(c.blacklisted_nodes().count(), 0);
+    }
+
+    /// ISSUE-4: denial reasons distinguish contention, exhaustion, and
+    /// cordoned capacity.
+    #[test]
+    fn denial_reasons_classify_the_shortage() {
+        let mut c = small_cluster();
+        // Fragmentation: 2 nodes × 8 cores with 5 cores taken on each —
+        // 6 cores free in total but no node fits a 4-core pod... actually
+        // 3 free per node fits nothing above 3 cores.
+        for _ in 0..2 {
+            c.request_pod(spec(5.0, 8.0, Priority::Low), SimTime::ZERO).unwrap();
+        }
+        assert_eq!(c.denial_reason(&Resources::new(4.0, 8.0)), DenialReason::Contention);
+        // Exhaustion: ask for more than the whole free pool.
+        assert_eq!(c.denial_reason(&Resources::new(7.0, 8.0)), DenialReason::CapacityExhausted);
+        // Cordoned: fail a node; its capacity would fit the ask.
+        let mut c2 = small_cluster();
+        c2.fail_node(NodeId(0));
+        // Fill the surviving node.
+        c2.request_pod(spec(8.0, 8.0, Priority::Low), SimTime::ZERO).unwrap();
+        assert_eq!(c2.denial_reason(&Resources::new(4.0, 8.0)), DenialReason::NodesCordoned);
     }
 
     #[test]

@@ -284,10 +284,14 @@ pub fn drive_fleet_chaos(
                         }
                     }
                     // Engine-scoped kinds: the fleet driver has no
-                    // training engine to press on.
+                    // training engine to press on. Control-plane kinds
+                    // (denial storms, master crashes) likewise belong to
+                    // the job-level chaos runner, which owns a master.
                     FaultKind::MemoryPressure { .. }
                     | FaultKind::StragglerWindow { .. }
-                    | FaultKind::NetworkDelay { .. } => {}
+                    | FaultKind::NetworkDelay { .. }
+                    | FaultKind::DenialStorm { .. }
+                    | FaultKind::MasterCrash { .. } => {}
                 }
             }
             Ev::BurstEnd(pod) => {
@@ -449,6 +453,7 @@ mod tests {
                 slow_node_fraction: 1.0, // every node slow
                 slow_node_speed: 0.5,
                 pod_daily_failure_rate: 0.0,
+                ..ClusterConfig::default()
             },
             &RngStreams::new(1),
         );

@@ -148,7 +148,7 @@ pub struct FleetConfig {
     /// Kubernetes rejects anything bigger).
     pub max_pod: Resources,
     /// Probability that a running pod fails within a day (organic cloud
-    /// churn; §2.2 / Table 4). Flows into the [`ClusterConfig`] built by
+    /// churn; §2.2 / Table 4). Flows into the [`crate::ClusterConfig`] built by
     /// [`FleetConfig::cluster_config`], so fleet drivers and chaos plans
     /// share one hazard instead of hardcoding zero.
     pub pod_daily_failure_rate: f64,

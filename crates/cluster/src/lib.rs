@@ -31,7 +31,7 @@ pub mod pod;
 pub mod resources;
 pub mod startup;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterEvent, ScheduleError};
+pub use cluster::{Cluster, ClusterConfig, ClusterEvent, DenialReason, ScheduleError};
 pub use driver::{drive_fleet, drive_fleet_chaos, GangJob, GangOutcome};
 pub use fleet::{FleetConfig, FleetJob, FleetWorkload, JobClass};
 pub use node::{Node, NodeId};

@@ -8,8 +8,13 @@
 //! replacement/flash-restore paths (§6.2), node loss fails every resident
 //! pod at once, preemption bursts inject high-priority service pods
 //! (§2.2), memory pressure eats PS headroom to provoke the §5.3 OOM
-//! predictor (Eqn. 14), and straggler/network windows scale worker speeds
-//! the way §5.1's dynamic sharding is built to absorb.
+//! predictor (Eqn. 14), straggler/network windows scale worker speeds the
+//! way §5.1's dynamic sharding is built to absorb, a denial storm freezes
+//! admission while a filler fleet soaks the free pool (§5's contention
+//! regime — replacements go through the [`RetrySupervisor`] backoff path
+//! and fall back to the degraded shape when it exhausts), and a master
+//! crash rebuilds job state from an event-log replay
+//! ([`ReplayedJobState`], §6).
 //!
 //! Everything is virtual-time and seeded: the same
 //! `(seed, plan)` pair replays the same run byte-for-byte, which is what
@@ -21,7 +26,10 @@ use std::collections::VecDeque;
 use dlrover_cluster::{
     Cluster, ClusterConfig, ClusterEvent, PodId, PodPhase, PodRole, PodSpec, Priority, Resources,
 };
-use dlrover_master::{JobMaster, MasterEvent};
+use dlrover_master::{
+    JobHealth, JobMaster, MasterEvent, ReplayedJobState, RetryDecision, RetryPolicy,
+    RetrySupervisor,
+};
 use dlrover_optimizer::ResourceAllocation;
 use dlrover_pstrain::{PodState, TrainingJobSpec};
 use dlrover_sim::{FaultKind, FaultPlan, FaultPlanConfig, RngStreams, SimDuration, SimTime};
@@ -38,8 +46,26 @@ use crate::runner::RunnerConfig;
 const NODE_OUTAGE: SimDuration = SimDuration::from_mins(15);
 const BURST_RESIDENCY: SimDuration = SimDuration::from_mins(10);
 
+/// The driver's placement retry policy. Sized to outlast every legitimate
+/// denial window a generated plan can produce — 6-minute denial storms,
+/// 10-minute preemption-burst residencies, and overlapping pairs of
+/// either — while staying far under the oracle's `max_retry_attempts`
+/// bound (40) and exhausting early enough that the degraded-mode fallback
+/// still lands inside the 30-minute recovery deadline.
+fn driver_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        base: SimDuration::from_secs(5),
+        multiplier_permille: 2000,
+        jitter_permille: 250,
+        max_backoff: SimDuration::from_secs(60),
+        max_attempts: 24,
+        deadline: SimDuration::from_mins(25),
+    }
+}
+
 /// Chaos-run configuration: the single-job runner knobs plus the plan
-/// generator, oracle thresholds, and the cluster the job's pods live in.
+/// generator, oracle thresholds, retry policy, and the cluster the job's
+/// pods live in.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChaosConfig {
     /// Tick cadence, startup model, deadline, master knobs, seed.
@@ -48,6 +74,10 @@ pub struct ChaosConfig {
     pub plan: FaultPlanConfig,
     /// Invariant thresholds.
     pub oracle: OracleConfig,
+    /// Backoff policy for denied/parked replacement placements. When it
+    /// exhausts, the pod is released and the master degrades to the
+    /// surviving shape instead of retrying forever.
+    pub retry: RetryPolicy,
     /// The cluster hosting the job's pods. Organic churn uses its
     /// `pod_daily_failure_rate`, so scripted and organic failures compose.
     pub cluster: ClusterConfig,
@@ -59,6 +89,7 @@ impl Default for ChaosConfig {
             runner: RunnerConfig::default(),
             plan: FaultPlanConfig::default(),
             oracle: OracleConfig::default(),
+            retry: driver_retry_policy(),
             // Homogeneous nodes: placement-induced slowdown is scripted
             // (StragglerWindow), not sampled, so runs stay interpretable.
             cluster: ClusterConfig { slow_node_fraction: 0.0, ..ClusterConfig::default() },
@@ -80,17 +111,32 @@ pub struct ChaosReport {
     pub baseline_jct_us: u64,
     /// Whether the job died of OOM (an oracle violation by itself).
     pub oomed: bool,
+    /// Where the job ended on the Healthy → Degraded → Failed ladder.
+    pub health: JobHealth,
+    /// Master crash/replay cycles survived during the run.
+    pub master_restarts: u64,
     /// Ground truth handed to the oracle.
     pub truth: GroundTruth,
     /// The invariant audit.
     pub oracle: OracleReport,
 }
 
-/// A worker or PS pod the harness placed for the job.
+/// A worker or PS pod the harness placed for the job (PS pods carry their
+/// partition index so a late placement lands on the right slot).
 #[derive(Debug, Clone, Copy)]
 enum JobPod {
     Worker,
-    Ps,
+    Ps(usize),
+}
+
+/// A replacement the scheduler has not yet admitted: either the request
+/// is frozen by an active denial storm (`pod: None`) or the cluster
+/// parked the pod pending capacity (`pod: Some`). The retry supervisor
+/// paces further attempts.
+struct Parked {
+    op: String,
+    role: JobPod,
+    pod: Option<PodId>,
 }
 
 /// Fault-free reference run: same spec/allocation/config, no plan, no
@@ -130,6 +176,8 @@ pub fn run_chaos_job(
     let streams = RngStreams::new(cfg.runner.seed);
     let mut startup_rng = streams.stream("chaos-startup");
     let mut organic_rng = streams.stream("chaos-organic");
+    let mut retries =
+        RetrySupervisor::new(cfg.retry, streams.stream("chaos-retry"), telemetry.clone());
 
     let mut cluster = Cluster::new(cfg.cluster.clone(), &streams);
     cluster.set_telemetry(telemetry.clone());
@@ -152,18 +200,23 @@ pub fn run_chaos_job(
     };
 
     // Driver-side pod bookkeeping. `worker_pods` maps engine worker slots
-    // to cluster pods; `pending` holds replacement pods still starting up
-    // (ready time, id, what they will become).
+    // to cluster pods; `pending` holds placed replacement pods still
+    // starting up (ready time, id, what they will become); `parked` holds
+    // replacements the scheduler has not yet admitted.
     let mut worker_pods: BTreeMap<usize, PodId> = BTreeMap::new();
     let mut ps_pods: Vec<PodId> = Vec::new();
     let mut ready_worker_pods: VecDeque<PodId> = VecDeque::new();
     let mut pending: Vec<(SimTime, PodId, JobPod)> = Vec::new();
+    let mut parked: Vec<Parked> = Vec::new();
     let mut organic: Vec<(SimTime, PodId)> = Vec::new();
     let mut pressure_clears: Vec<(SimTime, usize)> = Vec::new();
     let mut stragglers: Vec<(usize, SimTime, f64)> = Vec::new();
     let mut network: Option<(SimTime, f64)> = None;
-    let mut burst_ends: Vec<(SimTime, PodId)> = Vec::new();
+    let mut service_pod_ends: Vec<(SimTime, PodId)> = Vec::new();
     let mut node_recoveries: Vec<(SimTime, usize)> = Vec::new();
+    let mut storm_until = SimTime::ZERO;
+    let mut replacement_seq = 0u64;
+    let mut master_restarts = 0u64;
     let mut faults_injected = 0u64;
 
     // Place the initial gang at t0 and sample each pod's organic
@@ -201,18 +254,16 @@ pub fn run_chaos_job(
         // oracle matches same-instant kill events to the injection marker.
         cluster.advance_clock(now);
 
-        // 1. Replacement pods whose startup completed become Running; the
-        //    master materialises the matching engine worker in the same
-        //    tick (same ready time, same clock).
+        // 1. Placed replacement pods whose startup completed become
+        //    Running; the master materialises the matching engine worker
+        //    in the same tick (same ready time, same clock).
         pending.retain(|&(ready, id, role)| {
+            let phase = cluster.pod(id).map(|p| p.phase);
+            if phase.is_none_or(|p| p.is_terminal()) {
+                return false; // killed while starting (e.g. node loss)
+            }
             if ready > now {
                 return true;
-            }
-            if cluster.pod(id).map(|p| p.phase) == Some(PodPhase::Pending) {
-                cluster.schedule_pending();
-            }
-            if cluster.pod(id).map(|p| p.phase) != Some(PodPhase::Starting) {
-                return true; // still unplaced (cluster full); retry next tick
             }
             cluster.mark_running(id, now);
             if let Some(delay) = cluster.sample_pod_failure_delay(&mut organic_rng) {
@@ -220,38 +271,86 @@ pub fn run_chaos_job(
             }
             match role {
                 JobPod::Worker => ready_worker_pods.push_back(id),
-                JobPod::Ps => {}
+                JobPod::Ps(idx) => {
+                    if idx < ps_pods.len() {
+                        ps_pods[idx] = id;
+                    }
+                }
             }
             false
         });
 
+        // Asks the scheduler for a replacement pod. Immediately-placeable
+        // requests take the fast path (the master learns of the
+        // replacement right away); denied or parked requests enter the
+        // retry supervisor's backoff loop, and the master only hears
+        // about the worker once a placement actually sticks — a denial
+        // storm therefore genuinely delays scale-out.
+        macro_rules! request_replacement {
+            ($role:expr) => {{
+                replacement_seq += 1;
+                let role: JobPod = $role;
+                let op = match role {
+                    JobPod::Worker => format!("replace-worker-{replacement_seq}"),
+                    JobPod::Ps(i) => format!("replace-ps{i}-{replacement_seq}"),
+                };
+                let pod_spec = match role {
+                    JobPod::Worker => worker_spec,
+                    JobPod::Ps(_) => ps_spec,
+                };
+                if now < storm_until {
+                    // Admission frozen: attempt 1 is denied on the spot;
+                    // the parked loop retries with backoff.
+                    let _ = retries.poll(&op, now);
+                    telemetry.count("chaos.storm_denials", 1);
+                    parked.push(Parked { op, role, pod: None });
+                } else {
+                    match cluster.request_pod(pod_spec, now) {
+                        Ok((id, _))
+                            if cluster.pod(id).map(|p| p.phase) == Some(PodPhase::Starting) =>
+                        {
+                            let startup = cfg
+                                .runner
+                                .startup
+                                .sample(cfg.runner.cluster_utilisation, &mut startup_rng);
+                            if matches!(role, JobPod::Worker) {
+                                master.replace_failed_worker(startup);
+                            }
+                            pending.push((now + startup, id, role));
+                        }
+                        Ok((id, _)) => {
+                            // Cluster parked it (capacity/cordon).
+                            let _ = retries.poll(&op, now);
+                            parked.push(Parked { op, role, pod: Some(id) });
+                        }
+                        Err(_) => {
+                            master.record_scale_denial();
+                        }
+                    }
+                }
+            }};
+        }
+
         // A worker kill: fail the cluster pod and the engine slot, then
-        // ask the master for a replacement (elastic recovery, §6.2).
+        // ask for a replacement (elastic recovery, §6.2).
         macro_rules! kill_worker {
             ($idx:expr, $pod:expr) => {{
                 cluster.fail_pod($pod);
                 worker_pods.remove(&$idx);
                 master.engine_mut().fail_worker($idx);
-                let startup =
-                    cfg.runner.startup.sample(cfg.runner.cluster_utilisation, &mut startup_rng);
-                master.replace_failed_worker(startup);
-                if let Ok((id, _)) = cluster.request_pod(worker_spec, now) {
-                    pending.push((now + startup, id, JobPod::Worker));
-                }
+                request_replacement!(JobPod::Worker);
             }};
         }
-        // A PS kill: fail the pod, flash-restore onto a fresh pod at the
-        // same index (seamless migration, sub-second pause).
+        // A PS kill: fail the pod and flash-restore the partition from
+        // its checkpoint (seamless migration, sub-second pause); the
+        // replacement pod follows through the normal placement path.
         macro_rules! kill_ps {
             ($idx:expr) => {{
                 cluster.fail_pod(ps_pods[$idx]);
                 let startup =
                     cfg.runner.startup.sample(cfg.runner.cluster_utilisation, &mut startup_rng);
-                if let Ok((id, _)) = cluster.request_pod(ps_spec, now) {
-                    ps_pods[$idx] = id;
-                    pending.push((now + startup, id, JobPod::Ps));
-                }
                 master.handle_ps_failure($idx, startup);
+                request_replacement!(JobPod::Ps($idx));
             }};
         }
 
@@ -275,6 +374,9 @@ pub fn run_chaos_job(
 
         // 2. Scripted faults due at this tick boundary. A kill aimed at an
         //    already-empty population is skipped (no marker, not counted).
+        //    A master crash ends the tick's fault delivery: anything else
+        //    due lands on the restarted master's first tick.
+        let mut crashed = false;
         while plan_cursor < plan.events.len() && plan.events[plan_cursor].at <= now {
             let fault = plan.events[plan_cursor];
             plan_cursor += 1;
@@ -292,8 +394,16 @@ pub fn run_chaos_job(
                     }
                 }
                 FaultKind::PsKill { ps } => {
-                    if !ps_pods.is_empty() {
-                        let idx = ps as usize % ps_pods.len();
+                    // Target only partitions whose cluster pod is live: a
+                    // kill aimed at a mid-recovery slot is skipped like
+                    // any other dead target.
+                    let live: Vec<usize> = (0..ps_pods.len())
+                        .filter(|&i| {
+                            cluster.pod(ps_pods[i]).is_some_and(|p| !p.phase.is_terminal())
+                        })
+                        .collect();
+                    if !live.is_empty() {
+                        let idx = live[ps as usize % live.len()];
                         mark!(fault);
                         kill_ps!(idx);
                     }
@@ -319,13 +429,15 @@ pub fn run_chaos_job(
                         mem_bytes: cfg.cluster.node_capacity.mem_bytes / 4,
                     };
                     for _ in 0..pods {
-                        let spec = PodSpec {
+                        let burst_spec = PodSpec {
                             resources: quarter,
                             role: PodRole::Other,
                             priority: Priority::High,
                             job_id: u64::MAX,
                         };
-                        let Ok((id, events)) = cluster.request_pod(spec, now) else { continue };
+                        let Ok((id, events)) = cluster.request_pod(burst_spec, now) else {
+                            continue;
+                        };
                         for e in &events {
                             let ClusterEvent::PodPreempted(pod) = e else { continue };
                             if let Some((&idx, _)) = worker_pods.iter().find(|(_, &p)| p == *pod) {
@@ -333,21 +445,14 @@ pub fn run_chaos_job(
                                 // perspective; record it as one.
                                 master.engine_mut().fail_worker(idx);
                                 worker_pods.remove(&idx);
-                                let startup = cfg
-                                    .runner
-                                    .startup
-                                    .sample(cfg.runner.cluster_utilisation, &mut startup_rng);
-                                master.replace_failed_worker(startup);
-                                if let Ok((rid, _)) = cluster.request_pod(worker_spec, now) {
-                                    pending.push((now + startup, rid, JobPod::Worker));
-                                }
+                                request_replacement!(JobPod::Worker);
                             } else if let Some(idx) = ps_pods.iter().position(|&p| p == *pod) {
                                 kill_ps!(idx);
                             }
                         }
                         if cluster.pod(id).map(|p| p.phase) == Some(PodPhase::Starting) {
                             cluster.mark_running(id, now);
-                            burst_ends.push((now + BURST_RESIDENCY, id));
+                            service_pod_ends.push((now + BURST_RESIDENCY, id));
                         } else {
                             // Not placeable even with preemption: give up
                             // on this service pod rather than leak it.
@@ -386,6 +491,104 @@ pub fn run_chaos_job(
                     mark!(fault);
                     network = Some((now + window, 1000.0 / f64::from(factor_permille.max(1001))));
                 }
+                FaultKind::DenialStorm { pods, window } => {
+                    mark!(fault);
+                    // Admission freeze for the job's replacement requests
+                    // plus a Low-priority filler fleet soaking the free
+                    // pool (co-tenant surge). Fillers that do not fit are
+                    // dropped, never parked.
+                    storm_until = storm_until.max(now + window);
+                    let quarter = Resources {
+                        cpu_millis: cfg.cluster.node_capacity.cpu_millis / 4,
+                        mem_bytes: cfg.cluster.node_capacity.mem_bytes / 4,
+                    };
+                    for _ in 0..pods {
+                        let filler = PodSpec {
+                            resources: quarter,
+                            role: PodRole::Other,
+                            priority: Priority::Low,
+                            job_id: u64::MAX,
+                        };
+                        let Ok((id, _)) = cluster.request_pod(filler, now) else { continue };
+                        if cluster.pod(id).map(|p| p.phase) == Some(PodPhase::Starting) {
+                            cluster.mark_running(id, now);
+                            service_pod_ends.push((now + window, id));
+                        } else {
+                            cluster.terminate_pod(id, PodPhase::Succeeded);
+                        }
+                    }
+                }
+                FaultKind::MasterCrash { restart } => {
+                    mark!(fault);
+                    // The master process dies with its in-memory state;
+                    // the telemetry event log is the durable store (§6).
+                    // Rebuild job state from a replay and resume at
+                    // `now + restart`.
+                    let replayed = ReplayedJobState::from_events(&telemetry.snapshot().events);
+                    let restart_at = now + restart;
+                    let mut rebuilt = JobMaster::from_replay(
+                        0,
+                        spec.clone(),
+                        alloc,
+                        cfg.runner.master,
+                        &replayed,
+                        restart_at,
+                    );
+                    rebuilt.set_telemetry(telemetry.clone());
+                    master = rebuilt;
+                    telemetry.record(
+                        restart_at,
+                        EventKind::MasterRestarted {
+                            job: 0,
+                            samples_done: replayed.samples_done,
+                            workers: replayed.live_workers.len() as u32,
+                        },
+                    );
+                    telemetry.count("chaos.master_restarts", 1);
+                    master_restarts += 1;
+                    // In-flight worker replacement intents died with the
+                    // old master; release their pods and re-request any
+                    // deficit through the fresh one. PS placements stay:
+                    // they carry their partition index.
+                    pending.retain(|&(_, id, role)| match role {
+                        JobPod::Worker => {
+                            cluster.terminate_pod(id, PodPhase::Succeeded);
+                            false
+                        }
+                        JobPod::Ps(_) => true,
+                    });
+                    parked.retain(|p| match p.role {
+                        JobPod::Worker => {
+                            if let Some(id) = p.pod {
+                                cluster.terminate_pod(id, PodPhase::Succeeded);
+                            }
+                            false
+                        }
+                        JobPod::Ps(_) => true,
+                    });
+                    for id in ready_worker_pods.drain(..) {
+                        cluster.terminate_pod(id, PodPhase::Succeeded);
+                    }
+                    // Re-adopt surviving bound pods onto the rebuilt
+                    // engine's slots in index order.
+                    let bound: Vec<PodId> = worker_pods.values().copied().collect();
+                    worker_pods.clear();
+                    let slots = master.engine().worker_slot_count();
+                    for (i, id) in bound.into_iter().enumerate() {
+                        if i < slots {
+                            worker_pods.insert(i, id);
+                        } else {
+                            cluster.terminate_pod(id, PodPhase::Succeeded);
+                        }
+                    }
+                    for _ in slots..shape.workers as usize {
+                        request_replacement!(JobPod::Worker);
+                    }
+                    crashed = true;
+                }
+            }
+            if crashed {
+                break;
             }
         }
 
@@ -417,7 +620,7 @@ pub fn run_chaos_job(
                 true
             }
         });
-        burst_ends.retain(|&(until, id)| {
+        service_pod_ends.retain(|&(until, id)| {
             if until <= now {
                 cluster.terminate_pod(id, PodPhase::Succeeded);
                 false
@@ -457,6 +660,64 @@ pub fn run_chaos_job(
             );
         }
 
+        // 4b. Parked replacements: the retry supervisor paces placement
+        //     attempts; exhaustion releases the pod and degrades the
+        //     master to the surviving shape instead of retrying forever.
+        let mut still_parked = Vec::new();
+        for mut p in parked.drain(..) {
+            match retries.poll(&p.op, now) {
+                RetryDecision::Wait => still_parked.push(p),
+                RetryDecision::Exhausted => {
+                    if let Some(id) = p.pod {
+                        cluster.terminate_pod(id, PodPhase::Succeeded);
+                    }
+                    master.record_scale_denial();
+                    telemetry.count("chaos.replacements_abandoned", 1);
+                }
+                RetryDecision::Attempt(_) => {
+                    if now < storm_until {
+                        // Admission frozen: the attempt is denied outright.
+                        telemetry.count("chaos.storm_denials", 1);
+                        still_parked.push(p);
+                        continue;
+                    }
+                    if p.pod.is_none() {
+                        p.pod = cluster
+                            .request_pod(
+                                match p.role {
+                                    JobPod::Worker => worker_spec,
+                                    JobPod::Ps(_) => ps_spec,
+                                },
+                                now,
+                            )
+                            .ok()
+                            .map(|(id, _)| id);
+                    }
+                    let Some(id) = p.pod else {
+                        master.record_scale_denial();
+                        continue;
+                    };
+                    if cluster.pod(id).map(|x| x.phase) == Some(PodPhase::Pending) {
+                        cluster.schedule_pending();
+                    }
+                    if cluster.pod(id).map(|x| x.phase) == Some(PodPhase::Starting) {
+                        retries.succeed(&p.op);
+                        let startup = cfg
+                            .runner
+                            .startup
+                            .sample(cfg.runner.cluster_utilisation, &mut startup_rng);
+                        if matches!(p.role, JobPod::Worker) {
+                            master.replace_failed_worker(startup);
+                        }
+                        pending.push((now + startup, id, p.role));
+                    } else {
+                        still_parked.push(p);
+                    }
+                }
+            }
+        }
+        parked = still_parked;
+
         // 5. Advance the job one tick.
         let events = master.tick(cfg.runner.profile_interval);
         let mut done = false;
@@ -470,8 +731,21 @@ pub fn run_chaos_job(
                     oomed = true;
                     done = true;
                 }
+                MasterEvent::SilentWorker(idx) => {
+                    // The master already failed the zombie engine slot
+                    // and re-queued its shard; the driver fails the
+                    // still-Running cluster pod and requests a
+                    // replacement through the normal path.
+                    if let Some(pod) = worker_pods.remove(&idx) {
+                        cluster.fail_pod(pod);
+                    }
+                    request_replacement!(JobPod::Worker);
+                }
                 _ => {}
             }
+        }
+        if master.health() == JobHealth::Failed {
+            done = true; // terminal: no feasible shape remains
         }
         // 6. Bind replacement workers the master just materialised to
         //    their (already Running) cluster pods, in FIFO order.
@@ -498,10 +772,18 @@ pub fn run_chaos_job(
     for id in ps_pods {
         cluster.terminate_pod(id, PodPhase::Succeeded);
     }
+    for id in ready_worker_pods {
+        cluster.terminate_pod(id, PodPhase::Succeeded);
+    }
     for (_, id, _) in pending {
         cluster.terminate_pod(id, PodPhase::Succeeded);
     }
-    for (_, id) in burst_ends {
+    for p in parked {
+        if let Some(id) = p.pod {
+            cluster.terminate_pod(id, PodPhase::Succeeded);
+        }
+    }
+    for (_, id) in service_pod_ends {
         cluster.terminate_pod(id, PodPhase::Succeeded);
     }
     let leaked_pods = cluster.pods().filter(|p| !p.phase.is_terminal()).count() as u64;
@@ -523,6 +805,8 @@ pub fn run_chaos_job(
         jct_us: jct.map(|d| d.as_micros()),
         baseline_jct_us: baseline.as_micros(),
         oomed,
+        health: master.health(),
+        master_restarts,
         truth,
         oracle,
     }
@@ -577,6 +861,7 @@ mod tests {
         assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
         assert_eq!(report.truth.samples_done, report.truth.total_samples);
         assert_eq!(report.truth.leaked_pods, 0);
+        assert_eq!(report.health, JobHealth::Healthy);
     }
 
     #[test]
@@ -648,5 +933,157 @@ mod tests {
             report.jct_us.unwrap() >= report.baseline_jct_us,
             "injected slowdown cannot make the job faster"
         );
+    }
+
+    #[test]
+    fn denial_storm_defers_replacement_then_recovers() {
+        // A worker dies mid-storm: the replacement must wait out the
+        // freeze behind backoff, then place, and the run still satisfies
+        // every invariant (including no-retry-storm).
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(100),
+                kind: FaultKind::DenialStorm { pods: 8, window: SimDuration::from_secs(240) },
+            },
+            FaultEvent { at: SimTime::from_secs(130), kind: FaultKind::WorkerKill { worker: 0 } },
+        ]);
+        let telemetry = Telemetry::default();
+        let report =
+            run_chaos_job(&spec(), allocation(), &plan, &ChaosConfig::default(), &telemetry);
+        assert_eq!(report.faults_injected, 2);
+        assert!(report.jct_us.is_some(), "job must complete after the storm lifts");
+        assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+        assert_eq!(report.truth.samples_done, report.truth.total_samples);
+        let snap = telemetry.snapshot();
+        let worst_attempt = snap
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::RetryAttempt { attempt, .. } => Some(*attempt),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(worst_attempt >= 2, "the freeze must force at least one backed-off retry");
+        assert!(snap.metrics.counter("chaos.storm_denials") >= 1);
+        assert_eq!(report.health, JobHealth::Healthy, "storm outlasted, no degradation needed");
+    }
+
+    #[test]
+    fn master_crash_failover_preserves_exactly_once() {
+        // Kill a worker, crash the master mid-run, then kill a PS after
+        // the restart: the replayed master must resume at the acked
+        // watermark and the whole stream must satisfy all eight
+        // invariants — exactly-once and checkpoint monotonicity included.
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: SimTime::from_secs(120), kind: FaultKind::WorkerKill { worker: 1 } },
+            FaultEvent {
+                at: SimTime::from_secs(300),
+                kind: FaultKind::MasterCrash { restart: SimDuration::from_secs(60) },
+            },
+            FaultEvent { at: SimTime::from_secs(500), kind: FaultKind::PsKill { ps: 0 } },
+        ]);
+        let telemetry = Telemetry::default();
+        let report =
+            run_chaos_job(&spec(), allocation(), &plan, &ChaosConfig::default(), &telemetry);
+        assert_eq!(report.faults_injected, 3);
+        assert_eq!(report.master_restarts, 1);
+        assert!(report.jct_us.is_some(), "job must complete across the failover");
+        assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+        assert_eq!(
+            report.truth.samples_done, report.truth.total_samples,
+            "exactly-once accounting must hold across the failover"
+        );
+        let snap = telemetry.snapshot();
+        let restarted = snap.events.iter().find_map(|e| match &e.kind {
+            EventKind::MasterRestarted { samples_done, .. } => Some(*samples_done),
+            _ => None,
+        });
+        let watermark = restarted.expect("failover must record MasterRestarted");
+        assert!(watermark > 0, "crash at t=300s must replay a non-zero sample watermark");
+        assert!(watermark < report.truth.total_samples);
+    }
+
+    #[test]
+    fn retry_exhaustion_degrades_instead_of_looping() {
+        // A storm longer than the retry deadline: the replacement's
+        // backoff exhausts, the master falls back to the surviving shape,
+        // and the degraded job still finishes the dataset — with the
+        // oracle happy because degradation waives the recovery deadline.
+        let cfg = ChaosConfig {
+            retry: RetryPolicy {
+                base: SimDuration::from_secs(10),
+                jitter_permille: 0,
+                max_attempts: 3,
+                deadline: SimDuration::from_mins(2),
+                ..driver_retry_policy()
+            },
+            ..ChaosConfig::default()
+        };
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(100),
+                kind: FaultKind::DenialStorm { pods: 4, window: SimDuration::from_mins(8) },
+            },
+            FaultEvent { at: SimTime::from_secs(130), kind: FaultKind::WorkerKill { worker: 0 } },
+        ]);
+        let telemetry = Telemetry::default();
+        let report = run_chaos_job(&spec(), allocation(), &plan, &cfg, &telemetry);
+        assert_eq!(report.health, JobHealth::Degraded);
+        assert!(report.jct_us.is_some(), "degraded job keeps training on the surviving shape");
+        assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+        assert_eq!(report.truth.samples_done, report.truth.total_samples);
+        let snap = telemetry.snapshot();
+        assert!(
+            snap.events.iter().any(|e| matches!(e.kind, EventKind::RetryExhausted { .. })),
+            "the backoff sequence must exhaust"
+        );
+        assert!(
+            snap.events.iter().any(|e| matches!(e.kind, EventKind::JobDegraded { .. })),
+            "exhaustion must degrade the job"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use dlrover_perfmodel::JobShape;
+    use dlrover_sim::FaultEvent;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// ISSUE-4 satellite: no denial-storm plan — whatever its filler
+        /// fleet, window, or kill timing — may drive the driver past the
+        /// oracle's retry-attempt bound.
+        #[test]
+        fn storm_plans_never_trip_the_retry_storm_invariant(
+            pods in 1u32..64,
+            window_s in 30u64..360,
+            kill_offset_s in 0u64..300,
+        ) {
+            let plan = FaultPlan::from_events(vec![
+                FaultEvent {
+                    at: SimTime::from_secs(60),
+                    kind: FaultKind::DenialStorm {
+                        pods,
+                        window: SimDuration::from_secs(window_s),
+                    },
+                },
+                FaultEvent {
+                    at: SimTime::from_secs(60 + kill_offset_s),
+                    kind: FaultKind::WorkerKill { worker: 0 },
+                },
+            ]);
+            let spec = TrainingJobSpec::paper_default(20_000);
+            let alloc =
+                ResourceAllocation::new(JobShape::new(4, 2, 4.0, 4.0, 512), 8.0, 64.0);
+            let report = run_chaos_job(
+                &spec, alloc, &plan, &ChaosConfig::default(), &Telemetry::default(),
+            );
+            prop_assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+            prop_assert_eq!(report.truth.samples_done, report.truth.total_samples);
+        }
     }
 }

@@ -23,7 +23,13 @@
 pub mod master;
 pub mod policy;
 pub mod profiler;
+pub mod replay;
+pub mod resilience;
 
 pub use master::{JobMaster, MasterConfig, MasterEvent};
 pub use policy::{PolicyDecision, SchedulerPolicy};
 pub use profiler::{JobRuntimeProfile, Profiler};
+pub use replay::ReplayedJobState;
+pub use resilience::{
+    BudgetLedger, FailureBudget, JobHealth, RetryDecision, RetryPolicy, RetrySupervisor,
+};

@@ -17,9 +17,9 @@
 
 use dlrover_optimizer::ResourceAllocation;
 use dlrover_pstrain::{
-    plan_ps_migration, plan_ps_migration_pause, AsyncCostModel, CheckpointStore, FlashStore,
-    MigrationStrategy, MigrationTimeline, PodState, PsTrainingEngine, RdsStore, TimelineSegment,
-    TrainingJobSpec,
+    plan_ps_migration, plan_ps_migration_pause, AsyncCostModel, CheckpointStore, EngineCheckpoint,
+    FlashStore, MigrationStrategy, MigrationTimeline, PodState, PsTrainingEngine, RdsStore,
+    ShardQueue, TimelineSegment, TrainingJobSpec,
 };
 use dlrover_sim::{SimDuration, SimTime};
 use dlrover_telemetry::{EventKind, MigrationKind, SpanCategory, Telemetry};
@@ -27,6 +27,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::policy::PolicyDecision;
 use crate::profiler::{JobRuntimeProfile, Profiler};
+use crate::replay::ReplayedJobState;
+use crate::resilience::{BudgetLedger, FailureBudget, JobHealth};
 
 /// Master configuration knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,6 +49,13 @@ pub struct MasterConfig {
     /// A PS counts as hot when its per-unit-capacity load exceeds the
     /// mean by this factor (share/(cpu·speed) ratio).
     pub hot_ps_factor: f64,
+    /// Heartbeat staleness past which a live worker counts as hung (§6.1
+    /// liveness detection). Healthy workers heartbeat every tick, so this
+    /// only needs to exceed the tick interval with margin.
+    pub silent_worker_timeout: SimDuration,
+    /// Bounded relaunches per job; drained budgets degrade (workers) or
+    /// fail (PSes) the job instead of relaunching forever.
+    pub failure_budget: FailureBudget,
 }
 
 impl Default for MasterConfig {
@@ -58,6 +67,8 @@ impl Default for MasterConfig {
             auto_memory_scaling: true,
             auto_ps_rebalance: true,
             hot_ps_factor: 2.0,
+            silent_worker_timeout: SimDuration::from_mins(5),
+            failure_budget: FailureBudget::default(),
         }
     }
 }
@@ -93,6 +104,10 @@ pub enum MasterEvent {
         /// Index of the hot PS.
         ps: usize,
     },
+    /// A live worker's heartbeat went stale (zombie process); the master
+    /// failed it — its shard re-queued — and the driver should request a
+    /// replacement pod as for any other worker failure.
+    SilentWorker(usize),
 }
 
 /// Per-job agent wrapping the training engine.
@@ -108,6 +123,14 @@ pub struct JobMaster {
     pending_workers: Vec<(SimTime, PodState)>,
     completed_at: Option<SimTime>,
     scaling_count: u32,
+    /// Health ladder (Healthy → Degraded → Failed), monotone.
+    health: JobHealth,
+    /// Relaunch-budget consumption against `config.failure_budget`.
+    budget: BudgetLedger,
+    /// Dedup key for PS-failure reports: `(ps index, engine time)` of the
+    /// last recovery, so a duplicate delivery of the same failure within
+    /// one tick is a no-op rather than a second migration.
+    last_ps_recovery: Option<(usize, SimTime)>,
     telemetry: Telemetry,
 }
 
@@ -147,6 +170,54 @@ impl JobMaster {
             pending_workers: Vec::new(),
             completed_at: None,
             scaling_count: 0,
+            health: JobHealth::Healthy,
+            budget: BudgetLedger::default(),
+            last_ps_recovery: None,
+            telemetry: Telemetry::default(),
+        }
+    }
+
+    /// Rebuilds a master after a crash (§6 master failover): job state
+    /// comes from an event-log replay ([`ReplayedJobState`]), the data
+    /// frontier resumes at the acked-sample watermark (in-flight shards at
+    /// crash time re-train — the engine's bounded-rollback contract), and
+    /// the live pods are re-adopted at the allocation's shape rather than
+    /// relaunched. `at` is the restart instant (crash time + restart
+    /// window); the restarted master starts with a fresh health ladder and
+    /// relaunch budget (the budgets protect the *incarnation*, and the
+    /// chaos plan's fault budget bounds incarnations).
+    pub fn from_replay(
+        job_id: u64,
+        spec: TrainingJobSpec,
+        allocation: ResourceAllocation,
+        config: MasterConfig,
+        replayed: &ReplayedJobState,
+        at: SimTime,
+    ) -> Self {
+        let constants = spec.constants;
+        let workers = replayed.live_workers.len().max(1);
+        let ps = if replayed.ps_count > 0 { replayed.ps_count } else { allocation.shape.ps }.max(1);
+        let shards = ShardQueue::resume(spec.total_samples, replayed.samples_done, spec.sharding);
+        let engine = PsTrainingEngine::from_checkpoint(
+            EngineCheckpoint { spec, shards, at },
+            vec![PodState::new(allocation.shape.worker_cpu); workers],
+            AsyncCostModel::balanced_partitions(ps, allocation.shape.ps_cpu),
+            vec![(allocation.ps_mem_gb * 1e9) as u64; ps as usize],
+        );
+        JobMaster {
+            job_id,
+            engine,
+            profiler: Profiler::new(constants, 256),
+            config,
+            allocation,
+            flash: FlashStore::default(),
+            rds: RdsStore::default(),
+            pending_workers: Vec::new(),
+            completed_at: None,
+            scaling_count: 0,
+            health: JobHealth::Healthy,
+            budget: BudgetLedger::default(),
+            last_ps_recovery: None,
             telemetry: Telemetry::default(),
         }
     }
@@ -206,6 +277,16 @@ impl JobMaster {
     /// Completion time, once finished.
     pub fn completed_at(&self) -> Option<SimTime> {
         self.completed_at
+    }
+
+    /// Current position on the Healthy → Degraded → Failed ladder.
+    pub fn health(&self) -> JobHealth {
+        self.health
+    }
+
+    /// Relaunch-budget consumption so far.
+    pub fn budget_used(&self) -> BudgetLedger {
+        self.budget
     }
 
     /// Constants for the checkpoint size: dense static part + current
@@ -284,7 +365,8 @@ impl JobMaster {
     /// Advances the job by `dt`, profiling and handling instability.
     pub fn tick(&mut self, dt: SimDuration) -> Vec<MasterEvent> {
         let mut events = Vec::new();
-        if self.completed_at.is_some() || self.engine.is_oomed() {
+        if self.completed_at.is_some() || self.engine.is_oomed() || self.health == JobHealth::Failed
+        {
             return events; // terminal: nothing to do
         }
 
@@ -318,6 +400,21 @@ impl JobMaster {
             events.push(MasterEvent::Completed(self.engine.now()));
             self.telemetry.record(self.engine.now(), EventKind::JobCompleted { job: self.job_id });
             return events;
+        }
+
+        // §6.1 liveness: a worker whose heartbeat went stale is a zombie —
+        // its pod is up but training is stuck. Fail it (the shard queue
+        // re-queues its in-flight shard in full, preserving exactly-once)
+        // and surface the event; the driver requests the replacement pod
+        // exactly as for a crashed worker.
+        for idx in self.engine.silent_workers(self.config.silent_worker_timeout) {
+            self.engine.fail_worker(idx);
+            self.telemetry.record(
+                self.engine.now(),
+                EventKind::SilentWorkerDetected { job: self.job_id, worker: idx as u64 },
+            );
+            self.telemetry.count("master.silent_workers", 1);
+            events.push(MasterEvent::SilentWorker(idx));
         }
 
         // OOM prevention (§5.3). The engine OOMs *per PS* (used_i >
@@ -518,11 +615,54 @@ impl JobMaster {
     /// requeued the dead worker's shard, so no data handling is needed —
     /// this is the master's half of the §6 recovery loop, driven by chaos
     /// plans and organic pod failures alike.
+    /// Idempotent under duplicate failure delivery: a replacement is only
+    /// scheduled while the job is actually below its worker target, so
+    /// re-delivering the same failure report cannot balloon the job past
+    /// its allocation. Bounded by the relaunch budget: when it drains the
+    /// master degrades to the surviving shape instead (§6).
     pub fn replace_failed_worker(&mut self, startup: SimDuration) {
+        let live = (0..self.engine_worker_slots()).filter(|&i| self.engine_worker_alive(i)).count();
+        if live + self.pending_workers.len() >= self.allocation.shape.workers as usize {
+            self.telemetry.count("master.duplicate_replacements_ignored", 1);
+            return;
+        }
+        if !self.budget.try_worker(&self.config.failure_budget) {
+            self.degrade_to_live_shape();
+            return;
+        }
         let pod = PodState::new(self.allocation.shape.worker_cpu);
         let ready = self.engine.now() + startup;
         self.pending_workers.push((ready, pod));
         self.telemetry.count("master.worker_replacements", 1);
+    }
+
+    /// Degraded mode (§6): adopt the best *feasible* plan — the shape the
+    /// job actually holds — as the new target and record it. Training
+    /// continues on the surviving workers; goodput retained this way is
+    /// what the resilience experiment compares against fail-stop.
+    fn degrade_to_live_shape(&mut self) {
+        let live = (0..self.engine_worker_slots()).filter(|&i| self.engine_worker_alive(i)).count();
+        let feasible = (live + self.pending_workers.len()).max(1) as u32;
+        self.allocation.shape.workers = feasible;
+        self.health.escalate(JobHealth::Degraded);
+        self.telemetry.record(
+            self.engine.now(),
+            EventKind::JobDegraded {
+                job: self.job_id,
+                workers: feasible,
+                ps: self.engine.partitions().len() as u32,
+            },
+        );
+        self.telemetry.count("master.degradations", 1);
+    }
+
+    /// Records that a scale-out or replacement request was *conclusively*
+    /// denied — the retry policy exhausted its attempts (denial storm,
+    /// sustained contention). The master falls back to the best feasible
+    /// plan instead of retrying forever; returns the resulting health.
+    pub fn record_scale_denial(&mut self) -> JobHealth {
+        self.degrade_to_live_shape();
+        self.health
     }
 
     /// Recovers from a parameter-server pod failure mid-run via the
@@ -531,9 +671,25 @@ impl JobMaster {
     /// rather than a stop-and-restart round trip. `startup` is the new
     /// pod's preparation latency (overlapped with degraded training in the
     /// timeline). No-op for an out-of-range index.
+    ///
+    /// Idempotent under duplicate delivery: a second report for the same
+    /// PS at the same engine instant is the same failure (at-least-once
+    /// event transport), not a new one, and is dropped. PS relaunches are
+    /// bounded by the failure budget; since a job cannot train without
+    /// its parameter shards, a drained PS budget is terminal
+    /// ([`JobHealth::Failed`]).
     pub fn handle_ps_failure(&mut self, ps: usize, startup: SimDuration) {
         let mut partitions = self.engine.partitions().to_vec();
         let Some(slot) = partitions.get_mut(ps) else { return };
+        if self.last_ps_recovery == Some((ps, self.engine.now())) {
+            self.telemetry.count("master.duplicate_ps_failures_ignored", 1);
+            return;
+        }
+        if !self.budget.try_ps(&self.config.failure_budget) {
+            self.health.escalate(JobHealth::Failed);
+            self.telemetry.count("master.jobs_failed", 1);
+            return;
+        }
         slot.pod = PodState::new(self.allocation.shape.ps_cpu);
         let mem = self.engine.ps_memory_alloc().to_vec();
         let timeline = plan_ps_migration(
@@ -550,6 +706,7 @@ impl JobMaster {
         self.engine.set_ps_mem_pressure(ps, 0);
         self.engine.reshape_ps(partitions, mem);
         self.engine.pause(timeline.pause());
+        self.last_ps_recovery = Some((ps, self.engine.now()));
         self.telemetry.count("master.ps_recoveries", 1);
     }
 
@@ -1033,6 +1190,188 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn duplicate_worker_failure_delivery_is_idempotent() {
+        let mut m = master(20_000, 4, 2, 8.0);
+        m.set_telemetry(Telemetry::default());
+        m.tick(DT);
+        m.engine_mut().fail_worker(0);
+        // The same failure report arrives three times (at-least-once
+        // transport): only one replacement may be scheduled.
+        for _ in 0..3 {
+            m.replace_failed_worker(SimDuration::from_secs(90));
+        }
+        assert_eq!(m.pending_worker_count(), 1);
+        assert_eq!(m.telemetry().counter("master.worker_replacements"), 1);
+        assert_eq!(m.telemetry().counter("master.duplicate_replacements_ignored"), 2);
+        run_to_end(&mut m, 100_000).expect("completes");
+        assert_eq!(m.engine().samples_done(), m.engine().spec().total_samples);
+    }
+
+    #[test]
+    fn duplicate_ps_failure_delivery_is_idempotent() {
+        let mut m = master(20_000, 4, 2, 8.0);
+        m.set_telemetry(Telemetry::default());
+        for _ in 0..4 {
+            m.tick(DT);
+        }
+        m.handle_ps_failure(0, SimDuration::from_secs(120));
+        m.handle_ps_failure(0, SimDuration::from_secs(120)); // duplicate
+        assert_eq!(m.telemetry().counter("master.ps_recoveries"), 1);
+        assert_eq!(m.telemetry().counter("master.duplicate_ps_failures_ignored"), 1);
+        // A *later* failure of the same PS index is a new failure.
+        m.tick(DT);
+        m.handle_ps_failure(0, SimDuration::from_secs(120));
+        assert_eq!(m.telemetry().counter("master.ps_recoveries"), 2);
+        run_to_end(&mut m, 100_000).expect("completes");
+    }
+
+    #[test]
+    fn drained_worker_budget_degrades_instead_of_relaunching() {
+        let cfg = MasterConfig {
+            failure_budget: FailureBudget { worker_relaunches: 1, ps_relaunches: 8 },
+            ..MasterConfig::default()
+        };
+        let mut m =
+            JobMaster::new(1, TrainingJobSpec::paper_default(20_000), alloc(4, 2, 8.0, 256.0), cfg);
+        m.set_telemetry(Telemetry::default());
+        m.tick(DT);
+        // First failure: budget covers the relaunch.
+        m.engine_mut().fail_worker(0);
+        m.replace_failed_worker(SimDuration::from_secs(60));
+        assert_eq!(m.health(), JobHealth::Healthy);
+        assert_eq!(m.pending_worker_count(), 1);
+        for _ in 0..4 {
+            m.tick(DT);
+        }
+        // Second failure: budget dry → degrade to the surviving shape.
+        m.engine_mut().fail_worker(1);
+        m.replace_failed_worker(SimDuration::from_secs(60));
+        assert_eq!(m.health(), JobHealth::Degraded);
+        assert_eq!(m.pending_worker_count(), 0, "no relaunch past the budget");
+        assert_eq!(m.allocation().shape.workers, 3, "target shrunk to feasible");
+        let events = m.telemetry().snapshot().events;
+        assert!(
+            events.iter().any(|e| matches!(e.kind, EventKind::JobDegraded { workers: 3, .. })),
+            "degradation recorded"
+        );
+        // Degraded-mode goodput: the job still completes on 3 workers.
+        run_to_end(&mut m, 100_000).expect("degraded job completes");
+        assert_eq!(m.engine().samples_done(), m.engine().spec().total_samples);
+    }
+
+    #[test]
+    fn drained_ps_budget_is_terminal() {
+        let cfg = MasterConfig {
+            failure_budget: FailureBudget { worker_relaunches: 12, ps_relaunches: 0 },
+            ..MasterConfig::default()
+        };
+        let mut m =
+            JobMaster::new(1, TrainingJobSpec::paper_default(20_000), alloc(4, 2, 8.0, 256.0), cfg);
+        m.set_telemetry(Telemetry::default());
+        m.tick(DT);
+        m.handle_ps_failure(0, SimDuration::from_secs(60));
+        assert_eq!(m.health(), JobHealth::Failed);
+        assert_eq!(m.telemetry().counter("master.ps_recoveries"), 0);
+        assert!(m.tick(DT).is_empty(), "failed job is terminal");
+        assert!(m.completed_at().is_none());
+    }
+
+    #[test]
+    fn scale_denial_falls_back_to_feasible_shape() {
+        let mut m = master(20_000, 4, 2, 8.0);
+        m.set_telemetry(Telemetry::default());
+        m.tick(DT);
+        m.engine_mut().fail_worker(0);
+        // The cluster conclusively denied the replacement (retry policy
+        // exhausted): the master adopts the 3-worker plan it can have.
+        assert_eq!(m.record_scale_denial(), JobHealth::Degraded);
+        assert_eq!(m.allocation().shape.workers, 3);
+        // Denial-storm recovery must not relaunch behind the new target.
+        m.replace_failed_worker(SimDuration::from_secs(60));
+        assert_eq!(m.pending_worker_count(), 0, "feasible target already met");
+        run_to_end(&mut m, 100_000).expect("completes degraded");
+    }
+
+    #[test]
+    fn silent_worker_is_detected_failed_and_replaceable() {
+        let cfg = MasterConfig {
+            silent_worker_timeout: SimDuration::from_secs(60),
+            ..MasterConfig::default()
+        };
+        let mut m =
+            JobMaster::new(1, TrainingJobSpec::paper_default(20_000), alloc(4, 2, 8.0, 256.0), cfg);
+        m.set_telemetry(Telemetry::default());
+        m.tick(DT);
+        m.engine_mut().hang_worker(2);
+        // The zombie stops heartbeating; within a few ticks the master
+        // fails it and surfaces SilentWorker.
+        let mut detected = None;
+        for _ in 0..10 {
+            if let Some(MasterEvent::SilentWorker(idx)) =
+                m.tick(DT).into_iter().find(|e| matches!(e, MasterEvent::SilentWorker(_)))
+            {
+                detected = Some(idx);
+                break;
+            }
+        }
+        assert_eq!(detected, Some(2));
+        assert!(!m.engine().worker_is_alive(2), "zombie was failed");
+        assert_eq!(m.telemetry().counter("master.silent_workers"), 1);
+        // Driver-side replacement, then exactly-once completion.
+        m.replace_failed_worker(SimDuration::from_secs(90));
+        run_to_end(&mut m, 100_000).expect("completes");
+        assert_eq!(m.engine().samples_done(), m.engine().spec().total_samples);
+        // No further silent reports after the failure.
+        let events = m.telemetry().snapshot().events;
+        let silent = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SilentWorkerDetected { .. }))
+            .count();
+        assert_eq!(silent, 1);
+    }
+
+    #[test]
+    fn failover_replay_resumes_at_the_acked_watermark() {
+        use crate::replay::ReplayedJobState;
+
+        let spec = TrainingJobSpec::paper_default(20_000);
+        let sink = Telemetry::default();
+        let mut m =
+            JobMaster::new(7, spec.clone(), alloc(4, 2, 8.0, 256.0), MasterConfig::default());
+        m.set_telemetry(sink.clone());
+        for _ in 0..20 {
+            m.tick(DT);
+        }
+        let crash_at = m.engine().now();
+        assert!(m.completed_at().is_none(), "mid-flight crash");
+
+        // The master process dies; a new incarnation replays the event log.
+        let events = sink.snapshot().events;
+        let replayed = ReplayedJobState::from_events(&events);
+        assert!(replayed.samples_done > 0, "acked work visible in the log");
+        assert!(replayed.samples_done <= m.engine().samples_done());
+        let restart_at = crash_at + SimDuration::from_secs(120);
+        let mut m2 = JobMaster::from_replay(
+            7,
+            spec,
+            m.allocation(),
+            MasterConfig::default(),
+            &replayed,
+            restart_at,
+        );
+        assert_eq!(m2.engine().now(), restart_at);
+        assert_eq!(m2.engine().samples_done(), replayed.samples_done, "watermark adopted");
+        assert_eq!(m2.engine().workers().len(), replayed.live_workers.len().max(1));
+        let done = run_to_end(&mut m2, 100_000).expect("restarted job completes");
+        assert!(done > restart_at);
+        assert_eq!(
+            m2.engine().samples_done(),
+            m2.engine().spec().total_samples,
+            "no omission, no duplication across failover"
+        );
     }
 
     #[test]

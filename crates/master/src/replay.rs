@@ -1,0 +1,117 @@
+//! Master failover: reconstructing job state by replaying the event log.
+//!
+//! The job master is a single point of failure in the paper's architecture
+//! (Fig. 4: one master pod per job). DLRover's production controller
+//! survives master restarts because every state transition it cares about
+//! is durable — in this reproduction the durable store *is* the
+//! deterministic telemetry event log. [`ReplayedJobState::from_events`]
+//! folds a log back into the three facts a restarted master needs:
+//!
+//! * the **sample watermark** — how much data is irrevocably trained
+//!   (the sum of shard acks; in-flight shards at crash time are lost and
+//!   retrain, which is exactly the engine's bounded-rollback contract, §5.1);
+//! * the **checkpoint watermark** — the last flash-checkpoint step (§6.2),
+//!   which must never regress except across a failure;
+//! * the **live pod set** — workers added minus workers failed/removed,
+//!   plus the last PS layout, so the restarted master re-adopts running
+//!   pods instead of relaunching them.
+//!
+//! The replay is a pure fold over `&[Event]`: no clocks, no entropy, so a
+//! failover inside a chaos run replays bit-identically per seed.
+
+use std::collections::BTreeSet;
+
+use dlrover_telemetry::{Event, EventKind};
+
+/// Job state recovered from an event-log replay (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayedJobState {
+    /// Samples irrevocably trained: the sum of acked shard lengths. This
+    /// equals the shard queue's completed-samples frontier at crash time —
+    /// acks are never retracted, and failed workers' in-flight progress
+    /// was never acked.
+    pub samples_done: u64,
+    /// Step of the newest flash checkpoint (`0` when none was written).
+    pub checkpoint_step: u64,
+    /// Engine indices of workers believed alive at crash time.
+    pub live_workers: BTreeSet<u64>,
+    /// PS count of the last applied layout (`0` when never reshaped —
+    /// callers fall back to the nominal allocation).
+    pub ps_count: u32,
+}
+
+impl ReplayedJobState {
+    /// Folds an event log into recovered job state.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut state = ReplayedJobState {
+            samples_done: 0,
+            checkpoint_step: 0,
+            live_workers: BTreeSet::new(),
+            ps_count: 0,
+        };
+        for e in events {
+            match &e.kind {
+                EventKind::ShardAcked { len, .. } => state.samples_done += len,
+                EventKind::CheckpointSaved { step, .. } => {
+                    state.checkpoint_step = state.checkpoint_step.max(*step);
+                }
+                EventKind::WorkerAdded { worker } => {
+                    state.live_workers.insert(*worker);
+                }
+                EventKind::WorkerFailed { worker } | EventKind::WorkerRemoved { worker } => {
+                    state.live_workers.remove(worker);
+                }
+                EventKind::PsReshaped { ps } => state.ps_count = *ps as u32,
+                _ => {}
+            }
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, kind: EventKind) -> Event {
+        Event { at_us: seq * 1_000_000, seq, kind }
+    }
+
+    #[test]
+    fn replay_folds_watermarks_and_pod_set() {
+        let log = vec![
+            ev(0, EventKind::WorkerAdded { worker: 0 }),
+            ev(1, EventKind::WorkerAdded { worker: 1 }),
+            ev(2, EventKind::ShardAcked { worker: 0, len: 1000 }),
+            ev(3, EventKind::CheckpointSaved { step: 4, bytes: 10 }),
+            ev(4, EventKind::WorkerFailed { worker: 1 }),
+            ev(5, EventKind::WorkerAdded { worker: 2 }),
+            ev(6, EventKind::ShardAcked { worker: 2, len: 512 }),
+            ev(7, EventKind::CheckpointSaved { step: 9, bytes: 10 }),
+            ev(8, EventKind::PsReshaped { ps: 3 }),
+        ];
+        let s = ReplayedJobState::from_events(&log);
+        assert_eq!(s.samples_done, 1512);
+        assert_eq!(s.checkpoint_step, 9);
+        assert_eq!(s.live_workers, BTreeSet::from([0, 2]));
+        assert_eq!(s.ps_count, 3);
+    }
+
+    #[test]
+    fn replay_of_empty_log_is_cold_start() {
+        let s = ReplayedJobState::from_events(&[]);
+        assert_eq!(s.samples_done, 0);
+        assert_eq!(s.checkpoint_step, 0);
+        assert!(s.live_workers.is_empty());
+        assert_eq!(s.ps_count, 0);
+    }
+
+    #[test]
+    fn replay_is_a_pure_fold() {
+        let log = vec![
+            ev(0, EventKind::WorkerAdded { worker: 0 }),
+            ev(1, EventKind::ShardAcked { worker: 0, len: 77 }),
+        ];
+        assert_eq!(ReplayedJobState::from_events(&log), ReplayedJobState::from_events(&log));
+    }
+}

@@ -101,6 +101,9 @@ struct WorkerSlot {
     pod: PodState,
     shard_worker_id: u64,
     alive: bool,
+    /// A zombie: the process is up (slot stays alive and keeps its shard)
+    /// but training and heartbeats have stopped. Only failure clears it.
+    hung: bool,
     /// Fractional sample progress carried between slices.
     carry: f64,
 }
@@ -225,9 +228,39 @@ impl PsTrainingEngine {
         &self.events
     }
 
-    /// Live worker pods.
+    /// Live worker pods (hung workers excluded: a zombie contributes no
+    /// compute).
     pub fn workers(&self) -> Vec<PodState> {
-        self.workers.iter().filter(|w| w.alive).map(|w| w.pod).collect()
+        self.workers.iter().filter(|w| w.alive && !w.hung).map(|w| w.pod).collect()
+    }
+
+    /// Hangs a live worker: its pod stays up and it keeps any checked-out
+    /// shard, but it stops training and stops heartbeating — the zombie
+    /// failure mode that crash detection misses and §6.1's heartbeat
+    /// timeout exists to catch. Only [`Self::fail_worker`] recovers the
+    /// slot (re-queueing the shard); the master's silent-worker detector
+    /// does exactly that.
+    pub fn hang_worker(&mut self, idx: usize) {
+        if let Some(slot) = self.workers.get_mut(idx) {
+            if slot.alive {
+                slot.hung = true;
+                slot.carry = 0.0;
+            }
+        }
+    }
+
+    /// Engine indices of live workers whose last heartbeat is older than
+    /// `timeout` — the failure detector's candidates (§6.1). Healthy
+    /// workers heartbeat every [`Self::advance`] slice (even while paused
+    /// or waiting on a drained queue), so only hung workers go silent.
+    pub fn silent_workers(&self, timeout: SimDuration) -> Vec<usize> {
+        let ids = self.shards.silent_workers(self.now, timeout);
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive && ids.contains(&w.shard_worker_id))
+            .map(|(i, _)| i)
+            .collect()
     }
 
     /// Current PS partitions.
@@ -241,7 +274,13 @@ impl PsTrainingEngine {
         let id = self.next_shard_worker_id;
         self.next_shard_worker_id += 1;
         self.shards.register_worker(id, self.now);
-        self.workers.push(WorkerSlot { pod, shard_worker_id: id, alive: true, carry: 0.0 });
+        self.workers.push(WorkerSlot {
+            pod,
+            shard_worker_id: id,
+            alive: true,
+            hung: false,
+            carry: 0.0,
+        });
         let idx = self.workers.len() - 1;
         self.events.push((self.now, EngineEvent::WorkerAdded(idx)));
         self.telemetry.record(self.now, EventKind::WorkerAdded { worker: idx as u64 });
@@ -255,6 +294,7 @@ impl PsTrainingEngine {
             return;
         }
         slot.alive = false;
+        slot.hung = false;
         slot.carry = 0.0;
         self.shards.fail_worker(slot.shard_worker_id);
         self.events.push((self.now, EngineEvent::WorkerFailed(idx)));
@@ -437,7 +477,7 @@ impl PsTrainingEngine {
         self.workers
             .iter()
             .enumerate()
-            .filter(|(_, w)| w.alive && ids.contains(&w.shard_worker_id))
+            .filter(|(_, w)| w.alive && !w.hung && ids.contains(&w.shard_worker_id))
             .map(|(i, _)| i)
             .collect()
     }
@@ -537,6 +577,20 @@ impl PsTrainingEngine {
         }
     }
 
+    /// Liveness pings: every live, non-hung worker heartbeats once per
+    /// slice even when it trained nothing (paused, queue drained, or
+    /// waiting) — only a genuinely hung worker's heartbeat goes stale, so
+    /// the silent-worker detector has no false positives across long
+    /// migration pauses. An offset of zero leaves shard progress untouched
+    /// (heartbeats are monotone).
+    fn liveness_heartbeats(&mut self) {
+        for w in &self.workers {
+            if w.alive && !w.hung {
+                self.shards.heartbeat(w.shard_worker_id, 0, self.now);
+            }
+        }
+    }
+
     /// Advances virtual time by `dt`, consuming pending pauses first, then
     /// training. Returns the slice's progress.
     pub fn advance(&mut self, dt: SimDuration) -> JobProgress {
@@ -561,12 +615,15 @@ impl PsTrainingEngine {
         }
         if remaining.is_zero() || self.oomed {
             self.now += remaining;
+            self.liveness_heartbeats();
             return JobProgress { samples: 0.0, completed: self.is_complete(), oom_ps: None };
         }
 
         let dt_s = remaining.as_secs_f64();
         let train_start = self.now;
-        let live: Vec<usize> = (0..self.workers.len()).filter(|&i| self.workers[i].alive).collect();
+        let live: Vec<usize> = (0..self.workers.len())
+            .filter(|&i| self.workers[i].alive && !self.workers[i].hung)
+            .collect();
         let n = live.len() as u32;
         let mut total_new = 0.0f64;
         let mut stragglers: Vec<usize> = Vec::new();
@@ -638,6 +695,7 @@ impl PsTrainingEngine {
             }
         }
         self.now += remaining;
+        self.liveness_heartbeats();
         if total_new > 0.0 {
             self.record_iteration_spans(train_start, self.now, n, &stragglers);
         }
@@ -1114,6 +1172,44 @@ mod tests {
             vec![256 * 1024 * 1024 * 1024u64; 2],
         );
         assert_eq!(restored.now(), SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn hung_worker_goes_silent_and_failing_it_recovers_the_shard() {
+        let timeout = SimDuration::from_secs(120);
+        let mut e = engine(400, 4, 2, 8.0);
+        e.advance(SLICE);
+        assert!(e.silent_workers(timeout).is_empty(), "everyone heartbeats");
+        e.hang_worker(1);
+        assert_eq!(e.workers().len(), 3, "zombie contributes no compute");
+        // Long pauses must not trip the detector for healthy workers.
+        e.pause(SimDuration::from_secs(300));
+        for _ in 0..12 {
+            e.advance(SLICE);
+        }
+        assert_eq!(e.silent_workers(timeout), vec![1], "only the zombie is silent");
+        // The detector's remedy: fail the zombie (shard re-queues) and
+        // exactly-once still holds end to end.
+        e.fail_worker(1);
+        assert!(e.silent_workers(timeout).is_empty());
+        e.run_to_completion(SLICE, SimTime::from_secs(100_000_000)).expect("finishes");
+        assert_eq!(e.samples_done(), e.spec().total_samples);
+    }
+
+    #[test]
+    fn hanging_every_worker_wedges_until_one_is_failed() {
+        let mut e = engine(400, 2, 1, 8.0);
+        e.advance(SLICE);
+        e.hang_worker(0);
+        e.hang_worker(1);
+        let before = e.samples_done();
+        e.advance(SLICE * 4);
+        assert_eq!(e.samples_done(), before, "zombies make no progress");
+        e.fail_worker(0);
+        e.add_worker(PodState::new(8.0));
+        e.fail_worker(1);
+        e.run_to_completion(SLICE, SimTime::from_secs(100_000_000)).expect("finishes");
+        assert_eq!(e.samples_done(), e.spec().total_samples);
     }
 
     #[test]

@@ -121,6 +121,25 @@ impl ShardQueue {
         }
     }
 
+    /// Rebuilds a queue from a replayed completion watermark (master
+    /// failover, §6): the first `completed_samples` stay completed and the
+    /// tail `[completed_samples, total_samples)` is re-sharded fresh.
+    /// Progress that was in flight at crash time was never acked, so it is
+    /// *not* in the watermark and re-trains — the same bounded-rollback
+    /// contract as [`ShardQueue::fail_worker`].
+    pub fn resume(total_samples: u64, completed_samples: u64, config: ShardingConfig) -> Self {
+        let done = completed_samples.min(total_samples);
+        let mut q = ShardQueue::new(total_samples - done, config);
+        // Shift the fresh shards up past the watermark so completed ranges
+        // plus served shards still tile `[0, total_samples)` exactly.
+        for s in q.pending.iter_mut() {
+            s.start += done;
+        }
+        q.total_samples = total_samples;
+        q.completed_samples = done;
+        q
+    }
+
     /// The sharding configuration.
     pub fn config(&self) -> &ShardingConfig {
         &self.config
@@ -467,6 +486,26 @@ mod tests {
             snap.complete(9, t(3));
         }
         assert_eq!(covered, 10_000);
+    }
+
+    #[test]
+    fn resume_from_watermark_tiles_the_tail_exactly() {
+        let mut q = ShardQueue::resume(10_000, 3_300, cfg(10, 100));
+        assert_eq!(q.completed_samples(), 3_300);
+        assert_eq!(q.total_samples(), 10_000);
+        assert!(!q.is_drained());
+        // Draining the resumed queue covers exactly [3300, 10000).
+        let mut cursor = 3_300;
+        while let Some(s) = q.checkout(1, 1.0, t(0)) {
+            assert_eq!(s.start, cursor, "gap or duplicate at {}", s.start);
+            cursor = s.end();
+            q.complete(1, t(1));
+        }
+        assert_eq!(cursor, 10_000);
+        assert!(q.is_drained());
+        // Degenerate watermarks: complete job and past-the-end clamp.
+        assert!(ShardQueue::resume(5_000, 5_000, cfg(10, 100)).is_drained());
+        assert!(ShardQueue::resume(5_000, 9_999, cfg(10, 100)).is_drained());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! churn — preempted pods, lost nodes, OOM-killed parameter servers,
 //! stragglers. To assert those properties *reproducibly* we script the
 //! churn instead: a [`FaultPlan`] is a virtual-time-ordered list of typed
-//! [`FaultEvent`]s, generated from [`RngStreams`](crate::RngStreams) so the
+//! [`FaultEvent`]s, generated from [`RngStreams`] so the
 //! same seed always yields the same plan, byte for byte.
 //!
 //! A plan is pure data. It does not know how faults are delivered; the
@@ -88,6 +88,28 @@ pub enum FaultKind {
         /// How long the inflation persists.
         window: SimDuration,
     },
+    /// A denial storm: filler pods swallow the cluster's free capacity for
+    /// `window`, so every scale-out or replacement request is denied until
+    /// the storm lifts (§5's contention regime — scale-out grants are not
+    /// guaranteed in a shared cluster). Exercises the master's retry/backoff
+    /// and degraded-mode fallback instead of its recovery path: nothing is
+    /// killed, so no recovery deadline attaches.
+    DenialStorm {
+        /// Filler pods to submit (resolved against free capacity; any that
+        /// do not fit are dropped, never parked).
+        pods: u32,
+        /// How long the storm occupies the capacity.
+        window: SimDuration,
+    },
+    /// The job master itself crashes and restarts after `restart`: the
+    /// restarted master must rebuild job state (shard watermark, checkpoint
+    /// step, live pod set) by replaying the durable event log. Training
+    /// pauses for the restart window; exactly-once accounting and
+    /// checkpoint monotonicity must hold across the failover.
+    MasterCrash {
+        /// Master downtime before the replayed restart completes.
+        restart: SimDuration,
+    },
 }
 
 impl FaultKind {
@@ -101,6 +123,8 @@ impl FaultKind {
             FaultKind::MemoryPressure { .. } => "MemoryPressure",
             FaultKind::StragglerWindow { .. } => "StragglerWindow",
             FaultKind::NetworkDelay { .. } => "NetworkDelay",
+            FaultKind::DenialStorm { .. } => "DenialStorm",
+            FaultKind::MasterCrash { .. } => "MasterCrash",
         }
     }
 
@@ -115,6 +139,8 @@ impl FaultKind {
             FaultKind::MemoryPressure { ps, .. } => u64::from(*ps),
             FaultKind::StragglerWindow { worker, .. } => u64::from(*worker),
             FaultKind::NetworkDelay { .. } => 0,
+            FaultKind::DenialStorm { pods, .. } => u64::from(*pods),
+            FaultKind::MasterCrash { .. } => 0,
         }
     }
 
@@ -125,7 +151,10 @@ impl FaultKind {
         match self {
             FaultKind::MemoryPressure { window, .. }
             | FaultKind::StragglerWindow { window, .. }
-            | FaultKind::NetworkDelay { window, .. } => *window,
+            | FaultKind::NetworkDelay { window, .. }
+            | FaultKind::DenialStorm { window, .. } => *window,
+            // The restart downtime is the crash's legitimate slowdown.
+            FaultKind::MasterCrash { restart } => *restart,
             _ => SimDuration::ZERO,
         }
     }
@@ -178,6 +207,8 @@ pub struct FaultPlanConfig {
     pub max_window: SimDuration,
     /// Largest preemption burst, pods.
     pub max_burst_pods: u32,
+    /// Largest denial-storm filler fleet, pods.
+    pub max_storm_pods: u32,
 }
 
 impl Default for FaultPlanConfig {
@@ -191,6 +222,7 @@ impl Default for FaultPlanConfig {
             max_delay_factor_permille: 3000,
             max_window: SimDuration::from_mins(6),
             max_burst_pods: 4,
+            max_storm_pods: 24,
         }
     }
 }
@@ -224,7 +256,7 @@ impl FaultPlan {
             let window = SimDuration::from_micros(
                 rng.gen_range(cfg.max_window.as_micros() / 8..=cfg.max_window.as_micros().max(1)),
             );
-            let kind = match rng.gen_range(0u32..7) {
+            let kind = match rng.gen_range(0u32..9) {
                 0 => FaultKind::WorkerKill { worker: rng.gen_range(0..16) },
                 1 => FaultKind::PsKill { ps: rng.gen_range(0..8) },
                 2 => FaultKind::NodeLoss { node: rng.gen_range(0..64) },
@@ -243,9 +275,20 @@ impl FaultPlan {
                         .gen_range(cfg.min_straggler_speed_permille.clamp(1, 999)..1000),
                     window,
                 },
-                _ => FaultKind::NetworkDelay {
+                6 => FaultKind::NetworkDelay {
                     factor_permille: rng.gen_range(1100..=cfg.max_delay_factor_permille.max(1101)),
                     window,
+                },
+                7 => FaultKind::DenialStorm {
+                    pods: rng.gen_range(1..=cfg.max_storm_pods.max(1)),
+                    window,
+                },
+                // Restart downtime stays a fraction of the window bound so a
+                // crash never eats the whole recovery deadline by itself.
+                _ => FaultKind::MasterCrash {
+                    restart: SimDuration::from_micros(rng.gen_range(
+                        cfg.max_window.as_micros() / 16..=(cfg.max_window.as_micros() / 4).max(1),
+                    )),
                 },
             };
             events.push(FaultEvent { at, kind });
@@ -296,6 +339,17 @@ impl FaultPlan {
                     if window.is_zero() {
                         return Err(format!("event {i}: zero delay window"));
                     }
+                }
+                FaultKind::DenialStorm { pods, window } => {
+                    if pods == 0 {
+                        return Err(format!("event {i}: empty denial storm"));
+                    }
+                    if window.is_zero() {
+                        return Err(format!("event {i}: zero denial-storm window"));
+                    }
+                }
+                FaultKind::MasterCrash { restart } if restart.is_zero() => {
+                    return Err(format!("event {i}: zero master-restart window"));
                 }
                 _ => {}
             }
@@ -393,6 +447,38 @@ mod tests {
         ]);
         assert_eq!(plan.slowdown_budget(), SimDuration::from_secs(90));
         assert_eq!(plan.horizon(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn resilience_faults_validate_and_budget() {
+        let storm = FaultKind::DenialStorm { pods: 8, window: SimDuration::from_secs(120) };
+        let crash = FaultKind::MasterCrash { restart: SimDuration::from_secs(45) };
+        assert!(!storm.is_kill(), "a denial storm kills nothing");
+        assert!(!crash.is_kill(), "a master crash kills no pods");
+        assert_eq!(storm.name(), "DenialStorm");
+        assert_eq!(crash.name(), "MasterCrash");
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: SimTime::from_secs(10), kind: storm },
+            FaultEvent { at: SimTime::from_secs(200), kind: crash },
+        ]);
+        plan.validate().expect("well-formed resilience plan");
+        // Budget = storm window + restart downtime + horizon offset.
+        assert_eq!(plan.slowdown_budget(), SimDuration::from_secs(120 + 45 + 200));
+
+        let bad = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::MasterCrash { restart: SimDuration::ZERO },
+            }],
+        };
+        assert!(bad.validate().is_err(), "zero restart window must be rejected");
+        let empty_storm = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::DenialStorm { pods: 0, window: SimDuration::from_secs(1) },
+            }],
+        };
+        assert!(empty_storm.validate().is_err(), "empty storm must be rejected");
     }
 
     #[test]

@@ -221,6 +221,60 @@ pub enum EventKind {
         job: u64,
     },
 
+    // --- Resilience layer (master, cluster) ---
+    /// A supervised control-plane operation was (re)attempted under a
+    /// retry policy. `attempt` is 1-based; attempt 1 is the initial try.
+    RetryAttempt {
+        /// Stable operation name (e.g. `"replace_worker"`).
+        op: String,
+        /// 1-based attempt number under the governing policy.
+        attempt: u32,
+    },
+    /// A retry policy gave up on an operation: the budget or deadline was
+    /// exhausted and the caller must degrade instead of retrying forever.
+    RetryExhausted {
+        /// Stable operation name.
+        op: String,
+        /// Total attempts made before giving up.
+        attempts: u32,
+    },
+    /// Repeated pod failures on one node crossed the blacklist threshold;
+    /// the scheduler stops placing pods there for the rest of the run.
+    NodeBlacklisted {
+        /// Node id.
+        node: u32,
+        /// Pod failures observed on the node at blacklisting time.
+        failures: u32,
+    },
+    /// The master abandoned its nominal allocation and fell back to the
+    /// best feasible plan (fewer replicas / smaller PS ask).
+    JobDegraded {
+        /// Job id.
+        job: u64,
+        /// Worker target after degradation.
+        workers: u32,
+        /// PS count after degradation.
+        ps: u32,
+    },
+    /// A crashed master came back and rebuilt job state by replaying the
+    /// event log (shard watermark, checkpoint step, live pod set).
+    MasterRestarted {
+        /// Job id.
+        job: u64,
+        /// Sample watermark recovered from the replayed shard acks.
+        samples_done: u64,
+        /// Live workers re-adopted after replay.
+        workers: u32,
+    },
+    /// A worker stopped heart-beating past the supervision timeout; its
+    /// in-flight shard lease was reclaimed (re-queued in full).
+    SilentWorkerDetected {
+        /// Job id.
+        job: u64,
+        /// Engine worker index.
+        worker: u64,
+    },
+
     // --- Chaos harness (sim::faultplan) ---
     /// The chaos driver injected one scripted fault from a
     /// [`FaultPlan`](dlrover_sim::FaultPlan). `kind` is the stable
@@ -277,6 +331,12 @@ impl EventKind {
             EventKind::JobAdmitted { .. } => "JobAdmitted",
             EventKind::PolicyAdjusted { .. } => "PolicyAdjusted",
             EventKind::PlanSelected { .. } => "PlanSelected",
+            EventKind::RetryAttempt { .. } => "RetryAttempt",
+            EventKind::RetryExhausted { .. } => "RetryExhausted",
+            EventKind::NodeBlacklisted { .. } => "NodeBlacklisted",
+            EventKind::JobDegraded { .. } => "JobDegraded",
+            EventKind::MasterRestarted { .. } => "MasterRestarted",
+            EventKind::SilentWorkerDetected { .. } => "SilentWorkerDetected",
             EventKind::JobStarted { .. } => "JobStarted",
             EventKind::JobCompleted { .. } => "JobCompleted",
             EventKind::FaultInjected { .. } => "FaultInjected",
@@ -310,5 +370,14 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(EventKind::PodPlaced { pod: 0, node: 0 }.name(), "PodPlaced");
         assert_eq!(EventKind::OomPrevented { job: 1, new_alloc_bytes: 2 }.name(), "OomPrevented");
+        assert_eq!(
+            EventKind::RetryAttempt { op: "replace_worker".into(), attempt: 2 }.name(),
+            "RetryAttempt"
+        );
+        assert_eq!(EventKind::NodeBlacklisted { node: 3, failures: 3 }.name(), "NodeBlacklisted");
+        assert_eq!(
+            EventKind::MasterRestarted { job: 0, samples_done: 1, workers: 2 }.name(),
+            "MasterRestarted"
+        );
     }
 }

@@ -23,6 +23,11 @@
 //!   followed by the matching recovery signal (replacement worker joined,
 //!   PS reshaped) within a deadline; latencies are reported so the bench
 //!   can track worst-case recovery.
+//! * **No retry storm** — the control plane's retries per operation stay
+//!   under a bound: a denied request backs off and eventually degrades,
+//!   it never hammers the scheduler forever.
+//! * **Blacklist effectiveness** — once repeated failures blacklist a
+//!   node, no pod is ever placed there again for the rest of the run.
 
 use dlrover_sim::{FaultPlan, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -41,6 +46,12 @@ pub struct OracleConfig {
     pub slowdown_factor: f64,
     /// Additive grace on the completion bound (absorbs startup draws).
     pub slowdown_grace: SimDuration,
+    /// Most [`EventKind::RetryAttempt`]s any single operation may record
+    /// before the no-retry-storm invariant trips. Sized above the chaos
+    /// driver's retry policy (which must outlast a 10-minute preemption
+    /// burst at a 60 s backoff cap) but far under the per-tick hammering
+    /// the invariant exists to catch.
+    pub max_retry_attempts: u32,
 }
 
 impl Default for OracleConfig {
@@ -49,6 +60,7 @@ impl Default for OracleConfig {
             recovery_deadline: SimDuration::from_mins(30),
             slowdown_factor: 3.0,
             slowdown_grace: SimDuration::from_hours(1),
+            max_retry_attempts: 40,
         }
     }
 }
@@ -88,17 +100,23 @@ pub enum Invariant {
     BoundedSlowdown,
     /// Kill-type faults recover within the deadline.
     RecoveryDeadline,
+    /// No operation retries more than the configured bound.
+    NoRetryStorm,
+    /// Blacklisted nodes never receive another pod.
+    BlacklistEffectiveness,
 }
 
 impl Invariant {
     /// All invariants, in reporting order.
-    pub const ALL: [Invariant; 6] = [
+    pub const ALL: [Invariant; 8] = [
         Invariant::ExactlyOnce,
         Invariant::NoLeaks,
         Invariant::CheckpointMonotonic,
         Invariant::OomReaction,
         Invariant::BoundedSlowdown,
         Invariant::RecoveryDeadline,
+        Invariant::NoRetryStorm,
+        Invariant::BlacklistEffectiveness,
     ];
 
     /// Stable short name, used as the JSON key in `results/chaos.json`.
@@ -110,6 +128,8 @@ impl Invariant {
             Invariant::OomReaction => "oom_reaction",
             Invariant::BoundedSlowdown => "bounded_slowdown",
             Invariant::RecoveryDeadline => "recovery_deadline",
+            Invariant::NoRetryStorm => "no_retry_storm",
+            Invariant::BlacklistEffectiveness => "blacklist_effectiveness",
         }
     }
 }
@@ -184,6 +204,8 @@ impl Oracle {
         checks.push(self.check_bounded_slowdown(plan, truth));
         let (recovery_check, recovery_latencies_us) = self.check_recovery(events, truth);
         checks.push(recovery_check);
+        checks.push(self.check_no_retry_storm(events));
+        checks.push(self.check_blacklist_effectiveness(events));
         let worst_recovery_us = recovery_latencies_us.iter().copied().max();
         OracleReport { checks, recovery_latencies_us, worst_recovery_us, oom_reactions_us }
     }
@@ -326,7 +348,10 @@ impl Oracle {
     /// Kill-type faults must be followed by their recovery signal —
     /// a `WorkerAdded` for each same-instant `WorkerFailed`, a
     /// `PsReshaped` for a PS kill — within the deadline. Recovery is
-    /// waived when the job completed first (nothing left to recover).
+    /// waived when the job completed first (nothing left to recover) or
+    /// when the master degraded inside the deadline: falling back to the
+    /// surviving shape is the sanctioned alternative to relaunching once
+    /// retries or the failure budget are exhausted.
     fn check_recovery(&self, events: &[Event], truth: &GroundTruth) -> (InvariantCheck, Vec<u64>) {
         let deadline = self.config.recovery_deadline.as_micros();
         let mut violations = Vec::new();
@@ -345,10 +370,16 @@ impl Oracle {
             if !is_kill {
                 continue;
             }
-            let waived = truth
-                .completed_at
-                .map(|done| done.as_micros() <= e.at_us + deadline)
-                .unwrap_or(false);
+            let degraded = events.iter().any(|f| {
+                f.at_us > e.at_us
+                    && f.at_us <= e.at_us + deadline
+                    && matches!(f.kind, EventKind::JobDegraded { .. })
+            });
+            let waived = degraded
+                || truth
+                    .completed_at
+                    .map(|done| done.as_micros() <= e.at_us + deadline)
+                    .unwrap_or(false);
             // Count the workers this fault actually killed (driver emits
             // them at the same instant, after the injection marker).
             let killed = events[i + 1..]
@@ -397,6 +428,64 @@ impl Oracle {
             },
             latencies,
         )
+    }
+
+    /// Retry/backoff discipline: every `RetryAttempt` carries the attempt
+    /// ordinal its supervisor assigned, so the highest ordinal seen per
+    /// operation *is* that operation's retry count. A count past the bound
+    /// means some caller bypassed the backoff policy and hammered the
+    /// scheduler (the pre-resilience chaos driver retried every tick —
+    /// exactly the storm this invariant exists to reject).
+    fn check_no_retry_storm(&self, events: &[Event]) -> InvariantCheck {
+        let mut worst: std::collections::BTreeMap<&str, u32> = std::collections::BTreeMap::new();
+        for e in events {
+            if let EventKind::RetryAttempt { op, attempt } = &e.kind {
+                let w = worst.entry(op.as_str()).or_insert(0);
+                *w = (*w).max(*attempt);
+            }
+        }
+        let violations: Vec<String> = worst
+            .iter()
+            .filter(|(_, &n)| n > self.config.max_retry_attempts)
+            .map(|(op, n)| {
+                format!(
+                    "operation {op} retried {n} times, bound is {}",
+                    self.config.max_retry_attempts
+                )
+            })
+            .collect();
+        InvariantCheck {
+            invariant: Invariant::NoRetryStorm,
+            passed: violations.is_empty(),
+            violations,
+        }
+    }
+
+    /// Once the cluster blacklists a node (repeated pod failures on it),
+    /// the scheduler must never place another pod there: a later
+    /// `PodPlaced` on a blacklisted node means the blacklist is decorative.
+    fn check_blacklist_effectiveness(&self, events: &[Event]) -> InvariantCheck {
+        let mut blacklisted: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
+        let mut violations = Vec::new();
+        for e in events {
+            match &e.kind {
+                EventKind::NodeBlacklisted { node, .. } => {
+                    blacklisted.insert(*node);
+                }
+                EventKind::PodPlaced { pod, node } if blacklisted.contains(node) => {
+                    violations.push(format!(
+                        "pod {pod} placed on blacklisted node {node} at t={}s",
+                        e.at().as_secs_f64()
+                    ));
+                }
+                _ => {}
+            }
+        }
+        InvariantCheck {
+            invariant: Invariant::BlacklistEffectiveness,
+            passed: violations.is_empty(),
+            violations,
+        }
     }
 }
 
@@ -537,6 +626,55 @@ mod tests {
         // Not an exactly-once violation: nothing was overcounted.
         let eo = report.checks.iter().find(|c| c.invariant == Invariant::ExactlyOnce).unwrap();
         assert!(eo.passed);
+    }
+
+    #[test]
+    fn bounded_retries_pass_but_a_storm_is_flagged() {
+        let bounded = vec![
+            ev(100, 0, EventKind::RetryAttempt { op: "replace_worker".into(), attempt: 1 }),
+            ev(105, 1, EventKind::RetryAttempt { op: "replace_worker".into(), attempt: 2 }),
+            ev(115, 2, EventKind::RetryExhausted { op: "replace_worker".into(), attempts: 2 }),
+        ];
+        let report = Oracle::default().check(&FaultPlan::default(), &bounded, &clean_truth());
+        assert!(report.passed(), "{:?}", report.violations());
+
+        // A caller that bypassed the backoff policy and hammered away.
+        let storm: Vec<Event> = (0..60)
+            .map(|i| {
+                ev(
+                    100 + i,
+                    i,
+                    EventKind::RetryAttempt { op: "scale_out".into(), attempt: i as u32 + 1 },
+                )
+            })
+            .collect();
+        let report = Oracle::default().check(&FaultPlan::default(), &storm, &clean_truth());
+        let ck = report.checks.iter().find(|c| c.invariant == Invariant::NoRetryStorm).unwrap();
+        assert!(!ck.passed);
+        assert!(ck.violations[0].contains("scale_out"));
+    }
+
+    #[test]
+    fn placement_on_a_blacklisted_node_is_flagged() {
+        // Placement *before* the blacklisting is fine; after it, violation.
+        let events = vec![
+            ev(50, 0, EventKind::PodPlaced { pod: 1, node: 7 }),
+            ev(100, 1, EventKind::NodeBlacklisted { node: 7, failures: 3 }),
+            ev(150, 2, EventKind::PodPlaced { pod: 2, node: 3 }),
+        ];
+        let report = Oracle::default().check(&FaultPlan::default(), &events, &clean_truth());
+        assert!(report.passed(), "{:?}", report.violations());
+
+        let mut bad = events;
+        bad.push(ev(200, 3, EventKind::PodPlaced { pod: 9, node: 7 }));
+        let report = Oracle::default().check(&FaultPlan::default(), &bad, &clean_truth());
+        let ck = report
+            .checks
+            .iter()
+            .find(|c| c.invariant == Invariant::BlacklistEffectiveness)
+            .unwrap();
+        assert!(!ck.passed);
+        assert!(ck.violations[0].contains("node 7"));
     }
 
     #[test]

@@ -75,6 +75,7 @@ fn main() {
             slow_node_fraction: 0.15,
             slow_node_speed: 0.45,
             pod_daily_failure_rate: 0.015,
+            ..ClusterConfig::default()
         },
         &RngStreams::new(7),
     );

@@ -69,6 +69,7 @@ fn warm_start_to_greedy_pipeline_produces_feasible_plans() {
             current: warm,
             remaining_samples: 10_000_000 * (i + 1),
             model: fitted.clone(),
+            degraded: false,
         })
         .collect();
     let capacity = ClusterCapacity { cpu_cores: 500.0, mem_gb: 4_000.0 };
@@ -142,8 +143,20 @@ fn greedy_priority_flips_with_rho_sign() {
             7,
         );
         let jobs = vec![
-            ReplanInput { job_id: 1, current, remaining_samples: 10_000, model: t.clone() },
-            ReplanInput { job_id: 2, current, remaining_samples: 10_000_000_000, model: t.clone() },
+            ReplanInput {
+                job_id: 1,
+                current,
+                remaining_samples: 10_000,
+                model: t.clone(),
+                degraded: false,
+            },
+            ReplanInput {
+                job_id: 2,
+                current,
+                remaining_samples: 10_000_000_000,
+                model: t.clone(),
+                degraded: false,
+            },
         ];
         // Capacity for roughly one upgrade.
         let picks = brain.replan(&jobs, ClusterCapacity { cpu_cores: 40.0, mem_gb: 400.0 });
