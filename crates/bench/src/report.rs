@@ -10,13 +10,42 @@ use serde::Serialize;
 
 use crate::critpath::critpath_report;
 
-/// The canonical artefact directory: `<workspace root>/results`, resolved
-/// from this crate's manifest so it is identical no matter which directory
-/// `cargo run`/`cargo test` was invoked from. (Historically the relative
-/// `results/` path produced a second copy under `crates/bench/results/`
-/// whenever the harness ran with the crate as its working directory.)
+/// The artefact directory reports are written to and read back from.
+///
+/// Resolution order:
+/// 1. `DLROVER_RESULTS_DIR`, when set and non-empty — explicit override for
+///    CI jobs or ad-hoc runs that must not touch the checked-in artefacts.
+/// 2. Under `cargo test`, a per-process scratch directory beneath `target/`.
+///    Experiment `#[test]`s invoke the same `run_*` entry points as the `exp`
+///    binary but at their own seeds (and two tests may write the same file
+///    with *different* seeds), so letting them write the workspace `results/`
+///    dir would overwrite the canonical seed-42 measurements with
+///    race-dependent test artefacts. Only `exp` regenerates `results/`.
+/// 3. Otherwise the canonical `<workspace root>/results`, resolved from this
+///    crate's manifest so it is identical no matter which directory the
+///    harness was invoked from. (Historically the relative `results/` path
+///    produced a second copy under `crates/bench/results/` whenever the
+///    harness ran with the crate as its working directory.)
 pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("DLROVER_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    default_results_dir()
+}
+
+#[cfg(not(test))]
+fn default_results_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").join("results")
+}
+
+#[cfg(test)]
+fn default_results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("target")
+        .join(format!("test-results-{}", std::process::id()))
 }
 
 /// Collects one experiment's output.
@@ -140,6 +169,19 @@ mod tests {
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 50.0), 3.0);
         assert_eq!(percentile(&v, 100.0), 5.0);
+    }
+
+    #[test]
+    fn test_reports_route_to_scratch_not_canonical_results() {
+        if std::env::var("DLROVER_RESULTS_DIR").is_ok() {
+            return; // explicit override wins; nothing to assert here
+        }
+        let dir = results_dir();
+        assert!(
+            dir.ends_with(format!("target/test-results-{}", std::process::id())),
+            "test-invoked reports must land in the per-process scratch dir, got {}",
+            dir.display()
+        );
     }
 
     #[test]
