@@ -224,12 +224,36 @@ fn bench_telemetry_counter_increment(c: &mut Criterion) {
     });
 }
 
+fn bench_parallel_pool(c: &mut Criterion) {
+    // The experiment engine's fixed overhead: fan 64 near-empty units
+    // through a 4-thread pool and merge their sinks. Measures dispatch +
+    // key-sort + telemetry merge, not unit work — real units are ms to
+    // tens of seconds each, so this overhead must stay in the noise.
+    use dlrover_bench::parallel::{merge_telemetry, run_units, Unit};
+    c.bench_function("parallel_pool_64_units_4_threads", |bench| {
+        bench.iter(|| {
+            let units: Vec<Unit<'_, u64>> = (0..64u64)
+                .map(|i| {
+                    Unit::new(format!("{i:02}"), move |t: &Telemetry| {
+                        t.record(SimTime::from_secs(i), EventKind::JobStarted { job: i });
+                        t.count("units", 1);
+                        i * i
+                    })
+                })
+                .collect();
+            let outputs = run_units(units, 4);
+            let merged = merge_telemetry(&outputs);
+            std::hint::black_box((outputs.len(), merged.counter("units")))
+        })
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_nnls, bench_model_fit, bench_nsga_plan, bench_shard_queue,
               bench_embedding, bench_cluster_scheduling, bench_engine_slice,
               bench_train_batch, bench_telemetry_event_append,
-              bench_telemetry_counter_increment
+              bench_telemetry_counter_increment, bench_parallel_pool
 }
 criterion_main!(benches);

@@ -14,43 +14,29 @@
 use std::path::{Path, PathBuf};
 
 use dlrover_bench::experiments as exp;
+use dlrover_bench::experiments::REGISTRY;
+use dlrover_bench::golden::{write_golden, GoldenDigest};
 use dlrover_bench::{chrome_trace_json, critpath_report, results_dir};
 use dlrover_telemetry::{parse_spans_jsonl, Event};
 
-type Runner = (&'static str, &'static str, fn(u64) -> String);
-
-const EXPERIMENTS: &[Runner] = &[
-    ("fig1a", "operator time distribution (lookup share)", exp::fig1::run_fig1a),
-    ("fig1b", "embedding memory growth over 15h", exp::fig1::run_fig1b),
-    ("table1", "CPU-only vs hybrid cost", exp::table1::run),
-    ("fig3", "fleet utilisation CDF + pending times", exp::fig3::run),
-    ("table2", "cluster job mix", exp::table2::run),
-    ("fig7", "JCT by scheduler and model", exp::fig7::run),
-    ("fig8", "convergence under elasticity (real training)", exp::fig8::run),
-    ("fig9", "warm-starting accuracy", exp::fig9::run),
-    ("fig10", "cold-start throughput ramp", exp::fig10::run),
-    ("fig11", "throughput model fit", exp::fig11::run),
-    ("fig12", "hot-PS recovery strategies", exp::fig12_13::run_fig12),
-    ("fig13", "worker-straggler recovery strategies", exp::fig12_13::run_fig13),
-    ("fig14", "12-month migration ramp", exp::production::run_fig14),
-    ("fig15", "cluster-level JCT reductions", exp::production::run_fig15),
-    ("table4", "failure rates before/after", exp::production::run_table4),
-    ("ablations", "design-choice ablations", exp::ablations::run),
-    ("chaos", "scripted fault plans vs the invariant oracle", exp::chaos::run),
-    ("resilience", "recovery latency + goodput retained per fault kind", exp::resilience::run),
-];
-
 fn usage() -> ! {
-    eprintln!("usage: exp [--seed N] <experiment|all> [more experiments...]");
+    eprintln!("usage: exp [--seed N] [--threads N] <experiment|all> [more experiments...]");
+    eprintln!("       exp [--seed N] [--threads N] --regen-golden");
+    eprintln!("       exp bench-parallel [--threads N]");
     eprintln!("       exp chaos [--seed N] [--plans K]");
     eprintln!("       exp trace [--filter KINDS] <id|trace.jsonl>");
     eprintln!("       exp trace --diff <left.jsonl> <right.jsonl>");
     eprintln!("       exp trace --chrome <id|spans.jsonl>");
     eprintln!("       exp critpath <id|spans.jsonl>\n");
+    eprintln!("--threads N caps the per-experiment worker pool (default: the");
+    eprintln!("machine's available parallelism; output is identical at any N).");
+    eprintln!("--regen-golden reruns everything and refreshes tests/golden/.");
+    eprintln!("bench-parallel times `exp all` at 1 vs N threads, byte-diffs the");
+    eprintln!("results, and writes BENCH_parallel.json at the workspace root.\n");
     eprintln!("KINDS is comma-separated event kind names; a trailing `*` globs");
     eprintln!("(e.g. --filter 'Pod*,JobStarted').\n");
     eprintln!("experiments:");
-    for (id, desc, _) in EXPERIMENTS {
+    for (id, desc, _) in REGISTRY {
         eprintln!("  {id:<10} {desc}");
     }
     std::process::exit(2);
@@ -240,8 +226,154 @@ fn chaos_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `exp --regen-golden`: rerun every registered experiment at `seed`,
+/// then digest the artefacts it left in `results/` into
+/// `tests/golden/<id>.digest`. The tier-1 golden tests compare against
+/// exactly these files, so this is the one sanctioned way to bless an
+/// intentional behaviour change.
+fn regen_golden_command(seed: u64) -> ! {
+    for (id, _, run) in REGISTRY {
+        eprintln!(">>> running {id} (seed {seed})");
+        run(seed);
+    }
+    let dir = results_dir();
+    for (id, _, _) in REGISTRY {
+        let trace = read_trace(&dir.join(format!("{id}.trace.jsonl")));
+        let spans = read_trace(&dir.join(format!("{id}.spans.jsonl")));
+        let digest = GoldenDigest::of(&trace, &spans);
+        write_golden(id, &digest).unwrap_or_else(|e| {
+            eprintln!("cannot write golden digest for {id}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!(
+            "golden {id}: trace_fnv={:#018x} spans_fnv={:#018x}",
+            digest.trace_fnv, digest.spans_fnv
+        );
+    }
+    eprintln!("refreshed {} digests in tests/golden/", REGISTRY.len());
+    std::process::exit(0);
+}
+
+/// Reads every regular file under `dir` (non-recursive) into a
+/// name-sorted `(file name, bytes)` list for byte-level comparison.
+fn snapshot_dir(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().is_file())
+                .map(|e| {
+                    let name = e.file_name().to_string_lossy().into_owned();
+                    let body = std::fs::read(e.path()).unwrap_or_default();
+                    (name, body)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+/// `exp bench-parallel`: run `exp all` twice in child processes — once at
+/// one thread, once at `threads` — against scratch results directories,
+/// byte-diff the two output sets, and record honest wall-clock numbers in
+/// `BENCH_parallel.json` at the workspace root. Exits non-zero if any
+/// output byte differs (the ISSUE's determinism acceptance gate).
+fn bench_parallel_command(threads: usize) -> ! {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate exp binary: {e}");
+        std::process::exit(2);
+    });
+    let base = std::env::temp_dir().join(format!("dlrover-bench-parallel-{}", std::process::id()));
+    let run_leg = |label: &str, dir: &Path, threads: usize| -> f64 {
+        let _ = std::fs::remove_dir_all(dir);
+        std::fs::create_dir_all(dir).expect("create scratch results dir");
+        eprintln!("== {label}: exp all, {threads} thread(s) ==");
+        let started = std::time::Instant::now();
+        let status = std::process::Command::new(&exe)
+            .arg("all")
+            .env("DLROVER_RESULTS_DIR", dir)
+            .env("DLROVER_THREADS", threads.to_string())
+            .stdout(std::process::Stdio::null())
+            .status()
+            .expect("spawn exp child");
+        let secs = started.elapsed().as_secs_f64();
+        if !status.success() {
+            eprintln!("{label} leg failed: {status}");
+            std::process::exit(2);
+        }
+        eprintln!("== {label}: {secs:.1}s ==\n");
+        secs
+    };
+    let serial_dir = base.join("serial");
+    let parallel_dir = base.join("parallel");
+    let serial_s = run_leg("serial", &serial_dir, 1);
+    let parallel_s = run_leg("parallel", &parallel_dir, threads);
+
+    let (a, b) = (snapshot_dir(&serial_dir), snapshot_dir(&parallel_dir));
+    let a_names: Vec<&String> = a.iter().map(|(n, _)| n).collect();
+    let b_names: Vec<&String> = b.iter().map(|(n, _)| n).collect();
+    if a_names != b_names {
+        eprintln!("determinism FAILED: file sets differ\n  serial:   {a_names:?}\n  parallel: {b_names:?}");
+        std::process::exit(1);
+    }
+    let mut mismatches = 0usize;
+    for ((name, left), (_, right)) in a.iter().zip(&b) {
+        if left != right {
+            eprintln!("determinism FAILED: {name} differs between 1 and {threads} threads");
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        std::process::exit(1);
+    }
+    eprintln!("determinism OK: {} files byte-identical at 1 vs {threads} thread(s)", a.len());
+
+    let speedup = serial_s / parallel_s.max(1e-9);
+    let avail = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let body = serde_json::json!({
+        "experiment": "bench-parallel",
+        "description": "wall-clock of `exp all` at 1 thread vs the pool",
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+        "threads": threads,
+        "available_parallelism": avail,
+        "files_compared": a.len(),
+        "byte_identical": true,
+    });
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_parallel.json");
+    std::fs::write(&out, format!("{:#}\n", body)).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(2);
+    });
+    println!(
+        "serial {serial_s:.1}s, parallel({threads}) {parallel_s:.1}s, speedup {speedup:.2}x \
+         (available_parallelism={avail}) -> {}",
+        out.display()
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    std::process::exit(0);
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--threads N` is global: it caps the worker pool for every
+    // subcommand (output is identical at any value, only wall-clock
+    // changes). Parsed and stripped before dispatch.
+    let mut threads_flag = None;
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        if pos + 1 >= args.len() {
+            usage();
+        }
+        let n: usize = args[pos + 1].parse().unwrap_or_else(|_| usage());
+        if n == 0 {
+            usage();
+        }
+        dlrover_bench::parallel::set_threads(n);
+        threads_flag = Some(n);
+        args.drain(pos..=pos + 1);
+    }
     if args.first().map(String::as_str) == Some("chaos") {
         chaos_command(&args[1..]);
     }
@@ -254,6 +386,15 @@ fn main() {
         }
         critpath_command(&args[1]);
     }
+    if args.first().map(String::as_str) == Some("bench-parallel") {
+        if args.len() != 1 {
+            usage();
+        }
+        let threads = threads_flag
+            .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(4))
+            .max(2);
+        bench_parallel_command(threads);
+    }
     let mut seed = 42u64;
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         if pos + 1 >= args.len() {
@@ -262,15 +403,21 @@ fn main() {
         seed = args[pos + 1].parse().unwrap_or_else(|_| usage());
         args.drain(pos..=pos + 1);
     }
+    if args.iter().any(|a| a == "--regen-golden") {
+        if args.len() != 1 {
+            usage();
+        }
+        regen_golden_command(seed);
+    }
     if args.is_empty() {
         usage();
     }
-    let selected: Vec<&Runner> = if args.iter().any(|a| a == "all") {
-        EXPERIMENTS.iter().collect()
+    let selected: Vec<&dlrover_bench::experiments::Runner> = if args.iter().any(|a| a == "all") {
+        REGISTRY.iter().collect()
     } else {
         args.iter()
             .map(|a| {
-                EXPERIMENTS.iter().find(|(id, _, _)| id == a).unwrap_or_else(|| {
+                REGISTRY.iter().find(|(id, _, _)| id == a).unwrap_or_else(|| {
                     eprintln!("unknown experiment: {a}\n");
                     usage()
                 })

@@ -13,12 +13,13 @@ use std::collections::BTreeMap;
 use dlrover_optimizer::ResourceAllocation;
 use dlrover_perfmodel::JobShape;
 use dlrover_pstrain::TrainingJobSpec;
-use dlrover_rm::chaos::{run_chaos_suite, ChaosConfig};
+use dlrover_rm::chaos::{run_chaos_job, ChaosConfig, ChaosReport};
 use dlrover_rm::runner::RunnerConfig;
-use dlrover_sim::FaultPlanConfig;
+use dlrover_sim::{FaultPlan, FaultPlanConfig, RngStreams};
 use dlrover_telemetry::Invariant;
 use serde::Serialize;
 
+use crate::parallel::{merge_telemetry, run_units_auto, Unit, UnitOutput};
 use crate::Report;
 
 /// Per-plan outcome row persisted into `results/chaos.json`.
@@ -42,6 +43,28 @@ fn job() -> (TrainingJobSpec, ResourceAllocation) {
     )
 }
 
+/// Per-plan chaos units: plan `i` is derived index-based from
+/// `cfg.runner.seed` (exactly as `run_chaos_suite` derives it), so each
+/// unit is self-contained and the parallel suite is bit-identical to the
+/// serial one.
+fn chaos_units<'a>(
+    spec: &'a TrainingJobSpec,
+    alloc: ResourceAllocation,
+    plans: u64,
+    cfg: &'a ChaosConfig,
+) -> Vec<Unit<'a, (FaultPlan, ChaosReport)>> {
+    (0..plans)
+        .map(|i| {
+            Unit::new(format!("{i:02}/plan"), move |t| {
+                let streams = RngStreams::new(cfg.runner.seed);
+                let plan = FaultPlan::generate(&cfg.plan, &streams, i);
+                let report = run_chaos_job(spec, alloc, &plan, cfg, t);
+                (plan, report)
+            })
+        })
+        .collect()
+}
+
 /// Runs `plans` generated fault plans at `seed`; returns the rendered
 /// report and the total invariant-violation count (CI gates on zero).
 pub fn run_chaos(seed: u64, plans: u64) -> (String, usize) {
@@ -51,7 +74,9 @@ pub fn run_chaos(seed: u64, plans: u64) -> (String, usize) {
         plan: FaultPlanConfig::default(),
         ..ChaosConfig::default()
     };
-    let suite = run_chaos_suite(&spec, alloc, plans, &cfg);
+    let outputs = run_units_auto(chaos_units(&spec, alloc, plans, &cfg));
+    let suite: Vec<&(FaultPlan, ChaosReport)> =
+        outputs.iter().map(|o: &UnitOutput<_>| &o.value).collect();
 
     let mut pass_counts: BTreeMap<String, u64> = BTreeMap::new();
     for inv in Invariant::ALL {
@@ -104,6 +129,7 @@ pub fn run_chaos(seed: u64, plans: u64) -> (String, usize) {
     report.record("completed", &completed);
     report.record("mean_jct_inflation", &mean_inflation);
     report.record("runs", &rows);
+    report.telemetry(&merge_telemetry(&outputs));
     (report.finish(), total_violations)
 }
 

@@ -2,17 +2,24 @@
 //! from scratch and adjusts every 3 minutes; DLRover-RM's throughput ramps
 //! to the plateau fastest because its model knows about lookups and its
 //! migrations are seamless.
+//!
+//! Execution: one unit per (model, scheduler) cell — nine independent
+//! cold-start simulations, self-seeded from `RunnerConfig::seed`, merged
+//! in paper row order.
 
 use dlrover_baselines::{EsPolicy, OptimusPolicy};
 use dlrover_brain::{DlroverPolicy, DlroverPolicyConfig};
 use dlrover_optimizer::{PlanSearchSpace, ResourceAllocation};
 use dlrover_perfmodel::JobShape;
 use dlrover_pstrain::TrainingJobSpec;
-use dlrover_rm::prelude::{run_single_job_traced, RunReport, RunnerConfig};
-use dlrover_telemetry::Telemetry;
+use dlrover_rm::prelude::{run_single_job_traced, RunReport, RunnerConfig, SchedulerPolicy};
 
 use crate::experiments::common::model_workloads;
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::Report;
+
+/// The three schedulers of the figure, in column order.
+const POLICIES: [&str; 3] = ["dlrover", "es", "optimus"];
 
 /// Samples a report's throughput series at whole minutes, smoothing each
 /// point over the trailing 3-minute window (as a dashboard would).
@@ -39,7 +46,6 @@ fn series_at_minutes(report: &RunReport, minutes: &[u32]) -> Vec<f64> {
 /// Runs the Fig. 10 cold-start ramp comparison.
 pub fn run(seed: u64) -> String {
     let mut r = Report::new("fig10", "cold-start throughput ramp (steps/s over time)");
-    let telemetry = Telemetry::default();
     let testbed_startup = dlrover_cluster::StartupLatencyModel {
         scheduling_mean_s: 15.0,
         image_pull_mean_s: 45.0,
@@ -57,34 +63,32 @@ pub fn run(seed: u64) -> String {
     let cold = ResourceAllocation::new(JobShape::new(2, 1, 8.0, 8.0, 512), 32.0, 64.0);
     let minutes: Vec<u32> = (0..=30).step_by(3).collect();
 
-    let mut json_rows = Vec::new();
-    for (name, constants) in model_workloads() {
-        let spec = TrainingJobSpec { constants, ..TrainingJobSpec::paper_default(400_000) };
-        let dl = run_single_job_traced(
-            Box::new(DlroverPolicy::new(
-                cold,
-                DlroverPolicyConfig { constants, seed, ..Default::default() },
-            )),
-            spec.clone(),
-            &runner,
-            &telemetry,
-        );
-        let es = run_single_job_traced(
-            Box::new(EsPolicy::new(cold, space, 4)),
-            spec.clone(),
-            &runner,
-            &telemetry,
-        );
-        let opt = run_single_job_traced(
-            Box::new(OptimusPolicy::new(cold, space, constants)),
-            spec.clone(),
-            &runner,
-            &telemetry,
-        );
+    let runner_ref = &runner;
+    let mut units = Vec::new();
+    for (mi, (_, constants)) in model_workloads().into_iter().enumerate() {
+        for (pi, policy) in POLICIES.iter().enumerate() {
+            let spec = TrainingJobSpec { constants, ..TrainingJobSpec::paper_default(400_000) };
+            units.push(Unit::new(format!("{mi}{pi}/{policy}"), move |t| {
+                let boxed: Box<dyn SchedulerPolicy> = match pi {
+                    0 => Box::new(DlroverPolicy::new(
+                        cold,
+                        DlroverPolicyConfig { constants, seed, ..Default::default() },
+                    )),
+                    1 => Box::new(EsPolicy::new(cold, space, 4)),
+                    _ => Box::new(OptimusPolicy::new(cold, space, constants)),
+                };
+                run_single_job_traced(boxed, spec, runner_ref, t)
+            }));
+        }
+    }
+    let outputs = run_units_auto(units);
+    let cell = |mi: usize, pi: usize| &outputs[mi * POLICIES.len() + pi].value;
 
-        let dl_series = series_at_minutes(&dl, &minutes);
-        let es_series = series_at_minutes(&es, &minutes);
-        let opt_series = series_at_minutes(&opt, &minutes);
+    let mut json_rows = Vec::new();
+    for (mi, (name, _)) in model_workloads().into_iter().enumerate() {
+        let dl_series = series_at_minutes(cell(mi, 0), &minutes);
+        let es_series = series_at_minutes(cell(mi, 1), &minutes);
+        let opt_series = series_at_minutes(cell(mi, 2), &minutes);
 
         r.section(name);
         r.row(&["min".into(), "dlrover".into(), "es".into(), "optimus".into()], &[5, 9, 9, 9]);
@@ -109,7 +113,7 @@ pub fn run(seed: u64) -> String {
          (paper: 250 steps/s vs 100-150 at 12 minutes for Model-X)",
     );
     r.record("rows", &json_rows);
-    r.telemetry(&telemetry);
+    r.telemetry(&merge_telemetry(&outputs));
     r.finish()
 }
 
@@ -117,11 +121,7 @@ pub fn run(seed: u64) -> String {
 mod tests {
     #[test]
     fn fig10_dlrover_ramps_fastest() {
-        super::run(10);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("fig10.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("fig10").json;
         for row in json["rows"].as_array().unwrap() {
             let at = |key: &str, idx: usize| row[key].as_array().unwrap()[idx].as_f64().unwrap();
             let n = row["minutes"].as_array().unwrap().len();

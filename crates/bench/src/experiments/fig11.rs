@@ -7,20 +7,16 @@ use dlrover_perfmodel::{
 };
 use dlrover_sim::{Normal, RngStreams, Sample};
 
-use dlrover_telemetry::Telemetry;
-
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::Report;
 
-/// Runs the Fig. 11 model-fitting study.
-pub fn run(seed: u64) -> String {
-    let mut r = Report::new("fig11", "throughput model: sampled points vs NNLS fit");
+/// Samples the profiling grid (4 % multiplicative measurement noise, like
+/// profiling a real job) and fits the NNLS model. Returns the fitted
+/// model, the fit RMSLE, and the sample count.
+fn fit_stage(seed: u64, truth: &ThroughputModel) -> (ThroughputModel, f64, usize) {
     let constants = WorkloadConstants::default();
-    let truth = ThroughputModel::new(constants, ModelCoefficients::simulation_truth());
     let mut rng = RngStreams::new(seed).stream("fig11");
     let noise = Normal::new(1.0, 0.04);
-
-    // Sample a grid of configurations with 4 % multiplicative measurement
-    // noise, like profiling a real job.
     let mut observations = Vec::new();
     for w in [1u32, 2, 4, 6, 8, 12, 16] {
         for p in [1u32, 2, 4, 8] {
@@ -34,6 +30,23 @@ pub fn run(seed: u64) -> String {
         }
     }
     let (fitted, fit_rmsle) = ThroughputModel::fit(constants, &observations).expect("fit succeeds");
+    (fitted, fit_rmsle, observations.len())
+}
+
+/// Runs the Fig. 11 model-fitting study.
+///
+/// Execution is two-stage: a single fit unit (the observation stream is
+/// sequential), then four independent sweep units that share the fitted
+/// model by clone.
+pub fn run(seed: u64) -> String {
+    let mut r = Report::new("fig11", "throughput model: sampled points vs NNLS fit");
+    let constants = WorkloadConstants::default();
+    let truth = ThroughputModel::new(constants, ModelCoefficients::simulation_truth());
+
+    let truth_ref = &truth;
+    let fit_outputs =
+        run_units_auto(vec![Unit::new("0/fit".to_string(), move |_t| fit_stage(seed, truth_ref))]);
+    let (fitted, fit_rmsle, n_observations) = &fit_outputs[0].value;
 
     // Report the coefficients in the paper's (unscaled) units for direct
     // comparison: the simulation truth is paper_reference / 1800.
@@ -51,39 +64,54 @@ pub fn run(seed: u64) -> String {
     ] {
         r.row(&[name.into(), format!("{got:.2}"), format!("{want:.2}")], &[12, 10, 10]);
     }
-    r.line(format!("fit RMSLE over {} samples: {:.4}", observations.len(), fit_rmsle));
+    r.line(format!("fit RMSLE over {n_observations} samples: {fit_rmsle:.4}"));
 
     // The figure's four sweeps: predicted-vs-actual throughput while
-    // varying one variable with the rest fixed.
-    type ShapeOf = Box<dyn Fn(u32) -> JobShape>;
+    // varying one variable with the rest fixed. Each sweep is an
+    // independent unit over the (cloned) fitted model.
+    type ShapeOf = fn(u32) -> JobShape;
     let sweeps: [(&str, ShapeOf); 4] = [
-        ("workers (p=4, cpu=8)", Box::new(|w| JobShape::new(w, 4, 8.0, 8.0, 512))),
-        ("ps (w=8, cpu=8)", Box::new(|p| JobShape::new(8, p, 8.0, 8.0, 512))),
-        ("worker cpu (w=8, p=4)", Box::new(|c| JobShape::new(8, 4, f64::from(c), 8.0, 512))),
-        ("ps cpu (w=8, p=4)", Box::new(|c| JobShape::new(8, 4, 8.0, f64::from(c), 512))),
+        ("workers (p=4, cpu=8)", |w| JobShape::new(w, 4, 8.0, 8.0, 512)),
+        ("ps (w=8, cpu=8)", |p| JobShape::new(8, p, 8.0, 8.0, 512)),
+        ("worker cpu (w=8, p=4)", |c| JobShape::new(8, 4, f64::from(c), 8.0, 512)),
+        ("ps cpu (w=8, p=4)", |c| JobShape::new(8, 4, 8.0, f64::from(c), 512)),
     ];
+    let fitted_ref = fitted;
+    let sweep_outputs = run_units_auto(
+        sweeps
+            .iter()
+            .enumerate()
+            .map(|(i, &(label, shape_of))| {
+                Unit::new(format!("{i}/{label}"), move |_t| {
+                    let points: Vec<(u32, f64, f64)> = [1u32, 2, 4, 8, 16]
+                        .iter()
+                        .map(|&x| {
+                            let s = shape_of(x);
+                            (x, truth_ref.throughput(&s), fitted_ref.throughput(&s))
+                        })
+                        .collect();
+                    let actuals: Vec<f64> = points.iter().map(|p| p.1).collect();
+                    let preds: Vec<f64> = points.iter().map(|p| p.2).collect();
+                    (points, rmsle(&preds, &actuals))
+                })
+            })
+            .collect(),
+    );
     let mut sweep_rows = Vec::new();
-    for (label, shape_of) in sweeps {
+    for (&(label, _), out) in sweeps.iter().zip(&sweep_outputs) {
+        let (points, err) = &out.value;
         r.section(&format!("sweep: {label}"));
         r.row(&["x".into(), "actual".into(), "predicted".into()], &[4, 10, 11]);
-        let mut preds = Vec::new();
-        let mut actuals = Vec::new();
-        for x in [1u32, 2, 4, 8, 16] {
-            let s = shape_of(x);
-            let actual = truth.throughput(&s);
-            let predicted = fitted.throughput(&s);
-            preds.push(predicted);
-            actuals.push(actual);
+        for (x, actual, predicted) in points {
             r.row(
                 &[format!("{x}"), format!("{actual:.0}"), format!("{predicted:.0}")],
                 &[4, 10, 11],
             );
         }
-        let err = rmsle(&preds, &actuals);
         r.line(format!("sweep RMSLE: {err:.4}"));
         sweep_rows.push(serde_json::json!({ "sweep": label, "rmsle": err }));
     }
-    r.record("fit_rmsle", &fit_rmsle);
+    r.record("fit_rmsle", fit_rmsle);
     r.record(
         "coefficients_paper_units",
         &serde_json::json!({
@@ -95,7 +123,9 @@ pub fn run(seed: u64) -> String {
         }),
     );
     r.record("sweeps", &sweep_rows);
-    r.telemetry(&Telemetry::default());
+    let merged = merge_telemetry(&fit_outputs);
+    merged.absorb(&merge_telemetry(&sweep_outputs));
+    r.telemetry(&merged);
     r.finish()
 }
 
@@ -103,11 +133,7 @@ pub fn run(seed: u64) -> String {
 mod tests {
     #[test]
     fn fig11_fit_recovers_coefficients() {
-        super::run(11);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("fig11.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("fig11").json;
         assert!(json["fit_rmsle"].as_f64().unwrap() < 0.05);
         let c = &json["coefficients_paper_units"];
         // Recovered coefficients within 15 % of the planted values

@@ -8,7 +8,15 @@ use dlrover_pstrain::{
 use dlrover_sim::{SimDuration, SimTime};
 use dlrover_telemetry::Telemetry;
 
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::Report;
+
+/// The three scripted strategies of both figures, in paper row order.
+const STRATEGIES: [(&str, MigrationStrategy); 3] = [
+    ("no intervention", MigrationStrategy::NoIntervention),
+    ("traditional stop-restart", MigrationStrategy::StopAndRestart),
+    ("DLRover-RM", MigrationStrategy::Seamless),
+];
 
 const GB: u64 = 1_000_000_000;
 const SLICE: SimDuration = SimDuration::from_secs(30);
@@ -148,23 +156,14 @@ fn straggler_case(strategy: MigrationStrategy, telemetry: &Telemetry) -> Outcome
     }
 }
 
-fn render(
-    r: &mut Report,
-    title: &str,
-    f: impl Fn(MigrationStrategy) -> Outcome,
-) -> Vec<serde_json::Value> {
+fn render(r: &mut Report, title: &str, outcomes: &[&Outcome]) -> Vec<serde_json::Value> {
     r.section(title);
     r.row(
         &["strategy".into(), "JCT(min)".into(), "pause(min)".into(), "degraded(min)".into()],
         &[26, 9, 11, 14],
     );
     let mut rows = Vec::new();
-    for (label, strategy) in [
-        ("no intervention", MigrationStrategy::NoIntervention),
-        ("traditional stop-restart", MigrationStrategy::StopAndRestart),
-        ("DLRover-RM", MigrationStrategy::Seamless),
-    ] {
-        let o = f(strategy);
+    for (&(label, _), o) in STRATEGIES.iter().zip(outcomes) {
         r.row(
             &[
                 label.into(),
@@ -211,14 +210,48 @@ fn hot_ps_via_master(telemetry: &Telemetry) -> f64 {
     f64::NAN
 }
 
+/// A fig12 unit's result: a scripted-timeline outcome or the job-master
+/// cross-check's JCT.
+enum Case {
+    Scripted(Outcome),
+    Auto(f64),
+}
+
 /// Runs Fig. 12 (hot PS).
+///
+/// Execution: four units — the three scripted strategies plus the
+/// master-driven cross-check — each with its own telemetry sink; the
+/// per-strategy span tracks keep the merged timelines on distinct
+/// Perfetto rows regardless of which thread ran which case.
 pub fn run_fig12(_seed: u64) -> String {
     let mut r = Report::new("fig12", "hot-PS recovery strategies");
-    let telemetry = Telemetry::default();
-    let mut rows =
-        render(&mut r, "PS 0 drops to 3% CPU at minute 20", |s| hot_ps_case(s, &telemetry));
+    let mut units: Vec<Unit<'_, Case>> = STRATEGIES
+        .iter()
+        .enumerate()
+        .map(|(i, &(label, strategy))| {
+            Unit::new(format!("{i}/{label}"), move |t: &Telemetry| {
+                Case::Scripted(hot_ps_case(strategy, t))
+            })
+        })
+        .collect();
+    units.push(Unit::new("3/master-auto".to_string(), |t: &Telemetry| {
+        Case::Auto(hot_ps_via_master(t))
+    }));
+    let outputs = run_units_auto(units);
+    let scripted: Vec<&Outcome> = outputs[..3]
+        .iter()
+        .map(|o| match &o.value {
+            Case::Scripted(oc) => oc,
+            Case::Auto(_) => unreachable!("key order pins units 0-2 to scripted cases"),
+        })
+        .collect();
+    let auto_jct = match outputs[3].value {
+        Case::Auto(jct) => jct,
+        Case::Scripted(_) => unreachable!("key order pins unit 3 to the master cross-check"),
+    };
+
+    let mut rows = render(&mut r, "PS 0 drops to 3% CPU at minute 20", &scripted);
     // Integrated path: master auto-detects and rebalances.
-    let auto_jct = hot_ps_via_master(&telemetry);
     r.row(
         &["DLRover-RM (job master)".into(), format!("{auto_jct:.1}"), "auto".into(), "auto".into()],
         &[26, 9, 11, 14],
@@ -233,16 +266,25 @@ pub fn run_fig12(_seed: u64) -> String {
         (1.0 - jct(2) / jct(1)) * 100.0
     ));
     r.record("rows", &rows);
-    r.telemetry(&telemetry);
+    r.telemetry(&merge_telemetry(&outputs));
     r.finish()
 }
 
 /// Runs Fig. 13 (worker straggler).
+///
+/// Execution: one unit per scripted strategy, merged in paper row order.
 pub fn run_fig13(_seed: u64) -> String {
     let mut r = Report::new("fig13", "worker-straggler recovery strategies");
-    let telemetry = Telemetry::default();
-    let rows =
-        render(&mut r, "worker 0 drops to 3% CPU at minute 20", |s| straggler_case(s, &telemetry));
+    let units = STRATEGIES
+        .iter()
+        .enumerate()
+        .map(|(i, &(label, strategy))| {
+            Unit::new(format!("{i}/{label}"), move |t: &Telemetry| straggler_case(strategy, t))
+        })
+        .collect();
+    let outputs = run_units_auto(units);
+    let outcomes: Vec<&Outcome> = outputs.iter().map(|o| &o.value).collect();
+    let rows = render(&mut r, "worker 0 drops to 3% CPU at minute 20", &outcomes);
     let jct = |i: usize| rows[i]["jct_min"].as_f64().unwrap();
     r.line(format!(
         "\nDLRover vs no-intervention: -{:.1}% (paper: -48.5%) | vs traditional: -{:.1}% (paper: -37%)",
@@ -250,7 +292,7 @@ pub fn run_fig13(_seed: u64) -> String {
         (1.0 - jct(2) / jct(1)) * 100.0
     ));
     r.record("rows", &rows);
-    r.telemetry(&telemetry);
+    r.telemetry(&merge_telemetry(&outputs));
     r.finish()
 }
 
@@ -260,12 +302,8 @@ mod tests {
     use crate::critpath::critical_path;
     use dlrover_telemetry::parse_spans_jsonl;
 
-    fn jcts(name: &str) -> (f64, f64, f64) {
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join(name)).unwrap(),
-        )
-        .unwrap();
-        let rows = json["rows"].as_array().unwrap();
+    fn jcts(id: &str) -> (f64, f64, f64) {
+        let rows = crate::fixture::canonical(id).json["rows"].as_array().unwrap().clone();
         (
             rows[0]["jct_min"].as_f64().unwrap(),
             rows[1]["jct_min"].as_f64().unwrap(),
@@ -275,14 +313,10 @@ mod tests {
 
     #[test]
     fn fig12_ordering() {
-        super::run_fig12(0);
-        let (noint, traditional, dlrover) = jcts("fig12.json");
+        let (noint, traditional, dlrover) = jcts("fig12");
         // The integrated job-master path must land in the same league as
         // the scripted seamless timeline.
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("fig12.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("fig12").json;
         let auto = json["rows"][3]["jct_min"].as_f64().unwrap();
         assert!(auto.is_finite());
         assert!(auto < traditional, "auto mitigation {auto} !< traditional {traditional}");
@@ -295,8 +329,7 @@ mod tests {
 
     #[test]
     fn fig13_ordering() {
-        super::run_fig13(0);
-        let (noint, traditional, dlrover) = jcts("fig13.json");
+        let (noint, traditional, dlrover) = jcts("fig13");
         assert!(dlrover < traditional, "{dlrover} !< {traditional}");
         assert!(traditional < noint, "{traditional} !< {noint}");
         assert!(dlrover < 0.7 * noint, "sharding should save big: {dlrover} vs {noint}");

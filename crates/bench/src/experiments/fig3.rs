@@ -11,8 +11,17 @@ use dlrover_pstrain::{AsyncCostModel, PodState};
 use dlrover_sim::{RngStreams, SimDuration};
 use dlrover_telemetry::Telemetry;
 
-use crate::experiments::fleetstudy::{run_fleet, FleetStudyConfig};
+use crate::experiments::fleetstudy::{run_fleet, FleetStudyConfig, JobOutcome};
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::{percentile, sorted, Report};
+
+/// The two independent halves of the figure, joined after the pool runs.
+enum Out {
+    /// Aggregate fleet-study outcomes (utilisation CDFs, pool pending).
+    Fleet(Vec<JobOutcome>),
+    /// Pod-level gang-scheduler pending times (minutes, sorted).
+    Pod(Vec<f64>),
+}
 
 /// Pod-level cross-validation of the pending-time distribution: gang-
 /// schedule a slice of the same workload through the *exact* cluster
@@ -81,11 +90,27 @@ fn pod_level_pending(seed: u64, telemetry: &Telemetry) -> Vec<f64> {
 }
 
 /// Runs the Fig. 3 trace analysis.
+///
+/// Execution: two units — the aggregate fleet study and the pod-level
+/// gang-scheduling cross-check — each self-seeded from `seed`, so they can
+/// run on separate threads without sharing RNG state.
 pub fn run(seed: u64) -> String {
     let mut r = Report::new("fig3", "fleet utilisation CDF and pending times (static era)");
-    let telemetry = Telemetry::default();
     let cfg = FleetStudyConfig { dlrover_fraction: 0.0, seed, ..Default::default() };
-    let outcomes = run_fleet(&cfg);
+    let cfg_ref = &cfg;
+    let units = vec![
+        Unit::new("0/fleet-study".to_string(), move |_t| Out::Fleet(run_fleet(cfg_ref))),
+        Unit::new("1/pod-level".to_string(), move |t| Out::Pod(pod_level_pending(seed, t))),
+    ];
+    let outputs = run_units_auto(units);
+    let outcomes = match &outputs[0].value {
+        Out::Fleet(v) => v,
+        Out::Pod(_) => unreachable!("key order pins unit 0 to the fleet study"),
+    };
+    let pod_pending = match &outputs[1].value {
+        Out::Pod(v) => v,
+        Out::Fleet(_) => unreachable!("key order pins unit 1 to the pod-level check"),
+    };
     let admitted: Vec<_> = outcomes.iter().filter(|o| o.held_cores > 0.0).collect();
 
     // Utilisation CDFs.
@@ -134,14 +159,13 @@ pub fn run(seed: u64) -> String {
     );
 
     // Cross-check with the exact pod-level gang scheduler.
-    let pod_pending = pod_level_pending(seed, &telemetry);
     r.section("pending time, pod-level gang scheduling (minutes)");
     r.row(&["p50".into(), "p90".into(), "p99".into()], &[8, 8, 8]);
     r.row(
         &[
-            format!("{:.1}", percentile(&pod_pending, 50.0)),
-            format!("{:.1}", percentile(&pod_pending, 90.0)),
-            format!("{:.1}", percentile(&pod_pending, 99.0)),
+            format!("{:.1}", percentile(pod_pending, 50.0)),
+            format!("{:.1}", percentile(pod_pending, 90.0)),
+            format!("{:.1}", percentile(pod_pending, 99.0)),
         ],
         &[8, 8, 8],
     );
@@ -150,9 +174,9 @@ pub fn run(seed: u64) -> String {
     r.record("below_half_cpu", &below_half_cpu);
     r.record("pending_p50_min", &percentile(&pending, 50.0));
     r.record("pending_p90_min", &percentile(&pending, 90.0));
-    r.record("pod_level_pending_p50_min", &percentile(&pod_pending, 50.0));
-    r.record("pod_level_pending_p90_min", &percentile(&pod_pending, 90.0));
-    r.telemetry(&telemetry);
+    r.record("pod_level_pending_p50_min", &percentile(pod_pending, 50.0));
+    r.record("pod_level_pending_p90_min", &percentile(pod_pending, 90.0));
+    r.telemetry(&merge_telemetry(&outputs));
     r.finish()
 }
 
@@ -160,12 +184,8 @@ pub fn run(seed: u64) -> String {
 mod tests {
     #[test]
     fn fig3_shows_underutilisation() {
-        let text = super::run(3);
-        assert!(text.contains("below 50% CPU utilisation"));
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("fig3.json")).unwrap(),
-        )
-        .unwrap();
-        assert!(json["below_half_cpu"].as_f64().unwrap() > 0.6);
+        let run = crate::fixture::canonical("fig3");
+        assert!(run.text.contains("below 50% CPU utilisation"));
+        assert!(run.json["below_half_cpu"].as_f64().unwrap() > 0.6);
     }
 }

@@ -1,16 +1,22 @@
 //! Fig. 7: end-to-end JCT on the small-scale testbed — DLRover-RM is
 //! within a few percent of a hand-tuned configuration and clearly faster
 //! than ES and Optimus, across all three models.
+//!
+//! Execution: one unit per (model, policy) cell — 15 independent
+//! simulations. `run_single_job_traced` seeds its own `RngStreams` from
+//! `RunnerConfig::seed`, so a cell's numbers are identical whether the
+//! cells run serially or across threads; the per-unit telemetry sinks
+//! merge in key (= paper row) order.
 
 use dlrover_baselines::{EsPolicy, OptimusPolicy, StaticPolicy, WellTunedPolicy};
 use dlrover_brain::{DlroverPolicy, DlroverPolicyConfig};
 use dlrover_optimizer::{PlanSearchSpace, ResourceAllocation};
 use dlrover_perfmodel::JobShape;
 use dlrover_pstrain::TrainingJobSpec;
-use dlrover_rm::prelude::{run_single_job_traced, RunnerConfig};
-use dlrover_telemetry::Telemetry;
+use dlrover_rm::prelude::{run_single_job_traced, RunnerConfig, SchedulerPolicy};
 
 use crate::experiments::common::{history_for, model_workloads, truth_for};
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::Report;
 
 /// Paper setting: 200k steps of batch 512.
@@ -18,14 +24,62 @@ const STEPS: u64 = 200_000;
 /// Testbed CPU budget: 20 nodes × 32 cores.
 const BUDGET_CORES: f64 = 640.0;
 
+/// The five schedulers of the figure, in column order.
+const POLICIES: [&str; 5] = ["well-tuned", "dlrover", "es", "optimus", "static"];
+
 fn spec_for(constants: dlrover_perfmodel::WorkloadConstants) -> TrainingJobSpec {
     TrainingJobSpec { constants, ..TrainingJobSpec::paper_default(STEPS) }
+}
+
+fn policy_for(
+    pi: usize,
+    constants: dlrover_perfmodel::WorkloadConstants,
+    space: PlanSearchSpace,
+    seed: u64,
+) -> Box<dyn SchedulerPolicy> {
+    let truth = truth_for(constants);
+    // Users typically submit a plausible-but-suboptimal request.
+    let user_request = ResourceAllocation::new(JobShape::new(12, 6, 8.0, 8.0, 512), 32.0, 64.0);
+    match pi {
+        0 => Box::new(WellTunedPolicy::new(&truth, &space, 512, BUDGET_CORES)),
+        1 => {
+            // DLRover warm-starts from the config DB (Fig. 9 fidelity) and
+            // inherits historical profiles.
+            let best = dlrover_baselines::well_tuned_search(
+                &truth,
+                &space,
+                512,
+                BUDGET_CORES,
+                &dlrover_optimizer::PriceTable::default(),
+            );
+            let warm = ResourceAllocation::new(
+                JobShape::new(
+                    ((f64::from(best.shape.workers) * 0.92).round() as u32).max(1),
+                    ((f64::from(best.shape.ps) * 0.85).round() as u32).max(1),
+                    best.shape.worker_cpu,
+                    best.shape.ps_cpu,
+                    512,
+                ),
+                best.worker_mem_gb,
+                best.ps_mem_gb,
+            );
+            Box::new(
+                DlroverPolicy::new(
+                    warm,
+                    DlroverPolicyConfig { constants, seed, space, ..Default::default() },
+                )
+                .with_history(history_for(constants)),
+            )
+        }
+        2 => Box::new(EsPolicy::new(user_request, space, 4)),
+        3 => Box::new(OptimusPolicy::new(user_request, space, constants)),
+        _ => Box::new(StaticPolicy::new(user_request)),
+    }
 }
 
 /// Runs the Fig. 7 comparison.
 pub fn run(seed: u64) -> String {
     let mut r = Report::new("fig7", "JCT by scheduler and model (200k steps, batch 512)");
-    let telemetry = Telemetry::default();
     // The 20-node testbed restarts pods much faster than the production
     // cloud: images are cached and scheduling is uncontended.
     let testbed_startup = dlrover_cluster::StartupLatencyModel {
@@ -62,91 +116,43 @@ pub fn run(seed: u64) -> String {
         &[20, 11, 11, 9, 9, 9],
     );
 
+    let runner_ref = &runner;
+    let mut units = Vec::new();
+    for (mi, (_, constants)) in model_workloads().into_iter().enumerate() {
+        for (pi, policy) in POLICIES.iter().enumerate() {
+            let spec = spec_for(constants);
+            units.push(Unit::new(format!("{mi}{pi}/{policy}"), move |t| {
+                run_single_job_traced(policy_for(pi, constants, space, seed), spec, runner_ref, t)
+            }));
+        }
+    }
+    let outputs = run_units_auto(units);
+    // Keys are `{model}{policy}`-prefixed, so the sorted outputs are in
+    // submission order: outputs[mi * 5 + pi].
+    let cell = |mi: usize, pi: usize| &outputs[mi * POLICIES.len() + pi].value;
+    let mins =
+        |r: &dlrover_rm::prelude::RunReport| r.jct.map(|d| d.as_mins_f64()).unwrap_or(f64::NAN);
+
     let mut json_rows = Vec::new();
-    for (name, constants) in model_workloads() {
-        let spec = spec_for(constants);
-        let truth = truth_for(constants);
-
-        // Users typically submit a plausible-but-suboptimal request.
-        let user_request = ResourceAllocation::new(JobShape::new(12, 6, 8.0, 8.0, 512), 32.0, 64.0);
-
-        let oracle = run_single_job_traced(
-            Box::new(WellTunedPolicy::new(&truth, &space, 512, BUDGET_CORES)),
-            spec.clone(),
-            &runner,
-            &telemetry,
-        );
-        // DLRover warm-starts from the config DB (Fig. 9 fidelity) and
-        // inherits historical profiles.
-        let best = dlrover_baselines::well_tuned_search(
-            &truth,
-            &space,
-            512,
-            BUDGET_CORES,
-            &dlrover_optimizer::PriceTable::default(),
-        );
-        let warm = ResourceAllocation::new(
-            JobShape::new(
-                ((f64::from(best.shape.workers) * 0.92).round() as u32).max(1),
-                ((f64::from(best.shape.ps) * 0.85).round() as u32).max(1),
-                best.shape.worker_cpu,
-                best.shape.ps_cpu,
-                512,
-            ),
-            best.worker_mem_gb,
-            best.ps_mem_gb,
-        );
-        let dlrover = run_single_job_traced(
-            Box::new(
-                DlroverPolicy::new(
-                    warm,
-                    DlroverPolicyConfig { constants, seed, space, ..Default::default() },
-                )
-                .with_history(history_for(constants)),
-            ),
-            spec.clone(),
-            &runner,
-            &telemetry,
-        );
-        let es = run_single_job_traced(
-            Box::new(EsPolicy::new(user_request, space, 4)),
-            spec.clone(),
-            &runner,
-            &telemetry,
-        );
-        let optimus = run_single_job_traced(
-            Box::new(OptimusPolicy::new(user_request, space, constants)),
-            spec.clone(),
-            &runner,
-            &telemetry,
-        );
-        let statik = run_single_job_traced(
-            Box::new(StaticPolicy::new(user_request)),
-            spec.clone(),
-            &runner,
-            &telemetry,
-        );
-
-        let mins =
-            |r: &dlrover_rm::prelude::RunReport| r.jct.map(|d| d.as_mins_f64()).unwrap_or(f64::NAN);
+    for (mi, (name, _)) in model_workloads().into_iter().enumerate() {
         r.row(
             &[
                 name.into(),
-                format!("{:.1}", mins(&oracle)),
-                format!("{:.1}", mins(&dlrover)),
-                format!("{:.1}", mins(&es)),
-                format!("{:.1}", mins(&optimus)),
-                format!("{:.1}", mins(&statik)),
+                format!("{:.1}", mins(cell(mi, 0))),
+                format!("{:.1}", mins(cell(mi, 1))),
+                format!("{:.1}", mins(cell(mi, 2))),
+                format!("{:.1}", mins(cell(mi, 3))),
+                format!("{:.1}", mins(cell(mi, 4))),
             ],
             &[20, 11, 11, 9, 9, 9],
         );
         json_rows.push(serde_json::json!({
             "model": name,
-            "well_tuned_min": mins(&oracle),
-            "dlrover_min": mins(&dlrover),
-            "es_min": mins(&es),
-            "optimus_min": mins(&optimus),
-            "static_min": mins(&statik),
+            "well_tuned_min": mins(cell(mi, 0)),
+            "dlrover_min": mins(cell(mi, 1)),
+            "es_min": mins(cell(mi, 2)),
+            "optimus_min": mins(cell(mi, 3)),
+            "static_min": mins(cell(mi, 4)),
         }));
     }
 
@@ -170,7 +176,7 @@ pub fn run(seed: u64) -> String {
     r.record("improvement_vs_es", &vs_es);
     r.record("improvement_vs_optimus", &vs_optimus);
     r.record("gap_vs_well_tuned", &vs_oracle);
-    r.telemetry(&telemetry);
+    r.telemetry(&merge_telemetry(&outputs));
     r.finish()
 }
 
@@ -178,11 +184,7 @@ pub fn run(seed: u64) -> String {
 mod tests {
     #[test]
     fn fig7_ordering_matches_paper() {
-        super::run(7);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("fig7.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("fig7").json;
         for row in json["rows"].as_array().unwrap() {
             let d = row["dlrover_min"].as_f64().unwrap();
             let es = row["es_min"].as_f64().unwrap();

@@ -1,12 +1,16 @@
 //! Fig. 8: model convergence (test AUC and training loss) under
 //! DLRover-RM's elasticity matches the well-tuned static run, for all
 //! three model families — real gradient descent, not a scripted curve.
+//!
+//! Execution: one unit per (model, static|elastic) run — six independent
+//! trainings, each seeded from `(kind, seed)` alone. This is the longest
+//! experiment in `exp all` by far, so the intra-experiment parallelism
+//! here is what buys most of the `--threads` wall-clock win.
 
 use dlrover_dlrm::model::ModelKind;
 use dlrover_pstrain::{ElasticEvent, RealModeConfig, RealModeTrainer};
 
-use dlrover_telemetry::Telemetry;
-
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::Report;
 
 const EVAL_START: u64 = 40_000_000;
@@ -49,10 +53,21 @@ fn run_one(kind: ModelKind, seed: u64, elastic: bool) -> (Vec<CurvePoint>, f64, 
 pub fn run(seed: u64) -> String {
     let mut r =
         Report::new("fig8", "convergence under elasticity vs well-tuned static (real training)");
+    let mut units = Vec::new();
+    for (ki, kind) in ModelKind::all().into_iter().enumerate() {
+        for (ei, elastic) in [false, true].into_iter().enumerate() {
+            let mode = if elastic { "elastic" } else { "static" };
+            units.push(Unit::new(format!("{ki}{ei}/{}/{mode}", kind.paper_label()), move |_t| {
+                run_one(kind, seed, elastic)
+            }));
+        }
+    }
+    let outputs = run_units_auto(units);
+    // Key-sorted outputs follow submission order: outputs[ki * 2 + ei].
     let mut json_rows = Vec::new();
-    for kind in ModelKind::all() {
-        let (static_curve, s_loss, s_auc) = run_one(kind, seed, false);
-        let (elastic_curve, e_loss, e_auc) = run_one(kind, seed, true);
+    for (ki, kind) in ModelKind::all().into_iter().enumerate() {
+        let (static_curve, s_loss, s_auc) = &outputs[ki * 2].value;
+        let (elastic_curve, e_loss, e_auc) = &outputs[ki * 2 + 1].value;
         r.section(kind.paper_label());
         r.row(
             &[
@@ -64,7 +79,7 @@ pub fn run(seed: u64) -> String {
             ],
             &[7, 11, 12, 12, 13],
         );
-        for (s, e) in static_curve.iter().zip(&elastic_curve) {
+        for (s, e) in static_curve.iter().zip(elastic_curve) {
             r.row(
                 &[
                     format!("{}", s.round),
@@ -93,7 +108,7 @@ pub fn run(seed: u64) -> String {
          leaves final AUC within noise of the static run (paper: curves overlap)",
     );
     r.record("rows", &json_rows);
-    r.telemetry(&Telemetry::default());
+    r.telemetry(&merge_telemetry(&outputs));
     r.finish()
 }
 
@@ -101,11 +116,7 @@ pub fn run(seed: u64) -> String {
 mod tests {
     #[test]
     fn fig8_convergence_parity() {
-        super::run(8);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("fig8.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("fig8").json;
         for row in json["rows"].as_array().unwrap() {
             let s = row["static_auc"].as_f64().unwrap();
             let e = row["elastic_auc"].as_f64().unwrap();

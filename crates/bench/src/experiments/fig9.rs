@@ -9,9 +9,19 @@ use dlrover_perfmodel::{JobShape, ThroughputObservation, WorkloadConstants};
 use dlrover_sim::{Normal, RngStreams, Sample, SimTime};
 
 use crate::experiments::common::{history_for, truth_for};
-use dlrover_telemetry::Telemetry;
 
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::Report;
+
+/// Unit outputs: the 30-day warm-start study stays one unit (each day's
+/// draws feed the config DB the next day reads), while the two
+/// rounds-to-converge probes are independent.
+enum Out {
+    /// `(rows, acc_workers, acc_ps)` from the month-long study.
+    Month(Vec<serde_json::Value>, Vec<f64>, Vec<f64>),
+    /// Adjustment rounds until the policy stops moving.
+    Rounds(u32),
+}
 
 fn meta(user: &str, dataset: u64) -> JobMetadata {
     JobMetadata {
@@ -81,22 +91,14 @@ fn rounds_to_converge(
     moves
 }
 
-/// Runs the Fig. 9 warm-starting study.
-pub fn run(seed: u64) -> String {
-    let mut r = Report::new("fig9", "warm-starting: initial vs final configuration");
+/// The month-long warm-start study: one user's pipeline re-trained daily
+/// with slowly growing data, so final configurations drift gently.
+fn month_study(seed: u64) -> (Vec<serde_json::Value>, Vec<f64>, Vec<f64>) {
     let streams = RngStreams::new(seed);
     let mut rng = streams.stream("fig9");
     let noise = Normal::new(0.0, 0.1);
-    let constants = WorkloadConstants::default();
-
-    // One month of one user's jobs: the same pipeline re-trained daily with
-    // slowly growing data, so final configurations drift gently.
     let mut db = ConfigDb::new(1_000);
     let mut rows = Vec::new();
-    r.row(
-        &["day".into(), "ws w/ps".into(), "final w/ps".into(), "acc w".into(), "acc ps".into()],
-        &[5, 10, 12, 8, 8],
-    );
     let mut acc_w = Vec::new();
     let mut acc_p = Vec::new();
     for day in 0..30u32 {
@@ -128,18 +130,58 @@ pub fn run(seed: u64) -> String {
                 "final_workers": final_alloc.shape.workers, "final_ps": final_alloc.shape.ps,
                 "acc_workers": aw, "acc_ps": ap,
             }));
-            r.row(
-                &[
-                    format!("{day}"),
-                    format!("{}/{}", ws.shape.workers, ws.shape.ps),
-                    format!("{}/{}", final_alloc.shape.workers, final_alloc.shape.ps),
-                    format!("{:.0}%", aw * 100.0),
-                    format!("{:.0}%", ap * 100.0),
-                ],
-                &[5, 10, 12, 8, 8],
-            );
         }
         db.record(m, final_alloc);
+    }
+    (rows, acc_w, acc_p)
+}
+
+/// Runs the Fig. 9 warm-starting study.
+pub fn run(seed: u64) -> String {
+    let mut r = Report::new("fig9", "warm-starting: initial vs final configuration");
+    let constants = WorkloadConstants::default();
+
+    let warm_start_alloc = ResourceAllocation::new(JobShape::new(13, 5, 8.0, 8.0, 512), 32.0, 64.0);
+    let cold_start_alloc =
+        DlroverPolicy::cold_start_allocation(&dlrover_optimizer::PlanSearchSpace::default(), 512);
+    let units = vec![
+        Unit::new("0/month-study".to_string(), move |_t| {
+            let (rows, acc_w, acc_p) = month_study(seed);
+            Out::Month(rows, acc_w, acc_p)
+        }),
+        Unit::new("1/warm-rounds".to_string(), move |_t| {
+            Out::Rounds(rounds_to_converge(warm_start_alloc, constants, true))
+        }),
+        Unit::new("2/cold-rounds".to_string(), move |_t| {
+            Out::Rounds(rounds_to_converge(cold_start_alloc, constants, false))
+        }),
+    ];
+    let outputs = run_units_auto(units);
+    let (rows, acc_w, acc_p) = match &outputs[0].value {
+        Out::Month(rows, w, p) => (rows, w, p),
+        Out::Rounds(_) => unreachable!("key order pins unit 0 to the month study"),
+    };
+    let rounds = |i: usize| match outputs[i].value {
+        Out::Rounds(n) => n,
+        Out::Month(..) => unreachable!("key order pins units 1/2 to the rounds probes"),
+    };
+    let (warm_rounds, cold_rounds) = (rounds(1), rounds(2));
+
+    r.row(
+        &["day".into(), "ws w/ps".into(), "final w/ps".into(), "acc w".into(), "acc ps".into()],
+        &[5, 10, 12, 8, 8],
+    );
+    for row in rows {
+        r.row(
+            &[
+                format!("{}", row["day"]),
+                format!("{}/{}", row["warm_workers"], row["warm_ps"]),
+                format!("{}/{}", row["final_workers"], row["final_ps"]),
+                format!("{:.0}%", row["acc_workers"].as_f64().unwrap() * 100.0),
+                format!("{:.0}%", row["acc_ps"].as_f64().unwrap() * 100.0),
+            ],
+            &[5, 10, 12, 8, 8],
+        );
     }
     let mean_w = acc_w.iter().sum::<f64>() / acc_w.len() as f64;
     let mean_p = acc_p.iter().sum::<f64>() / acc_p.len() as f64;
@@ -151,11 +193,6 @@ pub fn run(seed: u64) -> String {
 
     // Scaling-time reduction vs cold start: warm starts begin near the
     // final shape, so the auto-scaler needs fewer (3-minute) rounds.
-    let warm_start_alloc = ResourceAllocation::new(JobShape::new(13, 5, 8.0, 8.0, 512), 32.0, 64.0);
-    let cold_start_alloc =
-        DlroverPolicy::cold_start_allocation(&dlrover_optimizer::PlanSearchSpace::default(), 512);
-    let warm_rounds = rounds_to_converge(warm_start_alloc, constants, true);
-    let cold_rounds = rounds_to_converge(cold_start_alloc, constants, false);
     let reduction = 1.0 - f64::from(warm_rounds) / f64::from(cold_rounds.max(1));
     r.line(format!(
         "scaling rounds to converge: warm {warm_rounds} vs cold {cold_rounds} \
@@ -163,13 +200,13 @@ pub fn run(seed: u64) -> String {
         reduction * 100.0
     ));
 
-    r.record("rows", &rows);
+    r.record("rows", rows);
     r.record("mean_acc_workers", &mean_w);
     r.record("mean_acc_ps", &mean_p);
     r.record("warm_rounds", &warm_rounds);
     r.record("cold_rounds", &cold_rounds);
     r.record("scaling_reduction", &reduction);
-    r.telemetry(&Telemetry::default());
+    r.telemetry(&merge_telemetry(&outputs));
     r.finish()
 }
 
@@ -177,11 +214,7 @@ pub fn run(seed: u64) -> String {
 mod tests {
     #[test]
     fn fig9_accuracy_and_scaling_reduction() {
-        super::run(9);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("fig9.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("fig9").json;
         let w = json["mean_acc_workers"].as_f64().unwrap();
         let p = json["mean_acc_ps"].as_f64().unwrap();
         assert!(w > 0.8, "worker warm-start accuracy too low: {w}");

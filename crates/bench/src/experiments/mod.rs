@@ -1,6 +1,33 @@
 //! One module per table/figure. Each exposes `run(seed) -> String`
 //! (the rendered report).
 
+/// One experiment registry entry: `(id, description, entry point)`.
+pub type Runner = (&'static str, &'static str, fn(u64) -> String);
+
+/// Every experiment, in paper order. Shared by the `exp` binary's
+/// dispatcher, the [`crate::fixture`] test fixture, and the
+/// [`crate::golden`] regression corpus, so the three can never drift.
+pub const REGISTRY: &[Runner] = &[
+    ("fig1a", "operator time distribution (lookup share)", fig1::run_fig1a),
+    ("fig1b", "embedding memory growth over 15h", fig1::run_fig1b),
+    ("table1", "CPU-only vs hybrid cost", table1::run),
+    ("fig3", "fleet utilisation CDF + pending times", fig3::run),
+    ("table2", "cluster job mix", table2::run),
+    ("fig7", "JCT by scheduler and model", fig7::run),
+    ("fig8", "convergence under elasticity (real training)", fig8::run),
+    ("fig9", "warm-starting accuracy", fig9::run),
+    ("fig10", "cold-start throughput ramp", fig10::run),
+    ("fig11", "throughput model fit", fig11::run),
+    ("fig12", "hot-PS recovery strategies", fig12_13::run_fig12),
+    ("fig13", "worker-straggler recovery strategies", fig12_13::run_fig13),
+    ("fig14", "12-month migration ramp", production::run_fig14),
+    ("fig15", "cluster-level JCT reductions", production::run_fig15),
+    ("table4", "failure rates before/after", production::run_table4),
+    ("ablations", "design-choice ablations", ablations::run),
+    ("chaos", "scripted fault plans vs the invariant oracle", chaos::run),
+    ("resilience", "recovery latency + goodput retained per fault kind", resilience::run),
+];
+
 pub mod ablations;
 pub mod chaos;
 pub mod fig1;

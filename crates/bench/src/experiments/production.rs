@@ -5,8 +5,8 @@
 use dlrover_sim::SimDuration;
 
 use crate::experiments::fleetstudy::{aggregate, run_fleet, FleetStudyConfig, JobOutcome};
-use dlrover_telemetry::Telemetry;
 
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::{percentile, sorted, Report};
 
 fn study(fraction: f64, seed: u64) -> Vec<JobOutcome> {
@@ -14,6 +14,9 @@ fn study(fraction: f64, seed: u64) -> Vec<JobOutcome> {
 }
 
 /// Fig. 14: CPU/memory utilisation and JCR over the 12-month migration.
+///
+/// Execution: one unit per month — thirteen independent fleet studies at
+/// `seed + month`, merged in month order.
 pub fn run_fig14(seed: u64) -> String {
     let mut r = Report::new("fig14", "12-month progressive migration: utilisation and JCR");
     r.row(
@@ -28,11 +31,20 @@ pub fn run_fig14(seed: u64) -> String {
         ],
         &[6, 9, 7, 7, 7, 7, 7],
     );
+    let units = (0..=12u32)
+        .map(|month| {
+            // The paper migrates 90 % of jobs over the year (5 % can never move).
+            let fraction = (f64::from(month) / 12.0) * 0.9;
+            Unit::new(format!("{month:02}/month"), move |_t| {
+                (fraction, aggregate(&study(fraction, seed + u64::from(month))))
+            })
+        })
+        .collect();
+    let outputs = run_units_auto(units);
+
     let mut months = Vec::new();
-    for month in 0..=12u32 {
-        // The paper migrates 90 % of jobs over the year (5 % can never move).
-        let fraction = (f64::from(month) / 12.0) * 0.9;
-        let agg = aggregate(&study(fraction, seed + u64::from(month)));
+    for (month, out) in (0..=12u32).zip(&outputs) {
+        let (fraction, ref agg) = out.value;
         r.row(
             &[
                 format!("{month}"),
@@ -52,6 +64,7 @@ pub fn run_fig14(seed: u64) -> String {
             "jcr": agg.jcr,
         }));
     }
+    let telemetry = merge_telemetry(&outputs);
     let first = &months[0];
     let last = &months[12];
     r.line(format!(
@@ -71,8 +84,22 @@ pub fn run_fig14(seed: u64) -> String {
         last["jcr"].as_f64().unwrap() * 100.0,
     ));
     r.record("months", &months);
-    r.telemetry(&Telemetry::default());
+    r.telemetry(&telemetry);
     r.finish()
+}
+
+/// Runs the before (static era) and after (fully migrated) fleet studies
+/// as two independent units and returns their outcome vectors.
+fn before_after(seed: u64) -> (Vec<JobOutcome>, Vec<JobOutcome>, dlrover_telemetry::Telemetry) {
+    let units = vec![
+        Unit::new("0/before".to_string(), move |_t| study(0.0, seed)),
+        Unit::new("1/after".to_string(), move |_t| study(1.0, seed)),
+    ];
+    let mut outputs = run_units_auto(units);
+    let telemetry = merge_telemetry(&outputs);
+    let after = outputs.pop().expect("two units").value;
+    let before = outputs.pop().expect("two units").value;
+    (before, after, telemetry)
 }
 
 fn jct_minutes(outcomes: &[JobOutcome], filter: impl Fn(&JobOutcome) -> bool) -> Vec<f64> {
@@ -90,8 +117,7 @@ fn jct_minutes(outcomes: &[JobOutcome], filter: impl Fn(&JobOutcome) -> bool) ->
 /// jobs) before vs after.
 pub fn run_fig15(seed: u64) -> String {
     let mut r = Report::new("fig15", "cluster-level JCT before vs after DLRover-RM");
-    let before = study(0.0, seed);
-    let after = study(1.0, seed);
+    let (before, after, telemetry) = before_after(seed);
 
     let mut json = Vec::new();
     for (label, filter) in [
@@ -135,15 +161,14 @@ pub fn run_fig15(seed: u64) -> String {
          insufficient-PS-CPU median -57%",
     );
     r.record("subsets", &json);
-    r.telemetry(&Telemetry::default());
+    r.telemetry(&telemetry);
     r.finish()
 }
 
 /// Table 4: failure rates before vs after migration.
 pub fn run_table4(seed: u64) -> String {
     let mut r = Report::new("table4", "failure/slow-training rates before vs after");
-    let before = study(0.0, seed);
-    let after = study(1.0, seed);
+    let (before, after, telemetry) = before_after(seed);
     let rate = |outcomes: &[JobOutcome], f: &dyn Fn(&JobOutcome) -> bool| -> f64 {
         outcomes.iter().filter(|o| f(o)).count() as f64 / outcomes.len() as f64
     };
@@ -218,7 +243,7 @@ pub fn run_table4(seed: u64) -> String {
         json.push(serde_json::json!({ "exception": name, "before": b, "after": a }));
     }
     r.record("rows", &json);
-    r.telemetry(&Telemetry::default());
+    r.telemetry(&telemetry);
     r.finish()
 }
 
@@ -226,11 +251,7 @@ pub fn run_table4(seed: u64) -> String {
 mod tests {
     #[test]
     fn fig14_utilisation_and_jcr_rise() {
-        super::run_fig14(14);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("fig14.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("fig14").json;
         let months = json["months"].as_array().unwrap();
         let first = &months[0];
         let last = &months[12];
@@ -247,11 +268,7 @@ mod tests {
 
     #[test]
     fn fig15_jct_cuts() {
-        super::run_fig15(15);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("fig15.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("fig15").json;
         for subset in json["subsets"].as_array().unwrap() {
             let med = subset["median_cut"].as_f64().unwrap();
             assert!(med > 0.0, "median JCT did not improve for {}: {med}", subset["subset"]);
@@ -260,11 +277,7 @@ mod tests {
 
     #[test]
     fn table4_failures_collapse() {
-        super::run_table4(4);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("table4.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("table4").json;
         for row in json["rows"].as_array().unwrap() {
             let b = row["before"].as_f64().unwrap();
             let a = row["after"].as_f64().unwrap();

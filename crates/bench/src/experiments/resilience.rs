@@ -22,6 +22,7 @@ use dlrover_sim::{FaultEvent, FaultKind, FaultPlan, SimDuration, SimTime};
 use dlrover_telemetry::Telemetry;
 use serde::Serialize;
 
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::Report;
 
 /// One scenario's outcome, persisted into `results/resilience.json`.
@@ -61,10 +62,14 @@ fn goodput_retained(report: &ChaosReport, deadline: SimTime) -> f64 {
     (report.truth.samples_done as f64 / total) * (baseline / elapsed)
 }
 
-fn run_scenario(name: &str, plan: FaultPlan, cfg: &ChaosConfig) -> (ScenarioRow, ChaosReport) {
+fn run_scenario(
+    name: &str,
+    plan: FaultPlan,
+    cfg: &ChaosConfig,
+    telemetry: &Telemetry,
+) -> (ScenarioRow, ChaosReport) {
     let (spec, alloc) = job();
-    let telemetry = Telemetry::default();
-    let report = run_chaos_job(&spec, alloc, &plan, cfg, &telemetry);
+    let report = run_chaos_job(&spec, alloc, &plan, cfg, telemetry);
     let health = match report.health {
         JobHealth::Healthy => "healthy",
         JobHealth::Degraded => "degraded",
@@ -142,18 +147,15 @@ fn scenarios() -> Vec<(&'static str, FaultPlan)> {
 
 /// Runs the per-kind scenarios plus the degraded-vs-fail-stop pair at
 /// `seed`; returns the rendered report and (degraded, fail-stop) goodput.
+///
+/// Execution: one unit per scenario (six fault kinds plus the two
+/// drained-budget cases) — every scenario already self-seeds from
+/// `cfg.runner.seed` inside `run_chaos_job`, so units are independent.
 pub fn run_resilience(seed: u64) -> (String, f64, f64) {
     let cfg = ChaosConfig {
         runner: RunnerConfig { seed, ..RunnerConfig::default() },
         ..ChaosConfig::default()
     };
-
-    let mut rows = Vec::new();
-    for (name, plan) in scenarios() {
-        let (row, _) = run_scenario(name, plan, &cfg);
-        rows.push(row);
-    }
-
     // Degraded-mode vs naive fail-stop, both facing an unrecoverable pod
     // loss at t=5min with a drained failure budget. Degraded mode loses a
     // worker and continues on the surviving shape (workers are elastic,
@@ -170,22 +172,37 @@ pub fn run_resilience(seed: u64) -> (String, f64, f64) {
         },
         ..ChaosConfig::default()
     };
-    let (degraded_row, _) = run_scenario(
-        "degraded-mode",
-        FaultPlan::from_events(vec![FaultEvent {
+
+    let cfg_ref = &cfg;
+    let drained_ref = &drained;
+    let mut units: Vec<Unit<'_, ScenarioRow>> = scenarios()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, plan))| {
+            Unit::new(format!("{i}/{name}"), move |t: &Telemetry| {
+                run_scenario(name, plan, cfg_ref, t).0
+            })
+        })
+        .collect();
+    units.push(Unit::new("6/degraded-mode".to_string(), move |t: &Telemetry| {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
             at: SimTime::from_secs(300),
             kind: FaultKind::WorkerKill { worker: 1 },
-        }]),
-        &drained,
-    );
-    let (failstop_row, _) = run_scenario(
-        "fail-stop",
-        FaultPlan::from_events(vec![FaultEvent {
+        }]);
+        run_scenario("degraded-mode", plan, drained_ref, t).0
+    }));
+    units.push(Unit::new("7/fail-stop".to_string(), move |t: &Telemetry| {
+        let plan = FaultPlan::from_events(vec![FaultEvent {
             at: SimTime::from_secs(300),
             kind: FaultKind::PsKill { ps: 0 },
-        }]),
-        &drained,
-    );
+        }]);
+        run_scenario("fail-stop", plan, drained_ref, t).0
+    }));
+    let mut outputs = run_units_auto(units);
+    let telemetry = merge_telemetry(&outputs);
+    let failstop_row = outputs.pop().expect("eight units").value;
+    let degraded_row = outputs.pop().expect("eight units").value;
+    let rows: Vec<ScenarioRow> = outputs.into_iter().map(|o| o.value).collect();
     let degraded_goodput = degraded_row.goodput_retained;
     let failstop_goodput = failstop_row.goodput_retained;
 
@@ -239,6 +256,7 @@ pub fn run_resilience(seed: u64) -> (String, f64, f64) {
     report.record("fail_stop", &failstop_row);
     report.record("degraded_goodput_retained", &degraded_goodput);
     report.record("fail_stop_goodput_retained", &failstop_goodput);
+    report.telemetry(&telemetry);
     (report.finish(), degraded_goodput, failstop_goodput)
 }
 

@@ -5,11 +5,11 @@
 use dlrover_perfmodel::{ModelCoefficients, WorkloadConstants};
 use dlrover_pstrain::{AsyncCostModel, HybridCostModel, PodState};
 
-use dlrover_telemetry::Telemetry;
-
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::Report;
 
-/// Runs the Table 1 comparison.
+/// Runs the Table 1 comparison. One unit per workload (two independent
+/// analytic cost evaluations).
 pub fn run(_seed: u64) -> String {
     let mut r = Report::new("table1", "CPU-only vs hybrid training cost (AWS pricing)");
     r.row(
@@ -34,16 +34,30 @@ pub fn run(_seed: u64) -> String {
         ("DeepFM", WorkloadConstants { model_size: 90.0, bandwidth: 1_000.0, embedding_dim: 0.60 }),
     ];
     let hybrid = HybridCostModel::default();
-    // One c5.4xlarge-style box: 4 workers x 3 cores + 2 PS x 2 cores.
-    let workers = vec![PodState::new(3.0); 4];
     let total_samples = 6.0e8; // enough data to take ~1-2 hours CPU-only
 
+    let hybrid_ref = &hybrid;
+    let units = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, constants))| {
+            Unit::new(format!("{i}/{name}"), move |_t| {
+                // One c5.4xlarge-style box: 4 workers x 3 cores + 2 PS x 2 cores.
+                let workers = vec![PodState::new(3.0); 4];
+                let cost =
+                    AsyncCostModel::new(ModelCoefficients::simulation_truth(), constants, 512);
+                let parts = AsyncCostModel::balanced_partitions(2, 2.0);
+                let cmp = hybrid_ref.compare(&cost, &workers, &parts, total_samples);
+                let cpu_util = cost.job_cpu_utilisation(&workers, &parts);
+                (cmp, cpu_util)
+            })
+        })
+        .collect();
+    let outputs = run_units_auto(units);
+
     let mut rows = Vec::new();
-    for (name, constants) in workloads {
-        let cost = AsyncCostModel::new(ModelCoefficients::simulation_truth(), constants, 512);
-        let parts = AsyncCostModel::balanced_partitions(2, 2.0);
-        let cmp = hybrid.compare(&cost, &workers, &parts, total_samples);
-        let cpu_util = cost.job_cpu_utilisation(&workers, &parts);
+    for (&(name, _), out) in workloads.iter().zip(&outputs) {
+        let (cmp, cpu_util) = out.value;
         r.row(
             &[
                 name.into(),
@@ -87,21 +101,15 @@ pub fn run(_seed: u64) -> String {
             }),
         );
     }
-    r.telemetry(&Telemetry::default());
+    r.telemetry(&merge_telemetry(&outputs));
     r.finish()
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-
     #[test]
     fn table1_shape_holds() {
-        run(0);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("table1.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("table1").json;
         for key in ["wide_deep", "deepfm"] {
             let row = &json[key];
             assert!(

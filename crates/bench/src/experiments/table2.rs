@@ -5,17 +5,20 @@
 use dlrover_cluster::{FleetConfig, FleetWorkload, JobClass};
 use dlrover_sim::RngStreams;
 
-use dlrover_telemetry::Telemetry;
-
+use crate::parallel::{merge_telemetry, run_units_auto, Unit};
 use crate::report::Report;
 
-/// Runs the Table 2 summary.
+/// Runs the Table 2 summary. A single unit: one fleet generation pass.
 pub fn run(seed: u64) -> String {
     let mut r = Report::new("table2", "job mix in the shared cluster");
-    // A bigger fleet than the default so per-class statistics stabilise.
-    let cfg = FleetConfig { training_jobs: 2_000, background_jobs: 600, ..Default::default() };
-    let workload = FleetWorkload::generate(&cfg, &RngStreams::new(seed));
-    let summary = workload.summary_by_class();
+    let units = vec![Unit::new("0/job-mix".to_string(), move |_t| {
+        // A bigger fleet than the default so per-class statistics stabilise.
+        let cfg = FleetConfig { training_jobs: 2_000, background_jobs: 600, ..Default::default() };
+        let workload = FleetWorkload::generate(&cfg, &RngStreams::new(seed));
+        (workload.summary_by_class(), workload.jobs.len())
+    })];
+    let outputs = run_units_auto(units);
+    let (summary, total_jobs) = &outputs[0].value;
 
     r.row(
         &["job type".into(), "count".into(), "vCPU".into(), "cpu util".into(), "mem (GB)".into()],
@@ -29,7 +32,7 @@ pub fn run(seed: u64) -> String {
         JobClass::Other => "Other",
     };
     let mut json_rows = Vec::new();
-    for (class, count, vcpu, util, mem) in &summary {
+    for (class, count, vcpu, util, mem) in summary {
         r.row(
             &[
                 label(*class).into(),
@@ -47,14 +50,14 @@ pub fn run(seed: u64) -> String {
     }
     let training =
         summary.iter().find(|(c, ..)| *c == JobClass::Training).expect("training class present");
-    let share = training.1 as f64 / workload.jobs.len() as f64;
+    let share = training.1 as f64 / *total_jobs as f64;
     r.line(format!(
         "\ntraining jobs are {:.0}% of all jobs (paper: >70% of jobs, ~20% util)",
         share * 100.0
     ));
     r.record("rows", &json_rows);
     r.record("training_share", &share);
-    r.telemetry(&Telemetry::default());
+    r.telemetry(&merge_telemetry(&outputs));
     r.finish()
 }
 
@@ -62,11 +65,7 @@ pub fn run(seed: u64) -> String {
 mod tests {
     #[test]
     fn table2_training_dominates_with_low_util() {
-        super::run(2);
-        let json: serde_json::Value = serde_json::from_str(
-            &std::fs::read_to_string(crate::results_dir().join("table2.json")).unwrap(),
-        )
-        .unwrap();
+        let json = &crate::fixture::canonical("table2").json;
         assert!(json["training_share"].as_f64().unwrap() > 0.7);
         let rows = json["rows"].as_array().unwrap();
         let training = rows.iter().find(|r| r["class"] == "Training").unwrap();

@@ -15,8 +15,12 @@
 pub mod chrome;
 pub mod critpath;
 pub mod experiments;
+pub mod fixture;
+pub mod golden;
+pub mod parallel;
 pub mod report;
 
 pub use chrome::{chrome_trace, chrome_trace_json};
 pub use critpath::{critical_path, critical_path_by_track, critpath_report, CritPath};
+pub use parallel::{merge_telemetry, run_units, run_units_auto, Unit, UnitOutput};
 pub use report::{results_dir, Report};

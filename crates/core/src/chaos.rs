@@ -847,6 +847,24 @@ mod tests {
         ResourceAllocation::new(JobShape::new(4, 2, 4.0, 4.0, 512), 8.0, 64.0)
     }
 
+    /// The parallel experiment engine shards chaos plans across worker
+    /// threads, each unit borrowing the spec/config and moving its plan:
+    /// every type crossing the `thread::scope` boundary must stay `Send`
+    /// (and the borrowed ones `Sync`). Compile-time check so a stray `Rc`
+    /// or raw pointer fails here, not in the bench crate.
+    #[test]
+    fn chaos_driver_types_are_send_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<TrainingJobSpec>();
+        assert_sync::<TrainingJobSpec>();
+        assert_send::<ResourceAllocation>();
+        assert_send::<dlrover_sim::FaultPlan>();
+        assert_send::<ChaosConfig>();
+        assert_sync::<ChaosConfig>();
+        assert_send::<ChaosReport>();
+    }
+
     #[test]
     fn fault_free_plan_reduces_to_clean_run() {
         let report = run_chaos_job(

@@ -79,6 +79,26 @@ impl RngStreams {
             ),
         }
     }
+
+    /// Forks an independent factory for the experiment *unit* named `key`.
+    ///
+    /// This is the lineage API of the parallel experiment engine: every unit
+    /// of work (a figure row, a fleet replica, a chaos plan) forks its own
+    /// factory up front and draws only from that lineage. The forked seed is
+    /// a pure function of `(self.seed, key)` — it does **not** depend on how
+    /// many draws sibling units made or in what order they ran, so units can
+    /// execute on any thread, in any order, and still reproduce bit-identical
+    /// results.
+    ///
+    /// The derivation mixes in a fork-specific constant so `fork(k)` can
+    /// never collide with `stream(k)`, `indexed_stream(k, _)`, or
+    /// `child(k, _)` lineages of the same factory.
+    pub fn fork(&self, key: &str) -> RngStreams {
+        // Arbitrary odd constant, distinct from the SplitMix64 increment, so
+        // the fork derivation lives in its own family.
+        const FORK_SALT: u64 = 0xF0_4B5E_EDC0_FFEE;
+        RngStreams { seed: splitmix64(self.seed ^ fnv1a(key.as_bytes()) ^ FORK_SALT) }
+    }
 }
 
 #[cfg(test)]
@@ -128,6 +148,41 @@ mod tests {
         assert_ne!(draws(parent.stream("x"), 16), draws(child.stream("x"), 16));
         // Child derivation is deterministic.
         assert_eq!(draws(parent.child("job", 3).stream("x"), 16), draws(child.stream("x"), 16));
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_keyed() {
+        let root = RngStreams::new(42);
+        assert_eq!(
+            draws(root.fork("unit-a").stream("x"), 16),
+            draws(root.fork("unit-a").stream("x"), 16)
+        );
+        assert_ne!(
+            draws(root.fork("unit-a").stream("x"), 16),
+            draws(root.fork("unit-b").stream("x"), 16)
+        );
+    }
+
+    #[test]
+    fn fork_is_distinct_from_stream_child_and_indexed_lineages() {
+        let root = RngStreams::new(42);
+        let forked = draws(root.fork("k").stream("x"), 16);
+        assert_ne!(forked, draws(root.child("k", 0).stream("x"), 16));
+        assert_ne!(draws(root.fork("k").stream("k"), 16), draws(root.stream("k"), 16));
+        assert_ne!(draws(root.fork("k").stream("k"), 16), draws(root.indexed_stream("k", 0), 16));
+    }
+
+    #[test]
+    fn fork_lineage_ignores_sibling_draw_order() {
+        // Unit B's draws must be identical whether or not unit A drew first —
+        // the property the parallel experiment engine rests on.
+        let root = RngStreams::new(7);
+        let quiet = draws(root.fork("unit-b").stream("x"), 16);
+        let mut a = root.fork("unit-a").stream("x");
+        for _ in 0..1000 {
+            a.next_u64();
+        }
+        assert_eq!(draws(root.fork("unit-b").stream("x"), 16), quiet);
     }
 
     #[test]

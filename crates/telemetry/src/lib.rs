@@ -151,6 +151,47 @@ impl Telemetry {
         self.lock().spans.to_jsonl()
     }
 
+    /// Absorbs another sink's state into this one (`other` is left
+    /// untouched). Events are re-sequenced and span ids remapped in absorb
+    /// order; see [`EventLog::absorb`], [`SpanLog::absorb`], and
+    /// [`MetricsRegistry::absorb`] for the per-store rules.
+    ///
+    /// Locking: `other` is snapshotted under its own lock *before* this
+    /// sink's lock is taken, so the two locks are never held together and
+    /// concurrent absorbs cannot deadlock. Absorbing a sink into itself is
+    /// a no-op.
+    pub fn absorb(&self, other: &Telemetry) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let (log, metrics, spans) = {
+            let theirs = other.lock();
+            (theirs.log.clone(), theirs.metrics.clone(), theirs.spans.clone())
+        };
+        let mut inner = self.lock();
+        inner.log.absorb(&log);
+        inner.metrics.absorb(&metrics);
+        inner.spans.absorb(&spans);
+    }
+
+    /// Merges per-unit sinks into one fresh sink, in the given order.
+    ///
+    /// This is the reduction step of the parallel experiment engine:
+    /// callers pass unit sinks sorted by unit key, so the merged log is a
+    /// pure function of the unit results — byte-identical however many
+    /// threads produced them. The merged sink has *default* capacities: if
+    /// the parts together retain more events/spans than one sink holds,
+    /// the merge evicts oldest-first like any other recording (the drops
+    /// are counted and surface in the summary line), keeping merged
+    /// artefacts the same bounded size as serial ones.
+    pub fn merge_ordered<'a>(parts: impl IntoIterator<Item = &'a Telemetry>) -> Telemetry {
+        let merged = Telemetry::default();
+        for part in parts {
+            merged.absorb(part);
+        }
+        merged
+    }
+
     /// An owned, serializable snapshot of the sink's current state.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let inner = self.lock();
@@ -289,6 +330,49 @@ mod tests {
         let line = t.summary().one_line();
         assert!(line.contains("spans=2 (0 dropped)"), "{line}");
         assert_eq!(t.spans_to_jsonl().lines().count(), 2);
+    }
+
+    #[test]
+    fn merge_ordered_is_a_pure_function_of_the_parts() {
+        let unit = |track: u64| {
+            let t = Telemetry::default();
+            t.record(SimTime::from_secs(track), EventKind::JobStarted { job: track });
+            t.count("jobs", 1);
+            let p = t.span_open(SimTime::from_secs(track), SpanCategory::Job, "job", track, None);
+            t.span_complete(
+                SimTime::from_secs(track),
+                SimTime::from_secs(track + 1),
+                SpanCategory::Checkpoint,
+                "save",
+                track,
+                Some(p),
+            );
+            t.span_close(SimTime::from_secs(track + 2), p);
+            t
+        };
+        let parts = [unit(1), unit(2), unit(3)];
+        let a = Telemetry::merge_ordered(&parts);
+        let b = Telemetry::merge_ordered(&parts);
+        assert_eq!(a.to_jsonl(), b.to_jsonl());
+        assert_eq!(a.spans_to_jsonl(), b.spans_to_jsonl());
+        assert_eq!(a.event_count(), 3);
+        assert_eq!(a.span_count(), 6);
+        assert_eq!(a.counter("jobs"), 3);
+        // Nesting survives the unit boundary: every child's parent is on
+        // the same track.
+        let spans = a.snapshot().spans;
+        for child in spans.iter().filter(|s| s.parent.is_some()) {
+            let parent = spans.iter().find(|s| s.id == child.parent.unwrap()).unwrap();
+            assert_eq!(parent.track, child.track);
+        }
+    }
+
+    #[test]
+    fn absorbing_self_is_a_noop() {
+        let t = Telemetry::default();
+        t.record(SimTime::ZERO, EventKind::JobStarted { job: 1 });
+        t.absorb(&t.clone());
+        assert_eq!(t.event_count(), 1);
     }
 
     #[test]

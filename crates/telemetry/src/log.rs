@@ -98,6 +98,26 @@ impl EventLog {
         v
     }
 
+    /// Appends every event retained by `other` (re-stamping sequence
+    /// numbers in merge order) and carries over its eviction count.
+    ///
+    /// This is the event half of the parallel experiment engine's per-unit
+    /// log merge: each unit records into a private log, and the harness
+    /// absorbs the unit logs in sorted-unit-key order. Because the merged
+    /// sequence numbers depend only on that fixed order (never on thread
+    /// interleaving), the merged log is byte-identical at any thread count.
+    /// `other`'s evicted events are accounted into both `dropped` and
+    /// `next_seq`, so `total_recorded` of the merge equals the sum of the
+    /// parts; the merge target's own ring buffer may evict further (counted
+    /// as usual) when the parts together exceed its capacity.
+    pub fn absorb(&mut self, other: &EventLog) {
+        self.next_seq += other.dropped;
+        self.dropped += other.dropped;
+        for e in other.iter() {
+            self.record(SimTime::from_micros(e.at_us), e.kind.clone());
+        }
+    }
+
     /// Serializes the retained events as JSON Lines (one compact JSON
     /// object per line, trailing newline). Byte-identical across runs with
     /// identical event streams.
@@ -186,6 +206,43 @@ mod tests {
         let text = log.to_jsonl();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("\"PodPlaced\""));
+    }
+
+    #[test]
+    fn absorb_resequences_in_merge_order_and_totals_add_up() {
+        let mut a = EventLog::default();
+        a.record(stamp(1), EventKind::JobStarted { job: 1 });
+        let mut b = EventLog::with_capacity(1);
+        b.record(stamp(2), EventKind::WorkerAdded { worker: 1 });
+        b.record(stamp(3), EventKind::WorkerAdded { worker: 2 }); // evicts the first
+        let mut merged = EventLog::default();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        // total = 1 (from a) + 2 (from b, one evicted) — the merge never
+        // undercounts work that a unit actually did.
+        assert_eq!(merged.total_recorded(), 3);
+        assert_eq!(merged.dropped(), 1);
+        let seqs: Vec<u64> = merged.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 2], "b's retained event re-sequenced after b's drop");
+        // Absorb order is the caller's contract: same parts, same order,
+        // byte-identical JSONL.
+        let mut again = EventLog::default();
+        again.absorb(&a);
+        again.absorb(&b);
+        assert_eq!(merged.to_jsonl(), again.to_jsonl());
+    }
+
+    #[test]
+    fn absorb_respects_target_capacity() {
+        let mut part = EventLog::default();
+        for i in 0..5u64 {
+            part.record(stamp(i), EventKind::WorkerAdded { worker: i });
+        }
+        let mut merged = EventLog::with_capacity(3);
+        merged.absorb(&part);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.dropped(), 2);
+        assert_eq!(merged.total_recorded(), 5);
     }
 
     #[test]

@@ -72,6 +72,19 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Adds `other`'s observations into this histogram (bucket-wise; the
+    /// fixed bucket layout makes merging exact for counts, approximate for
+    /// nothing — sum/min/max combine losslessly too).
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// One aggregated time-series bucket.
@@ -125,6 +138,32 @@ impl TimeSeries {
             }
             _ => self.points.push(SeriesPoint { bucket, sum: value, count: 1, last: value }),
         }
+    }
+
+    /// Merges `other`'s buckets into this series (bucket widths must
+    /// match). Same-index buckets combine sums and counts; `last` takes
+    /// `other`'s value, consistent with the registry's merge-order
+    /// last-wins rule for gauges. The result is re-sorted by bucket index.
+    fn absorb(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.bucket_us, other.bucket_us,
+            "cannot merge time series with different bucket widths"
+        );
+        let mut merged: BTreeMap<u64, SeriesPoint> =
+            self.points.drain(..).map(|p| (p.bucket, p)).collect();
+        for p in &other.points {
+            match merged.get_mut(&p.bucket) {
+                Some(mine) => {
+                    mine.sum += p.sum;
+                    mine.count += p.count;
+                    mine.last = p.last;
+                }
+                None => {
+                    merged.insert(p.bucket, p.clone());
+                }
+            }
+        }
+        self.points = merged.into_values().collect();
     }
 }
 
@@ -185,6 +224,40 @@ impl MetricsRegistry {
             let mut s = TimeSeries::new(DEFAULT_SERIES_BUCKET);
             s.sample(at, value);
             self.series.insert(name.to_string(), s);
+        }
+    }
+
+    /// Merges another registry into this one (the metrics half of the
+    /// parallel experiment engine's per-unit merge; callers absorb unit
+    /// registries in sorted-unit-key order).
+    ///
+    /// Counters and histograms combine losslessly. Gauges are last-write
+    /// wins in merge order — deterministic because merge order is fixed,
+    /// but units that both set the same gauge should expect the
+    /// highest-keyed unit's value to survive. Time series merge
+    /// bucket-wise (see [`TimeSeries`]).
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (name, n) in &other.counters {
+            self.count(name, *n);
+        }
+        for (name, v) in &other.gauges {
+            self.gauge(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.absorb(h),
+                None => {
+                    self.histograms.insert(name.clone(), h.clone());
+                }
+            }
+        }
+        for (name, s) in &other.series {
+            match self.series.get_mut(name) {
+                Some(mine) => mine.absorb(s),
+                None => {
+                    self.series.insert(name.clone(), s.clone());
+                }
+            }
         }
     }
 
@@ -249,6 +322,35 @@ mod tests {
         assert_eq!(s.points.len(), 2);
         assert_eq!(s.points[0].count, 2);
         assert_eq!(s.points[0].mean(), 2.0);
+        assert_eq!(s.points[0].last, 3.0);
+        assert_eq!(s.points[1].bucket, 1);
+    }
+
+    #[test]
+    fn absorb_combines_counters_histograms_and_series() {
+        let mut a = MetricsRegistry::default();
+        a.count("iters", 3);
+        a.gauge("thp", 1.0);
+        a.observe("lat", 0.5);
+        a.sample("s", SimTime::from_secs(10), 1.0);
+        let mut b = MetricsRegistry::default();
+        b.count("iters", 4);
+        b.gauge("thp", 2.0);
+        b.observe("lat", 5.0);
+        b.sample("s", SimTime::from_secs(30), 3.0); // same bucket as a's
+        b.sample("s", SimTime::from_secs(70), 9.0);
+
+        a.absorb(&b);
+        assert_eq!(a.counter("iters"), 7);
+        assert_eq!(a.gauge_value("thp"), Some(2.0), "gauges are merge-order last-wins");
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 5.0);
+        let s = a.time_series("s").unwrap();
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[0].count, 2);
+        assert_eq!(s.points[0].sum, 4.0);
         assert_eq!(s.points[0].last, 3.0);
         assert_eq!(s.points[1].bucket, 1);
     }

@@ -318,6 +318,35 @@ impl SpanLog {
         totals
     }
 
+    /// Appends every closed span retained by `other`, remapping ids into
+    /// this log's id space so parent/child nesting survives the merge.
+    ///
+    /// This is the span half of the parallel experiment engine's per-unit
+    /// log merge. Each absorbed span's `id` (and `parent`, when present) is
+    /// shifted by this log's current `next_id`, which keeps (a) absorbed
+    /// ids disjoint from existing ones and (b) every absorbed parent link
+    /// pointing at the same absorbed span it did in the unit log — even
+    /// when the parent itself was evicted or never closed. Merge order is
+    /// the caller's (sorted-unit-key) order, so the remapped ids are
+    /// independent of thread interleaving. `other`'s evictions and
+    /// unmatched closes are carried over; spans still open in `other` are
+    /// not copied (units are expected to close their spans before merge).
+    pub fn absorb(&mut self, other: &SpanLog) {
+        let offset = self.next_id;
+        self.closed_total += other.dropped;
+        self.dropped += other.dropped;
+        self.unmatched_closes += other.unmatched_closes;
+        for s in other.iter() {
+            let mut span = s.clone();
+            span.id += offset;
+            if let Some(p) = span.parent.as_mut() {
+                *p += offset;
+            }
+            self.push_closed(span);
+        }
+        self.next_id = offset + other.next_id;
+    }
+
     /// Serializes the retained closed spans as JSON Lines (one compact
     /// object per line, trailing newline). Byte-identical across runs with
     /// identical span streams.
@@ -404,6 +433,57 @@ mod tests {
         let parsed = parse_spans_jsonl(&a).expect("parses");
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[1].cat, SpanCategory::Iteration);
+    }
+
+    #[test]
+    fn absorb_preserves_parent_child_nesting_across_unit_boundaries() {
+        // Two units each build a parent/child tree with ids starting at 0.
+        let unit = |base: u64| {
+            let mut log = SpanLog::default();
+            let p = log.open(t(base), SpanCategory::Job, "job", base, None);
+            log.complete(t(base), t(base + 1), SpanCategory::Checkpoint, "save", base, Some(p));
+            log.close(t(base + 2), p);
+            log
+        };
+        let (a, b) = (unit(10), unit(20));
+        let mut merged = SpanLog::default();
+        merged.absorb(&a);
+        merged.absorb(&b);
+        let spans: Vec<&Span> = merged.iter().collect();
+        assert_eq!(spans.len(), 4);
+        // Every child still points at *its own unit's* parent: the merge
+        // must not alias unit B's child (original parent id 0) onto unit
+        // A's parent (merged id 0).
+        for child in spans.iter().filter(|s| s.parent.is_some()) {
+            let parent = spans
+                .iter()
+                .find(|s| s.id == child.parent.unwrap())
+                .expect("parent survives the merge");
+            assert_eq!(parent.track, child.track, "child rebound to a foreign parent");
+            assert!(parent.start_us <= child.start_us && child.end_us <= parent.end_us);
+        }
+        // Ids are disjoint across units.
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "merged ids must be unique");
+    }
+
+    #[test]
+    fn absorb_carries_drop_and_unmatched_accounting() {
+        let mut part = SpanLog::with_capacity(1);
+        part.complete(t(0), t(1), SpanCategory::Iteration, "", 0, None);
+        part.complete(t(1), t(2), SpanCategory::Iteration, "", 0, None); // evicts
+        part.close(t(3), SpanId(999)); // unmatched
+        let mut merged = SpanLog::default();
+        merged.absorb(&part);
+        assert_eq!(merged.total_closed(), 2, "evicted spans still count as closed work");
+        assert_eq!(merged.dropped(), 1);
+        assert_eq!(merged.unmatched_closes(), 1);
+        // next_id advanced past the part's id space: fresh spans cannot
+        // collide with absorbed ones.
+        let fresh = merged.complete(t(5), t(6), SpanCategory::Job, "", 0, None);
+        assert!(fresh.0 >= 2);
     }
 
     #[test]
