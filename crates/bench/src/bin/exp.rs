@@ -15,14 +15,17 @@ use std::path::{Path, PathBuf};
 
 use dlrover_bench::experiments as exp;
 use dlrover_bench::experiments::REGISTRY;
-use dlrover_bench::golden::{write_golden, GoldenDigest};
-use dlrover_bench::{chrome_trace_json, critpath_report, results_dir};
+use dlrover_bench::golden::{fnv64, write_golden, GoldenDigest};
+use dlrover_bench::{
+    chrome_trace_json, critpath_report, format_bytes, peak_rss_bytes, results_dir,
+};
 use dlrover_telemetry::{parse_spans_jsonl, Event};
 
 fn usage() -> ! {
     eprintln!("usage: exp [--seed N] [--threads N] <experiment|all> [more experiments...]");
     eprintln!("       exp [--seed N] [--threads N] --regen-golden");
     eprintln!("       exp bench-parallel [--threads N]");
+    eprintln!("       exp fleetscale [--seed N] [--max-pods P] [--shards A,B,...]");
     eprintln!("       exp chaos [--seed N] [--plans K]");
     eprintln!("       exp trace [--filter KINDS] <id|trace.jsonl>");
     eprintln!("       exp trace --diff <left.jsonl> <right.jsonl>");
@@ -32,7 +35,11 @@ fn usage() -> ! {
     eprintln!("machine's available parallelism; output is identical at any N).");
     eprintln!("--regen-golden reruns everything and refreshes tests/golden/.");
     eprintln!("bench-parallel times `exp all` at 1 vs N threads, byte-diffs the");
-    eprintln!("results, and writes BENCH_parallel.json at the workspace root.\n");
+    eprintln!("results, and writes BENCH_parallel.json at the workspace root.");
+    eprintln!("fleetscale sweeps the sharded fleet core to --max-pods (default");
+    eprintln!("1000000) across shard counts, verifies cross-shard digest");
+    eprintln!("identity (non-zero exit on divergence), and writes");
+    eprintln!("results/fleetscale.json + BENCH_fleetscale.json.\n");
     eprintln!("KINDS is comma-separated event kind names; a trailing `*` globs");
     eprintln!("(e.g. --filter 'Pod*,JobStarted').\n");
     eprintln!("experiments:");
@@ -254,10 +261,14 @@ fn regen_golden_command(seed: u64) -> ! {
     std::process::exit(0);
 }
 
-/// Reads every regular file under `dir` (non-recursive) into a
-/// name-sorted `(file name, bytes)` list for byte-level comparison.
-fn snapshot_dir(dir: &Path) -> Vec<(String, Vec<u8>)> {
-    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+/// Digests every regular file under `dir` (non-recursive) into a
+/// name-sorted `(file name, length, FNV-1a 64)` list. Hashing each file
+/// once and dropping the bytes amortizes the byte-level comparison: the
+/// two result sets are compared digest-to-digest instead of holding both
+/// full artefact trees in memory, with the same sensitivity (any byte
+/// difference flips the FNV digest or the length).
+fn snapshot_dir(dir: &Path) -> Vec<(String, u64, u64)> {
+    let mut files: Vec<(String, u64, u64)> = std::fs::read_dir(dir)
         .map(|entries| {
             entries
                 .filter_map(|e| e.ok())
@@ -265,7 +276,7 @@ fn snapshot_dir(dir: &Path) -> Vec<(String, Vec<u8>)> {
                 .map(|e| {
                     let name = e.file_name().to_string_lossy().into_owned();
                     let body = std::fs::read(e.path()).unwrap_or_default();
-                    (name, body)
+                    (name, body.len() as u64, fnv64(&body))
                 })
                 .collect()
         })
@@ -311,15 +322,15 @@ fn bench_parallel_command(threads: usize) -> ! {
     let parallel_s = run_leg("parallel", &parallel_dir, threads);
 
     let (a, b) = (snapshot_dir(&serial_dir), snapshot_dir(&parallel_dir));
-    let a_names: Vec<&String> = a.iter().map(|(n, _)| n).collect();
-    let b_names: Vec<&String> = b.iter().map(|(n, _)| n).collect();
+    let a_names: Vec<&String> = a.iter().map(|(n, _, _)| n).collect();
+    let b_names: Vec<&String> = b.iter().map(|(n, _, _)| n).collect();
     if a_names != b_names {
         eprintln!("determinism FAILED: file sets differ\n  serial:   {a_names:?}\n  parallel: {b_names:?}");
         std::process::exit(1);
     }
     let mut mismatches = 0usize;
-    for ((name, left), (_, right)) in a.iter().zip(&b) {
-        if left != right {
+    for ((name, llen, lfnv), (_, rlen, rfnv)) in a.iter().zip(&b) {
+        if (llen, lfnv) != (rlen, rfnv) {
             eprintln!("determinism FAILED: {name} differs between 1 and {threads} threads");
             mismatches += 1;
         }
@@ -331,6 +342,20 @@ fn bench_parallel_command(threads: usize) -> ! {
 
     let speedup = serial_s / parallel_s.max(1e-9);
     let avail = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_parallel.json");
+    // Keep the prior run's headline numbers as `previous` so the artefact
+    // itself records before/after across optimisation passes.
+    let previous = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|body| serde_json::from_str::<serde_json::Value>(&body).ok())
+        .map(|old| {
+            serde_json::json!({
+                "serial_s": old.get("serial_s").cloned().unwrap_or(serde_json::Value::Null),
+                "parallel_s": old.get("parallel_s").cloned().unwrap_or(serde_json::Value::Null),
+                "speedup": old.get("speedup").cloned().unwrap_or(serde_json::Value::Null),
+            })
+        })
+        .unwrap_or(serde_json::Value::Null);
     let body = serde_json::json!({
         "experiment": "bench-parallel",
         "description": "wall-clock of `exp all` at 1 thread vs the pool",
@@ -341,8 +366,8 @@ fn bench_parallel_command(threads: usize) -> ! {
         "available_parallelism": avail,
         "files_compared": a.len(),
         "byte_identical": true,
+        "previous": previous,
     });
-    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_parallel.json");
     std::fs::write(&out, format!("{:#}\n", body)).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", out.display());
         std::process::exit(2);
@@ -353,6 +378,104 @@ fn bench_parallel_command(threads: usize) -> ! {
         out.display()
     );
     let _ = std::fs::remove_dir_all(&base);
+    std::process::exit(0);
+}
+
+/// `exp fleetscale`: sweep the sharded fleet core (ISSUE-6 tentpole) to
+/// `--max-pods` across `--shards` shard counts. Determinism lands in
+/// `results/fleetscale.json` via the experiment module; this command adds
+/// the wall-clock artefact `BENCH_fleetscale.json` (pod-events/sec per
+/// shard count, peak RSS, shard-scaling curves) at the workspace root and
+/// exits non-zero if any shard count diverged from the single-shard
+/// digests.
+fn fleetscale_command(args: &[String]) -> ! {
+    let mut seed = 42u64;
+    let mut max_pods = 1_000_000u64;
+    let mut shards: Vec<u32> = vec![1, 2, 4, 8];
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--max-pods" => {
+                max_pods = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                shards =
+                    list.split(',').map(|s| s.trim().parse().unwrap_or_else(|_| usage())).collect();
+            }
+            _ => usage(),
+        }
+    }
+    if shards.is_empty() || shards.contains(&0) || max_pods == 0 {
+        usage();
+    }
+    let mut targets: Vec<u64> =
+        [10_000u64, 100_000, 1_000_000].into_iter().filter(|t| *t <= max_pods).collect();
+    if targets.is_empty() {
+        targets.push(max_pods);
+    }
+
+    let outcome = exp::fleetscale::run_sweep(seed, &targets, &shards);
+
+    let bench_targets: Vec<serde_json::Value> = outcome
+        .targets
+        .iter()
+        .map(|sweep| {
+            let per_sec =
+                |k: usize| sweep.runs.iter().find(|r| r.shards == k).map(|r| r.pod_events_per_sec);
+            let scaling: Vec<serde_json::Value> = sweep
+                .runs
+                .iter()
+                .map(|r| {
+                    serde_json::json!({
+                        "shards": r.shards,
+                        "epochs": r.epochs,
+                        "wall_s": r.wall_s,
+                        "pod_events_per_sec": r.pod_events_per_sec,
+                        "wheel_events_per_sec": r.wheel_events_per_sec,
+                    })
+                })
+                .collect();
+            serde_json::json!({
+                "target_pods": sweep.target_pods,
+                "cells": sweep.cells,
+                "planned_pods": sweep.planned_pods,
+                "pod_events": sweep.totals.pod_events,
+                "wheel_events": sweep.totals.wheel_events,
+                "cross_shard_identical": sweep.cross_shard_identical,
+                "runs": scaling,
+                "speedup_4_vs_1": match (per_sec(4), per_sec(1)) {
+                    (Some(four), Some(one)) if one > 0.0 => {
+                        serde_json::json!(four / one)
+                    }
+                    _ => serde_json::Value::Null,
+                },
+            })
+        })
+        .collect();
+    let body = serde_json::json!({
+        "experiment": "fleetscale",
+        "description": "sharded fleet core swept to 1M pods: pod-events/sec and \
+                        peak RSS per shard count (deterministic twin: results/fleetscale.json)",
+        "seed": seed,
+        "shard_counts": shards,
+        "targets": bench_targets,
+        "peak_rss_bytes": peak_rss_bytes(),
+        "cross_shard_identical": outcome.all_identical,
+    });
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_fleetscale.json");
+    std::fs::write(&out, format!("{:#}\n", body)).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", out.display());
+        std::process::exit(2);
+    });
+    println!("wrote {}", out.display());
+    if !outcome.all_identical {
+        eprintln!("fleetscale: shard counts DIVERGED — see results/fleetscale.json");
+        std::process::exit(1);
+    }
     std::process::exit(0);
 }
 
@@ -376,6 +499,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("chaos") {
         chaos_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("fleetscale") {
+        fleetscale_command(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("trace") {
         trace_command(&args[1..]);
@@ -428,7 +554,19 @@ fn main() {
         eprintln!(">>> running {id} (seed {seed})");
         let started = std::time::Instant::now();
         run(seed);
-        eprintln!("<<< {id} done in {:.1}s\n", started.elapsed().as_secs_f64());
+        let secs = started.elapsed().as_secs_f64();
+        // Harness-side observability (ISSUE-6 satellite): telemetry events
+        // emitted per wall-clock second (from the trace the run just wrote)
+        // and the process peak RSS, on every one-line summary.
+        let mut extras = String::new();
+        if let Ok(body) = std::fs::read_to_string(results_dir().join(format!("{id}.trace.jsonl"))) {
+            let events = body.lines().count();
+            extras.push_str(&format!(" · {:.0} events/s", events as f64 / secs.max(1e-9)));
+        }
+        if let Some(rss) = peak_rss_bytes() {
+            extras.push_str(&format!(" · peak_rss {}", format_bytes(rss)));
+        }
+        eprintln!("<<< {id} done in {secs:.1}s{extras}\n");
     }
 }
 

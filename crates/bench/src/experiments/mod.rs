@@ -38,6 +38,7 @@ pub mod fig3;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleetscale;
 pub mod fleetstudy;
 pub mod production;
 pub mod resilience;

@@ -19,8 +19,10 @@ pub mod fixture;
 pub mod golden;
 pub mod parallel;
 pub mod report;
+pub mod sysmetrics;
 
 pub use chrome::{chrome_trace, chrome_trace_json};
 pub use critpath::{critical_path, critical_path_by_track, critpath_report, CritPath};
 pub use parallel::{merge_telemetry, run_units, run_units_auto, Unit, UnitOutput};
 pub use report::{results_dir, Report};
+pub use sysmetrics::{format_bytes, peak_rss_bytes};

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use crate::node::{Node, NodeId};
 use crate::pod::{Pod, PodId, PodPhase, PodSpec, Priority};
 use crate::resources::Resources;
+use crate::store::PodTable;
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -110,8 +111,12 @@ pub enum ClusterEvent {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     nodes: Vec<Node>,
-    pods: BTreeMap<PodId, Pod>,
+    pods: PodTable,
     pending: Vec<PodId>,
+    /// Reusable buffer `schedule_pending` drains the queue through — the
+    /// scheduler runs after every submit/finish/failure, so per-pass clones
+    /// of the queue were measurable churn at fleet scale.
+    scratch: Vec<PodId>,
     next_pod_id: u64,
     config: ClusterConfig,
     telemetry: Telemetry,
@@ -140,8 +145,9 @@ impl Cluster {
             .collect();
         Cluster {
             nodes,
-            pods: BTreeMap::new(),
+            pods: PodTable::new(),
             pending: Vec::new(),
+            scratch: Vec::new(),
             next_pod_id: 0,
             config,
             telemetry: Telemetry::default(),
@@ -170,7 +176,7 @@ impl Cluster {
             let kind = match *e {
                 ClusterEvent::PodPlaced(p, n) => {
                     self.telemetry.count("cluster.pods_placed", 1);
-                    if let Some(pod) = self.pods.get(&p) {
+                    if let Some(pod) = self.pods.get(p) {
                         self.telemetry.span_complete(
                             pod.requested_at,
                             self.clock,
@@ -216,7 +222,7 @@ impl Cluster {
 
     /// Looks up a pod.
     pub fn pod(&self, id: PodId) -> Option<&Pod> {
-        self.pods.get(&id)
+        self.pods.get(id)
     }
 
     /// Iterates all pods (including terminal ones).
@@ -255,19 +261,16 @@ impl Cluster {
         }
         let id = PodId(self.next_pod_id);
         self.next_pod_id += 1;
-        self.pods.insert(
+        self.pods.insert(Pod {
             id,
-            Pod {
-                id,
-                spec,
-                phase: PodPhase::Pending,
-                node: None,
-                requested_at: now,
-                placed_at: None,
-                running_at: None,
-                node_speed: 1.0,
-            },
-        );
+            spec,
+            phase: PodPhase::Pending,
+            node: None,
+            requested_at: now,
+            placed_at: None,
+            running_at: None,
+            node_speed: 1.0,
+        });
         self.pending.push(id);
         self.telemetry.record(now, EventKind::PodRequested { job: spec.job_id, pod: id.0 });
         let events = self.schedule_pending();
@@ -290,9 +293,12 @@ impl Cluster {
             let p = &self.pods[id];
             (std::cmp::Reverse(p.spec.priority), p.id)
         });
-        let queue: Vec<PodId> = self.pending.clone();
-        let mut still_pending = Vec::new();
-        for id in queue {
+        // Drain the queue through the reusable scratch buffer instead of
+        // cloning it: the swap is O(1) and both vectors keep their capacity
+        // across passes, so steady-state scheduling allocates nothing.
+        let mut queue = std::mem::replace(&mut self.pending, std::mem::take(&mut self.scratch));
+        debug_assert!(self.pending.is_empty());
+        for id in queue.drain(..) {
             let spec = self.pods[&id].spec;
             match self.place(&spec.resources) {
                 Some(node_id) => {
@@ -302,13 +308,13 @@ impl Cluster {
                     if let Some(node_id) = self.preempt_for(&spec.resources, &mut events) {
                         self.bind(id, node_id, &mut events);
                     } else {
-                        still_pending.push(id);
+                        self.pending.push(id);
                     }
                 }
-                None => still_pending.push(id),
+                None => self.pending.push(id),
             }
         }
-        self.pending = still_pending;
+        self.scratch = queue;
         self.record_events(&events);
         events
     }
@@ -371,7 +377,7 @@ impl Cluster {
 
     fn bind(&mut self, id: PodId, node_id: NodeId, events: &mut Vec<ClusterEvent>) {
         let node = &mut self.nodes[node_id.0 as usize];
-        let pod = self.pods.get_mut(&id).expect("binding unknown pod");
+        let pod = self.pods.get_mut(id).expect("binding unknown pod");
         node.reserve(pod.spec.resources);
         pod.node = Some(node_id);
         pod.phase = PodPhase::Starting;
@@ -463,19 +469,16 @@ impl Cluster {
             }
             let id = PodId(trial.next_pod_id);
             trial.next_pod_id += 1;
-            trial.pods.insert(
+            trial.pods.insert(Pod {
                 id,
-                Pod {
-                    id,
-                    spec: *spec,
-                    phase: PodPhase::Pending,
-                    node: None,
-                    requested_at: now,
-                    placed_at: None,
-                    running_at: None,
-                    node_speed: 1.0,
-                },
-            );
+                spec: *spec,
+                phase: PodPhase::Pending,
+                node: None,
+                requested_at: now,
+                placed_at: None,
+                running_at: None,
+                node_speed: 1.0,
+            });
             let node = match trial.place(&spec.resources) {
                 Some(n) => Some(n),
                 None if spec.priority == Priority::High => {
@@ -502,7 +505,7 @@ impl Cluster {
     /// # Panics
     /// Panics if the pod is unknown or not in `Starting`.
     pub fn mark_running(&mut self, id: PodId, now: SimTime) {
-        let pod = self.pods.get_mut(&id).expect("unknown pod");
+        let pod = self.pods.get_mut(id).expect("unknown pod");
         assert_eq!(pod.phase, PodPhase::Starting, "pod {id:?} not starting");
         pod.phase = PodPhase::Running;
         pod.running_at = Some(now);
@@ -519,7 +522,7 @@ impl Cluster {
     }
 
     fn detach(&mut self, id: PodId, phase: PodPhase) {
-        let Some(pod) = self.pods.get_mut(&id) else { return };
+        let Some(pod) = self.pods.get_mut(id) else { return };
         if pod.phase.is_terminal() {
             return;
         }
@@ -538,14 +541,14 @@ impl Cluster {
     /// telemetry stream for the oracle to audit. Returns the events (empty
     /// when the pod was already terminal or unknown).
     pub fn fail_pod(&mut self, id: PodId) -> Vec<ClusterEvent> {
-        let alive = self.pods.get(&id).is_some_and(|p| !p.phase.is_terminal());
+        let alive = self.pods.get(id).is_some_and(|p| !p.phase.is_terminal());
         if !alive {
             return Vec::new();
         }
         // Read the binding *before* detach nulls it: this failure counts
         // against the node's blacklist threshold (node-loss casualties go
         // through `fail_node` and deliberately bypass this).
-        let node = self.pods.get(&id).and_then(|p| p.node);
+        let node = self.pods.get(id).and_then(|p| p.node);
         self.detach(id, PodPhase::Failed);
         if let Some(node) = node {
             self.note_node_failure(node);
@@ -922,6 +925,51 @@ mod tests {
         // Fill the surviving node.
         c2.request_pod(spec(8.0, 8.0, Priority::Low), SimTime::ZERO).unwrap();
         assert_eq!(c2.denial_reason(&Resources::new(4.0, 8.0)), DenialReason::NodesCordoned);
+    }
+
+    /// Regression for the `schedule_pending` allocation churn fix: the
+    /// queue is drained through a reused scratch buffer, and the pass must
+    /// still grant high-priority pods first and keep FIFO order within a
+    /// priority class — byte-identical behavior to the old clone-the-queue
+    /// implementation.
+    #[test]
+    fn schedule_pending_scratch_reuse_preserves_order() {
+        let mut c = small_cluster();
+        // Fill both nodes with High pods so parked pods cannot preempt.
+        for _ in 0..4 {
+            c.request_pod(spec(4.0, 8.0, Priority::High), SimTime::ZERO).unwrap();
+        }
+        // Park four full-node pods: low, high, low, high (submission order).
+        let mut parked = Vec::new();
+        for (i, prio) in
+            [Priority::Low, Priority::High, Priority::Low, Priority::High].iter().enumerate()
+        {
+            let (id, _) =
+                c.request_pod(spec(8.0, 8.0, *prio), SimTime::from_secs(i as u64)).unwrap();
+            parked.push(id);
+        }
+        assert_eq!(c.pending_count(), 4);
+        // An empty pass leaves the queue intact (and seeds the scratch).
+        assert!(c.schedule_pending().is_empty());
+        assert_eq!(c.pending_count(), 4);
+        // Free both nodes; one pass then grants the two highs (FIFO within
+        // the class) and leaves the lows parked — exactly what the old
+        // clone-the-queue implementation did.
+        for id in 0..4 {
+            c.terminate_pod(PodId(id), PodPhase::Succeeded);
+        }
+        let events = c.schedule_pending();
+        let placed: Vec<PodId> = events
+            .iter()
+            .filter_map(|e| match e {
+                ClusterEvent::PodPlaced(p, _) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(placed, vec![parked[1], parked[3]], "highs first, FIFO within class");
+        assert_eq!(c.pending_count(), 2);
+        assert!(c.scratch.capacity() >= 4, "drain buffer retained across passes");
+        assert!(c.scratch.is_empty(), "scratch holds no pods between passes");
     }
 
     #[test]

@@ -18,12 +18,13 @@
 //! the §2.2 pathology — while elastic gangs replace the pod and keep
 //! going, which is precisely the delta DLRover-RM claims.
 
-use dlrover_sim::{EventQueue, FaultKind, FaultPlan, RngStreams, SimDuration, SimTime};
+use dlrover_sim::{FaultKind, FaultPlan, RngStreams, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::cluster::{Cluster, ClusterEvent};
 use crate::pod::{Pod, PodId, PodPhase, PodSpec, Priority};
 use crate::resources::Resources;
+use crate::timerwheel::TimerWheel;
 
 /// One job to drive through the cluster.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -138,7 +139,12 @@ pub fn drive_fleet_chaos(
             failed: false,
         })
         .collect();
-    let mut queue: EventQueue<Ev> = EventQueue::new();
+    // The driver is the sharded fleet core's K = 1 special case: one
+    // hierarchical timer wheel over the whole fleet. The wheel pops in the
+    // same (time, push-seq) order as the linear `EventQueue` it replaced
+    // (enforced by the wheel's equivalence proptest), so results are
+    // byte-identical — the golden-trace corpus pins this.
+    let mut queue: TimerWheel<Ev> = TimerWheel::new();
     for (i, j) in jobs.iter().enumerate() {
         queue.push(j.submit, Ev::Submit(i));
     }

@@ -19,22 +19,42 @@
 //! * [`fleet`] — a workload generator that reproduces the fleet pathologies
 //!   of §2.2: log-normally over-provisioned user requests, heavy-tailed job
 //!   sizes, Poisson arrivals, and a configurable job mix.
+//!
+//! The sharded fleet core (DESIGN.md §9) scales the same substrate to the
+//! paper's production footprint — 62K+ concurrent jobs, million-pod fleets
+//! (§1, Table 4) — without giving up bit-reproducibility:
+//!
+//! * [`store`] — generational-slab job storage and a paged pod table.
+//! * [`timerwheel`] — hierarchical timer wheel, O(1) event scheduling.
+//! * [`exchange`] — key-sorted, order-independent cross-shard messaging.
+//! * [`shard`] — the sharded fleet simulation itself; K = 1 is the
+//!   unsharded baseline, and any K produces byte-identical results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;
 pub mod driver;
+pub mod exchange;
 pub mod fleet;
 pub mod node;
 pub mod pod;
 pub mod resources;
+pub mod shard;
 pub mod startup;
+pub mod store;
+pub mod timerwheel;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterEvent, DenialReason, ScheduleError};
 pub use driver::{drive_fleet, drive_fleet_chaos, GangJob, GangOutcome};
+pub use exchange::{Envelope, Exchange};
 pub use fleet::{FleetConfig, FleetJob, FleetWorkload, JobClass};
 pub use node::{Node, NodeId};
 pub use pod::{Pod, PodId, PodPhase, PodRole, PodSpec, Priority};
 pub use resources::Resources;
+pub use shard::{
+    CellAggregates, FleetAggregates, FleetScaleConfig, FleetShard, FleetTotals, ShardedFleet,
+};
 pub use startup::StartupLatencyModel;
+pub use store::{GenSlab, PodTable, SlabKey};
+pub use timerwheel::TimerWheel;

@@ -1,0 +1,1137 @@
+//! The sharded million-pod fleet core (DESIGN.md §9).
+//!
+//! DLRover-RM's production deployment manages 62K+ concurrent training jobs
+//! and 3.24 PB of memory (PAPER.md §1, Table 4); the classic
+//! [`crate::Cluster`]-plus-driver pair tops out orders of magnitude below
+//! that because every pod lives in one global map and one passive clock
+//! serialises all progress.
+//! This module scales the same fleet model out:
+//!
+//! * The fleet is decomposed into `C` independent placement-domain **cells**
+//!   (think: an AntGroup sub-cluster). Each cell owns its nodes, its paged
+//!   [`PodTable`], its generational [`GenSlab`] of live jobs, its own RNG
+//!   lineage (`root.fork("cell/<c>")`), and its own fixed-capacity telemetry
+//!   sink. `C` depends only on the configuration — never on the shard count.
+//! * **Shards** are execution groups of consecutive cells. Each
+//!   [`FleetShard`] drives its cells with one hierarchical [`TimerWheel`];
+//!   `K = 1` is the unsharded baseline (one wheel interleaving every cell in
+//!   global time order), `K > 1` shards run independently between barriers
+//!   and can be spread over the parallel unit pool.
+//! * Cells only interact by **forwarding** jobs that stay pending too long to
+//!   the next cell (spill-over between sub-clusters). Forwarded jobs travel
+//!   as [`Envelope`]s and are delivered at epoch barriers through the
+//!   key-sorted [`Exchange`], i.e. the epoch is the lookahead of a
+//!   conservative parallel discrete-event simulation.
+//!
+//! # Determinism argument
+//!
+//! Results are bit-identical for any shard count K (and any thread count)
+//! because no observable quantity depends on how cells are grouped:
+//!
+//! 1. Within an epoch, cells are fully independent — all randomness comes
+//!    from per-cell streams, all state is per-cell, and a shard's wheel
+//!    preserves the relative `(time, seq)` order of each cell's events (a
+//!    cell's pushes form a subsequence of its shard's pushes, so same-time
+//!    events of one cell keep their FIFO order under any interleaving).
+//! 2. Cross-cell messages are only delivered at barriers, in the canonical
+//!    `(dst, at, src, seq)` order of [`Exchange::drain_sorted`], with
+//!    per-sender sequence numbers — independent of production order.
+//! 3. Barrier times are derived from the global minimum next-event time,
+//!    which is a property of the union of cells, not of the sharding.
+//! 4. Aggregates and telemetry are merged in ascending cell order.
+//!
+//! The `shard_count_is_invariant` tests below and the cross-K proptest in
+//! `dlrover-bench` enforce this bit-for-bit.
+
+use dlrover_sim::{FaultKind, FaultPlan, RngStreams, SimDuration, SimTime, StreamRng};
+use dlrover_telemetry::{EventKind, Telemetry};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::exchange::{Envelope, Exchange};
+use crate::fleet::{FleetConfig, FleetWorkload, JobClass};
+use crate::node::{Node, NodeId};
+use crate::pod::{Pod, PodId, PodPhase, PodRole, PodSpec, Priority};
+use crate::resources::Resources;
+use crate::store::{GenSlab, PodTable, SlabKey};
+use crate::timerwheel::TimerWheel;
+
+/// How long a lost node stays out of its cell (mirrors `driver.rs`).
+const NODE_OUTAGE: SimDuration = SimDuration::from_mins(15);
+
+/// Configuration of a sharded fleet run.
+///
+/// The number of **cells** fixes the simulated fleet; the shard count is a
+/// pure execution parameter chosen at [`ShardedFleet::new`] time and must not
+/// change results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetScaleConfig {
+    /// Placement-domain cells (sub-clusters). Results depend on this.
+    pub cells: u32,
+    /// Nodes per cell, each sized to `fleet.max_pod`.
+    pub nodes_per_cell: u32,
+    /// Per-cell workload generator configuration.
+    pub fleet: FleetConfig,
+    /// Barrier spacing: cross-cell deliveries land on multiples of this.
+    pub epoch: SimDuration,
+    /// How often a pending job re-attempts placement.
+    pub retry_interval: SimDuration,
+    /// Pending longer than this in one cell → forward to the next cell.
+    pub forward_after: SimDuration,
+    /// Max times a job may be forwarded before it gives up.
+    pub hop_limit: u32,
+    /// Event-ring capacity of each cell's telemetry sink.
+    pub telemetry_capacity: usize,
+    /// Training throughput model: samples/second one worker sustains on a
+    /// nominal-speed node (fixes job duration from `total_samples`).
+    pub samples_per_sec_per_worker: f64,
+    /// Shortest training-job duration after clamping.
+    pub min_job_duration: SimDuration,
+    /// Longest training-job duration after clamping.
+    pub max_job_duration: SimDuration,
+}
+
+impl Default for FleetScaleConfig {
+    fn default() -> Self {
+        FleetScaleConfig {
+            cells: 4,
+            nodes_per_cell: 128,
+            fleet: FleetConfig {
+                training_jobs: 540,
+                background_jobs: 130,
+                ..FleetConfig::default()
+            },
+            epoch: SimDuration::from_secs(600),
+            retry_interval: SimDuration::from_secs(30),
+            forward_after: SimDuration::from_secs(300),
+            hop_limit: 3,
+            telemetry_capacity: 2_048,
+            samples_per_sec_per_worker: 50_000.0,
+            min_job_duration: SimDuration::from_mins(10),
+            max_job_duration: SimDuration::from_days(7),
+        }
+    }
+}
+
+impl FleetScaleConfig {
+    /// Sizes a fleet to roughly `target_pods` total pods by scaling the cell
+    /// count at the default ~4K pods/cell (the per-cell workload mix stays
+    /// at its default, mirroring one production sub-cluster).
+    pub fn for_target_pods(target_pods: u64) -> Self {
+        let per_cell = 4_096u64;
+        let cells = u32::try_from(target_pods.div_ceil(per_cell).max(1)).expect("cell overflow");
+        FleetScaleConfig { cells, ..FleetScaleConfig::default() }
+    }
+
+    /// A deliberately tiny configuration for tests: `cells` cells with a
+    /// handful of jobs each, short durations, tight epochs.
+    pub fn small(cells: u32, training_jobs: usize, background_jobs: usize) -> Self {
+        FleetScaleConfig {
+            cells,
+            nodes_per_cell: 16,
+            fleet: FleetConfig {
+                training_jobs,
+                background_jobs,
+                mean_interarrival: SimDuration::from_secs(30),
+                ..FleetConfig::default()
+            },
+            epoch: SimDuration::from_secs(120),
+            retry_interval: SimDuration::from_secs(15),
+            forward_after: SimDuration::from_secs(60),
+            hop_limit: 2,
+            telemetry_capacity: 256,
+            samples_per_sec_per_worker: 50_000.0,
+            min_job_duration: SimDuration::from_mins(5),
+            max_job_duration: SimDuration::from_hours(12),
+        }
+    }
+}
+
+/// A job description portable between cells (what travels in an envelope).
+#[derive(Debug, Clone, PartialEq)]
+struct JobSpec {
+    /// `(origin_cell << 32) | workload index` — globally unique and
+    /// shard-count independent.
+    global_id: u64,
+    workers: u32,
+    ps: u32,
+    worker_res: Resources,
+    ps_res: Resources,
+    duration: SimDuration,
+    submitted_at: SimTime,
+    hops: u32,
+    is_service: bool,
+    high_priority: bool,
+}
+
+/// Live state of a job admitted to (or pending in) a cell.
+#[derive(Debug, Clone)]
+struct JobState {
+    spec: JobSpec,
+    arrived_at: SimTime,
+    pending: bool,
+    /// Live pods (cleared as they fail) and the node each sits on.
+    pods: Vec<(PodId, u32)>,
+}
+
+/// Chaos delivered to one cell (routed from a [`FaultPlan`]).
+#[derive(Debug, Clone, Copy)]
+enum ChaosAction {
+    NodeFail(u32),
+    NodeRecover(u32),
+    KillWorker(u32),
+    KillPs(u32),
+    Burst(u32),
+}
+
+/// Wheel events. Every event names its cell; a shard's wheel multiplexes the
+/// cells it owns.
+#[derive(Debug, Clone)]
+enum FleetEv {
+    /// Submit workload job `wl_idx` of `cell`.
+    Submit { cell: u32, wl_idx: u32 },
+    /// A forwarded job arrives in `cell` (delivered at an epoch barrier).
+    Deliver { cell: u32, spec: JobSpec },
+    /// A pending job re-attempts placement.
+    Retry { cell: u32, key: SlabKey },
+    /// A running job completes.
+    Finish { cell: u32, key: SlabKey },
+    /// One pod of a running job dies of organic churn.
+    PodFail { cell: u32, key: SlabKey, pod: PodId },
+    /// Scripted chaos.
+    Chaos { cell: u32, action: ChaosAction },
+}
+
+impl FleetEv {
+    fn cell(&self) -> u32 {
+        match self {
+            FleetEv::Submit { cell, .. }
+            | FleetEv::Deliver { cell, .. }
+            | FleetEv::Retry { cell, .. }
+            | FleetEv::Finish { cell, .. }
+            | FleetEv::PodFail { cell, .. }
+            | FleetEv::Chaos { cell, .. } => *cell,
+        }
+    }
+}
+
+/// Shard-count-independent per-cell outcome counters. All fields are exact
+/// integers so cross-K comparison is bitwise.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellAggregates {
+    /// Cell id.
+    pub cell: u32,
+    /// Jobs submitted by this cell's own workload.
+    pub jobs_submitted: u64,
+    /// Jobs that arrived forwarded from another cell.
+    pub jobs_forwarded_in: u64,
+    /// Jobs this cell forwarded away.
+    pub jobs_forwarded_out: u64,
+    /// Jobs that ran out of hops and gave up.
+    pub jobs_gave_up: u64,
+    /// Gangs admitted (placed) in this cell.
+    pub jobs_admitted: u64,
+    /// Jobs finished in this cell.
+    pub jobs_finished: u64,
+    /// Jobs that lost every pod and failed.
+    pub jobs_failed: u64,
+    /// Pods created in this cell.
+    pub pods_created: u64,
+    /// Pods lost to organic churn or node loss.
+    pub pod_failures: u64,
+    /// Pods lost to preemption bursts.
+    pub pods_preempted: u64,
+    /// Pod lifecycle transitions (create/finish/fail/preempt) — the unit of
+    /// the fleet-scale throughput metric.
+    pub pod_events: u64,
+    /// Wheel events processed on behalf of this cell.
+    pub wheel_events: u64,
+    /// High-water mark of the pending queue.
+    pub peak_pending: u64,
+    /// Sum of admission waits (µs) over admitted jobs.
+    pub wait_us_sum: u64,
+    /// Sum of submit→finish times (µs) over finished jobs.
+    pub completion_us_sum: u64,
+    /// Virtual time of the cell's last event (µs).
+    pub last_event_us: u64,
+}
+
+/// Fleet-wide rollup of [`CellAggregates`] (derived, also K-independent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTotals {
+    /// Jobs submitted across all cells.
+    pub jobs_submitted: u64,
+    /// Jobs admitted (counting only their final admission).
+    pub jobs_admitted: u64,
+    /// Jobs finished.
+    pub jobs_finished: u64,
+    /// Jobs failed.
+    pub jobs_failed: u64,
+    /// Jobs that gave up after exhausting forwarding hops.
+    pub jobs_gave_up: u64,
+    /// Cross-cell forwards.
+    pub jobs_forwarded: u64,
+    /// Pods created.
+    pub pods_created: u64,
+    /// Pod failures.
+    pub pod_failures: u64,
+    /// Pods preempted by chaos bursts.
+    pub pods_preempted: u64,
+    /// Total pod lifecycle transitions.
+    pub pod_events: u64,
+    /// Total wheel events processed.
+    pub wheel_events: u64,
+    /// Mean admission wait over admitted jobs, seconds.
+    pub mean_wait_secs: f64,
+    /// Mean submit→finish time over finished jobs, seconds.
+    pub mean_completion_secs: f64,
+    /// Virtual time of the last event anywhere, seconds.
+    pub makespan_secs: f64,
+}
+
+/// Per-cell aggregates in ascending cell order, plus derived totals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetAggregates {
+    /// One entry per cell, ascending by cell id.
+    pub cells: Vec<CellAggregates>,
+}
+
+impl FleetAggregates {
+    /// Fleet-wide rollup.
+    pub fn totals(&self) -> FleetTotals {
+        let sum = |f: fn(&CellAggregates) -> u64| self.cells.iter().map(f).sum::<u64>();
+        let admitted = sum(|c| c.jobs_admitted);
+        let finished = sum(|c| c.jobs_finished);
+        FleetTotals {
+            jobs_submitted: sum(|c| c.jobs_submitted),
+            jobs_admitted: admitted,
+            jobs_finished: finished,
+            jobs_failed: sum(|c| c.jobs_failed),
+            jobs_gave_up: sum(|c| c.jobs_gave_up),
+            jobs_forwarded: sum(|c| c.jobs_forwarded_out),
+            pods_created: sum(|c| c.pods_created),
+            pod_failures: sum(|c| c.pod_failures),
+            pods_preempted: sum(|c| c.pods_preempted),
+            pod_events: sum(|c| c.pod_events),
+            wheel_events: sum(|c| c.wheel_events),
+            mean_wait_secs: if admitted == 0 {
+                0.0
+            } else {
+                sum(|c| c.wait_us_sum) as f64 / admitted as f64 / 1e6
+            },
+            mean_completion_secs: if finished == 0 {
+                0.0
+            } else {
+                sum(|c| c.completion_us_sum) as f64 / finished as f64 / 1e6
+            },
+            makespan_secs: self.cells.iter().map(|c| c.last_event_us).max().unwrap_or(0) as f64
+                / 1e6,
+        }
+    }
+
+    /// Order-sensitive 64-bit digest over every per-cell counter; byte-level
+    /// witness for the cross-shard-count identity tests.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| h = dlrover_sim::splitmix64(h ^ v);
+        for c in &self.cells {
+            for v in [
+                u64::from(c.cell),
+                c.jobs_submitted,
+                c.jobs_forwarded_in,
+                c.jobs_forwarded_out,
+                c.jobs_gave_up,
+                c.jobs_admitted,
+                c.jobs_finished,
+                c.jobs_failed,
+                c.pods_created,
+                c.pod_failures,
+                c.pods_preempted,
+                c.pod_events,
+                c.wheel_events,
+                c.peak_pending,
+                c.wait_us_sum,
+                c.completion_us_sum,
+                c.last_event_us,
+            ] {
+                mix(v);
+            }
+        }
+        h
+    }
+}
+
+/// One placement-domain cell.
+#[derive(Debug)]
+struct Cell {
+    id: u32,
+    nodes: Vec<Node>,
+    pods: PodTable,
+    jobs: GenSlab<JobState>,
+    /// Pending jobs in arrival order.
+    pending: Vec<SlabKey>,
+    /// Workload jobs, indexed by `Submit::wl_idx`.
+    workload: Vec<JobSpec>,
+    rng: StreamRng,
+    telemetry: Telemetry,
+    agg: CellAggregates,
+    msg_seq: u64,
+}
+
+impl Cell {
+    /// First-fit gang placement; returns one node index per pod (workers
+    /// first, then PS) or rolls back and returns `None`.
+    fn try_place_gang(&mut self, spec: &JobSpec) -> Option<Vec<u32>> {
+        let total = (spec.workers + spec.ps) as usize;
+        let mut assignment = Vec::with_capacity(total);
+        for i in 0..total {
+            let res = if (i as u32) < spec.workers { spec.worker_res } else { spec.ps_res };
+            match self.nodes.iter_mut().position(|n| n.fits(&res)) {
+                Some(idx) => {
+                    self.nodes[idx].reserve(res);
+                    assignment.push(idx as u32);
+                }
+                None => {
+                    // Roll back partial reservations.
+                    for (j, &idx) in assignment.iter().enumerate() {
+                        let res =
+                            if (j as u32) < spec.workers { spec.worker_res } else { spec.ps_res };
+                        self.nodes[idx as usize].release(res);
+                    }
+                    return None;
+                }
+            }
+        }
+        Some(assignment)
+    }
+
+    /// Terminates one live pod of a running job; returns true when the job
+    /// lost its last pod (the caller fails the job).
+    fn kill_pod(&mut self, key: SlabKey, pod: PodId, now: SimTime, phase: PodPhase) -> bool {
+        let Some(job) = self.jobs.get_mut(key) else { return false };
+        let Some(pos) = job.pods.iter().position(|(p, _)| *p == pod) else { return false };
+        let (_, node_idx) = job.pods.remove(pos);
+        let res = {
+            let p = self.pods.get_mut(pod).expect("live pod present");
+            debug_assert_eq!(p.phase, PodPhase::Running);
+            p.phase = phase;
+            p.spec.resources
+        };
+        self.nodes[node_idx as usize].release(res);
+        self.agg.pod_events += 1;
+        match phase {
+            PodPhase::Preempted => {
+                self.agg.pods_preempted += 1;
+                self.telemetry.record(now, EventKind::PodPreempted { pod: pod.0 });
+            }
+            _ => {
+                self.agg.pod_failures += 1;
+                self.telemetry.record(now, EventKind::PodFailed { pod: pod.0 });
+            }
+        }
+        self.jobs.get(key).is_some_and(|j| j.pods.is_empty())
+    }
+
+    /// All live `(key, pod, role)` triples in deterministic (slab-slot, pod)
+    /// order — the resolution domain for chaos kill targets.
+    fn live_pods(&self) -> Vec<(SlabKey, PodId, PodRole)> {
+        let mut out = Vec::new();
+        for (key, job) in self.jobs.iter() {
+            for &(pod, _) in &job.pods {
+                let role = self.pods.get(pod).map(|p| p.spec.role).unwrap_or(PodRole::Other);
+                out.push((key, pod, role));
+            }
+        }
+        out
+    }
+}
+
+/// A group of consecutive cells driven by one timer wheel.
+///
+/// Obtained from [`ShardedFleet::begin_epoch`]; shards are `Send`, so the
+/// bench layer can run one epoch per shard on the parallel unit pool and
+/// hand them back to [`ShardedFleet::finish_epoch`].
+#[derive(Debug)]
+pub struct FleetShard {
+    first_cell: u32,
+    cells: Vec<Cell>,
+    wheel: TimerWheel<FleetEv>,
+    outbox: Vec<Envelope<JobSpec>>,
+    cfg: FleetScaleConfig,
+}
+
+impl FleetShard {
+    /// Shard id == index of its first cell's shard slot (stable, ascending).
+    pub fn id(&self) -> u32 {
+        self.first_cell
+    }
+
+    /// Runs this shard's cells up to (excluding) `bound`.
+    pub fn run_epoch(&mut self, bound: SimTime) {
+        while let Some(t) = self.wheel.peek_time() {
+            if t >= bound {
+                break;
+            }
+            let ev = self.wheel.pop().expect("peeked event");
+            self.handle(ev.at, ev.event, bound);
+        }
+        // Epoch housekeeping: reclaim pod pages that went fully terminal.
+        for cell in &mut self.cells {
+            cell.pods.reap_terminal();
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: FleetEv, bound: SimTime) {
+        let local = (ev.cell() - self.first_cell) as usize;
+        let cell = &mut self.cells[local];
+        cell.agg.wheel_events += 1;
+        cell.agg.last_event_us = cell.agg.last_event_us.max(now.as_micros());
+        match ev {
+            FleetEv::Submit { cell: c, wl_idx } => {
+                let spec = cell.workload[wl_idx as usize].clone();
+                cell.agg.jobs_submitted += 1;
+                cell.telemetry.count("fleet.jobs.submitted", 1);
+                debug_assert_eq!(c, cell.id);
+                Self::arrive(cell, &mut self.wheel, &self.cfg, spec, now);
+            }
+            FleetEv::Deliver { spec, .. } => {
+                cell.agg.jobs_forwarded_in += 1;
+                cell.telemetry.count("fleet.jobs.forwarded_in", 1);
+                Self::arrive(cell, &mut self.wheel, &self.cfg, spec, now);
+            }
+            FleetEv::Retry { key, .. } => {
+                let Some(job) = cell.jobs.get(key) else { return };
+                if !job.pending {
+                    return;
+                }
+                let (spec, arrived_at) = (job.spec.clone(), job.arrived_at);
+                if let Some(assignment) = cell.try_place_gang(&spec) {
+                    cell.pending.retain(|k| *k != key);
+                    Self::admit(cell, &mut self.wheel, &self.cfg, key, assignment, now);
+                } else if now.saturating_since(arrived_at) >= self.cfg.forward_after {
+                    cell.pending.retain(|k| *k != key);
+                    let job = cell.jobs.remove(key).expect("pending job in slab");
+                    if job.spec.hops >= self.cfg.hop_limit || self.cfg.cells <= 1 {
+                        cell.agg.jobs_gave_up += 1;
+                        cell.telemetry.count("fleet.jobs.gave_up", 1);
+                    } else {
+                        cell.agg.jobs_forwarded_out += 1;
+                        cell.telemetry.count("fleet.jobs.forwarded_out", 1);
+                        let mut spec = job.spec;
+                        spec.hops += 1;
+                        let seq = cell.msg_seq;
+                        cell.msg_seq += 1;
+                        self.outbox.push(Envelope {
+                            at: bound,
+                            src: cell.id,
+                            dst: (cell.id + 1) % self.cfg.cells,
+                            seq,
+                            msg: spec,
+                        });
+                    }
+                } else {
+                    self.wheel
+                        .push(now + self.cfg.retry_interval, FleetEv::Retry { cell: cell.id, key });
+                }
+            }
+            FleetEv::Finish { key, .. } => {
+                let Some(job) = cell.jobs.remove(key) else { return };
+                debug_assert!(!job.pending);
+                for (pod, node_idx) in &job.pods {
+                    let res = {
+                        let p = cell.pods.get_mut(*pod).expect("live pod present");
+                        p.phase = PodPhase::Succeeded;
+                        p.spec.resources
+                    };
+                    cell.nodes[*node_idx as usize].release(res);
+                    cell.agg.pod_events += 1;
+                }
+                cell.agg.jobs_finished += 1;
+                cell.agg.completion_us_sum +=
+                    now.saturating_since(job.spec.submitted_at).as_micros();
+                cell.telemetry.count("fleet.jobs.finished", 1);
+                // Freed capacity: admit pending jobs in arrival order.
+                Self::admit_pending(cell, &mut self.wheel, &self.cfg, now);
+            }
+            FleetEv::PodFail { key, pod, .. } => {
+                if cell.kill_pod(key, pod, now, PodPhase::Failed) {
+                    cell.jobs.remove(key);
+                    cell.agg.jobs_failed += 1;
+                    cell.telemetry.count("fleet.jobs.failed", 1);
+                }
+            }
+            FleetEv::Chaos { action, .. } => {
+                Self::chaos(cell, now, action);
+                Self::admit_pending(cell, &mut self.wheel, &self.cfg, now);
+            }
+        }
+    }
+
+    /// A job arrives in a cell (fresh submit or forwarded): place it now or
+    /// park it pending with a retry timer.
+    fn arrive(
+        cell: &mut Cell,
+        wheel: &mut TimerWheel<FleetEv>,
+        cfg: &FleetScaleConfig,
+        spec: JobSpec,
+        now: SimTime,
+    ) {
+        let key = cell.jobs.insert(JobState {
+            spec: spec.clone(),
+            arrived_at: now,
+            pending: true,
+            pods: Vec::new(),
+        });
+        if let Some(assignment) = cell.try_place_gang(&spec) {
+            Self::admit(cell, wheel, cfg, key, assignment, now);
+        } else {
+            cell.pending.push(key);
+            cell.agg.peak_pending = cell.agg.peak_pending.max(cell.pending.len() as u64);
+            wheel.push(now + cfg.retry_interval, FleetEv::Retry { cell: cell.id, key });
+        }
+    }
+
+    /// Binds the gang's pods, schedules its finish and organic pod failures.
+    fn admit(
+        cell: &mut Cell,
+        wheel: &mut TimerWheel<FleetEv>,
+        cfg: &FleetScaleConfig,
+        key: SlabKey,
+        assignment: Vec<u32>,
+        now: SimTime,
+    ) {
+        let spec = cell.jobs.get(key).expect("admitting live job").spec.clone();
+        let mut min_speed = f64::INFINITY;
+        let mut pods = Vec::with_capacity(assignment.len());
+        for (i, &node_idx) in assignment.iter().enumerate() {
+            let i = i as u32;
+            let (res, role) = if i < spec.workers {
+                (spec.worker_res, if spec.is_service { PodRole::Other } else { PodRole::Worker })
+            } else {
+                (spec.ps_res, PodRole::ParameterServer)
+            };
+            let node = &cell.nodes[node_idx as usize];
+            min_speed = min_speed.min(node.speed);
+            let id = PodId(cell.pods.total_inserted());
+            cell.pods.insert(Pod {
+                id,
+                spec: PodSpec {
+                    resources: res,
+                    role,
+                    priority: if spec.high_priority { Priority::High } else { Priority::Low },
+                    job_id: spec.global_id,
+                },
+                phase: PodPhase::Running,
+                node: Some(NodeId(node_idx)),
+                requested_at: spec.submitted_at,
+                placed_at: Some(now),
+                running_at: Some(now),
+                node_speed: node.speed,
+            });
+            pods.push((id, node_idx));
+            cell.agg.pods_created += 1;
+            cell.agg.pod_events += 1;
+            cell.telemetry.record(now, EventKind::PodPlaced { pod: id.0, node: node_idx });
+        }
+        // Gang-gated: the slowest node paces the whole job (§2.2 stragglers).
+        let slowdown = if min_speed.is_finite() && min_speed > 0.0 { 1.0 / min_speed } else { 1.0 };
+        let runtime = spec.duration.mul_f64(slowdown);
+        let job = cell.jobs.get_mut(key).expect("admitting live job");
+        job.pending = false;
+        job.pods = pods.clone();
+        cell.agg.jobs_admitted += 1;
+        cell.agg.wait_us_sum += now.saturating_since(spec.submitted_at).as_micros();
+        cell.telemetry.count("fleet.jobs.admitted", 1);
+        wheel.push(now + runtime, FleetEv::Finish { cell: cell.id, key });
+        // Organic pod churn (§2.2 / Table 4), sampled per pod in pod order.
+        let p = cfg.fleet.pod_daily_failure_rate.clamp(0.0, 0.999_999);
+        if p > 0.0 {
+            let rate_per_sec = -(1.0 - p).ln() / 86_400.0;
+            for (pod, _) in pods {
+                let u: f64 = cell.rng.gen_range(1e-12..1.0);
+                let delay = SimDuration::from_secs_f64(-u.ln() / rate_per_sec);
+                if delay < runtime {
+                    wheel.push(now + delay, FleetEv::PodFail { cell: cell.id, key, pod });
+                }
+            }
+        }
+    }
+
+    /// Admits as many pending jobs as now fit, preserving arrival order.
+    fn admit_pending(
+        cell: &mut Cell,
+        wheel: &mut TimerWheel<FleetEv>,
+        cfg: &FleetScaleConfig,
+        now: SimTime,
+    ) {
+        let queue = std::mem::take(&mut cell.pending);
+        for key in queue {
+            let Some(job) = cell.jobs.get(key) else { continue };
+            if !job.pending {
+                continue;
+            }
+            let spec = job.spec.clone();
+            if let Some(assignment) = cell.try_place_gang(&spec) {
+                Self::admit(cell, wheel, cfg, key, assignment, now);
+            } else {
+                cell.pending.push(key);
+            }
+        }
+    }
+
+    fn chaos(cell: &mut Cell, now: SimTime, action: ChaosAction) {
+        match action {
+            ChaosAction::NodeFail(n) => {
+                let n = n % cell.nodes.len().max(1) as u32;
+                cell.nodes[n as usize].healthy = false;
+                cell.telemetry.record(now, EventKind::NodeFailed { node: n });
+                // Every resident pod dies with the node.
+                let victims: Vec<(SlabKey, PodId)> = cell
+                    .jobs
+                    .iter()
+                    .flat_map(|(key, job)| {
+                        job.pods
+                            .iter()
+                            .filter(|(_, node)| *node == n)
+                            .map(move |(pod, _)| (key, *pod))
+                    })
+                    .collect();
+                for (key, pod) in victims {
+                    if cell.kill_pod(key, pod, now, PodPhase::Failed) {
+                        cell.jobs.remove(key);
+                        cell.agg.jobs_failed += 1;
+                        cell.telemetry.count("fleet.jobs.failed", 1);
+                    }
+                }
+            }
+            ChaosAction::NodeRecover(n) => {
+                let n = n % cell.nodes.len().max(1) as u32;
+                cell.nodes[n as usize].healthy = true;
+            }
+            ChaosAction::KillWorker(i) | ChaosAction::KillPs(i) => {
+                let want_ps = matches!(action, ChaosAction::KillPs(_));
+                let targets: Vec<(SlabKey, PodId)> = cell
+                    .live_pods()
+                    .into_iter()
+                    .filter(|(_, _, role)| (*role == PodRole::ParameterServer) == want_ps)
+                    .map(|(key, pod, _)| (key, pod))
+                    .collect();
+                if targets.is_empty() {
+                    return;
+                }
+                let (key, pod) = targets[i as usize % targets.len()];
+                if cell.kill_pod(key, pod, now, PodPhase::Failed) {
+                    cell.jobs.remove(key);
+                    cell.agg.jobs_failed += 1;
+                    cell.telemetry.count("fleet.jobs.failed", 1);
+                }
+            }
+            ChaosAction::Burst(pods) => {
+                // A high-priority burst preempts the first `pods` live pods.
+                let victims: Vec<(SlabKey, PodId)> = cell
+                    .live_pods()
+                    .into_iter()
+                    .take(pods as usize)
+                    .map(|(key, pod, _)| (key, pod))
+                    .collect();
+                for (key, pod) in victims {
+                    if cell.kill_pod(key, pod, now, PodPhase::Preempted) {
+                        cell.jobs.remove(key);
+                        cell.agg.jobs_failed += 1;
+                        cell.telemetry.count("fleet.jobs.failed", 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The sharded fleet: `C` cells grouped into `K` shards plus the exchange
+/// that carries spill-over between them.
+#[derive(Debug)]
+pub struct ShardedFleet {
+    shards: Vec<FleetShard>,
+    exchange: Exchange<JobSpec>,
+    cfg: FleetScaleConfig,
+    planned_pods: u64,
+}
+
+impl ShardedFleet {
+    /// Builds the fleet with `shard_count` shards (clamped to the cell
+    /// count). Same `cfg` + `seed` ⇒ same results for every `shard_count`.
+    pub fn new(cfg: &FleetScaleConfig, shard_count: u32, seed: u64) -> Self {
+        Self::with_chaos(cfg, shard_count, seed, None)
+    }
+
+    /// Like [`ShardedFleet::new`], with a scripted [`FaultPlan`] whose events
+    /// are routed to cells by their suggested target index (mod the cell
+    /// count) — a shard-count-independent mapping.
+    pub fn with_chaos(
+        cfg: &FleetScaleConfig,
+        shard_count: u32,
+        seed: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Self {
+        assert!(cfg.cells > 0, "fleet needs at least one cell");
+        let root = RngStreams::new(seed);
+        let shard_count = shard_count.clamp(1, cfg.cells);
+
+        // Route chaos to cells first so each cell's init list is complete.
+        let mut chaos_per_cell: Vec<Vec<(SimTime, ChaosAction)>> =
+            vec![Vec::new(); cfg.cells as usize];
+        if let Some(plan) = plan {
+            for (i, ev) in plan.events.iter().enumerate() {
+                let route = |target: u32| (target % cfg.cells) as usize;
+                match ev.kind {
+                    FaultKind::NodeLoss { node } => {
+                        let cell = route(node);
+                        let local = node / cfg.cells;
+                        chaos_per_cell[cell].push((ev.at, ChaosAction::NodeFail(local)));
+                        chaos_per_cell[cell]
+                            .push((ev.at + NODE_OUTAGE, ChaosAction::NodeRecover(local)));
+                    }
+                    FaultKind::WorkerKill { worker } => {
+                        chaos_per_cell[route(worker)]
+                            .push((ev.at, ChaosAction::KillWorker(worker / cfg.cells)));
+                    }
+                    FaultKind::PsKill { ps } => {
+                        chaos_per_cell[route(ps)]
+                            .push((ev.at, ChaosAction::KillPs(ps / cfg.cells)));
+                    }
+                    FaultKind::PreemptionBurst { pods } => {
+                        chaos_per_cell[i % cfg.cells as usize]
+                            .push((ev.at, ChaosAction::Burst(pods)));
+                    }
+                    // Engine/control-plane faults have no fleet-level analog.
+                    _ => {}
+                }
+            }
+        }
+
+        let mut planned_pods = 0u64;
+        let mut shards = Vec::with_capacity(shard_count as usize);
+        let per = cfg.cells / shard_count;
+        let extra = cfg.cells % shard_count;
+        let mut next_cell = 0u32;
+        for s in 0..shard_count {
+            let count = per + u32::from(s < extra);
+            let first_cell = next_cell;
+            let mut wheel = TimerWheel::new();
+            let mut cells = Vec::with_capacity(count as usize);
+            for c in first_cell..first_cell + count {
+                let (cell, pods) = Self::build_cell(
+                    cfg,
+                    c,
+                    &root,
+                    std::mem::take(&mut chaos_per_cell[c as usize]),
+                    &mut wheel,
+                );
+                planned_pods += pods;
+                cells.push(cell);
+            }
+            next_cell += count;
+            shards.push(FleetShard {
+                first_cell,
+                cells,
+                wheel,
+                outbox: Vec::new(),
+                cfg: cfg.clone(),
+            });
+        }
+        ShardedFleet { shards, exchange: Exchange::new(), cfg: cfg.clone(), planned_pods }
+    }
+
+    /// Generates one cell's nodes and workload and seeds its shard's wheel;
+    /// returns the cell plus its planned pod count.
+    fn build_cell(
+        cfg: &FleetScaleConfig,
+        cell_id: u32,
+        root: &RngStreams,
+        chaos: Vec<(SimTime, ChaosAction)>,
+        wheel: &mut TimerWheel<FleetEv>,
+    ) -> (Cell, u64) {
+        let streams = root.fork(&format!("cell/{cell_id}"));
+        let mut node_rng = streams.stream("nodes");
+        let nodes = (0..cfg.nodes_per_cell)
+            .map(|i| {
+                // Heterogeneous hardware (§2.2): a slow tail paces gangs.
+                let speed = if node_rng.gen::<f64>() < 0.15 { 0.45 } else { 1.0 };
+                Node::new(NodeId(i), cfg.fleet.max_pod, speed)
+            })
+            .collect();
+
+        let workload = FleetWorkload::generate(&cfg.fleet, &streams);
+        let mut planned_pods = 0u64;
+        let specs: Vec<JobSpec> = workload
+            .jobs
+            .iter()
+            .map(|job| {
+                planned_pods += u64::from(job.workers + job.ps);
+                let duration = match job.class {
+                    JobClass::Training => {
+                        let secs = job.total_samples as f64
+                            / (f64::from(job.workers.max(1)) * cfg.samples_per_sec_per_worker);
+                        SimDuration::from_secs_f64(secs)
+                            .clamp(cfg.min_job_duration, cfg.max_job_duration)
+                    }
+                    _ => job.service_duration.unwrap_or(cfg.min_job_duration),
+                };
+                JobSpec {
+                    global_id: (u64::from(cell_id) << 32) | job.id,
+                    workers: job.workers,
+                    ps: job.ps,
+                    worker_res: job.requested_worker,
+                    ps_res: job.requested_ps,
+                    duration,
+                    submitted_at: job.submit,
+                    hops: 0,
+                    is_service: job.class != JobClass::Training,
+                    high_priority: job.class.priority() == Priority::High,
+                }
+            })
+            .collect();
+
+        // Seed the wheel: submits (in workload order) merged with chaos (in
+        // plan order), stably sorted by time. The per-cell push order is a
+        // pure function of the cell, so it is identical at every shard count.
+        let mut init: Vec<(SimTime, u32, FleetEv)> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.submitted_at, 0, FleetEv::Submit { cell: cell_id, wl_idx: i as u32 }))
+            .collect();
+        init.extend(
+            chaos.into_iter().map(|(at, action)| (at, 1, FleetEv::Chaos { cell: cell_id, action })),
+        );
+        init.sort_by_key(|(at, rank, _)| (*at, *rank));
+        for (at, _, ev) in init {
+            wheel.push(at, ev);
+        }
+
+        let cell = Cell {
+            id: cell_id,
+            nodes,
+            pods: PodTable::new(),
+            jobs: GenSlab::with_capacity(64),
+            pending: Vec::new(),
+            workload: specs,
+            rng: streams.stream("cell-events"),
+            telemetry: Telemetry::with_capacity(cfg.telemetry_capacity),
+            agg: CellAggregates { cell: cell_id, ..CellAggregates::default() },
+            msg_seq: 0,
+        };
+        (cell, planned_pods)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> u32 {
+        self.cfg.cells
+    }
+
+    /// Total pods the generated workload will create if every job admits.
+    pub fn planned_pods(&self) -> u64 {
+        self.planned_pods
+    }
+
+    /// Computes the next epoch barrier and hands the shards out for the
+    /// epoch; returns `None` when the fleet has fully drained. The caller
+    /// must run each shard to the bound (serially or on the unit pool) and
+    /// return them via [`ShardedFleet::finish_epoch`].
+    pub fn begin_epoch(&mut self) -> Option<(SimTime, Vec<FleetShard>)> {
+        let mut next: Option<SimTime> = None;
+        for s in &mut self.shards {
+            if let Some(t) = s.wheel.peek_time() {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        }
+        let t = next?;
+        let epoch = self.cfg.epoch.as_micros().max(1);
+        let bound =
+            SimTime::from_micros((t.as_micros() / epoch).saturating_add(1).saturating_mul(epoch));
+        Some((bound, std::mem::take(&mut self.shards)))
+    }
+
+    /// Accepts the shards back after an epoch and routes their outboxes:
+    /// envelopes merge through the exchange in canonical order and are
+    /// pushed into the destination shards' wheels.
+    ///
+    /// # Panics
+    /// Panics if the shards are not returned in ascending id order (the
+    /// parallel pool's key-sorted outputs guarantee this).
+    pub fn finish_epoch(&mut self, mut shards: Vec<FleetShard>) {
+        assert!(
+            shards.windows(2).all(|w| w[0].first_cell < w[1].first_cell),
+            "shards must be returned in ascending order"
+        );
+        for shard in &mut shards {
+            self.exchange.collect(std::mem::take(&mut shard.outbox));
+        }
+        self.shards = shards;
+        for env in self.exchange.drain_sorted() {
+            let shard = self
+                .shards
+                .iter_mut()
+                .rev()
+                .find(|s| s.first_cell <= env.dst)
+                .expect("destination shard exists");
+            shard.wheel.push(env.at, FleetEv::Deliver { cell: env.dst, spec: env.msg });
+        }
+    }
+
+    /// One serial epoch; returns false when the fleet has drained.
+    pub fn step(&mut self) -> bool {
+        let Some((bound, mut shards)) = self.begin_epoch() else {
+            return false;
+        };
+        for shard in &mut shards {
+            shard.run_epoch(bound);
+        }
+        self.finish_epoch(shards);
+        true
+    }
+
+    /// Runs serially to completion and returns the aggregates.
+    pub fn run_to_completion(&mut self) -> FleetAggregates {
+        while self.step() {}
+        self.aggregates()
+    }
+
+    /// Per-cell aggregates in ascending cell order.
+    pub fn aggregates(&self) -> FleetAggregates {
+        FleetAggregates {
+            cells: self.shards.iter().flat_map(|s| s.cells.iter().map(|c| c.agg.clone())).collect(),
+        }
+    }
+
+    /// Cell telemetry merged in ascending cell order (the same key-sorted
+    /// merge discipline the parallel engine uses).
+    pub fn merged_telemetry(&self) -> Telemetry {
+        Telemetry::merge_ordered(
+            self.shards.iter().flat_map(|s| s.cells.iter().map(|c| &c.telemetry)),
+        )
+    }
+
+    /// Pods currently resident across all pod tables (after reaping).
+    pub fn resident_pods(&self) -> usize {
+        self.shards.iter().flat_map(|s| &s.cells).map(|c| c.pods.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrover_sim::FaultPlanConfig;
+
+    fn small_cfg() -> FleetScaleConfig {
+        FleetScaleConfig::small(3, 12, 4)
+    }
+
+    fn run(cfg: &FleetScaleConfig, shards: u32, seed: u64) -> (FleetAggregates, String) {
+        let mut fleet = ShardedFleet::new(cfg, shards, seed);
+        let agg = fleet.run_to_completion();
+        (agg, fleet.merged_telemetry().to_jsonl())
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let cfg = small_cfg();
+        let (a, ta) = run(&cfg, 2, 42);
+        let (b, tb) = run(&cfg, 2, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(ta, tb);
+        let (c, _) = run(&cfg, 2, 43);
+        assert_ne!(a, c, "different seed must differ");
+    }
+
+    #[test]
+    fn shard_count_is_invariant() {
+        let cfg = small_cfg();
+        let (baseline, t1) = run(&cfg, 1, 7);
+        for k in [2u32, 3, 7] {
+            let (agg, tel) = run(&cfg, k, 7);
+            assert_eq!(baseline, agg, "aggregates diverged at K={k}");
+            assert_eq!(baseline.digest(), agg.digest());
+            assert_eq!(t1, tel, "telemetry diverged at K={k}");
+        }
+    }
+
+    #[test]
+    fn every_job_resolves() {
+        let cfg = small_cfg();
+        let (agg, _) = run(&cfg, 2, 11);
+        let t = agg.totals();
+        assert_eq!(t.jobs_submitted, 48, "3 cells x (12 training + 4 background)");
+        assert_eq!(
+            t.jobs_submitted,
+            t.jobs_finished + t.jobs_failed + t.jobs_gave_up,
+            "all jobs must finish, fail, or give up: {t:?}"
+        );
+        assert!(t.jobs_finished > 0, "a healthy small fleet finishes jobs");
+        assert!(t.pods_created > 0);
+        assert!(t.pod_events >= t.pods_created * 2, "create + terminal per pod");
+        assert!(t.makespan_secs > 0.0);
+    }
+
+    #[test]
+    fn chaos_is_shard_count_invariant_and_lossy() {
+        let cfg = small_cfg();
+        let streams = RngStreams::new(99);
+        let plan = FaultPlan::generate(
+            &FaultPlanConfig {
+                events: 12,
+                horizon: SimDuration::from_hours(2),
+                warmup: SimDuration::from_secs(30),
+                ..FaultPlanConfig::default()
+            },
+            &streams,
+            0,
+        );
+        let mut runs = Vec::new();
+        for k in [1u32, 2, 3] {
+            let mut fleet = ShardedFleet::with_chaos(&cfg, k, 5, Some(&plan));
+            let agg = fleet.run_to_completion();
+            runs.push((agg, fleet.merged_telemetry().to_jsonl()));
+        }
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+        let clean = run(&cfg, 1, 5).0;
+        assert_ne!(runs[0].0, clean, "chaos must perturb the fleet");
+    }
+
+    #[test]
+    fn forwarding_happens_under_pressure() {
+        // Starve the cells so spill-over (and thus the exchange) is hit.
+        let mut cfg = FleetScaleConfig::small(3, 20, 4);
+        cfg.nodes_per_cell = 2;
+        let (agg, _) = run(&cfg, 3, 21);
+        let t = agg.totals();
+        assert!(t.jobs_forwarded > 0, "tiny cells must overflow: {t:?}");
+        assert_eq!(t.jobs_submitted, t.jobs_finished + t.jobs_failed + t.jobs_gave_up);
+    }
+
+    #[test]
+    fn reaping_bounds_resident_pods() {
+        let cfg = FleetScaleConfig::small(2, 40, 8);
+        let mut fleet = ShardedFleet::new(&cfg, 2, 3);
+        let agg = fleet.run_to_completion();
+        let created = agg.totals().pods_created;
+        assert!(created > 0);
+        assert!((fleet.resident_pods() as u64) <= created, "reaping must not grow the table");
+    }
+
+    #[test]
+    fn for_target_pods_scales_cells() {
+        assert_eq!(FleetScaleConfig::for_target_pods(1).cells, 1);
+        let million = FleetScaleConfig::for_target_pods(1_000_000);
+        assert!(million.cells >= 200, "1M pods needs hundreds of cells");
+        // Planned pods track the target within a factor of two.
+        let fleet = ShardedFleet::new(&FleetScaleConfig::for_target_pods(20_000), 4, 1);
+        let planned = fleet.planned_pods();
+        assert!((10_000..40_000).contains(&planned), "planned pods {planned} far from 20k target");
+    }
+}

@@ -71,6 +71,14 @@ impl Telemetry {
         self.inner.lock().expect("telemetry lock poisoned")
     }
 
+    /// Pre-allocates the event log for about `hint` more events (bounded
+    /// by the ring capacity). An allocation hint only — see
+    /// [`EventLog::reserve`]; recorded state and serialized bytes are
+    /// unaffected.
+    pub fn reserve_events(&self, hint: usize) {
+        self.lock().log.reserve(hint);
+    }
+
     /// Records an event stamped `at`.
     pub fn record(&self, at: SimTime, kind: EventKind) {
         self.lock().log.record(at, kind);

@@ -42,6 +42,15 @@ impl EventLog {
         EventLog { buf: Vec::new(), capacity, head: 0, next_seq: 0, dropped: 0 }
     }
 
+    /// Pre-allocates room for `hint` more events, bounded by the ring
+    /// capacity. Purely an allocation hint: retained events, sequence
+    /// numbers, and serialized bytes are unchanged, so pre-sized and
+    /// default-grown logs stay byte-identical.
+    pub fn reserve(&mut self, hint: usize) {
+        let target = self.capacity.min(self.buf.len().saturating_add(hint));
+        self.buf.reserve(target.saturating_sub(self.buf.len()));
+    }
+
     /// Appends an event stamped `at`.
     pub fn record(&mut self, at: SimTime, kind: EventKind) {
         let e = Event { at_us: at.as_micros(), seq: self.next_seq, kind };
