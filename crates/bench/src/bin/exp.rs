@@ -15,15 +15,17 @@ use std::path::{Path, PathBuf};
 
 use dlrover_bench::experiments as exp;
 use dlrover_bench::experiments::REGISTRY;
-use dlrover_bench::golden::{fnv64, write_golden, GoldenDigest};
+use dlrover_bench::golden::{write_golden, GoldenDigest};
 use dlrover_bench::{
-    chrome_trace_json, critpath_report, format_bytes, peak_rss_bytes, results_dir,
+    chrome_trace_json, critpath_report, events_per_sec, format_bytes, peak_rss_bytes, perf,
+    results_dir,
 };
 use dlrover_telemetry::{parse_spans_jsonl, Event};
 
 fn usage() -> ! {
     eprintln!("usage: exp [--seed N] [--threads N] <experiment|all> [more experiments...]");
     eprintln!("       exp [--seed N] [--threads N] --regen-golden");
+    eprintln!("       exp perf [--check] [--tolerance X] [--seed N] [--max-pods P] [areas...]");
     eprintln!("       exp bench-parallel [--threads N]");
     eprintln!("       exp fleetscale [--seed N] [--max-pods P] [--shards A,B,...]");
     eprintln!("       exp chaos [--seed N] [--plans K]");
@@ -34,6 +36,11 @@ fn usage() -> ! {
     eprintln!("--threads N caps the per-experiment worker pool (default: the");
     eprintln!("machine's available parallelism; output is identical at any N).");
     eprintln!("--regen-golden reruns everything and refreshes tests/golden/.");
+    eprintln!("perf runs one fixed wall-clock workload per hot area (areas:");
+    eprintln!("{}) and refreshes BENCH_<area>.json +", perf::AREAS.join(", "));
+    eprintln!("results/prof/<area>.folded; with --check it instead gates fresh");
+    eprintln!("numbers against the checked-in baselines (fail beyond --tolerance,");
+    eprintln!("default 2x) without touching any artefact.");
     eprintln!("bench-parallel times `exp all` at 1 vs N threads, byte-diffs the");
     eprintln!("results, and writes BENCH_parallel.json at the workspace root.");
     eprintln!("fleetscale sweeps the sharded fleet core to --max-pods (default");
@@ -261,124 +268,79 @@ fn regen_golden_command(seed: u64) -> ! {
     std::process::exit(0);
 }
 
-/// Digests every regular file under `dir` (non-recursive) into a
-/// name-sorted `(file name, length, FNV-1a 64)` list. Hashing each file
-/// once and dropping the bytes amortizes the byte-level comparison: the
-/// two result sets are compared digest-to-digest instead of holding both
-/// full artefact trees in memory, with the same sensitivity (any byte
-/// difference flips the FNV digest or the length).
-fn snapshot_dir(dir: &Path) -> Vec<(String, u64, u64)> {
-    let mut files: Vec<(String, u64, u64)> = std::fs::read_dir(dir)
-        .map(|entries| {
-            entries
-                .filter_map(|e| e.ok())
-                .filter(|e| e.path().is_file())
-                .map(|e| {
-                    let name = e.file_name().to_string_lossy().into_owned();
-                    let body = std::fs::read(e.path()).unwrap_or_default();
-                    (name, body.len() as u64, fnv64(&body))
-                })
-                .collect()
-        })
-        .unwrap_or_default();
-    files.sort_by(|a, b| a.0.cmp(&b.0));
-    files
-}
-
 /// `exp bench-parallel`: run `exp all` twice in child processes — once at
-/// one thread, once at `threads` — against scratch results directories,
-/// byte-diff the two output sets, and record honest wall-clock numbers in
-/// `BENCH_parallel.json` at the workspace root. Exits non-zero if any
+/// one thread, once at `threads` — byte-diff the two output sets
+/// ([`perf::run_parallel_bench`]), and record honest wall-clock numbers
+/// in `BENCH_parallel.json` at the workspace root. Exits non-zero if any
 /// output byte differs (the ISSUE's determinism acceptance gate).
 fn bench_parallel_command(threads: usize) -> ! {
-    let exe = std::env::current_exe().unwrap_or_else(|e| {
-        eprintln!("cannot locate exp binary: {e}");
+    let bench = perf::run_parallel_bench(threads).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    let out = perf::write_bench(
+        "parallel",
+        &["serial_s", "parallel_s", "speedup"],
+        &perf::parallel_body(&bench),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(2);
     });
-    let base = std::env::temp_dir().join(format!("dlrover-bench-parallel-{}", std::process::id()));
-    let run_leg = |label: &str, dir: &Path, threads: usize| -> f64 {
-        let _ = std::fs::remove_dir_all(dir);
-        std::fs::create_dir_all(dir).expect("create scratch results dir");
-        eprintln!("== {label}: exp all, {threads} thread(s) ==");
-        let started = std::time::Instant::now();
-        let status = std::process::Command::new(&exe)
-            .arg("all")
-            .env("DLROVER_RESULTS_DIR", dir)
-            .env("DLROVER_THREADS", threads.to_string())
-            .stdout(std::process::Stdio::null())
-            .status()
-            .expect("spawn exp child");
-        let secs = started.elapsed().as_secs_f64();
-        if !status.success() {
-            eprintln!("{label} leg failed: {status}");
-            std::process::exit(2);
-        }
-        eprintln!("== {label}: {secs:.1}s ==\n");
-        secs
-    };
-    let serial_dir = base.join("serial");
-    let parallel_dir = base.join("parallel");
-    let serial_s = run_leg("serial", &serial_dir, 1);
-    let parallel_s = run_leg("parallel", &parallel_dir, threads);
-
-    let (a, b) = (snapshot_dir(&serial_dir), snapshot_dir(&parallel_dir));
-    let a_names: Vec<&String> = a.iter().map(|(n, _, _)| n).collect();
-    let b_names: Vec<&String> = b.iter().map(|(n, _, _)| n).collect();
-    if a_names != b_names {
-        eprintln!("determinism FAILED: file sets differ\n  serial:   {a_names:?}\n  parallel: {b_names:?}");
-        std::process::exit(1);
-    }
-    let mut mismatches = 0usize;
-    for ((name, llen, lfnv), (_, rlen, rfnv)) in a.iter().zip(&b) {
-        if (llen, lfnv) != (rlen, rfnv) {
-            eprintln!("determinism FAILED: {name} differs between 1 and {threads} threads");
-            mismatches += 1;
-        }
-    }
-    if mismatches > 0 {
-        std::process::exit(1);
-    }
-    eprintln!("determinism OK: {} files byte-identical at 1 vs {threads} thread(s)", a.len());
-
-    let speedup = serial_s / parallel_s.max(1e-9);
     let avail = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_parallel.json");
-    // Keep the prior run's headline numbers as `previous` so the artefact
-    // itself records before/after across optimisation passes.
-    let previous = std::fs::read_to_string(&out)
-        .ok()
-        .and_then(|body| serde_json::from_str::<serde_json::Value>(&body).ok())
-        .map(|old| {
-            serde_json::json!({
-                "serial_s": old.get("serial_s").cloned().unwrap_or(serde_json::Value::Null),
-                "parallel_s": old.get("parallel_s").cloned().unwrap_or(serde_json::Value::Null),
-                "speedup": old.get("speedup").cloned().unwrap_or(serde_json::Value::Null),
-            })
-        })
-        .unwrap_or(serde_json::Value::Null);
-    let body = serde_json::json!({
-        "experiment": "bench-parallel",
-        "description": "wall-clock of `exp all` at 1 thread vs the pool",
-        "serial_s": serial_s,
-        "parallel_s": parallel_s,
-        "speedup": speedup,
-        "threads": threads,
-        "available_parallelism": avail,
-        "files_compared": a.len(),
-        "byte_identical": true,
-        "previous": previous,
-    });
-    std::fs::write(&out, format!("{:#}\n", body)).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", out.display());
-        std::process::exit(2);
-    });
     println!(
-        "serial {serial_s:.1}s, parallel({threads}) {parallel_s:.1}s, speedup {speedup:.2}x \
+        "serial {:.1}s, parallel({threads}) {:.1}s, speedup {:.2}x \
          (available_parallelism={avail}) -> {}",
+        bench.serial_s,
+        bench.parallel_s,
+        bench.speedup,
         out.display()
     );
-    let _ = std::fs::remove_dir_all(&base);
     std::process::exit(0);
+}
+
+/// `exp perf`: the self-profiling plane's entry point. Runs one fixed
+/// workload per hot area, refreshing `BENCH_<area>.json` and the folded
+/// profiles under `results/prof/` — or, with `--check`, gates fresh
+/// numbers against the checked-in baselines (the CI perf-smoke job).
+fn perf_command(args: &[String], threads_flag: Option<usize>) -> ! {
+    let mut opts = perf::PerfOpts {
+        threads: threads_flag
+            .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(4))
+            .max(2),
+        ..perf::PerfOpts::default()
+    };
+    let mut areas: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => opts.check = true,
+            "--tolerance" => {
+                opts.tolerance = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                if opts.tolerance <= 1.0 || opts.tolerance.is_nan() {
+                    usage();
+                }
+            }
+            "--seed" => {
+                opts.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--max-pods" => {
+                opts.max_pods = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                if opts.max_pods == 0 {
+                    usage();
+                }
+            }
+            other if !other.starts_with('-') => areas.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    match perf::run(&areas, &opts) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// `exp fleetscale`: sweep the sharded fleet core (ISSUE-6 tentpole) to
@@ -418,57 +380,9 @@ fn fleetscale_command(args: &[String]) -> ! {
         targets.push(max_pods);
     }
 
-    let outcome = exp::fleetscale::run_sweep(seed, &targets, &shards);
-
-    let bench_targets: Vec<serde_json::Value> = outcome
-        .targets
-        .iter()
-        .map(|sweep| {
-            let per_sec =
-                |k: usize| sweep.runs.iter().find(|r| r.shards == k).map(|r| r.pod_events_per_sec);
-            let scaling: Vec<serde_json::Value> = sweep
-                .runs
-                .iter()
-                .map(|r| {
-                    serde_json::json!({
-                        "shards": r.shards,
-                        "epochs": r.epochs,
-                        "wall_s": r.wall_s,
-                        "pod_events_per_sec": r.pod_events_per_sec,
-                        "wheel_events_per_sec": r.wheel_events_per_sec,
-                    })
-                })
-                .collect();
-            serde_json::json!({
-                "target_pods": sweep.target_pods,
-                "cells": sweep.cells,
-                "planned_pods": sweep.planned_pods,
-                "pod_events": sweep.totals.pod_events,
-                "wheel_events": sweep.totals.wheel_events,
-                "cross_shard_identical": sweep.cross_shard_identical,
-                "runs": scaling,
-                "speedup_4_vs_1": match (per_sec(4), per_sec(1)) {
-                    (Some(four), Some(one)) if one > 0.0 => {
-                        serde_json::json!(four / one)
-                    }
-                    _ => serde_json::Value::Null,
-                },
-            })
-        })
-        .collect();
-    let body = serde_json::json!({
-        "experiment": "fleetscale",
-        "description": "sharded fleet core swept to 1M pods: pod-events/sec and \
-                        peak RSS per shard count (deterministic twin: results/fleetscale.json)",
-        "seed": seed,
-        "shard_counts": shards,
-        "targets": bench_targets,
-        "peak_rss_bytes": peak_rss_bytes(),
-        "cross_shard_identical": outcome.all_identical,
-    });
-    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_fleetscale.json");
-    std::fs::write(&out, format!("{:#}\n", body)).unwrap_or_else(|e| {
-        eprintln!("cannot write {}: {e}", out.display());
+    let (outcome, body) = perf::run_fleetscale_bench(seed, &targets, &shards);
+    let out = perf::write_bench("fleetscale", &["pod_events_per_sec"], &body).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(2);
     });
     println!("wrote {}", out.display());
@@ -521,6 +435,9 @@ fn main() {
             .max(2);
         bench_parallel_command(threads);
     }
+    if args.first().map(String::as_str) == Some("perf") {
+        perf_command(&args[1..], threads_flag);
+    }
     let mut seed = 42u64;
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         if pos + 1 >= args.len() {
@@ -560,8 +477,11 @@ fn main() {
         // and the process peak RSS, on every one-line summary.
         let mut extras = String::new();
         if let Ok(body) = std::fs::read_to_string(results_dir().join(format!("{id}.trace.jsonl"))) {
-            let events = body.lines().count();
-            extras.push_str(&format!(" · {:.0} events/s", events as f64 / secs.max(1e-9)));
+            let events = body.lines().count() as u64;
+            match events_per_sec(events, secs) {
+                Some(rate) => extras.push_str(&format!(" · {rate:.0} events/s")),
+                None => extras.push_str(" · - events/s"),
+            }
         }
         if let Some(rss) = peak_rss_bytes() {
             extras.push_str(&format!(" · peak_rss {}", format_bytes(rss)));

@@ -155,6 +155,7 @@ pub fn run_units_auto<T: Send>(units: Vec<Unit<'_, T>>) -> Vec<UnitOutput<T>> {
 const UNIT_SINK_EVENT_HINT: usize = 1_024;
 
 fn run_one<T>(unit: Unit<'_, T>) -> UnitOutput<T> {
+    let _p = dlrover_telemetry::prof::scope("parallel/unit");
     let telemetry = Telemetry::default();
     telemetry.reserve_events(UNIT_SINK_EVENT_HINT);
     let value = (unit.run)(&telemetry);
@@ -165,6 +166,7 @@ fn run_one<T>(unit: Unit<'_, T>) -> UnitOutput<T> {
 /// outputs of [`run_units`] are already key-sorted). See
 /// [`Telemetry::merge_ordered`] for the merge semantics.
 pub fn merge_telemetry<T>(outputs: &[UnitOutput<T>]) -> Telemetry {
+    let _p = dlrover_telemetry::prof::scope("parallel/merge");
     Telemetry::merge_ordered(outputs.iter().map(|o| &o.telemetry))
 }
 

@@ -15,11 +15,26 @@ pub fn peak_rss_bytes() -> Option<u64> {
 }
 
 /// Extracts `VmHWM` from a `/proc/<pid>/status` body. The kernel prints
-/// the value in kB (1024-byte units) regardless of locale.
+/// the value in kB (1024-byte units) regardless of locale. Malformed or
+/// absurd bodies yield `None` rather than a wrong number: the kB→bytes
+/// conversion is checked, so a corrupt value near `u64::MAX` cannot wrap
+/// into a small "plausible" figure in release builds.
 fn parse_vm_hwm(status: &str) -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+    kb.checked_mul(1024)
+}
+
+/// Events-per-second over a wall-clock window, or `None` when the window
+/// is too short (or not a real duration) to support a rate: zero,
+/// negative, NaN, and infinite `secs` all yield `None` instead of an
+/// infinite or garbage rate. Callers print `-` for `None` rather than
+/// pretending precision.
+pub fn events_per_sec(events: u64, secs: f64) -> Option<f64> {
+    if !secs.is_finite() || secs <= 0.0 {
+        return None;
+    }
+    Some(events as f64 / secs)
 }
 
 /// Renders a byte count as a compact human figure (`"742.1 MB"`).
@@ -44,6 +59,42 @@ mod tests {
         assert_eq!(parse_vm_hwm(body), Some(98_304 * 1024));
         assert_eq!(parse_vm_hwm("Name:\texp\n"), None);
         assert_eq!(parse_vm_hwm("VmHWM:\tgarbage kB\n"), None);
+    }
+
+    #[test]
+    fn malformed_status_lines_yield_none_not_panic_or_garbage() {
+        // Value column missing entirely.
+        assert_eq!(parse_vm_hwm("VmHWM:\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:   \n"), None);
+        // Negative and fractional values don't parse as u64.
+        assert_eq!(parse_vm_hwm("VmHWM:\t-5 kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t12.5 kB\n"), None);
+        // Empty body / no newline termination.
+        assert_eq!(parse_vm_hwm(""), None);
+        assert_eq!(parse_vm_hwm("VmHWM: 4"), Some(4 * 1024));
+        // A prefix line must not match (starts_with is anchored).
+        assert_eq!(parse_vm_hwm("XVmHWM: 7 kB\n"), None);
+    }
+
+    #[test]
+    fn vm_hwm_kb_conversion_cannot_overflow_silently() {
+        // u64::MAX kB would wrap to a tiny number under unchecked *1024;
+        // the checked conversion refuses instead.
+        let body = format!("VmHWM:\t{} kB\n", u64::MAX);
+        assert_eq!(parse_vm_hwm(&body), None);
+        // The largest representable figure still converts.
+        let body = format!("VmHWM:\t{} kB\n", u64::MAX / 1024);
+        assert_eq!(parse_vm_hwm(&body), Some((u64::MAX / 1024) * 1024));
+    }
+
+    #[test]
+    fn events_per_sec_refuses_degenerate_windows() {
+        assert_eq!(events_per_sec(100, 0.0), None);
+        assert_eq!(events_per_sec(100, -1.0), None);
+        assert_eq!(events_per_sec(100, f64::NAN), None);
+        assert_eq!(events_per_sec(100, f64::INFINITY), None);
+        assert_eq!(events_per_sec(0, 2.0), Some(0.0));
+        assert_eq!(events_per_sec(100, 4.0), Some(25.0));
     }
 
     #[test]

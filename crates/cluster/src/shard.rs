@@ -468,6 +468,7 @@ impl FleetShard {
 
     /// Runs this shard's cells up to (excluding) `bound`.
     pub fn run_epoch(&mut self, bound: SimTime) {
+        let _p = dlrover_telemetry::prof::scope("shard/epoch");
         while let Some(t) = self.wheel.peek_time() {
             if t >= bound {
                 break;
@@ -967,11 +968,14 @@ impl ShardedFleet {
             shards.windows(2).all(|w| w[0].first_cell < w[1].first_cell),
             "shards must be returned in ascending order"
         );
+        let _p = dlrover_telemetry::prof::scope("shard/exchange");
         for shard in &mut shards {
             self.exchange.collect(std::mem::take(&mut shard.outbox));
         }
         self.shards = shards;
+        let mut delivered = 0u64;
         for env in self.exchange.drain_sorted() {
+            delivered += 1;
             let shard = self
                 .shards
                 .iter_mut()
@@ -980,6 +984,7 @@ impl ShardedFleet {
                 .expect("destination shard exists");
             shard.wheel.push(env.at, FleetEv::Deliver { cell: env.dst, spec: env.msg });
         }
+        dlrover_telemetry::prof::add_items(delivered);
     }
 
     /// One serial epoch; returns false when the fleet has drained.

@@ -14,6 +14,7 @@
 //! All objectives are *minimized*; encode maximization as negation or
 //! reciprocal (the paper minimizes `(RC, 1/TG)`).
 
+use dlrover_telemetry::prof;
 use rand::Rng;
 
 /// Configuration for an NSGA-II run.
@@ -90,6 +91,7 @@ where
 
     /// Runs the algorithm and returns the first (best) non-dominated front.
     pub fn run<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<ParetoPoint> {
+        let _p = prof::scope("nsga2/run");
         let dim = self.lower.len();
         let mutation_prob = self.config.mutation_prob.unwrap_or(1.0 / dim as f64);
         let pop_size = self.config.population;
@@ -104,6 +106,8 @@ where
         assign_ranks_and_crowding(&mut population);
 
         for _ in 0..self.config.generations {
+            let _g = prof::scope("nsga2/generation");
+            prof::add_items(pop_size as u64);
             // Variation: fill an offspring population of equal size.
             let mut offspring = Vec::with_capacity(pop_size);
             while offspring.len() < pop_size {
@@ -222,6 +226,7 @@ pub fn hypervolume_2d(front: &[ParetoPoint], reference: [f64; 2]) -> f64 {
 
 /// Fast non-dominated sort + crowding distance (Deb et al., §III).
 fn assign_ranks_and_crowding(pop: &mut [Individual]) {
+    let _p = prof::scope("nsga2/sort");
     let n = pop.len();
     let mut domination_count = vec![0usize; n];
     let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n];

@@ -132,6 +132,7 @@ impl AsyncCostModel {
         partitions: &[PsPartition],
         workers: u32,
     ) -> [f64; 5] {
+        let _p = dlrover_telemetry::prof::scope("cost/phase_times");
         let c = self.coefficients;
         let m = f64::from(self.batch_size);
         let w = f64::from(workers.max(1));
@@ -167,6 +168,8 @@ impl AsyncCostModel {
     /// Job throughput in samples/second: asynchronous workers iterate
     /// independently, so rates add.
     pub fn throughput(&self, workers: &[PodState], partitions: &[PsPartition]) -> f64 {
+        let _p = dlrover_telemetry::prof::scope("cost/throughput");
+        dlrover_telemetry::prof::add_items(workers.len() as u64);
         let n = workers.len() as u32;
         workers
             .iter()

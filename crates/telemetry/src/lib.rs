@@ -26,6 +26,7 @@ pub mod event;
 pub mod log;
 pub mod metrics;
 pub mod oracle;
+pub mod prof;
 pub mod span;
 
 pub use event::{Event, EventKind, MigrationKind};
@@ -81,6 +82,7 @@ impl Telemetry {
 
     /// Records an event stamped `at`.
     pub fn record(&self, at: SimTime, kind: EventKind) {
+        let _p = prof::scope("telemetry/record");
         self.lock().log.record(at, kind);
     }
 
@@ -161,8 +163,12 @@ impl Telemetry {
 
     /// Absorbs another sink's state into this one (`other` is left
     /// untouched). Events are re-sequenced and span ids remapped in absorb
-    /// order; see [`EventLog::absorb`], [`SpanLog::absorb`], and
-    /// [`MetricsRegistry::absorb`] for the per-store rules.
+    /// order; see [`EventLog::absorb_owned`], [`SpanLog::absorb_owned`],
+    /// and [`MetricsRegistry::absorb_owned`] for the per-store rules.
+    ///
+    /// Cost: one snapshot copy of `other`'s stores; the merge itself then
+    /// moves that snapshot in (bulk appends + in-place remaps), so events
+    /// and span labels are copied once, not twice.
     ///
     /// Locking: `other` is snapshotted under its own lock *before* this
     /// sink's lock is taken, so the two locks are never held together and
@@ -172,14 +178,16 @@ impl Telemetry {
         if Arc::ptr_eq(&self.inner, &other.inner) {
             return;
         }
+        let _p = prof::scope("telemetry/absorb");
         let (log, metrics, spans) = {
             let theirs = other.lock();
             (theirs.log.clone(), theirs.metrics.clone(), theirs.spans.clone())
         };
+        prof::add_items(log.len() as u64 + spans.len() as u64);
         let mut inner = self.lock();
-        inner.log.absorb(&log);
-        inner.metrics.absorb(&metrics);
-        inner.spans.absorb(&spans);
+        inner.log.absorb_owned(log);
+        inner.metrics.absorb_owned(metrics);
+        inner.spans.absorb_owned(spans);
     }
 
     /// Merges per-unit sinks into one fresh sink, in the given order.
@@ -229,6 +237,12 @@ impl Telemetry {
                 .map(|(k, n)| (k.to_string(), n))
                 .collect(),
             counters: inner.metrics.counters.clone(),
+            hist_p95: inner
+                .metrics
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.p95()))
+                .collect(),
         }
     }
 }
@@ -267,23 +281,34 @@ pub struct TelemetrySummary {
     pub top_kinds: Vec<(String, u64)>,
     /// Final counter values.
     pub counters: std::collections::BTreeMap<String, u64>,
+    /// Per-histogram p95 (deterministic bucket interpolation, see
+    /// [`Histogram::quantile`]), name-ordered.
+    pub hist_p95: Vec<(String, f64)>,
 }
 
 impl TelemetrySummary {
     /// Renders the summary as one log line, e.g.
-    /// `events=1204 (0 dropped); spans=88 (0 dropped); top: ShardAcked x612`.
-    /// A non-zero drop count is always visible here, so no experiment can
-    /// silently report from a truncated log.
+    /// `events=1204 (0 dropped); spans=88 (0 dropped); top: ShardAcked x612;
+    /// p95: pause=0.512s`. A non-zero drop count is always visible here, so
+    /// no experiment can silently report from a truncated log; histogram
+    /// p95s (up to three, name order) surface tail latency the mean hides.
     pub fn one_line(&self) -> String {
         let tops: Vec<String> = self.top_kinds.iter().map(|(k, n)| format!("{k} x{n}")).collect();
-        format!(
+        let mut line = format!(
             "events={} ({} dropped); spans={} ({} dropped); top: {}",
             self.total_events,
             self.dropped_events,
             self.total_spans,
             self.dropped_spans,
             if tops.is_empty() { "-".to_string() } else { tops.join(", ") }
-        )
+        );
+        if !self.hist_p95.is_empty() {
+            let p95s: Vec<String> =
+                self.hist_p95.iter().take(3).map(|(k, v)| format!("{k}={v:.3}")).collect();
+            line.push_str("; p95: ");
+            line.push_str(&p95s.join(", "));
+        }
+        line
     }
 }
 

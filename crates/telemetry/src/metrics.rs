@@ -73,6 +73,58 @@ impl Histogram {
         }
     }
 
+    /// Deterministic quantile estimate (`q` in `[0, 1]`) by cumulative
+    /// bucket walk + linear interpolation inside the landing bucket.
+    ///
+    /// The bucket layout is fixed (one power-of-ten decade per bucket),
+    /// so the estimate is a pure function of the counts — identical
+    /// across runs, merge orders, and thread counts, unlike a sample
+    /// reservoir. Interpolation assumes observations spread uniformly
+    /// within a bucket: the first bucket interpolates up from 0, the
+    /// overflow bucket up to `max`, and the result is clamped to
+    /// `[min, max]` so a single-value histogram reports that value
+    /// exactly. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let through = below + c;
+            if through as f64 >= target {
+                let lo = if i == 0 { 0.0 } else { 10f64.powi(FIRST_DECADE + i as i32 - 1) };
+                let hi = if i == DECADES as usize {
+                    self.max
+                } else {
+                    10f64.powi(FIRST_DECADE + i as i32)
+                };
+                let frac = ((target - below as f64) / c as f64).clamp(0.0, 1.0);
+                return (lo + (hi - lo) * frac).clamp(self.min, self.max);
+            }
+            below = through;
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Self::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Self::quantile`]).
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Self::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     /// Adds `other`'s observations into this histogram (bucket-wise; the
     /// fixed bucket layout makes merging exact for counts, approximate for
     /// nothing — sum/min/max combine losslessly too).
@@ -237,25 +289,37 @@ impl MetricsRegistry {
     /// highest-keyed unit's value to survive. Time series merge
     /// bucket-wise (see [`TimeSeries`]).
     pub fn absorb(&mut self, other: &MetricsRegistry) {
-        for (name, n) in &other.counters {
-            self.count(name, *n);
-        }
-        for (name, v) in &other.gauges {
-            self.gauge(name, *v);
-        }
-        for (name, h) in &other.histograms {
-            match self.histograms.get_mut(name) {
-                Some(mine) => mine.absorb(h),
+        self.absorb_owned(other.clone());
+    }
+
+    /// [`Self::absorb`], consuming the other registry: names and payloads
+    /// *move* in where this registry has no entry yet (the common case in
+    /// a merge into a fresh sink), instead of being cloned key by key.
+    pub fn absorb_owned(&mut self, other: MetricsRegistry) {
+        for (name, n) in other.counters {
+            match self.counters.get_mut(&name) {
+                Some(mine) => *mine += n,
                 None => {
-                    self.histograms.insert(name.clone(), h.clone());
+                    self.counters.insert(name, n);
                 }
             }
         }
-        for (name, s) in &other.series {
-            match self.series.get_mut(name) {
-                Some(mine) => mine.absorb(s),
+        for (name, v) in other.gauges {
+            self.gauges.insert(name, v);
+        }
+        for (name, h) in other.histograms {
+            match self.histograms.get_mut(&name) {
+                Some(mine) => mine.absorb(&h),
                 None => {
-                    self.series.insert(name.clone(), s.clone());
+                    self.histograms.insert(name, h);
+                }
+            }
+        }
+        for (name, s) in other.series {
+            match self.series.get_mut(&name) {
+                Some(mine) => mine.absorb(&s),
+                None => {
+                    self.series.insert(name, s);
                 }
             }
         }
@@ -310,6 +374,69 @@ mod tests {
         assert_eq!(h.max, 500.0);
         assert!((h.mean() - 127.625).abs() < 1e-9);
         assert_eq!(h.counts.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets_and_clamp_to_range() {
+        let mut h = Histogram::default();
+        // 100 observations spread across the [1, 10) decade.
+        for i in 0..100 {
+            h.observe(1.0 + 9.0 * (i as f64) / 100.0);
+        }
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!(p50 > 1.0 && p50 < 10.0, "p50 inside the decade: {p50}");
+        assert!(p95 > p50 && p99 >= p95, "quantiles must be monotone");
+        assert!(p99 <= h.max, "clamped to observed range");
+        // A single-valued histogram reports that value exactly.
+        let mut single = Histogram::default();
+        single.observe(0.25);
+        assert_eq!(single.p50(), 0.25);
+        assert_eq!(single.p99(), 0.25);
+        // Empty histogram: defined, zero.
+        assert_eq!(Histogram::default().p95(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_merge_order_invariant() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [0.01, 0.5, 2.0, 80.0] {
+            a.observe(v);
+        }
+        for v in [0.3, 7.0, 7.0, 900.0] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        assert_eq!(ab.p50(), ba.p50());
+        assert_eq!(ab.p95(), ba.p95());
+        assert_eq!(ab.p99(), ba.p99());
+    }
+
+    #[test]
+    fn absorb_owned_matches_absorb() {
+        let mut a = MetricsRegistry::default();
+        a.count("iters", 3);
+        a.gauge("thp", 1.0);
+        a.observe("lat", 0.5);
+        a.sample("s", SimTime::from_secs(10), 1.0);
+        let mut b = MetricsRegistry::default();
+        b.count("iters", 4);
+        b.count("fresh", 1);
+        b.gauge("thp", 2.0);
+        b.observe("lat", 5.0);
+        b.observe("lat2", 0.125);
+        b.sample("s", SimTime::from_secs(30), 3.0);
+        let mut by_ref = a.clone();
+        by_ref.absorb(&b);
+        let mut by_own = a.clone();
+        by_own.absorb_owned(b.clone());
+        assert_eq!(
+            serde_json::to_string(&by_ref).unwrap(),
+            serde_json::to_string(&by_own).unwrap()
+        );
     }
 
     #[test]

@@ -332,17 +332,40 @@ impl SpanLog {
     /// unmatched closes are carried over; spans still open in `other` are
     /// not copied (units are expected to close their spans before merge).
     pub fn absorb(&mut self, other: &SpanLog) {
+        self.absorb_owned(other.clone());
+    }
+
+    /// [`Self::absorb`], consuming the other log: spans (and their heap
+    /// `label`s) *move* into this log instead of being cloned, the base-id
+    /// offset is applied in one in-place pass (skipped entirely when this
+    /// log has never assigned an id, the common first-absorb case), and
+    /// when the target ring has room the batch lands via one bulk append.
+    /// Byte-for-byte the same merged log as [`Self::absorb`] — only the
+    /// copies are gone.
+    pub fn absorb_owned(&mut self, mut other: SpanLog) {
         let offset = self.next_id;
         self.closed_total += other.dropped;
         self.dropped += other.dropped;
         self.unmatched_closes += other.unmatched_closes;
-        for s in other.iter() {
-            let mut span = s.clone();
-            span.id += offset;
-            if let Some(p) = span.parent.as_mut() {
-                *p += offset;
+        // Restore close order (oldest first) in place, then remap the
+        // whole id space by the base offset.
+        other.closed.rotate_left(other.head);
+        other.head = 0;
+        if offset != 0 {
+            for span in &mut other.closed {
+                span.id += offset;
+                if let Some(p) = span.parent.as_mut() {
+                    *p += offset;
+                }
             }
-            self.push_closed(span);
+        }
+        if self.head == 0 && self.closed.len() + other.closed.len() <= self.capacity {
+            self.closed_total += other.closed.len() as u64;
+            self.closed.append(&mut other.closed);
+        } else {
+            for span in other.closed.drain(..) {
+                self.push_closed(span);
+            }
         }
         self.next_id = offset + other.next_id;
     }
@@ -484,6 +507,39 @@ mod tests {
         // collide with absorbed ones.
         let fresh = merged.complete(t(5), t(6), SpanCategory::Job, "", 0, None);
         assert!(fresh.0 >= 2);
+    }
+
+    #[test]
+    fn absorb_owned_matches_absorb_byte_for_byte() {
+        // Parts exercising every path: wrapped ring in the source, empty
+        // source, non-zero base offset, and capacity pressure in the
+        // target (slow push path).
+        let wrapped = {
+            let mut log = SpanLog::with_capacity(2);
+            for i in 0..4u64 {
+                let p = log.open(t(i), SpanCategory::Job, "job", i, None);
+                log.complete(t(i), t(i + 1), SpanCategory::Checkpoint, "save", i, Some(p));
+                log.close(t(i + 2), p);
+            }
+            log
+        };
+        let plain = {
+            let mut log = SpanLog::default();
+            log.complete(t(0), t(9), SpanCategory::Migration, "pause", 1, None);
+            log
+        };
+        for target_cap in [1usize, 3, 64] {
+            let mut by_ref = SpanLog::with_capacity(target_cap);
+            let mut by_own = SpanLog::with_capacity(target_cap);
+            for part in [&plain, &wrapped, &SpanLog::default(), &plain] {
+                by_ref.absorb(part);
+                by_own.absorb_owned(part.clone());
+            }
+            assert_eq!(by_ref.to_jsonl(), by_own.to_jsonl(), "cap {target_cap}");
+            assert_eq!(by_ref.total_closed(), by_own.total_closed());
+            assert_eq!(by_ref.dropped(), by_own.dropped());
+            assert_eq!(by_ref.next_id, by_own.next_id);
+        }
     }
 
     #[test]
