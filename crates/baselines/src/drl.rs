@@ -1,0 +1,444 @@
+//! Tabular DRL scaler — a deliberately simple deep-RL-style baseline in
+//! the spirit of Ye et al.'s DRL resource scheduler (see PAPERS.md).
+//!
+//! Where [`crate::Dl2Policy`] carries a policy network, this scaler is the
+//! classic tabular formulation: the job's state is discretized into a
+//! small grid (worker/PS position inside the search space plus PS memory
+//! pressure), one Q-value is kept per (state, action)
+//! cell, and the table is updated online with one-step Q-learning
+//! (`Q[s,a] += α (r + γ max_a' Q[s',a'] − Q[s,a])`). Exploration is
+//! ε-greedy with per-episode decay, drawn from the named
+//! `"drl-exploration"` [`RngStreams`] stream so every run is
+//! bit-reproducible. Like DL2/ES/Optimus — and unlike DLRover-RM — every
+//! applied action is a stop-and-restart transition.
+
+use dlrover_master::{JobRuntimeProfile, PolicyDecision, SchedulerPolicy};
+use dlrover_optimizer::{PlanSearchSpace, ResourceAllocation};
+use dlrover_pstrain::MigrationStrategy;
+use dlrover_sim::{RngStreams, SimTime, StreamRng};
+use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
+use rand::RngCore;
+
+/// Discretization grid: worker buckets × PS buckets × memory pressure.
+/// Deliberately coarse — the table must be learnable within the handful of
+/// training episodes the tournament budgets (a few hundred decisions).
+const WORKER_BUCKETS: usize = 4;
+const PS_BUCKETS: usize = 4;
+const MEM_BUCKETS: usize = 2;
+const STATES: usize = WORKER_BUCKETS * PS_BUCKETS * MEM_BUCKETS;
+/// The fixed action vocabulary: noop, worker ±1, PS ±1 (same as DL2).
+const ACTIONS: usize = 5;
+
+/// DRL hyper-parameters, tuned for the tournament's smoke configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DrlConfig {
+    /// Q-learning step size α.
+    pub alpha: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Initial ε-greedy exploration rate.
+    pub epsilon: f64,
+    /// Per-episode ε decay.
+    pub epsilon_decay: f64,
+    /// ε floor.
+    pub min_epsilon: f64,
+    /// Optimistic initial Q-value. Untried actions look better than any
+    /// realistic return, so the greedy step systematically cycles through
+    /// them — the classic tabular cure for first-max tie-breaking locking
+    /// onto the noop action.
+    pub optimism: f64,
+}
+
+impl Default for DrlConfig {
+    fn default() -> Self {
+        DrlConfig {
+            alpha: 0.5,
+            gamma: 0.2,
+            epsilon: 0.3,
+            epsilon_decay: 0.5,
+            min_epsilon: 0.02,
+            optimism: 2.5,
+        }
+    }
+}
+
+/// The tabular Q-learning scaler.
+pub struct DrlPolicy {
+    cfg: DrlConfig,
+    space: PlanSearchSpace,
+    initial: ResourceAllocation,
+    current: ResourceAllocation,
+    q: Vec<[f64; ACTIONS]>,
+    explore: StreamRng,
+    epsilon: f64,
+    /// Reward normaliser: the *first* observed throughput-per-core, frozen
+    /// so the reward is stationary across episodes (same discipline as
+    /// [`crate::Dl2Policy`]).
+    reward_scale: f64,
+    /// The last `(state, action)` awaiting its reward.
+    pending: Option<(usize, usize)>,
+    /// Per-step rewards of the current episode.
+    rewards: Vec<f64>,
+    episode: u32,
+    episode_rewards: Vec<f64>,
+    episode_span: Option<(SimTime, SimTime)>,
+    telemetry: Option<Telemetry>,
+}
+
+impl DrlPolicy {
+    /// Creates a DRL policy from the user's initial allocation; exploration
+    /// draws from the `"drl-exploration"` stream of `streams`.
+    pub fn new(
+        initial: ResourceAllocation,
+        space: PlanSearchSpace,
+        streams: &RngStreams,
+        cfg: DrlConfig,
+    ) -> Self {
+        DrlPolicy {
+            cfg,
+            space,
+            initial,
+            current: initial,
+            q: vec![[cfg.optimism; ACTIONS]; STATES],
+            explore: streams.stream("drl-exploration"),
+            epsilon: cfg.epsilon,
+            reward_scale: 0.0,
+            pending: None,
+            rewards: Vec::new(),
+            episode: 0,
+            episode_rewards: Vec::new(),
+            episode_span: None,
+            telemetry: None,
+        }
+    }
+
+    /// Attaches a telemetry sink for decision/reward events.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Mean per-step reward of each finished episode, in episode order.
+    pub fn episode_mean_rewards(&self) -> &[f64] {
+        &self.episode_rewards
+    }
+
+    /// Episodes finished so far.
+    pub fn episodes_trained(&self) -> u32 {
+        self.episode
+    }
+
+    /// Buckets `v` over `[lo, hi]` into `0..buckets`.
+    fn bucket(v: f64, lo: f64, hi: f64, buckets: usize) -> usize {
+        if hi <= lo {
+            return 0;
+        }
+        let frac = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((frac * buckets as f64) as usize).min(buckets - 1)
+    }
+
+    /// Discretizes the profile + current shape into a state index.
+    fn encode(&self, profile: &JobRuntimeProfile) -> usize {
+        let s = &self.space;
+        let shape = self.current.shape;
+        let w = Self::bucket(
+            f64::from(shape.workers),
+            f64::from(s.workers.0),
+            f64::from(s.workers.1),
+            WORKER_BUCKETS,
+        );
+        let p = Self::bucket(f64::from(shape.ps), f64::from(s.ps.0), f64::from(s.ps.1), PS_BUCKETS);
+        let mem_frac = if profile.ps_memory_alloc > 0 {
+            profile.ps_memory_used as f64 / profile.ps_memory_alloc as f64
+        } else {
+            0.0
+        };
+        let m = usize::from(mem_frac > 0.7);
+        (w * PS_BUCKETS + p) * MEM_BUCKETS + m
+    }
+
+    /// Deterministic argmax with first-max tie-breaking.
+    fn greedy(&self, state: usize) -> usize {
+        let row = &self.q[state];
+        let mut best = 0usize;
+        for (a, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = a;
+            }
+        }
+        best
+    }
+
+    /// ε-greedy draw from the exploration stream. Consumes exactly one
+    /// `u64` for the ε test plus one more when exploring, so the stream
+    /// position is a pure function of the decision history.
+    fn sample_action(&mut self, state: usize) -> usize {
+        let u = (self.explore.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.epsilon {
+            (self.explore.next_u64() % ACTIONS as u64) as usize
+        } else {
+            self.greedy(state)
+        }
+    }
+
+    /// Applies action `a` to the current shape, clamped to the search
+    /// space (same vocabulary as DL2).
+    fn apply_action(&self, a: usize) -> ResourceAllocation {
+        let mut alloc = self.current;
+        let shape = &mut alloc.shape;
+        match a {
+            1 => shape.workers = shape.workers.saturating_add(1).min(self.space.workers.1),
+            2 => shape.workers = shape.workers.saturating_sub(1).max(self.space.workers.0),
+            3 => shape.ps = shape.ps.saturating_add(1).min(self.space.ps.1),
+            4 => shape.ps = shape.ps.saturating_sub(1).max(self.space.ps.0),
+            _ => {}
+        }
+        alloc
+    }
+
+    /// Ends a training episode: records its mean reward, emits the
+    /// [`EventKind::PolicyRewardObserved`] event, and decays ε. The Q
+    /// table itself updates online at every step, so no batch update
+    /// happens here.
+    pub fn end_episode(&mut self) {
+        self.pending = None;
+        let mean_reward = if self.rewards.is_empty() {
+            0.0
+        } else {
+            self.rewards.iter().sum::<f64>() / self.rewards.len() as f64
+        };
+        self.episode_rewards.push(mean_reward);
+        if let Some(t) = &self.telemetry {
+            let at = self.episode_span.map(|(_, b)| b).unwrap_or(SimTime::ZERO);
+            t.record(
+                at,
+                EventKind::PolicyRewardObserved {
+                    job: 0,
+                    episode: self.episode,
+                    reward_x1000: (mean_reward * 1000.0).round() as i64,
+                },
+            );
+            if let Some((start, end)) = self.episode_span {
+                t.span_complete(
+                    start,
+                    end,
+                    SpanCategory::PolicyEval,
+                    "drl-episode",
+                    u64::from(self.episode),
+                    None,
+                );
+            }
+        }
+        self.episode += 1;
+        self.epsilon = (self.epsilon * self.cfg.epsilon_decay).max(self.cfg.min_epsilon);
+        self.rewards.clear();
+        self.episode_span = None;
+    }
+}
+
+impl SchedulerPolicy for DrlPolicy {
+    fn name(&self) -> &str {
+        "drl"
+    }
+
+    fn initial_allocation(&mut self) -> ResourceAllocation {
+        // A new rollout starts from the user's request; the Q table, ε,
+        // and reward normaliser carry over between episodes.
+        self.current = self.initial;
+        self.pending = None;
+        self.episode_span = None;
+        self.initial
+    }
+
+    fn adjust(&mut self, profile: &JobRuntimeProfile) -> Option<PolicyDecision> {
+        self.episode_span = match self.episode_span {
+            None => Some((profile.at, profile.at)),
+            Some((start, _)) => Some((start, profile.at)),
+        };
+        // The previous action's restart (or a fault recovery) is still in
+        // flight: throughput reads 0, so settling now would credit the
+        // action with a blackout reward and acting again would stack
+        // restarts back-to-back, starving the job. Wait for a live
+        // measurement — Ye et al.'s scaler observes each action's outcome
+        // before issuing the next one.
+        if profile.throughput <= 0.0 {
+            return None;
+        }
+        let thp_per_core = if self.current.total_cpu() > 0.0 {
+            profile.throughput / self.current.total_cpu()
+        } else {
+            0.0
+        };
+        if self.reward_scale == 0.0 && thp_per_core > 0.0 {
+            self.reward_scale = thp_per_core;
+        }
+        let state = self.encode(profile);
+
+        // 1. The profile carries the reward for the previous action: one
+        //    step of Q-learning against the fresh state's best value.
+        if let Some((prev_state, prev_action)) = self.pending.take() {
+            let reward =
+                if self.reward_scale > 0.0 { thp_per_core / self.reward_scale } else { 0.0 };
+            self.rewards.push(reward);
+            let best_next = self.q[state][self.greedy(state)];
+            let cell = &mut self.q[prev_state][prev_action];
+            *cell += self.cfg.alpha * (reward + self.cfg.gamma * best_next - *cell);
+        }
+
+        // 2. Sample the next action ε-greedily from the updated table.
+        let action = self.sample_action(state);
+        self.pending = Some((state, action));
+
+        let target = self.apply_action(action);
+        if let Some(t) = &self.telemetry {
+            t.record(
+                profile.at,
+                EventKind::PolicyDecisionMade {
+                    job: profile.job_id,
+                    policy: "drl".to_string(),
+                    action: action as u32,
+                    workers: target.shape.workers,
+                    ps: target.shape.ps,
+                },
+            );
+        }
+        if target.shape == self.current.shape {
+            return None; // noop or clamped at a space boundary
+        }
+        self.current = target;
+        Some(PolicyDecision {
+            allocation: target,
+            // Like ES/Optimus/DL2: no seamless-migration machinery.
+            strategy: MigrationStrategy::StopAndRestart,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrover_perfmodel::{
+        JobShape, ModelCoefficients, ThroughputModel, ThroughputObservation, WorkloadConstants,
+    };
+
+    fn truth() -> ThroughputModel {
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::paper_reference())
+    }
+
+    fn profile(alloc: &ResourceAllocation, at_s: u64) -> JobRuntimeProfile {
+        let t = truth();
+        JobRuntimeProfile {
+            job_id: 0,
+            at: SimTime::from_secs(at_s),
+            throughput: t.throughput(&alloc.shape),
+            remaining_samples: 1_000_000,
+            observation: Some(ThroughputObservation {
+                shape: alloc.shape,
+                iter_time: t.iter_time(&alloc.shape),
+            }),
+            ps_memory_used: 10,
+            ps_memory_alloc: 100,
+        }
+    }
+
+    fn start() -> ResourceAllocation {
+        ResourceAllocation::new(JobShape::new(2, 1, 4.0, 4.0, 512), 8.0, 64.0)
+    }
+
+    fn space() -> PlanSearchSpace {
+        PlanSearchSpace { workers: (1, 8), ps: (1, 4), ..PlanSearchSpace::default() }
+    }
+
+    fn rollout(p: &mut DrlPolicy, ticks: u32) -> ResourceAllocation {
+        let mut alloc = p.initial_allocation();
+        for i in 0..ticks {
+            if let Some(d) = p.adjust(&profile(&alloc, 180 * u64::from(i + 1))) {
+                assert_eq!(d.strategy, MigrationStrategy::StopAndRestart);
+                alloc = d.allocation;
+            }
+        }
+        alloc
+    }
+
+    #[test]
+    fn actions_stay_inside_the_search_space() {
+        let streams = RngStreams::new(11);
+        let mut p = DrlPolicy::new(start(), space(), &streams, DrlConfig::default());
+        for ep in 0..3 {
+            let alloc = rollout(&mut p, 30);
+            assert!((1..=8).contains(&alloc.shape.workers), "episode {ep}: {:?}", alloc.shape);
+            assert!((1..=4).contains(&alloc.shape.ps), "episode {ep}: {:?}", alloc.shape);
+            p.end_episode();
+        }
+        assert_eq!(p.episodes_trained(), 3);
+        assert_eq!(p.episode_mean_rewards().len(), 3);
+    }
+
+    #[test]
+    fn training_is_bit_reproducible() {
+        let run = || {
+            let streams = RngStreams::new(42);
+            let mut p = DrlPolicy::new(start(), space(), &streams, DrlConfig::default());
+            let mut finals = Vec::new();
+            for _ in 0..4 {
+                finals.push(rollout(&mut p, 20).shape);
+                p.end_episode();
+            }
+            (finals, p.episode_mean_rewards().to_vec(), p.q.clone())
+        };
+        let (a_finals, a_rewards, a_q) = run();
+        let (b_finals, b_rewards, b_q) = run();
+        assert_eq!(a_finals, b_finals);
+        assert_eq!(a_rewards, b_rewards);
+        assert_eq!(a_q, b_q, "Q table must replay bit-identically");
+    }
+
+    #[test]
+    fn rewards_improve_with_training() {
+        let streams = RngStreams::new(42);
+        let mut p = DrlPolicy::new(start(), space(), &streams, DrlConfig::default());
+        for _ in 0..8 {
+            rollout(&mut p, 40);
+            p.end_episode();
+        }
+        let r = p.episode_mean_rewards();
+        let early = (r[0] + r[1]) / 2.0;
+        let late = (r[r.len() - 2] + r[r.len() - 1]) / 2.0;
+        assert!(late > early, "no learning progress: early {early:.4} late {late:.4} ({r:?})");
+    }
+
+    #[test]
+    fn decision_events_flow_through_telemetry() {
+        let streams = RngStreams::new(3);
+        let telemetry = Telemetry::default();
+        let mut p = DrlPolicy::new(start(), space(), &streams, DrlConfig::default())
+            .with_telemetry(telemetry.clone());
+        rollout(&mut p, 10);
+        p.end_episode();
+        let snap = telemetry.snapshot();
+        assert!(snap.events.iter().any(
+            |e| matches!(&e.kind, EventKind::PolicyDecisionMade { policy, .. } if policy == "drl")
+        ));
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::PolicyRewardObserved { episode: 0, .. })));
+    }
+
+    #[test]
+    fn greedy_exploitation_prefers_learned_actions() {
+        // Seed the table by hand: in every state, action 1 (add worker)
+        // dominates. With ε forced to the floor the policy must pick it.
+        let streams = RngStreams::new(5);
+        let cfg =
+            DrlConfig { epsilon: 0.0, min_epsilon: 0.0, optimism: 0.0, ..DrlConfig::default() };
+        let mut p = DrlPolicy::new(start(), space(), &streams, cfg);
+        for row in &mut p.q {
+            row[1] = 1.0;
+        }
+        let alloc = p.initial_allocation();
+        let d = p.adjust(&profile(&alloc, 180)).expect("greedy add-worker must move");
+        assert_eq!(d.allocation.shape.workers, alloc.shape.workers + 1);
+    }
+}

@@ -29,6 +29,7 @@ fn usage() -> ! {
     eprintln!("       exp bench-parallel [--threads N]");
     eprintln!("       exp fleetscale [--seed N] [--max-pods P] [--shards A,B,...]");
     eprintln!("       exp chaos [--seed N] [--plans K]");
+    eprintln!("       exp tournament [--seed N] [--plans K] [--episodes E]");
     eprintln!("       exp trace [--filter KINDS] <id|trace.jsonl>");
     eprintln!("       exp trace --diff <left.jsonl> <right.jsonl>");
     eprintln!("       exp trace --chrome <id|spans.jsonl>");
@@ -240,6 +241,37 @@ fn chaos_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `exp tournament --seed N --plans K --episodes E`: train the learned
+/// contenders and race the full roster through the chaos gauntlet,
+/// exiting non-zero on any oracle invariant violation (the CI smoke
+/// gate). Writes `results/tournament.json`.
+fn tournament_command(args: &[String]) -> ! {
+    let mut seed = 42u64;
+    let mut plans = 4u64;
+    let mut episodes = 8u32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--plans" => {
+                plans = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--episodes" => {
+                episodes = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let (_, violations) = exp::tournament::run_tournament(seed, plans, episodes);
+    if violations > 0 {
+        eprintln!("tournament: {violations} invariant violation(s)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 /// `exp --regen-golden`: rerun every registered experiment at `seed`,
 /// then digest the artefacts it left in `results/` into
 /// `tests/golden/<id>.digest`. The tier-1 golden tests compare against
@@ -413,6 +445,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("chaos") {
         chaos_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("tournament") && args.len() > 1 {
+        tournament_command(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("fleetscale") {
         fleetscale_command(&args[1..]);

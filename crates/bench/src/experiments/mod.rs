@@ -26,6 +26,7 @@ pub const REGISTRY: &[Runner] = &[
     ("ablations", "design-choice ablations", ablations::run),
     ("chaos", "scripted fault plans vs the invariant oracle", chaos::run),
     ("resilience", "recovery latency + goodput retained per fault kind", resilience::run),
+    ("tournament", "scheduler round-robin: heuristics vs learned, under chaos", tournament::run),
 ];
 
 pub mod ablations;
@@ -44,6 +45,7 @@ pub mod production;
 pub mod resilience;
 pub mod table1;
 pub mod table2;
+pub mod tournament;
 
 /// Common helpers shared by the experiment modules.
 pub mod common {

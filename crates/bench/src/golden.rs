@@ -162,6 +162,7 @@ mod tests {
     golden_test!(golden_ablations, "ablations");
     golden_test!(golden_chaos, "chaos");
     golden_test!(golden_resilience, "resilience");
+    golden_test!(golden_tournament, "tournament");
 
     /// The registry and the corpus cover each other: every registered
     /// experiment has a golden test above (this asserts the count so a new
@@ -170,7 +171,7 @@ mod tests {
     fn corpus_covers_the_whole_registry() {
         assert_eq!(
             crate::experiments::REGISTRY.len(),
-            18,
+            19,
             "new experiment registered — add a golden_test! line and regenerate the corpus"
         );
     }

@@ -3,7 +3,7 @@
 
 use std::fmt::Display;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use dlrover_telemetry::{parse_spans_jsonl, Telemetry};
 use serde::Serialize;
@@ -46,6 +46,27 @@ fn default_results_dir() -> PathBuf {
         .join("../..")
         .join("target")
         .join(format!("test-results-{}", std::process::id()))
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in a sibling
+/// temp file first and are renamed into place only once fully written.
+/// A run that dies mid-write (OOM-killed tournament, ctrl-C'd `exp all`)
+/// therefore leaves either the previous artefact or the complete new one —
+/// never a truncated `results/<id>.json` for a CI byte-diff to chase. On
+/// failure the temp file is removed and the destination is untouched.
+pub fn atomic_write(path: &Path, contents: &[u8]) -> std::io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| std::io::Error::other("atomic_write needs a file name"))?;
+    // Same directory as the destination so the rename cannot cross a
+    // filesystem boundary; pid-qualified so concurrent processes sharing
+    // a results dir cannot clobber each other's staging file.
+    let tmp = path.with_file_name(format!(".{file_name}.{}.tmp", std::process::id()));
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
 }
 
 /// Collects one experiment's output.
@@ -121,22 +142,27 @@ impl Report {
         let dir = results_dir();
         if fs::create_dir_all(&dir).is_ok() {
             let path = dir.join(format!("{}.json", self.id));
-            let _ = fs::write(
+            let _ = atomic_write(
                 &path,
                 serde_json::to_string_pretty(&serde_json::Value::Object(self.json))
-                    .expect("report JSON"),
+                    .expect("report JSON")
+                    .as_bytes(),
             );
             if let Some(trace) = &self.trace {
-                let _ = fs::write(dir.join(format!("{}.trace.jsonl", self.id)), trace);
+                let _ =
+                    atomic_write(&dir.join(format!("{}.trace.jsonl", self.id)), trace.as_bytes());
             }
             if let Some(spans) = &self.spans {
-                let _ = fs::write(dir.join(format!("{}.spans.jsonl", self.id)), spans);
+                let _ =
+                    atomic_write(&dir.join(format!("{}.spans.jsonl", self.id)), spans.as_bytes());
                 if let Some(parsed) = parse_spans_jsonl(spans) {
                     if !parsed.is_empty() {
                         let report = critpath_report(&parsed);
-                        let _ = fs::write(
-                            dir.join(format!("{}.critpath.json", self.id)),
-                            serde_json::to_string_pretty(&report).expect("critpath JSON"),
+                        let _ = atomic_write(
+                            &dir.join(format!("{}.critpath.json", self.id)),
+                            serde_json::to_string_pretty(&report)
+                                .expect("critpath JSON")
+                                .as_bytes(),
                         );
                     }
                 }
@@ -182,6 +208,44 @@ mod tests {
             "test-invoked reports must land in the per-process scratch dir, got {}",
             dir.display()
         );
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_content_without_tmp_debris() {
+        let dir = results_dir().join("atomic-replace");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic-demo.json");
+        atomic_write(&path, b"{\"v\":1}").unwrap();
+        atomic_write(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        let debris: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(debris.is_empty(), "staging files left behind: {debris:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression (tournament satellite): a run that cannot complete its
+    /// write must leave the destination exactly as it was — here the
+    /// rename fails because the destination is a non-empty directory, and
+    /// neither a partial artefact nor a staging file survives.
+    #[test]
+    fn atomic_write_failure_leaves_destination_untouched() {
+        let dir = results_dir().join("atomic-failure");
+        let dest = dir.join("atomic-blocked");
+        fs::create_dir_all(dest.join("occupied")).unwrap();
+        assert!(atomic_write(&dest, b"new content").is_err());
+        assert!(dest.is_dir(), "failed write must not replace the destination");
+        assert!(dest.join("occupied").is_dir());
+        let debris: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(debris.is_empty(), "staging files left behind: {debris:?}");
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -28,7 +28,7 @@ use dlrover_cluster::{
 };
 use dlrover_master::{
     JobHealth, JobMaster, MasterEvent, ReplayedJobState, RetryDecision, RetryPolicy,
-    RetrySupervisor,
+    RetrySupervisor, SchedulerPolicy,
 };
 use dlrover_optimizer::ResourceAllocation;
 use dlrover_pstrain::{PodState, TrainingJobSpec};
@@ -115,6 +115,9 @@ pub struct ChaosReport {
     pub health: JobHealth,
     /// Master crash/replay cycles survived during the run.
     pub master_restarts: u64,
+    /// Integral of allocated CPU over the run, core-hours (the
+    /// tournament's resource-waste input).
+    pub cpu_core_hours: f64,
     /// Ground truth handed to the oracle.
     pub truth: GroundTruth,
     /// The invariant audit.
@@ -172,6 +175,37 @@ pub fn run_chaos_job(
     cfg: &ChaosConfig,
     telemetry: &Telemetry,
 ) -> ChaosReport {
+    run_chaos_job_inner(spec, alloc, None, plan, cfg, telemetry)
+}
+
+/// Like [`run_chaos_job`], but a [`SchedulerPolicy`] drives the job's
+/// resources while the plan delivers faults: every `adjust_interval` the
+/// policy sees a fresh profile and may reshape the job (the tournament's
+/// "scheduler under fire" regime). The policy is borrowed, not consumed,
+/// so a learned policy keeps its trained state across runs.
+///
+/// The static-gang path stays byte-identical to [`run_chaos_job`]: with no
+/// policy, no extra RNG draws, events, or cluster calls happen, so the
+/// golden-trace corpus of the plain harness is unaffected.
+pub fn run_chaos_job_with_policy(
+    spec: &TrainingJobSpec,
+    policy: &mut dyn SchedulerPolicy,
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+    telemetry: &Telemetry,
+) -> ChaosReport {
+    let alloc = policy.initial_allocation();
+    run_chaos_job_inner(spec, alloc, Some(policy), plan, cfg, telemetry)
+}
+
+fn run_chaos_job_inner(
+    spec: &TrainingJobSpec,
+    alloc: ResourceAllocation,
+    mut policy: Option<&mut dyn SchedulerPolicy>,
+    plan: &FaultPlan,
+    cfg: &ChaosConfig,
+    telemetry: &Telemetry,
+) -> ChaosReport {
     let baseline = baseline_jct(spec, alloc, &cfg.runner);
     let streams = RngStreams::new(cfg.runner.seed);
     let mut startup_rng = streams.stream("chaos-startup");
@@ -185,14 +219,17 @@ pub fn run_chaos_job(
     master.set_telemetry(telemetry.clone());
     telemetry.record(SimTime::ZERO, EventKind::JobStarted { job: 0 });
 
-    let shape = alloc.shape;
-    let worker_spec = PodSpec {
+    // Current committed allocation: fixed for the static gang, updated by
+    // each applied policy decision in policy-aware runs.
+    let mut cur_alloc = alloc;
+    let mut shape = alloc.shape;
+    let mut worker_spec = PodSpec {
         resources: Resources::new(shape.worker_cpu, alloc.worker_mem_gb),
         role: PodRole::Worker,
         priority: Priority::Low,
         job_id: 0,
     };
-    let ps_spec = PodSpec {
+    let mut ps_spec = PodSpec {
         resources: Resources::new(shape.ps_cpu, alloc.ps_mem_gb),
         role: PodRole::ParameterServer,
         priority: Priority::Low,
@@ -246,9 +283,13 @@ pub fn run_chaos_job(
     let mut plan_cursor = 0usize;
     let mut oomed = false;
     let mut jct: Option<SimDuration> = None;
+    let mut since_adjust = SimDuration::ZERO;
+    let mut cpu_core_seconds = 0.0f64;
 
     while master.engine().now() < cfg.runner.deadline {
         let now = master.engine().now();
+        cpu_core_seconds +=
+            master.allocation().total_cpu() * cfg.runner.profile_interval.as_secs_f64();
         // Keep the cluster's passive clock current so untimed entry points
         // (fail_pod/fail_node) stamp their events at this tick — the
         // oracle matches same-instant kill events to the injection marker.
@@ -264,6 +305,18 @@ pub fn run_chaos_job(
             }
             if ready > now {
                 return true;
+            }
+            if let JobPod::Ps(idx) = role {
+                if idx >= ps_pods.len() {
+                    // A policy scale-down removed this partition while its
+                    // replacement was still starting: the pod has nothing
+                    // to serve, so retire it instead of leaking it. (No
+                    // RNG draw — organic churn only covers pods that
+                    // actually join the job; the static-gang path never
+                    // shrinks `ps_pods`, so it never takes this branch.)
+                    cluster.terminate_pod(id, PodPhase::Succeeded);
+                    return false;
+                }
             }
             cluster.mark_running(id, now);
             if let Some(delay) = cluster.sample_pod_failure_delay(&mut organic_rng) {
@@ -529,7 +582,7 @@ pub fn run_chaos_job(
                     let mut rebuilt = JobMaster::from_replay(
                         0,
                         spec.clone(),
-                        alloc,
+                        cur_alloc,
                         cfg.runner.master,
                         &replayed,
                         restart_at,
@@ -718,6 +771,120 @@ pub fn run_chaos_job(
         }
         parked = still_parked;
 
+        // 4c. Policy adjustment on its own cadence (policy-aware runs
+        //     only — the static-gang path takes none of these branches,
+        //     draws no RNG, and emits no events, keeping it byte-identical
+        //     to the pre-policy harness).
+        since_adjust += cfg.runner.profile_interval;
+        if since_adjust >= cfg.runner.adjust_interval {
+            since_adjust = SimDuration::ZERO;
+            if let Some(ref mut pol) = policy {
+                let profile = master.profile();
+                telemetry.span_complete(now, now, SpanCategory::PolicyEval, pol.name(), 0, None);
+                if let Some(decision) = pol.adjust(&profile) {
+                    telemetry.record(
+                        now,
+                        EventKind::PolicyAdjusted {
+                            job: 0,
+                            workers: decision.allocation.shape.workers,
+                            ps: decision.allocation.shape.ps,
+                        },
+                    );
+                    let startup =
+                        cfg.runner.startup.sample(cfg.runner.cluster_utilisation, &mut startup_rng);
+                    master.apply_decision(decision, startup);
+                    // The master may have clamped the decision (OOM floor);
+                    // its committed allocation is the reconcile target.
+                    cur_alloc = master.allocation();
+                    shape = cur_alloc.shape;
+                    worker_spec.resources =
+                        Resources::new(shape.worker_cpu, cur_alloc.worker_mem_gb);
+                    ps_spec.resources = Resources::new(shape.ps_cpu, cur_alloc.ps_mem_gb);
+
+                    // Release pods whose engine slots the resize removed
+                    // (fault-killed slots already left `worker_pods` via
+                    // the kill machinery, so only policy removals match).
+                    let removed: Vec<usize> = worker_pods
+                        .keys()
+                        .copied()
+                        .filter(|&i| {
+                            i >= master.engine().worker_slot_count()
+                                || !master.engine().worker_is_alive(i)
+                        })
+                        .collect();
+                    for i in removed {
+                        if let Some(id) = worker_pods.remove(&i) {
+                            cluster.terminate_pod(id, PodPhase::Succeeded);
+                        }
+                    }
+                    while ps_pods.len() > master.engine().partitions().len() {
+                        let id = ps_pods.pop().expect("len checked");
+                        cluster.terminate_pod(id, PodPhase::Succeeded);
+                    }
+
+                    // Grow the cluster-side fleet toward the new target.
+                    // Counts only: pods the job already holds keep their
+                    // old resources (a documented simplification — vertical
+                    // changes reach the engine through the master, and new
+                    // pods come up at the new size). Scale-ups the cluster
+                    // cannot admit right now are dropped as denials rather
+                    // than parked: the master's engine already runs the new
+                    // slots, so a late-arriving pod would have nothing to
+                    // bind to.
+                    let tracked_workers = worker_pods.len()
+                        + ready_worker_pods.len()
+                        + pending.iter().filter(|(_, _, r)| matches!(r, JobPod::Worker)).count()
+                        + parked.iter().filter(|p| matches!(p.role, JobPod::Worker)).count();
+                    for _ in tracked_workers..shape.workers as usize {
+                        match cluster.request_pod(worker_spec, now) {
+                            Ok((id, _))
+                                if cluster.pod(id).map(|p| p.phase) == Some(PodPhase::Starting) =>
+                            {
+                                cluster.mark_running(id, now);
+                                if let Some(delay) =
+                                    cluster.sample_pod_failure_delay(&mut organic_rng)
+                                {
+                                    organic.push((now + delay, id));
+                                }
+                                ready_worker_pods.push_back(id);
+                            }
+                            Ok((id, _)) => {
+                                cluster.terminate_pod(id, PodPhase::Succeeded);
+                                master.record_scale_denial();
+                            }
+                            Err(_) => {
+                                master.record_scale_denial();
+                            }
+                        }
+                    }
+                    while ps_pods.len() < master.engine().partitions().len() {
+                        match cluster.request_pod(ps_spec, now) {
+                            Ok((id, _))
+                                if cluster.pod(id).map(|p| p.phase) == Some(PodPhase::Starting) =>
+                            {
+                                cluster.mark_running(id, now);
+                                if let Some(delay) =
+                                    cluster.sample_pod_failure_delay(&mut organic_rng)
+                                {
+                                    organic.push((now + delay, id));
+                                }
+                                ps_pods.push(id);
+                            }
+                            Ok((id, _)) => {
+                                cluster.terminate_pod(id, PodPhase::Succeeded);
+                                master.record_scale_denial();
+                                break;
+                            }
+                            Err(_) => {
+                                master.record_scale_denial();
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
         // 5. Advance the job one tick.
         let events = master.tick(cfg.runner.profile_interval);
         let mut done = false;
@@ -807,6 +974,7 @@ pub fn run_chaos_job(
         oomed,
         health: master.health(),
         master_restarts,
+        cpu_core_hours: cpu_core_seconds / 3_600.0,
         truth,
         oracle,
     }
@@ -863,6 +1031,63 @@ mod tests {
         assert_send::<ChaosConfig>();
         assert_sync::<ChaosConfig>();
         assert_send::<ChaosReport>();
+    }
+
+    #[test]
+    fn never_adjusting_policy_reduces_to_the_static_gang() {
+        // A policy that never intervenes must reproduce the plain driver's
+        // report exactly — the policy-aware path may not perturb RNG
+        // draws, fault delivery, or the oracle's view of the run.
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: SimTime::from_secs(120), kind: FaultKind::WorkerKill { worker: 1 } },
+            FaultEvent { at: SimTime::from_secs(300), kind: FaultKind::PsKill { ps: 0 } },
+        ]);
+        let cfg = ChaosConfig::default();
+        let plain = run_chaos_job(&spec(), allocation(), &plan, &cfg, &Telemetry::default());
+        let mut policy = dlrover_baselines::StaticPolicy::new(allocation());
+        let driven =
+            run_chaos_job_with_policy(&spec(), &mut policy, &plan, &cfg, &Telemetry::default());
+        assert_eq!(plain, driven);
+    }
+
+    #[test]
+    fn scaling_policy_under_faults_passes_the_oracle() {
+        // ES hill-climbs the worker count while the plan kills pods: the
+        // driver must reconcile cluster pods across every reshape and the
+        // whole run must still satisfy the six invariants (no leaks
+        // included — every policy-added pod is eventually released).
+        use dlrover_optimizer::PlanSearchSpace;
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: SimTime::from_secs(200), kind: FaultKind::WorkerKill { worker: 0 } },
+            FaultEvent {
+                at: SimTime::from_secs(500),
+                kind: FaultKind::MemoryPressure {
+                    ps: 0,
+                    headroom_permille: 400,
+                    window: SimDuration::from_mins(3),
+                },
+            },
+            FaultEvent { at: SimTime::from_secs(900), kind: FaultKind::PsKill { ps: 1 } },
+        ]);
+        let space = PlanSearchSpace { workers: (1, 12), ps: (1, 4), ..PlanSearchSpace::default() };
+        let mut policy = dlrover_baselines::EsPolicy::new(allocation(), space, 1);
+        let telemetry = Telemetry::default();
+        let report = run_chaos_job_with_policy(
+            &spec(),
+            &mut policy,
+            &plan,
+            &ChaosConfig::default(),
+            &telemetry,
+        );
+        assert!(report.jct_us.is_some(), "policy-driven job must complete");
+        assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+        assert_eq!(report.truth.samples_done, report.truth.total_samples);
+        assert!(report.cpu_core_hours > 0.0);
+        let snap = telemetry.snapshot();
+        assert!(
+            snap.events.iter().any(|e| matches!(e.kind, EventKind::PolicyAdjusted { .. })),
+            "the hill-climber must adjust at least once"
+        );
     }
 
     #[test]

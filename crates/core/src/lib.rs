@@ -43,9 +43,16 @@ pub mod runner;
 
 /// One-stop imports for applications and experiments.
 pub mod prelude {
-    pub use crate::chaos::{run_chaos_job, run_chaos_suite, ChaosConfig, ChaosReport};
-    pub use crate::runner::{run_single_job, run_single_job_traced, RunReport, RunnerConfig};
-    pub use dlrover_baselines::{EsPolicy, OptimusPolicy, StaticPolicy, WellTunedPolicy};
+    pub use crate::chaos::{
+        run_chaos_job, run_chaos_job_with_policy, run_chaos_suite, ChaosConfig, ChaosReport,
+    };
+    pub use crate::runner::{
+        run_single_job, run_single_job_traced, run_single_job_with, RunReport, RunnerConfig,
+    };
+    pub use dlrover_baselines::{
+        Dl2Config, Dl2Policy, DrlConfig, DrlPolicy, EsPolicy, LearnedPolicy, OptimusPolicy,
+        StaticPolicy, WellTunedPolicy,
+    };
     pub use dlrover_brain::{ClusterBrain, ConfigDb, DlroverPolicy, DlroverPolicyConfig};
     pub use dlrover_cluster::{Cluster, ClusterConfig, FleetConfig, FleetWorkload, Resources};
     pub use dlrover_dlrm::model::{CtrModel, DlrmModel, ModelConfig, ModelKind};

@@ -92,6 +92,20 @@ pub fn run_single_job_traced(
     config: &RunnerConfig,
     telemetry: &Telemetry,
 ) -> RunReport {
+    run_single_job_with(policy.as_mut(), spec, config, telemetry)
+}
+
+/// The borrowing core of [`run_single_job_traced`]: the caller keeps the
+/// policy afterwards. Learned policies (DL2, DRL) need this — the
+/// tournament trains a policy over an [`dlrover_sim::EpisodeSchedule`] of
+/// rollouts and then races the *same* trained instance through the chaos
+/// gauntlet, so the runner must not consume it.
+pub fn run_single_job_with(
+    policy: &mut dyn SchedulerPolicy,
+    spec: TrainingJobSpec,
+    config: &RunnerConfig,
+    telemetry: &Telemetry,
+) -> RunReport {
     let streams = RngStreams::new(config.seed);
     let mut startup_rng = streams.stream("runner-startup");
     let batch = spec.batch_size;

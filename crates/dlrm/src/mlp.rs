@@ -379,3 +379,160 @@ mod tests {
         let _ = m.forward(&[1.0, 2.0]);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Hidden-layer pre-activations (before ReLU), recomputed from the
+    /// flat layout. Finite differences are only trustworthy away from the
+    /// ReLU kink, so the properties below discard cases where any hidden
+    /// unit sits within `margin` of zero.
+    fn hidden_preacts(m: &Mlp, input: &[f32]) -> Vec<f32> {
+        let mut pre = Vec::new();
+        let mut x = input.to_vec();
+        let mut offset = 0;
+        for (layer, w) in m.dims().windows(2).enumerate() {
+            let (fan_in, fan_out) = (w[0], w[1]);
+            let weights = &m.params()[offset..offset + fan_in * fan_out];
+            let biases =
+                &m.params()[offset + fan_in * fan_out..offset + fan_in * fan_out + fan_out];
+            let mut out = vec![0.0f32; fan_out];
+            for (o, out_v) in out.iter_mut().enumerate() {
+                let row = &weights[o * fan_in..(o + 1) * fan_in];
+                *out_v = biases[o] + row.iter().zip(&x).map(|(w, x)| w * x).sum::<f32>();
+            }
+            if layer + 2 < m.dims().len() {
+                pre.extend_from_slice(&out);
+                for v in &mut out {
+                    *v = v.max(0.0);
+                }
+            }
+            x = out;
+            offset += fan_in * fan_out + fan_out;
+        }
+        pre
+    }
+
+    /// Loss `L = Σ cᵢ·outᵢ` — linear in the output, so `dL/dout = c`
+    /// exactly and the finite-difference error is pure ReLU/float noise.
+    fn linear_loss(m: &Mlp, input: &[f32], c: &[f32]) -> f32 {
+        m.forward(input).output().iter().zip(c).map(|(o, c)| o * c).sum()
+    }
+
+    proptest! {
+        /// Backward's parameter gradients match central finite differences
+        /// on arbitrary small shapes, seeds, and inputs (away from ReLU
+        /// kinks, where the numeric derivative is undefined).
+        #[test]
+        fn param_gradients_match_finite_differences(
+            input_dim in 1usize..=4,
+            hidden in 1usize..=5,
+            output_dim in 1usize..=3,
+            seed in 0u64..1_000,
+            xs in proptest::collection::vec(-1.0f32..1.0, 4),
+            cs in proptest::collection::vec(-1.0f32..1.0, 3),
+        ) {
+            let mut m = Mlp::new(&[input_dim, hidden, output_dim], seed);
+            let x = &xs[..input_dim];
+            let c = &cs[..output_dim];
+            prop_assume!(hidden_preacts(&m, x).iter().all(|p| p.abs() > 0.05));
+
+            let trace = m.forward(x);
+            let mut grads = vec![0.0; m.param_count()];
+            m.backward(&trace, c, &mut grads);
+
+            let eps = 1e-3f32;
+            let mut params = m.params().to_vec();
+            for i in 0..m.param_count() {
+                let orig = params[i];
+                params[i] = orig + eps;
+                m.set_params(&params);
+                let up = linear_loss(&m, x, c);
+                params[i] = orig - eps;
+                m.set_params(&params);
+                let down = linear_loss(&m, x, c);
+                params[i] = orig;
+                m.set_params(&params);
+                let numeric = (up - down) / (2.0 * eps);
+                prop_assert!(
+                    (numeric - grads[i]).abs() < 2e-2_f32.max(numeric.abs() * 0.05),
+                    "param {i}: numeric {numeric} vs analytic {}", grads[i]
+                );
+            }
+        }
+
+        /// Backward's input gradient matches central finite differences.
+        #[test]
+        fn input_gradients_match_finite_differences(
+            input_dim in 1usize..=4,
+            hidden in 1usize..=5,
+            output_dim in 1usize..=3,
+            seed in 0u64..1_000,
+            xs in proptest::collection::vec(-1.0f32..1.0, 4),
+            cs in proptest::collection::vec(-1.0f32..1.0, 3),
+        ) {
+            let m = Mlp::new(&[input_dim, hidden, output_dim], seed);
+            let x = &xs[..input_dim];
+            let c = &cs[..output_dim];
+            prop_assume!(hidden_preacts(&m, x).iter().all(|p| p.abs() > 0.05));
+
+            let trace = m.forward(x);
+            let mut grads = vec![0.0; m.param_count()];
+            let dx = m.backward(&trace, c, &mut grads);
+
+            let eps = 1e-3f32;
+            for i in 0..input_dim {
+                let mut xp = x.to_vec();
+                xp[i] = x[i] + eps;
+                let up = linear_loss(&m, &xp, c);
+                xp[i] = x[i] - eps;
+                let down = linear_loss(&m, &xp, c);
+                let numeric = (up - down) / (2.0 * eps);
+                prop_assert!(
+                    (numeric - dx[i]).abs() < 2e-2_f32.max(numeric.abs() * 0.05),
+                    "input {i}: numeric {numeric} vs analytic {}", dx[i]
+                );
+            }
+        }
+
+        /// One Adagrad step equals the closed-form update
+        /// `a' = a + g²; p' = p − lr·g/(√a' + 1e-8)` element-wise (same
+        /// operation order, so exactly — Eqn. per DL2's Adagrad trainer).
+        #[test]
+        fn adagrad_step_matches_closed_form(
+            seed in 0u64..1_000,
+            lr in 1e-4f32..1.0,
+            gs in proptest::collection::vec(-2.0f32..2.0, 2 * 3 + 3 + 3 * 2 + 2),
+            warmup in proptest::collection::vec(-2.0f32..2.0, 2 * 3 + 3 + 3 * 2 + 2),
+        ) {
+            let mut m = Mlp::new(&[2, 3, 2], seed);
+            // Arbitrary pre-existing accumulator state via a warm-up step.
+            m.apply_grads(&warmup, lr);
+            let params = m.params().to_vec();
+            let acc = m.accumulators().to_vec();
+
+            m.apply_grads(&gs, lr);
+            for i in 0..m.param_count() {
+                let a2 = acc[i] + gs[i] * gs[i];
+                let p2 = params[i] - lr * gs[i] / (a2.sqrt() + 1e-8);
+                prop_assert_eq!(m.accumulators()[i], a2, "acc {}", i);
+                prop_assert_eq!(m.params()[i], p2, "param {}", i);
+                prop_assert!(m.accumulators()[i] >= acc[i], "accumulator shrank at {}", i);
+            }
+        }
+
+        /// A zero gradient is a strict no-op for both parameters and
+        /// accumulator state, at any learning rate.
+        #[test]
+        fn adagrad_zero_gradient_is_a_noop(seed in 0u64..1_000, lr in 1e-4f32..10.0) {
+            let mut m = Mlp::new(&[3, 4, 1], seed);
+            let params = m.params().to_vec();
+            let acc = m.accumulators().to_vec();
+            m.apply_grads(&vec![0.0; m.param_count()], lr);
+            prop_assert_eq!(m.params(), params.as_slice());
+            prop_assert_eq!(m.accumulators(), acc.as_slice());
+        }
+    }
+}

@@ -22,12 +22,14 @@
 #![warn(missing_docs)]
 
 pub mod distributions;
+pub mod episode;
 pub mod faultplan;
 pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use distributions::{Bernoulli, Exponential, LogNormal, Normal, Pareto, Sample, Uniform, Zipf};
+pub use episode::{Episode, EpisodeSchedule};
 pub use faultplan::{FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use queue::{EventQueue, ScheduledEvent};
 pub use rng::{splitmix64, RngStreams, StreamRng};

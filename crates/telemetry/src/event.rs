@@ -275,6 +275,35 @@ pub enum EventKind {
         worker: u64,
     },
 
+    // --- Learned schedulers (baselines: DL2 / DRL) ---
+    /// A learned policy sampled a concrete scaling action. Unlike
+    /// [`EventKind::PolicyAdjusted`] (recorded by the driver when a
+    /// decision is *applied*), this marks the policy's own draw — noop
+    /// actions included — so training trajectories can be replayed from
+    /// the trace alone.
+    PolicyDecisionMade {
+        /// Job id.
+        job: u64,
+        /// Stable policy name (e.g. `"dl2"`, `"drl"`).
+        policy: String,
+        /// Action index in the policy's fixed action vocabulary.
+        action: u32,
+        /// Worker count after the action.
+        workers: u32,
+        /// PS count after the action.
+        ps: u32,
+    },
+    /// A learned policy finished an episode and observed its mean reward
+    /// (fixed-point, ×1000) — the signal its next update trains on.
+    PolicyRewardObserved {
+        /// Job id.
+        job: u64,
+        /// 0-based training episode index.
+        episode: u32,
+        /// Mean per-step reward over the episode, ×1000 (signed).
+        reward_x1000: i64,
+    },
+
     // --- Chaos harness (sim::faultplan) ---
     /// The chaos driver injected one scripted fault from a
     /// [`FaultPlan`](dlrover_sim::FaultPlan). `kind` is the stable
@@ -337,6 +366,8 @@ impl EventKind {
             EventKind::JobDegraded { .. } => "JobDegraded",
             EventKind::MasterRestarted { .. } => "MasterRestarted",
             EventKind::SilentWorkerDetected { .. } => "SilentWorkerDetected",
+            EventKind::PolicyDecisionMade { .. } => "PolicyDecisionMade",
+            EventKind::PolicyRewardObserved { .. } => "PolicyRewardObserved",
             EventKind::JobStarted { .. } => "JobStarted",
             EventKind::JobCompleted { .. } => "JobCompleted",
             EventKind::FaultInjected { .. } => "FaultInjected",
@@ -378,6 +409,21 @@ mod tests {
         assert_eq!(
             EventKind::MasterRestarted { job: 0, samples_done: 1, workers: 2 }.name(),
             "MasterRestarted"
+        );
+        assert_eq!(
+            EventKind::PolicyDecisionMade {
+                job: 0,
+                policy: "dl2".into(),
+                action: 1,
+                workers: 3,
+                ps: 2
+            }
+            .name(),
+            "PolicyDecisionMade"
+        );
+        assert_eq!(
+            EventKind::PolicyRewardObserved { job: 0, episode: 2, reward_x1000: -17 }.name(),
+            "PolicyRewardObserved"
         );
     }
 }

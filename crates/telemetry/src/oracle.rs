@@ -348,10 +348,16 @@ impl Oracle {
     /// Kill-type faults must be followed by their recovery signal —
     /// a `WorkerAdded` for each same-instant `WorkerFailed`, a
     /// `PsReshaped` for a PS kill — within the deadline. Recovery is
-    /// waived when the job completed first (nothing left to recover) or
-    /// when the master degraded inside the deadline: falling back to the
+    /// waived when the job completed first (nothing left to recover),
+    /// when the master degraded inside the deadline (falling back to the
     /// surviving shape is the sanctioned alternative to relaunching once
-    /// retries or the failure budget are exhausted.
+    /// retries or the failure budget are exhausted), or when a scheduler
+    /// policy applied a scaling plan inside the deadline: an elastic
+    /// policy that deliberately reshapes the job post-fault owns its size
+    /// — a scale-*down* decision legitimately cancels the pending
+    /// replacement, so "the gang must be restored" no longer applies.
+    /// (`ScalingPlanApplied` is only ever emitted on policy decisions, so
+    /// static-gang chaos runs are unaffected by this waiver.)
     fn check_recovery(&self, events: &[Event], truth: &GroundTruth) -> (InvariantCheck, Vec<u64>) {
         let deadline = self.config.recovery_deadline.as_micros();
         let mut violations = Vec::new();
@@ -370,12 +376,15 @@ impl Oracle {
             if !is_kill {
                 continue;
             }
-            let degraded = events.iter().any(|f| {
+            let degraded_or_reshaped = events.iter().any(|f| {
                 f.at_us > e.at_us
                     && f.at_us <= e.at_us + deadline
-                    && matches!(f.kind, EventKind::JobDegraded { .. })
+                    && matches!(
+                        f.kind,
+                        EventKind::JobDegraded { .. } | EventKind::ScalingPlanApplied { .. }
+                    )
             });
-            let waived = degraded
+            let waived = degraded_or_reshaped
                 || truth
                     .completed_at
                     .map(|done| done.as_micros() <= e.at_us + deadline)

@@ -75,6 +75,41 @@ proptest! {
     }
 }
 
+/// The tournament roster, rebuilt for the harness (same constructions as
+/// the `tournament` experiment, minus the warm-start search for speed):
+/// index 0..6 covers DLRover-RM, Optimus, ES, well-tuned, DL2, DRL.
+fn roster_policy(pi: usize, seed: u64) -> Box<dyn SchedulerPolicy> {
+    let (spec, user_request) = job();
+    let space = PlanSearchSpace {
+        workers: (1, 12),
+        ps: (1, 6),
+        worker_cpu: (1.0, 8.0),
+        ps_cpu: (1.0, 8.0),
+        ..PlanSearchSpace::default()
+    };
+    match pi {
+        0 => Box::new(DlroverPolicy::new(
+            user_request,
+            DlroverPolicyConfig { constants: spec.constants, seed, space, ..Default::default() },
+        )),
+        1 => Box::new(OptimusPolicy::new(user_request, space, spec.constants)),
+        2 => Box::new(EsPolicy::new(user_request, space, 2)),
+        3 => {
+            let truth = ThroughputModel::new(spec.constants, ModelCoefficients::simulation_truth());
+            Box::new(WellTunedPolicy::new(&truth, &space, 512, 96.0))
+        }
+        4 => {
+            let streams = RngStreams::new(seed).fork("chaos-roster-dl2");
+            Box::new(Dl2Policy::new(user_request, space, &streams, Dl2Config::default()))
+        }
+        5 => {
+            let streams = RngStreams::new(seed).fork("chaos-roster-drl");
+            Box::new(DrlPolicy::new(user_request, space, &streams, DrlConfig::default()))
+        }
+        other => unreachable!("unknown roster index {other}"),
+    }
+}
+
 proptest! {
     // Each case runs a full chaos simulation; keep the count modest.
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -97,5 +132,43 @@ proptest! {
             "oracle violations: {:?}",
             report.oracle.violations()
         );
+    }
+}
+
+proptest! {
+    // Scheduler × chaos cross product; each case is a full policy-driven
+    // chaos simulation (cheap in virtual time, so the count can afford to
+    // sample every roster member several times over).
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Oracle invariants survive any (fault plan, scheduler) pairing from
+    /// the tournament roster: the policy reshapes the job mid-fault (the
+    /// "scheduler under fire" regime of the tournament experiment), yet no
+    /// pod leaks, cluster accounting stays exact, and a completing job
+    /// still trains every sample exactly once.
+    #[test]
+    fn any_plan_and_roster_policy_preserve_oracle_invariants(
+        plan in plan_strategy(),
+        pi in 0usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let (spec, _) = job();
+        let cfg = ChaosConfig {
+            runner: RunnerConfig { seed, ..RunnerConfig::default() },
+            ..ChaosConfig::default()
+        };
+        let telemetry = Telemetry::default();
+        let mut policy = roster_policy(pi, seed);
+        let report = run_chaos_job_with_policy(&spec, policy.as_mut(), &plan, &cfg, &telemetry);
+        prop_assert!(
+            report.oracle.passed(),
+            "roster policy {}: oracle violations: {:?}",
+            pi,
+            report.oracle.violations()
+        );
+        if report.jct_us.is_some() {
+            prop_assert_eq!(report.truth.samples_done, report.truth.total_samples);
+            prop_assert_eq!(report.truth.total_samples, spec.total_samples);
+        }
     }
 }

@@ -41,6 +41,58 @@ fn different_seeds_change_the_startup_draws() {
 }
 
 #[test]
+fn dl2_training_and_inference_are_byte_identical() {
+    // The DL2 policy's whole lifecycle — two training episodes of
+    // REINFORCE updates followed by an inference race with the trained
+    // weights — must reproduce bit-for-bit from the same seeds: identical
+    // episode rewards, identical final run report, identical event log.
+    // All of DL2's randomness (weight init, action sampling) flows through
+    // its named RngStreams fork, so neither the host thread count nor run
+    // ordering may leak in. The CI determinism matrix re-runs this at
+    // `--test-threads 1/2/4`.
+    let run = || {
+        let space = PlanSearchSpace {
+            workers: (1, 12),
+            ps: (1, 6),
+            worker_cpu: (1.0, 8.0),
+            ps_cpu: (1.0, 8.0),
+            ..PlanSearchSpace::default()
+        };
+        let user_request = ResourceAllocation::new(JobShape::new(4, 2, 4.0, 4.0, 512), 8.0, 64.0);
+        let streams = RngStreams::new(42).fork("determinism-dl2");
+        let mut policy = Dl2Policy::new(user_request, space, &streams, Dl2Config::default());
+        let telemetry = Telemetry::default();
+        for episode in 0..2u64 {
+            let cfg = RunnerConfig {
+                seed: 100 + episode,
+                adjust_interval: SimDuration::from_secs(60),
+                ..RunnerConfig::default()
+            };
+            run_single_job_with(
+                &mut policy,
+                TrainingJobSpec::paper_default(10_000),
+                &cfg,
+                &telemetry,
+            );
+            policy.end_episode();
+        }
+        let report = run_single_job_with(
+            &mut policy,
+            TrainingJobSpec::paper_default(10_000),
+            &RunnerConfig::default(),
+            &telemetry,
+        );
+        (policy.episode_mean_rewards().to_vec(), report, telemetry.to_jsonl())
+    };
+    let (rewards_a, report_a, log_a) = run();
+    let (rewards_b, report_b, log_b) = run();
+    assert_eq!(rewards_a.len(), 2, "one mean reward per finished episode");
+    assert_eq!(rewards_a, rewards_b, "episode rewards diverged across identical runs");
+    assert_eq!(report_a, report_b, "inference-run reports diverged across identical runs");
+    assert_eq!(log_a, log_b, "event logs diverged across identical runs");
+}
+
+#[test]
 fn fleet_generation_is_deterministic() {
     let a = FleetWorkload::generate(&FleetConfig::default(), &RngStreams::new(33));
     let b = FleetWorkload::generate(&FleetConfig::default(), &RngStreams::new(33));
