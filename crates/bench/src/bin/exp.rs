@@ -29,6 +29,7 @@ fn usage() -> ! {
     eprintln!("       exp bench-parallel [--threads N]");
     eprintln!("       exp fleetscale [--seed N] [--max-pods P] [--shards A,B,...]");
     eprintln!("       exp chaos [--seed N] [--plans K]");
+    eprintln!("       exp ckptplane [--seed N]");
     eprintln!("       exp tournament [--seed N] [--plans K] [--episodes E]");
     eprintln!("       exp trace [--filter KINDS] <id|trace.jsonl>");
     eprintln!("       exp trace --diff <left.jsonl> <right.jsonl>");
@@ -241,6 +242,33 @@ fn chaos_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `exp ckptplane --seed N`: sweep the tiered checkpoint plane (policy x
+/// recovery path) over the diurnal fleet trace and exit non-zero on any
+/// durability-oracle violation or cross-shard digest divergence (the CI
+/// smoke gate). Writes `results/ckptplane.json`.
+fn ckptplane_command(args: &[String]) -> ! {
+    let mut seed = 42u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let (_, violations, shard_invariant) = exp::ckptplane::run_ckptplane(seed);
+    if violations > 0 {
+        eprintln!("ckptplane: {violations} durability violation(s)");
+        std::process::exit(1);
+    }
+    if !shard_invariant {
+        eprintln!("ckptplane: shard counts DIVERGED — see results/ckptplane.json");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 /// `exp tournament --seed N --plans K --episodes E`: train the learned
 /// contenders and race the full roster through the chaos gauntlet,
 /// exiting non-zero on any oracle invariant violation (the CI smoke
@@ -445,6 +473,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("chaos") {
         chaos_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("ckptplane") && args.len() > 1 {
+        ckptplane_command(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("tournament") && args.len() > 1 {
         tournament_command(&args[1..]);

@@ -69,9 +69,13 @@ fn chaos_units<'a>(
 /// report and the total invariant-violation count (CI gates on zero).
 pub fn run_chaos(seed: u64, plans: u64) -> (String, usize) {
     let (spec, alloc) = job();
+    // `ckpt_faults` opts the generated plans into the checkpoint-plane
+    // fault kinds (remote outages, bandwidth collapses, manifest
+    // corruption, witness partitions), so the durability invariants see
+    // adversarial traffic here too.
     let cfg = ChaosConfig {
         runner: RunnerConfig { seed, ..RunnerConfig::default() },
-        plan: FaultPlanConfig::default(),
+        plan: FaultPlanConfig { ckpt_faults: true, ..FaultPlanConfig::default() },
         ..ChaosConfig::default()
     };
     let outputs = run_units_auto(chaos_units(&spec, alloc, plans, &cfg));

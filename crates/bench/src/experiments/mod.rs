@@ -26,11 +26,13 @@ pub const REGISTRY: &[Runner] = &[
     ("ablations", "design-choice ablations", ablations::run),
     ("chaos", "scripted fault plans vs the invariant oracle", chaos::run),
     ("resilience", "recovery latency + goodput retained per fault kind", resilience::run),
+    ("ckptplane", "tiered checkpoint plane: policy x recovery path sweep", ckptplane::run),
     ("tournament", "scheduler round-robin: heuristics vs learned, under chaos", tournament::run),
 ];
 
 pub mod ablations;
 pub mod chaos;
+pub mod ckptplane;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;

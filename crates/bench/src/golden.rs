@@ -162,6 +162,7 @@ mod tests {
     golden_test!(golden_ablations, "ablations");
     golden_test!(golden_chaos, "chaos");
     golden_test!(golden_resilience, "resilience");
+    golden_test!(golden_ckptplane, "ckptplane");
     golden_test!(golden_tournament, "tournament");
 
     /// The registry and the corpus cover each other: every registered
@@ -171,7 +172,7 @@ mod tests {
     fn corpus_covers_the_whole_registry() {
         assert_eq!(
             crate::experiments::REGISTRY.len(),
-            19,
+            20,
             "new experiment registered — add a golden_test! line and regenerate the corpus"
         );
     }

@@ -12,6 +12,7 @@
 //! | `telemetry-merge`| 64 unit sinks × (events + spans) merged    | `items_per_sec`     |
 //! | `parallel`       | `exp all` at 1 thread vs the pool          | `speedup`           |
 //! | `fleetscale`     | sharded fleet sweep to `--max-pods`        | `pod_events_per_sec`|
+//! | `ckptplane`      | 20k dedup'd saves + restores, 32 jobs      | `saves_per_sec`     |
 //!
 //! Every artefact keeps the prior run's headline numbers under
 //! `previous` (the PR 6 format), so the trajectory is legible from the
@@ -41,7 +42,8 @@ use crate::results_dir;
 use crate::sysmetrics::peak_rss_bytes;
 
 /// Every perf area, in the order `exp perf` runs them.
-pub const AREAS: [&str; 5] = ["costmodel", "nsga2", "telemetry-merge", "parallel", "fleetscale"];
+pub const AREAS: [&str; 6] =
+    ["costmodel", "nsga2", "telemetry-merge", "parallel", "fleetscale", "ckptplane"];
 
 /// Options shared by every area (parsed from the `exp perf` CLI).
 #[derive(Debug, Clone)]
@@ -452,6 +454,57 @@ fn parallel_area(threads: usize) -> Result<AreaOutcome, String> {
     })
 }
 
+/// Fixed checkpoint-plane workload: 20k content-chunked saves across 32
+/// jobs in 8 model families against one shared plane (dedup, eviction,
+/// and the FIFO remote queue all on the hot path), with a restore every
+/// 64th save. Returns `(saves, plane digest)` — the digest doubles as a
+/// determinism witness across optimisation passes.
+fn ckptplane_workload() -> (u64, u64) {
+    const SAVES: u64 = 20_000;
+    const JOBS: u64 = 32;
+    let mut plane =
+        dlrover_master::CheckpointPlane::new(dlrover_master::CkptPlaneConfig::default());
+    let mut t = SimTime::ZERO;
+    for i in 0..SAVES {
+        let job = i % JOBS;
+        let step = i / JOBS;
+        let samples = step * 1_024;
+        let bytes = 500_000_000 + samples * 64 + (job % 8) * 50_000_000;
+        t += dlrover_sim::SimDuration::from_secs(7);
+        let _ = plane.save(job, job % 8, step, samples, bytes, t);
+        if i % 64 == 0 {
+            let _ = plane.restore(job, t);
+        }
+    }
+    plane.advance(t);
+    (SAVES, plane.digest())
+}
+
+fn ckptplane_area() -> AreaOutcome {
+    let ((saves, digest), wall_s) = measured(ckptplane_workload);
+    let (_, profile) = profiled(ckptplane_workload);
+    let saves_per_sec = saves as f64 / wall_s.max(1e-9);
+    AreaOutcome {
+        stem: "ckptplane".into(),
+        headline_key: "saves_per_sec",
+        headline: saves_per_sec,
+        higher_is_better: true,
+        previous_keys: &["saves_per_sec", "wall_s"],
+        body: serde_json::json!({
+            "experiment": "perf-ckptplane",
+            "description": "20k content-chunked checkpoint saves + periodic restores \
+                            against one shared tiered plane (§5.3 flash tier hot path)",
+            "saves": saves,
+            "jobs": 32,
+            "wall_s": wall_s,
+            "saves_per_sec": saves_per_sec,
+            "plane_digest": format!("{digest:#018x}"),
+            "prof": prof_block(&profile),
+        }),
+        folded: profile.folded(),
+    }
+}
+
 /// The fleetscale sweep plus its `BENCH_fleetscale.json` body (shared by
 /// `exp fleetscale` and `exp perf fleetscale`). The headline is the
 /// single-shard pod-events/sec at the largest target.
@@ -672,6 +725,7 @@ pub fn run(areas: &[String], opts: &PerfOpts) -> Result<(), String> {
             "telemetry-merge" => Ok(telemetry_merge_area()),
             "parallel" => parallel_area(opts.threads),
             "fleetscale" => fleetscale_area(opts.seed, opts.max_pods),
+            "ckptplane" => Ok(ckptplane_area()),
             other => unreachable!("area {other} validated above"),
         };
         let outcome = match outcome {

@@ -292,12 +292,18 @@ pub fn drive_fleet_chaos(
                     // Engine-scoped kinds: the fleet driver has no
                     // training engine to press on. Control-plane kinds
                     // (denial storms, master crashes) likewise belong to
-                    // the job-level chaos runner, which owns a master.
+                    // the job-level chaos runner, which owns a master,
+                    // and checkpoint-plane kinds to the runners that own
+                    // a `CheckpointPlane`/`WitnessBoard`.
                     FaultKind::MemoryPressure { .. }
                     | FaultKind::StragglerWindow { .. }
                     | FaultKind::NetworkDelay { .. }
                     | FaultKind::DenialStorm { .. }
-                    | FaultKind::MasterCrash { .. } => {}
+                    | FaultKind::MasterCrash { .. }
+                    | FaultKind::RemoteTierOutage { .. }
+                    | FaultKind::BandwidthCollapse { .. }
+                    | FaultKind::ManifestCorruption { .. }
+                    | FaultKind::WitnessPartition { .. } => {}
                 }
             }
             Ev::BurstEnd(pod) => {

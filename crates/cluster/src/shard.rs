@@ -182,6 +182,10 @@ enum ChaosAction {
     KillWorker(u32),
     KillPs(u32),
     Burst(u32),
+    /// Checkpoint-plane degradation (remote-tier outage or bandwidth
+    /// collapse): cold starts need their checkpoint/image pulled from
+    /// remote storage, so the cell admits nothing for the stall window.
+    CkptStall(SimDuration),
 }
 
 /// Wheel events. Every event names its cell; a shard's wheel multiplexes the
@@ -254,6 +258,9 @@ pub struct CellAggregates {
     pub completion_us_sum: u64,
     /// Virtual time of the cell's last event (µs).
     pub last_event_us: u64,
+    /// Checkpoint-plane stall windows delivered (remote-tier outage /
+    /// bandwidth collapse freezing admissions).
+    pub ckpt_stalls: u64,
 }
 
 /// Fleet-wide rollup of [`CellAggregates`] (derived, also K-independent).
@@ -353,6 +360,7 @@ impl FleetAggregates {
                 c.wait_us_sum,
                 c.completion_us_sum,
                 c.last_event_us,
+                c.ckpt_stalls,
             ] {
                 mix(v);
             }
@@ -376,6 +384,10 @@ struct Cell {
     telemetry: Telemetry,
     agg: CellAggregates,
     msg_seq: u64,
+    /// Admissions are frozen until this instant (checkpoint-plane
+    /// degradation, [`ChaosAction::CkptStall`]); pending jobs resume
+    /// through their retry timers once the window passes.
+    ckpt_stalled_until: SimTime,
 }
 
 impl Cell {
@@ -506,6 +518,14 @@ impl FleetShard {
                     return;
                 }
                 let (spec, arrived_at) = (job.spec.clone(), job.arrived_at);
+                if now < cell.ckpt_stalled_until {
+                    // Checkpoint plane degraded: no placements (and no
+                    // forwarding — every cell shares the remote tier, so
+                    // hopping would not help); try again after backoff.
+                    self.wheel
+                        .push(now + self.cfg.retry_interval, FleetEv::Retry { cell: cell.id, key });
+                    return;
+                }
                 if let Some(assignment) = cell.try_place_gang(&spec) {
                     cell.pending.retain(|k| *k != key);
                     Self::admit(cell, &mut self.wheel, &self.cfg, key, assignment, now);
@@ -583,7 +603,8 @@ impl FleetShard {
             pending: true,
             pods: Vec::new(),
         });
-        if let Some(assignment) = cell.try_place_gang(&spec) {
+        let placeable = now >= cell.ckpt_stalled_until;
+        if let Some(assignment) = placeable.then(|| cell.try_place_gang(&spec)).flatten() {
             Self::admit(cell, wheel, cfg, key, assignment, now);
         } else {
             cell.pending.push(key);
@@ -665,6 +686,9 @@ impl FleetShard {
         cfg: &FleetScaleConfig,
         now: SimTime,
     ) {
+        if now < cell.ckpt_stalled_until {
+            return; // admissions frozen; retry timers resume the queue
+        }
         let queue = std::mem::take(&mut cell.pending);
         for key in queue {
             let Some(job) = cell.jobs.get(key) else { continue };
@@ -726,6 +750,11 @@ impl FleetShard {
                     cell.agg.jobs_failed += 1;
                     cell.telemetry.count("fleet.jobs.failed", 1);
                 }
+            }
+            ChaosAction::CkptStall(window) => {
+                cell.ckpt_stalled_until = cell.ckpt_stalled_until.max(now + window);
+                cell.agg.ckpt_stalls += 1;
+                cell.telemetry.count("fleet.ckpt.stalls", 1);
             }
             ChaosAction::Burst(pods) => {
                 // A high-priority burst preempts the first `pods` live pods.
@@ -803,7 +832,27 @@ impl ShardedFleet {
                         chaos_per_cell[i % cfg.cells as usize]
                             .push((ev.at, ChaosAction::Burst(pods)));
                     }
-                    // Engine/control-plane faults have no fleet-level analog.
+                    FaultKind::RemoteTierOutage { window } => {
+                        // The remote checkpoint tier is shared by the
+                        // whole fleet: every cell's admissions stall for
+                        // the window.
+                        for cell in chaos_per_cell.iter_mut() {
+                            cell.push((ev.at, ChaosAction::CkptStall(window)));
+                        }
+                    }
+                    FaultKind::BandwidthCollapse { factor_permille, window } => {
+                        // Degraded, not dead: the stall covers only the
+                        // bandwidth fraction the collapse removed.
+                        let lost = (f64::from(factor_permille) - 1000.0)
+                            / f64::from(factor_permille.max(1001));
+                        let stall = window.mul_f64(lost);
+                        for cell in chaos_per_cell.iter_mut() {
+                            cell.push((ev.at, ChaosAction::CkptStall(stall)));
+                        }
+                    }
+                    // Engine/control-plane faults (and per-manifest /
+                    // per-quorum checkpoint faults) have no fleet-level
+                    // analog.
                     _ => {}
                 }
             }
@@ -919,6 +968,7 @@ impl ShardedFleet {
             telemetry: Telemetry::with_capacity(cfg.telemetry_capacity),
             agg: CellAggregates { cell: cell_id, ..CellAggregates::default() },
             msg_seq: 0,
+            ckpt_stalled_until: SimTime::ZERO,
         };
         (cell, planned_pods)
     }
@@ -1029,7 +1079,7 @@ impl ShardedFleet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dlrover_sim::FaultPlanConfig;
+    use dlrover_sim::{FaultEvent, FaultPlanConfig};
 
     fn small_cfg() -> FleetScaleConfig {
         FleetScaleConfig::small(3, 12, 4)
@@ -1106,6 +1156,40 @@ mod tests {
         assert_eq!(runs[0], runs[2]);
         let clean = run(&cfg, 1, 5).0;
         assert_ne!(runs[0].0, clean, "chaos must perturb the fleet");
+    }
+
+    #[test]
+    fn ckpt_stalls_are_shard_count_invariant() {
+        // RemoteTierOutage freezes admissions fleet-wide (the durable
+        // tier is shared), BandwidthCollapse stalls for the lost
+        // fraction of the window. Both must route identically at any
+        // shard count and show up in the digest via `ckpt_stalls`.
+        let cfg = small_cfg();
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(40),
+                kind: FaultKind::RemoteTierOutage { window: SimDuration::from_secs(120) },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(400),
+                kind: FaultKind::BandwidthCollapse {
+                    factor_permille: 4000,
+                    window: SimDuration::from_secs(200),
+                },
+            },
+        ]);
+        let mut runs = Vec::new();
+        for k in [1u32, 2, 3] {
+            let mut fleet = ShardedFleet::with_chaos(&cfg, k, 17, Some(&plan));
+            let agg = fleet.run_to_completion();
+            runs.push((agg, fleet.merged_telemetry().to_jsonl()));
+        }
+        assert_eq!(runs[0], runs[1], "ckpt stalls diverged at K=2");
+        assert_eq!(runs[0], runs[2], "ckpt stalls diverged at K=3");
+        let stalls: u64 = runs[0].0.cells.iter().map(|c| c.ckpt_stalls).sum();
+        assert_eq!(stalls, 6, "each fault stalls every one of the 3 cells");
+        let t = runs[0].0.totals();
+        assert_eq!(t.jobs_submitted, t.jobs_finished + t.jobs_failed + t.jobs_gave_up);
     }
 
     #[test]

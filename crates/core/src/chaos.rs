@@ -26,9 +26,11 @@ use std::collections::VecDeque;
 use dlrover_cluster::{
     Cluster, ClusterConfig, ClusterEvent, PodId, PodPhase, PodRole, PodSpec, Priority, Resources,
 };
+use dlrover_master::replay::{RecoveryOutcome, RecoveryPath};
 use dlrover_master::{
-    JobHealth, JobMaster, MasterEvent, ReplayedJobState, RetryDecision, RetryPolicy,
-    RetrySupervisor, SchedulerPolicy,
+    CheckpointPlane, CkptPlaneConfig, JobHealth, JobMaster, MasterEvent, PlaneStats,
+    ReplayedJobState, RetryDecision, RetryPolicy, RetrySupervisor, SchedulerPolicy, WitnessBoard,
+    WitnessConfig,
 };
 use dlrover_optimizer::ResourceAllocation;
 use dlrover_pstrain::{PodState, TrainingJobSpec};
@@ -81,6 +83,17 @@ pub struct ChaosConfig {
     /// The cluster hosting the job's pods. Organic churn uses its
     /// `pod_daily_failure_rate`, so scripted and organic failures compose.
     pub cluster: ClusterConfig,
+    /// The tiered checkpoint plane the job saves into (periodic flash
+    /// checkpoints, restore charging on recovery).
+    pub ckpt: CkptPlaneConfig,
+    /// Witness-quorum protocol parameters (the master-less recovery
+    /// path).
+    pub witness: WitnessConfig,
+    /// When `true`, a master crash first attempts witness-quorum
+    /// recovery (pinned peer copy, no master on the critical path) and
+    /// only falls back to event-log replay when the quorum is
+    /// partitioned away or nothing is pinned yet.
+    pub prefer_witness: bool,
 }
 
 impl Default for ChaosConfig {
@@ -93,6 +106,9 @@ impl Default for ChaosConfig {
             // Homogeneous nodes: placement-induced slowdown is scripted
             // (StragglerWindow), not sampled, so runs stay interpretable.
             cluster: ClusterConfig { slow_node_fraction: 0.0, ..ClusterConfig::default() },
+            ckpt: CkptPlaneConfig::default(),
+            witness: WitnessConfig::default(),
+            prefer_witness: false,
         }
     }
 }
@@ -115,6 +131,12 @@ pub struct ChaosReport {
     pub health: JobHealth,
     /// Master crash/replay cycles survived during the run.
     pub master_restarts: u64,
+    /// One entry per master-loss recovery, replay and witness alike —
+    /// the shared unit `exp resilience` and `exp ckptplane` report in.
+    pub recoveries: Vec<RecoveryOutcome>,
+    /// Checkpoint-plane counters at end of run (saves, commits, dedup,
+    /// remote-pipe busy time).
+    pub ckpt: PlaneStats,
     /// Integral of allocated CPU over the run, core-hours (the
     /// tournament's resource-waste input).
     pub cpu_core_hours: f64,
@@ -217,6 +239,16 @@ fn run_chaos_job_inner(
     cluster.set_telemetry(telemetry.clone());
     let mut master = JobMaster::new(0, spec.clone(), alloc, cfg.runner.master);
     master.set_telemetry(telemetry.clone());
+    // The shared checkpoint plane and witness board. The single chaos job
+    // is job 0 of model family 0; fleet-level contention is exercised by
+    // `exp ckptplane`, here the plane charges realistic save/restore
+    // costs instead of the zero-cost restores the driver used to assume.
+    let mut plane = CheckpointPlane::new(cfg.ckpt);
+    plane.set_telemetry(telemetry.clone());
+    let mut witness = WitnessBoard::new(cfg.witness);
+    witness.set_telemetry(telemetry.clone());
+    let mut last_ckpt = SimTime::ZERO;
+    let mut recoveries: Vec<RecoveryOutcome> = Vec::new();
     telemetry.record(SimTime::ZERO, EventKind::JobStarted { job: 0 });
 
     // Current committed allocation: fixed for the static gang, updated by
@@ -294,6 +326,25 @@ fn run_chaos_job_inner(
         // (fail_pod/fail_node) stamp their events at this tick — the
         // oracle matches same-instant kill events to the injection marker.
         cluster.advance_clock(now);
+        // Drain the remote transfer queue and pending co-sign rounds up
+        // to this tick, so commit/quorum events land in the log before
+        // any restore this tick could depend on them (the durability
+        // oracle audits in log order).
+        plane.advance(now);
+        witness.advance(now);
+
+        // 0. Periodic flash checkpoint (§5.3): stage into the hot tier
+        //    (synchronous sub-second pause), enqueue the manifest behind
+        //    the shared remote pipe, and broadcast to the witness peers.
+        if now.saturating_since(last_ckpt) >= cfg.ckpt.interval {
+            last_ckpt = now;
+            let samples = master.engine().samples_done();
+            let step = samples / u64::from(spec.batch_size.max(1));
+            let bytes = spec.memory.total_bytes(samples as f64) as u64;
+            let saved = plane.save(0, 0, step, samples, bytes, now);
+            witness.observe_save(0, saved.manifest, step, samples, bytes, now);
+            master.engine_mut().pause(saved.hot_pause);
+        }
 
         // 1. Placed replacement pods whose startup completed become
         //    Running; the master materialises the matching engine worker
@@ -394,15 +445,22 @@ fn run_chaos_job_inner(
                 request_replacement!(JobPod::Worker);
             }};
         }
-        // A PS kill: fail the pod and flash-restore the partition from
-        // its checkpoint (seamless migration, sub-second pause); the
-        // replacement pod follows through the normal placement path.
+        // A PS kill: fail the pod and restore the partition from the
+        // checkpoint plane — hot tier when resident (seamless migration,
+        // sub-second pause, §5.3), remote tier otherwise (waiting out any
+        // outage window). The driver used to assume a zero-cost restore
+        // here; now the plane quotes it. The replacement pod follows
+        // through the normal placement path.
         macro_rules! kill_ps {
             ($idx:expr) => {{
                 cluster.fail_pod(ps_pods[$idx]);
                 let startup =
                     cfg.runner.startup.sample(cfg.runner.cluster_utilisation, &mut startup_rng);
                 master.handle_ps_failure($idx, startup);
+                if let Some(r) = plane.restore(0, now) {
+                    let stall = r.resume_at().saturating_since(now);
+                    master.engine_mut().pause(stall);
+                }
                 request_replacement!(JobPod::Ps($idx));
             }};
         }
@@ -573,32 +631,93 @@ fn run_chaos_job_inner(
                 }
                 FaultKind::MasterCrash { restart } => {
                     mark!(fault);
-                    // The master process dies with its in-memory state;
-                    // the telemetry event log is the durable store (§6).
-                    // Rebuild job state from a replay and resume at
-                    // `now + restart`.
+                    // The master process dies with its in-memory state,
+                    // and the job's caching pods die with it — the hot
+                    // tier copy is gone, so whichever path recovers must
+                    // pay a real restore.
+                    plane.invalidate_hot(0, now);
                     let replayed = ReplayedJobState::from_events(&telemetry.snapshot().events);
-                    let restart_at = now + restart;
-                    let mut rebuilt = JobMaster::from_replay(
+
+                    // Witness path (when preferred and available): the
+                    // surviving peers detect the silence, elect a
+                    // recoverer, and read the pinned quorum-certified
+                    // copy at peer-memory speed — no restarted master and
+                    // no remote tier on the critical path, so a
+                    // concurrent RemoteTierOutage does not gate it.
+                    let witness_start = now + witness.takeover_latency();
+                    let witness_restore =
+                        if cfg.prefer_witness { witness.restore(0, witness_start) } else { None };
+                    let (resume_at, replayed_used, outcome) = match witness_restore {
+                        Some(w) => {
+                            let resume_at = witness_start + w.duration;
+                            let mut r = replayed.clone();
+                            // The pinned manifest is the recovery truth:
+                            // samples past its watermark retrain (the
+                            // engine's bounded-rollback contract).
+                            r.samples_done = w.samples.min(replayed.samples_done);
+                            r.checkpoint_step = r.checkpoint_step.max(w.step);
+                            let outcome = RecoveryOutcome::new(
+                                RecoveryPath::WitnessQuorum,
+                                now,
+                                resume_at,
+                                r.samples_done,
+                                r.checkpoint_step,
+                                r.live_workers.len() as u32,
+                            );
+                            (resume_at, r, outcome)
+                        }
+                        None => {
+                            // Replay path: wait out the restart window,
+                            // then restore the durable copy through the
+                            // plane (which waits out any outage window —
+                            // the regression the zero-cost restore hid).
+                            let restart_at = now + restart;
+                            let restore = plane.restore(0, restart_at);
+                            let resume_at = restore
+                                .map(|r| r.resume_at().max(restart_at))
+                                .unwrap_or(restart_at);
+                            let outcome = RecoveryOutcome::new(
+                                RecoveryPath::MasterReplay,
+                                now,
+                                resume_at,
+                                replayed.samples_done,
+                                replayed.checkpoint_step,
+                                replayed.live_workers.len() as u32,
+                            );
+                            (resume_at, replayed.clone(), outcome)
+                        }
+                    };
+                    let (mut rebuilt, _) = JobMaster::from_replay(
                         0,
                         spec.clone(),
                         cur_alloc,
                         cfg.runner.master,
-                        &replayed,
-                        restart_at,
+                        &replayed_used,
+                        now,
+                        resume_at,
                     );
                     rebuilt.set_telemetry(telemetry.clone());
                     master = rebuilt;
                     telemetry.record(
-                        restart_at,
+                        resume_at,
                         EventKind::MasterRestarted {
                             job: 0,
-                            samples_done: replayed.samples_done,
-                            workers: replayed.live_workers.len() as u32,
+                            samples_done: replayed_used.samples_done,
+                            workers: replayed_used.live_workers.len() as u32,
+                        },
+                    );
+                    telemetry.record(
+                        resume_at,
+                        EventKind::JobRecovered {
+                            job: 0,
+                            path: outcome.path.label().to_string(),
+                            latency_us: outcome.downtime.as_micros(),
+                            step: outcome.checkpoint_step,
                         },
                     );
                     telemetry.count("chaos.master_restarts", 1);
                     master_restarts += 1;
+                    recoveries.push(outcome);
                     // In-flight worker replacement intents died with the
                     // old master; release their pods and re-request any
                     // deficit through the fresh one. PS placements stay:
@@ -638,6 +757,28 @@ fn run_chaos_job_inner(
                         request_replacement!(JobPod::Worker);
                     }
                     crashed = true;
+                }
+                FaultKind::RemoteTierOutage { window } => {
+                    mark!(fault);
+                    // RDS unreachable: the transfer queue stalls and
+                    // restores wait out the window.
+                    plane.set_remote_outage(now, now + window);
+                }
+                FaultKind::BandwidthCollapse { factor_permille, window } => {
+                    mark!(fault);
+                    plane.set_bandwidth_collapse(now, now + window, factor_permille);
+                }
+                FaultKind::ManifestCorruption { manifest } => {
+                    // Nothing staged yet → nothing to corrupt; skipped
+                    // like a kill aimed at an empty population.
+                    if plane.has_manifests(0) {
+                        mark!(fault);
+                        plane.corrupt_manifest(0, manifest, now);
+                    }
+                }
+                FaultKind::WitnessPartition { peers, window } => {
+                    mark!(fault);
+                    witness.partition(peers, now, now + window);
                 }
             }
             if crashed {
@@ -974,6 +1115,8 @@ fn run_chaos_job_inner(
         oomed,
         health: master.health(),
         master_restarts,
+        recoveries,
+        ckpt: *plane.stats(),
         cpu_core_hours: cpu_core_seconds / 3_600.0,
         truth,
         oracle,
@@ -1245,6 +1388,134 @@ mod tests {
         let watermark = restarted.expect("failover must record MasterRestarted");
         assert!(watermark > 0, "crash at t=300s must replay a non-zero sample watermark");
         assert!(watermark < report.truth.total_samples);
+    }
+
+    #[test]
+    fn restore_mid_outage_waits_for_the_remote_tier() {
+        // Satellite 2 regression: a master crash whose restart lands
+        // inside a RemoteTierOutage window must charge the wait for the
+        // tier to come back — the restore is not free. The crash at
+        // t=300s restarts at t=360s, still inside the 250 s outage that
+        // lifts at t=500s, so downtime must cover crash → outage end at
+        // minimum (hot copies die with the master; only the remote tier
+        // can serve the restore).
+        let outage = SimDuration::from_secs(250);
+        let crash_at = SimTime::from_secs(300);
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(250),
+                kind: FaultKind::RemoteTierOutage { window: outage },
+            },
+            FaultEvent {
+                at: crash_at,
+                kind: FaultKind::MasterCrash { restart: SimDuration::from_secs(60) },
+            },
+        ]);
+        let telemetry = Telemetry::default();
+        let report =
+            run_chaos_job(&spec(), allocation(), &plan, &ChaosConfig::default(), &telemetry);
+        assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+        assert!(report.jct_us.is_some(), "job must finish once the outage lifts");
+        let recovery = report.recoveries.first().expect("master crash must record a recovery");
+        assert_eq!(recovery.path, RecoveryPath::MasterReplay);
+        // Outage ends 200 s after the crash; the restore cannot resume
+        // before that, so the measured downtime must exceed it (and the
+        // bare 60 s restart window by a wide margin).
+        let outage_remainder = SimDuration::from_secs(200);
+        assert!(
+            recovery.downtime >= outage_remainder,
+            "restore mid-outage must wait for the tier: downtime {:?} < {:?}",
+            recovery.downtime,
+            outage_remainder
+        );
+        // Control: the same crash with no outage resumes much sooner.
+        let control_plan = FaultPlan::from_events(vec![FaultEvent {
+            at: crash_at,
+            kind: FaultKind::MasterCrash { restart: SimDuration::from_secs(60) },
+        }]);
+        let control = run_chaos_job(
+            &spec(),
+            allocation(),
+            &control_plan,
+            &ChaosConfig::default(),
+            &Telemetry::default(),
+        );
+        let control_recovery = control.recoveries.first().expect("control recovery");
+        assert!(
+            control_recovery.downtime < recovery.downtime,
+            "outage must lengthen recovery: {:?} !< {:?}",
+            control_recovery.downtime,
+            recovery.downtime
+        );
+    }
+
+    #[test]
+    fn witness_recovery_beats_replay_under_compound_outage() {
+        // Acceptance gate: under a MasterCrash + RemoteTierOutage
+        // compound plan the witness-quorum path (peer-memory read, no
+        // remote dependency) must beat the master-replay path, which has
+        // to wait out the outage. Same plan, both recovery preferences.
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(250),
+                kind: FaultKind::RemoteTierOutage { window: SimDuration::from_secs(250) },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(300),
+                kind: FaultKind::MasterCrash { restart: SimDuration::from_secs(60) },
+            },
+        ]);
+        let replay_cfg = ChaosConfig::default();
+        let witness_cfg = ChaosConfig { prefer_witness: true, ..ChaosConfig::default() };
+        let replay_report =
+            run_chaos_job(&spec(), allocation(), &plan, &replay_cfg, &Telemetry::default());
+        let witness_report =
+            run_chaos_job(&spec(), allocation(), &plan, &witness_cfg, &Telemetry::default());
+        assert!(replay_report.oracle.passed(), "{:?}", replay_report.oracle.violations());
+        assert!(witness_report.oracle.passed(), "{:?}", witness_report.oracle.violations());
+        let replay = replay_report.recoveries.first().expect("replay recovery");
+        let witness = witness_report.recoveries.first().expect("witness recovery");
+        assert_eq!(replay.path, RecoveryPath::MasterReplay);
+        assert_eq!(
+            witness.path,
+            RecoveryPath::WitnessQuorum,
+            "quorum is intact, so the witness path must serve the restore"
+        );
+        assert!(
+            witness.downtime < replay.downtime,
+            "witness must beat replay under the outage: {:?} !< {:?}",
+            witness.downtime,
+            replay.downtime
+        );
+        // The witness restore must never resume past the co-signed
+        // watermark: no uncommitted restore.
+        assert!(witness.samples_done <= replay.samples_done);
+    }
+
+    #[test]
+    fn witness_partition_falls_back_to_replay() {
+        // With the quorum partitioned away at crash time, prefer_witness
+        // must degrade to master replay instead of trusting an
+        // unwitnessed manifest.
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent {
+                at: SimTime::from_secs(250),
+                kind: FaultKind::WitnessPartition { peers: 2, window: SimDuration::from_secs(400) },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(300),
+                kind: FaultKind::MasterCrash { restart: SimDuration::from_secs(60) },
+            },
+        ]);
+        let cfg = ChaosConfig { prefer_witness: true, ..ChaosConfig::default() };
+        let report = run_chaos_job(&spec(), allocation(), &plan, &cfg, &Telemetry::default());
+        assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+        let recovery = report.recoveries.first().expect("recovery recorded");
+        assert_eq!(
+            recovery.path,
+            RecoveryPath::MasterReplay,
+            "2-of-3 peers partitioned leaves no quorum; must fall back to replay"
+        );
     }
 
     #[test]

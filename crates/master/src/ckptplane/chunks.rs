@@ -1,0 +1,256 @@
+//! Content-chunked checkpoint representation with cross-job dedup.
+//!
+//! DLRover-RM's flash checkpoints (§5.3) are dominated by embedding tables
+//! whose *static* regions (dense parameters, optimizer state, saturated
+//! vocabulary rows) barely change between saves, while a small *dynamic*
+//! fraction churns every step. We model a checkpoint as a deterministic
+//! set of content-addressed chunks: a chunk key is a pure function of what
+//! the region would contain at a given training step, so two saves that
+//! would serialize identical bytes produce identical keys — the dedup a
+//! content-addressed store gets for free — without simulating actual
+//! tensor payloads.
+//!
+//! Jobs in the same *model family* (same recommender architecture, e.g.
+//! replicas of a CTR model retrained per region) share static-region keys,
+//! which is where the cross-job dedup of the shared remote tier comes from.
+
+use serde::{Deserialize, Serialize};
+
+/// How a logical checkpoint is cut into content-addressed chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkingConfig {
+    /// Target chunk size in bytes (the last chunk of a manifest is the
+    /// remainder).
+    pub chunk_bytes: u64,
+    /// Fraction (permille) of regions whose content is *static*: identical
+    /// across saves and shared across jobs of the same model family.
+    pub static_permille: u32,
+    /// Churn rate (permille) of dynamic regions per training step: after
+    /// `1000 / churn_permille` steps, a dynamic region's content has
+    /// changed and its chunk key rolls over.
+    pub churn_permille: u32,
+}
+
+impl Default for ChunkingConfig {
+    fn default() -> Self {
+        // 64 MB chunks; ~60 % of a recommender checkpoint is static
+        // (dense params + saturated embedding rows), and a dynamic region
+        // rolls over roughly every 20 steps.
+        ChunkingConfig { chunk_bytes: 64_000_000, static_permille: 600, churn_permille: 50 }
+    }
+}
+
+/// A content-addressed chunk reference: key plus size. Two references with
+/// the same key denote byte-identical content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChunkRef {
+    /// Content hash of the chunk.
+    pub key: u64,
+    /// Chunk size in bytes.
+    pub bytes: u64,
+}
+
+/// splitmix64 finalizer: a cheap, high-quality deterministic mixer used to
+/// derive content keys. Not security-relevant; collisions at our chunk
+/// counts (~1e5 keys in 2^64 space) are negligible.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives the chunk set a checkpoint of `total_bytes` for `(job, family)`
+/// at training `step` would serialize.
+///
+/// Region `r` of the checkpoint is static when `hash(family, r)` falls
+/// under `static_permille` — its key depends only on `(family, r, bytes)`
+/// and is therefore shared by every job of the family and every step.
+/// Dynamic regions version as `(step * churn + phase) / 1000`, so a region
+/// keeps its key for `~1000/churn` steps and then rolls over; phases are
+/// staggered per region so rollovers spread instead of thundering.
+pub fn manifest_chunks(
+    job: u64,
+    family: u64,
+    step: u64,
+    total_bytes: u64,
+    cfg: &ChunkingConfig,
+) -> Vec<ChunkRef> {
+    let chunk = cfg.chunk_bytes.max(1);
+    let regions = total_bytes.div_ceil(chunk).max(1);
+    let mut out = Vec::with_capacity(regions as usize);
+    for r in 0..regions {
+        let bytes = if r == regions - 1 && !total_bytes.is_multiple_of(chunk) && total_bytes > 0 {
+            total_bytes % chunk
+        } else {
+            chunk.min(total_bytes.max(1))
+        };
+        let is_static =
+            mix64(family ^ mix64(r ^ 0x5747_4943)) % 1000 < u64::from(cfg.static_permille);
+        let key = if is_static {
+            // Shared across jobs of the family and across steps.
+            mix64(mix64(family ^ 0x5354_4154) ^ mix64(r) ^ mix64(bytes))
+        } else {
+            let phase = mix64(job ^ mix64(r)) % 1000;
+            let version = (step * u64::from(cfg.churn_permille) + phase) / 1000;
+            mix64(mix64(job ^ 0x44_594e) ^ mix64(r) ^ mix64(version) ^ mix64(bytes))
+        };
+        out.push(ChunkRef { key, bytes });
+    }
+    out
+}
+
+/// A refcounted content-addressed chunk store (one per storage tier).
+///
+/// `acquire` returns whether the chunk was *newly* stored — the caller
+/// charges transfer bytes only for those; duplicate acquisitions are the
+/// dedup hits. `release` returns the bytes freed when the last reference
+/// drops.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChunkStore {
+    entries: std::collections::BTreeMap<u64, ChunkEntry>,
+    stored_bytes: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ChunkEntry {
+    bytes: u64,
+    refs: u64,
+}
+
+impl ChunkStore {
+    /// Adds a reference to `chunk`, storing it if absent. Returns `true`
+    /// when the chunk was newly stored (bytes must be transferred).
+    pub fn acquire(&mut self, chunk: ChunkRef) -> bool {
+        match self.entries.get_mut(&chunk.key) {
+            Some(e) => {
+                e.refs += 1;
+                false
+            }
+            None => {
+                self.entries.insert(chunk.key, ChunkEntry { bytes: chunk.bytes, refs: 1 });
+                self.stored_bytes += chunk.bytes;
+                true
+            }
+        }
+    }
+
+    /// Drops a reference to `key`. Returns the bytes freed (non-zero only
+    /// when the last reference dropped). Unknown keys are ignored.
+    pub fn release(&mut self, key: u64) -> u64 {
+        let Some(e) = self.entries.get_mut(&key) else { return 0 };
+        e.refs -= 1;
+        if e.refs == 0 {
+            let bytes = e.bytes;
+            self.entries.remove(&key);
+            self.stored_bytes -= bytes;
+            bytes
+        } else {
+            0
+        }
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Physical bytes resident (each chunk counted once regardless of
+    /// reference count).
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes
+    }
+
+    /// Number of distinct chunks resident.
+    pub fn chunk_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Order-independent digest of the store's full state (keys, sizes,
+    /// refcounts, total). Used by determinism tests to compare stores
+    /// built through different interleavings.
+    pub fn digest(&self) -> u64 {
+        let mut acc = mix64(self.stored_bytes ^ 0x00D1_6E57);
+        for (key, e) in &self.entries {
+            acc = mix64(acc ^ mix64(*key) ^ mix64(e.bytes) ^ mix64(e.refs));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_total_bytes_exactly() {
+        let cfg = ChunkingConfig::default();
+        for total in [1u64, 64_000_000, 64_000_001, 4_400_000_000] {
+            let chunks = manifest_chunks(7, 2, 100, total, &cfg);
+            let sum: u64 = chunks.iter().map(|c| c.bytes).sum();
+            assert_eq!(sum, total, "chunks must tile the checkpoint");
+        }
+    }
+
+    #[test]
+    fn same_family_shares_static_chunks_different_families_do_not() {
+        let cfg = ChunkingConfig::default();
+        let a = manifest_chunks(1, 9, 500, 2_000_000_000, &cfg);
+        let b = manifest_chunks(2, 9, 500, 2_000_000_000, &cfg);
+        let c = manifest_chunks(3, 4, 500, 2_000_000_000, &cfg);
+        let keys =
+            |v: &[ChunkRef]| v.iter().map(|c| c.key).collect::<std::collections::BTreeSet<_>>();
+        let shared_ab = keys(&a).intersection(&keys(&b)).count();
+        let shared_ac = keys(&a).intersection(&keys(&c)).count();
+        assert!(
+            shared_ab > a.len() / 3,
+            "family peers share static regions: {shared_ab}/{}",
+            a.len()
+        );
+        assert_eq!(shared_ac, 0, "different families share nothing");
+    }
+
+    #[test]
+    fn consecutive_steps_overlap_heavily_distant_steps_less() {
+        let cfg = ChunkingConfig::default();
+        let keys = |step: u64| {
+            manifest_chunks(5, 1, step, 3_000_000_000, &cfg)
+                .iter()
+                .map(|c| c.key)
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        let base = keys(1000);
+        let near = base.intersection(&keys(1002)).count();
+        let far = base.intersection(&keys(1200)).count();
+        assert!(near > far, "chunk churn must grow with step distance ({near} vs {far})");
+        assert!(far * 10 >= base.len() * 5, "static floor persists even far apart");
+    }
+
+    #[test]
+    fn store_refcounts_and_dedups() {
+        let mut s = ChunkStore::default();
+        let c = ChunkRef { key: 42, bytes: 100 };
+        assert!(s.acquire(c), "first acquire stores");
+        assert!(!s.acquire(c), "second acquire dedups");
+        assert_eq!(s.stored_bytes(), 100);
+        assert_eq!(s.release(42), 0, "one ref remains");
+        assert_eq!(s.release(42), 100, "last ref frees");
+        assert_eq!(s.stored_bytes(), 0);
+        assert!(!s.contains(42));
+    }
+
+    #[test]
+    fn digest_is_order_independent_but_state_sensitive() {
+        let a1 = ChunkRef { key: 1, bytes: 10 };
+        let a2 = ChunkRef { key: 2, bytes: 20 };
+        let mut s1 = ChunkStore::default();
+        s1.acquire(a1);
+        s1.acquire(a2);
+        let mut s2 = ChunkStore::default();
+        s2.acquire(a2);
+        s2.acquire(a1);
+        assert_eq!(s1.digest(), s2.digest());
+        s2.acquire(a1);
+        assert_ne!(s1.digest(), s2.digest(), "refcounts are part of the digest");
+    }
+}

@@ -20,16 +20,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ckptplane;
 pub mod master;
 pub mod policy;
 pub mod profiler;
 pub mod replay;
 pub mod resilience;
+pub mod witness;
 
+pub use ckptplane::{CheckpointPlane, CkptPlaneConfig, PlaneStats, RestoreSource};
 pub use master::{JobMaster, MasterConfig, MasterEvent};
 pub use policy::{PolicyDecision, SchedulerPolicy};
 pub use profiler::{JobRuntimeProfile, Profiler};
-pub use replay::ReplayedJobState;
+pub use replay::{RecoveryOutcome, RecoveryPath, ReplayedJobState};
 pub use resilience::{
     BudgetLedger, FailureBudget, JobHealth, RetryDecision, RetryPolicy, RetrySupervisor,
 };
+pub use witness::{WitnessBoard, WitnessConfig, WitnessRestore};

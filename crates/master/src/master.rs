@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::policy::PolicyDecision;
 use crate::profiler::{JobRuntimeProfile, Profiler};
-use crate::replay::ReplayedJobState;
+use crate::replay::{RecoveryOutcome, RecoveryPath, ReplayedJobState};
 use crate::resilience::{BudgetLedger, FailureBudget, JobHealth};
 
 /// Master configuration knobs.
@@ -182,18 +182,22 @@ impl JobMaster {
     /// frontier resumes at the acked-sample watermark (in-flight shards at
     /// crash time re-train — the engine's bounded-rollback contract), and
     /// the live pods are re-adopted at the allocation's shape rather than
-    /// relaunched. `at` is the restart instant (crash time + restart
-    /// window); the restarted master starts with a fresh health ladder and
-    /// relaunch budget (the budgets protect the *incarnation*, and the
-    /// chaos plan's fault budget bounds incarnations).
+    /// relaunched. `crashed_at` is the crash instant and `at` the restart
+    /// instant (crash time + restart window); the gap is charged to the
+    /// returned [`RecoveryOutcome`] so replay and witness recovery report
+    /// downtime in the same units. The restarted master starts with a
+    /// fresh health ladder and relaunch budget (the budgets protect the
+    /// *incarnation*, and the chaos plan's fault budget bounds
+    /// incarnations).
     pub fn from_replay(
         job_id: u64,
         spec: TrainingJobSpec,
         allocation: ResourceAllocation,
         config: MasterConfig,
         replayed: &ReplayedJobState,
+        crashed_at: SimTime,
         at: SimTime,
-    ) -> Self {
+    ) -> (Self, RecoveryOutcome) {
         let constants = spec.constants;
         let workers = replayed.live_workers.len().max(1);
         let ps = if replayed.ps_count > 0 { replayed.ps_count } else { allocation.shape.ps }.max(1);
@@ -204,7 +208,15 @@ impl JobMaster {
             AsyncCostModel::balanced_partitions(ps, allocation.shape.ps_cpu),
             vec![(allocation.ps_mem_gb * 1e9) as u64; ps as usize],
         );
-        JobMaster {
+        let outcome = RecoveryOutcome::new(
+            RecoveryPath::MasterReplay,
+            crashed_at,
+            at,
+            replayed.samples_done,
+            replayed.checkpoint_step,
+            replayed.live_workers.len() as u32,
+        );
+        let master = JobMaster {
             job_id,
             engine,
             profiler: Profiler::new(constants, 256),
@@ -219,7 +231,8 @@ impl JobMaster {
             budget: BudgetLedger::default(),
             last_ps_recovery: None,
             telemetry: Telemetry::default(),
-        }
+        };
+        (master, outcome)
     }
 
     /// Routes this master's (and its engine's) telemetry into `sink`, and
@@ -1354,14 +1367,18 @@ mod tests {
         assert!(replayed.samples_done > 0, "acked work visible in the log");
         assert!(replayed.samples_done <= m.engine().samples_done());
         let restart_at = crash_at + SimDuration::from_secs(120);
-        let mut m2 = JobMaster::from_replay(
+        let (mut m2, recovery) = JobMaster::from_replay(
             7,
             spec,
             m.allocation(),
             MasterConfig::default(),
             &replayed,
+            crash_at,
             restart_at,
         );
+        assert_eq!(recovery.path, crate::replay::RecoveryPath::MasterReplay);
+        assert_eq!(recovery.downtime, SimDuration::from_secs(120));
+        assert_eq!(recovery.samples_done, replayed.samples_done);
         assert_eq!(m2.engine().now(), restart_at);
         assert_eq!(m2.engine().samples_done(), replayed.samples_done, "watermark adopted");
         assert_eq!(m2.engine().workers().len(), replayed.live_workers.len().max(1));

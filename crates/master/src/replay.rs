@@ -21,7 +21,68 @@
 
 use std::collections::BTreeSet;
 
+use dlrover_sim::{SimDuration, SimTime};
 use dlrover_telemetry::{Event, EventKind};
+use serde::{Deserialize, Serialize};
+
+/// Which recovery path brought a job back after a master loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecoveryPath {
+    /// Event-log replay through a restarted master (`master::replay`).
+    MasterReplay,
+    /// Witness-quorum restore from a pinned peer copy
+    /// (`master::witness`), no master on the critical path.
+    WitnessQuorum,
+}
+
+impl RecoveryPath {
+    /// Stable label used in telemetry events and experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryPath::MasterReplay => "master-replay",
+            RecoveryPath::WitnessQuorum => "witness-quorum",
+        }
+    }
+}
+
+/// Outcome of one job recovery, in the units shared by `exp resilience`
+/// and `exp ckptplane`: both paths report the same downtime measure
+/// (crash instant → training resumed), so replay-vs-witness latency
+/// comparisons are apples to apples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// Path that completed the recovery.
+    pub path: RecoveryPath,
+    /// Crash instant → training resumed (includes detection/restart,
+    /// any checkpoint-plane restore wait, and the restore read itself).
+    pub downtime: SimDuration,
+    /// Samples watermark the job resumed from.
+    pub samples_done: u64,
+    /// Checkpoint step the job resumed from.
+    pub checkpoint_step: u64,
+    /// Workers re-adopted instead of relaunched.
+    pub workers_readopted: u32,
+}
+
+impl RecoveryOutcome {
+    /// Builds an outcome from crash/resume instants.
+    pub fn new(
+        path: RecoveryPath,
+        crashed_at: SimTime,
+        resumed_at: SimTime,
+        samples_done: u64,
+        checkpoint_step: u64,
+        workers_readopted: u32,
+    ) -> Self {
+        RecoveryOutcome {
+            path,
+            downtime: resumed_at.saturating_since(crashed_at),
+            samples_done,
+            checkpoint_step,
+            workers_readopted,
+        }
+    }
+}
 
 /// Job state recovered from an event-log replay (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +113,8 @@ impl ReplayedJobState {
         for e in events {
             match &e.kind {
                 EventKind::ShardAcked { len, .. } => state.samples_done += len,
-                EventKind::CheckpointSaved { step, .. } => {
+                EventKind::CheckpointSaved { step, .. }
+                | EventKind::CheckpointStaged { step, .. } => {
                     state.checkpoint_step = state.checkpoint_step.max(*step);
                 }
                 EventKind::WorkerAdded { worker } => {
@@ -104,6 +166,39 @@ mod tests {
         assert_eq!(s.checkpoint_step, 0);
         assert!(s.live_workers.is_empty());
         assert_eq!(s.ps_count, 0);
+    }
+
+    #[test]
+    fn plane_staged_checkpoints_advance_the_watermark() {
+        let log = vec![
+            ev(0, EventKind::CheckpointSaved { step: 4, bytes: 10 }),
+            ev(
+                1,
+                EventKind::CheckpointStaged {
+                    job: 1,
+                    manifest: 0,
+                    step: 7,
+                    bytes: 10,
+                    new_bytes: 10,
+                },
+            ),
+        ];
+        assert_eq!(ReplayedJobState::from_events(&log).checkpoint_step, 7);
+    }
+
+    #[test]
+    fn recovery_outcome_measures_crash_to_resume() {
+        let out = RecoveryOutcome::new(
+            RecoveryPath::WitnessQuorum,
+            SimTime::from_secs(100),
+            SimTime::from_secs(112),
+            4096,
+            8,
+            3,
+        );
+        assert_eq!(out.downtime, SimDuration::from_secs(12));
+        assert_eq!(out.path.label(), "witness-quorum");
+        assert_eq!(RecoveryPath::MasterReplay.label(), "master-replay");
     }
 
     #[test]

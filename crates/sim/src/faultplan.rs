@@ -110,6 +110,46 @@ pub enum FaultKind {
         /// Master downtime before the replayed restart completes.
         restart: SimDuration,
     },
+    /// The remote (durable) checkpoint tier goes dark for `window`:
+    /// in-flight manifest transfers freeze where they are and any restore
+    /// that must read the remote tier waits for the outage to lift (§6.3's
+    /// durability tier is a shared cloud store, not local disk). Nothing
+    /// is killed; the fault stresses crash-consistent commit records.
+    RemoteTierOutage {
+        /// How long the remote tier is unreachable.
+        window: SimDuration,
+    },
+    /// The shared remote-tier pipe degrades: effective transfer bandwidth
+    /// divides by `factor_permille / 1000` for `window` (co-tenant surge
+    /// on the checkpoint store — §2.2's shared-cluster contention applied
+    /// to storage instead of compute).
+    BandwidthCollapse {
+        /// Bandwidth division factor, permille (`4000` = pipe runs at
+        /// 25 % of nominal; > 1000 by construction).
+        factor_permille: u32,
+        /// How long the collapse persists.
+        window: SimDuration,
+    },
+    /// Silent corruption of one committed checkpoint manifest in the
+    /// remote tier. Detected at restore time by the manifest checksum;
+    /// recovery must fall back to the previous committed manifest rather
+    /// than restore corrupt state.
+    ManifestCorruption {
+        /// Suggested manifest ordinal, newest-first (resolved modulo the
+        /// job's committed-manifest count at injection time).
+        manifest: u32,
+    },
+    /// `peers` witness peers drop out of the co-sign quorum for `window`
+    /// (network partition of the commitment protocol). While the quorum
+    /// is unavailable, master-less recovery must fall back to event-log
+    /// replay instead of trusting an unwitnessed manifest.
+    WitnessPartition {
+        /// Number of peers partitioned away (resolved modulo the witness
+        /// set at injection time).
+        peers: u32,
+        /// How long the partition lasts.
+        window: SimDuration,
+    },
 }
 
 impl FaultKind {
@@ -125,6 +165,10 @@ impl FaultKind {
             FaultKind::NetworkDelay { .. } => "NetworkDelay",
             FaultKind::DenialStorm { .. } => "DenialStorm",
             FaultKind::MasterCrash { .. } => "MasterCrash",
+            FaultKind::RemoteTierOutage { .. } => "RemoteTierOutage",
+            FaultKind::BandwidthCollapse { .. } => "BandwidthCollapse",
+            FaultKind::ManifestCorruption { .. } => "ManifestCorruption",
+            FaultKind::WitnessPartition { .. } => "WitnessPartition",
         }
     }
 
@@ -141,6 +185,10 @@ impl FaultKind {
             FaultKind::NetworkDelay { .. } => 0,
             FaultKind::DenialStorm { pods, .. } => u64::from(*pods),
             FaultKind::MasterCrash { .. } => 0,
+            FaultKind::RemoteTierOutage { .. } => 0,
+            FaultKind::BandwidthCollapse { .. } => 0,
+            FaultKind::ManifestCorruption { manifest } => u64::from(*manifest),
+            FaultKind::WitnessPartition { peers, .. } => u64::from(*peers),
         }
     }
 
@@ -152,7 +200,10 @@ impl FaultKind {
             FaultKind::MemoryPressure { window, .. }
             | FaultKind::StragglerWindow { window, .. }
             | FaultKind::NetworkDelay { window, .. }
-            | FaultKind::DenialStorm { window, .. } => *window,
+            | FaultKind::DenialStorm { window, .. }
+            | FaultKind::RemoteTierOutage { window }
+            | FaultKind::BandwidthCollapse { window, .. }
+            | FaultKind::WitnessPartition { window, .. } => *window,
             // The restart downtime is the crash's legitimate slowdown.
             FaultKind::MasterCrash { restart } => *restart,
             _ => SimDuration::ZERO,
@@ -209,6 +260,12 @@ pub struct FaultPlanConfig {
     pub max_burst_pods: u32,
     /// Largest denial-storm filler fleet, pods.
     pub max_storm_pods: u32,
+    /// Include checkpoint-plane faults (remote-tier outage, bandwidth
+    /// collapse, manifest corruption, witness partition) in generated
+    /// plans. Off by default so pre-existing suites and the learned-policy
+    /// arena keep their historical fault distribution; the chaos and
+    /// ckptplane experiments opt in.
+    pub ckpt_faults: bool,
 }
 
 impl Default for FaultPlanConfig {
@@ -223,6 +280,7 @@ impl Default for FaultPlanConfig {
             max_window: SimDuration::from_mins(6),
             max_burst_pods: 4,
             max_storm_pods: 24,
+            ckpt_faults: false,
         }
     }
 }
@@ -256,7 +314,8 @@ impl FaultPlan {
             let window = SimDuration::from_micros(
                 rng.gen_range(cfg.max_window.as_micros() / 8..=cfg.max_window.as_micros().max(1)),
             );
-            let kind = match rng.gen_range(0u32..9) {
+            let kinds = if cfg.ckpt_faults { 13 } else { 9 };
+            let kind = match rng.gen_range(0u32..kinds) {
                 0 => FaultKind::WorkerKill { worker: rng.gen_range(0..16) },
                 1 => FaultKind::PsKill { ps: rng.gen_range(0..8) },
                 2 => FaultKind::NodeLoss { node: rng.gen_range(0..64) },
@@ -285,11 +344,18 @@ impl FaultPlan {
                 },
                 // Restart downtime stays a fraction of the window bound so a
                 // crash never eats the whole recovery deadline by itself.
-                _ => FaultKind::MasterCrash {
+                8 => FaultKind::MasterCrash {
                     restart: SimDuration::from_micros(rng.gen_range(
                         cfg.max_window.as_micros() / 16..=(cfg.max_window.as_micros() / 4).max(1),
                     )),
                 },
+                9 => FaultKind::RemoteTierOutage { window },
+                10 => FaultKind::BandwidthCollapse {
+                    factor_permille: rng.gen_range(1100..=cfg.max_delay_factor_permille.max(1101)),
+                    window,
+                },
+                11 => FaultKind::ManifestCorruption { manifest: rng.gen_range(0..4) },
+                _ => FaultKind::WitnessPartition { peers: rng.gen_range(1..=2), window },
             };
             events.push(FaultEvent { at, kind });
         }
@@ -350,6 +416,27 @@ impl FaultPlan {
                 }
                 FaultKind::MasterCrash { restart } if restart.is_zero() => {
                     return Err(format!("event {i}: zero master-restart window"));
+                }
+                FaultKind::RemoteTierOutage { window } if window.is_zero() => {
+                    return Err(format!("event {i}: zero remote-outage window"));
+                }
+                FaultKind::BandwidthCollapse { factor_permille, window } => {
+                    if factor_permille <= 1000 {
+                        return Err(format!(
+                            "event {i}: collapse factor {factor_permille} must exceed 1000"
+                        ));
+                    }
+                    if window.is_zero() {
+                        return Err(format!("event {i}: zero bandwidth-collapse window"));
+                    }
+                }
+                FaultKind::WitnessPartition { peers, window } => {
+                    if peers == 0 {
+                        return Err(format!("event {i}: empty witness partition"));
+                    }
+                    if window.is_zero() {
+                        return Err(format!("event {i}: zero witness-partition window"));
+                    }
                 }
                 _ => {}
             }
@@ -479,6 +566,79 @@ mod tests {
             }],
         };
         assert!(empty_storm.validate().is_err(), "empty storm must be rejected");
+    }
+
+    #[test]
+    fn ckpt_plane_faults_validate_and_budget() {
+        let outage = FaultKind::RemoteTierOutage { window: SimDuration::from_mins(4) };
+        let collapse = FaultKind::BandwidthCollapse {
+            factor_permille: 4000,
+            window: SimDuration::from_mins(2),
+        };
+        let corrupt = FaultKind::ManifestCorruption { manifest: 1 };
+        let partition = FaultKind::WitnessPartition { peers: 2, window: SimDuration::from_mins(3) };
+        for k in [outage, collapse, corrupt, partition] {
+            assert!(!k.is_kill(), "{} kills no pods", k.name());
+        }
+        assert_eq!(outage.name(), "RemoteTierOutage");
+        assert_eq!(corrupt.window(), SimDuration::ZERO, "corruption is instantaneous");
+        let plan = FaultPlan::from_events(vec![
+            FaultEvent { at: SimTime::from_secs(10), kind: outage },
+            FaultEvent { at: SimTime::from_secs(400), kind: collapse },
+            FaultEvent { at: SimTime::from_secs(500), kind: corrupt },
+            FaultEvent { at: SimTime::from_secs(600), kind: partition },
+        ]);
+        plan.validate().expect("well-formed checkpoint-plane plan");
+        // Budget = outage + collapse + partition windows + horizon offset.
+        assert_eq!(plan.slowdown_budget(), SimDuration::from_secs(240 + 120 + 180 + 600));
+
+        let bad = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::BandwidthCollapse {
+                    factor_permille: 900,
+                    window: SimDuration::from_secs(1),
+                },
+            }],
+        };
+        assert!(bad.validate().is_err(), "sub-1000 collapse factor must be rejected");
+        let empty = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::ZERO,
+                kind: FaultKind::WitnessPartition { peers: 0, window: SimDuration::from_secs(1) },
+            }],
+        };
+        assert!(empty.validate().is_err(), "empty witness partition must be rejected");
+    }
+
+    #[test]
+    fn ckpt_faults_flag_widens_generation_without_perturbing_legacy_plans() {
+        let legacy = FaultPlanConfig { events: 64, ..FaultPlanConfig::default() };
+        let widened = FaultPlanConfig { ckpt_faults: true, ..legacy };
+        let streams = RngStreams::new(42);
+        let old = FaultPlan::generate(&legacy, &streams, 0);
+        assert!(
+            old.events.iter().all(|e| !matches!(
+                e.kind,
+                FaultKind::RemoteTierOutage { .. }
+                    | FaultKind::BandwidthCollapse { .. }
+                    | FaultKind::ManifestCorruption { .. }
+                    | FaultKind::WitnessPartition { .. }
+            )),
+            "legacy config must never draw checkpoint-plane faults"
+        );
+        let new = FaultPlan::generate(&widened, &streams, 0);
+        new.validate().expect("widened plan validates");
+        assert!(
+            new.events.iter().any(|e| matches!(
+                e.kind,
+                FaultKind::RemoteTierOutage { .. }
+                    | FaultKind::BandwidthCollapse { .. }
+                    | FaultKind::ManifestCorruption { .. }
+                    | FaultKind::WitnessPartition { .. }
+            )),
+            "64 draws over 13 kinds must include a checkpoint-plane fault"
+        );
     }
 
     #[test]

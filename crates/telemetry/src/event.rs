@@ -304,6 +304,97 @@ pub enum EventKind {
         reward_x1000: i64,
     },
 
+    // --- Checkpoint plane (master::ckptplane) ---
+    /// A checkpoint landed in the in-memory hot tier: its content chunks
+    /// are staged and its transfer to the remote tier is enqueued. The
+    /// checkpoint is NOT durable yet — only [`EventKind::CheckpointCommitted`]
+    /// makes it restorable from the remote tier.
+    CheckpointStaged {
+        /// Owning job.
+        job: u64,
+        /// Plane-assigned manifest id (unique per save).
+        manifest: u64,
+        /// Training step at the snapshot.
+        step: u64,
+        /// Logical checkpoint size in bytes.
+        bytes: u64,
+        /// Bytes actually new to the plane (after content-chunk dedup).
+        new_bytes: u64,
+    },
+    /// A manifest (and all its chunks) finished transferring to the remote
+    /// tier: the crash-consistent commit record. Restores from the remote
+    /// tier may only target committed manifests.
+    CheckpointCommitted {
+        /// Owning job.
+        job: u64,
+        /// Manifest id.
+        manifest: u64,
+        /// Training step of the committed checkpoint.
+        step: u64,
+    },
+    /// A job restored from a checkpoint manifest. `source` is the tier the
+    /// bytes came from: `"hot"` (in-memory copy), `"remote"` (committed
+    /// manifest in the durable tier), or `"witness"` (peer-pinned,
+    /// quorum-co-signed copy).
+    CheckpointRestored {
+        /// Owning job.
+        job: u64,
+        /// Manifest id restored from.
+        manifest: u64,
+        /// Training step restored to.
+        step: u64,
+        /// Bytes read for the restore.
+        bytes: u64,
+        /// Tier the restore read: `"hot"`, `"remote"`, or `"witness"`.
+        source: String,
+    },
+    /// A manifest's hot-tier copy was dropped (capacity eviction, a newer
+    /// save superseding it, or invalidation when its owner crashed). Until
+    /// its commit record lands, the manifest is unrestorable.
+    CheckpointHotEvicted {
+        /// Owning job.
+        job: u64,
+        /// Manifest id whose hot copy is gone.
+        manifest: u64,
+    },
+    /// A committed manifest was silently corrupted in the remote tier
+    /// (scripted fault). Restores must detect this via the manifest
+    /// checksum and fall back to the previous committed manifest.
+    ManifestCorrupted {
+        /// Owning job.
+        job: u64,
+        /// Corrupted manifest id.
+        manifest: u64,
+    },
+
+    // --- Witness protocol (master::witness) ---
+    /// Enough witness peers co-signed a manifest to form a commitment
+    /// quorum: the manifest is pinned peer-side and becomes a valid
+    /// master-less restore point.
+    WitnessQuorumReached {
+        /// Owning job.
+        job: u64,
+        /// Co-signed manifest id.
+        manifest: u64,
+        /// Peers whose signatures formed the quorum.
+        peers: u32,
+    },
+    /// A job's state was recovered after a master loss. `path` names the
+    /// recovery route: `"master-replay"` (event-log replay, §6) or
+    /// `"witness-quorum"` (peer-elected recoverer restoring the co-signed
+    /// manifest). Both paths report latency in the same unit so
+    /// experiments can compare them row-for-row.
+    JobRecovered {
+        /// Job id.
+        job: u64,
+        /// Stable recovery-path name.
+        path: String,
+        /// Crash-to-resume downtime in microseconds (restore included).
+        latency_us: u64,
+        /// Training step the job resumed from.
+        step: u64,
+    },
+
     // --- Chaos harness (sim::faultplan) ---
     /// The chaos driver injected one scripted fault from a
     /// [`FaultPlan`](dlrover_sim::FaultPlan). `kind` is the stable
@@ -370,6 +461,13 @@ impl EventKind {
             EventKind::PolicyRewardObserved { .. } => "PolicyRewardObserved",
             EventKind::JobStarted { .. } => "JobStarted",
             EventKind::JobCompleted { .. } => "JobCompleted",
+            EventKind::CheckpointStaged { .. } => "CheckpointStaged",
+            EventKind::CheckpointCommitted { .. } => "CheckpointCommitted",
+            EventKind::CheckpointRestored { .. } => "CheckpointRestored",
+            EventKind::CheckpointHotEvicted { .. } => "CheckpointHotEvicted",
+            EventKind::ManifestCorrupted { .. } => "ManifestCorrupted",
+            EventKind::WitnessQuorumReached { .. } => "WitnessQuorumReached",
+            EventKind::JobRecovered { .. } => "JobRecovered",
             EventKind::FaultInjected { .. } => "FaultInjected",
         }
     }
@@ -424,6 +522,32 @@ mod tests {
         assert_eq!(
             EventKind::PolicyRewardObserved { job: 0, episode: 2, reward_x1000: -17 }.name(),
             "PolicyRewardObserved"
+        );
+        assert_eq!(
+            EventKind::CheckpointStaged { job: 0, manifest: 1, step: 2, bytes: 3, new_bytes: 4 }
+                .name(),
+            "CheckpointStaged"
+        );
+        assert_eq!(
+            EventKind::CheckpointRestored {
+                job: 0,
+                manifest: 1,
+                step: 2,
+                bytes: 3,
+                source: "remote".into()
+            }
+            .name(),
+            "CheckpointRestored"
+        );
+        assert_eq!(
+            EventKind::JobRecovered {
+                job: 0,
+                path: "witness-quorum".into(),
+                latency_us: 5,
+                step: 2
+            }
+            .name(),
+            "JobRecovered"
         );
     }
 }

@@ -28,6 +28,14 @@
 //!   it never hammers the scheduler forever.
 //! * **Blacklist effectiveness** — once repeated failures blacklist a
 //!   node, no pod is ever placed there again for the rest of the run.
+//! * **Durable restore** — no job ever restores from an uncommitted
+//!   manifest: a `"remote"` restore needs a prior commit record, a
+//!   `"witness"` restore needs a prior co-sign quorum, and a `"hot"`
+//!   restore needs the staged copy still resident (not evicted or
+//!   invalidated). Corrupted manifests are never restorable.
+//! * **Restore bytes bounded** — a restore can only read bytes that were
+//!   actually written: every `CheckpointRestored` must stay within the
+//!   byte count its manifest staged.
 
 use dlrover_sim::{FaultPlan, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -104,11 +112,15 @@ pub enum Invariant {
     NoRetryStorm,
     /// Blacklisted nodes never receive another pod.
     BlacklistEffectiveness,
+    /// Restores only read committed / witnessed / resident-hot manifests.
+    DurableRestore,
+    /// Restored bytes never exceed the manifest's staged bytes.
+    RestoreBytesBounded,
 }
 
 impl Invariant {
     /// All invariants, in reporting order.
-    pub const ALL: [Invariant; 8] = [
+    pub const ALL: [Invariant; 10] = [
         Invariant::ExactlyOnce,
         Invariant::NoLeaks,
         Invariant::CheckpointMonotonic,
@@ -117,6 +129,8 @@ impl Invariant {
         Invariant::RecoveryDeadline,
         Invariant::NoRetryStorm,
         Invariant::BlacklistEffectiveness,
+        Invariant::DurableRestore,
+        Invariant::RestoreBytesBounded,
     ];
 
     /// Stable short name, used as the JSON key in `results/chaos.json`.
@@ -130,6 +144,8 @@ impl Invariant {
             Invariant::RecoveryDeadline => "recovery_deadline",
             Invariant::NoRetryStorm => "no_retry_storm",
             Invariant::BlacklistEffectiveness => "blacklist_effectiveness",
+            Invariant::DurableRestore => "durable_restore",
+            Invariant::RestoreBytesBounded => "restore_bytes_bounded",
         }
     }
 }
@@ -206,8 +222,92 @@ impl Oracle {
         checks.push(recovery_check);
         checks.push(self.check_no_retry_storm(events));
         checks.push(self.check_blacklist_effectiveness(events));
+        let (durable, bytes_bounded) = Self::check_durability(events);
+        checks.push(durable);
+        checks.push(bytes_bounded);
         let worst_recovery_us = recovery_latencies_us.iter().copied().max();
         OracleReport { checks, recovery_latencies_us, worst_recovery_us, oom_reactions_us }
+    }
+
+    /// The two checkpoint-plane durability invariants on their own, so
+    /// drivers without a full [`GroundTruth`] (e.g. the ckptplane fleet
+    /// experiment) can audit an event log.
+    ///
+    /// The audit is log-ordered: a restore is only as legitimate as the
+    /// commit/quorum/stage records that *precede* it in the stream, so
+    /// drivers must drain plane transfers (recording commit events) before
+    /// recording the restores that depend on them.
+    pub fn check_durability(events: &[Event]) -> (InvariantCheck, InvariantCheck) {
+        use std::collections::{BTreeMap, BTreeSet};
+        let mut staged_bytes: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+        let mut committed: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut witnessed: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut hot_dead: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut corrupted: BTreeSet<(u64, u64)> = BTreeSet::new();
+        let mut durable_violations = Vec::new();
+        let mut bytes_violations = Vec::new();
+        for e in events {
+            match &e.kind {
+                EventKind::CheckpointStaged { job, manifest, bytes, .. } => {
+                    staged_bytes.insert((*job, *manifest), *bytes);
+                }
+                EventKind::CheckpointCommitted { job, manifest, .. } => {
+                    committed.insert((*job, *manifest));
+                }
+                EventKind::WitnessQuorumReached { job, manifest, .. } => {
+                    witnessed.insert((*job, *manifest));
+                }
+                EventKind::CheckpointHotEvicted { job, manifest } => {
+                    hot_dead.insert((*job, *manifest));
+                }
+                EventKind::ManifestCorrupted { job, manifest } => {
+                    corrupted.insert((*job, *manifest));
+                }
+                EventKind::CheckpointRestored { job, manifest, bytes, source, .. } => {
+                    let key = (*job, *manifest);
+                    let legitimate = match source.as_str() {
+                        "hot" => {
+                            staged_bytes.contains_key(&key)
+                                && !hot_dead.contains(&key)
+                                && !corrupted.contains(&key)
+                        }
+                        "remote" => committed.contains(&key) && !corrupted.contains(&key),
+                        "witness" => witnessed.contains(&key),
+                        _ => false,
+                    };
+                    if !legitimate {
+                        durable_violations.push(format!(
+                            "job {job} restored manifest {manifest} from {source} at t={}s \
+                             without a matching commit/quorum/stage record",
+                            e.at().as_secs_f64()
+                        ));
+                    }
+                    match staged_bytes.get(&key) {
+                        Some(written) if *bytes <= *written => {}
+                        Some(written) => bytes_violations.push(format!(
+                            "job {job} restored {bytes} bytes of manifest {manifest}, which \
+                             staged only {written}"
+                        )),
+                        None => bytes_violations.push(format!(
+                            "job {job} restored {bytes} bytes of never-staged manifest {manifest}"
+                        )),
+                    }
+                }
+                _ => {}
+            }
+        }
+        (
+            InvariantCheck {
+                invariant: Invariant::DurableRestore,
+                passed: durable_violations.is_empty(),
+                violations: durable_violations,
+            },
+            InvariantCheck {
+                invariant: Invariant::RestoreBytesBounded,
+                passed: bytes_violations.is_empty(),
+                violations: bytes_violations,
+            },
+        )
     }
 
     /// §6.1: dynamic sharding must account every sample exactly once.
@@ -373,6 +473,34 @@ impl Oracle {
                 || kind == "WorkerKill"
                 || kind == "NodeLoss"
                 || kind == "PreemptionBurst";
+            // A master crash kills no pods, but the job must still come
+            // back — via replay or witness quorum — within the deadline,
+            // even when a remote-tier outage stalls the restore read (the
+            // outage windows are bounded well under the deadline).
+            if kind == "MasterCrash" {
+                let recovered = events[i + 1..].iter().find(|f| {
+                    matches!(
+                        f.kind,
+                        EventKind::MasterRestarted { .. } | EventKind::JobRecovered { .. }
+                    )
+                });
+                let waived = truth
+                    .completed_at
+                    .map(|done| done.as_micros() <= e.at_us + deadline)
+                    .unwrap_or(false);
+                match recovered {
+                    Some(f) if f.at_us.saturating_sub(e.at_us) <= deadline => {
+                        latencies.push(f.at_us.saturating_sub(e.at_us));
+                    }
+                    _ if waived => {}
+                    _ => violations.push(format!(
+                        "fault {fault} (MasterCrash) at t={}s: no recovery within {}s",
+                        e.at().as_secs_f64(),
+                        self.config.recovery_deadline.as_secs_f64()
+                    )),
+                }
+                continue;
+            }
             if !is_kill {
                 continue;
             }
@@ -684,6 +812,208 @@ mod tests {
             .unwrap();
         assert!(!ck.passed);
         assert!(ck.violations[0].contains("node 7"));
+    }
+
+    #[test]
+    fn uncommitted_restore_is_flagged_and_committed_passes() {
+        // Staged but never committed: a "remote" restore is a violation.
+        let bad = vec![
+            ev(
+                10,
+                0,
+                EventKind::CheckpointStaged {
+                    job: 0,
+                    manifest: 1,
+                    step: 5,
+                    bytes: 100,
+                    new_bytes: 100,
+                },
+            ),
+            ev(
+                50,
+                1,
+                EventKind::CheckpointRestored {
+                    job: 0,
+                    manifest: 1,
+                    step: 5,
+                    bytes: 100,
+                    source: "remote".into(),
+                },
+            ),
+        ];
+        let (durable, bytes_ok) = Oracle::check_durability(&bad);
+        assert!(!durable.passed, "restore before the commit record must be flagged");
+        assert!(bytes_ok.passed, "the byte bound itself holds");
+
+        // Commit first, restore after: legitimate.
+        let good = vec![
+            ev(
+                10,
+                0,
+                EventKind::CheckpointStaged {
+                    job: 0,
+                    manifest: 1,
+                    step: 5,
+                    bytes: 100,
+                    new_bytes: 100,
+                },
+            ),
+            ev(40, 1, EventKind::CheckpointCommitted { job: 0, manifest: 1, step: 5 }),
+            ev(
+                50,
+                2,
+                EventKind::CheckpointRestored {
+                    job: 0,
+                    manifest: 1,
+                    step: 5,
+                    bytes: 100,
+                    source: "remote".into(),
+                },
+            ),
+        ];
+        let (durable, bytes_ok) = Oracle::check_durability(&good);
+        assert!(durable.passed, "{:?}", durable.violations);
+        assert!(bytes_ok.passed);
+    }
+
+    #[test]
+    fn hot_witness_and_corruption_rules() {
+        // Hot restore after eviction is a violation; witness restore needs
+        // a quorum record; a corrupted manifest is never restorable.
+        let events = vec![
+            ev(
+                10,
+                0,
+                EventKind::CheckpointStaged {
+                    job: 1,
+                    manifest: 7,
+                    step: 3,
+                    bytes: 64,
+                    new_bytes: 64,
+                },
+            ),
+            ev(15, 1, EventKind::CheckpointHotEvicted { job: 1, manifest: 7 }),
+            ev(
+                20,
+                2,
+                EventKind::CheckpointRestored {
+                    job: 1,
+                    manifest: 7,
+                    step: 3,
+                    bytes: 64,
+                    source: "hot".into(),
+                },
+            ),
+            ev(30, 3, EventKind::WitnessQuorumReached { job: 2, manifest: 9, peers: 3 }),
+            ev(
+                35,
+                4,
+                EventKind::CheckpointRestored {
+                    job: 2,
+                    manifest: 9,
+                    step: 1,
+                    bytes: 10,
+                    source: "witness".into(),
+                },
+            ),
+            ev(40, 5, EventKind::CheckpointCommitted { job: 3, manifest: 11, step: 2 }),
+            ev(41, 6, EventKind::ManifestCorrupted { job: 3, manifest: 11 }),
+            ev(
+                45,
+                7,
+                EventKind::CheckpointRestored {
+                    job: 3,
+                    manifest: 11,
+                    step: 2,
+                    bytes: 5,
+                    source: "remote".into(),
+                },
+            ),
+        ];
+        let (durable, _) = Oracle::check_durability(&events);
+        assert!(!durable.passed);
+        assert_eq!(durable.violations.len(), 2, "{:?}", durable.violations);
+        assert!(durable.violations[0].contains("manifest 7"), "evicted-hot restore flagged");
+        assert!(durable.violations[1].contains("manifest 11"), "corrupted restore flagged");
+    }
+
+    #[test]
+    fn restore_bytes_exceeding_staged_are_flagged() {
+        let events = vec![
+            ev(
+                10,
+                0,
+                EventKind::CheckpointStaged {
+                    job: 0,
+                    manifest: 1,
+                    step: 5,
+                    bytes: 100,
+                    new_bytes: 40,
+                },
+            ),
+            ev(20, 1, EventKind::CheckpointCommitted { job: 0, manifest: 1, step: 5 }),
+            ev(
+                30,
+                2,
+                EventKind::CheckpointRestored {
+                    job: 0,
+                    manifest: 1,
+                    step: 5,
+                    bytes: 150,
+                    source: "remote".into(),
+                },
+            ),
+        ];
+        let (_, bytes_ok) = Oracle::check_durability(&events);
+        assert!(!bytes_ok.passed);
+        assert!(bytes_ok.violations[0].contains("staged only 100"));
+        // And the full check() surfaces both durability invariants.
+        let report = Oracle::default().check(&FaultPlan::default(), &events, &clean_truth());
+        assert_eq!(report.checks.len(), Invariant::ALL.len());
+        let rb =
+            report.checks.iter().find(|c| c.invariant == Invariant::RestoreBytesBounded).unwrap();
+        assert!(!rb.passed);
+    }
+
+    #[test]
+    fn master_crash_needs_recovery_within_deadline() {
+        let crash_plan = FaultPlan::from_events(vec![FaultEvent {
+            at: SimTime::from_secs(100),
+            kind: FaultKind::MasterCrash { restart: SimDuration::from_secs(60) },
+        }]);
+        // Recovered (witness path) 90s later: latency recorded.
+        let good = vec![
+            ev(
+                100,
+                0,
+                EventKind::FaultInjected { fault: 0, kind: "MasterCrash".into(), target: 0 },
+            ),
+            ev(
+                190,
+                1,
+                EventKind::JobRecovered {
+                    job: 0,
+                    path: "witness-quorum".into(),
+                    latency_us: 90_000_000,
+                    step: 4,
+                },
+            ),
+        ];
+        let truth = GroundTruth { completed_at: Some(SimTime::from_secs(36_000)), ..clean_truth() };
+        let report = Oracle::default().check(&crash_plan, &good, &truth);
+        let ck = report.checks.iter().find(|c| c.invariant == Invariant::RecoveryDeadline).unwrap();
+        assert!(ck.passed, "{:?}", ck.violations);
+        assert!(report.recovery_latencies_us.contains(&90_000_000));
+
+        // No restart signal at all and the job dragged on: violation.
+        let bad = vec![ev(
+            100,
+            0,
+            EventKind::FaultInjected { fault: 0, kind: "MasterCrash".into(), target: 0 },
+        )];
+        let report = Oracle::default().check(&crash_plan, &bad, &truth);
+        let ck = report.checks.iter().find(|c| c.invariant == Invariant::RecoveryDeadline).unwrap();
+        assert!(!ck.passed);
     }
 
     #[test]
