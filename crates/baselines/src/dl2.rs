@@ -24,8 +24,9 @@
 //! tournament experiment measures.
 
 use dlrover_dlrm::mlp::Mlp;
-use dlrover_master::{JobRuntimeProfile, PolicyDecision, SchedulerPolicy};
+use dlrover_master::{JobRuntimeProfile, PolicyDecision, ReconfigRequest, SchedulerPolicy};
 use dlrover_optimizer::{PlanSearchSpace, ResourceAllocation};
+use dlrover_perfmodel::{ExecPlan, GradientMode};
 use dlrover_pstrain::MigrationStrategy;
 use dlrover_sim::{RngStreams, SimTime, StreamRng};
 use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
@@ -33,8 +34,14 @@ use rand::RngCore;
 
 /// Number of state features the policy network sees.
 const FEATURES: usize = 8;
-/// The fixed action vocabulary: noop, worker ±1, PS ±1.
+/// The base action vocabulary: noop, worker ±1, PS ±1.
 const ACTIONS: usize = 5;
+/// Extra plan actions behind [`Dl2Config::reconfig_actions`]: gradient-mode
+/// toggle, PS replicas ±1. The widened head is `ACTIONS + RECONFIG_ACTIONS`.
+const RECONFIG_ACTIONS: usize = 3;
+/// Replica ceiling for the learned policies' replica-step actions (matches
+/// [`dlrover_optimizer::ReconfigSpace::default`]'s `max_replicas`).
+const MAX_REPLICAS: u32 = 3;
 
 /// DL2 hyper-parameters. The defaults are tuned for the tournament's
 /// smoke configuration (a handful of episodes over a 20k-step job).
@@ -54,6 +61,12 @@ pub struct Dl2Config {
     pub temperature_decay: f64,
     /// Temperature floor.
     pub min_temperature: f64,
+    /// Widen the action head with execution-plan actions (gradient-mode
+    /// toggle, PS replicas ±1). `false` (the default) keeps the 5-action
+    /// head and the `"dl2-exploration"` stream trajectory byte-identical to
+    /// the pre-reconfiguration policy — the tournament's golden digests
+    /// are the regression test for that.
+    pub reconfig_actions: bool,
 }
 
 impl Default for Dl2Config {
@@ -66,6 +79,7 @@ impl Default for Dl2Config {
             temperature: 1.5,
             temperature_decay: 0.8,
             min_temperature: 0.1,
+            reconfig_actions: false,
         }
     }
 }
@@ -95,6 +109,11 @@ pub struct Dl2Policy {
     /// raise the bar as exploration finds better shapes and mask learning
     /// progress in the episode-reward curve).
     reward_scale: f64,
+    /// Width of the action head (5, or 8 with `reconfig_actions`).
+    n_actions: usize,
+    /// The execution plan the job currently runs under (plan actions step
+    /// it; always the default while `reconfig_actions` is off).
+    exec: ExecPlan,
     /// The last sampled action, waiting for its reward.
     pending: Option<(SimTime, [f32; FEATURES], usize)>,
     /// Completed steps of the current episode.
@@ -117,17 +136,20 @@ impl Dl2Policy {
         cfg: Dl2Config,
     ) -> Self {
         let mlp_seed = streams.stream("dl2-init").next_u64();
+        let n_actions = if cfg.reconfig_actions { ACTIONS + RECONFIG_ACTIONS } else { ACTIONS };
         Dl2Policy {
             cfg,
             space,
             initial,
             current: initial,
-            mlp: Mlp::new(&[FEATURES, cfg.hidden.max(2), ACTIONS], mlp_seed),
+            mlp: Mlp::new(&[FEATURES, cfg.hidden.max(2), n_actions], mlp_seed),
             explore: streams.stream("dl2-exploration"),
             temperature: cfg.temperature,
             baseline: 0.0,
             baseline_ready: false,
             reward_scale: 0.0,
+            n_actions,
+            exec: ExecPlan::default(),
             pending: None,
             steps: Vec::new(),
             episode: 0,
@@ -205,17 +227,19 @@ impl Dl2Policy {
         ]
     }
 
-    /// Softmax with temperature over the policy head's logits.
-    fn action_probs(&self, features: &[f32; FEATURES]) -> [f64; ACTIONS] {
+    /// Softmax with temperature over the policy head's logits (5- or
+    /// 8-wide depending on `reconfig_actions`; the arithmetic order is
+    /// unchanged, so the 5-wide path replays the legacy floats exactly).
+    fn action_probs(&self, features: &[f32; FEATURES]) -> Vec<f64> {
         let trace = self.mlp.forward(features);
         let out = trace.output();
         let t = self.temperature.max(self.cfg.min_temperature);
-        let mut scaled = [0.0f64; ACTIONS];
+        let mut scaled = vec![0.0f64; self.n_actions];
         for (s, &o) in scaled.iter_mut().zip(out) {
             *s = f64::from(o) / t;
         }
         let max = scaled.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        let mut probs = [0.0f64; ACTIONS];
+        let mut probs = vec![0.0f64; self.n_actions];
         let mut sum = 0.0;
         for (p, &s) in probs.iter_mut().zip(&scaled) {
             *p = (s - max).exp();
@@ -228,7 +252,7 @@ impl Dl2Policy {
     }
 
     /// Deterministic categorical draw from the exploration stream.
-    fn sample(&mut self, probs: &[f64; ACTIONS]) -> usize {
+    fn sample(&mut self, probs: &[f64]) -> usize {
         let u = (self.explore.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         let mut acc = 0.0;
         for (i, &p) in probs.iter().enumerate() {
@@ -237,7 +261,7 @@ impl Dl2Policy {
                 return i;
             }
         }
-        ACTIONS - 1
+        probs.len() - 1
     }
 
     /// Applies action `a` to the current shape, clamped to the search
@@ -254,6 +278,25 @@ impl Dl2Policy {
             _ => {}
         }
         alloc
+    }
+
+    /// Applies a plan action (5..8, only reachable with `reconfig_actions`)
+    /// to the job's current execution plan, clamping the replica factor
+    /// into `[1, MAX_REPLICAS]`.
+    fn apply_reconfig_action(&self, a: usize) -> ExecPlan {
+        let mut exec = self.exec;
+        match a {
+            5 => {
+                exec.gradient_mode = match exec.gradient_mode {
+                    GradientMode::Async => GradientMode::Sync,
+                    GradientMode::Sync => GradientMode::Async,
+                };
+            }
+            6 => exec.ps_replicas = exec.ps_replicas.max(1).saturating_add(1).min(MAX_REPLICAS),
+            7 => exec.ps_replicas = exec.ps_replicas.max(1).saturating_sub(1).max(1),
+            _ => {}
+        }
+        exec
     }
 
     /// Banks the reward for the pending action using the newly observed
@@ -369,6 +412,7 @@ impl SchedulerPolicy for Dl2Policy {
         // A new rollout starts from the user's request; learning state
         // (network, baseline, reward scale, temperature) carries over.
         self.current = self.initial;
+        self.exec = ExecPlan::default();
         self.pending = None;
         self.episode_span = None;
         self.initial
@@ -396,6 +440,34 @@ impl SchedulerPolicy for Dl2Policy {
         let action = self.sample(&probs);
         self.pending = Some((profile.at, features, action));
 
+        if action >= ACTIONS {
+            // Plan action (flag-gated): the allocation holds its shape and
+            // the change rides the seamless window machinery — the only
+            // path the job master applies reconfigurations on.
+            let target_exec = self.apply_reconfig_action(action);
+            if let Some(t) = &self.telemetry {
+                t.record(
+                    profile.at,
+                    EventKind::PolicyDecisionMade {
+                        job: profile.job_id,
+                        policy: "dl2".to_string(),
+                        action: action as u32,
+                        workers: self.current.shape.workers,
+                        ps: self.current.shape.ps,
+                    },
+                );
+            }
+            if target_exec == self.exec {
+                return None; // clamped (e.g. replicas already at the floor)
+            }
+            self.exec = target_exec;
+            return Some(PolicyDecision {
+                allocation: self.current,
+                strategy: MigrationStrategy::Seamless,
+                reconfig: Some(ReconfigRequest { target: target_exec, relayout: false }),
+            });
+        }
+
         let target = self.apply_action(action);
         if let Some(t) = &self.telemetry {
             t.record(
@@ -418,6 +490,7 @@ impl SchedulerPolicy for Dl2Policy {
             // DL2 has no seamless-migration path: every transition
             // checkpoints and restarts, like ES/Optimus.
             strategy: MigrationStrategy::StopAndRestart,
+            reconfig: None,
         })
     }
 }
@@ -446,6 +519,8 @@ mod tests {
             }),
             ps_memory_used: 10,
             ps_memory_alloc: 100,
+            exec: dlrover_perfmodel::ExecPlan::default(),
+            degraded: false,
         }
     }
 
@@ -537,6 +612,44 @@ mod tests {
         let early = (r[0] + r[1]) / 2.0;
         let late = (r[r.len() - 2] + r[r.len() - 1]) / 2.0;
         assert!(late > early, "no learning progress: early {early:.4} late {late:.4} ({r:?})");
+    }
+
+    #[test]
+    fn reconfig_actions_off_by_default_and_fire_when_enabled() {
+        // Off: no decision ever carries a reconfig request (the tournament
+        // golden digests additionally pin the exact flag-off trajectory).
+        let streams = RngStreams::new(9);
+        let mut p = Dl2Policy::new(start(), space(), &streams, Dl2Config::default());
+        let mut alloc = p.initial_allocation();
+        for i in 0..40 {
+            if let Some(d) = p.adjust(&profile(&alloc, 180 * (i + 1), 1_000_000)) {
+                assert!(d.reconfig.is_none(), "flag-off must never reconfigure");
+                alloc = d.allocation;
+            }
+        }
+        // On: the widened head samples a plan action sooner or later, and
+        // plan-only decisions hold the allocation and ride Seamless.
+        let streams = RngStreams::new(9);
+        let cfg = Dl2Config { reconfig_actions: true, ..Dl2Config::default() };
+        let mut p = Dl2Policy::new(start(), space(), &streams, cfg);
+        let mut saw = 0;
+        for _ in 0..4 {
+            let mut alloc = p.initial_allocation();
+            for i in 0..40 {
+                if let Some(d) = p.adjust(&profile(&alloc, 180 * (i + 1), 1_000_000)) {
+                    if let Some(req) = d.reconfig {
+                        saw += 1;
+                        assert_eq!(d.strategy, MigrationStrategy::Seamless);
+                        assert_eq!(d.allocation.shape, alloc.shape, "plan-only decision");
+                        assert!((1..=3).contains(&req.target.ps_replicas));
+                    } else {
+                        alloc = d.allocation;
+                    }
+                }
+            }
+            p.end_episode();
+        }
+        assert!(saw > 0, "widened action space never sampled a plan action");
     }
 
     #[test]

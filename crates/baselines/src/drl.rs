@@ -12,8 +12,9 @@
 //! bit-reproducible. Like DL2/ES/Optimus — and unlike DLRover-RM — every
 //! applied action is a stop-and-restart transition.
 
-use dlrover_master::{JobRuntimeProfile, PolicyDecision, SchedulerPolicy};
+use dlrover_master::{JobRuntimeProfile, PolicyDecision, ReconfigRequest, SchedulerPolicy};
 use dlrover_optimizer::{PlanSearchSpace, ResourceAllocation};
+use dlrover_perfmodel::{ExecPlan, GradientMode};
 use dlrover_pstrain::MigrationStrategy;
 use dlrover_sim::{RngStreams, SimTime, StreamRng};
 use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
@@ -26,8 +27,15 @@ const WORKER_BUCKETS: usize = 4;
 const PS_BUCKETS: usize = 4;
 const MEM_BUCKETS: usize = 2;
 const STATES: usize = WORKER_BUCKETS * PS_BUCKETS * MEM_BUCKETS;
-/// The fixed action vocabulary: noop, worker ±1, PS ±1 (same as DL2).
+/// The base action vocabulary: noop, worker ±1, PS ±1 (same as DL2).
 const ACTIONS: usize = 5;
+/// Widened vocabulary with [`DrlConfig::reconfig_actions`]: gradient-mode
+/// toggle, PS replicas ±1. Q rows are allocated at this width; the unused
+/// tail stays at the optimism constant while the flag is off.
+const MAX_ACTIONS: usize = 8;
+/// Replica ceiling for the replica-step actions (matches
+/// [`dlrover_optimizer::ReconfigSpace::default`]'s `max_replicas`).
+const MAX_REPLICAS: u32 = 3;
 
 /// DRL hyper-parameters, tuned for the tournament's smoke configuration.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +55,14 @@ pub struct DrlConfig {
     /// them — the classic tabular cure for first-max tie-breaking locking
     /// onto the noop action.
     pub optimism: f64,
+    /// Widen the action vocabulary with execution-plan actions
+    /// (gradient-mode toggle, PS replicas ±1). `false` (the default)
+    /// keeps the 5-action table walk and the `"drl-exploration"` stream
+    /// trajectory byte-identical to the pre-reconfiguration policy — the
+    /// tournament's golden digests pin that. The execution plan is *not*
+    /// part of the state grid: the table must stay learnable within the
+    /// tournament's episode budget.
+    pub reconfig_actions: bool,
 }
 
 impl Default for DrlConfig {
@@ -58,6 +74,7 @@ impl Default for DrlConfig {
             epsilon_decay: 0.5,
             min_epsilon: 0.02,
             optimism: 2.5,
+            reconfig_actions: false,
         }
     }
 }
@@ -68,7 +85,13 @@ pub struct DrlPolicy {
     space: PlanSearchSpace,
     initial: ResourceAllocation,
     current: ResourceAllocation,
-    q: Vec<[f64; ACTIONS]>,
+    q: Vec<[f64; MAX_ACTIONS]>,
+    /// Live width of the action vocabulary (5, or 8 with
+    /// `reconfig_actions`); `greedy`/`sample_action` never index past it.
+    n_actions: usize,
+    /// The execution plan the job currently runs under (plan actions step
+    /// it; always the default while `reconfig_actions` is off).
+    exec: ExecPlan,
     explore: StreamRng,
     epsilon: f64,
     /// Reward normaliser: the *first* observed throughput-per-core, frozen
@@ -99,7 +122,9 @@ impl DrlPolicy {
             space,
             initial,
             current: initial,
-            q: vec![[cfg.optimism; ACTIONS]; STATES],
+            q: vec![[cfg.optimism; MAX_ACTIONS]; STATES],
+            n_actions: if cfg.reconfig_actions { MAX_ACTIONS } else { ACTIONS },
+            exec: ExecPlan::default(),
             explore: streams.stream("drl-exploration"),
             epsilon: cfg.epsilon,
             reward_scale: 0.0,
@@ -158,11 +183,12 @@ impl DrlPolicy {
         (w * PS_BUCKETS + p) * MEM_BUCKETS + m
     }
 
-    /// Deterministic argmax with first-max tie-breaking.
+    /// Deterministic argmax with first-max tie-breaking over the live
+    /// vocabulary width.
     fn greedy(&self, state: usize) -> usize {
         let row = &self.q[state];
         let mut best = 0usize;
-        for (a, &v) in row.iter().enumerate() {
+        for (a, &v) in row.iter().take(self.n_actions).enumerate() {
             if v > row[best] {
                 best = a;
             }
@@ -176,7 +202,7 @@ impl DrlPolicy {
     fn sample_action(&mut self, state: usize) -> usize {
         let u = (self.explore.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
         if u < self.epsilon {
-            (self.explore.next_u64() % ACTIONS as u64) as usize
+            (self.explore.next_u64() % self.n_actions as u64) as usize
         } else {
             self.greedy(state)
         }
@@ -195,6 +221,25 @@ impl DrlPolicy {
             _ => {}
         }
         alloc
+    }
+
+    /// Applies a plan action (5..8, only reachable with `reconfig_actions`)
+    /// to the job's current execution plan, clamping the replica factor
+    /// into `[1, MAX_REPLICAS]` (same vocabulary as DL2).
+    fn apply_reconfig_action(&self, a: usize) -> ExecPlan {
+        let mut exec = self.exec;
+        match a {
+            5 => {
+                exec.gradient_mode = match exec.gradient_mode {
+                    GradientMode::Async => GradientMode::Sync,
+                    GradientMode::Sync => GradientMode::Async,
+                };
+            }
+            6 => exec.ps_replicas = exec.ps_replicas.max(1).saturating_add(1).min(MAX_REPLICAS),
+            7 => exec.ps_replicas = exec.ps_replicas.max(1).saturating_sub(1).max(1),
+            _ => {}
+        }
+        exec
     }
 
     /// Ends a training episode: records its mean reward, emits the
@@ -246,6 +291,7 @@ impl SchedulerPolicy for DrlPolicy {
         // A new rollout starts from the user's request; the Q table, ε,
         // and reward normaliser carry over between episodes.
         self.current = self.initial;
+        self.exec = ExecPlan::default();
         self.pending = None;
         self.episode_span = None;
         self.initial
@@ -290,6 +336,34 @@ impl SchedulerPolicy for DrlPolicy {
         let action = self.sample_action(state);
         self.pending = Some((state, action));
 
+        if action >= ACTIONS {
+            // Plan action (flag-gated): the allocation holds its shape and
+            // the change rides the seamless window machinery — the only
+            // path the job master applies reconfigurations on.
+            let target_exec = self.apply_reconfig_action(action);
+            if let Some(t) = &self.telemetry {
+                t.record(
+                    profile.at,
+                    EventKind::PolicyDecisionMade {
+                        job: profile.job_id,
+                        policy: "drl".to_string(),
+                        action: action as u32,
+                        workers: self.current.shape.workers,
+                        ps: self.current.shape.ps,
+                    },
+                );
+            }
+            if target_exec == self.exec {
+                return None; // clamped (e.g. replicas already at the floor)
+            }
+            self.exec = target_exec;
+            return Some(PolicyDecision {
+                allocation: self.current,
+                strategy: MigrationStrategy::Seamless,
+                reconfig: Some(ReconfigRequest { target: target_exec, relayout: false }),
+            });
+        }
+
         let target = self.apply_action(action);
         if let Some(t) = &self.telemetry {
             t.record(
@@ -311,6 +385,7 @@ impl SchedulerPolicy for DrlPolicy {
             allocation: target,
             // Like ES/Optimus/DL2: no seamless-migration machinery.
             strategy: MigrationStrategy::StopAndRestart,
+            reconfig: None,
         })
     }
 }
@@ -339,6 +414,8 @@ mod tests {
             }),
             ps_memory_used: 10,
             ps_memory_alloc: 100,
+            exec: dlrover_perfmodel::ExecPlan::default(),
+            degraded: false,
         }
     }
 
@@ -424,6 +501,43 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, EventKind::PolicyRewardObserved { episode: 0, .. })));
+    }
+
+    #[test]
+    fn reconfig_actions_off_by_default_and_fire_when_enabled() {
+        // Off: no decision ever carries a reconfig request.
+        let streams = RngStreams::new(9);
+        let mut p = DrlPolicy::new(start(), space(), &streams, DrlConfig::default());
+        let mut alloc = p.initial_allocation();
+        for i in 0..40 {
+            if let Some(d) = p.adjust(&profile(&alloc, 180 * (i + 1))) {
+                assert!(d.reconfig.is_none(), "flag-off must never reconfigure");
+                alloc = d.allocation;
+            }
+        }
+        // On: optimistic initialisation makes the widened vocabulary get
+        // tried; plan-only decisions hold the allocation and ride Seamless.
+        let streams = RngStreams::new(9);
+        let cfg = DrlConfig { reconfig_actions: true, ..DrlConfig::default() };
+        let mut p = DrlPolicy::new(start(), space(), &streams, cfg);
+        let mut saw = 0;
+        for _ in 0..4 {
+            let mut alloc = p.initial_allocation();
+            for i in 0..40 {
+                if let Some(d) = p.adjust(&profile(&alloc, 180 * (i + 1))) {
+                    if let Some(req) = d.reconfig {
+                        saw += 1;
+                        assert_eq!(d.strategy, MigrationStrategy::Seamless);
+                        assert_eq!(d.allocation.shape, alloc.shape, "plan-only decision");
+                        assert!((1..=3).contains(&req.target.ps_replicas));
+                    } else {
+                        alloc = d.allocation;
+                    }
+                }
+            }
+            p.end_episode();
+        }
+        assert!(saw > 0, "widened action vocabulary never sampled a plan action");
     }
 
     #[test]

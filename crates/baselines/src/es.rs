@@ -102,6 +102,7 @@ impl SchedulerPolicy for EsPolicy {
             allocation: target,
             // ES restarts the job on every membership change.
             strategy: MigrationStrategy::StopAndRestart,
+            reconfig: None,
         })
     }
 }
@@ -131,6 +132,8 @@ mod tests {
             }),
             ps_memory_used: 1,
             ps_memory_alloc: 100,
+            exec: dlrover_perfmodel::ExecPlan::default(),
+            degraded: false,
         }
     }
 

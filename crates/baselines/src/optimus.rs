@@ -109,6 +109,7 @@ impl SchedulerPolicy for OptimusPolicy {
                 return Some(PolicyDecision {
                     allocation: next,
                     strategy: MigrationStrategy::StopAndRestart,
+                    reconfig: None,
                 });
             }
             self.warmup_done = true;
@@ -129,7 +130,11 @@ impl SchedulerPolicy for OptimusPolicy {
             return None;
         }
         self.current = best.1;
-        Some(PolicyDecision { allocation: best.1, strategy: MigrationStrategy::StopAndRestart })
+        Some(PolicyDecision {
+            allocation: best.1,
+            strategy: MigrationStrategy::StopAndRestart,
+            reconfig: None,
+        })
     }
 }
 
@@ -156,6 +161,8 @@ mod tests {
             }),
             ps_memory_used: 1,
             ps_memory_alloc: 100,
+            exec: dlrover_perfmodel::ExecPlan::default(),
+            degraded: false,
         }
     }
 

@@ -51,6 +51,8 @@ mod tests {
             observation: None,
             ps_memory_used: u64::MAX / 2, // even near-OOM: no reaction
             ps_memory_alloc: u64::MAX / 2 + 1,
+            exec: dlrover_perfmodel::ExecPlan::default(),
+            degraded: false,
         };
         for _ in 0..10 {
             assert!(p.adjust(&profile).is_none());

@@ -31,6 +31,7 @@ fn usage() -> ! {
     eprintln!("       exp chaos [--seed N] [--plans K]");
     eprintln!("       exp ckptplane [--seed N]");
     eprintln!("       exp tournament [--seed N] [--plans K] [--episodes E]");
+    eprintln!("       exp reconfig [--seed N] [--plans K]");
     eprintln!("       exp trace [--filter KINDS] <id|trace.jsonl>");
     eprintln!("       exp trace --diff <left.jsonl> <right.jsonl>");
     eprintln!("       exp trace --chrome <id|spans.jsonl>");
@@ -300,6 +301,34 @@ fn tournament_command(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `exp reconfig --seed N --plans K`: run the execution-plan
+/// reconfiguration ablation (off vs on, clean + K chaos plans per arm)
+/// and exit non-zero if any oracle invariant — including the
+/// reconfig-consistency invariant — was violated (the CI smoke gate).
+/// Writes `results/reconfig.json`.
+fn reconfig_command(args: &[String]) -> ! {
+    let mut seed = 42u64;
+    let mut plans = 4u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--plans" => {
+                plans = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let (_, violations) = exp::reconfig::run_reconfig(seed, plans);
+    if violations > 0 {
+        eprintln!("reconfig: {violations} invariant violation(s)");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 /// `exp --regen-golden`: rerun every registered experiment at `seed`,
 /// then digest the artefacts it left in `results/` into
 /// `tests/golden/<id>.digest`. The tier-1 golden tests compare against
@@ -479,6 +508,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("tournament") && args.len() > 1 {
         tournament_command(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("reconfig") && args.len() > 1 {
+        reconfig_command(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("fleetscale") {
         fleetscale_command(&args[1..]);

@@ -73,6 +73,8 @@ fn rounds_to_converge(
             }),
             ps_memory_used: 1,
             ps_memory_alloc: 1_000_000_000,
+            exec: dlrover_perfmodel::ExecPlan::default(),
+            degraded: false,
         };
         match policy.adjust(&profile) {
             Some(d) => {

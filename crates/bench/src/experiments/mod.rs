@@ -28,6 +28,7 @@ pub const REGISTRY: &[Runner] = &[
     ("resilience", "recovery latency + goodput retained per fault kind", resilience::run),
     ("ckptplane", "tiered checkpoint plane: policy x recovery path sweep", ckptplane::run),
     ("tournament", "scheduler round-robin: heuristics vs learned, under chaos", tournament::run),
+    ("reconfig", "execution-plan reconfiguration ablation under PS contention", reconfig::run),
 ];
 
 pub mod ablations;
@@ -44,6 +45,7 @@ pub mod fig9;
 pub mod fleetscale;
 pub mod fleetstudy;
 pub mod production;
+pub mod reconfig;
 pub mod resilience;
 pub mod table1;
 pub mod table2;

@@ -164,6 +164,7 @@ mod tests {
     golden_test!(golden_resilience, "resilience");
     golden_test!(golden_ckptplane, "ckptplane");
     golden_test!(golden_tournament, "tournament");
+    golden_test!(golden_reconfig, "reconfig");
 
     /// The registry and the corpus cover each other: every registered
     /// experiment has a golden test above (this asserts the count so a new
@@ -172,7 +173,7 @@ mod tests {
     fn corpus_covers_the_whole_registry() {
         assert_eq!(
             crate::experiments::REGISTRY.len(),
-            20,
+            21,
             "new experiment registered — add a golden_test! line and regenerate the corpus"
         );
     }

@@ -30,8 +30,10 @@
 
 use std::path::{Path, PathBuf};
 
-use dlrover_optimizer::{Nsga2, Nsga2Config};
-use dlrover_perfmodel::{ModelCoefficients, WorkloadConstants};
+use dlrover_optimizer::{
+    Nsga2, Nsga2Config, NsgaPlanGenerator, ReconfigSpace, ResourceAllocation, ScalingAlgorithm,
+};
+use dlrover_perfmodel::{JobShape, ModelCoefficients, ThroughputModel, WorkloadConstants};
 use dlrover_pstrain::cost::{AsyncCostModel, PodState};
 use dlrover_sim::{RngStreams, SimTime};
 use dlrover_telemetry::{prof, EventKind, SpanCategory, Telemetry};
@@ -42,8 +44,8 @@ use crate::results_dir;
 use crate::sysmetrics::peak_rss_bytes;
 
 /// Every perf area, in the order `exp perf` runs them.
-pub const AREAS: [&str; 6] =
-    ["costmodel", "nsga2", "telemetry-merge", "parallel", "fleetscale", "ckptplane"];
+pub const AREAS: [&str; 7] =
+    ["costmodel", "nsga2", "reconfig", "telemetry-merge", "parallel", "fleetscale", "ckptplane"];
 
 /// Options shared by every area (parsed from the `exp perf` CLI).
 #[derive(Debug, Clone)]
@@ -237,6 +239,58 @@ fn nsga2_area(seed: u64) -> AreaOutcome {
             "front_size": front,
             "wall_s": wall_s,
             "gens_per_sec": gens_per_sec,
+            "prof": prof_block(&profile),
+        }),
+        folded: profile.folded(),
+    }
+}
+
+/// Fixed widened plan-generation workload: full NSGA-II searches over the
+/// 5-gene resource + execution-plan genome (the PR-10 action space —
+/// [`ReconfigSpace::default`] appends the plan index to the 4 resource
+/// genes), each candidate priced by the plan-aware throughput model.
+/// Returns (candidates produced, throughput accumulator) as a live-output
+/// guard and determinism witness.
+fn reconfig_workload(seed: u64) -> (u64, f64) {
+    const ROUNDS: u64 = 24;
+    let model = ThroughputModel::new(
+        WorkloadConstants { model_size: 120.0, bandwidth: 1_000.0, embedding_dim: 0.65 },
+        ModelCoefficients::simulation_truth(),
+    );
+    let generator = NsgaPlanGenerator {
+        reconfig: Some(ReconfigSpace::default()),
+        ..NsgaPlanGenerator::default()
+    };
+    let current = ResourceAllocation::new(JobShape::new(4, 2, 4.0, 4.0, 512), 8.0, 64.0);
+    let mut rng = RngStreams::new(seed).stream("reconfig-perf");
+    let mut plans = 0u64;
+    let mut acc = 0.0f64;
+    for _ in 0..ROUNDS {
+        let candidates = generator.candidates(&model, &current, &mut rng);
+        plans += candidates.len() as u64;
+        acc += candidates.iter().map(|c| c.predicted_throughput).sum::<f64>();
+    }
+    (plans, std::hint::black_box(acc))
+}
+
+fn reconfig_area(seed: u64) -> AreaOutcome {
+    let ((plans, acc), wall_s) = measured(|| reconfig_workload(seed));
+    let (_, profile) = profiled(|| reconfig_workload(seed));
+    let plans_per_sec = plans as f64 / wall_s.max(1e-9);
+    AreaOutcome {
+        stem: "reconfig".into(),
+        headline_key: "plans_per_sec",
+        headline: plans_per_sec,
+        higher_is_better: true,
+        previous_keys: &["plans_per_sec", "wall_s"],
+        body: serde_json::json!({
+            "experiment": "perf-reconfig",
+            "description": "NSGA-II over the widened resource + execution-plan genome (24 searches, plan-aware pricing)",
+            "searches": 24,
+            "plans": plans,
+            "wall_s": wall_s,
+            "plans_per_sec": plans_per_sec,
+            "throughput_acc": acc,
             "prof": prof_block(&profile),
         }),
         folded: profile.folded(),
@@ -722,6 +776,7 @@ pub fn run(areas: &[String], opts: &PerfOpts) -> Result<(), String> {
         let outcome = match name.as_str() {
             "costmodel" => Ok(costmodel_area()),
             "nsga2" => Ok(nsga2_area(opts.seed)),
+            "reconfig" => Ok(reconfig_area(opts.seed)),
             "telemetry-merge" => Ok(telemetry_merge_area()),
             "parallel" => parallel_area(opts.threads),
             "fleetscale" => fleetscale_area(opts.seed, opts.max_pods),

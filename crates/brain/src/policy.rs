@@ -13,11 +13,12 @@
 //!   (the job master charges only the flash-checkpoint handoff), and
 //!   OOM prevention / straggler pacing run inside the job master.
 
-use dlrover_master::{JobRuntimeProfile, PolicyDecision, SchedulerPolicy};
+use dlrover_master::{JobRuntimeProfile, PolicyDecision, ReconfigRequest, SchedulerPolicy};
 use dlrover_optimizer::{
-    NsgaPlanGenerator, PlanSearchSpace, PriceTable, ResourceAllocation, ScalingAlgorithm,
-    ScalingOverheadModel,
+    NsgaPlanGenerator, PlanSearchSpace, PriceTable, ReconfigSpace, ResourceAllocation,
+    ScalingAlgorithm, ScalingOverheadModel,
 };
+use dlrover_perfmodel::ExecPlan;
 use dlrover_perfmodel::{JobShape, ThroughputObservation, WorkloadConstants};
 use dlrover_pstrain::MigrationStrategy;
 use dlrover_sim::{RngStreams, StreamRng};
@@ -41,6 +42,13 @@ pub struct DlroverPolicyConfig {
     pub improvement_threshold: f64,
     /// Experiment seed for the NSGA-II RNG.
     pub seed: u64,
+    /// Optional reconfiguration action space (Rubick-style execution-plan
+    /// search). `None` (the default) keeps the policy byte-identical to the
+    /// resource-only search: the NSGA genome stays at 4 genes, no
+    /// [`ReconfigRequest`] is ever attached, and degraded-job gating is
+    /// inert. `Some` widens stage 2b to joint (allocation, execution-plan)
+    /// candidates.
+    pub reconfig: Option<ReconfigSpace>,
 }
 
 impl DlroverPolicyConfig {
@@ -64,6 +72,7 @@ impl Default for DlroverPolicyConfig {
             min_distinct_shapes: 5,
             improvement_threshold: 0.05,
             seed: 0,
+            reconfig: None,
         }
     }
 }
@@ -86,6 +95,7 @@ impl DlroverPolicy {
             space: config.space,
             prices: config.prices,
             overhead: config.overhead,
+            reconfig: config.reconfig,
             ..NsgaPlanGenerator::default()
         };
         DlroverPolicy {
@@ -174,6 +184,16 @@ impl SchedulerPolicy for DlroverPolicy {
             self.observations.push(obs);
         }
 
+        // Reconfiguration gate: a degraded job (lost pods, live fallback
+        // shape, OOM recovery) holds both its shape and its execution plan
+        // until the job master reports it healthy again — reconfiguring
+        // mid-recovery would stack a second migration pause on top of the
+        // fault handling (§4.4). Gated on the flag so the resource-only
+        // policy keeps its pre-reconfiguration behaviour bit-for-bit.
+        if self.config.reconfig.is_some() && profile.degraded {
+            return None;
+        }
+
         // Stage 2a: online model fitting needs shape diversity.
         if self.distinct_shapes() < self.config.min_distinct_shapes {
             let next = self.explore();
@@ -182,6 +202,7 @@ impl SchedulerPolicy for DlroverPolicy {
                 return Some(PolicyDecision {
                     allocation: next,
                     strategy: MigrationStrategy::Seamless,
+                    reconfig: None,
                 });
             }
             // Every exploration arm is clamped at the search-space bounds:
@@ -194,7 +215,12 @@ impl SchedulerPolicy for DlroverPolicy {
         let (model, _rmsle) =
             dlrover_perfmodel::ThroughputModel::fit(self.config.constants, &self.observations)
                 .ok()?;
-        let current_thp = model.throughput(&self.current.shape);
+        // `plan_throughput` is a bit-exact identity for the default plan, so
+        // this is the legacy `model.throughput` whenever reconfiguration is
+        // off (or has not fired yet).
+        let current_exec = profile.exec;
+        let current_thp =
+            dlrover_optimizer::plan_throughput(&model, &self.current.shape, &current_exec);
         let candidates = self.generator.candidates(&model, &self.current, &mut self.rng);
         // Rank by the paper's benefit RE(A)·WG(A) (Eqns. 11–14): resource
         // efficiency weighted by the completion-time priority, which pushes
@@ -213,12 +239,38 @@ impl SchedulerPolicy for DlroverPolicy {
             .max_by(|a, b| benefit(a).partial_cmp(&benefit(b)).expect("NaN benefit"));
 
         // Growth: act on meaningful throughput gains (max TG side of Eqn 9).
-        if let Some(best) = best {
+        if let Some(mut best) = best {
+            // The generator prices candidates against the *default* plan;
+            // once a previous reconfiguration has fired, re-score the winner
+            // against the plan the job actually runs so the hysteresis gate
+            // compares like with like.
+            if self.config.reconfig.is_some() && current_exec != ExecPlan::default() {
+                best = self.generator.score_with_plan(
+                    &model,
+                    &self.current,
+                    &current_exec,
+                    best.allocation,
+                    best.exec,
+                );
+            }
             if best.throughput_gain >= self.config.improvement_threshold * current_thp {
                 self.current = best.allocation;
+                // Ask for a relayout when the replica factor changes: the
+                // embedding shards must be re-spread across the new
+                // replication layout anyway, so the LPT pass rides the same
+                // window for free.
+                let reconfig = match self.config.reconfig {
+                    Some(space) if best.exec != current_exec => Some(ReconfigRequest {
+                        target: best.exec,
+                        relayout: space.allow_relayout
+                            && best.exec.ps_replicas != current_exec.ps_replicas,
+                    }),
+                    _ => None,
+                };
                 return Some(PolicyDecision {
                     allocation: best.allocation,
                     strategy: MigrationStrategy::Seamless,
+                    reconfig,
                 });
             }
         }
@@ -239,6 +291,7 @@ impl SchedulerPolicy for DlroverPolicy {
             return Some(PolicyDecision {
                 allocation: lean,
                 strategy: MigrationStrategy::Seamless,
+                reconfig: None,
             });
         }
         None
@@ -268,6 +321,8 @@ mod tests {
             }),
             ps_memory_used: 1,
             ps_memory_alloc: 1_000_000_000,
+            exec: dlrover_perfmodel::ExecPlan::default(),
+            degraded: false,
         }
     }
 
@@ -362,5 +417,78 @@ mod tests {
     fn name_is_stable() {
         let p = DlroverPolicy::new(start_alloc(), DlroverPolicyConfig::default());
         assert_eq!(p.name(), "dlrover-rm");
+    }
+
+    /// Truthful observations at enough distinct shapes to make the NNLS
+    /// system identifiable without an exploration phase.
+    fn history() -> Vec<ThroughputObservation> {
+        let m = truth();
+        [
+            JobShape::new(4, 2, 4.0, 4.0, 64),
+            JobShape::new(8, 2, 8.0, 4.0, 64),
+            JobShape::new(16, 1, 8.0, 0.25, 64),
+            JobShape::new(8, 4, 8.0, 8.0, 64),
+            JobShape::new(2, 1, 2.0, 2.0, 64),
+            JobShape::new(12, 3, 6.0, 2.0, 64),
+        ]
+        .iter()
+        .map(|s| ThroughputObservation { shape: *s, iter_time: m.iter_time(s) })
+        .collect()
+    }
+
+    /// A PS-squeezed job in a space pinned to its current resources: the
+    /// only improvement the widened search can offer is an execution-plan
+    /// change, so the decision must carry a [`ReconfigRequest`].
+    fn squeezed_config() -> (ResourceAllocation, DlroverPolicyConfig) {
+        let alloc = ResourceAllocation::new(JobShape::new(16, 1, 8.0, 0.25, 64), 32.0, 4.0);
+        let cfg = DlroverPolicyConfig {
+            space: PlanSearchSpace {
+                workers: (16, 16),
+                ps: (1, 1),
+                worker_cpu: (8.0, 8.0),
+                ps_cpu: (0.25, 0.25),
+                worker_mem_per_cpu: 4.0,
+                ps_mem_per_cpu: 16.0,
+            },
+            reconfig: Some(ReconfigSpace::default()),
+            ..Default::default()
+        };
+        (alloc, cfg)
+    }
+
+    #[test]
+    fn reconfig_fires_under_ps_contention() {
+        let (alloc, cfg) = squeezed_config();
+        let mut p = DlroverPolicy::new(alloc, cfg).with_history(history());
+        let d = p.adjust(&profile_for(&alloc, 100_000_000)).expect("policy should act");
+        assert_eq!(d.allocation, alloc, "the pinned space forbids resource moves");
+        let req = d.reconfig.expect("only an execution-plan change can clear the gate");
+        assert!(req.target != ExecPlan::default(), "target plan must differ from default");
+        assert_eq!(d.strategy, MigrationStrategy::Seamless);
+    }
+
+    #[test]
+    fn degraded_jobs_hold_their_shape() {
+        let (alloc, cfg) = squeezed_config();
+        let mut p = DlroverPolicy::new(alloc, cfg).with_history(history());
+        let mut prof = profile_for(&alloc, 100_000_000);
+        prof.degraded = true;
+        assert!(p.adjust(&prof).is_none(), "degraded jobs must not be reconfigured");
+        // Once the master reports the job healthy again, the plan search
+        // resumes.
+        prof.degraded = false;
+        assert!(p.adjust(&prof).is_some());
+    }
+
+    #[test]
+    fn flag_off_never_attaches_reconfig() {
+        let mut p = DlroverPolicy::new(start_alloc(), DlroverPolicyConfig::default());
+        let mut alloc = p.initial_allocation();
+        for _ in 0..12 {
+            if let Some(d) = p.adjust(&profile_for(&alloc, 100_000_000)) {
+                assert!(d.reconfig.is_none(), "reconfig must stay off by default");
+                alloc = d.allocation;
+            }
+        }
     }
 }

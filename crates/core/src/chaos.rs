@@ -631,6 +631,13 @@ fn run_chaos_job_inner(
                 }
                 FaultKind::MasterCrash { restart } => {
                     mark!(fault);
+                    // An in-flight reconfiguration window dies with the
+                    // master's memory: resolve it as rolled back *before*
+                    // snapshotting the event log, so replay adopts the
+                    // pre-window plan and the window id is settled exactly
+                    // once (a no-op when no window is open — the byte-
+                    // identity goldens are untouched).
+                    master.abort_reconfig_if_pending("master-crash");
                     // The master process dies with its in-memory state,
                     // and the job's caching pods die with it — the hot
                     // tier copy is gone, so whichever path recovers must

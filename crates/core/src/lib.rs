@@ -57,12 +57,17 @@ pub mod prelude {
     pub use dlrover_cluster::{Cluster, ClusterConfig, FleetConfig, FleetWorkload, Resources};
     pub use dlrover_dlrm::model::{CtrModel, DlrmModel, ModelConfig, ModelKind};
     pub use dlrover_dlrm::{DatasetConfig, SyntheticCriteo};
-    pub use dlrover_master::{JobMaster, MasterConfig, PolicyDecision, SchedulerPolicy};
+    pub use dlrover_master::{
+        JobMaster, JobRuntimeProfile, MasterConfig, PolicyDecision, ReconfigRequest,
+        SchedulerPolicy,
+    };
     pub use dlrover_optimizer::{
-        JobMetadata, PlanSearchSpace, PriceTable, ResourceAllocation, WarmStartConfig,
+        JobMetadata, PlanSearchSpace, PriceTable, ReconfigAction, ReconfigSpace,
+        ResourceAllocation, WarmStartConfig,
     };
     pub use dlrover_perfmodel::{
-        JobShape, MemoryModel, ModelCoefficients, ThroughputModel, WorkloadConstants,
+        ExecPlan, GradientMode, JobShape, MemoryModel, ModelCoefficients, ThroughputModel,
+        WorkloadConstants,
     };
     pub use dlrover_pstrain::{
         AsyncCostModel, ElasticEvent, MigrationStrategy, PodState, PsTrainingEngine,

@@ -30,7 +30,7 @@ pub mod witness;
 
 pub use ckptplane::{CheckpointPlane, CkptPlaneConfig, PlaneStats, RestoreSource};
 pub use master::{JobMaster, MasterConfig, MasterEvent};
-pub use policy::{PolicyDecision, SchedulerPolicy};
+pub use policy::{PolicyDecision, ReconfigRequest, SchedulerPolicy};
 pub use profiler::{JobRuntimeProfile, Profiler};
 pub use replay::{RecoveryOutcome, RecoveryPath, ReplayedJobState};
 pub use resilience::{

@@ -16,6 +16,7 @@
 //!   baseline behaviour), the engine eventually OOMs and the job dies.
 
 use dlrover_optimizer::ResourceAllocation;
+use dlrover_perfmodel::ExecPlan;
 use dlrover_pstrain::{
     plan_ps_migration, plan_ps_migration_pause, AsyncCostModel, CheckpointStore, EngineCheckpoint,
     FlashStore, MigrationStrategy, MigrationTimeline, PodState, PsTrainingEngine, RdsStore,
@@ -25,7 +26,7 @@ use dlrover_sim::{SimDuration, SimTime};
 use dlrover_telemetry::{EventKind, MigrationKind, SpanCategory, Telemetry};
 use serde::{Deserialize, Serialize};
 
-use crate::policy::PolicyDecision;
+use crate::policy::{PolicyDecision, ReconfigRequest};
 use crate::profiler::{JobRuntimeProfile, Profiler};
 use crate::replay::{RecoveryOutcome, RecoveryPath, ReplayedJobState};
 use crate::resilience::{BudgetLedger, FailureBudget, JobHealth};
@@ -131,7 +132,28 @@ pub struct JobMaster {
     /// last recovery, so a duplicate delivery of the same failure within
     /// one tick is a no-op rather than a second migration.
     last_ps_recovery: Option<(usize, SimTime)>,
+    /// An execution-plan change in flight: applied to the engine but not
+    /// yet committed as a `ReconfigApplied` event (§5.2 window contract).
+    pending_reconfig: Option<PendingReconfig>,
+    /// Monotone reconfig-window id; survives master failover via replay.
+    next_window: u64,
     telemetry: Telemetry,
+}
+
+/// One in-flight reconfiguration window: the engine already runs `target`,
+/// but the change only *commits* (emits `ReconfigApplied`) once the
+/// transition pause has been consumed. A fault landing inside the window
+/// rolls the engine back to `prev` and emits `ReconfigRolledBack` — each
+/// window resolves exactly once, which the telemetry oracle enforces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PendingReconfig {
+    target: ExecPlan,
+    relayout: bool,
+    prev: ExecPlan,
+    window: u64,
+    commit_at: SimTime,
+    /// The migration pause charged for the transition (telemetry only).
+    pause: SimDuration,
 }
 
 /// Maps the pstrain strategy into the telemetry vocabulary (the telemetry
@@ -173,6 +195,8 @@ impl JobMaster {
             health: JobHealth::Healthy,
             budget: BudgetLedger::default(),
             last_ps_recovery: None,
+            pending_reconfig: None,
+            next_window: 0,
             telemetry: Telemetry::default(),
         }
     }
@@ -203,7 +227,10 @@ impl JobMaster {
         let ps = if replayed.ps_count > 0 { replayed.ps_count } else { allocation.shape.ps }.max(1);
         let shards = ShardQueue::resume(spec.total_samples, replayed.samples_done, spec.sharding);
         let engine = PsTrainingEngine::from_checkpoint(
-            EngineCheckpoint { spec, shards, at },
+            // The replayed exec plan is the last *committed* one: windows
+            // still pending at crash time were rolled back (or their
+            // rollback is implied by never having committed).
+            EngineCheckpoint { spec, shards, at, exec: replayed.exec },
             vec![PodState::new(allocation.shape.worker_cpu); workers],
             AsyncCostModel::balanced_partitions(ps, allocation.shape.ps_cpu),
             vec![(allocation.ps_mem_gb * 1e9) as u64; ps as usize],
@@ -230,6 +257,8 @@ impl JobMaster {
             health: JobHealth::Healthy,
             budget: BudgetLedger::default(),
             last_ps_recovery: None,
+            pending_reconfig: None,
+            next_window: replayed.next_window,
             telemetry: Telemetry::default(),
         };
         (master, outcome)
@@ -372,6 +401,8 @@ impl JobMaster {
             observation: self.engine.observation(),
             ps_memory_used: used,
             ps_memory_alloc: alloc,
+            exec: *self.engine.exec_plan(),
+            degraded: self.health != JobHealth::Healthy,
         }
     }
 
@@ -396,6 +427,30 @@ impl JobMaster {
         }
 
         let progress = self.engine.advance(dt);
+
+        // Commit an in-flight reconfig window once its transition pause has
+        // been fully consumed: the new plan survived the migration, so it
+        // becomes the job's committed layout (exactly-once per window).
+        if let Some(p) = self.pending_reconfig {
+            if self.engine.now() >= p.commit_at {
+                self.pending_reconfig = None;
+                let spec_batch = self.engine.spec().batch_size;
+                self.telemetry.record(
+                    self.engine.now(),
+                    EventKind::ReconfigApplied {
+                        job: self.job_id,
+                        window: p.window,
+                        mode: p.target.gradient_mode.label().to_string(),
+                        batch: p.target.effective_batch(spec_batch),
+                        replicas: p.target.ps_replicas.max(1),
+                        shards: self.engine.partitions().len() as u32,
+                        samples_done: self.engine.completed_samples(),
+                        pause_us: p.pause.as_micros(),
+                    },
+                );
+                self.telemetry.count("master.reconfigs_committed", 1);
+            }
+        }
 
         // Profile.
         if let Some(obs) = self.engine.observation() {
@@ -654,6 +709,9 @@ impl JobMaster {
     /// continues on the surviving workers; goodput retained this way is
     /// what the resilience experiment compares against fail-stop.
     fn degrade_to_live_shape(&mut self) {
+        // Degraded jobs hold their shape (§6): a plan change in flight is
+        // abandoned, not committed on a job that just lost its budget.
+        self.abort_reconfig_if_pending("degraded");
         let live = (0..self.engine_worker_slots()).filter(|&i| self.engine_worker_alive(i)).count();
         let feasible = (live + self.pending_workers.len()).max(1) as u32;
         self.allocation.shape.workers = feasible;
@@ -699,6 +757,7 @@ impl JobMaster {
             return;
         }
         if !self.budget.try_ps(&self.config.failure_budget) {
+            self.abort_reconfig_if_pending("job-failed");
             self.health.escalate(JobHealth::Failed);
             self.telemetry.count("master.jobs_failed", 1);
             return;
@@ -754,12 +813,18 @@ impl JobMaster {
         let workers_changed = target.shape.workers != cur.shape.workers
             || (target.shape.worker_cpu - cur.shape.worker_cpu).abs() > 1e-9;
 
-        if !ps_changed && !workers_changed {
+        // "No intervention" means exactly that: the decision is advisory
+        // and nothing is reshaped, counted, or committed. Reconfiguration
+        // rides the seamless path only, so it is gated the same way.
+        if strategy == MigrationStrategy::NoIntervention {
             return;
         }
-        // "No intervention" means exactly that: the decision is advisory
-        // and nothing is reshaped, counted, or committed.
-        if strategy == MigrationStrategy::NoIntervention {
+        if !ps_changed && !workers_changed {
+            if strategy == MigrationStrategy::Seamless {
+                if let Some(req) = decision.reconfig {
+                    self.begin_reconfig(req);
+                }
+            }
             return;
         }
         self.scaling_count += 1;
@@ -813,6 +878,102 @@ impl JobMaster {
             }
         }
         self.allocation = target;
+        if strategy == MigrationStrategy::Seamless {
+            if let Some(req) = decision.reconfig {
+                self.begin_reconfig(req);
+            }
+        }
+    }
+
+    /// Opens a reconfiguration window (Rubick-style execution-plan change,
+    /// priced by the optimizer, executed through the seamless-migration
+    /// path of §5.2): flash-checkpoint, optional LPT shard relayout, switch
+    /// the engine's plan, charge the transition pause. The window *commits*
+    /// (emits `ReconfigApplied`) on the first tick past the pause; a fault
+    /// before that rolls it back via [`Self::abort_reconfig_if_pending`].
+    /// Degraded jobs hold their shape (§6) — the request is dropped.
+    fn begin_reconfig(&mut self, req: ReconfigRequest) {
+        if self.health != JobHealth::Healthy || self.pending_reconfig.is_some() {
+            return;
+        }
+        let prev = *self.engine.exec_plan();
+        if req.target == prev && !req.relayout {
+            return;
+        }
+        let window = self.next_window;
+        self.next_window += 1;
+        let pause = plan_ps_migration_pause(
+            MigrationStrategy::Seamless,
+            self.checkpoint_bytes(),
+            SimDuration::ZERO,
+            &self.flash,
+            &self.rds,
+        );
+        let now = self.engine.now();
+        self.telemetry.span_complete(
+            now,
+            now + pause,
+            SpanCategory::Migration,
+            "reconfig",
+            self.job_id,
+            None,
+        );
+        self.record_flash_checkpoint();
+        if req.relayout {
+            self.relayout_shards();
+        }
+        self.engine.set_exec_plan(req.target);
+        self.engine.pause(pause);
+        self.scaling_count += 1;
+        self.pending_reconfig = Some(PendingReconfig {
+            target: req.target,
+            relayout: req.relayout,
+            prev,
+            window,
+            commit_at: now + pause,
+            pause,
+        });
+        self.telemetry.count("master.reconfigs_started", 1);
+    }
+
+    /// Rolls back an in-flight reconfiguration window, if any: the engine
+    /// reverts to the previous committed plan and the window resolves as
+    /// `ReconfigRolledBack` (exactly once — the oracle's window invariant).
+    /// Call sites are the fault paths: a worker/PS/master fault landing
+    /// inside the window must not leave a half-applied plan behind.
+    pub fn abort_reconfig_if_pending(&mut self, reason: &str) {
+        let Some(p) = self.pending_reconfig.take() else { return };
+        self.engine.set_exec_plan(p.prev);
+        self.telemetry.record(
+            self.engine.now(),
+            EventKind::ReconfigRolledBack {
+                job: self.job_id,
+                window: p.window,
+                reason: reason.to_string(),
+                samples_done: self.engine.completed_samples(),
+            },
+        );
+        self.telemetry.count("master.reconfigs_rolled_back", 1);
+    }
+
+    /// Embedding-shard relayout (`RelayoutShards`): rebuild the DLRM block
+    /// set at the current embedding footprint, LPT-balance it across the
+    /// live PS pods and adopt the resulting partitions — the same
+    /// rebalancing primitive the hot-PS path uses, triggered here by the
+    /// optimizer instead of a detector.
+    fn relayout_shards(&mut self) {
+        let parts = self.engine.partitions().to_vec();
+        if parts.len() < 2 {
+            return;
+        }
+        let bytes = self.checkpoint_bytes();
+        let blocks = dlrover_pstrain::rebalance::dlrm_blocks(26, bytes, bytes / 16);
+        let assignment = dlrover_pstrain::rebalance::balance_blocks(&blocks, parts.len());
+        let pods: Vec<PodState> = parts.iter().map(|p| p.pod).collect();
+        let rebalanced =
+            dlrover_pstrain::rebalance::partitions_from_assignment(&blocks, &assignment, &pods);
+        let mem = self.engine.ps_memory_alloc().to_vec();
+        self.engine.reshape_ps(rebalanced, mem);
     }
 
     fn reshape_ps_now(&mut self, target: &ResourceAllocation) {
@@ -963,6 +1124,129 @@ mod tests {
         assert!(m.tick(DT).is_empty());
     }
 
+    fn reconfig_decision(
+        a: ResourceAllocation,
+        target: dlrover_perfmodel::ExecPlan,
+        relayout: bool,
+    ) -> PolicyDecision {
+        PolicyDecision {
+            allocation: a,
+            strategy: MigrationStrategy::Seamless,
+            reconfig: Some(ReconfigRequest { target, relayout }),
+        }
+    }
+
+    fn sync_plan() -> dlrover_perfmodel::ExecPlan {
+        dlrover_perfmodel::ExecPlan {
+            gradient_mode: dlrover_perfmodel::GradientMode::Sync,
+            ps_replicas: 2,
+            batch_size: 0,
+        }
+    }
+
+    #[test]
+    fn reconfig_window_commits_exactly_once() {
+        let mut m = master(20_000, 4, 2, 8.0);
+        m.set_telemetry(Telemetry::default());
+        m.tick(DT);
+        // A reconfig-only decision (no resource change) must still open a
+        // window: the action space is wider than resource amounts.
+        m.apply_decision(reconfig_decision(alloc(4, 2, 8.0, 256.0), sync_plan(), false), DT);
+        assert_eq!(*m.engine().exec_plan(), sync_plan(), "engine switches inside the window");
+        for _ in 0..4 {
+            m.tick(DT);
+        }
+        let events = m.telemetry().snapshot().events;
+        let applied: Vec<_> =
+            events.iter().filter(|e| e.kind.name() == "ReconfigApplied").collect();
+        assert_eq!(applied.len(), 1, "a window commits exactly once");
+        if let EventKind::ReconfigApplied { window, mode, replicas, samples_done, .. } =
+            &applied[0].kind
+        {
+            assert_eq!(*window, 0, "first window id");
+            assert_eq!(mode, "sync");
+            assert_eq!(*replicas, 2);
+            assert!(*samples_done > 0, "commit records the acked watermark");
+        }
+        assert_eq!(m.telemetry().counter("master.reconfigs_started"), 1);
+        assert_eq!(m.telemetry().counter("master.reconfigs_committed"), 1);
+        assert_eq!(m.telemetry().counter("master.reconfigs_rolled_back"), 0);
+        run_to_end(&mut m, 100_000).expect("completes under the new plan");
+        assert_eq!(m.engine().samples_done(), m.engine().spec().total_samples);
+    }
+
+    #[test]
+    fn fault_inside_window_rolls_back_exactly_once() {
+        let mut m = master(20_000, 4, 2, 8.0);
+        m.set_telemetry(Telemetry::default());
+        m.tick(DT);
+        let prev = *m.engine().exec_plan();
+        m.apply_decision(reconfig_decision(alloc(4, 2, 8.0, 256.0), sync_plan(), false), DT);
+        // A conclusive denial lands inside the window, before the commit
+        // tick: the job degrades and the half-applied plan must unwind.
+        m.record_scale_denial();
+        assert_eq!(*m.engine().exec_plan(), prev, "rollback restores the committed plan");
+        for _ in 0..4 {
+            m.tick(DT);
+        }
+        let events = m.telemetry().snapshot().events;
+        assert_eq!(events.iter().filter(|e| e.kind.name() == "ReconfigApplied").count(), 0);
+        let rolled: Vec<_> =
+            events.iter().filter(|e| e.kind.name() == "ReconfigRolledBack").collect();
+        assert_eq!(rolled.len(), 1, "a window rolls back exactly once");
+        if let EventKind::ReconfigRolledBack { window, reason, .. } = &rolled[0].kind {
+            assert_eq!(*window, 0);
+            assert_eq!(reason, "degraded");
+        }
+        // A second abort is a no-op: the window is already settled.
+        m.abort_reconfig_if_pending("again");
+        assert_eq!(m.telemetry().counter("master.reconfigs_rolled_back"), 1);
+        run_to_end(&mut m, 100_000).expect("completes after the rollback");
+        assert_eq!(m.engine().samples_done(), m.engine().spec().total_samples);
+    }
+
+    #[test]
+    fn degraded_job_drops_reconfig_requests() {
+        let mut m = master(20_000, 4, 2, 8.0);
+        m.set_telemetry(Telemetry::default());
+        m.tick(DT);
+        m.record_scale_denial();
+        assert!(m.profile().degraded, "profile must advertise the degraded state");
+        m.apply_decision(reconfig_decision(alloc(4, 2, 8.0, 256.0), sync_plan(), false), DT);
+        assert_eq!(
+            *m.engine().exec_plan(),
+            dlrover_perfmodel::ExecPlan::default(),
+            "degraded jobs hold their shape: the request is dropped"
+        );
+        assert_eq!(m.telemetry().counter("master.reconfigs_started"), 0);
+    }
+
+    #[test]
+    fn relayout_rides_the_reconfig_window() {
+        let mut m = master(20_000, 4, 3, 8.0);
+        m.set_telemetry(Telemetry::default());
+        m.tick(DT);
+        let parts_before = m.engine().partitions().len();
+        // Relayout with an unchanged plan is still an action: it opens a
+        // window of its own.
+        m.apply_decision(
+            reconfig_decision(
+                alloc(4, 3, 8.0, 256.0),
+                dlrover_perfmodel::ExecPlan::default(),
+                true,
+            ),
+            DT,
+        );
+        assert_eq!(m.telemetry().counter("master.reconfigs_started"), 1);
+        assert_eq!(m.engine().partitions().len(), parts_before, "relayout keeps the PS count");
+        for _ in 0..4 {
+            m.tick(DT);
+        }
+        assert_eq!(m.telemetry().counter("master.reconfigs_committed"), 1);
+        run_to_end(&mut m, 100_000).expect("completes after the relayout");
+        assert_eq!(m.engine().samples_done(), m.engine().spec().total_samples);
+    }
+
     #[test]
     fn profile_reflects_engine() {
         let mut m = master(5_000, 4, 2, 8.0);
@@ -987,6 +1271,7 @@ mod tests {
             PolicyDecision {
                 allocation: alloc(8, 4, 16.0, 256.0),
                 strategy: MigrationStrategy::Seamless,
+                reconfig: None,
             },
             SimDuration::from_secs(60),
         );
@@ -1003,7 +1288,11 @@ mod tests {
         let mut seamless = master(steps, 2, 2, 4.0);
         seamless.tick(DT);
         seamless.apply_decision(
-            PolicyDecision { allocation: target, strategy: MigrationStrategy::Seamless },
+            PolicyDecision {
+                allocation: target,
+                strategy: MigrationStrategy::Seamless,
+                reconfig: None,
+            },
             startup,
         );
         let jct_seamless = run_to_end(&mut seamless, 100_000).unwrap();
@@ -1011,7 +1300,11 @@ mod tests {
         let mut restart = master(steps, 2, 2, 4.0);
         restart.tick(DT);
         restart.apply_decision(
-            PolicyDecision { allocation: target, strategy: MigrationStrategy::StopAndRestart },
+            PolicyDecision {
+                allocation: target,
+                strategy: MigrationStrategy::StopAndRestart,
+                reconfig: None,
+            },
             startup,
         );
         let jct_restart = run_to_end(&mut restart, 100_000).unwrap();
@@ -1023,7 +1316,11 @@ mod tests {
         let mut m = master(1_000, 4, 2, 8.0);
         let current = m.allocation();
         m.apply_decision(
-            PolicyDecision { allocation: current, strategy: MigrationStrategy::Seamless },
+            PolicyDecision {
+                allocation: current,
+                strategy: MigrationStrategy::Seamless,
+                reconfig: None,
+            },
             SimDuration::from_secs(60),
         );
         assert_eq!(m.scaling_count(), 0);
@@ -1037,6 +1334,7 @@ mod tests {
             PolicyDecision {
                 allocation: alloc(3, 2, 8.0, 256.0),
                 strategy: MigrationStrategy::Seamless,
+                reconfig: None,
             },
             SimDuration::ZERO,
         );
@@ -1135,6 +1433,7 @@ mod tests {
             PolicyDecision {
                 allocation: alloc(6, 2, 8.0, 2.5),
                 strategy: MigrationStrategy::Seamless,
+                reconfig: None,
             },
             SimDuration::ZERO,
         );
@@ -1399,6 +1698,7 @@ mod tests {
             PolicyDecision {
                 allocation: alloc(6, 2, 8.0, 256.0),
                 strategy: MigrationStrategy::Seamless,
+                reconfig: None,
             },
             SimDuration::from_secs(120),
         );

@@ -8,10 +8,23 @@
 //! stop-and-restart for the baselines).
 
 use dlrover_optimizer::ResourceAllocation;
+use dlrover_perfmodel::ExecPlan;
 use dlrover_pstrain::MigrationStrategy;
 use serde::{Deserialize, Serialize};
 
 use crate::profiler::JobRuntimeProfile;
+
+/// A requested execution-plan change riding on a decision (the Rubick-style
+/// reconfiguration layer): the target plan plus an optional embedding-shard
+/// relayout. Applied by the master through the seamless-migration path and
+/// committed or rolled back as one *reconfig window* (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigRequest {
+    /// The execution plan to switch to.
+    pub target: ExecPlan,
+    /// Also rebalance embedding shards across the PS fleet (LPT relayout).
+    pub relayout: bool,
+}
 
 /// One adjustment decision from a policy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,6 +33,9 @@ pub struct PolicyDecision {
     pub allocation: ResourceAllocation,
     /// How the transition is executed.
     pub strategy: MigrationStrategy,
+    /// Execution-plan reconfiguration to apply alongside (None = keep the
+    /// current plan; resource-only policies always send None).
+    pub reconfig: Option<ReconfigRequest>,
 }
 
 /// A job-level scheduling policy.
@@ -70,6 +86,8 @@ mod tests {
             observation: None,
             ps_memory_used: 0,
             ps_memory_alloc: 1,
+            exec: ExecPlan::default(),
+            degraded: false,
         };
         assert!(policy.adjust(&profile).is_none());
     }

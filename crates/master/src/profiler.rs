@@ -32,6 +32,11 @@ pub struct JobRuntimeProfile {
     pub ps_memory_used: u64,
     /// Total PS memory allocated, bytes.
     pub ps_memory_alloc: u64,
+    /// The job's active execution plan (reconfiguration state).
+    pub exec: dlrover_perfmodel::ExecPlan,
+    /// True when the job is running degraded (§6): degraded jobs hold
+    /// their shape, so policies must not reconfigure them.
+    pub degraded: bool,
 }
 
 /// Accumulates observations and fits models on demand.

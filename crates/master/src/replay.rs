@@ -99,6 +99,14 @@ pub struct ReplayedJobState {
     /// PS count of the last applied layout (`0` when never reshaped —
     /// callers fall back to the nominal allocation).
     pub ps_count: u32,
+    /// Last *committed* execution plan: the fold of `ReconfigApplied`
+    /// events. Windows pending at crash time never committed, so the
+    /// restarted job resumes on the plan before them — the rollback half
+    /// of the reconfig-window contract.
+    pub exec: dlrover_perfmodel::ExecPlan,
+    /// Next reconfig-window id: one past the highest id seen (committed or
+    /// rolled back), keeping window ids monotone across failover.
+    pub next_window: u64,
 }
 
 impl ReplayedJobState {
@@ -109,6 +117,8 @@ impl ReplayedJobState {
             checkpoint_step: 0,
             live_workers: BTreeSet::new(),
             ps_count: 0,
+            exec: dlrover_perfmodel::ExecPlan::default(),
+            next_window: 0,
         };
         for e in events {
             match &e.kind {
@@ -124,6 +134,23 @@ impl ReplayedJobState {
                     state.live_workers.remove(worker);
                 }
                 EventKind::PsReshaped { ps } => state.ps_count = *ps as u32,
+                EventKind::ReconfigApplied { window, mode, batch, replicas, .. } => {
+                    state.exec = dlrover_perfmodel::ExecPlan {
+                        gradient_mode: if mode == "sync" {
+                            dlrover_perfmodel::GradientMode::Sync
+                        } else {
+                            dlrover_perfmodel::GradientMode::Async
+                        },
+                        ps_replicas: (*replicas).max(1),
+                        batch_size: *batch,
+                    };
+                    state.next_window = state.next_window.max(window + 1);
+                }
+                EventKind::ReconfigRolledBack { window, .. } => {
+                    // A rolled-back window leaves the committed plan alone
+                    // but still consumes its id.
+                    state.next_window = state.next_window.max(window + 1);
+                }
                 _ => {}
             }
         }
@@ -199,6 +226,41 @@ mod tests {
         assert_eq!(out.downtime, SimDuration::from_secs(12));
         assert_eq!(out.path.label(), "witness-quorum");
         assert_eq!(RecoveryPath::MasterReplay.label(), "master-replay");
+    }
+
+    #[test]
+    fn replay_adopts_committed_plans_and_window_ids() {
+        let log = vec![
+            ev(
+                0,
+                EventKind::ReconfigApplied {
+                    job: 1,
+                    window: 0,
+                    mode: "sync".to_string(),
+                    batch: 512,
+                    replicas: 2,
+                    shards: 2,
+                    samples_done: 100,
+                    pause_us: 5,
+                },
+            ),
+            // A later window that never committed: the crash rolled it
+            // back, so the committed plan stays, but its id is consumed.
+            ev(
+                1,
+                EventKind::ReconfigRolledBack {
+                    job: 1,
+                    window: 1,
+                    reason: "master-crash".to_string(),
+                    samples_done: 200,
+                },
+            ),
+        ];
+        let s = ReplayedJobState::from_events(&log);
+        assert_eq!(s.exec.gradient_mode, dlrover_perfmodel::GradientMode::Sync);
+        assert_eq!(s.exec.ps_replicas, 2);
+        assert_eq!(s.exec.batch_size, 512);
+        assert_eq!(s.next_window, 2);
     }
 
     #[test]

@@ -162,6 +162,7 @@ mod tests {
             predicted_throughput: thp,
             resource_cost: alloc.total_cpu() * 0.033 + alloc.total_mem_gb() * 0.0045,
             throughput_gain: gain,
+            exec: dlrover_perfmodel::ExecPlan::default(),
         }
     }
 

@@ -29,9 +29,11 @@ pub use greedy::{
     priority_weight, select_plans, ClusterCapacity, GreedyConfig, JobCandidates, SelectedPlan,
 };
 pub use nsga2::{hypervolume_2d, Nsga2, Nsga2Config, ParetoPoint};
-pub use plan::{PriceTable, ResourceAllocation, ScalingOverheadModel};
+pub use plan::{
+    PriceTable, ReconfigAction, ReconfigSpace, ResourceAllocation, ScalingOverheadModel,
+};
 pub use scaling::{
-    power_count_grid, power_grid, rightsize_search, NsgaPlanGenerator, PlanCandidate,
-    PlanSearchSpace, ScalingAlgorithm,
+    plan_throughput, power_count_grid, power_grid, rightsize_search, NsgaPlanGenerator,
+    PlanCandidate, PlanSearchSpace, ScalingAlgorithm,
 };
 pub use warm_start::{warm_start, JobMetadata, JobRecord, WarmStartConfig};

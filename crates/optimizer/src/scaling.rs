@@ -6,24 +6,39 @@
 //! implementation of the [`ScalingAlgorithm`] plug-in trait the paper
 //! exposes so "other customized algorithms can be plugged in easily".
 
-use dlrover_perfmodel::{JobShape, ThroughputModel};
+use dlrover_perfmodel::{ExecPlan, JobShape, ThroughputModel};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::nsga2::{Nsga2, Nsga2Config};
-use crate::plan::{PriceTable, ResourceAllocation, ScalingOverheadModel};
+use crate::plan::{PriceTable, ReconfigSpace, ResourceAllocation, ScalingOverheadModel};
 
 /// One scored plan candidate on (or near) the Pareto frontier.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlanCandidate {
     /// The proposed allocation.
     pub allocation: ResourceAllocation,
+    /// The proposed execution plan (default = keep the job's current mode;
+    /// non-default plans come from the widened reconfiguration search).
+    pub exec: ExecPlan,
     /// Predicted throughput at this allocation, samples/s.
     pub predicted_throughput: f64,
     /// Resource cost `RC(A)`, USD/hour.
     pub resource_cost: f64,
     /// Throughput gain `TG(A)` over the current allocation, samples/s.
     pub throughput_gain: f64,
+}
+
+/// Predicted throughput of `shape` running under execution plan `exec` —
+/// the §4.1 model evaluated at the plan's effective batch, with the phase
+/// decomposition rewritten by `perfmodel::exec::adjust_phases` (the same
+/// physics the simulator applies, so this prediction is self-consistent
+/// with the ground truth by construction).
+pub fn plan_throughput(model: &ThroughputModel, shape: &JobShape, exec: &ExecPlan) -> f64 {
+    let batch = exec.effective_batch(shape.batch_size);
+    let shape = JobShape { batch_size: batch, ..*shape };
+    let adjusted = exec.adjust_breakdown(model.breakdown(&shape), shape.workers);
+    f64::from(shape.workers) * f64::from(batch) / adjusted.total()
 }
 
 impl PlanCandidate {
@@ -189,6 +204,12 @@ pub struct NsgaPlanGenerator {
     pub overhead: ScalingOverheadModel,
     /// NSGA-II hyper-parameters.
     pub nsga: Nsga2Config,
+    /// Optional reconfiguration space. `None` (the default) keeps the
+    /// 4-gene resource genome and reproduces the pre-reconfiguration
+    /// generator bit-for-bit; `Some` appends a fifth gene that indexes
+    /// [`ReconfigSpace::plans`], widening the search from resource amounts
+    /// to execution plans (Rubick; ROADMAP open item 3).
+    pub reconfig: Option<ReconfigSpace>,
 }
 
 impl Default for NsgaPlanGenerator {
@@ -198,12 +219,14 @@ impl Default for NsgaPlanGenerator {
             prices: PriceTable::default(),
             overhead: ScalingOverheadModel::default(),
             nsga: Nsga2Config { population: 48, generations: 30, ..Default::default() },
+            reconfig: None,
         }
     }
 }
 
 impl NsgaPlanGenerator {
-    /// Scores a specific allocation against the current one.
+    /// Scores a specific allocation against the current one (execution
+    /// plan unchanged — the pre-reconfiguration scoring path).
     pub fn score(
         &self,
         model: &ThroughputModel,
@@ -215,8 +238,36 @@ impl NsgaPlanGenerator {
         let gain = self.overhead.throughput_gain(thp_old, thp_new, current, &allocation);
         PlanCandidate {
             allocation,
+            exec: ExecPlan::default(),
             predicted_throughput: thp_new,
             resource_cost: self.prices.resource_cost(&allocation),
+            throughput_gain: gain,
+        }
+    }
+
+    /// Scores an (allocation, execution-plan) pair against the current
+    /// allocation running under `current_exec`. The reconfig handoff pause
+    /// (`ScalingOverheadModel::reconfig_pause_seconds`) is charged on top
+    /// of the resource-scaling pause, and PS replicas are charged in `RC`
+    /// via [`PriceTable::plan_resource_cost`].
+    pub fn score_with_plan(
+        &self,
+        model: &ThroughputModel,
+        current: &ResourceAllocation,
+        current_exec: &ExecPlan,
+        allocation: ResourceAllocation,
+        exec: ExecPlan,
+    ) -> PlanCandidate {
+        let thp_old = plan_throughput(model, &current.shape, current_exec);
+        let thp_new = plan_throughput(model, &allocation.shape, &exec);
+        let mut gain = self.overhead.throughput_gain(thp_old, thp_new, current, &allocation);
+        let reconfig_pause = self.overhead.reconfig_pause_seconds(current_exec, &exec, false);
+        gain -= thp_new * reconfig_pause / self.overhead.horizon_s.max(1.0);
+        PlanCandidate {
+            allocation,
+            exec,
+            predicted_throughput: thp_new,
+            resource_cost: self.prices.plan_resource_cost(&allocation, &exec),
             throughput_gain: gain,
         }
     }
@@ -229,15 +280,29 @@ impl ScalingAlgorithm for NsgaPlanGenerator {
         current: &ResourceAllocation,
         rng: &mut R,
     ) -> Vec<PlanCandidate> {
-        let (lower, upper) = self.space.bounds();
+        let (mut lower, mut upper) = self.space.bounds();
+        if self.reconfig.is_some() {
+            // Fifth gene: execution-plan index in [0, 1).
+            lower.push(0.0);
+            upper.push(1.0);
+        }
         let batch = current.shape.batch_size;
         let thp_old = model.throughput(&current.shape);
 
         let evaluate = |genome: &[f64]| -> Vec<f64> {
-            let alloc = self.space.decode(genome, batch);
-            let thp_new = model.throughput(&alloc.shape);
-            let gain = self.overhead.throughput_gain(thp_old, thp_new, current, &alloc);
-            let rc = self.prices.resource_cost(&alloc);
+            let alloc = self.space.decode(&genome[..4], batch);
+            let (gain, rc) = match self.reconfig {
+                None => {
+                    let thp_new = model.throughput(&alloc.shape);
+                    let gain = self.overhead.throughput_gain(thp_old, thp_new, current, &alloc);
+                    (gain, self.prices.resource_cost(&alloc))
+                }
+                Some(space) => {
+                    let exec = space.decode(genome[4], batch);
+                    let c = self.score_with_plan(model, current, &ExecPlan::default(), alloc, exec);
+                    (c.throughput_gain, c.resource_cost)
+                }
+            };
             // Minimize (RC, 1/TG); non-positive gains get a large finite
             // penalty so the sort stays well-defined (Eqn. 9).
             let inv_gain = if gain > 1e-9 { 1.0 / gain } else { 1e9 - gain };
@@ -249,7 +314,16 @@ impl ScalingAlgorithm for NsgaPlanGenerator {
 
         let mut plans: Vec<PlanCandidate> = front
             .into_iter()
-            .map(|p| self.score(model, current, self.space.decode(&p.genome, batch)))
+            .map(|p| match self.reconfig {
+                None => self.score(model, current, self.space.decode(&p.genome, batch)),
+                Some(space) => self.score_with_plan(
+                    model,
+                    current,
+                    &ExecPlan::default(),
+                    self.space.decode(&p.genome[..4], batch),
+                    space.decode(p.genome[4], batch),
+                ),
+            })
             .filter(|c| c.throughput_gain > 0.0)
             .collect();
 
@@ -257,11 +331,28 @@ impl ScalingAlgorithm for NsgaPlanGenerator {
         // collapse to the same allocation: dedupe, keep the best gain first.
         plans.sort_by(|a, b| b.throughput_gain.partial_cmp(&a.throughput_gain).expect("NaN gain"));
         plans.dedup_by(|a, b| {
-            a.allocation.shape.workers == b.allocation.shape.workers
+            a.exec == b.exec
+                && a.allocation.shape.workers == b.allocation.shape.workers
                 && a.allocation.shape.ps == b.allocation.shape.ps
                 && (a.allocation.shape.worker_cpu - b.allocation.shape.worker_cpu).abs() < 0.5
                 && (a.allocation.shape.ps_cpu - b.allocation.shape.ps_cpu).abs() < 0.5
         });
+        if self.reconfig.is_some() {
+            // Over the widened space the grid collapse can leave dominated
+            // stragglers on the list; prune so the returned front never
+            // contains a candidate the perfmodel scores as dominated in
+            // (RC, TG). Gated on `reconfig` so the legacy path (and its
+            // golden digests) is untouched.
+            let snapshot = plans.clone();
+            plans.retain(|c| {
+                !snapshot.iter().any(|o| {
+                    (o.resource_cost < c.resource_cost - 1e-12
+                        && o.throughput_gain >= c.throughput_gain)
+                        || (o.resource_cost <= c.resource_cost
+                            && o.throughput_gain > c.throughput_gain + 1e-12)
+                })
+            });
+        }
         plans
     }
 }
@@ -405,6 +496,7 @@ mod tests {
     fn resource_efficiency_orders_sensibly() {
         let cheap_good = PlanCandidate {
             allocation: small_current(),
+            exec: ExecPlan::default(),
             predicted_throughput: 0.0,
             resource_cost: 1.0,
             throughput_gain: 10.0,
@@ -423,5 +515,157 @@ mod tests {
         let b = gen.score(&m, &cur, alloc);
         assert_eq!(a, b);
         assert!((a.predicted_throughput - m.throughput(&alloc.shape)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_throughput_on_default_plan_matches_model_exactly() {
+        // The widened pricing path must be *bit-identical* to the legacy
+        // path on the default plan, or enabling the reconfig layer would
+        // perturb runs that never reconfigure.
+        let m = model();
+        for (w, p) in [(1u32, 1u32), (4, 2), (16, 8)] {
+            let s = JobShape::new(w, p, 8.0, 8.0, 512);
+            assert_eq!(plan_throughput(&m, &s, &ExecPlan::default()), m.throughput(&s));
+        }
+    }
+
+    #[test]
+    fn sync_mode_beats_async_when_ps_is_squeezed() {
+        // Many workers on one starved PS at a small batch: the update term
+        // `α_upd·w/(p·λ_p)` dominates, so tree-aggregated sync updates win
+        // (the contention regime the `exp reconfig` ablation exercises).
+        let m = model();
+        let squeezed = JobShape::new(16, 1, 8.0, 0.25, 64);
+        let sync = ExecPlan {
+            gradient_mode: dlrover_perfmodel::GradientMode::Sync,
+            ..ExecPlan::default()
+        };
+        assert!(
+            plan_throughput(&m, &squeezed, &sync)
+                > 1.2 * plan_throughput(&m, &squeezed, &ExecPlan::default()),
+            "sync should dominate under PS contention"
+        );
+        // Healthy PS fleet: aggregation buys little, the barrier costs.
+        let healthy = JobShape::new(4, 8, 8.0, 16.0, 512);
+        assert!(
+            plan_throughput(&m, &healthy, &sync)
+                < 1.05 * plan_throughput(&m, &healthy, &ExecPlan::default()),
+            "sync must not dominate a healthy layout"
+        );
+    }
+
+    #[test]
+    fn widened_generator_finds_exec_plans_under_contention() {
+        let gen = NsgaPlanGenerator {
+            reconfig: Some(ReconfigSpace::default()),
+            // Pin the space to the current envelope so only the execution
+            // plan can move — the Rubick "same resource envelope" setting.
+            space: PlanSearchSpace {
+                workers: (16, 16),
+                ps: (1, 1),
+                worker_cpu: (8.0, 8.0),
+                ps_cpu: (1.0, 1.0),
+                ..PlanSearchSpace::default()
+            },
+            ..NsgaPlanGenerator::default()
+        };
+        let m = model();
+        let cur = ResourceAllocation::new(JobShape::new(16, 1, 8.0, 1.0, 512), 32.0, 8.0);
+        let plans = gen.candidates(&m, &cur, &mut rng());
+        assert!(!plans.is_empty(), "contended job must have improving exec plans");
+        assert!(
+            plans.iter().any(|c| !c.exec.is_default()),
+            "the winning candidates should reconfigure, not just rescale"
+        );
+    }
+
+    #[test]
+    fn reconfig_none_is_bitwise_legacy() {
+        // Same seed, reconfig disabled: the widened generator must return
+        // exactly what the legacy generator returned (golden-digest
+        // compatibility for every policy built on top).
+        let gen = NsgaPlanGenerator::default();
+        assert!(gen.reconfig.is_none());
+        let a = gen.candidates(&model(), &small_current(), &mut rng());
+        let b = gen.candidates(&model(), &small_current(), &mut rng());
+        assert_eq!(a, b);
+        assert!(a.iter().all(|c| c.exec.is_default()));
+    }
+}
+
+#[cfg(test)]
+mod reconfig_proptests {
+    use super::*;
+    use crate::plan::ReconfigSpace;
+    use dlrover_perfmodel::{ModelCoefficients, WorkloadConstants};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> ThroughputModel {
+        ThroughputModel::new(WorkloadConstants::default(), ModelCoefficients::paper_reference())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The execution-plan enumeration is duplicate-free and starts at
+        /// the default plan, for arbitrary admissible spaces and batches.
+        #[test]
+        fn plan_enumeration_is_duplicate_free(
+            allow_sync in proptest::bool::ANY,
+            max_replicas in 1u32..5,
+            max_batch_steps in 0u8..3,
+            allow_relayout in proptest::bool::ANY,
+            spec_batch in prop_oneof![Just(128u32), Just(256), Just(512), Just(1024)],
+        ) {
+            let space = ReconfigSpace { allow_sync, max_replicas, max_batch_steps, allow_relayout };
+            let plans = space.plans(spec_batch);
+            prop_assert_eq!(plans[0], ExecPlan::default());
+            for (i, a) in plans.iter().enumerate() {
+                for b in &plans[i + 1..] {
+                    prop_assert!(a != b, "duplicate plan at index {}", i);
+                }
+            }
+            // Every gene decodes into the enumeration.
+            for k in 0..16 {
+                let g = f64::from(k) / 16.0;
+                prop_assert!(plans.contains(&space.decode(g, spec_batch)));
+            }
+        }
+
+        /// Over the widened space, the returned front never contains a
+        /// candidate the perfmodel scores as dominated in (RC, TG): for
+        /// any pair, neither strictly dominates the other.
+        #[test]
+        fn widened_front_has_no_dominated_candidate(
+            seed in 0u64..64,
+            workers in 2u32..20,
+            ps_cpu in 1.0f64..4.0,
+        ) {
+            let gen = NsgaPlanGenerator {
+                reconfig: Some(ReconfigSpace::default()),
+                nsga: Nsga2Config { population: 24, generations: 10, ..Default::default() },
+                ..NsgaPlanGenerator::default()
+            };
+            let m = model();
+            let cur = ResourceAllocation::new(
+                JobShape::new(workers, 1, 8.0, ps_cpu, 512), 32.0, 8.0,
+            );
+            let mut rng = StdRng::seed_from_u64(seed);
+            let front = gen.candidates(&m, &cur, &mut rng);
+            for a in &front {
+                for b in &front {
+                    let dominates = (b.resource_cost < a.resource_cost - 1e-12
+                        && b.throughput_gain >= a.throughput_gain)
+                        || (b.resource_cost <= a.resource_cost
+                            && b.throughput_gain > a.throughput_gain + 1e-12);
+                    prop_assert!(
+                        !dominates,
+                        "dominated candidate on front: {:?} dominated by {:?}", a, b
+                    );
+                }
+            }
+        }
     }
 }

@@ -23,11 +23,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec;
 pub mod linalg;
 pub mod memory;
 pub mod nnls;
 pub mod throughput;
 
+pub use exec::{adjust_phases, ExecPlan, GradientMode};
 pub use linalg::Matrix;
 pub use memory::{MemoryModel, MemoryPredictor, MemorySample, OomForecast};
 pub use nnls::{nnls, NnlsError};

@@ -161,6 +161,37 @@ impl AsyncCostModel {
         self.phase_times(worker, partitions, workers).iter().sum()
     }
 
+    /// [`Self::phase_times`] transformed by a Rubick-style execution plan
+    /// via [`dlrover_perfmodel::adjust_phases`] — the *same* function the
+    /// optimizer prices plans with, so reconfiguration predictions come
+    /// true in simulation. On the default plan this is bit-identical to
+    /// [`Self::phase_times`] (`adjust_phases` early-returns).
+    pub fn phase_times_exec(
+        &self,
+        worker: &PodState,
+        partitions: &[PsPartition],
+        workers: u32,
+        exec: &dlrover_perfmodel::ExecPlan,
+    ) -> [f64; 5] {
+        dlrover_perfmodel::adjust_phases(
+            exec,
+            self.phase_times(worker, partitions, workers),
+            workers,
+        )
+    }
+
+    /// Per-iteration time of `worker` under an execution plan; equals
+    /// [`Self::worker_iter_time`] bit-for-bit on the default plan.
+    pub fn worker_iter_time_exec(
+        &self,
+        worker: &PodState,
+        partitions: &[PsPartition],
+        workers: u32,
+        exec: &dlrover_perfmodel::ExecPlan,
+    ) -> f64 {
+        self.phase_times_exec(worker, partitions, workers, exec).iter().sum()
+    }
+
     fn mean_ps_cpu(&self, partitions: &[PsPartition]) -> f64 {
         partitions.iter().map(|p| p.pod.effective_cpu()).sum::<f64>() / partitions.len() as f64
     }

@@ -9,7 +9,9 @@
 //! of the job master), so a 200k-step job simulates in microseconds while
 //! preserving shard-level data accounting.
 
-use dlrover_perfmodel::{JobShape, MemoryModel, ThroughputObservation, WorkloadConstants};
+use dlrover_perfmodel::{
+    ExecPlan, GradientMode, JobShape, MemoryModel, ThroughputObservation, WorkloadConstants,
+};
 use dlrover_sim::{SimDuration, SimTime};
 use dlrover_telemetry::{EventKind, SpanCategory, Telemetry};
 use serde::{Deserialize, Serialize};
@@ -75,6 +77,8 @@ pub struct EngineCheckpoint {
     pub shards: ShardQueue,
     /// Virtual time at snapshot.
     pub at: SimTime,
+    /// Execution plan at snapshot (Rubick-style reconfiguration state).
+    pub exec: ExecPlan,
 }
 
 /// Notable events the engine records.
@@ -88,6 +92,8 @@ pub enum EngineEvent {
     WorkerRemoved(usize),
     /// The PS layout was re-shaped.
     Reshaped,
+    /// The execution plan changed (gradient mode / batch / replication).
+    Replanned,
     /// Training paused for a migration.
     Paused(SimDuration),
     /// A PS ran out of memory.
@@ -129,6 +135,8 @@ pub struct PsTrainingEngine {
     telemetry: Telemetry,
     /// Span-timeline lane (the owning job id; 0 for standalone engines).
     span_track: u64,
+    /// Active execution plan (default = plain async PS training).
+    exec: ExecPlan,
 }
 
 impl PsTrainingEngine {
@@ -145,7 +153,7 @@ impl PsTrainingEngine {
     ) -> Self {
         let shards = ShardQueue::new(spec.total_samples, spec.sharding);
         Self::from_checkpoint(
-            EngineCheckpoint { spec, shards, at: SimTime::ZERO },
+            EngineCheckpoint { spec, shards, at: SimTime::ZERO, exec: ExecPlan::default() },
             workers,
             partitions,
             ps_mem_alloc,
@@ -154,7 +162,12 @@ impl PsTrainingEngine {
 
     /// Snapshots the training state for fault-tolerant restore.
     pub fn checkpoint(&self) -> EngineCheckpoint {
-        EngineCheckpoint { spec: self.spec.clone(), shards: self.shards.quiesced(), at: self.now }
+        EngineCheckpoint {
+            spec: self.spec.clone(),
+            shards: self.shards.quiesced(),
+            at: self.now,
+            exec: self.exec,
+        }
     }
 
     /// Reconstructs an engine from a checkpoint with a fresh pod layout
@@ -172,8 +185,12 @@ impl PsTrainingEngine {
         assert!(!workers.is_empty(), "job needs at least one worker");
         assert!(!partitions.is_empty(), "job needs at least one PS");
         assert_eq!(partitions.len(), ps_mem_alloc.len(), "per-PS memory required");
-        let cost =
-            AsyncCostModel::new(ckpt.spec.coefficients, ckpt.spec.constants, ckpt.spec.batch_size);
+        let cost = AsyncCostModel::new(
+            ckpt.spec.coefficients,
+            ckpt.spec.constants,
+            ckpt.exec.effective_batch(ckpt.spec.batch_size),
+        );
+        let exec = ckpt.exec;
         let mut engine = PsTrainingEngine {
             spec: ckpt.spec,
             cost,
@@ -189,6 +206,7 @@ impl PsTrainingEngine {
             oomed: false,
             telemetry: Telemetry::default(),
             span_track: 0,
+            exec,
         };
         for pod in workers {
             engine.add_worker(pod);
@@ -338,6 +356,37 @@ impl PsTrainingEngine {
         self.telemetry.record(self.now, EventKind::PsReshaped { ps: self.partitions.len() as u64 });
     }
 
+    /// The active execution plan.
+    pub fn exec_plan(&self) -> &ExecPlan {
+        &self.exec
+    }
+
+    /// Switches the execution plan (Rubick-style reconfiguration): gradient
+    /// mode, PS replication factor, batch size. Takes effect on the next
+    /// [`Self::advance`] slice; the caller charges the transition pause via
+    /// [`Self::pause`] (the seamless-migration path, §5.2). The cost model
+    /// is rebuilt at the plan's effective batch so rates, spans and
+    /// observations all see the new physics.
+    pub fn set_exec_plan(&mut self, exec: ExecPlan) {
+        if exec == self.exec {
+            return;
+        }
+        self.exec = exec;
+        self.cost = AsyncCostModel::new(
+            self.spec.coefficients,
+            self.spec.constants,
+            exec.effective_batch(self.spec.batch_size),
+        );
+        self.events.push((self.now, EngineEvent::Replanned));
+    }
+
+    /// FNV digest of the trained-sample coverage (see
+    /// [`ShardQueue::coverage_digest`]): equal digests ⇒ the embedding
+    /// tables folded exactly the same sample set.
+    pub fn coverage_digest(&self) -> u64 {
+        self.shards.coverage_digest()
+    }
+
     /// Sets one PS pod's state (e.g. inject a hot PS).
     pub fn set_ps_pod(&mut self, idx: usize, pod: PodState) {
         if let Some(ps) = self.partitions.get_mut(idx) {
@@ -374,6 +423,15 @@ impl PsTrainingEngine {
         self.shards.completed_samples() + in_flight
     }
 
+    /// Samples in fully completed (acked) shards — the monotone watermark
+    /// an event-log replay recovers to. Unlike [`Self::samples_done`] this
+    /// never decreases: in-flight progress (which a failure can discard)
+    /// is excluded. Reconfig-window telemetry carries this value so the
+    /// oracle's no-lost-samples invariant holds across crashes.
+    pub fn completed_samples(&self) -> u64 {
+        self.shards.completed_samples()
+    }
+
     /// Remaining samples.
     pub fn remaining_samples(&self) -> u64 {
         self.spec.total_samples.saturating_sub(self.samples_done())
@@ -395,7 +453,30 @@ impl PsTrainingEngine {
         if pods.is_empty() || !self.pending_pause.is_zero() {
             return 0.0;
         }
-        self.cost.throughput(&pods, &self.partitions)
+        self.exec_throughput(&pods)
+    }
+
+    /// Throughput of `pods` under the active execution plan. Bit-identical
+    /// to [`AsyncCostModel::throughput`] on the default plan; otherwise the
+    /// per-phase times pass through [`dlrover_perfmodel::adjust_phases`]
+    /// (the same transform the optimizer priced the plan with) and sync
+    /// mode barriers every worker on the slowest iteration.
+    fn exec_throughput(&self, pods: &[PodState]) -> f64 {
+        if self.exec.is_default() {
+            return self.cost.throughput(pods, &self.partitions);
+        }
+        let n = pods.len() as u32;
+        let eb = f64::from(self.cost.batch_size);
+        let iters: Vec<f64> = pods
+            .iter()
+            .map(|wk| self.cost.worker_iter_time_exec(wk, &self.partitions, n, &self.exec))
+            .collect();
+        if self.exec.gradient_mode == GradientMode::Sync {
+            let worst = iters.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+            pods.len() as f64 * eb / worst
+        } else {
+            iters.iter().map(|t| eb / t).sum()
+        }
     }
 
     /// Whole-job CPU utilisation under the cost model (busy core-seconds
@@ -502,13 +583,14 @@ impl PsTrainingEngine {
         let p = self.partitions.len() as u32;
         let mean_ps_cpu = self.partitions.iter().map(|ps| ps.pod.effective_cpu()).sum::<f64>()
             / self.partitions.len() as f64;
-        let thp = self.cost.throughput(&pods, &self.partitions);
+        let thp = self.exec_throughput(&pods);
         if thp <= 0.0 {
             return None;
         }
-        let iter_time = f64::from(w) * f64::from(self.spec.batch_size) / thp;
+        let batch = self.cost.batch_size;
+        let iter_time = f64::from(w) * f64::from(batch) / thp;
         Some(ThroughputObservation {
-            shape: JobShape::new(w, p, mean_cpu, mean_ps_cpu, self.spec.batch_size),
+            shape: JobShape::new(w, p, mean_cpu, mean_ps_cpu, batch),
             iter_time,
         })
     }
@@ -542,7 +624,7 @@ impl PsTrainingEngine {
             speed: pods.iter().map(|p| p.speed).sum::<f64>() / pods.len() as f64,
         };
         // [t_grad, t_upd, t_sync, t_emb, β] → lookup, compute(+β), push, pull.
-        let pt = self.cost.phase_times(&mean, &self.partitions, workers);
+        let pt = self.cost.phase_times_exec(&mean, &self.partitions, workers, &self.exec);
         let phases = [
             (SpanCategory::IterLookup, pt[3]),
             (SpanCategory::IterCompute, pt[0] + pt[4]),
@@ -629,21 +711,35 @@ impl PsTrainingEngine {
         let mut stragglers: Vec<usize> = Vec::new();
 
         if n > 0 {
-            // Per-worker rates under the current layout.
-            let rates: Vec<f64> = live
+            // Per-worker rates under the current layout and execution plan
+            // (bit-identical to the legacy path on the default plan).
+            let mut rates: Vec<f64> = live
                 .iter()
                 .map(|&i| {
-                    f64::from(self.spec.batch_size)
-                        / self.cost.worker_iter_time(&self.workers[i].pod, &self.partitions, n)
+                    f64::from(self.cost.batch_size)
+                        / self.cost.worker_iter_time_exec(
+                            &self.workers[i].pod,
+                            &self.partitions,
+                            n,
+                            &self.exec,
+                        )
                 })
                 .collect();
-            let max_rate = rates.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+            let mut max_rate = rates.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
             stragglers = live
                 .iter()
                 .enumerate()
                 .filter(|(k, _)| rates[*k] < max_rate / 3.0)
                 .map(|(_, &i)| i)
                 .collect();
+            if self.exec.gradient_mode == GradientMode::Sync {
+                // Synchronous gradients barrier every iteration on the
+                // slowest worker (the Rubick trade the optimizer prices:
+                // cheaper updates, a shared pace).
+                let min_rate = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+                rates.iter_mut().for_each(|r| *r = min_rate);
+                max_rate = min_rate.max(1e-12);
+            }
 
             for (k, &i) in live.iter().enumerate() {
                 let mut budget = rates[k] * dt_s + self.workers[i].carry;

@@ -322,6 +322,34 @@ impl ShardQueue {
             && self.workers.values().all(|s| s.current_shard.is_none())
             && self.completed_samples >= self.total_samples
     }
+
+    /// FNV-1a digest of the quiesced coverage state: the sorted pending
+    /// `(start, len)` sample ranges plus the completed/total counts.
+    /// In-flight shards are first requeued (as in [`Self::quiesced`]), so
+    /// two queues with equal digests have trained — and therefore folded
+    /// into the embedding tables — exactly the same sample set. This is
+    /// the "embedding digest" the differential reconfiguration tests
+    /// compare: a reconfiguration must never lose samples (§5.2).
+    pub fn coverage_digest(&self) -> u64 {
+        fn mix(mut h: u64, v: u64) -> u64 {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+        let q = self.quiesced();
+        let mut ranges: Vec<(u64, u64)> = q.pending.iter().map(|s| (s.start, s.len)).collect();
+        ranges.sort_unstable();
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        h = mix(h, q.total_samples);
+        h = mix(h, q.completed_samples);
+        for (start, len) in ranges {
+            h = mix(h, start);
+            h = mix(h, len);
+        }
+        h
+    }
 }
 
 #[cfg(test)]

@@ -409,6 +409,44 @@ pub enum EventKind {
         /// Resolved target index (worker/PS/node) or burst size.
         target: u64,
     },
+
+    // --- Execution-plan reconfiguration (master, optimizer) ---
+    /// A reconfiguration window committed: the job now runs under the new
+    /// execution plan (Rubick-style plan switch riding the §5.2 seamless
+    /// migration path). `samples_done` is the training watermark at commit
+    /// — the oracle's reconfig invariant checks it never regresses.
+    ReconfigApplied {
+        /// Job id.
+        job: u64,
+        /// Monotone reconfiguration-window id (unique per job run).
+        window: u64,
+        /// Gradient mode label (`"async"` / `"sync"`).
+        mode: String,
+        /// Effective per-worker batch size under the new plan.
+        batch: u32,
+        /// PS replication factor.
+        replicas: u32,
+        /// Embedding-shard count of the layout (PS partitions).
+        shards: u32,
+        /// Samples-done watermark at commit time.
+        samples_done: u64,
+        /// Training pause charged for the handoff, microseconds.
+        pause_us: u64,
+    },
+    /// An open reconfiguration window was rolled back — a fault landed
+    /// inside the window, so the job reverted to its previous committed
+    /// plan. Exactly one of `ReconfigApplied`/`ReconfigRolledBack` must be
+    /// observed per window id.
+    ReconfigRolledBack {
+        /// Job id.
+        job: u64,
+        /// Window id that was aborted.
+        window: u64,
+        /// Why the window was aborted (e.g. `"master-crash"`).
+        reason: String,
+        /// Samples-done watermark at rollback time.
+        samples_done: u64,
+    },
 }
 
 /// Migration strategy, mirrored into the telemetry vocabulary (the crate
@@ -469,6 +507,8 @@ impl EventKind {
             EventKind::WitnessQuorumReached { .. } => "WitnessQuorumReached",
             EventKind::JobRecovered { .. } => "JobRecovered",
             EventKind::FaultInjected { .. } => "FaultInjected",
+            EventKind::ReconfigApplied { .. } => "ReconfigApplied",
+            EventKind::ReconfigRolledBack { .. } => "ReconfigRolledBack",
         }
     }
 }
@@ -549,5 +589,50 @@ mod tests {
             .name(),
             "JobRecovered"
         );
+        assert_eq!(
+            EventKind::ReconfigApplied {
+                job: 0,
+                window: 1,
+                mode: "sync".into(),
+                batch: 512,
+                replicas: 2,
+                shards: 4,
+                samples_done: 9000,
+                pause_us: 20_000_000
+            }
+            .name(),
+            "ReconfigApplied"
+        );
+        assert_eq!(
+            EventKind::ReconfigRolledBack {
+                job: 0,
+                window: 1,
+                reason: "master-crash".into(),
+                samples_done: 9000
+            }
+            .name(),
+            "ReconfigRolledBack"
+        );
+    }
+
+    #[test]
+    fn reconfig_events_roundtrip_through_json() {
+        let e = Event {
+            at_us: 3_000_000,
+            seq: 9,
+            kind: EventKind::ReconfigApplied {
+                job: 2,
+                window: 0,
+                mode: "async".into(),
+                batch: 1024,
+                replicas: 1,
+                shards: 2,
+                samples_done: 4096,
+                pause_us: 0,
+            },
+        };
+        let s = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, e);
     }
 }

@@ -116,11 +116,14 @@ pub enum Invariant {
     DurableRestore,
     /// Restored bytes never exceed the manifest's staged bytes.
     RestoreBytesBounded,
+    /// Reconfiguration windows resolve exactly once (applied XOR rolled
+    /// back), never lose samples, and always land in a consistent layout.
+    ReconfigConsistent,
 }
 
 impl Invariant {
     /// All invariants, in reporting order.
-    pub const ALL: [Invariant; 10] = [
+    pub const ALL: [Invariant; 11] = [
         Invariant::ExactlyOnce,
         Invariant::NoLeaks,
         Invariant::CheckpointMonotonic,
@@ -131,6 +134,7 @@ impl Invariant {
         Invariant::BlacklistEffectiveness,
         Invariant::DurableRestore,
         Invariant::RestoreBytesBounded,
+        Invariant::ReconfigConsistent,
     ];
 
     /// Stable short name, used as the JSON key in `results/chaos.json`.
@@ -146,6 +150,7 @@ impl Invariant {
             Invariant::BlacklistEffectiveness => "blacklist_effectiveness",
             Invariant::DurableRestore => "durable_restore",
             Invariant::RestoreBytesBounded => "restore_bytes_bounded",
+            Invariant::ReconfigConsistent => "reconfig_consistent",
         }
     }
 }
@@ -225,6 +230,7 @@ impl Oracle {
         let (durable, bytes_bounded) = Self::check_durability(events);
         checks.push(durable);
         checks.push(bytes_bounded);
+        checks.push(Self::check_reconfig_consistency(events));
         let worst_recovery_us = recovery_latencies_us.iter().copied().max();
         OracleReport { checks, recovery_latencies_us, worst_recovery_us, oom_reactions_us }
     }
@@ -308,6 +314,81 @@ impl Oracle {
                 violations: bytes_violations,
             },
         )
+    }
+
+    /// Reconfiguration invariant (ROADMAP open item 3): every
+    /// reconfiguration window resolves **exactly once** — it either
+    /// commits (`ReconfigApplied`) or aborts (`ReconfigRolledBack`), never
+    /// both and never twice — a reconfig never loses samples (the
+    /// samples-done watermark carried on reconfig events is non-decreasing
+    /// in log order per job), and a committed plan always lands in a
+    /// consistent layout (≥ 1 replica, ≥ 1 shard, ≥ 1 batch, a known
+    /// gradient mode). Standalone like [`Oracle::check_durability`] so
+    /// event-log-only drivers can audit reconfigurations too.
+    pub fn check_reconfig_consistency(events: &[Event]) -> InvariantCheck {
+        use std::collections::BTreeMap;
+        let mut resolved: BTreeMap<(u64, u64), &'static str> = BTreeMap::new();
+        let mut watermark: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut violations = Vec::new();
+        let mut check_watermark = |job: u64, samples: u64, what: &str, v: &mut Vec<String>| {
+            let w = watermark.entry(job).or_insert(0);
+            if samples < *w {
+                v.push(format!(
+                    "job {job}: {what} reports samples_done {samples} below the \
+                     previous reconfig watermark {w} — a reconfig lost samples"
+                ));
+            }
+            *w = (*w).max(samples);
+        };
+        for e in events {
+            match &e.kind {
+                EventKind::ReconfigApplied {
+                    job,
+                    window,
+                    mode,
+                    batch,
+                    replicas,
+                    shards,
+                    samples_done,
+                    ..
+                } => {
+                    if let Some(prev) = resolved.insert((*job, *window), "applied") {
+                        violations.push(format!(
+                            "job {job}: reconfig window {window} resolved twice \
+                             ({prev}, then applied)"
+                        ));
+                    }
+                    if *replicas < 1 || *shards < 1 || *batch < 1 {
+                        violations.push(format!(
+                            "job {job}: reconfig window {window} committed a degenerate \
+                             layout (batch {batch}, replicas {replicas}, shards {shards})"
+                        ));
+                    }
+                    if mode != "async" && mode != "sync" {
+                        violations.push(format!(
+                            "job {job}: reconfig window {window} committed unknown \
+                             gradient mode {mode:?}"
+                        ));
+                    }
+                    check_watermark(*job, *samples_done, "ReconfigApplied", &mut violations);
+                }
+                EventKind::ReconfigRolledBack { job, window, samples_done, .. } => {
+                    if let Some(prev) = resolved.insert((*job, *window), "rolled back") {
+                        violations.push(format!(
+                            "job {job}: reconfig window {window} resolved twice \
+                             ({prev}, then rolled back)"
+                        ));
+                    }
+                    check_watermark(*job, *samples_done, "ReconfigRolledBack", &mut violations);
+                }
+                _ => {}
+            }
+        }
+        InvariantCheck {
+            invariant: Invariant::ReconfigConsistent,
+            passed: violations.is_empty(),
+            violations,
+        }
     }
 
     /// §6.1: dynamic sharding must account every sample exactly once.
@@ -1024,5 +1105,96 @@ mod tests {
         assert_eq!(a, b);
         let back: OracleReport = serde_json::from_str(&a).unwrap();
         assert_eq!(back, report);
+    }
+
+    fn applied(seq: u64, window: u64, samples_done: u64) -> Event {
+        ev(
+            10 * (seq + 1),
+            seq,
+            EventKind::ReconfigApplied {
+                job: 0,
+                window,
+                mode: "sync".into(),
+                batch: 512,
+                replicas: 1,
+                shards: 2,
+                samples_done,
+                pause_us: 20_000_000,
+            },
+        )
+    }
+
+    #[test]
+    fn reconfig_windows_resolve_exactly_once() {
+        // One applied, one rolled back: clean.
+        let clean = vec![
+            applied(0, 0, 1_000),
+            ev(
+                30,
+                1,
+                EventKind::ReconfigRolledBack {
+                    job: 0,
+                    window: 1,
+                    reason: "master-crash".into(),
+                    samples_done: 2_000,
+                },
+            ),
+        ];
+        assert!(Oracle::check_reconfig_consistency(&clean).passed);
+
+        // The same window resolving twice is a violation, in any mix.
+        let twice = vec![applied(0, 0, 1_000), applied(1, 0, 2_000)];
+        let ck = Oracle::check_reconfig_consistency(&twice);
+        assert!(!ck.passed);
+        assert!(ck.violations[0].contains("resolved twice"), "{:?}", ck.violations);
+
+        let apply_then_rollback = vec![
+            applied(0, 0, 1_000),
+            ev(
+                30,
+                1,
+                EventKind::ReconfigRolledBack {
+                    job: 0,
+                    window: 0,
+                    reason: "late".into(),
+                    samples_done: 1_500,
+                },
+            ),
+        ];
+        assert!(!Oracle::check_reconfig_consistency(&apply_then_rollback).passed);
+    }
+
+    #[test]
+    fn reconfig_must_not_lose_samples() {
+        let regressing = vec![applied(0, 0, 5_000), applied(1, 1, 4_000)];
+        let ck = Oracle::check_reconfig_consistency(&regressing);
+        assert!(!ck.passed);
+        assert!(ck.violations[0].contains("lost samples"), "{:?}", ck.violations);
+    }
+
+    #[test]
+    fn reconfig_layout_must_be_consistent() {
+        let degenerate = vec![ev(
+            10,
+            0,
+            EventKind::ReconfigApplied {
+                job: 0,
+                window: 0,
+                mode: "warp".into(),
+                batch: 0,
+                replicas: 0,
+                shards: 0,
+                samples_done: 0,
+                pause_us: 0,
+            },
+        )];
+        let ck = Oracle::check_reconfig_consistency(&degenerate);
+        assert!(!ck.passed);
+        assert_eq!(ck.violations.len(), 2, "{:?}", ck.violations);
+        // And the full check() carries the verdict.
+        let report = Oracle::default().check(&FaultPlan::default(), &degenerate, &clean_truth());
+        let rc =
+            report.checks.iter().find(|c| c.invariant == Invariant::ReconfigConsistent).unwrap();
+        assert!(!rc.passed);
     }
 }

@@ -172,3 +172,192 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Reconfiguration windows under chaos (PR 10, satellite 2).
+// ---------------------------------------------------------------------------
+
+/// A scripted policy that requests an execution-plan change (async ↔ sync
+/// toggle) on every adjustment round: the most window-dense workload the
+/// master can face, so every fault class gets a chance to land near a
+/// reconfiguration window.
+struct TogglePolicy {
+    alloc: ResourceAllocation,
+    sync_next: bool,
+}
+
+impl TogglePolicy {
+    fn new(alloc: ResourceAllocation) -> Self {
+        TogglePolicy { alloc, sync_next: true }
+    }
+}
+
+impl SchedulerPolicy for TogglePolicy {
+    fn name(&self) -> &str {
+        "toggle-reconfig"
+    }
+
+    fn initial_allocation(&mut self) -> ResourceAllocation {
+        self.alloc
+    }
+
+    fn adjust(&mut self, profile: &JobRuntimeProfile) -> Option<PolicyDecision> {
+        // Degraded jobs hold their shape — same contract as DlroverPolicy.
+        if profile.degraded {
+            return None;
+        }
+        let mode = if self.sync_next { GradientMode::Sync } else { GradientMode::Async };
+        self.sync_next = !self.sync_next;
+        let target = ExecPlan { gradient_mode: mode, ps_replicas: 1, batch_size: 0 };
+        if target == profile.exec {
+            return None;
+        }
+        Some(PolicyDecision {
+            allocation: self.alloc,
+            strategy: MigrationStrategy::Seamless,
+            reconfig: Some(ReconfigRequest { target, relayout: false }),
+        })
+    }
+}
+
+/// Asserts the window exactly-once contract directly on an event log:
+/// every window id resolves as `ReconfigApplied` xor `ReconfigRolledBack`,
+/// exactly once.
+fn assert_windows_resolve_once(events: &[dlrover_rm::telemetry::Event]) {
+    use std::collections::BTreeMap;
+    let mut seen: BTreeMap<(u64, u64), usize> = BTreeMap::new();
+    for e in events {
+        match &e.kind {
+            EventKind::ReconfigApplied { job, window, .. }
+            | EventKind::ReconfigRolledBack { job, window, .. } => {
+                *seen.entry((*job, *window)).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    for ((job, window), n) in seen {
+        assert_eq!(n, 1, "job {job} window {window} resolved {n} times");
+    }
+}
+
+#[test]
+fn reconfig_windows_survive_worker_kill_master_crash_and_tier_outage() {
+    // The three fault classes the satellite names, each landing while the
+    // toggle policy keeps a reconfiguration window opening every round
+    // (adjust cadence = tick cadence maximises window density).
+    let (spec, alloc) = job();
+    let plan = FaultPlan::from_events(vec![
+        FaultEvent { at: SimTime::from_secs(120), kind: FaultKind::WorkerKill { worker: 1 } },
+        FaultEvent {
+            at: SimTime::from_secs(240),
+            kind: FaultKind::RemoteTierOutage { window: SimDuration::from_secs(200) },
+        },
+        FaultEvent {
+            at: SimTime::from_secs(300),
+            kind: FaultKind::MasterCrash { restart: SimDuration::from_secs(60) },
+        },
+    ]);
+    let cfg = ChaosConfig {
+        runner: RunnerConfig {
+            adjust_interval: SimDuration::from_secs(30),
+            ..RunnerConfig::default()
+        },
+        ..ChaosConfig::default()
+    };
+    let telemetry = Telemetry::default();
+    let mut policy = TogglePolicy::new(alloc);
+    let report = run_chaos_job_with_policy(&spec, &mut policy, &plan, &cfg, &telemetry);
+    assert!(report.jct_us.is_some(), "job must complete across the failover");
+    assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+    assert_eq!(
+        report.truth.samples_done, report.truth.total_samples,
+        "a reconfig under faults must not lose samples"
+    );
+
+    let events = telemetry.snapshot().events;
+    assert_windows_resolve_once(&events);
+    let applied: Vec<u64> = events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::ReconfigApplied { window, .. } => Some(*window),
+            _ => None,
+        })
+        .collect();
+    assert!(!applied.is_empty(), "the toggle policy must commit windows under chaos");
+    // Window ids stay strictly monotone in commit order, including across
+    // the master failover (the replay fold seeds `next_window` past every
+    // resolved id, so the rebuilt master never reuses one).
+    for w in applied.windows(2) {
+        assert!(w[0] < w[1], "window ids must stay monotone across failover: {applied:?}");
+    }
+    let crashed = events.iter().any(|e| e.kind.name() == "MasterRestarted");
+    assert!(crashed, "the crash at t=300s must force a failover");
+}
+
+#[test]
+fn dlrover_policy_with_reconfig_passes_the_oracle_under_chaos() {
+    // End-to-end through the brain flag: the real DLRover policy with the
+    // widened action space reshapes a job while a generated plan delivers
+    // faults. Every oracle invariant — including ReconfigConsistent —
+    // must hold.
+    let (spec, user_request) = job();
+    let space = PlanSearchSpace {
+        workers: (1, 12),
+        ps: (1, 6),
+        worker_cpu: (1.0, 8.0),
+        ps_cpu: (1.0, 8.0),
+        ..PlanSearchSpace::default()
+    };
+    let mut policy = DlroverPolicy::new(
+        user_request,
+        DlroverPolicyConfig {
+            constants: spec.constants,
+            seed: 42,
+            space,
+            reconfig: Some(ReconfigSpace::default()),
+            ..Default::default()
+        },
+    );
+    let plan = FaultPlan::generate(&FaultPlanConfig::default(), &RngStreams::new(42), 7);
+    let telemetry = Telemetry::default();
+    let report =
+        run_chaos_job_with_policy(&spec, &mut policy, &plan, &ChaosConfig::default(), &telemetry);
+    assert!(report.oracle.passed(), "{:?}", report.oracle.violations());
+    if report.jct_us.is_some() {
+        assert_eq!(report.truth.samples_done, report.truth.total_samples);
+    }
+    assert_windows_resolve_once(&telemetry.snapshot().events);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Window exactly-once under arbitrary survivable chaos: whatever the
+    /// plan, the window-dense toggle policy never leaves a half-applied
+    /// plan behind — every opened window resolves as applied or rolled
+    /// back exactly once, and a completing job trains every sample.
+    #[test]
+    fn any_plan_resolves_reconfig_windows_exactly_once(plan in plan_strategy()) {
+        let (spec, alloc) = job();
+        let cfg = ChaosConfig {
+            runner: RunnerConfig {
+                adjust_interval: SimDuration::from_secs(30),
+                ..RunnerConfig::default()
+            },
+            ..ChaosConfig::default()
+        };
+        let telemetry = Telemetry::default();
+        let mut policy = TogglePolicy::new(alloc);
+        let report = run_chaos_job_with_policy(&spec, &mut policy, &plan, &cfg, &telemetry);
+        prop_assert!(
+            report.oracle.passed(),
+            "oracle violations: {:?}",
+            report.oracle.violations()
+        );
+        if report.jct_us.is_some() {
+            prop_assert_eq!(report.truth.samples_done, report.truth.total_samples);
+        }
+        let events = telemetry.snapshot().events;
+        assert_windows_resolve_once(&events);
+    }
+}

@@ -172,7 +172,11 @@ fn ps_failure_during_inflight_seamless_migration() {
     }
     let target = ResourceAllocation::new(JobShape::new(4, 3, 4.0, 4.0, 512), 8.0, 64.0);
     m.apply_decision(
-        PolicyDecision { allocation: target, strategy: MigrationStrategy::Seamless },
+        PolicyDecision {
+            allocation: target,
+            strategy: MigrationStrategy::Seamless,
+            reconfig: None,
+        },
         SimDuration::from_secs(45),
     );
     // The freshly added PS 2 fails while the migration pause is pending.
